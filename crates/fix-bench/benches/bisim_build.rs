@@ -1,0 +1,54 @@
+//! Bisimulation-graph construction throughput (Algorithm 1's
+//! `CONSTRUCT-ENTRIES` is a single-pass `O(n + m)` stream) and the
+//! depth-truncation forest, on the structure-rich XMark analogue.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fix_bisim::{BisimBuilder, BisimGraph, SubpatternForest};
+use fix_datagen::{xmark, GenConfig};
+use fix_xml::{parse_document, LabelTable, TreeEventSource};
+
+fn bench_bisim(c: &mut Criterion) {
+    let xml = xmark(GenConfig::scaled(0.5));
+    let mut labels = LabelTable::new();
+    let doc = parse_document(&xml, &mut labels).unwrap();
+    let elements = doc
+        .descendants_or_self(doc.root())
+        .filter(|&n| doc.label(n).is_some())
+        .count() as u64;
+
+    let mut group = c.benchmark_group("bisim");
+    group.throughput(Throughput::Elements(elements));
+    group.bench_function("construct_entries", |b| {
+        b.iter(|| {
+            let mut g = BisimGraph::new();
+            BisimBuilder::new(&mut g)
+                .record_all_elements()
+                .run(&mut TreeEventSource::whole(&doc))
+        });
+    });
+
+    // Pre-build the graph once; bench the depth-6 truncation of every
+    // element's vertex (the GEN-SUBPATTERN replacement).
+    let mut g = BisimGraph::new();
+    let info = BisimBuilder::new(&mut g)
+        .record_all_elements()
+        .run(&mut TreeEventSource::whole(&doc));
+    group.bench_function("subpattern_forest_depth6", |b| {
+        b.iter(|| {
+            let mut forest = SubpatternForest::new();
+            let mut distinct = 0usize;
+            let mut seen = std::collections::HashSet::new();
+            for &(v, _) in &info.closed {
+                if seen.insert(forest.truncate(&g, v, 6)) {
+                    distinct += 1;
+                }
+            }
+            distinct
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bisim);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! B+-tree microbenches: insert throughput (sequential vs scrambled key
+//! order — the unclustered index inserts in document order, the clustered
+//! one bulk-loads in key order) and range-scan throughput.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use fix_btree::BTree;
+use fix_storage::BufferPool;
+
+const N: u64 = 20_000;
+
+fn key(v: u64) -> [u8; 40] {
+    let mut k = [0u8; 40];
+    k[4..12].copy_from_slice(&v.to_be_bytes());
+    k
+}
+
+fn scrambled() -> Vec<u64> {
+    let mut v: Vec<u64> = (0..N).collect();
+    let mut seed = 99u64;
+    for i in (1..v.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        v.swap(i, (seed % (i as u64 + 1)) as usize);
+    }
+    v
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("insert_sequential", |b| {
+        b.iter(|| {
+            let mut t = BTree::new(Arc::new(BufferPool::in_memory(512)), 40);
+            for i in 0..N {
+                t.insert(&key(i), i);
+            }
+            t.len()
+        });
+    });
+
+    let scram = scrambled();
+    group.bench_function("insert_scrambled", |b| {
+        b.iter(|| {
+            let mut t = BTree::new(Arc::new(BufferPool::in_memory(512)), 40);
+            for &i in &scram {
+                t.insert(&key(i), i);
+            }
+            t.len()
+        });
+    });
+
+    let mut t = BTree::new(Arc::new(BufferPool::in_memory(512)), 40);
+    for i in 0..N {
+        t.insert(&key(i), i);
+    }
+    group.bench_function("range_scan_10pct", |b| {
+        b.iter(|| {
+            t.range(&key(N / 2), Some(&key(N / 2 + N / 10)))
+                .map(|(_, v)| v)
+                .sum::<u64>()
+        });
+    });
+    group.bench_function("point_lookup", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 7919) % N;
+            t.get(&key(i))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

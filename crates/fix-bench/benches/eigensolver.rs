@@ -1,0 +1,66 @@
+//! Eigensolver microbenches — the paper's Section 3.3 cost claim:
+//! "sub-millisecond for a dense 10×10 and sub-second for a dense 300×300
+//! matrix on a Pentium 4 3 GHz". Measures the dense Jacobi solve at those
+//! sizes plus the sparse Perron fast path the index build actually uses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fix_spectral::{jacobi_eigenvalues, perron_bounds_sparse, EigOptions};
+
+fn dense_matrix(n: usize) -> Vec<f64> {
+    // Deterministic dense symmetric matrix.
+    let mut a = vec![0.0f64; n * n];
+    let mut seed = 0x5EED_0101u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        (seed % 2000) as f64 / 100.0 - 10.0
+    };
+    for i in 0..n {
+        for j in i..n {
+            let v = next();
+            a[i * n + j] = v;
+            a[j * n + i] = v;
+        }
+    }
+    a
+}
+
+fn sparse_tree_edges(n: usize) -> Vec<(u32, u32, f64)> {
+    // A deterministic tree-ish sparse pattern with ~1.3 edges per vertex.
+    let mut edges = Vec::new();
+    for i in 1..n as u32 {
+        edges.push((i / 2, i, (i % 13 + 1) as f64));
+        if i % 3 == 0 && i / 3 < i {
+            edges.push((i / 3, i, (i % 7 + 1) as f64));
+        }
+    }
+    edges
+}
+
+fn bench_eigensolver(c: &mut Criterion) {
+    let opts = EigOptions::default();
+    let mut group = c.benchmark_group("jacobi_dense");
+    group.sample_size(10);
+    for n in [10usize, 50, 150, 300] {
+        let a = dense_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| jacobi_eigenvalues(&a, n, &opts));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("perron_sparse");
+    group.sample_size(20);
+    for n in [10usize, 100, 1000, 5000] {
+        let edges = sparse_tree_edges(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| perron_bounds_sparse(n, &edges, &opts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigensolver);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end index operation benches on the XMark analogue: the pruning
+//! probe alone (Algorithm 2's index phase), the full prune + refine query,
+//! and the navigational baseline for reference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use fix_bench::Dataset;
+use fix_core::FixIndex;
+use fix_exec::eval_path;
+use fix_xpath::parse_path;
+
+fn bench_probe(c: &mut Criterion) {
+    let mut coll = Dataset::Xmark.load(1.0);
+    let idx = FixIndex::build(&mut coll, Dataset::Xmark.default_options());
+    let queries = [
+        ("hi_sp", "//item/mailbox/mail/text/emph/keyword"),
+        ("lo_sp", "//description/parlist/listitem"),
+        (
+            "hi_bp",
+            "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+        ),
+    ];
+    let mut group = c.benchmark_group("xmark_query");
+    group.sample_size(30);
+    for (name, q) in queries {
+        let path = parse_path(q).unwrap();
+        group.bench_function(format!("prune_{name}"), |b| {
+            b.iter(|| idx.candidates(&coll, &path).unwrap().len());
+        });
+        group.bench_function(format!("prune_refine_{name}"), |b| {
+            b.iter(|| idx.query_path(&coll, &path).unwrap().results.len());
+        });
+        group.bench_function(format!("nok_scan_{name}"), |b| {
+            b.iter(|| {
+                coll.iter()
+                    .map(|(_, d)| eval_path(d, &coll.labels, &path).len())
+                    .sum::<usize>()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe);
+criterion_main!(benches);

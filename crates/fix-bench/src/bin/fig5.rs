@@ -1,0 +1,78 @@
+//! **Figure 5** — average selectivity, pruning power, and false-positive
+//! ratio of 1000 random twig queries per data set.
+//!
+//! The paper's qualitative claim: average pp is very close to average sel
+//! for XMark and Treebank (structure-rich), but lags it by ≈32% for TCMD
+//! and ≈14% for DBLP (structure-poor). Queries with selectivity exactly 0
+//! or 1 are discarded, as in the paper (footnote 4).
+//!
+//! Run: `cargo run --release -p fix-bench --bin fig5 [-- --scale 1.0 --queries 1000]`
+
+use fix_bench::{parse_cli, Dataset};
+use fix_core::FixIndex;
+use fix_datagen::{random_twigs, QueryGenConfig};
+
+fn main() {
+    let (scale, rest) = parse_cli();
+    let mut queries = 1000usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--queries" {
+            queries = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--queries <n>");
+        }
+    }
+    println!("Figure 5 reproduction (scale {scale}, {queries} random queries per data set)\n");
+    println!(
+        "{:<9} {:>7} {:>9} {:>9} {:>9} {:>11}   paper: sel−pp gap",
+        "data set", "used", "avg sel%", "avg pp%", "avg fpr%", "sel−pp gap"
+    );
+    for ds in Dataset::ALL {
+        let mut coll = ds.load(scale);
+        let idx = FixIndex::build(&mut coll, ds.default_options());
+        let docs: Vec<&fix_xml::Document> = coll.iter().map(|(_, d)| d).collect();
+        let qs = random_twigs(
+            &docs,
+            &coll.labels,
+            QueryGenConfig {
+                count: queries,
+                max_depth: 5,
+                ..Default::default()
+            },
+        );
+        let (mut sel, mut pp, mut fpr, mut used) = (0.0, 0.0, 0.0, 0usize);
+        for q in &qs {
+            let out = match idx.query_path(&coll, q) {
+                Ok(o) => o,
+                Err(_) => continue, // deeper than the cover — skipped
+            };
+            let s = out.metrics.sel();
+            // The paper discards selectivity-0 and selectivity-1 queries.
+            if s <= 0.0 || s >= 1.0 {
+                continue;
+            }
+            sel += s;
+            pp += out.metrics.pp();
+            fpr += out.metrics.fpr();
+            used += 1;
+        }
+        let n = used.max(1) as f64;
+        let gap = match ds {
+            Dataset::Tcmd => "≈32%",
+            Dataset::Dblp => "≈14%",
+            _ => "small",
+        };
+        println!(
+            "{:<9} {:>7} {:>8.1} {:>8.1} {:>8.1} {:>10.1}   {}",
+            ds.name(),
+            used,
+            100.0 * sel / n,
+            100.0 * pp / n,
+            100.0 * fpr / n,
+            100.0 * (sel - pp) / n,
+            gap,
+        );
+    }
+}

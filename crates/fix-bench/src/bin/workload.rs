@@ -1,0 +1,89 @@
+//! **Workload runner** — latency distribution of the indexed query path
+//! under a stream of random twig queries (the system-benchmark view the
+//! paper's per-query tables do not show): p50/p90/p99/max for the prune
+//! phase alone and for prune+refine, per data set.
+//!
+//! Run: `cargo run --release -p fix-bench --bin workload [-- --scale 1 --queries 500]`
+
+use std::time::Instant;
+
+use fix_bench::{parse_cli, Dataset};
+use fix_core::FixIndex;
+use fix_datagen::{random_twigs, QueryGenConfig};
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let (scale, rest) = parse_cli();
+    let mut queries = 500usize;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        if a == "--queries" {
+            queries = it
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--queries <n>");
+        }
+    }
+    println!("Workload latency (scale {scale}, {queries} random twigs per data set; µs)\n");
+    println!(
+        "{:<9} {:>7} | {:>8} {:>8} {:>8} {:>9} | {:>8} {:>8} {:>8} {:>9}",
+        "data set",
+        "used",
+        "pr p50",
+        "pr p90",
+        "pr p99",
+        "pr max",
+        "q p50",
+        "q p90",
+        "q p99",
+        "q max"
+    );
+    for ds in Dataset::ALL {
+        let mut coll = ds.load(scale);
+        let idx = FixIndex::build(&mut coll, ds.default_options());
+        let docs: Vec<&fix_xml::Document> = coll.iter().map(|(_, d)| d).collect();
+        let qs = random_twigs(
+            &docs,
+            &coll.labels,
+            QueryGenConfig {
+                count: queries,
+                max_depth: 5,
+                ..Default::default()
+            },
+        );
+        let mut prune = Vec::new();
+        let mut full = Vec::new();
+        for q in &qs {
+            let t = Instant::now();
+            let Ok(c) = idx.candidates(&coll, q) else {
+                continue;
+            };
+            prune.push(t.elapsed().as_secs_f64() * 1e6);
+            let t = Instant::now();
+            let _ = idx.refine(&coll, q, c);
+            full.push(prune.last().unwrap() + t.elapsed().as_secs_f64() * 1e6);
+        }
+        prune.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        full.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        println!(
+            "{:<9} {:>7} | {:>8.1} {:>8.1} {:>8.1} {:>9.1} | {:>8.1} {:>8.1} {:>8.1} {:>9.1}",
+            ds.name(),
+            full.len(),
+            percentile(&prune, 0.5),
+            percentile(&prune, 0.9),
+            percentile(&prune, 0.99),
+            prune.last().copied().unwrap_or(0.0),
+            percentile(&full, 0.5),
+            percentile(&full, 0.9),
+            percentile(&full, 0.99),
+            full.last().copied().unwrap_or(0.0),
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! Shared experiment harness for the Section 6 reproduction.
+//!
+//! Each table/figure of the paper has a binary in `src/bin/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | data-set characteristics, index construction time, index sizes |
+//! | `table2` | sel/pp/fpr of the 12 representative queries |
+//! | `fig5` | average sel/pp/fpr over 1000 random queries per data set |
+//! | `fig6` | runtime: NoK vs FIX-unclustered vs F&B vs FIX-clustered |
+//! | `fig7` | DBLP value queries: metrics + runtime vs F&B |
+//! | `ablation` | feature mode, extended σ₂, depth limit k, value β sweeps |
+//!
+//! All binaries take an optional `--scale <f64>` (default 1.0) and print
+//! the paper's reported numbers next to the measured ones where the paper
+//! gives them. Corpora are deterministic, so runs are reproducible.
+
+use std::time::{Duration, Instant};
+
+use fix_core::{Collection, DocId, FixIndex, FixOptions, Metrics, QueryError, QueryOutcome};
+use fix_datagen::GenConfig;
+use fix_storage::{IoStats, PAGE_SIZE};
+
+/// The four data sets of Section 6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dataset {
+    /// XBench TCMD analogue — collection of small documents.
+    Tcmd,
+    /// DBLP analogue — shallow, regular, single large document.
+    Dblp,
+    /// XMark analogue — structure-rich single large document.
+    Xmark,
+    /// Treebank analogue — deep recursive single large document.
+    Treebank,
+}
+
+impl Dataset {
+    /// All four, in the paper's Table 1 order.
+    pub const ALL: [Dataset; 4] = [
+        Dataset::Tcmd,
+        Dataset::Dblp,
+        Dataset::Xmark,
+        Dataset::Treebank,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Tcmd => "XBench",
+            Dataset::Dblp => "DBLP",
+            Dataset::Xmark => "XMark",
+            Dataset::Treebank => "Treebank",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<Dataset> {
+        match s.to_ascii_lowercase().as_str() {
+            "tcmd" | "xbench" => Some(Dataset::Tcmd),
+            "dblp" => Some(Dataset::Dblp),
+            "xmark" => Some(Dataset::Xmark),
+            "treebank" | "trbnk" => Some(Dataset::Treebank),
+            _ => None,
+        }
+    }
+
+    /// Loads the data set at `scale` into a collection.
+    pub fn load(self, scale: f64) -> Collection {
+        let cfg = GenConfig::scaled(scale);
+        let mut coll = Collection::new();
+        match self {
+            Dataset::Tcmd => {
+                for d in fix_datagen::tcmd(cfg) {
+                    coll.add_xml(&d).expect("generated XML parses");
+                }
+            }
+            Dataset::Dblp => {
+                coll.add_xml(&fix_datagen::dblp(cfg)).expect("parses");
+            }
+            Dataset::Xmark => {
+                coll.add_xml(&fix_datagen::xmark(cfg)).expect("parses");
+            }
+            Dataset::Treebank => {
+                coll.add_xml(&fix_datagen::treebank(cfg)).expect("parses");
+            }
+        }
+        coll
+    }
+
+    /// The paper's index configuration for this data set: no depth limit
+    /// for the collection, depth limit 6 for the large documents
+    /// (Section 6.1).
+    pub fn default_options(self) -> FixOptions {
+        match self {
+            Dataset::Tcmd => FixOptions::collection(),
+            _ => FixOptions::large_document(6),
+        }
+    }
+}
+
+/// Parses `--scale <f64>` (default 1.0) and returns remaining positional
+/// args.
+pub fn parse_cli() -> (f64, Vec<String>) {
+    let mut scale = 1.0f64;
+    let mut rest = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            scale = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("--scale needs a number");
+        } else {
+            rest.push(a);
+        }
+    }
+    (scale, rest)
+}
+
+/// A 2006-era disk model for translating measured page I/O into the time
+/// regime the paper ran in (its data did not fit the 1 GB RAM of the test
+/// machine; ours is deliberately laptop-scale and memory-resident, so
+/// wall-clock alone under-reports the I/O asymmetry the paper measured —
+/// see EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskModel {
+    /// Cost of a random page read (seek + rotational latency), ms.
+    pub random_ms: f64,
+    /// Cost of a sequential page transfer, ms.
+    pub seq_ms: f64,
+}
+
+impl Default for DiskModel {
+    fn default() -> Self {
+        // ~8 ms seek, ~60 MB/s sequential (8 KiB page ≈ 0.13 ms).
+        Self {
+            random_ms: 8.0,
+            seq_ms: 0.13,
+        }
+    }
+}
+
+impl DiskModel {
+    /// Models the time for an observed I/O pattern.
+    pub fn time(&self, io: IoStats) -> Duration {
+        let seq = io.misses.saturating_sub(io.random_reads);
+        Duration::from_secs_f64(
+            (io.random_reads as f64 * self.random_ms + seq as f64 * self.seq_ms) / 1e3,
+        )
+    }
+
+    /// Models a pure sequential scan of `bytes`.
+    pub fn scan(&self, bytes: u64) -> Duration {
+        let pages = bytes.div_ceil(PAGE_SIZE as u64);
+        Duration::from_secs_f64((self.random_ms + pages as f64 * self.seq_ms) / 1e3)
+    }
+}
+
+/// Runs a query and reports `(outcome, wall-clock)`.
+pub fn timed_query(
+    idx: &FixIndex,
+    coll: &Collection,
+    query: &str,
+) -> Result<(QueryOutcome, Duration), QueryError> {
+    let t = Instant::now();
+    let out = idx.query(coll, query)?;
+    Ok((out, t.elapsed()))
+}
+
+/// Ground-truth metric computation for one query (used by the metric
+/// tables): `(sel, pp, fpr)` as percentages.
+pub fn metric_percentages(m: &Metrics) -> (f64, f64, f64) {
+    (100.0 * m.sel(), 100.0 * m.pp(), 100.0 * m.fpr())
+}
+
+/// Formats a `Duration` compactly in ms.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// The whole-collection navigational baseline: evaluates `query` with the
+/// NoK-style operator over every document, charging a full storage scan.
+pub fn nok_baseline(coll: &Collection, query: &str) -> (usize, Duration) {
+    let path = fix_xpath::parse_path(query).expect("parseable query");
+    let t = Instant::now();
+    let mut n = 0;
+    for (id, d) in coll.iter() {
+        coll.touch_document(DocId(id.0));
+        n += fix_exec::eval_path(d, &coll.labels, &path).len();
+    }
+    (n, t.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_load_and_have_expected_shape() {
+        let tcmd = Dataset::Tcmd.load(0.02);
+        assert!(tcmd.len() > 1, "TCMD is a collection");
+        let dblp = Dataset::Dblp.load(0.02);
+        assert_eq!(dblp.len(), 1, "DBLP is a single document");
+        assert_eq!(Dataset::parse("treebank"), Some(Dataset::Treebank));
+        assert_eq!(Dataset::parse("nope"), None);
+    }
+
+    #[test]
+    fn disk_model_orders_random_above_sequential() {
+        let m = DiskModel::default();
+        let random = IoStats {
+            misses: 100,
+            random_reads: 100,
+            ..Default::default()
+        };
+        let seq = IoStats {
+            misses: 100,
+            random_reads: 1,
+            ..Default::default()
+        };
+        assert!(m.time(random) > m.time(seq) * 10);
+    }
+
+    #[test]
+    fn nok_baseline_counts_results() {
+        let mut coll = Dataset::Tcmd.load(0.02);
+        coll.enable_paged_storage(64);
+        let (n, _) = nok_baseline(&coll, "/article/prolog/authors/author");
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The single-pass streaming bisimulation-graph construction —
+//! `CONSTRUCT-ENTRIES` of Algorithm 1.
+//!
+//! The builder consumes open/close [`Event`]s. It keeps a `PathStack` of
+//! in-progress signatures; when an element closes, its signature (label +
+//! set of child vertices, all of which closed earlier) is hash-consed into
+//! the shared [`BisimGraph`], and the resulting vertex is appended to the
+//! parent's child set. The CPU cost is `O(n + m)` — one hash lookup per
+//! close event.
+//!
+//! Consumers hook per-element behaviour by iterating
+//! the returned [`UnitInfo::closed`] list: for a depth-limited index
+//! (Section 4.4) *every element* yields an index entry, so the builder
+//! records `(vertex, ptr, subtree depth)` for each close event it sees.
+
+use fix_xml::{Event, EventSource, StoragePtr};
+
+use crate::graph::{BisimGraph, Signature, VertexId};
+
+/// What the builder learned about one indexable unit (one event stream).
+#[derive(Debug, Clone)]
+pub struct UnitInfo {
+    /// The bisimulation vertex of the unit's root (`G.root`).
+    pub root: VertexId,
+    /// The root's pointer into primary storage.
+    pub root_ptr: StoragePtr,
+    /// Maximum element depth of the unit (`G.dep`).
+    pub depth: usize,
+    /// Every closed element as `(vertex, ptr)`, in close-event order.
+    /// For depth limit 0 only the root entry is used; for a positive depth
+    /// limit each element becomes an index entry (Theorem 4: the number of
+    /// enumerated subpattern instances equals the number of elements).
+    pub closed: Vec<(VertexId, StoragePtr)>,
+}
+
+/// Streaming builder over a shared [`BisimGraph`].
+pub struct BisimBuilder<'g> {
+    graph: &'g mut BisimGraph,
+    /// `(signature-in-progress, ptr)` — the paper's `PathStack`.
+    stack: Vec<(Signature, StoragePtr)>,
+    closed: Vec<(VertexId, StoragePtr)>,
+    max_depth: usize,
+    root: Option<(VertexId, StoragePtr)>,
+    /// Whether to record every closed element (needed only when the caller
+    /// enumerates subpatterns; collections of small documents skip it).
+    record_all: bool,
+}
+
+impl<'g> BisimBuilder<'g> {
+    /// Creates a builder writing into `graph`.
+    pub fn new(graph: &'g mut BisimGraph) -> Self {
+        Self {
+            graph,
+            stack: Vec::new(),
+            closed: Vec::new(),
+            max_depth: 0,
+            root: None,
+            record_all: false,
+        }
+    }
+
+    /// Records `(vertex, ptr)` for every element, not just the unit root.
+    pub fn record_all_elements(mut self) -> Self {
+        self.record_all = true;
+        self
+    }
+
+    /// Consumes `events` until exhaustion and returns the unit summary.
+    ///
+    /// # Panics
+    /// Panics on unbalanced streams (they cannot come from a well-formed
+    /// document or from the traveler).
+    pub fn run(mut self, events: &mut dyn EventSource) -> UnitInfo {
+        while let Some(ev) = events.next_event() {
+            match ev {
+                Event::Open { label, ptr } => {
+                    self.stack.push((
+                        Signature {
+                            label,
+                            children: Vec::new(),
+                        },
+                        ptr,
+                    ));
+                    self.max_depth = self.max_depth.max(self.stack.len());
+                }
+                Event::Close => {
+                    let (sig, ptr) = self.stack.pop().expect("close without open");
+                    let v = self.graph.intern(sig);
+                    if self.record_all {
+                        self.closed.push((v, ptr));
+                    }
+                    if let Some((parent_sig, _)) = self.stack.last_mut() {
+                        // Child sets are kept sorted + deduplicated so the
+                        // signature is canonical.
+                        if let Err(pos) = parent_sig.children.binary_search(&v) {
+                            parent_sig.children.insert(pos, v);
+                        }
+                    } else {
+                        self.root = Some((v, ptr));
+                    }
+                }
+            }
+        }
+        assert!(self.stack.is_empty(), "unbalanced event stream");
+        let (root, root_ptr) = self.root.expect("empty event stream");
+        UnitInfo {
+            root,
+            root_ptr,
+            depth: self.max_depth,
+            closed: self.closed,
+        }
+    }
+}
+
+/// Convenience: builds the bisimulation graph of a whole document.
+pub fn build_document_graph(doc: &fix_xml::Document) -> (BisimGraph, UnitInfo) {
+    let mut g = BisimGraph::new();
+    let info = BisimBuilder::new(&mut g).run(&mut fix_xml::TreeEventSource::whole(doc));
+    (g, info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xml::{parse_document, LabelTable, TreeEventSource};
+
+    fn graph_of(xml: &str) -> (BisimGraph, UnitInfo, LabelTable) {
+        let mut lt = LabelTable::new();
+        let d = parse_document(xml, &mut lt).unwrap();
+        let (g, info) = build_document_graph(&d);
+        (g, info, lt)
+    }
+
+    #[test]
+    fn identical_subtrees_collapse() {
+        // Two identical <article><title/></article> children collapse.
+        let (g, info, lt) =
+            graph_of("<bib><article><title/></article><article><title/></article></bib>");
+        // Vertices: title, article, bib = 3.
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.label(info.root), lt.lookup("bib").unwrap());
+        assert_eq!(g.children(info.root).len(), 1);
+        assert_eq!(info.depth, 3);
+    }
+
+    #[test]
+    fn different_subtrees_stay_apart() {
+        // paper Figure 1/2: authors under book & inproceedings with the
+        // same children collapse in the (downward) bisimulation graph.
+        let (g, _, _) = graph_of(
+            "<bib>\
+               <book><author><affiliation/><address/></author><title/></book>\
+               <inproceedings><author><affiliation/><address/></author><title/></inproceedings>\
+             </bib>",
+        );
+        // Vertices: affiliation, address, author, title, book,
+        // inproceedings, bib = 7 (the two authors share one vertex).
+        assert_eq!(g.len(), 7);
+    }
+
+    #[test]
+    fn sibling_order_is_irrelevant() {
+        let (g1, i1, _) = graph_of("<a><b/><c/></a>");
+        let (g2, i2, _) = graph_of("<a><c/><b/></a>");
+        assert_eq!(g1.len(), g2.len());
+        assert_eq!(g1.children(i1.root).len(), g2.children(i2.root).len());
+    }
+
+    #[test]
+    fn duplicate_children_dedup_in_signature() {
+        let (g, info, _) = graph_of("<a><b/><b/><b/></a>");
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.children(info.root).len(), 1);
+    }
+
+    #[test]
+    fn record_all_elements_counts_every_element() {
+        let mut lt = LabelTable::new();
+        let d = parse_document("<a><b><c/></b><b><c/></b></a>", &mut lt).unwrap();
+        let mut g = BisimGraph::new();
+        let info = BisimBuilder::new(&mut g)
+            .record_all_elements()
+            .run(&mut TreeEventSource::whole(&d));
+        // 5 elements → 5 closed entries (Theorem 4), but only 3 vertices.
+        assert_eq!(info.closed.len(), 5);
+        assert_eq!(g.len(), 3);
+        // Pointers are distinct per element.
+        let ptrs: std::collections::HashSet<_> = info.closed.iter().map(|&(_, p)| p).collect();
+        assert_eq!(ptrs.len(), 5);
+    }
+
+    #[test]
+    fn collection_shares_one_graph() {
+        let mut lt = LabelTable::new();
+        let d1 = parse_document("<a><b/></a>", &mut lt).unwrap();
+        let d2 = parse_document("<a><b/></a>", &mut lt).unwrap();
+        let mut g = BisimGraph::new();
+        let i1 = BisimBuilder::new(&mut g).run(&mut TreeEventSource::whole(&d1));
+        let i2 = BisimBuilder::new(&mut g).run(&mut TreeEventSource::whole(&d2));
+        // Identical documents map to the same root vertex.
+        assert_eq!(i1.root, i2.root);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn recursive_structure() {
+        let (g, info, _) = graph_of("<s><s><s/></s></s>");
+        // Each nesting level has a different subtree, hence its own vertex.
+        assert_eq!(g.len(), 3);
+        assert_eq!(info.depth, 3);
+        assert_eq!(g.height(info.root), 3);
+    }
+}

@@ -1,0 +1,266 @@
+//! Forward-&-backward (F&B) bisimulation — the clustering-index baseline.
+//!
+//! The F&B index [Kaushik et al., SIGMOD 2002; Wang et al., VLDB 2005] is
+//! the covering index FIX is compared against in Section 6.3. Two element
+//! nodes share an F&B equivalence class iff they have the same label, their
+//! children match up classwise (forward), *and* their parents do too
+//! (backward). We compute the coarsest such partition by iterated hash
+//! refinement to a fixpoint, then materialize the index graph with extents.
+
+use std::collections::HashMap;
+
+use fix_xml::{Document, LabelId, NodeId, NodeKind};
+
+/// A class (vertex) of the F&B index graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FbClassId(pub u32);
+
+/// The F&B bisimulation index of one document.
+#[derive(Debug, Clone)]
+pub struct FbIndex {
+    /// Label of each class.
+    labels: Vec<LabelId>,
+    /// Child classes of each class (sorted, deduplicated).
+    children: Vec<Vec<FbClassId>>,
+    /// Extent: document nodes in each class, in document order.
+    extents: Vec<Vec<NodeId>>,
+    /// Classes with no parent (the root's class).
+    roots: Vec<FbClassId>,
+    /// Class of each element node (dense over node ids; text nodes map to
+    /// `u32::MAX`).
+    class_of: Vec<u32>,
+}
+
+impl FbIndex {
+    /// Builds the F&B index of `doc`.
+    pub fn build(doc: &Document) -> Self {
+        let n = doc.len();
+        // Initial partition: by label; text nodes excluded.
+        const NONE: u32 = u32::MAX;
+        let mut class: Vec<u32> = vec![NONE; n];
+        let mut next = 0u32;
+        let mut by_label: HashMap<LabelId, u32> = HashMap::new();
+        for (i, slot) in class.iter_mut().enumerate() {
+            if let NodeKind::Element(l) = doc.kind(NodeId(i as u32)) {
+                let c = *by_label.entry(l).or_insert_with(|| {
+                    let c = next;
+                    next += 1;
+                    c
+                });
+                *slot = c;
+            }
+        }
+        let mut num_classes = next as usize;
+
+        // Refine until stable. The refinement key of a node is its current
+        // class, its parent's class, and the set of its children's classes.
+        loop {
+            let mut keys: HashMap<(u32, u32, Vec<u32>), u32> = HashMap::new();
+            let mut new_class = vec![NONE; n];
+            let mut next = 0u32;
+            for i in 0..n {
+                if class[i] == NONE {
+                    continue;
+                }
+                let id = NodeId(i as u32);
+                let parent = doc.parent(id).map(|p| class[p.index()]).unwrap_or(NONE);
+                let mut kids: Vec<u32> =
+                    doc.element_children(id).map(|c| class[c.index()]).collect();
+                kids.sort_unstable();
+                kids.dedup();
+                let key = (class[i], parent, kids);
+                let c = *keys.entry(key).or_insert_with(|| {
+                    let c = next;
+                    next += 1;
+                    c
+                });
+                new_class[i] = c;
+            }
+            let new_num = next as usize;
+            class = new_class;
+            if new_num == num_classes {
+                break;
+            }
+            num_classes = new_num;
+        }
+
+        // Materialize graph + extents.
+        let mut labels = vec![LabelId(0); num_classes];
+        let mut extents: Vec<Vec<NodeId>> = vec![Vec::new(); num_classes];
+        let mut child_sets: Vec<Vec<FbClassId>> = vec![Vec::new(); num_classes];
+        let mut roots = Vec::new();
+        for i in 0..n {
+            if class[i] == NONE {
+                continue;
+            }
+            let id = NodeId(i as u32);
+            let c = class[i] as usize;
+            if let NodeKind::Element(l) = doc.kind(id) {
+                labels[c] = l;
+            }
+            extents[c].push(id);
+            match doc.parent(id) {
+                Some(p) => {
+                    let pc = class[p.index()] as usize;
+                    child_sets[pc].push(FbClassId(c as u32));
+                }
+                None => roots.push(FbClassId(c as u32)),
+            }
+        }
+        for s in &mut child_sets {
+            s.sort_unstable();
+            s.dedup();
+        }
+        roots.sort_unstable();
+        roots.dedup();
+        FbIndex {
+            labels,
+            children: child_sets,
+            extents,
+            roots,
+            class_of: class,
+        }
+    }
+
+    /// Number of index vertices (classes).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for an index over an element-free document (never happens).
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of index edges.
+    pub fn edge_count(&self) -> usize {
+        self.children.iter().map(Vec::len).sum()
+    }
+
+    /// Root classes (for a single document: the root's singleton class).
+    pub fn roots(&self) -> &[FbClassId] {
+        &self.roots
+    }
+
+    /// Label of a class.
+    pub fn label(&self, c: FbClassId) -> LabelId {
+        self.labels[c.0 as usize]
+    }
+
+    /// Child classes of a class.
+    pub fn children(&self, c: FbClassId) -> &[FbClassId] {
+        &self.children[c.0 as usize]
+    }
+
+    /// The document nodes in a class.
+    pub fn extent(&self, c: FbClassId) -> &[NodeId] {
+        &self.extents[c.0 as usize]
+    }
+
+    /// The class of an element node.
+    pub fn class_of(&self, n: NodeId) -> Option<FbClassId> {
+        let c = self.class_of[n.index()];
+        (c != u32::MAX).then_some(FbClassId(c))
+    }
+
+    /// Rough on-disk size estimate in bytes (vertices, edges, extents),
+    /// for the Table-1-style index size comparison.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * 8
+            + self.edge_count() * 4
+            + self.extents.iter().map(|e| e.len() * 4).sum::<usize>()
+    }
+
+    /// Iterates all classes.
+    pub fn iter(&self) -> impl Iterator<Item = FbClassId> {
+        (0..self.labels.len() as u32).map(FbClassId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xml::{parse_document, LabelTable};
+
+    fn build(xml: &str) -> (Document, FbIndex, LabelTable) {
+        let mut lt = LabelTable::new();
+        let d = parse_document(xml, &mut lt).unwrap();
+        let idx = FbIndex::build(&d);
+        (d, idx, lt)
+    }
+
+    #[test]
+    fn identical_contexts_share_a_class() {
+        let (_, idx, _) = build("<a><b><c/></b><b><c/></b></a>");
+        // Classes: a, b, c — the two b's (and two c's) are F&B-bisimilar.
+        assert_eq!(idx.len(), 3);
+        assert_eq!(idx.roots().len(), 1);
+    }
+
+    #[test]
+    fn backward_similarity_splits_classes() {
+        // Figure 1 vs Figure 2 of the paper: downward bisimulation merges
+        // the authors of book and inproceedings, F&B keeps them apart
+        // because their parents differ.
+        let (_, idx, lt) = build(
+            "<bib>\
+               <book><author><x/></author></book>\
+               <inproceedings><author><x/></author></inproceedings>\
+             </bib>",
+        );
+        let author = lt.lookup("author").unwrap();
+        let author_classes = idx.iter().filter(|&c| idx.label(c) == author).count();
+        assert_eq!(author_classes, 2, "F&B must split authors by parent");
+    }
+
+    #[test]
+    fn downward_difference_splits_classes() {
+        let (_, idx, lt) = build("<a><b><c/></b><b><d/></b></a>");
+        let b = lt.lookup("b").unwrap();
+        let b_classes = idx.iter().filter(|&c| idx.label(c) == b).count();
+        assert_eq!(b_classes, 2);
+    }
+
+    #[test]
+    fn extents_cover_all_elements() {
+        let (d, idx, _) = build("<a><b><c/></b><b><c/></b><e/></a>");
+        let total: usize = idx.iter().map(|c| idx.extent(c).len()).sum();
+        let elements = d
+            .descendants_or_self(d.root())
+            .filter(|&n| matches!(d.kind(n), NodeKind::Element(_)))
+            .count();
+        assert_eq!(total, elements);
+        // class_of is consistent with extents.
+        for c in idx.iter() {
+            for &n in idx.extent(c) {
+                assert_eq!(idx.class_of(n), Some(c));
+            }
+        }
+    }
+
+    #[test]
+    fn incompressible_structures_blow_up() {
+        // The paper's motivating observation: authors with distinct child
+        // combinations are incompressible under F&B.
+        let (_, idx, lt) = build(
+            "<bib>\
+               <article><author><address/><email/></author></article>\
+               <article><author><email/></author></article>\
+               <book><author><affiliation/><address/></author></book>\
+               <www><author><email/><affiliation/></author></www>\
+             </bib>",
+        );
+        let author = lt.lookup("author").unwrap();
+        let author_classes = idx.iter().filter(|&c| idx.label(c) == author).count();
+        assert_eq!(author_classes, 4, "each author context is a singleton");
+    }
+
+    #[test]
+    fn graph_edges_follow_document_edges() {
+        let (_, idx, lt) = build("<a><b/><c/></a>");
+        let root = idx.roots()[0];
+        assert_eq!(idx.label(root), lt.lookup("a").unwrap());
+        assert_eq!(idx.children(root).len(), 2);
+        assert_eq!(idx.edge_count(), 2);
+    }
+}

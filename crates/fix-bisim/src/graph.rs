@@ -1,0 +1,276 @@
+//! The bisimulation DAG data structure.
+
+use std::collections::HashMap;
+
+use fix_xml::LabelId;
+
+/// A vertex of a [`BisimGraph`] (an equivalence class of XML nodes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Raw index into the graph's vertex arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The *signature* of a vertex: its label plus the set of child vertices
+/// (Section 4.3). Two XML nodes are bisimilar iff their signatures —
+/// label and set of (already hash-consed) children — coincide.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct Signature {
+    pub label: LabelId,
+    /// Sorted, deduplicated child vertex ids.
+    pub children: Vec<VertexId>,
+}
+
+#[derive(Debug, Clone)]
+struct Vertex {
+    label: LabelId,
+    /// Sorted, deduplicated children (shared with the signature).
+    children: Vec<VertexId>,
+    /// Height of the sub-DAG hanging below this vertex (leaf = 1). Because
+    /// the graph is hash-consed bottom-up, a child always has a smaller id
+    /// than its parents, so heights are computable at insertion time.
+    height: u32,
+}
+
+/// A minimal (downward) bisimulation DAG.
+///
+/// Vertices are hash-consed: inserting the same signature twice returns the
+/// same vertex, which is what makes the graph minimal by construction. The
+/// same graph instance can host the units of an entire document collection
+/// (structure shared across documents is stored once).
+#[derive(Debug, Default, Clone)]
+pub struct BisimGraph {
+    vertices: Vec<Vertex>,
+    interner: HashMap<Signature, VertexId>,
+}
+
+impl BisimGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hash-conses a vertex for `signature`; `children` must already belong
+    /// to this graph.
+    pub(crate) fn intern(&mut self, sig: Signature) -> VertexId {
+        if let Some(&v) = self.interner.get(&sig) {
+            return v;
+        }
+        let height = 1 + sig
+            .children
+            .iter()
+            .map(|c| self.vertices[c.index()].height)
+            .max()
+            .unwrap_or(0);
+        debug_assert!(sig.children.windows(2).all(|w| w[0] < w[1]));
+        let id = VertexId(u32::try_from(self.vertices.len()).expect("vertex space exhausted"));
+        self.vertices.push(Vertex {
+            label: sig.label,
+            children: sig.children.clone(),
+            height,
+        });
+        self.interner.insert(sig, id);
+        id
+    }
+
+    /// Hash-conses a vertex from its label and sorted, deduplicated child
+    /// list (the children must belong to this graph). Public entry point
+    /// for graph-to-graph constructions like
+    /// [`SubpatternForest`](crate::traveler::SubpatternForest).
+    pub fn intern_public(&mut self, label: LabelId, children: Vec<VertexId>) -> VertexId {
+        self.intern(Signature { label, children })
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.vertices.iter().map(|v| v.children.len()).sum()
+    }
+
+    /// The vertex's label.
+    #[inline]
+    pub fn label(&self, v: VertexId) -> LabelId {
+        self.vertices[v.index()].label
+    }
+
+    /// The vertex's (sorted, deduplicated) children.
+    #[inline]
+    pub fn children(&self, v: VertexId) -> &[VertexId] {
+        &self.vertices[v.index()].children
+    }
+
+    /// Height of the sub-DAG below `v` (a leaf has height 1). This equals
+    /// the depth of the deepest XML subtree in `v`'s equivalence class.
+    #[inline]
+    pub fn height(&self, v: VertexId) -> usize {
+        self.vertices[v.index()].height as usize
+    }
+
+    /// Iterates all vertex ids.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// True if two distinct vertices share a label. Queries whose pattern
+    /// has duplicate labels admit *non-injective* matches, for which no
+    /// spectral containment argument is sound — the query processor
+    /// weakens pruning to root-label-only for them.
+    pub fn has_duplicate_labels(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.vertices.iter().any(|v| !seen.insert(v.label))
+    }
+
+    /// Number of vertices and edges reachable from `root` within `depth`
+    /// levels (`usize::MAX` for unlimited). Used to decide whether a
+    /// subpattern is too large for eigenvalue extraction (Section 6.1's
+    /// `[0, ∞]` fallback).
+    pub fn reachable_size(&self, root: VertexId, depth: usize) -> (usize, usize) {
+        // A vertex can appear at several depths; count it if reachable at
+        // any depth ≤ `depth`. We track the maximal remaining budget at
+        // which each vertex was visited to avoid exponential re-walks.
+        let mut best: HashMap<VertexId, usize> = HashMap::new();
+        let mut expanded: std::collections::HashSet<VertexId> = Default::default();
+        let mut stack = vec![(root, depth)];
+        let mut edges = 0usize;
+        while let Some((v, budget)) = stack.pop() {
+            match best.get(&v) {
+                Some(&b) if b >= budget => continue,
+                _ => {}
+            }
+            best.insert(v, budget);
+            if budget > 1 {
+                if expanded.insert(v) {
+                    edges += self.children(v).len();
+                }
+                for &c in self.children(v) {
+                    stack.push((c, budget - 1));
+                }
+            }
+        }
+        (best.len(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xml::LabelTable;
+
+    fn lbl(t: &mut LabelTable, s: &str) -> LabelId {
+        t.intern(s)
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut t = LabelTable::new();
+        let a = lbl(&mut t, "a");
+        let b = lbl(&mut t, "b");
+        let mut g = BisimGraph::new();
+        let leaf_b = g.intern(Signature {
+            label: b,
+            children: vec![],
+        });
+        let leaf_b2 = g.intern(Signature {
+            label: b,
+            children: vec![],
+        });
+        assert_eq!(leaf_b, leaf_b2);
+        let pa = g.intern(Signature {
+            label: a,
+            children: vec![leaf_b],
+        });
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.children(pa), &[leaf_b]);
+        assert_eq!(g.height(pa), 2);
+        assert_eq!(g.height(leaf_b), 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn reachable_size_respects_depth() {
+        let mut t = LabelTable::new();
+        let (a, b, c) = (lbl(&mut t, "a"), lbl(&mut t, "b"), lbl(&mut t, "c"));
+        let mut g = BisimGraph::new();
+        let vc = g.intern(Signature {
+            label: c,
+            children: vec![],
+        });
+        let vb = g.intern(Signature {
+            label: b,
+            children: vec![vc],
+        });
+        let va = g.intern(Signature {
+            label: a,
+            children: vec![vb],
+        });
+        assert_eq!(g.reachable_size(va, usize::MAX), (3, 2));
+        assert_eq!(g.reachable_size(va, 2), (2, 1));
+        assert_eq!(g.reachable_size(va, 1), (1, 0));
+    }
+}
+
+impl BisimGraph {
+    /// Renders the sub-DAG reachable from `root` in Graphviz dot format
+    /// (the paper's Figures 1–2 are exactly such drawings). `names`
+    /// resolves labels to strings.
+    pub fn to_dot(&self, root: VertexId, names: &fix_xml::LabelTable) -> String {
+        let mut out = String::from("digraph bisim {\n  rankdir=LR;\n");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            if !seen.insert(v) {
+                continue;
+            }
+            out.push_str(&format!(
+                "  n{} [label=\"{}\"];\n",
+                v.0,
+                names.resolve(self.label(v))
+            ));
+            for &c in self.children(v) {
+                out.push_str(&format!("  n{} -> n{};\n", v.0, c.0));
+                stack.push(c);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use crate::construct::build_document_graph;
+    use fix_xml::{parse_document, LabelTable};
+
+    #[test]
+    fn dot_output_covers_the_reachable_graph() {
+        let mut lt = LabelTable::new();
+        let d = parse_document(
+            "<bib><article><author/></article><book><author/></book></bib>",
+            &mut lt,
+        )
+        .unwrap();
+        let (g, info) = build_document_graph(&d);
+        let dot = g.to_dot(info.root, &lt);
+        assert!(dot.starts_with("digraph bisim {"));
+        for name in ["bib", "article", "book", "author"] {
+            assert!(dot.contains(name), "missing {name} in {dot}");
+        }
+        // One shared author vertex (downward bisim merges them) → exactly
+        // one label line for author.
+        assert_eq!(dot.matches("label=\"author\"").count(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Twig query → twig pattern (the query's bisimulation graph).
+//!
+//! Section 2.2: "The tree representation of a twig query can always be
+//! translated into a bisimulation graph. We call this bisimulation graph
+//! the twig pattern." We reuse the streaming builder by serializing the
+//! query tree as an event stream.
+
+use fix_xml::{Event, EventSource, LabelId};
+use fix_xpath::TwigQuery;
+
+use crate::construct::{BisimBuilder, UnitInfo};
+use crate::graph::BisimGraph;
+
+/// Event stream over a twig query tree. Value constraints are emitted as
+/// extra leaf children labeled by `value_label` (the Section 4.6 hashing),
+/// mirroring how the document side streams its text nodes.
+struct QueryEvents<'q, F> {
+    q: &'q TwigQuery,
+    /// `(node, next child index, value leaf pending?)`.
+    stack: Vec<(usize, usize, bool)>,
+    started: bool,
+    value_label: F,
+    pending_close: bool,
+}
+
+impl<F: FnMut(&str) -> LabelId> EventSource for QueryEvents<'_, F> {
+    fn next_event(&mut self) -> Option<Event> {
+        if self.pending_close {
+            self.pending_close = false;
+            return Some(Event::Close);
+        }
+        if !self.started {
+            self.started = true;
+            let root = self.q.root();
+            self.stack
+                .push((root, 0, self.q.nodes[root].value.is_some()));
+            return Some(Event::Open {
+                label: self.q.nodes[root].label,
+                ptr: root as u64,
+            });
+        }
+        let (n, next_child, value_pending) = self.stack.last_mut()?;
+        let node = &self.q.nodes[*n];
+        if *value_pending {
+            *value_pending = false;
+            let label = (self.value_label)(node.value.as_deref().expect("value set"));
+            self.pending_close = true;
+            return Some(Event::Open {
+                label,
+                ptr: u64::MAX,
+            });
+        }
+        if *next_child >= node.children.len() {
+            self.stack.pop();
+            return Some(Event::Close);
+        }
+        let c = node.children[*next_child];
+        *next_child += 1;
+        self.stack.push((c, 0, self.q.nodes[c].value.is_some()));
+        Some(Event::Open {
+            label: self.q.nodes[c].label,
+            ptr: c as u64,
+        })
+    }
+}
+
+/// Builds the twig pattern of a pure structural query.
+///
+/// # Panics
+/// Panics if the query carries value constraints — use
+/// [`query_pattern_with_values`] for those.
+pub fn query_pattern(q: &TwigQuery) -> (BisimGraph, UnitInfo) {
+    assert!(
+        !q.has_values(),
+        "query has value constraints; use query_pattern_with_values"
+    );
+    query_pattern_with_values(q, |_| unreachable!("no values present"))
+}
+
+/// Builds the twig pattern, mapping value constraints to value labels
+/// through `value_label` (the Section 4.6 hash).
+pub fn query_pattern_with_values(
+    q: &TwigQuery,
+    value_label: impl FnMut(&str) -> LabelId,
+) -> (BisimGraph, UnitInfo) {
+    let mut g = BisimGraph::new();
+    let mut src = QueryEvents {
+        q,
+        stack: Vec::new(),
+        started: false,
+        value_label,
+        pending_close: false,
+    };
+    let info = BisimBuilder::new(&mut g).run(&mut src);
+    (g, info)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xml::LabelTable;
+    use fix_xpath::{parse_path, TwigQuery};
+
+    fn pattern(s: &str) -> (BisimGraph, UnitInfo, LabelTable) {
+        let p = parse_path(s).unwrap();
+        let mut lt = LabelTable::new();
+        let q = TwigQuery::from_path_interning(&p, &mut lt).unwrap();
+        let (g, info) = query_pattern(&q);
+        (g, info, lt)
+    }
+
+    #[test]
+    fn linear_query_pattern() {
+        let (g, info, lt) = pattern("//a/b/c");
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.label(info.root), lt.lookup("a").unwrap());
+        assert_eq!(info.depth, 3);
+    }
+
+    #[test]
+    fn branching_query_pattern() {
+        let (g, info, _) = pattern("//author[phone][email]");
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.children(info.root).len(), 2);
+    }
+
+    #[test]
+    fn identical_branches_collapse() {
+        // //a[b][b]/b — all three b-leaves are bisimilar.
+        let (g, info, _) = pattern("//a[b][b]/b");
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.children(info.root).len(), 1);
+    }
+
+    #[test]
+    fn value_constraints_become_leaves() {
+        let p = parse_path(r#"//inproceedings[year="1998"]/title"#).unwrap();
+        let mut lt = LabelTable::new();
+        let q = TwigQuery::from_path_interning(&p, &mut lt).unwrap();
+        let vlabel = lt.intern("#v42");
+        let (g, info) = query_pattern_with_values(&q, |_| vlabel);
+        // inproceedings, year, #v42, title.
+        assert_eq!(g.len(), 4);
+        assert_eq!(info.depth, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "value constraints")]
+    fn pure_pattern_rejects_values() {
+        let p = parse_path(r#"//a[b="x"]"#).unwrap();
+        let mut lt = LabelTable::new();
+        let q = TwigQuery::from_path_interning(&p, &mut lt).unwrap();
+        let _ = query_pattern(&q);
+    }
+}

@@ -1,0 +1,16 @@
+//! A disk-resident B+-tree — the stand-in for the Berkeley DB B-tree the
+//! paper builds FIX on.
+//!
+//! Fixed-length byte-string keys (length chosen at creation), `u64` values,
+//! split-on-overflow insertion, and leaf-chained range scans. Keys are
+//! compared as raw bytes, so callers use the order-preserving codecs in
+//! [`keycodec`] to build composite `(root label, λ_max, λ_min, seq)` keys
+//! whose byte order equals the intended numeric order.
+
+pub mod keycodec;
+pub mod rtree;
+pub mod tree;
+
+pub use keycodec::{decode_f64, encode_f64, KeyWriter};
+pub use rtree::{Point, RTree, RTreeProbeStats};
+pub use tree::{BTree, BTreeStats};

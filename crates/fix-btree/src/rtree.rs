@@ -1,0 +1,291 @@
+//! A 2-D R-tree (STR bulk-loaded) over feature points — the paper's
+//! closing future-work item: "we plan to move the index to R-tree or other
+//! high-dimensional indexing trees to gain further pruning power".
+//!
+//! FIX's containment probe is a *quadrant* query: report entries with
+//! `λ_max ≥ q.λ_max ∧ λ_min ≤ q.λ_min`. On a B-tree sorted by λ_max the
+//! probe scans the whole suffix and post-filters on λ_min; an R-tree can
+//! prune on both dimensions at once. The `ablation` bench compares the
+//! two probe structures' visited-entry counts.
+
+/// A 2-D point with a `u64` payload (the index entry value).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// First dimension (λ_max).
+    pub x: f64,
+    /// Second dimension (λ_min).
+    pub y: f64,
+    /// Payload.
+    pub value: u64,
+}
+
+/// Minimum bounding rectangle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Mbr {
+    x0: f64,
+    x1: f64,
+    y0: f64,
+    y1: f64,
+}
+
+impl Mbr {
+    fn of_points(pts: &[Point]) -> Mbr {
+        let mut m = Mbr {
+            x0: f64::INFINITY,
+            x1: f64::NEG_INFINITY,
+            y0: f64::INFINITY,
+            y1: f64::NEG_INFINITY,
+        };
+        for p in pts {
+            m.x0 = m.x0.min(p.x);
+            m.x1 = m.x1.max(p.x);
+            m.y0 = m.y0.min(p.y);
+            m.y1 = m.y1.max(p.y);
+        }
+        m
+    }
+
+    fn union(&self, o: &Mbr) -> Mbr {
+        Mbr {
+            x0: self.x0.min(o.x0),
+            x1: self.x1.max(o.x1),
+            y0: self.y0.min(o.y0),
+            y1: self.y1.max(o.y1),
+        }
+    }
+
+    /// Could this rectangle contain a point of the quadrant
+    /// `x ≥ qx ∧ y ≤ qy`?
+    fn intersects_quadrant(&self, qx: f64, qy: f64) -> bool {
+        self.x1 >= qx && self.y0 <= qy
+    }
+}
+
+enum Node {
+    Leaf(Vec<Point>),
+    Inner(Vec<(Mbr, Node)>),
+}
+
+/// Probe statistics: how much of the structure a query visited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RTreeProbeStats {
+    /// Internal + leaf nodes visited.
+    pub nodes_visited: usize,
+    /// Points tested against the predicate.
+    pub points_tested: usize,
+}
+
+/// An STR bulk-loaded R-tree (static — FIX probes dominate; rebuilds are
+/// linear-ish and the comparison target, the B-tree index, is also
+/// bulk-loaded for the clustered variant).
+pub struct RTree {
+    root: Option<(Mbr, Node)>,
+    len: usize,
+    fanout: usize,
+}
+
+impl RTree {
+    /// Bulk-loads with the Sort-Tile-Recursive packing.
+    pub fn bulk_load(mut points: Vec<Point>, fanout: usize) -> Self {
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let len = points.len();
+        if points.is_empty() {
+            return Self {
+                root: None,
+                len: 0,
+                fanout,
+            };
+        }
+        // STR: sort by x, cut into √(n/f) vertical slabs, sort each slab
+        // by y, pack leaves of `fanout` points.
+        points.sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite coordinates"));
+        let n_leaves = points.len().div_ceil(fanout);
+        let slabs = (n_leaves as f64).sqrt().ceil() as usize;
+        let slab_size = points.len().div_ceil(slabs.max(1));
+        let mut leaves: Vec<(Mbr, Node)> = Vec::with_capacity(n_leaves);
+        for slab in points.chunks(slab_size.max(1)) {
+            let mut slab = slab.to_vec();
+            slab.sort_by(|a, b| a.y.partial_cmp(&b.y).expect("finite coordinates"));
+            for group in slab.chunks(fanout) {
+                leaves.push((Mbr::of_points(group), Node::Leaf(group.to_vec())));
+            }
+        }
+        // Pack upward.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
+            let mut iter = level.into_iter().peekable();
+            while iter.peek().is_some() {
+                let group: Vec<(Mbr, Node)> = iter.by_ref().take(fanout).collect();
+                let mbr = group
+                    .iter()
+                    .map(|(m, _)| *m)
+                    .reduce(|a, b| a.union(&b))
+                    .expect("non-empty group");
+                next.push((mbr, Node::Inner(group)));
+            }
+            level = next;
+        }
+        Self {
+            root: level.pop(),
+            len,
+            fanout,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no point is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The configured fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Quadrant query: every point with `x ≥ qx ∧ y ≤ qy` (the FIX
+    /// containment probe), plus visit statistics.
+    pub fn query_quadrant(&self, qx: f64, qy: f64) -> (Vec<Point>, RTreeProbeStats) {
+        let mut out = Vec::new();
+        let mut stats = RTreeProbeStats::default();
+        if let Some((mbr, node)) = &self.root {
+            if mbr.intersects_quadrant(qx, qy) {
+                Self::visit(node, qx, qy, &mut out, &mut stats);
+            }
+        }
+        (out, stats)
+    }
+
+    fn visit(node: &Node, qx: f64, qy: f64, out: &mut Vec<Point>, stats: &mut RTreeProbeStats) {
+        stats.nodes_visited += 1;
+        match node {
+            Node::Leaf(points) => {
+                for p in points {
+                    stats.points_tested += 1;
+                    if p.x >= qx && p.y <= qy {
+                        out.push(*p);
+                    }
+                }
+            }
+            Node::Inner(children) => {
+                for (mbr, child) in children {
+                    if mbr.intersects_quadrant(qx, qy) {
+                        Self::visit(child, qx, qy, out, stats);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                pts.push(Point {
+                    x: i as f64,
+                    y: -(j as f64),
+                    value: (i * n + j) as u64,
+                });
+            }
+        }
+        pts
+    }
+
+    fn brute(pts: &[Point], qx: f64, qy: f64) -> Vec<u64> {
+        let mut v: Vec<u64> = pts
+            .iter()
+            .filter(|p| p.x >= qx && p.y <= qy)
+            .map(|p| p.value)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn quadrant_queries_match_brute_force() {
+        let pts = grid(12);
+        let t = RTree::bulk_load(pts.clone(), 8);
+        assert_eq!(t.len(), 144);
+        for (qx, qy) in [
+            (0.0, 0.0),
+            (5.5, -3.5),
+            (11.0, -11.0),
+            (12.5, 1.0),
+            (-1.0, -20.0),
+        ] {
+            let (got, _) = t.query_quadrant(qx, qy);
+            let mut got: Vec<u64> = got.iter().map(|p| p.value).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute(&pts, qx, qy), "query ({qx},{qy})");
+        }
+    }
+
+    #[test]
+    fn pseudo_random_points_match_brute_force() {
+        let mut seed = 0xACE1u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed % 10_000) as f64 / 100.0
+        };
+        let pts: Vec<Point> = (0..3000)
+            .map(|i| Point {
+                x: next(),
+                y: -next(),
+                value: i,
+            })
+            .collect();
+        let t = RTree::bulk_load(pts.clone(), 16);
+        for _ in 0..20 {
+            let (qx, qy) = (next(), -next());
+            let (got, stats) = t.query_quadrant(qx, qy);
+            let mut got: Vec<u64> = got.iter().map(|p| p.value).collect();
+            got.sort_unstable();
+            assert_eq!(got, brute(&pts, qx, qy));
+            assert!(stats.nodes_visited >= 1);
+        }
+    }
+
+    #[test]
+    fn selective_probes_visit_little() {
+        // A probe matching nothing should prune subtrees, not test every
+        // point.
+        let pts = grid(40); // 1600 points
+        let t = RTree::bulk_load(pts, 16);
+        let (hits, stats) = t.query_quadrant(1e9, -1e9);
+        assert!(hits.is_empty());
+        assert!(
+            stats.points_tested < 200,
+            "expected pruning, tested {}",
+            stats.points_tested
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let t = RTree::bulk_load(Vec::new(), 8);
+        assert!(t.is_empty());
+        assert!(t.query_quadrant(0.0, 0.0).0.is_empty());
+        let t = RTree::bulk_load(
+            vec![Point {
+                x: 1.0,
+                y: -1.0,
+                value: 7,
+            }],
+            8,
+        );
+        assert_eq!(t.query_quadrant(0.5, 0.0).0.len(), 1);
+        assert_eq!(t.query_quadrant(1.5, 0.0).0.len(), 0);
+    }
+}

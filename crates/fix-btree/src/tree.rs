@@ -1,0 +1,555 @@
+//! The B+-tree proper.
+//!
+//! Nodes live on buffer-pool pages. For modification we deserialize a node
+//! into memory, mutate, and re-serialize — with ~200 entries per page this
+//! costs a memcpy and keeps the split logic obviously correct; the I/O
+//! pattern (the part the experiments measure) is identical to an in-place
+//! implementation.
+
+use std::sync::Arc;
+
+use fix_storage::{BufferPool, PageId, PAGE_SIZE};
+
+/// Offset of the entry area in a node page.
+const HDR: usize = 12;
+/// "No next leaf" sentinel.
+const NO_PAGE: u64 = u64::MAX;
+
+/// Tree shape statistics (Table 1 reports index sizes; benches report I/O).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeStats {
+    /// Height (1 = a single leaf).
+    pub height: usize,
+    /// Number of pages owned by the tree.
+    pub pages: u64,
+    /// Number of key/value entries.
+    pub entries: u64,
+    /// Page-granular size in bytes.
+    pub size_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(Vec<u8>, u64)>,
+        next: u64,
+    },
+    Internal {
+        keys: Vec<Vec<u8>>,
+        children: Vec<u64>,
+    },
+}
+
+/// A B+-tree with fixed-length byte keys and `u64` values.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    key_len: usize,
+    root: PageId,
+    height: usize,
+    entries: u64,
+    pages: u64,
+}
+
+impl BTree {
+    /// Creates an empty tree with `key_len`-byte keys on `pool`.
+    pub fn new(pool: Arc<BufferPool>, key_len: usize) -> Self {
+        assert!((1..=256).contains(&key_len), "unsupported key length");
+        let root = pool.allocate();
+        let mut t = Self {
+            pool,
+            key_len,
+            root,
+            height: 1,
+            entries: 0,
+            pages: 1,
+        };
+        t.store(
+            root,
+            &Node::Leaf {
+                entries: Vec::new(),
+                next: NO_PAGE,
+            },
+        );
+        t
+    }
+
+    /// Max entries in a leaf page.
+    fn leaf_cap(&self) -> usize {
+        (PAGE_SIZE - HDR) / (self.key_len + 8)
+    }
+
+    /// Max keys in an internal page (children = keys + 1).
+    fn internal_cap(&self) -> usize {
+        (PAGE_SIZE - HDR - 8) / (self.key_len + 8)
+    }
+
+    fn load(&self, page: PageId) -> Node {
+        let key_len = self.key_len;
+        self.pool.with_page(page, |b| {
+            let kind = b[0];
+            let count = u16::from_le_bytes([b[2], b[3]]) as usize;
+            if kind == 0 {
+                let next = u64::from_le_bytes(b[4..12].try_into().expect("8"));
+                let stride = key_len + 8;
+                let entries = (0..count)
+                    .map(|i| {
+                        let off = HDR + i * stride;
+                        let key = b[off..off + key_len].to_vec();
+                        let val = u64::from_le_bytes(
+                            b[off + key_len..off + stride].try_into().expect("8"),
+                        );
+                        (key, val)
+                    })
+                    .collect();
+                Node::Leaf { entries, next }
+            } else {
+                let mut children = Vec::with_capacity(count + 1);
+                for i in 0..=count {
+                    let off = HDR + i * 8;
+                    children.push(u64::from_le_bytes(b[off..off + 8].try_into().expect("8")));
+                }
+                let key_base = HDR + (count + 1) * 8;
+                let keys = (0..count)
+                    .map(|i| {
+                        let off = key_base + i * key_len;
+                        b[off..off + key_len].to_vec()
+                    })
+                    .collect();
+                Node::Internal { keys, children }
+            }
+        })
+    }
+
+    fn store(&mut self, page: PageId, node: &Node) {
+        let key_len = self.key_len;
+        let leaf_cap = self.leaf_cap();
+        let internal_cap = self.internal_cap();
+        self.pool.with_page_mut(page, |b| match node {
+            Node::Leaf { entries, next } => {
+                assert!(entries.len() <= leaf_cap, "leaf overflow");
+                b[0] = 0;
+                b[2..4].copy_from_slice(&(entries.len() as u16).to_le_bytes());
+                b[4..12].copy_from_slice(&next.to_le_bytes());
+                let stride = key_len + 8;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    let off = HDR + i * stride;
+                    b[off..off + key_len].copy_from_slice(k);
+                    b[off + key_len..off + stride].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            Node::Internal { keys, children } => {
+                assert!(keys.len() <= internal_cap, "internal overflow");
+                assert_eq!(children.len(), keys.len() + 1);
+                b[0] = 1;
+                b[2..4].copy_from_slice(&(keys.len() as u16).to_le_bytes());
+                for (i, c) in children.iter().enumerate() {
+                    let off = HDR + i * 8;
+                    b[off..off + 8].copy_from_slice(&c.to_le_bytes());
+                }
+                let key_base = HDR + children.len() * 8;
+                for (i, k) in keys.iter().enumerate() {
+                    let off = key_base + i * key_len;
+                    b[off..off + key_len].copy_from_slice(k);
+                }
+            }
+        });
+    }
+
+    fn alloc(&mut self) -> PageId {
+        self.pages += 1;
+        self.pool.allocate()
+    }
+
+    /// Inserts `(key, value)`. Equal keys are allowed (they are stored
+    /// adjacently); FIX keys carry a sequence suffix and are unique.
+    ///
+    /// # Panics
+    /// Panics if `key.len()` differs from the tree's key length.
+    pub fn insert(&mut self, key: &[u8], value: u64) {
+        assert_eq!(key.len(), self.key_len, "key length mismatch");
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            let new_root = self.alloc();
+            let node = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root.0, right.0],
+            };
+            self.store(new_root, &node);
+            self.root = new_root;
+            self.height += 1;
+        }
+        self.entries += 1;
+    }
+
+    fn insert_rec(&mut self, page: PageId, key: &[u8], value: u64) -> Option<(Vec<u8>, PageId)> {
+        match self.load(page) {
+            Node::Leaf { mut entries, next } => {
+                let pos = entries.partition_point(|(k, _)| k.as_slice() <= key);
+                entries.insert(pos, (key.to_vec(), value));
+                if entries.len() <= self.leaf_cap() {
+                    self.store(page, &Node::Leaf { entries, next });
+                    return None;
+                }
+                // Split.
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_page = self.alloc();
+                self.store(
+                    right_page,
+                    &Node::Leaf {
+                        entries: right_entries,
+                        next,
+                    },
+                );
+                self.store(
+                    page,
+                    &Node::Leaf {
+                        entries,
+                        next: right_page.0,
+                    },
+                );
+                Some((sep, right_page))
+            }
+            Node::Internal {
+                mut keys,
+                mut children,
+            } => {
+                // Child i covers keys in [keys[i-1], keys[i]).
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let child = PageId(children[idx]);
+                let (sep, right) = self.insert_rec(child, key, value)?;
+                keys.insert(idx, sep);
+                children.insert(idx + 1, right.0);
+                if keys.len() <= self.internal_cap() {
+                    self.store(page, &Node::Internal { keys, children });
+                    return None;
+                }
+                // Split; the middle key moves up.
+                let mid = keys.len() / 2;
+                let up = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `up`
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.alloc();
+                self.store(
+                    right_page,
+                    &Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                );
+                self.store(page, &Node::Internal { keys, children });
+                Some((up, right_page))
+            }
+        }
+    }
+
+    /// Exact lookup: the value of the *first* entry with exactly `key`.
+    pub fn get(&self, key: &[u8]) -> Option<u64> {
+        self.range(key, None)
+            .next()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Iterates entries with `start ≤ key` (and `key < end` if an end bound
+    /// is given), in key order.
+    pub fn range<'a>(&'a self, start: &[u8], end: Option<&[u8]>) -> RangeScan<'a> {
+        assert_eq!(start.len(), self.key_len);
+        // Descend to the leaf that may contain `start`.
+        let mut page = self.root;
+        loop {
+            match self.load(page) {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= start);
+                    page = PageId(children[idx]);
+                }
+                Node::Leaf { entries, next } => {
+                    let pos = entries.partition_point(|(k, _)| k.as_slice() < start);
+                    return RangeScan {
+                        tree: self,
+                        entries,
+                        pos,
+                        next,
+                        end: end.map(<[u8]>::to_vec),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Iterates the whole tree in key order.
+    pub fn iter(&self) -> RangeScan<'_> {
+        let start = vec![0u8; self.key_len];
+        self.range(&start, None)
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> BTreeStats {
+        BTreeStats {
+            height: self.height,
+            pages: self.pages,
+            entries: self.entries,
+            size_bytes: self.pages * PAGE_SIZE as u64,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.entries
+    }
+
+    /// True if no entry was inserted.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// The tree's buffer pool (shared I/O statistics).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Verifies B+-tree invariants (test/diagnostic helper): key order
+    /// within and across nodes, child counts, and uniform leaf depth.
+    /// Returns the total entry count found.
+    pub fn check_invariants(&self) -> u64 {
+        fn rec(
+            t: &BTree,
+            page: PageId,
+            lo: Option<&[u8]>,
+            hi: Option<&[u8]>,
+            depth: usize,
+            leaf_depth: &mut Option<usize>,
+        ) -> u64 {
+            match t.load(page) {
+                Node::Leaf { entries, .. } => {
+                    match leaf_depth {
+                        Some(d) => assert_eq!(*d, depth, "ragged leaf depth"),
+                        None => *leaf_depth = Some(depth),
+                    }
+                    for w in entries.windows(2) {
+                        assert!(w[0].0 <= w[1].0, "leaf keys out of order");
+                    }
+                    if let (Some(lo), Some((k, _))) = (lo, entries.first()) {
+                        assert!(k.as_slice() >= lo, "leaf key below lower bound");
+                    }
+                    if let (Some(hi), Some((k, _))) = (hi, entries.last()) {
+                        assert!(
+                            k.as_slice() < hi || k.as_slice() <= hi,
+                            "leaf key above bound"
+                        );
+                    }
+                    entries.len() as u64
+                }
+                Node::Internal { keys, children } => {
+                    assert!(!keys.is_empty(), "empty internal node");
+                    assert_eq!(children.len(), keys.len() + 1);
+                    for w in keys.windows(2) {
+                        assert!(w[0] <= w[1], "internal keys out of order");
+                    }
+                    let mut total = 0;
+                    for (i, &c) in children.iter().enumerate() {
+                        let lo2 = if i == 0 {
+                            lo
+                        } else {
+                            Some(keys[i - 1].as_slice())
+                        };
+                        let hi2 = keys.get(i).map(Vec::as_slice).or(hi);
+                        total += rec(t, PageId(c), lo2, hi2, depth + 1, leaf_depth);
+                    }
+                    total
+                }
+            }
+        }
+        let mut leaf_depth = None;
+        let found = rec(self, self.root, None, None, 1, &mut leaf_depth);
+        assert_eq!(found, self.entries, "entry count mismatch");
+        found
+    }
+}
+
+/// Iterator over a key range, following the leaf chain.
+pub struct RangeScan<'a> {
+    tree: &'a BTree,
+    entries: Vec<(Vec<u8>, u64)>,
+    pos: usize,
+    next: u64,
+    end: Option<Vec<u8>>,
+}
+
+impl Iterator for RangeScan<'_> {
+    type Item = (Vec<u8>, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let (k, v) = &self.entries[self.pos];
+                if let Some(end) = &self.end {
+                    if k >= end {
+                        return None;
+                    }
+                }
+                self.pos += 1;
+                return Some((k.clone(), *v));
+            }
+            if self.next == NO_PAGE {
+                return None;
+            }
+            match self.tree.load(PageId(self.next)) {
+                Node::Leaf { entries, next } => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.next = next;
+                }
+                Node::Internal { .. } => unreachable!("leaf chain points to internal node"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(key_len: usize) -> BTree {
+        BTree::new(Arc::new(BufferPool::in_memory(64)), key_len)
+    }
+
+    fn key8(v: u64) -> Vec<u8> {
+        v.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = tree(8);
+        t.insert(&key8(5), 50);
+        t.insert(&key8(1), 10);
+        t.insert(&key8(9), 90);
+        assert_eq!(t.get(&key8(5)), Some(50));
+        assert_eq!(t.get(&key8(1)), Some(10));
+        assert_eq!(t.get(&key8(2)), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn many_inserts_split_and_stay_sorted() {
+        let mut t = tree(8);
+        // Insert in a scrambled but deterministic order.
+        let n = 5000u64;
+        let mut v: Vec<u64> = (0..n).collect();
+        // Deterministic shuffle.
+        let mut seed = 42u64;
+        for i in (1..v.len()).rev() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let j = (seed % (i as u64 + 1)) as usize;
+            v.swap(i, j);
+        }
+        for &x in &v {
+            t.insert(&key8(x), x * 2);
+        }
+        assert_eq!(t.len(), n);
+        assert!(t.stats().height >= 2, "{:?}", t.stats());
+        t.check_invariants();
+        // Full scan is sorted and complete.
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all.len(), n as usize);
+        for (i, (k, val)) in all.iter().enumerate() {
+            assert_eq!(k, &key8(i as u64));
+            assert_eq!(*val, i as u64 * 2);
+        }
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let mut t = tree(8);
+        for i in 0..100u64 {
+            t.insert(&key8(i * 10), i);
+        }
+        let got: Vec<u64> = t
+            .range(&key8(250), Some(&key8(500)))
+            .map(|(_, v)| v)
+            .collect();
+        // Keys 250..500 exclusive → 250,260,...,490 → values 25..49.
+        assert_eq!(got, (25..50).collect::<Vec<_>>());
+        // Start below the smallest key.
+        let from_start: Vec<u64> = t.range(&key8(0), Some(&key8(30))).map(|(_, v)| v).collect();
+        assert_eq!(from_start, vec![0, 1, 2]);
+        // Empty range.
+        assert_eq!(t.range(&key8(991), None).count(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_are_kept() {
+        let mut t = tree(8);
+        for v in 0..10u64 {
+            t.insert(&key8(7), v);
+        }
+        let vals: Vec<u64> = t.range(&key8(7), Some(&key8(8))).map(|(_, v)| v).collect();
+        assert_eq!(vals.len(), 10);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn sequential_inserts() {
+        let mut t = tree(8);
+        for i in 0..3000u64 {
+            t.insert(&key8(i), i);
+        }
+        t.check_invariants();
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all.len(), 3000);
+    }
+
+    #[test]
+    fn reverse_sequential_inserts() {
+        let mut t = tree(8);
+        for i in (0..3000u64).rev() {
+            t.insert(&key8(i), i);
+        }
+        t.check_invariants();
+        assert_eq!(t.iter().count(), 3000);
+    }
+
+    #[test]
+    fn wide_keys() {
+        let mut t = tree(28);
+        let mk = |i: u64| {
+            let mut k = vec![0u8; 28];
+            k[20..28].copy_from_slice(&i.to_be_bytes());
+            k
+        };
+        for i in 0..2000 {
+            t.insert(&mk(i), i);
+        }
+        t.check_invariants();
+        let got: Vec<u64> = t.range(&mk(100), Some(&mk(110))).map(|(_, v)| v).collect();
+        assert_eq!(got, (100..110).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_track_shape() {
+        let mut t = tree(8);
+        let s0 = t.stats();
+        assert_eq!(s0.height, 1);
+        assert_eq!(s0.pages, 1);
+        for i in 0..10_000u64 {
+            t.insert(&key8(i), i);
+        }
+        let s = t.stats();
+        assert!(s.height >= 2);
+        assert!(s.pages > 10);
+        assert_eq!(s.entries, 10_000);
+        assert_eq!(s.size_bytes, s.pages * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = tree(8);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&key8(1)), None);
+        assert_eq!(t.iter().count(), 0);
+        t.check_invariants();
+    }
+}

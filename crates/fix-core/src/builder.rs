@@ -1,0 +1,762 @@
+//! Index construction — Algorithm 1 (`CONSTRUCT-INDEX`,
+//! `CONSTRUCT-ENTRIES`, `GEN-SUBPATTERN`, `BTREE-INSERT`).
+//!
+//! Collection mode (`depth_limit == 0`): one entry per document, keyed by
+//! the features of the document's full bisimulation pattern.
+//!
+//! Large-document mode (`depth_limit == k > 0`): one entry per *element*
+//! (Theorem 4), keyed by the features of the depth-`k` subpattern rooted
+//! at that element's bisimulation vertex. Features are memoized per vertex,
+//! so eigenvalues are computed once per distinct pattern, not once per
+//! element. (Deviation from the paper's Algorithm 1: we do not switch
+//! shallow documents to whole-document entries inside large-document mode —
+//! mixing entry granularities would let a root-label probe miss
+//! whole-document entries; enumerating per element keeps Theorem 5 intact
+//! at the cost of a few extra entries.)
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fix_bisim::{BisimBuilder, BisimGraph, SubpatternForest, VertexId};
+use fix_btree::BTree;
+use fix_spectral::{EdgeEncoder, Features};
+use fix_storage::{BufferPool, HeapFile, IoStats, RecordId};
+use fix_xml::{Document, LabelId, LabelTable, NodeId, NodeKind, TreeEventSource};
+
+use crate::collection::{Collection, DocId};
+use crate::key::{EntryPtr, IndexKey, KEY_LEN};
+use crate::options::FixOptions;
+use crate::values::ValueHasher;
+
+/// Construction statistics (the Table 1 columns on the index side).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BuildStats {
+    /// Number of B-tree entries.
+    pub entries: u64,
+    /// Distinct patterns whose eigenvalues were actually computed.
+    pub distinct_patterns: u64,
+    /// Entries stored with the `[0, ∞]` oversized-pattern fallback.
+    pub fallbacks: u64,
+    /// Wall-clock construction time (the paper's ICT column).
+    pub build_time: Duration,
+    /// Vertices in the shared bisimulation graph.
+    pub bisim_vertices: usize,
+    /// Edges in the shared bisimulation graph.
+    pub bisim_edges: usize,
+    /// B-tree size in bytes (unclustered index size).
+    pub btree_bytes: u64,
+    /// Clustered copy size in bytes (0 for unclustered indexes).
+    pub clustered_bytes: u64,
+}
+
+impl BuildStats {
+    /// Total index size: B-tree plus (for clustered indexes) the copies.
+    pub fn index_bytes(&self) -> u64 {
+        self.btree_bytes + self.clustered_bytes
+    }
+}
+
+/// The mutable construction state that incremental insertion keeps alive:
+/// the shared bisimulation graph, the truncation forest, and the feature
+/// memo. Dropped for clustered indexes (their copies live in key order and
+/// cannot absorb appends) and for indexes loaded from disk.
+pub(crate) struct IncrementalState {
+    graph: BisimGraph,
+    forest: SubpatternForest,
+    feat_memo: HashMap<VertexId, (Features, bool)>,
+    value_labels: HashSet<LabelId>,
+    seq: u32,
+    fallbacks: u64,
+}
+
+impl IncrementalState {
+    fn new() -> Self {
+        Self {
+            graph: BisimGraph::new(),
+            forest: SubpatternForest::new(),
+            feat_memo: HashMap::new(),
+            value_labels: HashSet::new(),
+            seq: 0,
+            fallbacks: 0,
+        }
+    }
+}
+
+/// The FIX index over a [`Collection`].
+pub struct FixIndex {
+    pub(crate) opts: FixOptions,
+    pub(crate) btree: BTree,
+    pub(crate) encoder: EdgeEncoder,
+    pub(crate) hasher: Option<ValueHasher>,
+    /// Clustered copies (subtree serializations in key order).
+    pub(crate) clustered: Option<HeapFile>,
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) stats: BuildStats,
+    pub(crate) incremental: Option<IncrementalState>,
+    /// Tombstoned documents: their entries stay in the B-tree but are
+    /// filtered out of candidate sets until [`FixIndex::vacuum`].
+    pub(crate) removed: std::collections::HashSet<DocId>,
+}
+
+/// Indexes one document: streams it into the shared bisimulation graph and
+/// emits one `(key, ptr)` entry per indexable unit, either straight into
+/// the B-tree (unclustered) or into `pending` (clustered bulk-load).
+#[allow(clippy::too_many_arguments)]
+fn index_document(
+    doc_id: DocId,
+    doc: &Document,
+    labels: &mut LabelTable,
+    opts: &FixOptions,
+    state: &mut IncrementalState,
+    encoder: &mut EdgeEncoder,
+    hasher: &Option<ValueHasher>,
+    btree: &mut BTree,
+    pending: &mut Vec<([u8; KEY_LEN], EntryPtr)>,
+) {
+    let depth_limit = opts.depth_limit;
+    let builder = BisimBuilder::new(&mut state.graph);
+    let builder = if depth_limit > 0 {
+        builder.record_all_elements()
+    } else {
+        builder
+    };
+    let info = match hasher {
+        Some(h) => {
+            let vl: &mut HashSet<LabelId> = &mut state.value_labels;
+            let mut src = TreeEventSource::whole(doc).with_value_labels(|t| {
+                let l = h.label_interning(t, labels);
+                vl.insert(l);
+                l
+            });
+            builder.run(&mut src)
+        }
+        None => builder.run(&mut TreeEventSource::whole(doc)),
+    };
+    let unit_entries: Vec<(VertexId, u64)> = if depth_limit == 0 {
+        vec![(info.root, info.root_ptr)]
+    } else {
+        info.closed
+            .iter()
+            .copied()
+            .filter(|&(v, _)| !state.value_labels.contains(&state.graph.label(v)))
+            .collect()
+    };
+    for (vertex, ptr) in unit_entries {
+        let limit = if depth_limit == 0 {
+            usize::MAX
+        } else {
+            depth_limit
+        };
+        let pat_root = if opts.literal_gen_subpattern {
+            // Paper-literal path: unfold + re-minimize, then merge the
+            // standalone pattern into the forest graph so the feature memo
+            // still dedups identical patterns.
+            let (pat, pinfo) = fix_bisim::subpattern(&state.graph, vertex, limit);
+            state.forest.adopt(&pat, pinfo.root)
+        } else {
+            state.forest.truncate(&state.graph, vertex, limit)
+        };
+        // `fallbacks` counts *distinct* oversized patterns (the quantity
+        // the paper reports), so bump it only on a fresh memo insertion.
+        if !state.feat_memo.contains_key(&pat_root) {
+            let extracted =
+                opts.extractor
+                    .extract_interning(state.forest.graph(), pat_root, encoder);
+            if extracted.1 {
+                state.fallbacks += 1;
+            }
+            state.feat_memo.insert(pat_root, extracted);
+        }
+        let (features, _) = state.feat_memo[&pat_root];
+        let key = IndexKey::new(&features, state.seq).encode();
+        state.seq = state.seq.checked_add(1).expect("entry space exhausted");
+        let entry = EntryPtr {
+            doc: doc_id,
+            node: ptr as u32,
+        };
+        if opts.clustered {
+            pending.push((key, entry));
+        } else {
+            btree.insert(&key, entry.to_u64());
+        }
+    }
+}
+
+impl FixIndex {
+    /// Builds the index per Algorithm 1. The collection's label table is
+    /// extended with value labels when the value extension is enabled.
+    pub fn build(coll: &mut Collection, opts: FixOptions) -> FixIndex {
+        let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
+        Self::build_on(coll, opts, pool)
+    }
+
+    /// Builds the index with its pages on disk at `path` (a real
+    /// `FileBackend` behind the buffer pool — the configuration for
+    /// corpora larger than memory). The resulting index behaves
+    /// identically; only the page I/O is physical.
+    pub fn build_on_disk(
+        coll: &mut Collection,
+        opts: FixOptions,
+        path: &std::path::Path,
+    ) -> std::io::Result<FixIndex> {
+        let backend = fix_storage::FileBackend::create(path)?;
+        let pool = Arc::new(BufferPool::new(Box::new(backend), opts.pool_pages));
+        Ok(Self::build_on(coll, opts, pool))
+    }
+
+    fn build_on(coll: &mut Collection, opts: FixOptions, pool: Arc<BufferPool>) -> FixIndex {
+        let start = Instant::now();
+        let mut btree = BTree::new(Arc::clone(&pool), KEY_LEN);
+        let mut encoder = EdgeEncoder::new();
+        let hasher = opts.value_beta.map(ValueHasher::new);
+        let mut state = IncrementalState::new();
+        // Clustered mode buffers (key, ptr) and bulk-loads in key order.
+        let mut pending: Vec<([u8; KEY_LEN], EntryPtr)> = Vec::new();
+
+        let depth_limit = opts.depth_limit;
+        let (labels, docs) = coll.split_mut();
+        for (i, doc) in docs.iter().enumerate() {
+            index_document(
+                DocId(i as u32),
+                doc,
+                labels,
+                &opts,
+                &mut state,
+                &mut encoder,
+                &hasher,
+                &mut btree,
+                &mut pending,
+            );
+        }
+
+        // Clustered: copy each entry's (truncated) subtree into a heap in
+        // key order, then bulk-insert (key → record) sequentially.
+        let clustered = if opts.clustered {
+            pending.sort_unstable_by_key(|a| a.0);
+            let mut heap = HeapFile::new(Arc::clone(&pool));
+            for (key, ptr) in &pending {
+                let doc = coll.doc(ptr.doc);
+                let xml = serialize_truncated(
+                    doc,
+                    &coll.labels,
+                    NodeId(ptr.node),
+                    if depth_limit == 0 {
+                        usize::MAX
+                    } else {
+                        depth_limit
+                    },
+                );
+                let mut record = Vec::with_capacity(8 + xml.len());
+                record.extend_from_slice(&ptr.to_u64().to_le_bytes());
+                record.extend_from_slice(xml.as_bytes());
+                let rid = heap.append(&record);
+                btree.insert(key, rid.to_u64());
+            }
+            Some(heap)
+        } else {
+            None
+        };
+
+        let stats = BuildStats {
+            entries: btree.len(),
+            distinct_patterns: state.feat_memo.len() as u64,
+            fallbacks: state.fallbacks,
+            build_time: start.elapsed(),
+            bisim_vertices: state.graph.len(),
+            bisim_edges: state.graph.edge_count(),
+            btree_bytes: btree.stats().size_bytes,
+            clustered_bytes: clustered.as_ref().map(HeapFile::size_bytes).unwrap_or(0),
+        };
+        let incremental = if opts.clustered { None } else { Some(state) };
+        FixIndex {
+            opts,
+            btree,
+            encoder,
+            hasher,
+            clustered,
+            pool,
+            stats,
+            incremental,
+            removed: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Tombstones a document: its entries stop appearing in candidate sets
+    /// immediately; the B-tree space is reclaimed by [`FixIndex::vacuum`].
+    pub fn remove_document(&mut self, doc: DocId) {
+        self.removed.insert(doc);
+    }
+
+    /// True if `doc` has been tombstoned.
+    pub fn is_removed(&self, doc: DocId) -> bool {
+        self.removed.contains(&doc)
+    }
+
+    /// Number of tombstoned documents.
+    pub fn removed_count(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Rebuilds the database without tombstoned documents. Document ids
+    /// are re-assigned densely; returns the fresh `(collection, index)`
+    /// pair.
+    pub fn vacuum(&self, coll: &Collection) -> (Collection, FixIndex) {
+        let mut fresh = Collection::new();
+        for (id, d) in coll.iter() {
+            if !self.removed.contains(&id) {
+                let xml = fix_xml::to_xml_string(d, &coll.labels);
+                fresh.add_xml(&xml).expect("re-serialized document parses");
+            }
+        }
+        let idx = FixIndex::build(&mut fresh, self.opts.clone());
+        (fresh, idx)
+    }
+
+    /// Incrementally indexes a new document (unclustered indexes only —
+    /// the clustered copy store is key-ordered and cannot absorb appends;
+    /// indexes loaded from disk have dropped their construction state).
+    /// Returns the new document's id, or `None` if this index cannot
+    /// accept inserts.
+    ///
+    /// This is the update story the clustering indexes lack (the paper's
+    /// Section 1 criticism of F&B: "updating … could be expensive"): an
+    /// insert streams only the new document, reusing the shared
+    /// bisimulation graph and feature memo.
+    pub fn insert_xml(
+        &mut self,
+        coll: &mut Collection,
+        xml: &str,
+    ) -> Result<Option<DocId>, fix_xml::ParseError> {
+        if self.incremental.is_none() {
+            return Ok(None);
+        }
+        let doc_id = coll.add_xml(xml)?;
+        let state = self.incremental.as_mut().expect("checked above");
+        let (labels, docs) = coll.split_mut();
+        let mut pending = Vec::new();
+        index_document(
+            doc_id,
+            &docs[doc_id.0 as usize],
+            labels,
+            &self.opts,
+            state,
+            &mut self.encoder,
+            &self.hasher,
+            &mut self.btree,
+            &mut pending,
+        );
+        debug_assert!(pending.is_empty(), "unclustered inserts bypass pending");
+        self.stats.entries = self.btree.len();
+        self.stats.distinct_patterns = state.feat_memo.len() as u64;
+        self.stats.fallbacks = state.fallbacks;
+        self.stats.bisim_vertices = state.graph.len();
+        self.stats.bisim_edges = state.graph.edge_count();
+        self.stats.btree_bytes = self.btree.stats().size_bytes;
+        Ok(Some(doc_id))
+    }
+
+    /// Construction statistics.
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The index configuration.
+    pub fn options(&self) -> &FixOptions {
+        &self.opts
+    }
+
+    /// Number of index entries (`ent` in the Section 6.2 metrics).
+    pub fn entry_count(&self) -> u64 {
+        self.btree.len()
+    }
+
+    /// Iterates all index entries as `(decoded key, value)` in key order
+    /// (statistics, persistence, and diagnostics).
+    pub fn entries(&self) -> impl Iterator<Item = (crate::key::IndexKey, u64)> + '_ {
+        self.btree
+            .iter()
+            .map(|(k, v)| (crate::key::IndexKey::decode(&k), v))
+    }
+
+    /// Snapshot of the index storage's I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.pool.stats()
+    }
+
+    /// Resets the index storage's I/O counters (between experiment runs).
+    pub fn reset_io_stats(&self) {
+        self.pool.reset_stats();
+    }
+
+    /// Resolves a clustered B-tree value to its stored `(ptr, xml bytes)`.
+    pub(crate) fn clustered_fetch(&self, value: u64) -> (EntryPtr, Vec<u8>) {
+        let heap = self
+            .clustered
+            .as_ref()
+            .expect("clustered_fetch on an unclustered index");
+        let record = heap.get(RecordId::from_u64(value));
+        let ptr = EntryPtr::from_u64(u64::from_le_bytes(
+            record[0..8].try_into().expect("8-byte ptr prefix"),
+        ));
+        (ptr, record[8..].to_vec())
+    }
+}
+
+/// Serializes the subtree of `node` truncated to `depth` element levels
+/// (the clustered index stores the pattern instance, which is depth-bounded
+/// exactly like the index entries themselves).
+pub(crate) fn serialize_truncated(
+    doc: &Document,
+    labels: &LabelTable,
+    node: NodeId,
+    depth: usize,
+) -> String {
+    fn rec(doc: &Document, labels: &LabelTable, n: NodeId, depth: usize, out: &mut String) {
+        match doc.kind(n) {
+            NodeKind::Text(_) => {
+                for c in doc.text(n).expect("text node").chars() {
+                    match c {
+                        '&' => out.push_str("&amp;"),
+                        '<' => out.push_str("&lt;"),
+                        '>' => out.push_str("&gt;"),
+                        _ => out.push(c),
+                    }
+                }
+            }
+            NodeKind::Element(l) => {
+                let name = labels.resolve(l);
+                out.push('<');
+                out.push_str(name);
+                if depth <= 1 || doc.first_child(n).is_none() {
+                    out.push_str("/>");
+                    return;
+                }
+                out.push('>');
+                for c in doc.children(n) {
+                    rec(doc, labels, c, depth - 1, out);
+                }
+                out.push_str("</");
+                out.push_str(name);
+                out.push('>');
+            }
+        }
+    }
+    let mut out = String::new();
+    rec(doc, labels, node, depth, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_collection() -> Collection {
+        let mut c = Collection::new();
+        c.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        c.add_xml("<bib><book><author/></book></bib>").unwrap();
+        c.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn collection_mode_one_entry_per_document() {
+        let mut c = small_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        assert_eq!(idx.entry_count(), 3);
+        // Docs 0 and 2 are identical → one distinct pattern each for the
+        // two distinct structures.
+        assert_eq!(idx.stats().distinct_patterns, 2);
+        assert_eq!(idx.stats().fallbacks, 0);
+        assert!(idx.stats().btree_bytes > 0);
+        assert_eq!(idx.stats().clustered_bytes, 0);
+    }
+
+    #[test]
+    fn large_document_mode_one_entry_per_element() {
+        let mut c = Collection::new();
+        c.add_xml("<a><b><c/></b><b><c/></b><d/></a>").unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(2));
+        // 6 elements → 6 entries (Theorem 4).
+        assert_eq!(idx.entry_count(), 6);
+        // Distinct depth-2 patterns: c, b{c}, d, a{b,d} → 4.
+        assert_eq!(idx.stats().distinct_patterns, 4);
+    }
+
+    #[test]
+    fn clustered_build_stores_copies() {
+        let mut c = small_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection().clustered());
+        assert_eq!(idx.entry_count(), 3);
+        assert!(idx.stats().clustered_bytes > 0);
+        // Every B-tree value resolves to a parseable record.
+        for (_, v) in idx.btree.iter() {
+            let (ptr, xml) = idx.clustered_fetch(v);
+            assert!(ptr.doc.0 < 3);
+            assert!(std::str::from_utf8(&xml).unwrap().starts_with("<bib>"));
+        }
+    }
+
+    #[test]
+    fn value_mode_indexes_value_labels_but_not_their_entries() {
+        let mut c = Collection::new();
+        c.add_xml("<dblp><proceedings><publisher>Springer</publisher></proceedings></dblp>")
+            .unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(3).with_values(8));
+        // Entries: dblp, proceedings, publisher — value nodes excluded.
+        assert_eq!(idx.entry_count(), 3);
+        // The value label exists in the shared table.
+        assert!(c.labels.iter().any(|(_, n)| n.starts_with("#v")));
+        assert!(idx.hasher.is_some());
+    }
+
+    #[test]
+    fn truncated_serialization() {
+        let mut c = Collection::new();
+        let id = c.add_xml("<a><b><c><d/></c></b>t</a>").unwrap();
+        let doc = c.doc(id);
+        let root = doc.root();
+        assert_eq!(
+            serialize_truncated(doc, &c.labels, root, usize::MAX),
+            "<a><b><c><d/></c></b>t</a>"
+        );
+        assert_eq!(serialize_truncated(doc, &c.labels, root, 2), "<a><b/>t</a>");
+        assert_eq!(serialize_truncated(doc, &c.labels, root, 1), "<a/>");
+    }
+
+    #[test]
+    fn oversized_patterns_fall_back() {
+        let mut c = Collection::new();
+        c.add_xml("<a><b/><c/><d/><e/></a>").unwrap();
+        let mut opts = FixOptions::collection();
+        opts.extractor.max_edges = 2;
+        let idx = FixIndex::build(&mut c, opts);
+        assert_eq!(idx.stats().fallbacks, 1);
+    }
+
+    #[test]
+    fn identical_documents_share_memoized_features() {
+        let mut c = Collection::new();
+        for _ in 0..50 {
+            c.add_xml("<a><b/><c/></a>").unwrap();
+        }
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        assert_eq!(idx.entry_count(), 50);
+        assert_eq!(idx.stats().distinct_patterns, 1);
+    }
+}
+
+#[cfg(test)]
+mod incremental_tests {
+    use super::*;
+    use crate::metrics::ground_truth;
+    use fix_xpath::parse_path;
+
+    #[test]
+    fn insert_matches_fresh_build() {
+        // Index built incrementally must answer exactly like one built
+        // from scratch over the same documents.
+        let docs = [
+            "<bib><article><author/><ee/></article></bib>",
+            "<bib><book><author><phone/></author></book></bib>",
+            "<bib><article><author><email/></author><title>t</title></article></bib>",
+            "<bib><inproceedings><url/><title><i/></title></inproceedings></bib>",
+        ];
+        let mut all = Collection::new();
+        for d in &docs {
+            all.add_xml(d).unwrap();
+        }
+        let fresh = FixIndex::build(&mut all, FixOptions::large_document(4));
+
+        let mut coll = Collection::new();
+        coll.add_xml(docs[0]).unwrap();
+        let mut inc = FixIndex::build(&mut coll, FixOptions::large_document(4));
+        for d in &docs[1..] {
+            let id = inc.insert_xml(&mut coll, d).unwrap();
+            assert!(id.is_some());
+        }
+        assert_eq!(inc.entry_count(), fresh.entry_count());
+        for q in [
+            "//article[author]/ee",
+            "//author/phone",
+            "//inproceedings[url]/title/i",
+            "//bib/article/title",
+        ] {
+            let a = inc.query(&coll, q).unwrap();
+            let b = fresh.query(&all, q).unwrap();
+            assert_eq!(a.results, b.results, "disagreement on {q}");
+            // No false negatives after inserts.
+            let truth = ground_truth(&coll, &parse_path(q).unwrap(), 4);
+            assert_eq!(a.metrics.producing, truth, "false negative on {q}");
+        }
+    }
+
+    #[test]
+    fn clustered_indexes_reject_inserts() {
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b/></a>").unwrap();
+        let mut idx = FixIndex::build(&mut coll, FixOptions::collection().clustered());
+        let r = idx.insert_xml(&mut coll, "<a><c/></a>").unwrap();
+        assert!(r.is_none(), "clustered index must refuse inserts");
+        assert_eq!(coll.len(), 1, "collection must stay untouched on refusal");
+    }
+
+    #[test]
+    fn inserts_share_memoized_patterns() {
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b/><c/></a>").unwrap();
+        let mut idx = FixIndex::build(&mut coll, FixOptions::collection());
+        let before = idx.stats().distinct_patterns;
+        idx.insert_xml(&mut coll, "<a><b/><c/></a>").unwrap();
+        assert_eq!(
+            idx.stats().distinct_patterns,
+            before,
+            "identical doc reuses pattern"
+        );
+        assert_eq!(idx.entry_count(), 2);
+    }
+
+    #[test]
+    fn value_index_inserts_hash_new_values() {
+        let mut coll = Collection::new();
+        coll.add_xml("<d><p><pub>Springer</pub></p></d>").unwrap();
+        let mut idx = FixIndex::build(&mut coll, FixOptions::large_document(3).with_values(32));
+        idx.insert_xml(&mut coll, "<d><p><pub>Elsevier</pub></p></d>")
+            .unwrap();
+        let out = idx.query(&coll, r#"//p[pub="Elsevier"]"#).unwrap();
+        assert_eq!(out.results.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod tombstone_tests {
+    use super::*;
+
+    fn coll3() -> Collection {
+        let mut c = Collection::new();
+        c.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        c.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        c.add_xml("<bib><book><author/></book></bib>").unwrap();
+        c
+    }
+
+    #[test]
+    fn removed_documents_disappear_from_results() {
+        let mut c = coll3();
+        let mut idx = FixIndex::build(&mut c, FixOptions::collection());
+        assert_eq!(
+            idx.query(&c, "//article[author]/ee").unwrap().results.len(),
+            2
+        );
+        idx.remove_document(DocId(0));
+        let out = idx.query(&c, "//article[author]/ee").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(1));
+        assert!(idx.is_removed(DocId(0)));
+        assert_eq!(idx.removed_count(), 1);
+    }
+
+    #[test]
+    fn clustered_indexes_filter_in_refinement() {
+        let mut c = coll3();
+        let mut idx = FixIndex::build(&mut c, FixOptions::collection().clustered());
+        idx.remove_document(DocId(1));
+        let out = idx.query(&c, "//article[author]/ee").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(0));
+    }
+
+    #[test]
+    fn vacuum_rebuilds_without_tombstones() {
+        let mut c = coll3();
+        let mut idx = FixIndex::build(&mut c, FixOptions::collection());
+        idx.remove_document(DocId(0));
+        let (fresh_coll, fresh_idx) = idx.vacuum(&c);
+        assert_eq!(fresh_coll.len(), 2);
+        assert_eq!(fresh_idx.entry_count(), 2);
+        assert_eq!(fresh_idx.removed_count(), 0);
+        // Same answers as the tombstoned original.
+        let a = idx.query(&c, "//article[author]/ee").unwrap().results.len();
+        let b = fresh_idx
+            .query(&fresh_coll, "//article[author]/ee")
+            .unwrap()
+            .results
+            .len();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tombstones_survive_persistence() {
+        let mut c = coll3();
+        let mut idx = FixIndex::build(&mut c, FixOptions::collection());
+        idx.remove_document(DocId(2));
+        let dir = std::env::temp_dir().join(format!("fix-tomb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.fixdb");
+        crate::persist::save_database(&path, &c, &idx).unwrap();
+        let (lc, li) = crate::persist::load_database(&path).unwrap();
+        assert!(li.is_removed(DocId(2)));
+        assert!(li.query(&lc, "//book/author").unwrap().results.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod disk_tests {
+    use super::*;
+
+    #[test]
+    fn on_disk_build_answers_identically() {
+        let dir = std::env::temp_dir().join(format!("fix-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("index.pages");
+
+        let mut c1 = Collection::new();
+        let mut c2 = Collection::new();
+        for xml in [
+            "<bib><article><author/><ee/></article></bib>",
+            "<bib><book><author><phone/></author></book></bib>",
+            "<bib><article><author><email/></author><title>t</title></article></bib>",
+        ] {
+            c1.add_xml(xml).unwrap();
+            c2.add_xml(xml).unwrap();
+        }
+        let mem = FixIndex::build(&mut c1, FixOptions::large_document(4));
+        let disk = FixIndex::build_on_disk(&mut c2, FixOptions::large_document(4), &pages).unwrap();
+        assert!(pages.exists());
+        assert!(std::fs::metadata(&pages).unwrap().len() > 0);
+        for q in [
+            "//article[author]/ee",
+            "//author/phone",
+            "//bib/article/title",
+        ] {
+            let a = mem.query(&c1, q).unwrap();
+            let b = disk.query(&c2, q).unwrap();
+            assert_eq!(a.results, b.results, "mem/disk disagree on {q}");
+            assert_eq!(a.metrics, b.metrics);
+        }
+        // The disk pool really does physical reads under pressure.
+        disk.reset_io_stats();
+        let _ = disk.query(&c2, "//author").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn on_disk_clustered_build() {
+        let dir = std::env::temp_dir().join(format!("fix-diskc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("clustered.pages");
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b><c/></b><b/></a>").unwrap();
+        let idx =
+            FixIndex::build_on_disk(&mut coll, FixOptions::large_document(3).clustered(), &pages)
+                .unwrap();
+        let out = idx.query(&coll, "//b/c").unwrap();
+        assert_eq!(out.results.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,221 @@
+//! The document collection (primary storage).
+//!
+//! Documents live in in-memory arenas sharing one [`LabelTable`]; the
+//! index stores `(document, node)` pointers into them. (The paper's
+//! primary storage is the NoK succinct physical layout; an arena in
+//! document order is its in-memory equivalent — see DESIGN.md §3.)
+
+use std::sync::Arc;
+
+use fix_storage::{BufferPool, IoStats, PageId, PAGE_SIZE};
+use fix_xml::{parse_document, DocStats, Document, LabelTable, NodeId, ParseError};
+
+/// Index of a document within a [`Collection`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocId(pub u32);
+
+/// Bytes charged per stored node in the paged-storage model (the NoK
+/// succinct storage the paper uses needs ~a dozen bytes per element for
+/// tags and navigation).
+const REC_BYTES: u64 = 16;
+
+/// Simulated paged primary storage: maps each document's preorder node
+/// range onto buffer-pool pages so evaluators can *touch* exactly the
+/// byte ranges they would read from disk. The buffer pool's [`IoStats`]
+/// then reflect the access pattern (sequential full scans for the
+/// navigational baseline, point reads for index refinement) — the quantity
+/// the paper's clustered/unclustered discussion is really about.
+struct PagedStorage {
+    pool: Arc<BufferPool>,
+    /// First page of each document.
+    base: Vec<u64>,
+}
+
+/// A collection of documents with a shared label table.
+#[derive(Default)]
+pub struct Collection {
+    /// Shared label interner (element names + hashed value labels).
+    pub labels: LabelTable,
+    docs: Vec<Document>,
+    storage: Option<PagedStorage>,
+}
+
+impl Collection {
+    /// An empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and adds an XML document; returns its id.
+    pub fn add_xml(&mut self, xml: &str) -> Result<DocId, ParseError> {
+        let doc = parse_document(xml, &mut self.labels)?;
+        Ok(self.add_document(doc))
+    }
+
+    /// Adds an already-built document (its labels must come from
+    /// [`Collection::labels`]).
+    pub fn add_document(&mut self, doc: Document) -> DocId {
+        let id = DocId(u32::try_from(self.docs.len()).expect("collection overflow"));
+        self.docs.push(doc);
+        id
+    }
+
+    /// The document with id `id`.
+    pub fn doc(&self, id: DocId) -> &Document {
+        &self.docs[id.0 as usize]
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if the collection has no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterates `(id, document)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        self.docs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DocId(i as u32), d))
+    }
+
+    /// Enables the paged-storage simulation over the current documents
+    /// with a buffer pool of `pool_pages` frames. Call after loading all
+    /// documents; evaluation paths then charge page reads for the data
+    /// they touch.
+    pub fn enable_paged_storage(&mut self, pool_pages: usize) {
+        let pool = Arc::new(BufferPool::in_memory(pool_pages));
+        let mut base = Vec::with_capacity(self.docs.len());
+        for d in &self.docs {
+            let pages = ((d.len() as u64 * REC_BYTES).div_ceil(PAGE_SIZE as u64)).max(1);
+            let first = pool.allocate();
+            for _ in 1..pages {
+                pool.allocate();
+            }
+            base.push(first.0);
+        }
+        pool.reset_stats();
+        self.storage = Some(PagedStorage { pool, base });
+    }
+
+    /// True if the paged-storage simulation is active.
+    pub fn has_paged_storage(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// Touches (reads through the buffer pool) the pages holding the
+    /// subtree of `node` — what a refinement operator reads when it
+    /// follows an index pointer into primary storage. No-op without paged
+    /// storage.
+    pub fn touch_subtree(&self, doc: DocId, node: NodeId) {
+        let Some(s) = &self.storage else { return };
+        let d = &self.docs[doc.0 as usize];
+        let start = node.0 as u64 * REC_BYTES / PAGE_SIZE as u64;
+        let end = (d.subtree_end(node).0 as u64 * REC_BYTES).div_ceil(PAGE_SIZE as u64);
+        let base = s.base[doc.0 as usize];
+        for p in start..end.max(start + 1) {
+            s.pool.with_page(PageId(base + p), |b| b[0]);
+        }
+    }
+
+    /// Touches every page of a document — the full streaming scan the
+    /// unindexed navigational baseline performs. No-op without paged
+    /// storage.
+    pub fn touch_document(&self, doc: DocId) {
+        self.touch_subtree(doc, self.docs[doc.0 as usize].root());
+    }
+
+    /// I/O counters of the paged storage (zeroed if disabled).
+    pub fn io_stats(&self) -> IoStats {
+        self.storage
+            .as_ref()
+            .map(|s| s.pool.stats())
+            .unwrap_or_default()
+    }
+
+    /// Resets the paged-storage I/O counters.
+    pub fn reset_io_stats(&self) {
+        if let Some(s) = &self.storage {
+            s.pool.reset_stats();
+        }
+    }
+
+    /// Splits the collection into its label table and document slice —
+    /// index construction needs to intern value labels while streaming
+    /// documents.
+    pub fn split_mut(&mut self) -> (&mut LabelTable, &[Document]) {
+        (&mut self.labels, &self.docs)
+    }
+
+    /// Aggregate statistics over all documents (the Table 1 data columns).
+    pub fn stats(&self) -> DocStats {
+        let mut s = DocStats::default();
+        for d in &self.docs {
+            s.merge(&DocStats::of(d, &self.labels));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_docs() {
+        let mut c = Collection::new();
+        let a = c.add_xml("<a><b/></a>").unwrap();
+        let b = c.add_xml("<a><c/></a>").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_ne!(a, b);
+        assert_eq!(c.doc(a).len(), 2);
+        // Labels are shared: "a" interned once.
+        assert_eq!(c.labels.len(), 3);
+    }
+
+    #[test]
+    fn stats_aggregate() {
+        let mut c = Collection::new();
+        c.add_xml("<a><b>t</b></a>").unwrap();
+        c.add_xml("<a><b/><c/></a>").unwrap();
+        let s = c.stats();
+        assert_eq!(s.elements, 5);
+        assert_eq!(s.texts, 1);
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn paged_storage_accounts_io() {
+        let mut c = Collection::new();
+        // Make a document large enough to span several pages
+        // (16 bytes/node → 512 nodes per 8 KiB page).
+        let mut xml = String::from("<r>");
+        for _ in 0..2000 {
+            xml.push_str("<x/>");
+        }
+        xml.push_str("</r>");
+        let id = c.add_xml(&xml).unwrap();
+        assert_eq!(c.io_stats(), Default::default());
+        c.enable_paged_storage(64);
+        assert!(c.has_paged_storage());
+        c.touch_document(id);
+        let s = c.io_stats();
+        assert_eq!(s.misses, 4, "2001 nodes × 16 B = 4 pages, {s:?}");
+        // A small subtree read touches a single page.
+        c.reset_io_stats();
+        c.touch_subtree(id, fix_xml::NodeId(5));
+        let s = c.io_stats();
+        assert_eq!(s.hits + s.misses, 1, "{s:?}");
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let mut c = Collection::new();
+        assert!(c.add_xml("<a>").is_err());
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,309 @@
+//! Cardinality estimation and plan selection (Section 5: "a good practice
+//! is to build a histogram on the primary sorting key (e.g., λ_max) in the
+//! B-tree" — the missing piece of the index cost model is the number of
+//! candidate results).
+//!
+//! [`LambdaHistogram`] keeps, per root-label partition, an equi-width
+//! histogram over the stored λ_max values. A containment probe scans the
+//! partition suffix `λ_max ≥ q.λ_max`, so the candidate estimate is the
+//! suffix count with linear interpolation inside the boundary bucket.
+//! [`FixIndex::plan`] turns the estimate into an index-vs-scan decision.
+
+use std::collections::HashMap;
+
+use fix_xml::LabelId;
+
+use crate::builder::FixIndex;
+use crate::collection::Collection;
+use crate::key::IndexKey;
+use crate::query::QueryError;
+use fix_xpath::PathExpr;
+
+/// Number of buckets per partition.
+const BUCKETS: usize = 32;
+
+/// Per-partition equi-width histogram over λ_max.
+#[derive(Debug, Clone)]
+struct Partition {
+    lo: f64,
+    hi: f64,
+    counts: [u64; BUCKETS],
+    total: u64,
+    /// Entries with the `[0, ∞]` fallback range (always candidates).
+    unbounded: u64,
+}
+
+impl Partition {
+    /// Entries with `λ_max ≥ q` (suffix estimate).
+    fn suffix(&self, q: f64) -> f64 {
+        if q <= self.lo {
+            return (self.total + self.unbounded) as f64;
+        }
+        if q > self.hi {
+            return self.unbounded as f64;
+        }
+        let width = ((self.hi - self.lo) / BUCKETS as f64).max(f64::MIN_POSITIVE);
+        let bucket = (((q - self.lo) / width) as usize).min(BUCKETS - 1);
+        // Count the boundary bucket in full: probes are containment tests,
+        // so entries *at* q are candidates, and a conservative
+        // over-estimate is the safe direction for the planner.
+        let est: u64 = self.counts[bucket..].iter().sum();
+        est as f64 + self.unbounded as f64
+    }
+}
+
+/// The histogram over all partitions of one index.
+#[derive(Debug, Clone, Default)]
+pub struct LambdaHistogram {
+    partitions: HashMap<LabelId, Partition>,
+    total: u64,
+}
+
+impl LambdaHistogram {
+    /// Builds the histogram with one full index scan (done once, after
+    /// construction — the statistics step of a DBMS).
+    pub fn build(idx: &FixIndex) -> Self {
+        // First pass: per-partition min/max.
+        let mut ranges: HashMap<LabelId, (f64, f64, u64)> = HashMap::new();
+        let mut unbounded: HashMap<LabelId, u64> = HashMap::new();
+        let mut total = 0u64;
+        for (k, _) in idx.btree.iter() {
+            let key = IndexKey::decode(&k);
+            total += 1;
+            if key.lmax.is_infinite() {
+                *unbounded.entry(key.root).or_insert(0) += 1;
+                continue;
+            }
+            let e = ranges.entry(key.root).or_insert((f64::MAX, f64::MIN, 0));
+            e.0 = e.0.min(key.lmax);
+            e.1 = e.1.max(key.lmax);
+            e.2 += 1;
+        }
+        let mut partitions: HashMap<LabelId, Partition> = ranges
+            .into_iter()
+            .map(|(root, (lo, hi, n))| {
+                (
+                    root,
+                    Partition {
+                        lo,
+                        hi: if hi > lo { hi } else { lo + 1.0 },
+                        counts: [0; BUCKETS],
+                        total: n,
+                        unbounded: unbounded.get(&root).copied().unwrap_or(0),
+                    },
+                )
+            })
+            .collect();
+        // Partitions that only have unbounded entries.
+        for (root, n) in unbounded {
+            partitions.entry(root).or_insert(Partition {
+                lo: 0.0,
+                hi: 1.0,
+                counts: [0; BUCKETS],
+                total: 0,
+                unbounded: n,
+            });
+        }
+        // Second pass: fill buckets.
+        for (k, _) in idx.btree.iter() {
+            let key = IndexKey::decode(&k);
+            if key.lmax.is_infinite() {
+                continue;
+            }
+            let p = partitions.get_mut(&key.root).expect("partition exists");
+            let width = ((p.hi - p.lo) / BUCKETS as f64).max(f64::MIN_POSITIVE);
+            let b = (((key.lmax - p.lo) / width) as usize).min(BUCKETS - 1);
+            p.counts[b] += 1;
+        }
+        Self { partitions, total }
+    }
+
+    /// Estimated number of candidates for a probe `(root, λ_max ≥ q)`.
+    pub fn estimate(&self, root: LabelId, q_lmax: f64) -> f64 {
+        self.partitions
+            .get(&root)
+            .map(|p| p.suffix(q_lmax))
+            .unwrap_or(0.0)
+    }
+
+    /// Total indexed entries.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The plan chosen for a query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Plan {
+    /// Probe the index, refine the estimated candidates.
+    UseIndex {
+        /// Estimated candidate count.
+        estimated_candidates: f64,
+    },
+    /// Navigate the whole collection (query not covered, or the estimate
+    /// says pruning will not pay for itself).
+    FullScan,
+}
+
+impl FixIndex {
+    /// Chooses index-vs-scan for a query using the histogram: the index
+    /// pays off when the estimated candidate fraction (each candidate
+    /// costs a random fetch plus a local evaluation) is below the
+    /// break-even fraction of a sequential full scan. `scan_ratio` is that
+    /// break-even point (a sensible default is 0.05–0.2 depending on the
+    /// random/sequential cost ratio of the storage).
+    pub fn plan(
+        &self,
+        coll: &Collection,
+        hist: &LambdaHistogram,
+        path: &PathExpr,
+        scan_ratio: f64,
+    ) -> Plan {
+        let blocks = fix_xpath::decompose(path);
+        let feat = match self.candidates_features(coll, &blocks[0]) {
+            Ok(Some(f)) => f,
+            Ok(None) => {
+                return Plan::UseIndex {
+                    estimated_candidates: 0.0,
+                }
+            }
+            Err(QueryError::NotCovered { .. }) => return Plan::FullScan,
+            Err(_) => return Plan::FullScan,
+        };
+        let est = hist.estimate(feat.root, feat.lmax);
+        if est <= scan_ratio * hist.total().max(1) as f64 {
+            Plan::UseIndex {
+                estimated_candidates: est,
+            }
+        } else {
+            Plan::FullScan
+        }
+    }
+
+    /// Runs a query with automatic plan selection, falling back to the
+    /// NoK-style full scan when the index does not cover the query or the
+    /// optimizer prefers the scan.
+    pub fn query_auto(
+        &self,
+        coll: &Collection,
+        hist: &LambdaHistogram,
+        path: &PathExpr,
+        scan_ratio: f64,
+    ) -> (Plan, Vec<(crate::collection::DocId, fix_xml::NodeId)>) {
+        let plan = self.plan(coll, hist, path, scan_ratio);
+        match plan {
+            Plan::UseIndex { .. } => {
+                let out = self.query_path(coll, path).expect("plan checked coverage");
+                (plan, out.results)
+            }
+            Plan::FullScan => {
+                let mut results = Vec::new();
+                for (id, d) in coll.iter() {
+                    for n in fix_exec::eval_path(d, &coll.labels, path) {
+                        results.push((id, n));
+                    }
+                }
+                results.sort_unstable();
+                (plan, results)
+            }
+        }
+    }
+
+    /// Internal: top-block features for planning (public query path goes
+    /// through `candidates`).
+    fn candidates_features(
+        &self,
+        coll: &Collection,
+        block: &PathExpr,
+    ) -> Result<Option<fix_spectral::Features>, QueryError> {
+        self.block_features(coll, block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::FixOptions;
+    use fix_xpath::parse_path;
+
+    fn setup() -> (Collection, FixIndex, LambdaHistogram) {
+        let mut coll = Collection::new();
+        for i in 0..40 {
+            // Mixed structures so λ_max spreads out.
+            let doc = match i % 4 {
+                0 => "<a><b/><c/></a>".to_string(),
+                1 => "<a><b><c/><d/></b></a>".to_string(),
+                2 => "<a><b/><b/><c><d/></c><e/></a>".to_string(),
+                _ => "<a><e/></a>".to_string(),
+            };
+            coll.add_xml(&doc).unwrap();
+        }
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(3));
+        let hist = LambdaHistogram::build(&idx);
+        (coll, idx, hist)
+    }
+
+    #[test]
+    fn estimates_bracket_reality() {
+        let (coll, idx, hist) = setup();
+        for q in ["//a/b/c", "//c/d", "//a/e", "//b"] {
+            let path = parse_path(q).unwrap();
+            let actual = idx.candidates(&coll, &path).unwrap().len() as f64;
+            let blocks = fix_xpath::decompose(&path);
+            let feat = idx
+                .candidates_features(&coll, &blocks[0])
+                .unwrap()
+                .expect("labels exist");
+            let est = hist.estimate(feat.root, feat.lmax);
+            // Equi-width histograms are approximate; require the estimate
+            // within a factor-of-3 + small absolute slack.
+            assert!(
+                est <= 3.0 * actual + 8.0 && 3.0 * est + 8.0 >= actual,
+                "query {q}: est {est} vs actual {actual}"
+            );
+        }
+    }
+
+    #[test]
+    fn planner_prefers_index_for_selective_queries() {
+        let (coll, idx, hist) = setup();
+        let selective = parse_path("//c/d").unwrap();
+        assert!(matches!(
+            idx.plan(&coll, &hist, &selective, 0.5),
+            Plan::UseIndex { .. }
+        ));
+        // A very low break-even ratio forces the scan plan.
+        let unselective = parse_path("//a").unwrap();
+        assert_eq!(idx.plan(&coll, &hist, &unselective, 0.001), Plan::FullScan);
+    }
+
+    #[test]
+    fn query_auto_is_plan_independent() {
+        let (coll, idx, hist) = setup();
+        for q in ["//a/b/c", "//a/e", "//b[c][d]"] {
+            let path = parse_path(q).unwrap();
+            let (_, via_index) = idx.query_auto(&coll, &hist, &path, 1.0);
+            let (_, via_scan) = idx.query_auto(&coll, &hist, &path, 0.0);
+            assert_eq!(via_index, via_scan, "plans disagree on {q}");
+        }
+    }
+
+    #[test]
+    fn uncovered_queries_fall_back_to_scan() {
+        let (coll, idx, hist) = setup();
+        // Depth 4 > limit 3.
+        let deep = parse_path("//a/b/c/d").unwrap();
+        assert_eq!(idx.plan(&coll, &hist, &deep, 0.5), Plan::FullScan);
+        let (plan, results) = idx.query_auto(&coll, &hist, &deep, 0.5);
+        assert_eq!(plan, Plan::FullScan);
+        // Same answer as direct evaluation.
+        let mut want = Vec::new();
+        for (id, d) in coll.iter() {
+            for n in fix_exec::eval_path(d, &coll.labels, &deep) {
+                want.push((id, n));
+            }
+        }
+        want.sort_unstable();
+        assert_eq!(results, want);
+    }
+}

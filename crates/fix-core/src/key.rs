@@ -1,0 +1,197 @@
+//! B-tree key and pointer encodings for FIX entries.
+//!
+//! The key is the paper's feature triple plus a sequence number that makes
+//! every key unique: `root label (u32 BE) | λ_max (order-preserving f64) |
+//! λ_min (order-preserving f64) | σ₂ (order-preserving f64) | seq (u32 BE)`
+//! — 32 bytes (σ₂ participates only in the extended-features ablation). Sorting by
+//! `(root, λ_max)` first is deliberate: the containment probe for a query
+//! with features `(r, q_max, q_min)` is a scan of the `r` partition from
+//! `λ_max = q_max` upward, filtering on `λ_min ≤ q_min` — exactly the
+//! "histogram on the primary sorting key" access path Section 5 discusses.
+
+use fix_btree::{decode_f64, encode_f64};
+use fix_spectral::Features;
+use fix_xml::LabelId;
+
+use crate::collection::DocId;
+
+/// Byte length of an encoded [`IndexKey`].
+pub const KEY_LEN: usize = 40;
+
+/// A decoded index key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexKey {
+    /// Root label of the indexed pattern.
+    pub root: LabelId,
+    /// λ_max of the pattern.
+    pub lmax: f64,
+    /// λ_min of the pattern.
+    pub lmin: f64,
+    /// Second-largest eigenvalue magnitude (extended feature).
+    pub sigma2: f64,
+    /// Edge-set Bloom fingerprint (edge-fingerprint option).
+    pub bloom: u64,
+    /// Uniquifying sequence number.
+    pub seq: u32,
+}
+
+impl IndexKey {
+    /// Builds a key from features.
+    pub fn new(f: &Features, seq: u32) -> Self {
+        Self {
+            root: f.root,
+            lmax: f.lmax,
+            lmin: f.lmin,
+            sigma2: f.sigma2,
+            bloom: f.bloom,
+            seq,
+        }
+    }
+
+    /// Encodes to the 40-byte order-preserving form.
+    pub fn encode(&self) -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        k[0..4].copy_from_slice(&self.root.0.to_be_bytes());
+        k[4..12].copy_from_slice(&encode_f64(self.lmax));
+        k[12..20].copy_from_slice(&encode_f64(self.lmin));
+        k[20..28].copy_from_slice(&encode_f64(self.sigma2));
+        k[28..36].copy_from_slice(&self.bloom.to_be_bytes());
+        k[36..40].copy_from_slice(&self.seq.to_be_bytes());
+        k
+    }
+
+    /// Decodes from the byte form.
+    pub fn decode(k: &[u8]) -> Self {
+        assert_eq!(k.len(), KEY_LEN);
+        Self {
+            root: LabelId(u32::from_be_bytes(k[0..4].try_into().expect("4"))),
+            lmax: decode_f64(k[4..12].try_into().expect("8")),
+            lmin: decode_f64(k[12..20].try_into().expect("8")),
+            sigma2: decode_f64(k[20..28].try_into().expect("8")),
+            bloom: u64::from_be_bytes(k[28..36].try_into().expect("8")),
+            seq: u32::from_be_bytes(k[36..40].try_into().expect("4")),
+        }
+    }
+
+    /// The scan start key for a containment probe: the first possible key
+    /// with this root partition and `λ_max ≥ q.lmax` (widened by the same
+    /// relative epsilon `Features::contains` uses, so boundary-equal
+    /// entries are never skipped).
+    pub fn scan_start(query: &Features) -> [u8; KEY_LEN] {
+        let eps = 1e-9 * (1.0 + query.lmax.abs());
+        let k = IndexKey {
+            root: query.root,
+            lmax: query.lmax - eps,
+            lmin: f64::NEG_INFINITY,
+            sigma2: f64::NEG_INFINITY,
+            bloom: 0,
+            seq: 0,
+        };
+        k.encode()
+    }
+
+    /// The exclusive scan end key: the start of the next root partition.
+    pub fn scan_end(query: &Features) -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        k[0..4].copy_from_slice(&(query.root.0 + 1).to_be_bytes());
+        k
+    }
+}
+
+/// A pointer into primary storage: `(document, element node)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntryPtr {
+    /// The document.
+    pub doc: DocId,
+    /// Preorder id of the entry's root element.
+    pub node: u32,
+}
+
+impl EntryPtr {
+    /// Packs into a `u64` B-tree value.
+    pub fn to_u64(self) -> u64 {
+        ((self.doc.0 as u64) << 32) | self.node as u64
+    }
+
+    /// Unpacks from a `u64` B-tree value.
+    pub fn from_u64(v: u64) -> Self {
+        Self {
+            doc: DocId((v >> 32) as u32),
+            node: v as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feat(root: u32, lmax: f64) -> Features {
+        Features {
+            lmax,
+            lmin: -lmax,
+            sigma2: 0.0,
+            root: LabelId(root),
+            bloom: 0,
+        }
+    }
+
+    #[test]
+    fn key_round_trips() {
+        let k = IndexKey {
+            root: LabelId(7),
+            lmax: 12.5,
+            lmin: -12.5,
+            sigma2: 3.25,
+            bloom: 0xDEAD_BEEF,
+            seq: 99,
+        };
+        assert_eq!(IndexKey::decode(&k.encode()), k);
+    }
+
+    #[test]
+    fn keys_sort_by_root_then_lmax() {
+        let a = IndexKey::new(&feat(1, 100.0), 5).encode();
+        let b = IndexKey::new(&feat(2, 1.0), 0).encode();
+        let c = IndexKey::new(&feat(2, 2.0), 0).encode();
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn scan_bounds_bracket_the_partition() {
+        let q = feat(3, 5.0);
+        let start = IndexKey::scan_start(&q);
+        let end = IndexKey::scan_end(&q);
+        // An entry in the partition with lmax ≥ q.lmax is inside.
+        let inside = IndexKey::new(&feat(3, 5.0), 0).encode();
+        let bigger = IndexKey::new(&feat(3, 500.0), 0).encode();
+        assert!(start <= inside && inside < end);
+        assert!(start <= bigger && bigger < end);
+        // A smaller lmax in the same partition is (just) before start…
+        let smaller = IndexKey::new(&feat(3, 4.0), u32::MAX).encode();
+        assert!(smaller < start);
+        // …and other partitions are outside.
+        let other = IndexKey::new(&feat(4, 5.0), 0).encode();
+        assert!(other >= end);
+    }
+
+    #[test]
+    fn unbounded_entries_sort_last_in_partition() {
+        let inf = IndexKey::new(&Features::unbounded(LabelId(3)), 0).encode();
+        let finite = IndexKey::new(&feat(3, 1e300), u32::MAX).encode();
+        assert!(finite < inf);
+        let q = feat(3, 42.0);
+        assert!(IndexKey::scan_start(&q) < inf);
+        assert!(inf < IndexKey::scan_end(&q));
+    }
+
+    #[test]
+    fn entry_ptr_round_trips() {
+        let p = EntryPtr {
+            doc: DocId(123),
+            node: 456789,
+        };
+        assert_eq!(EntryPtr::from_u64(p.to_u64()), p);
+    }
+}

@@ -1,0 +1,48 @@
+//! FIX — the feature-based XML index (the paper's primary contribution).
+//!
+//! Construction (Section 4, Algorithm 1): every indexable unit — a whole
+//! small document, or the depth-`k` subpattern rooted at each element of a
+//! large document — is reduced to its bisimulation graph, translated to an
+//! anti-symmetric matrix, and keyed by `(root label, λ_max, λ_min)` in a
+//! B-tree. Query processing (Section 5, Algorithm 2): the twig query's own
+//! features are computed and a *range containment* scan returns candidate
+//! pointers, which a refinement operator (the NoK-style navigator from
+//! `fix-exec`) validates against primary storage. The index never produces
+//! false negatives (Theorems 3 & 5); false positives are what the
+//! refinement phase and the Section 6.2 metrics are about.
+//!
+//! ```
+//! use fix_core::{Collection, FixIndex, FixOptions};
+//!
+//! let mut coll = Collection::new();
+//! coll.add_xml("<bib><article><author/><ee/></article></bib>").unwrap();
+//! coll.add_xml("<bib><book><author/></book></bib>").unwrap();
+//! let index = FixIndex::build(&mut coll, FixOptions::collection());
+//! let out = index.query(&coll, "//article[author]/ee").unwrap();
+//! assert_eq!(out.results.len(), 1);
+//! assert!(out.metrics.candidates <= 2);
+//! ```
+
+pub mod builder;
+pub mod collection;
+pub mod estimate;
+pub mod explain;
+pub mod key;
+pub mod metrics;
+pub mod options;
+pub mod persist;
+pub mod query;
+pub mod spatial;
+pub mod values;
+
+pub use builder::{BuildStats, FixIndex};
+pub use collection::{Collection, DocId};
+pub use estimate::{LambdaHistogram, Plan};
+pub use explain::{BlockExplain, Explain};
+pub use key::{EntryPtr, IndexKey};
+pub use metrics::{ground_truth, Metrics};
+pub use options::{FixOptions, RefineOp};
+pub use persist::{load_database, save_database};
+pub use query::{QueryError, QueryOutcome};
+pub use spatial::SpatialIndex;
+pub use values::ValueHasher;

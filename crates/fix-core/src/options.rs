@@ -1,0 +1,132 @@
+//! Index configuration.
+
+use fix_spectral::FeatureExtractor;
+
+/// Which operator validates candidates in the refinement phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefineOp {
+    /// The NoK-style navigational evaluator (the paper's choice).
+    #[default]
+    Nok,
+    /// The bottom-up structural matcher (ablation alternative). Only twig
+    /// queries (no interior `//` below the anchor) can use it; general
+    /// paths silently fall back to [`RefineOp::Nok`].
+    Twig,
+}
+
+/// Options controlling index construction and querying.
+#[derive(Debug, Clone)]
+pub struct FixOptions {
+    /// Subpattern depth limit `k`. `0` means "index each document whole"
+    /// (the collection-of-small-documents mode); a positive value
+    /// enumerates the depth-`k` subpattern of *every element*
+    /// (Section 4.4, the large-document mode).
+    pub depth_limit: usize,
+    /// Build a clustered index: subtree copies stored in feature-key order
+    /// (Section 4.1, Figure 4). Costs space, buys sequential refinement
+    /// I/O.
+    pub clustered: bool,
+    /// `Some(β)` enables the integrated value index (Section 4.6): text
+    /// nodes are hashed into `β` synthetic labels and indexed like
+    /// elements.
+    pub value_beta: Option<u32>,
+    /// Feature extraction knobs (eigensolver options, oversized-pattern
+    /// fallback threshold).
+    pub extractor: FeatureExtractor,
+    /// Buffer-pool capacity in pages for the index storage.
+    pub pool_pages: usize,
+    /// Refinement operator.
+    pub refine: RefineOp,
+    /// Use the extended σ₂ feature for pruning (ablation; see
+    /// `Features::contains_extended` for the soundness caveat).
+    pub extended_features: bool,
+    /// Prune with the 64-bit edge-set Bloom fingerprint in addition to the
+    /// eigenvalue range (the "other features" extension Section 3.4
+    /// invites; sound for all matches). Off by default to keep the
+    /// headline experiments paper-faithful; the value index (Figure 7) and
+    /// the ablation bench turn it on.
+    pub edge_bloom: bool,
+    /// Enumerate subpatterns with the paper's literal `GEN-SUBPATTERN`
+    /// (unfold the DAG through the traveler and re-minimize) instead of the
+    /// memoized truncation. Exponential on recursive data — kept for the
+    /// index-construction ablation that reproduces the paper's Treebank
+    /// ICT blow-up.
+    pub literal_gen_subpattern: bool,
+}
+
+impl FixOptions {
+    /// Collection-of-small-documents mode: one entry per document, no
+    /// depth limit (the XBench TCMD configuration of Section 6.1).
+    pub fn collection() -> Self {
+        Self {
+            depth_limit: 0,
+            clustered: false,
+            value_beta: None,
+            extractor: FeatureExtractor::default(),
+            pool_pages: 1024,
+            refine: RefineOp::default(),
+            extended_features: false,
+            edge_bloom: false,
+            literal_gen_subpattern: false,
+        }
+    }
+
+    /// Large-document mode with subpattern depth limit `k` (the paper uses
+    /// `k = 6` for DBLP/XMark/Treebank).
+    pub fn large_document(k: usize) -> Self {
+        assert!(k > 0, "large-document mode requires a positive depth limit");
+        Self {
+            depth_limit: k,
+            ..Self::collection()
+        }
+    }
+
+    /// Enables the clustered variant.
+    pub fn clustered(mut self) -> Self {
+        self.clustered = true;
+        self
+    }
+
+    /// Switches to the paper-faithful skew-spectral feature key (see
+    /// `fix_spectral::FeatureMode` for why the sound symmetric-norm key is
+    /// the default).
+    pub fn paper_mode(mut self) -> Self {
+        self.extractor.mode = fix_spectral::FeatureMode::SkewSpectral;
+        self
+    }
+
+    /// Enables edge-fingerprint pruning.
+    pub fn with_edge_bloom(mut self) -> Self {
+        self.edge_bloom = true;
+        self
+    }
+
+    /// Enables the integrated value index with hash range `β`.
+    pub fn with_values(mut self, beta: u32) -> Self {
+        assert!(beta > 0, "β must be positive");
+        self.value_beta = Some(beta);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let c = FixOptions::collection();
+        assert_eq!(c.depth_limit, 0);
+        assert!(!c.clustered);
+        let l = FixOptions::large_document(6).clustered().with_values(10);
+        assert_eq!(l.depth_limit, 6);
+        assert!(l.clustered);
+        assert_eq!(l.value_beta, Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive depth limit")]
+    fn zero_depth_large_mode_panics() {
+        let _ = FixOptions::large_document(0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Database persistence: one self-contained file holding the collection
+//! (documents + shared label table) and the index (options, edge
+//! dictionary, B-tree entries, clustered copies).
+//!
+//! The format is a simple length-prefixed little-endian binary layout. The
+//! B-tree is persisted *logically* (sorted key/value pairs) and rebuilt by
+//! sequential insertion on load — for indexes of this class the rebuild is
+//! a linear bulk-load, and it keeps the format independent of page-layout
+//! details. Clustered heap records are replayed in insertion order, which
+//! reproduces identical record ids (the heap's append is deterministic).
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use fix_btree::BTree;
+use fix_spectral::{EdgeEncoder, FeatureMode};
+use fix_storage::{BufferPool, HeapFile};
+use fix_xml::LabelId;
+
+use crate::builder::{BuildStats, FixIndex};
+use crate::collection::Collection;
+use crate::key::KEY_LEN;
+use crate::options::{FixOptions, RefineOp};
+use crate::values::ValueHasher;
+
+const MAGIC: &[u8; 8] = b"FIXDB\x00\x02\x00";
+
+fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn put_bytes(w: &mut impl Write, b: &[u8]) -> io::Result<()> {
+    put_u64(w, b.len() as u64)?;
+    w.write_all(b)
+}
+
+fn get_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn get_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn get_f64(r: &mut impl Read) -> io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn get_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let n = get_u64(r)? as usize;
+    let mut b = vec![0u8; n];
+    r.read_exact(&mut b)?;
+    Ok(b)
+}
+
+fn corrupt(msg: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("corrupt FIX database: {msg}"),
+    )
+}
+
+/// Saves a collection and its index as one database file.
+pub fn save_database(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = io::BufWriter::new(file);
+    w.write_all(MAGIC)?;
+
+    // Options.
+    let o = idx.options();
+    put_u32(&mut w, o.depth_limit as u32)?;
+    put_u32(&mut w, u32::from(o.clustered))?;
+    put_u32(&mut w, o.value_beta.unwrap_or(0))?;
+    put_u32(&mut w, o.pool_pages as u32)?;
+    put_u32(
+        &mut w,
+        match o.extractor.mode {
+            FeatureMode::SymmetricNorm => 0,
+            FeatureMode::SkewSpectral => 1,
+        },
+    )?;
+    put_u32(&mut w, o.extractor.max_edges as u32)?;
+    let flags = u32::from(o.extended_features) | (u32::from(o.edge_bloom) << 1);
+    put_u32(&mut w, flags)?;
+
+    // Label table (ids are the positions).
+    put_u32(&mut w, coll.labels.len() as u32)?;
+    for (_, name) in coll.labels.iter() {
+        put_bytes(&mut w, name.as_bytes())?;
+    }
+
+    // Documents, serialized XML in id order.
+    put_u32(&mut w, coll.len() as u32)?;
+    for (_, d) in coll.iter() {
+        put_bytes(&mut w, fix_xml::to_xml_string(d, &coll.labels).as_bytes())?;
+    }
+
+    // Edge dictionary (sorted for determinism).
+    let mut edges: Vec<((LabelId, LabelId), f64)> = idx.encoder.iter().collect();
+    edges.sort_by_key(|((a, b), _)| (a.0, b.0));
+    put_u32(&mut w, edges.len() as u32)?;
+    for ((a, b), weight) in edges {
+        put_u32(&mut w, a.0)?;
+        put_u32(&mut w, b.0)?;
+        put_f64(&mut w, weight)?;
+    }
+
+    // B-tree entries in key order.
+    put_u64(&mut w, idx.btree.len())?;
+    for (k, v) in idx.btree.iter() {
+        w.write_all(&k)?;
+        put_u64(&mut w, v)?;
+    }
+
+    // Clustered heap records in insertion order.
+    match &idx.clustered {
+        Some(heap) => {
+            put_u64(&mut w, heap.len())?;
+            for (_, record) in heap.scan() {
+                put_bytes(&mut w, &record)?;
+            }
+        }
+        None => put_u64(&mut w, u64::MAX)?,
+    }
+
+    // Tombstones.
+    let mut removed: Vec<u32> = idx.removed.iter().map(|d| d.0).collect();
+    removed.sort_unstable();
+    put_u32(&mut w, removed.len() as u32)?;
+    for d in removed {
+        put_u32(&mut w, d)?;
+    }
+    w.flush()
+}
+
+/// Loads a database file back into a `(Collection, FixIndex)` pair.
+pub fn load_database(path: &Path) -> io::Result<(Collection, FixIndex)> {
+    let file = std::fs::File::open(path)?;
+    let mut r = io::BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+
+    let depth_limit = get_u32(&mut r)? as usize;
+    let clustered = get_u32(&mut r)? != 0;
+    let value_beta = match get_u32(&mut r)? {
+        0 => None,
+        b => Some(b),
+    };
+    let pool_pages = get_u32(&mut r)? as usize;
+    let mode = match get_u32(&mut r)? {
+        0 => FeatureMode::SymmetricNorm,
+        1 => FeatureMode::SkewSpectral,
+        _ => return Err(corrupt("unknown feature mode")),
+    };
+    let max_edges = get_u32(&mut r)? as usize;
+    let flags = get_u32(&mut r)?;
+    let mut opts = if depth_limit == 0 {
+        FixOptions::collection()
+    } else {
+        FixOptions::large_document(depth_limit)
+    };
+    opts.clustered = clustered;
+    opts.value_beta = value_beta;
+    opts.pool_pages = pool_pages.max(1);
+    opts.extractor.mode = mode;
+    opts.extractor.max_edges = max_edges;
+    opts.extended_features = flags & 1 != 0;
+    opts.edge_bloom = flags & 2 != 0;
+    opts.refine = RefineOp::default();
+
+    // Label table: intern in saved order so ids are reproduced exactly.
+    let mut coll = Collection::new();
+    let n_labels = get_u32(&mut r)?;
+    for i in 0..n_labels {
+        let name = String::from_utf8(get_bytes(&mut r)?).map_err(|_| corrupt("label utf8"))?;
+        let id = coll.labels.intern(&name);
+        if id.0 != i {
+            return Err(corrupt("label table out of order"));
+        }
+    }
+    let n_docs = get_u32(&mut r)?;
+    for _ in 0..n_docs {
+        let xml = String::from_utf8(get_bytes(&mut r)?).map_err(|_| corrupt("document utf8"))?;
+        coll.add_xml(&xml)
+            .map_err(|e| corrupt(&format!("document reparse: {e}")))?;
+    }
+
+    let mut encoder = EdgeEncoder::new();
+    let n_edges = get_u32(&mut r)?;
+    for _ in 0..n_edges {
+        let a = LabelId(get_u32(&mut r)?);
+        let b = LabelId(get_u32(&mut r)?);
+        let w = get_f64(&mut r)?;
+        encoder.restore(a, b, w);
+    }
+
+    let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
+    let mut btree = BTree::new(Arc::clone(&pool), KEY_LEN);
+    let n_entries = get_u64(&mut r)?;
+    for _ in 0..n_entries {
+        let mut k = [0u8; KEY_LEN];
+        r.read_exact(&mut k)?;
+        let v = get_u64(&mut r)?;
+        btree.insert(&k, v);
+    }
+
+    let n_records = get_u64(&mut r)?;
+    let clustered_heap = if n_records == u64::MAX {
+        None
+    } else {
+        let mut heap = HeapFile::new(Arc::clone(&pool));
+        for _ in 0..n_records {
+            let record = get_bytes(&mut r)?;
+            heap.append(&record);
+        }
+        Some(heap)
+    };
+
+    let stats = BuildStats {
+        entries: btree.len(),
+        btree_bytes: btree.stats().size_bytes,
+        clustered_bytes: clustered_heap
+            .as_ref()
+            .map(HeapFile::size_bytes)
+            .unwrap_or(0),
+        ..Default::default()
+    };
+    let n_removed = get_u32(&mut r)?;
+    let mut removed = std::collections::HashSet::new();
+    for _ in 0..n_removed {
+        removed.insert(crate::collection::DocId(get_u32(&mut r)?));
+    }
+
+    let hasher = opts.value_beta.map(ValueHasher::new);
+    Ok((
+        coll,
+        FixIndex {
+            opts,
+            btree,
+            encoder,
+            hasher,
+            clustered: clustered_heap,
+            pool,
+            stats,
+            incremental: None,
+            removed,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FixIndex;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fix-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_collection() -> Collection {
+        let mut c = Collection::new();
+        c.add_xml(
+            "<bib><article><author><email/></author><title>holistic</title><ee/></article></bib>",
+        )
+        .unwrap();
+        c.add_xml("<bib><book><author><phone/></author><title>web data</title></book></bib>")
+            .unwrap();
+        c.add_xml(
+            "<bib><article><author><phone/><email/></author><title>joins</title></article></bib>",
+        )
+        .unwrap();
+        c
+    }
+
+    fn same_outcomes(a: &(Collection, FixIndex), b: &(Collection, FixIndex), queries: &[&str]) {
+        for q in queries {
+            let ra = a.1.query(&a.0, q).unwrap();
+            let rb = b.1.query(&b.0, q).unwrap();
+            assert_eq!(ra.results, rb.results, "results differ on {q}");
+            assert_eq!(ra.metrics, rb.metrics, "metrics differ on {q}");
+        }
+    }
+
+    #[test]
+    fn round_trip_unclustered() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(4));
+        let path = temp("uncl.fixdb");
+        save_database(&path, &coll, &idx).unwrap();
+        let loaded = load_database(&path).unwrap();
+        assert_eq!(loaded.0.len(), 3);
+        assert_eq!(loaded.1.entry_count(), idx.entry_count());
+        same_outcomes(
+            &(coll, idx),
+            &loaded,
+            &[
+                "//article[author]/ee",
+                "//author[phone][email]",
+                "//book/title",
+            ],
+        );
+    }
+
+    #[test]
+    fn round_trip_clustered_with_values() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(
+            &mut coll,
+            FixOptions::large_document(4)
+                .clustered()
+                .with_values(16)
+                .with_edge_bloom(),
+        );
+        let path = temp("clust.fixdb");
+        save_database(&path, &coll, &idx).unwrap();
+        let loaded = load_database(&path).unwrap();
+        assert!(loaded.1.options().clustered);
+        assert_eq!(loaded.1.options().value_beta, Some(16));
+        assert!(loaded.1.options().edge_bloom);
+        same_outcomes(
+            &(coll, idx),
+            &loaded,
+            &["//article[author]/ee", r#"//article[title="joins"]/author"#],
+        );
+    }
+
+    #[test]
+    fn collection_mode_round_trip() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::collection());
+        let path = temp("coll.fixdb");
+        save_database(&path, &coll, &idx).unwrap();
+        let loaded = load_database(&path).unwrap();
+        assert_eq!(loaded.1.options().depth_limit, 0);
+        same_outcomes(&(coll, idx), &loaded, &["//article/title", "/bib/book"]);
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let path = temp("bad.fixdb");
+        std::fs::write(&path, b"not a database").unwrap();
+        assert!(load_database(&path).is_err());
+        std::fs::write(&path, b"FIXDB\x00\x01\x00trunc").unwrap();
+        assert!(load_database(&path).is_err());
+    }
+}

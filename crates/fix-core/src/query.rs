@@ -1,0 +1,558 @@
+//! Query processing — Algorithm 2 (`INDEX-PROCESSOR`).
+//!
+//! 1. Decompose the path expression into twig blocks (Section 5); the top
+//!    block carries the pruning.
+//! 2. Check that the index covers the block (depth-limit test).
+//! 3. Convert the block to its twig pattern, translate to a matrix, and
+//!    compute `(λ_max, λ_min)`.
+//! 4. Range-scan the B-tree for entries whose stored range *contains* the
+//!    query range (and whose root label matches when the probe is
+//!    anchored).
+//! 5. Refine every candidate with the configured operator, the leading
+//!    `//` rewritten to `/` (candidates are rooted exactly at the anchor).
+
+use std::fmt;
+
+use fix_bisim::{query_pattern_with_values, UnitInfo};
+use fix_exec::{eval_path, eval_path_from, eval_twig};
+use fix_spectral::Features;
+use fix_xml::NodeId;
+use fix_xpath::{decompose, parse_path, Axis, PathExpr, TwigError, TwigQuery, XPathError};
+
+use crate::builder::FixIndex;
+use crate::collection::{Collection, DocId};
+use crate::key::{EntryPtr, IndexKey};
+use crate::metrics::Metrics;
+use crate::options::RefineOp;
+
+/// Why a query could not be processed through the index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query string failed to parse.
+    Parse(XPathError),
+    /// The index's depth limit does not cover the query's top twig block —
+    /// the optimizer must fall back to an unindexed plan (Section 4.4).
+    NotCovered {
+        /// Depth of the query's top block.
+        query_depth: usize,
+        /// The index's depth limit.
+        depth_limit: usize,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::NotCovered {
+                query_depth,
+                depth_limit,
+            } => write!(
+                f,
+                "query depth {query_depth} exceeds the index depth limit {depth_limit}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<XPathError> for QueryError {
+    fn from(e: XPathError) -> Self {
+        QueryError::Parse(e)
+    }
+}
+
+/// The outcome of one indexed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Final results: `(document, output node)` pairs in document order.
+    pub results: Vec<(DocId, NodeId)>,
+    /// The Section 6.2 counters for this query.
+    pub metrics: Metrics,
+}
+
+impl QueryOutcome {
+    /// Serializes each result's subtree back to XML (the
+    /// "return the matched elements" consumer API).
+    pub fn results_xml(&self, coll: &Collection) -> Vec<String> {
+        self.results
+            .iter()
+            .map(|&(doc, node)| {
+                let d = coll.doc(doc);
+                let mut out = String::new();
+                fix_xml::serialize::subtree_to_xml(d, &coll.labels, node, &mut out);
+                out
+            })
+            .collect()
+    }
+
+    /// The concatenated text content of each result.
+    pub fn results_text(&self, coll: &Collection) -> Vec<String> {
+        self.results
+            .iter()
+            .map(|&(doc, node)| coll.doc(doc).text_content(node))
+            .collect()
+    }
+}
+
+impl FixIndex {
+    /// Parses and runs a query (see [`FixIndex::query_path`]).
+    pub fn query(&self, coll: &Collection, query: &str) -> Result<QueryOutcome, QueryError> {
+        let path = parse_path(query)?;
+        self.query_path(coll, &path)
+    }
+
+    /// Runs a parsed path expression through prune + refine. The
+    /// expression is normalized first (duplicate/implied predicates
+    /// dropped; see `fix_xpath::normalize`) — a cheap logical rewrite that
+    /// also canonicalizes the feature computation.
+    pub fn query_path(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+    ) -> Result<QueryOutcome, QueryError> {
+        let path = fix_xpath::normalize(path);
+        let candidates = self.candidates(coll, &path)?;
+        Ok(self.refine(coll, &path, candidates))
+    }
+
+    /// The pruning phase alone: candidate `(entry key, B-tree value)`
+    /// pairs in key order. Exposed separately so the experiment harness can
+    /// measure pruning power without paying for refinement.
+    pub fn candidates(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+    ) -> Result<Vec<(IndexKey, u64)>, QueryError> {
+        let blocks = decompose(path);
+        let top = &blocks[0];
+        // Pruning features of the top block.
+        let top_feat = match self.block_features(coll, top)? {
+            Some(f) => f,
+            None => return Ok(Vec::new()),
+        };
+        // Anchored probes (every entry is rooted at a potential anchor):
+        // large-document mode always; collection mode when the query is
+        // rooted at the document root.
+        let anchored = self.opts.depth_limit > 0 || top.steps[0].axis == Axis::Child;
+        let mut cands: Vec<(IndexKey, u64)> = if anchored {
+            self.btree
+                .range(
+                    &IndexKey::scan_start(&top_feat),
+                    Some(&IndexKey::scan_end(&top_feat)),
+                )
+                .map(|(k, v)| (IndexKey::decode(&k), v))
+                .filter(|(k, _)| self.entry_contains(k, &top_feat, true))
+                .collect()
+        } else {
+            // Un-anchored collection probe: the pattern can root anywhere
+            // inside a document, so only the eigenvalue range prunes.
+            self.btree
+                .iter()
+                .map(|(k, v)| (IndexKey::decode(&k), v))
+                .filter(|(k, _)| self.entry_contains(k, &top_feat, false))
+                .collect()
+        };
+        // Tombstoned documents never appear as candidates. (Clustered
+        // values point into the copy heap; their document is resolved — and
+        // filtered — during refinement instead.)
+        if !self.removed.is_empty() && self.clustered.is_none() {
+            cands.retain(|&(_, v)| !self.removed.contains(&EntryPtr::from_u64(v).doc));
+        }
+        // In collection mode the remaining blocks prune too: the document
+        // must contain every block (Section 5). With a positive depth
+        // limit they give no pruning power (only the top block is anchored
+        // at the entry root).
+        if self.opts.depth_limit == 0 && blocks.len() > 1 && !cands.is_empty() {
+            for block in &blocks[1..] {
+                let bf = match self.block_features(coll, block)? {
+                    Some(f) => f,
+                    None => return Ok(Vec::new()),
+                };
+                cands.retain(|(k, _)| self.entry_contains(k, &bf, false));
+                if cands.is_empty() {
+                    break;
+                }
+            }
+        }
+        Ok(cands)
+    }
+
+    /// Computes pruning features for one twig block; `Ok(None)` when the
+    /// block provably matches nothing (unknown label, unknown edge pair,
+    /// unknown value bucket).
+    pub(crate) fn block_features(
+        &self,
+        coll: &Collection,
+        block: &PathExpr,
+    ) -> Result<Option<Features>, QueryError> {
+        let twig = match TwigQuery::from_path(block, &coll.labels) {
+            Ok(t) => t,
+            Err(TwigError::UnknownLabel(_)) => return Ok(None),
+            Err(TwigError::NotATwig) => unreachable!("decompose produces twig blocks"),
+        };
+        // If the index has no value labels, prune with the structural
+        // skeleton; refinement checks the values.
+        let twig = if twig.has_values() && self.hasher.is_none() {
+            twig.strip_values()
+        } else {
+            twig
+        };
+        if self.opts.depth_limit > 0 && twig.depth() > self.opts.depth_limit {
+            return Err(QueryError::NotCovered {
+                query_depth: twig.depth(),
+                depth_limit: self.opts.depth_limit,
+            });
+        }
+        let (pattern, pinfo): (_, UnitInfo) = if twig.has_values() {
+            let h = self.hasher.as_ref().expect("values imply a hasher");
+            // All value buckets must exist, otherwise no indexed document
+            // contains such a value.
+            for node in &twig.nodes {
+                if let Some(v) = &node.value {
+                    if h.label(v, &coll.labels).is_none() {
+                        return Ok(None);
+                    }
+                }
+            }
+            query_pattern_with_values(&twig, |v| h.label(v, &coll.labels).expect("checked above"))
+        } else {
+            fix_bisim::query_pattern(&twig)
+        };
+        let mut feat = match self
+            .opts
+            .extractor
+            .extract_query(&pattern, pinfo.root, &self.encoder)
+        {
+            Some(f) => f,
+            None => return Ok(None),
+        };
+        // Non-injective guard (SymmetricNorm mode only; SkewSpectral stays
+        // paper-faithful). A query whose *tree* repeats a label admits
+        // matches that are non-injective (two query nodes on one document
+        // node) or non-homomorphic on the minimized pattern (two identical
+        // query leaves collapse into one shared vertex, yet match document
+        // nodes with different subtrees — a counterexample to the paper's
+        // Theorem 2; see DESIGN.md §2). Either way spectral monotonicity
+        // fails. The widest range that stays sound is the query's maximum
+        // single edge weight: every entry matching the query contains that
+        // edge, and a single non-negative edge already forces
+        // λ_max ≥ weight (Perron). The duplicate test must run on the twig
+        // *tree*, pre-collapse — the collapsed pattern can look
+        // duplicate-free exactly in the failing cases.
+        if self.opts.extractor.mode == fix_spectral::FeatureMode::SymmetricNorm {
+            let mut seen = std::collections::HashSet::new();
+            let mut dup = false;
+            for node in &twig.nodes {
+                if !seen.insert(node.label) {
+                    dup = true;
+                }
+                if let (Some(v), Some(h)) = (&node.value, &self.hasher) {
+                    if let Some(l) = h.label(v, &coll.labels) {
+                        if !seen.insert(l) {
+                            dup = true;
+                        }
+                    }
+                }
+            }
+            if dup {
+                let mut max_w = 0.0f64;
+                for v in pattern.iter() {
+                    for &c in pattern.children(v) {
+                        let w = self
+                            .encoder
+                            .lookup(pattern.label(v), pattern.label(c))
+                            .unwrap_or(0.0);
+                        max_w = max_w.max(w);
+                    }
+                }
+                feat.lmax = max_w;
+                feat.lmin = -max_w;
+                feat.sigma2 = 0.0;
+                // `feat.bloom` stays: edge fingerprints are sound even for
+                // non-injective matches (labeled edges are preserved by any
+                // match).
+            }
+        }
+        Ok(Some(feat))
+    }
+
+    /// Range-containment test against a stored entry key.
+    fn entry_contains(&self, entry: &IndexKey, query: &Features, check_root: bool) -> bool {
+        if check_root && entry.root != query.root {
+            return false;
+        }
+        let eps = |v: f64| 1e-9 * (1.0 + v.abs());
+        let base = query.lmax <= entry.lmax + eps(entry.lmax)
+            && query.lmin >= entry.lmin - eps(entry.lmin);
+        if !base {
+            return false;
+        }
+        if self.opts.extended_features && query.sigma2 > entry.sigma2 + eps(entry.sigma2) {
+            return false;
+        }
+        if self.opts.edge_bloom && query.bloom & !entry.bloom != 0 {
+            return false;
+        }
+        true
+    }
+
+    /// The refinement phase: validate candidates and assemble results.
+    pub fn refine(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+        candidates: Vec<(IndexKey, u64)>,
+    ) -> QueryOutcome {
+        let mut producing = 0u64;
+        let mut results: Vec<(DocId, NodeId)> = Vec::new();
+        let cdt = candidates.len() as u64;
+        // Precompute the twig for the structural refinement ablation.
+        let twig_for_refine = if self.opts.refine == RefineOp::Twig && self.opts.depth_limit == 0 {
+            TwigQuery::from_path(path, &coll.labels).ok()
+        } else {
+            None
+        };
+        for (_, value) in candidates {
+            let ptr = if self.clustered.is_some() {
+                // Clustered: fetch the copy (sequential I/O — candidates
+                // arrive in key order) and recover the pointer.
+                let (ptr, _bytes) = self.clustered_fetch(value);
+                ptr
+            } else {
+                EntryPtr::from_u64(value)
+            };
+            if self.removed.contains(&ptr.doc) {
+                continue;
+            }
+            let doc = coll.doc(ptr.doc);
+            // Charge the primary-storage read for this candidate: the
+            // whole (small) document in collection mode, the pattern
+            // instance's subtree in large-document mode. The clustered
+            // variant already paid for its copy instead.
+            if self.clustered.is_none() {
+                if self.opts.depth_limit == 0 {
+                    coll.touch_document(ptr.doc);
+                } else {
+                    coll.touch_subtree(ptr.doc, NodeId(ptr.node));
+                }
+            }
+            let rs: Vec<NodeId> = if self.opts.depth_limit == 0 {
+                match &twig_for_refine {
+                    Some(t) => eval_twig(doc, t),
+                    None => eval_path(doc, &coll.labels, path),
+                }
+            } else if path.steps[0].axis == Axis::Child && NodeId(ptr.node) != doc.root() {
+                // A rooted query (`/a/...`) can only anchor at the document
+                // root; any other entry in the partition is a false
+                // positive.
+                Vec::new()
+            } else {
+                eval_path_from(doc, &coll.labels, path, NodeId(ptr.node))
+            };
+            if !rs.is_empty() {
+                producing += 1;
+                results.extend(rs.into_iter().map(|n| (ptr.doc, n)));
+            }
+        }
+        results.sort_unstable();
+        results.dedup();
+        QueryOutcome {
+            results,
+            metrics: Metrics {
+                entries: self.btree.len(),
+                candidates: cdt,
+                producing,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::FixOptions;
+
+    fn bib_collection() -> Collection {
+        let mut c = Collection::new();
+        c.add_xml("<bib><article><author><email/></author><title>t1</title><ee/></article></bib>")
+            .unwrap();
+        c.add_xml("<bib><book><author><phone/></author><title>t2</title></book></bib>")
+            .unwrap();
+        c.add_xml(
+            "<bib><article><author><phone/><email/></author><title>t3</title></article></bib>",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn collection_query_end_to_end() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        let out = idx.query(&c, "//article[author]/ee").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(0));
+        assert_eq!(out.metrics.entries, 3);
+        assert!(out.metrics.candidates >= 1);
+        assert_eq!(out.metrics.producing, 1);
+    }
+
+    #[test]
+    fn rooted_collection_query_uses_root_partition() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        let out = idx.query(&c, "/bib/book/author/phone").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(1));
+    }
+
+    #[test]
+    fn large_document_query_anchors_per_element() {
+        let mut c = Collection::new();
+        c.add_xml("<s><s><np/><s><np/><vp/></s></s><vp/><empty><s><np/></s></empty></s>")
+            .unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(4));
+        let out = idx.query(&c, "//s[np][vp]").unwrap();
+        assert_eq!(out.results.len(), 1);
+        let out2 = idx.query(&c, "//empty/s/np").unwrap();
+        assert_eq!(out2.results.len(), 1);
+        // Results agree with the navigational baseline.
+        let p = parse_path("//s/np").unwrap();
+        let base = eval_path(c.doc(DocId(0)), &c.labels, &p);
+        let via_index = idx.query(&c, "//s/np").unwrap();
+        assert_eq!(via_index.results.len(), base.len());
+    }
+
+    #[test]
+    fn not_covered_query_is_rejected() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(2));
+        let err = idx.query(&c, "//bib/article/author/email").unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::NotCovered {
+                query_depth: 4,
+                depth_limit: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn unknown_labels_yield_empty_without_error() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        let out = idx.query(&c, "//nonexistent/label").unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.metrics.candidates, 0);
+    }
+
+    #[test]
+    fn interior_descendant_queries_decompose() {
+        let mut c = Collection::new();
+        c.add_xml(
+            "<site><open_auction><seller/><annotation><description><price/></description></annotation></open_auction></site>",
+        )
+        .unwrap();
+        c.add_xml("<site><closed_auction><price/></closed_auction></site>")
+            .unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        let out = idx.query(&c, "//open_auction//price").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(0));
+    }
+
+    #[test]
+    fn clustered_and_unclustered_agree() {
+        let mut c1 = bib_collection();
+        let u = FixIndex::build(&mut c1, FixOptions::collection());
+        let mut c2 = bib_collection();
+        let cl = FixIndex::build(&mut c2, FixOptions::collection().clustered());
+        for q in [
+            "//article[author]/ee",
+            "//author[phone][email]",
+            "//book/title",
+            "/bib/article/author",
+        ] {
+            let a = u.query(&c1, q).unwrap();
+            let b = cl.query(&c2, q).unwrap();
+            assert_eq!(a.results, b.results, "disagreement on {q}");
+            assert_eq!(a.metrics, b.metrics, "metric disagreement on {q}");
+        }
+    }
+
+    #[test]
+    fn value_queries_prune_through_the_value_index() {
+        let mut c = Collection::new();
+        c.add_xml("<dblp><proceedings><publisher>Springer</publisher><title>a</title></proceedings></dblp>").unwrap();
+        c.add_xml(
+            "<dblp><proceedings><publisher>ACM</publisher><title>b</title></proceedings></dblp>",
+        )
+        .unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(3).with_values(64));
+        let out = idx
+            .query(&c, r#"//proceedings[publisher="Springer"][title]"#)
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(0));
+        // Pruning is containment-based, so the ACM entry may or may not
+        // survive (its wider structural range can cover the query range);
+        // the guarantee is only "no false negatives".
+        assert!(out.metrics.candidates >= 1);
+        assert_eq!(out.metrics.producing, 1);
+        // A value that was never indexed short-circuits to empty.
+        let out2 = idx
+            .query(&c, r#"//proceedings[publisher="Elsevier"]"#)
+            .unwrap();
+        assert!(out2.results.is_empty());
+    }
+
+    #[test]
+    fn structural_index_still_answers_value_queries() {
+        let mut c = Collection::new();
+        c.add_xml("<dblp><inproceedings><year>1998</year><title>x</title></inproceedings></dblp>")
+            .unwrap();
+        c.add_xml("<dblp><inproceedings><year>1999</year><title>y</title></inproceedings></dblp>")
+            .unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(3));
+        let out = idx
+            .query(&c, r#"//inproceedings[year="1998"]/title"#)
+            .unwrap();
+        assert_eq!(out.results.len(), 1);
+        // Both inproceedings are candidates (structure identical) — the
+        // value filter happens in refinement.
+        assert_eq!(out.metrics.candidates, 2);
+        assert_eq!(out.metrics.producing, 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        assert!(matches!(
+            idx.query(&c, "not a path"),
+            Err(QueryError::Parse(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod outcome_tests {
+    use crate::options::FixOptions;
+    use crate::Collection;
+
+    #[test]
+    fn results_serialize_back_to_xml() {
+        let mut c = Collection::new();
+        c.add_xml("<bib><article><title>Holistic <i>Twig</i> Joins</title></article></bib>")
+            .unwrap();
+        let idx = crate::FixIndex::build(&mut c, FixOptions::large_document(4));
+        let out = idx.query(&c, "//article/title").unwrap();
+        let xml = out.results_xml(&c);
+        assert_eq!(xml.len(), 1);
+        assert_eq!(xml[0], "<title>Holistic <i>Twig</i> Joins</title>");
+        let text = out.results_text(&c);
+        assert_eq!(text[0], "Holistic Twig Joins");
+    }
+}

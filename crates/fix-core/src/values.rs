@@ -1,0 +1,103 @@
+//! Value hashing (Section 4.6).
+//!
+//! Text values are mapped into a small range of `β` synthetic labels
+//! `#v0 … #v(β−1)` via FNV-1a. The hashed label is then indexed exactly
+//! like an element label, which integrates value-equality predicates into
+//! the structural index (no separate "index anding"). Collisions only ever
+//! add false *positives* — never false negatives — and the refinement
+//! phase removes them.
+
+use fix_xml::{LabelId, LabelTable};
+
+/// Deterministic FNV-1a over the value bytes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Maps text values to one of `β` synthetic value labels.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueHasher {
+    beta: u32,
+}
+
+impl ValueHasher {
+    /// Creates a hasher with range `β`.
+    pub fn new(beta: u32) -> Self {
+        assert!(beta > 0, "β must be positive");
+        Self { beta }
+    }
+
+    /// The hash bucket of a value.
+    pub fn bucket(&self, value: &str) -> u32 {
+        (fnv1a(value) % self.beta as u64) as u32
+    }
+
+    /// Interns the bucket's synthetic label (index-build side).
+    pub fn label_interning(&self, value: &str, labels: &mut LabelTable) -> LabelId {
+        labels.intern(&format!("#v{}", self.bucket(value)))
+    }
+
+    /// Looks the bucket's label up (query side). `None` means no indexed
+    /// value ever hashed into this bucket, so the query cannot match.
+    pub fn label(&self, value: &str, labels: &LabelTable) -> Option<LabelId> {
+        labels.lookup(&format!("#v{}", self.bucket(value)))
+    }
+
+    /// The configured range β.
+    pub fn beta(&self) -> u32 {
+        self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_stable_and_bounded() {
+        let h = ValueHasher::new(10);
+        for v in ["Springer", "1998", "John Smith", ""] {
+            let b = h.bucket(v);
+            assert!(b < 10);
+            assert_eq!(b, h.bucket(v), "hash must be deterministic");
+        }
+    }
+
+    #[test]
+    fn beta_one_collides_everything() {
+        let h = ValueHasher::new(1);
+        assert_eq!(h.bucket("a"), h.bucket("b"));
+    }
+
+    #[test]
+    fn labels_intern_and_lookup() {
+        let h = ValueHasher::new(16);
+        let mut lt = LabelTable::new();
+        let l = h.label_interning("Springer", &mut lt);
+        assert_eq!(h.label("Springer", &lt), Some(l));
+        // A different bucket that was never indexed is unknown.
+        let mut missing = None;
+        for probe in ["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"] {
+            if h.bucket(probe) != h.bucket("Springer") {
+                missing = Some(probe);
+                break;
+            }
+        }
+        assert_eq!(h.label(missing.unwrap(), &lt), None);
+    }
+
+    #[test]
+    fn distribution_is_not_degenerate() {
+        let h = ValueHasher::new(10);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            seen.insert(h.bucket(&format!("value-{i}")));
+        }
+        assert!(seen.len() >= 8, "FNV should fill most of 10 buckets");
+    }
+}

@@ -1,0 +1,61 @@
+//! Deterministic synthetic data sets standing in for the paper's corpora
+//! (Section 6.1), plus the random twig-query generator behind Figure 5.
+//!
+//! | Paper data set | Generator | Reproduced property |
+//! |---|---|---|
+//! | XBench TCMD (2,607 small docs) | [`tcmd`] | small text-centric docs, mild structural variation → low-selectivity twigs |
+//! | DBLP (169 MB) | [`dblp`] | regular, shallow, highly repetitive → unselective patterns, tiny F&B graph |
+//! | XMark scale 1 (116 MB) | [`xmark`] | structure-rich, fairly deep, flat fan-out → highly selective patterns |
+//! | Treebank (86 MB) | [`treebank`] | deep recursive grammar derivations → selective, largest bisim graph |
+//!
+//! All generators are seeded ([`GenConfig`]) and byte-stable across runs;
+//! every element name appearing in the paper's Section 6 query lists is
+//! emitted by the corresponding generator, so those queries run verbatim.
+
+mod dblp;
+pub mod queries;
+mod tcmd;
+mod treebank;
+pub mod util;
+mod xmark;
+
+pub use dblp::dblp;
+pub use queries::{random_twigs, QueryGenConfig};
+pub use tcmd::tcmd;
+pub use treebank::treebank;
+pub use xmark::xmark;
+
+/// Generator configuration: a seed for reproducibility and a scale knob
+/// (1.0 ≈ the default experiment size, which is deliberately laptop-sized;
+/// the paper's absolute corpus sizes are not the claim under test).
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Linear size multiplier.
+    pub scale: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0xF1C5_2006,
+            scale: 1.0,
+        }
+    }
+}
+
+impl GenConfig {
+    /// A config with the default seed and the given scale.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Scales a base count (at least 1).
+    pub(crate) fn count(&self, base: usize) -> usize {
+        ((base as f64 * self.scale).round() as usize).max(1)
+    }
+}

@@ -1,0 +1,187 @@
+//! Random twig-query generation (the "1000 random queries" of Figure 5).
+//!
+//! Queries are sampled *from the data*: pick a random element, walk a
+//! random number of levels down its subtree for the spine, and attach
+//! branch predicates drawn from actual sibling structure. A configurable
+//! fraction of queries gets one label perturbed so that non-matching and
+//! partially-matching queries appear in the mix (the paper discards only
+//! selectivity-0 and selectivity-1 queries; we leave filtering to the
+//! caller so the distribution itself is inspectable).
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use fix_xml::{Document, LabelTable, NodeId};
+use fix_xpath::{Axis, PathExpr, Predicate, Step};
+
+use crate::util::rng;
+
+/// Random-query generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryGenConfig {
+    /// PRNG seed.
+    pub seed: u64,
+    /// Number of queries to produce.
+    pub count: usize,
+    /// Maximum spine length (also bounds total query depth).
+    pub max_depth: usize,
+    /// Probability of attaching a predicate at each spine step.
+    pub predicate_p: f64,
+    /// Probability of perturbing one label to a random other label.
+    pub perturb_p: f64,
+}
+
+impl Default for QueryGenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5EED_5EED,
+            count: 1000,
+            max_depth: 5,
+            predicate_p: 0.4,
+            perturb_p: 0.1,
+        }
+    }
+}
+
+/// Generates `cfg.count` random twig queries over the given documents.
+/// Every returned expression satisfies `PathExpr::is_twig()`.
+pub fn random_twigs(docs: &[&Document], labels: &LabelTable, cfg: QueryGenConfig) -> Vec<PathExpr> {
+    assert!(!docs.is_empty(), "need at least one document");
+    let mut r = rng(cfg.seed, 0x0E51);
+    (0..cfg.count)
+        .map(|_| one_query(docs, labels, cfg, &mut r))
+        .collect()
+}
+
+fn one_query(
+    docs: &[&Document],
+    labels: &LabelTable,
+    cfg: QueryGenConfig,
+    r: &mut ChaCha8Rng,
+) -> PathExpr {
+    let doc = docs[r.gen_range(0..docs.len())];
+    // Random element node.
+    let start = loop {
+        let id = NodeId(r.gen_range(0..doc.len() as u32));
+        if doc.label(id).is_some() {
+            break id;
+        }
+    };
+    // Spine: walk down random children.
+    let target_len = r.gen_range(1..=cfg.max_depth);
+    let mut spine: Vec<NodeId> = vec![start];
+    let mut cur = start;
+    while spine.len() < target_len {
+        let kids: Vec<NodeId> = doc.element_children(cur).collect();
+        if kids.is_empty() {
+            break;
+        }
+        cur = kids[r.gen_range(0..kids.len())];
+        spine.push(cur);
+    }
+    let budget = cfg.max_depth.saturating_sub(spine.len());
+    let mut steps: Vec<Step> = Vec::with_capacity(spine.len());
+    for (i, &n) in spine.iter().enumerate() {
+        let mut step = Step {
+            axis: if i == 0 {
+                Axis::Descendant
+            } else {
+                Axis::Child
+            },
+            name: labels.resolve(doc.label(n).expect("element")).to_owned(),
+            predicates: Vec::new(),
+        };
+        // Maybe attach a predicate from a child other than the spine child.
+        if r.gen::<f64>() < cfg.predicate_p && budget > 0 {
+            let next_spine = spine.get(i + 1).copied();
+            let others: Vec<NodeId> = doc
+                .element_children(n)
+                .filter(|&c| Some(c) != next_spine)
+                .collect();
+            if !others.is_empty() {
+                let pick = others[r.gen_range(0..others.len())];
+                let mut pred_steps = vec![Step::child(
+                    labels.resolve(doc.label(pick).expect("element")),
+                )];
+                // Occasionally extend the predicate one more level.
+                if budget > 1 && r.gen::<f64>() < 0.4 {
+                    let grand: Vec<NodeId> = doc.element_children(pick).collect();
+                    if !grand.is_empty() {
+                        let g = grand[r.gen_range(0..grand.len())];
+                        pred_steps
+                            .push(Step::child(labels.resolve(doc.label(g).expect("element"))));
+                    }
+                }
+                step.predicates.push(Predicate {
+                    path: PathExpr { steps: pred_steps },
+                    value: None,
+                });
+            }
+        }
+        steps.push(step);
+    }
+    let mut path = PathExpr { steps };
+    // Perturbation: swap one label for a random one from the table.
+    if r.gen::<f64>() < cfg.perturb_p && labels.len() > 1 {
+        let si = r.gen_range(0..path.steps.len());
+        let li = r.gen_range(0..labels.len());
+        path.steps[si].name = labels.resolve(fix_xml::LabelId(li as u32)).to_owned();
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{tcmd, GenConfig};
+
+    #[test]
+    fn queries_are_twigs_and_deterministic() {
+        let docs = tcmd(GenConfig::scaled(0.05));
+        let mut lt = LabelTable::new();
+        let parsed: Vec<Document> = docs
+            .iter()
+            .map(|d| fix_xml::parse_document(d, &mut lt).unwrap())
+            .collect();
+        let refs: Vec<&Document> = parsed.iter().collect();
+        let cfg = QueryGenConfig {
+            count: 100,
+            ..Default::default()
+        };
+        let qs = random_twigs(&refs, &lt, cfg);
+        let qs2 = random_twigs(&refs, &lt, cfg);
+        assert_eq!(qs, qs2, "same seed ⇒ same queries");
+        assert_eq!(qs.len(), 100);
+        for q in &qs {
+            assert!(q.is_twig(), "{q} is not a twig");
+            assert!(q.depth() <= cfg.max_depth, "{q} too deep");
+        }
+    }
+
+    #[test]
+    fn most_sampled_queries_match_something() {
+        use fix_exec::eval_path;
+        let docs = tcmd(GenConfig::scaled(0.05));
+        let mut lt = LabelTable::new();
+        let parsed: Vec<Document> = docs
+            .iter()
+            .map(|d| fix_xml::parse_document(d, &mut lt).unwrap())
+            .collect();
+        let refs: Vec<&Document> = parsed.iter().collect();
+        let qs = random_twigs(
+            &refs,
+            &lt,
+            QueryGenConfig {
+                count: 100,
+                perturb_p: 0.0,
+                ..Default::default()
+            },
+        );
+        let matching = qs
+            .iter()
+            .filter(|q| parsed.iter().any(|d| !eval_path(d, &lt, q).is_empty()))
+            .count();
+        // Data-sampled unperturbed queries must overwhelmingly match.
+        assert!(matching >= 95, "{matching}/100 matched");
+    }
+}

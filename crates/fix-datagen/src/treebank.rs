@@ -1,0 +1,172 @@
+//! Treebank analogue: deeply recursive parse-tree derivations. The real
+//! corpus is partially encrypted linguistics data; what matters for the
+//! index experiments is its *shape* — deep recursion over a small tag set
+//! (`S`, `NP`, `VP`, `PP`, `EMPTY`, part-of-speech leaves), yielding highly
+//! selective structural patterns and the largest bisimulation graph of the
+//! four data sets (the Table 1 ICT column's worst case).
+//!
+//! Vocabulary covers the Section 6 Treebank queries: `//EMPTY/S/NP[PP]/NP`,
+//! `//S[VP]/NP/NP/PP/NP`, `//EMPTY/S[VP]/NP`, `//EMPTY/S/NP/NP/PP`,
+//! `//EMPTY/S/VP`.
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::util::{between, chance, rng, words, Xml};
+use crate::GenConfig;
+
+/// Generates the document (default ≈ 1200 sentences at scale 1).
+pub fn treebank(cfg: GenConfig) -> String {
+    let mut r = rng(cfg.seed, 0x7B27);
+    let sentences = cfg.count(1200);
+    let mut x = Xml::new();
+    x.open("FILE");
+    for _ in 0..sentences {
+        // The real Treebank wraps many sentences in EMPTY elements.
+        if chance(&mut r, 0.7) {
+            x.open("EMPTY");
+            sentence(&mut x, &mut r);
+            x.close();
+        } else {
+            sentence(&mut x, &mut r);
+        }
+    }
+    x.close();
+    x.finish()
+}
+
+fn sentence(x: &mut Xml, r: &mut ChaCha8Rng) {
+    x.open("S");
+    let budget = between(r, 4, 11);
+    clause_body(x, r, budget);
+    x.close();
+}
+
+/// Emits the children of an `S` clause with a recursion budget.
+fn clause_body(x: &mut Xml, r: &mut ChaCha8Rng, budget: usize) {
+    // Typical clause: optional leading NP(s), a VP, optional PP adjuncts,
+    // occasionally an embedded S.
+    if chance(r, 0.85) {
+        np(x, r, budget.saturating_sub(1));
+    }
+    if chance(r, 0.3) {
+        np(x, r, budget.saturating_sub(1));
+    }
+    if chance(r, 0.9) {
+        vp(x, r, budget.saturating_sub(1));
+    }
+    if chance(r, 0.35) {
+        pp(x, r, budget.saturating_sub(1));
+    }
+    if budget > 3 && chance(r, 0.25) {
+        x.open("S");
+        clause_body(x, r, budget - 2);
+        x.close();
+    }
+}
+
+fn np(x: &mut Xml, r: &mut ChaCha8Rng, budget: usize) {
+    x.open("NP");
+    if budget == 0 {
+        x.leaf("NN", &words(r, 1));
+        x.close();
+        return;
+    }
+    if chance(r, 0.4) {
+        x.leaf("DT", "the");
+    }
+    if chance(r, 0.25) {
+        x.leaf("JJ", &words(r, 1));
+    }
+    x.leaf("NN", &words(r, 1));
+    // Recursive NP (possessives, appositives) and PP attachment are what
+    // make Treebank deep.
+    if chance(r, 0.35) {
+        np(x, r, budget - 1);
+    }
+    if chance(r, 0.4) {
+        pp(x, r, budget - 1);
+    }
+    x.close();
+}
+
+fn vp(x: &mut Xml, r: &mut ChaCha8Rng, budget: usize) {
+    x.open("VP");
+    x.leaf("VB", &words(r, 1));
+    if budget > 0 {
+        if chance(r, 0.6) {
+            np(x, r, budget - 1);
+        }
+        if chance(r, 0.3) {
+            pp(x, r, budget - 1);
+        }
+        if budget > 2 && chance(r, 0.2) {
+            x.open("S");
+            clause_body(x, r, budget - 2);
+            x.close();
+        }
+    }
+    x.close();
+}
+
+fn pp(x: &mut Xml, r: &mut ChaCha8Rng, budget: usize) {
+    x.open("PP");
+    x.leaf("IN", "of");
+    if budget > 0 {
+        np(x, r, budget - 1);
+    } else {
+        x.leaf("NN", &words(r, 1));
+    }
+    x.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_exec::eval_path;
+    use fix_xpath::parse_path;
+
+    #[test]
+    fn deterministic_deep_and_recursive() {
+        let a = treebank(GenConfig::scaled(0.05));
+        assert_eq!(a, treebank(GenConfig::scaled(0.05)));
+        let mut lt = fix_xml::LabelTable::new();
+        let d = fix_xml::parse_document(&a, &mut lt).unwrap();
+        assert!(d.max_depth() >= 10, "depth {}", d.max_depth());
+    }
+
+    #[test]
+    fn paper_queries_are_nonempty() {
+        let xml = treebank(GenConfig::scaled(0.4));
+        let mut lt = fix_xml::LabelTable::new();
+        let d = fix_xml::parse_document(&xml, &mut lt).unwrap();
+        for q in [
+            "//EMPTY/S/NP[PP]/NP",
+            "//S[VP]/NP/NP/PP/NP",
+            "//EMPTY/S[VP]/NP",
+            "//EMPTY/S/NP/NP/PP",
+            "//EMPTY/S/VP",
+        ] {
+            let n = eval_path(&d, &lt, &parse_path(q).unwrap()).len();
+            assert!(n > 0, "query {q} is empty");
+        }
+    }
+
+    #[test]
+    fn bisim_graph_is_comparatively_large() {
+        // Structural selectivity: the bisim graph should have far more
+        // distinct vertices relative to document size than DBLP's.
+        let xml = treebank(GenConfig::scaled(0.1));
+        let mut lt = fix_xml::LabelTable::new();
+        let d = fix_xml::parse_document(&xml, &mut lt).unwrap();
+        let (g, _) = fix_bisim::build_document_graph(&d);
+        let tb_ratio = g.len() as f64 / d.len() as f64;
+        let dblp_xml = crate::dblp(GenConfig::scaled(0.05));
+        let dd = fix_xml::parse_document(&dblp_xml, &mut lt).unwrap();
+        let (dg, _) = fix_bisim::build_document_graph(&dd);
+        let dblp_ratio = dg.len() as f64 / dd.len() as f64;
+        assert!(
+            tb_ratio > 3.0 * dblp_ratio,
+            "treebank ratio {tb_ratio} vs dblp {dblp_ratio}"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared generator helpers: seeded RNG, XML writing, and text synthesis.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Creates the deterministic PRNG for a generator, mixing in a per-dataset
+/// tag so different generators with the same seed do not correlate.
+pub fn rng(seed: u64, tag: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Bernoulli draw.
+pub fn chance(r: &mut ChaCha8Rng, p: f64) -> bool {
+    r.gen::<f64>() < p
+}
+
+/// Uniform integer in `lo..=hi`.
+pub fn between(r: &mut ChaCha8Rng, lo: usize, hi: usize) -> usize {
+    r.gen_range(lo..=hi)
+}
+
+const WORDS: &[&str] = &[
+    "query", "index", "tree", "graph", "pattern", "storage", "join", "stream", "matrix", "vector",
+    "twig", "path", "node", "label", "value", "system", "data", "model", "cache", "page", "scan",
+    "merge", "hash", "sort",
+];
+
+/// A short pseudo-sentence from the word pool.
+pub fn words(r: &mut ChaCha8Rng, n: usize) -> String {
+    let mut out = String::new();
+    for i in 0..n {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(WORDS[r.gen_range(0..WORDS.len())]);
+    }
+    out
+}
+
+/// A person-name-like string.
+pub fn person(r: &mut ChaCha8Rng) -> String {
+    const FIRST: &[&str] = &[
+        "John", "Mary", "Wei", "Tamer", "Ning", "Ihab", "Ana", "Sven",
+    ];
+    const LAST: &[&str] = &[
+        "Smith", "Zhang", "Ozsu", "Ilyas", "Miller", "Kim", "Berg", "Rao",
+    ];
+    format!(
+        "{} {}",
+        FIRST[r.gen_range(0..FIRST.len())],
+        LAST[r.gen_range(0..LAST.len())]
+    )
+}
+
+/// A minimal XML writer that keeps generator code readable.
+#[derive(Debug, Default)]
+pub struct Xml {
+    buf: String,
+    stack: Vec<&'static str>,
+}
+
+impl Xml {
+    /// Starts an empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens `<tag>`.
+    pub fn open(&mut self, tag: &'static str) -> &mut Self {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        self.buf.push('>');
+        self.stack.push(tag);
+        self
+    }
+
+    /// Closes the innermost element.
+    pub fn close(&mut self) -> &mut Self {
+        let tag = self.stack.pop().expect("close without open");
+        self.buf.push_str("</");
+        self.buf.push_str(tag);
+        self.buf.push('>');
+        self
+    }
+
+    /// Emits `<tag/>`.
+    pub fn empty(&mut self, tag: &'static str) -> &mut Self {
+        self.buf.push('<');
+        self.buf.push_str(tag);
+        self.buf.push_str("/>");
+        self
+    }
+
+    /// Emits `<tag>text</tag>` (escaped).
+    pub fn leaf(&mut self, tag: &'static str, text: &str) -> &mut Self {
+        self.open(tag);
+        self.text(text);
+        self.close()
+    }
+
+    /// Emits escaped character data.
+    pub fn text(&mut self, text: &str) -> &mut Self {
+        for c in text.chars() {
+            match c {
+                '&' => self.buf.push_str("&amp;"),
+                '<' => self.buf.push_str("&lt;"),
+                '>' => self.buf.push_str("&gt;"),
+                _ => self.buf.push(c),
+            }
+        }
+        self
+    }
+
+    /// Finishes the document.
+    ///
+    /// # Panics
+    /// Panics if elements remain open.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed element {:?}", self.stack);
+        self.buf
+    }
+}
+
+/// `words` with a uniformly random length in `lo..=hi` (avoids nested
+/// mutable borrows of the RNG at call sites).
+pub fn words_range(r: &mut ChaCha8Rng, lo: usize, hi: usize) -> String {
+    let n = between(r, lo, hi);
+    words(r, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = rng(1, 2);
+        let mut b = rng(1, 2);
+        let va: u64 = a.gen();
+        let vb: u64 = b.gen();
+        assert_eq!(va, vb);
+        let mut c = rng(1, 3);
+        let vc: u64 = c.gen();
+        assert_ne!(va, vc, "different tags must decorrelate");
+    }
+
+    #[test]
+    fn xml_writer_builds_documents() {
+        let mut x = Xml::new();
+        x.open("a");
+        x.leaf("b", "1 < 2");
+        x.empty("c");
+        x.close();
+        assert_eq!(x.finish(), "<a><b>1 &lt; 2</b><c/></a>");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed element")]
+    fn unclosed_panics() {
+        let mut x = Xml::new();
+        x.open("a");
+        let _ = x.finish();
+    }
+
+    #[test]
+    fn helpers_stay_in_bounds() {
+        let mut r = rng(7, 7);
+        for _ in 0..100 {
+            let v = between(&mut r, 2, 5);
+            assert!((2..=5).contains(&v));
+        }
+        assert!(!words(&mut r, 3).is_empty());
+        assert!(person(&mut r).contains(' '));
+    }
+}

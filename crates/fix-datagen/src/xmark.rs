@@ -1,0 +1,261 @@
+//! XMark analogue: one structure-rich auction-site document — fairly deep,
+//! very flat (large fan-out), with the recursive `parlist`/`listitem`
+//! description markup that makes XMark patterns highly selective.
+//!
+//! Vocabulary covers the Section 6 XMark queries:
+//! `//category/description[parlist]/parlist/listitem/text`,
+//! `//closed_auction/annotation/description/text`,
+//! `//open_auction[seller]/annotation/description/text`,
+//! `//item/mailbox/mail/text/emph/keyword`,
+//! `//item[name]/mailbox/mail[to]/text[bold]/emph/bold`,
+//! `//item[payment][quantity][shipping][mailbox/mail/text]/description/parlist`.
+
+use rand_chacha::ChaCha8Rng;
+
+use crate::util::{between, chance, person, rng, words, words_range, Xml};
+use crate::GenConfig;
+
+/// Generates the document (default ≈ 50k elements at scale 1).
+pub fn xmark(cfg: GenConfig) -> String {
+    let mut r = rng(cfg.seed, 0x3A2C);
+    let items = cfg.count(300);
+    let categories = cfg.count(80);
+    let people = cfg.count(200);
+    let open = cfg.count(150);
+    let closed = cfg.count(150);
+
+    let mut x = Xml::new();
+    x.open("site");
+
+    x.open("regions");
+    for (i, region) in [
+        "africa",
+        "asia",
+        "australia",
+        "europe",
+        "namerica",
+        "samerica",
+    ]
+    .iter()
+    .enumerate()
+    {
+        x.open(region);
+        let share = items / 6 + usize::from(i < items % 6);
+        for _ in 0..share {
+            item(&mut x, &mut r);
+        }
+        x.close();
+    }
+    x.close();
+
+    x.open("categories");
+    for _ in 0..categories {
+        x.open("category");
+        x.leaf("name", &words(&mut r, 2));
+        description(&mut x, &mut r, 0.55);
+        x.close();
+    }
+    x.close();
+
+    x.open("people");
+    for _ in 0..people {
+        x.open("person");
+        x.leaf("name", &person(&mut r));
+        x.leaf(
+            "emailaddress",
+            &format!("p{}@example.com", between(&mut r, 1, 99999)),
+        );
+        if chance(&mut r, 0.6) {
+            x.open("address");
+            x.leaf("street", &words(&mut r, 2));
+            x.leaf("city", &words(&mut r, 1));
+            x.leaf("country", &words(&mut r, 1));
+            x.close();
+        }
+        if chance(&mut r, 0.5) {
+            x.open("profile");
+            for _ in 0..between(&mut r, 0, 3) {
+                x.leaf("interest", &words(&mut r, 1));
+            }
+            if chance(&mut r, 0.4) {
+                x.leaf("education", "Graduate School");
+            }
+            x.close();
+        }
+        x.close();
+    }
+    x.close();
+
+    x.open("open_auctions");
+    for _ in 0..open {
+        x.open("open_auction");
+        x.leaf("initial", &format!("{}.00", between(&mut r, 1, 200)));
+        for _ in 0..between(&mut r, 0, 4) {
+            x.open("bidder");
+            x.leaf("date", "01/01/2005");
+            x.leaf("increase", &format!("{}.50", between(&mut r, 1, 20)));
+            x.close();
+        }
+        x.leaf("current", &format!("{}.00", between(&mut r, 10, 400)));
+        if chance(&mut r, 0.75) {
+            x.empty("seller");
+        }
+        annotation(&mut x, &mut r);
+        x.leaf("quantity", &format!("{}", between(&mut r, 1, 5)));
+        x.leaf("type", "Regular");
+        x.open("interval");
+        x.leaf("start", "01/01/2005");
+        x.leaf("end", "02/01/2005");
+        x.close();
+        x.close();
+    }
+    x.close();
+
+    x.open("closed_auctions");
+    for _ in 0..closed {
+        x.open("closed_auction");
+        x.empty("seller");
+        x.empty("buyer");
+        x.empty("itemref");
+        x.leaf("price", &format!("{}.00", between(&mut r, 5, 500)));
+        x.leaf("date", "03/01/2005");
+        x.leaf("quantity", &format!("{}", between(&mut r, 1, 5)));
+        x.leaf("type", "Featured");
+        annotation(&mut x, &mut r);
+        x.close();
+    }
+    x.close();
+
+    x.close(); // site
+    x.finish()
+}
+
+/// `description` with either plain `text` or a recursive `parlist`.
+fn description(x: &mut Xml, r: &mut ChaCha8Rng, parlist_p: f64) {
+    x.open("description");
+    if chance(r, parlist_p) {
+        let depth = between(r, 1, 3);
+        parlist(x, r, depth);
+    } else {
+        text(x, r);
+    }
+    x.close();
+}
+
+fn parlist(x: &mut Xml, r: &mut ChaCha8Rng, depth: usize) {
+    x.open("parlist");
+    for _ in 0..between(r, 1, 3) {
+        x.open("listitem");
+        if depth > 1 && chance(r, 0.3) {
+            parlist(x, r, depth - 1);
+        } else {
+            text(x, r);
+        }
+        x.close();
+    }
+    x.close();
+}
+
+/// `text` with optional inline `bold`, `keyword`, and `emph` (which itself
+/// may contain `keyword` or `bold` — the Section 6 queries need both
+/// `text/emph/keyword` and `text[bold]/emph/bold`).
+fn text(x: &mut Xml, r: &mut ChaCha8Rng) {
+    x.open("text");
+    x.text(&words_range(r, 3, 10));
+    if chance(r, 0.2) {
+        x.leaf("bold", &words(r, 1));
+    }
+    if chance(r, 0.15) {
+        x.leaf("keyword", &words(r, 1));
+    }
+    if chance(r, 0.2) {
+        x.open("emph");
+        if chance(r, 0.45) {
+            x.leaf("keyword", &words(r, 1));
+        }
+        if chance(r, 0.35) {
+            x.leaf("bold", &words(r, 1));
+        }
+        x.close();
+    }
+    x.close();
+}
+
+fn annotation(x: &mut Xml, r: &mut ChaCha8Rng) {
+    x.open("annotation");
+    x.leaf("author", &person(r));
+    description(x, r, 0.35);
+    x.close();
+}
+
+fn item(x: &mut Xml, r: &mut ChaCha8Rng) {
+    x.open("item");
+    x.leaf("location", &words(r, 1));
+    if chance(r, 0.8) {
+        x.leaf("quantity", &format!("{}", between(r, 1, 9)));
+    }
+    if chance(r, 0.9) {
+        x.leaf("name", &words(r, 2));
+    }
+    if chance(r, 0.75) {
+        x.leaf("payment", "Creditcard");
+    }
+    description(x, r, 0.4);
+    if chance(r, 0.7) {
+        x.leaf("shipping", "Will ship internationally");
+    }
+    for _ in 0..between(r, 0, 2) {
+        x.empty("incategory");
+    }
+    if chance(r, 0.6) {
+        x.open("mailbox");
+        for _ in 0..between(r, 1, 3) {
+            x.open("mail");
+            x.leaf("from", &person(r));
+            if chance(r, 0.8) {
+                x.leaf("to", &person(r));
+            }
+            x.leaf("date", "04/01/2005");
+            text(x, r);
+            x.close();
+        }
+        x.close();
+    }
+    x.close();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_exec::eval_path;
+    use fix_xpath::parse_path;
+
+    #[test]
+    fn deterministic_structure_rich_and_deep() {
+        let a = xmark(GenConfig::scaled(0.05));
+        assert_eq!(a, xmark(GenConfig::scaled(0.05)));
+        let mut lt = fix_xml::LabelTable::new();
+        let d = fix_xml::parse_document(&a, &mut lt).unwrap();
+        assert!(d.max_depth() >= 7, "depth {}", d.max_depth());
+        assert!(lt.len() >= 40, "label variety {}", lt.len());
+    }
+
+    #[test]
+    fn all_paper_queries_are_expressible_and_nonempty() {
+        let xml = xmark(GenConfig::scaled(0.6));
+        let mut lt = fix_xml::LabelTable::new();
+        let d = fix_xml::parse_document(&xml, &mut lt).unwrap();
+        for q in [
+            "//category/description[parlist]/parlist/listitem/text",
+            "//closed_auction/annotation/description/text",
+            "//open_auction[seller]/annotation/description/text",
+            "//item/mailbox/mail/text/emph/keyword",
+            "//description/parlist/listitem",
+            "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+            "//item[payment][quantity][shipping][mailbox/mail/text]/description/parlist",
+        ] {
+            let n = eval_path(&d, &lt, &parse_path(q).unwrap()).len();
+            assert!(n > 0, "query {q} is empty");
+        }
+    }
+}

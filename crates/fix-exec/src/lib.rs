@@ -1,0 +1,34 @@
+//! Query processors: the refinement operators FIX plugs into, and the
+//! baselines it is compared against (Section 6.3).
+//!
+//! * [`nok`] — a navigational twig/path evaluator in the style of the NoK
+//!   operator [Zhang, Kacholia, Özsu; ICDE 2004]: document-order
+//!   navigation over the primary storage, full `//` support. It is both
+//!   the no-index baseline and FIX's refinement processor.
+//! * [`twig`] — a bottom-up structural matcher over the region-encoded
+//!   document (one postorder pass, `O(|doc| · |query|)`); an independent
+//!   implementation used as the correctness oracle in tests and as an
+//!   alternative refinement operator in the ablation benches.
+//! * [`fbq`] — query evaluation over the F&B bisimulation index graph
+//!   (the clustering-index baseline, covering for branching path queries).
+//!
+//! All evaluators agree on semantics: the result of a query is the set of
+//! document nodes matched by the *output* step (the last step of the main
+//! spine), in document order. A value predicate `[x = "v"]` matches an
+//! element that has a direct text child exactly equal to `"v"` — the same
+//! convention the value-hashing index uses, so index pruning and
+//! refinement can never disagree.
+
+pub mod fbq;
+pub mod nok;
+pub mod pathstack;
+pub mod structjoin;
+pub mod twig;
+pub mod twigstack;
+
+pub use fbq::eval_fb;
+pub use nok::{anchors, eval_path, eval_path_from, path_matches, value_matches};
+pub use pathstack::{eval_pathstack, PathStackStats};
+pub use structjoin::{eval_structural, join_pairs, semijoin_ancestors, semijoin_descendants};
+pub use twig::{eval_twig, node_satisfies, twig_matches, verify_output};
+pub use twigstack::{eval_twigstack, twigstack_filter, TwigStackStats};

@@ -1,0 +1,344 @@
+//! Navigational path evaluation (the NoK-style operator).
+//!
+//! Evaluates a full [`PathExpr`] — interior `//` axes, nested predicates,
+//! value comparisons — by set-at-a-time navigation over the document
+//! arena, maintaining context sets in document order.
+
+use fix_xml::{Document, LabelTable, NodeId};
+use fix_xpath::{Axis, PathExpr, Predicate};
+
+/// True if element `n` has a direct text child equal to `v`.
+pub fn value_matches(doc: &Document, n: NodeId, v: &str) -> bool {
+    doc.children(n)
+        .any(|c| doc.text(c).map(|t| t == v).unwrap_or(false))
+}
+
+/// Evaluates `path` over `doc`, returning the nodes matched by the last
+/// step of the main spine, in document order. Labels are resolved through
+/// `labels`; a NameTest naming an unseen label yields the empty result.
+pub fn eval_path(doc: &Document, labels: &LabelTable, path: &PathExpr) -> Vec<NodeId> {
+    if path.steps.is_empty() {
+        return Vec::new();
+    }
+    // The initial context is the virtual document node: its only child is
+    // the root element, and its descendants are all elements.
+    let mut context: Vec<NodeId> = Vec::new();
+    for (i, step) in path.steps.iter().enumerate() {
+        let label = match labels.lookup(&step.name) {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        let mut next: Vec<NodeId> = Vec::new();
+        if i == 0 {
+            match step.axis {
+                Axis::Child => {
+                    let root = doc.root();
+                    if doc.label(root) == Some(label) {
+                        next.push(root);
+                    }
+                }
+                Axis::Descendant => {
+                    for n in doc.descendants_or_self(doc.root()) {
+                        if doc.label(n) == Some(label) {
+                            next.push(n);
+                        }
+                    }
+                }
+            }
+        } else {
+            match step.axis {
+                Axis::Child => {
+                    for &c in &context {
+                        for k in doc.children(c) {
+                            if doc.label(k) == Some(label) {
+                                next.push(k);
+                            }
+                        }
+                    }
+                }
+                Axis::Descendant => {
+                    for &c in &context {
+                        for d in doc.descendants_or_self(c).skip(1) {
+                            if doc.label(d) == Some(label) {
+                                next.push(d);
+                            }
+                        }
+                    }
+                }
+            }
+            // Context sets can overlap under `//`; dedup preserves document
+            // order because ids are preorder ranks.
+            next.sort_unstable();
+            next.dedup();
+        }
+        // Apply predicates.
+        if !step.predicates.is_empty() {
+            next.retain(|&n| {
+                step.predicates
+                    .iter()
+                    .all(|p| pred_holds(doc, labels, n, p))
+            });
+        }
+        context = next;
+        if context.is_empty() {
+            return context;
+        }
+    }
+    context
+}
+
+/// Existence of a predicate path (with optional trailing value test)
+/// relative to `n`.
+fn pred_holds(doc: &Document, labels: &LabelTable, n: NodeId, pred: &Predicate) -> bool {
+    rel_eval(doc, labels, n, &pred.path.steps, pred.value.as_deref())
+}
+
+fn rel_eval(
+    doc: &Document,
+    labels: &LabelTable,
+    from: NodeId,
+    steps: &[fix_xpath::Step],
+    value: Option<&str>,
+) -> bool {
+    let (step, rest) = match steps.split_first() {
+        Some(x) => x,
+        None => return true,
+    };
+    let label = match labels.lookup(&step.name) {
+        Some(l) => l,
+        None => return false,
+    };
+    let candidates: Vec<NodeId> = match step.axis {
+        Axis::Child => doc
+            .children(from)
+            .filter(|&k| doc.label(k) == Some(label))
+            .collect(),
+        Axis::Descendant => doc
+            .descendants_or_self(from)
+            .skip(1)
+            .filter(|&d| doc.label(d) == Some(label))
+            .collect(),
+    };
+    candidates.into_iter().any(|c| {
+        if !step
+            .predicates
+            .iter()
+            .all(|p| pred_holds(doc, labels, c, p))
+        {
+            return false;
+        }
+        if rest.is_empty() {
+            match value {
+                Some(v) => value_matches(doc, c, v),
+                None => true,
+            }
+        } else {
+            rel_eval(doc, labels, c, rest, value)
+        }
+    })
+}
+
+/// Evaluates `path` with its first step *anchored* at `anchor`: the leading
+/// axis is ignored and the first NameTest must match `anchor` itself. This
+/// is Algorithm 2's refinement call — FIX replaces the leading `//` with
+/// `/` because every candidate entry is rooted exactly where the twig must
+/// anchor.
+pub fn eval_path_from(
+    doc: &Document,
+    labels: &LabelTable,
+    path: &PathExpr,
+    anchor: NodeId,
+) -> Vec<NodeId> {
+    let (first, _) = match path.steps.split_first() {
+        Some(x) => x,
+        None => return Vec::new(),
+    };
+    if labels.lookup(&first.name) != doc.label(anchor) {
+        return Vec::new();
+    }
+    if !first
+        .predicates
+        .iter()
+        .all(|p| pred_holds(doc, labels, anchor, p))
+    {
+        return Vec::new();
+    }
+    let mut context = vec![anchor];
+    for step in path.steps.iter().skip(1) {
+        let label = match labels.lookup(&step.name) {
+            Some(l) => l,
+            None => return Vec::new(),
+        };
+        let mut next: Vec<NodeId> = Vec::new();
+        match step.axis {
+            Axis::Child => {
+                for &c in &context {
+                    for k in doc.children(c) {
+                        if doc.label(k) == Some(label) {
+                            next.push(k);
+                        }
+                    }
+                }
+            }
+            Axis::Descendant => {
+                for &c in &context {
+                    for d in doc.descendants_or_self(c).skip(1) {
+                        if doc.label(d) == Some(label) {
+                            next.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        if !step.predicates.is_empty() {
+            next.retain(|&n| {
+                step.predicates
+                    .iter()
+                    .all(|p| pred_holds(doc, labels, n, p))
+            });
+        }
+        context = next;
+        if context.is_empty() {
+            break;
+        }
+    }
+    context
+}
+
+/// The *anchors* of a query: first-step matches that lead to at least one
+/// final result. The number of index entries that "actually produce
+/// results" (`rst` in the Section 6.2 metrics) is the number of anchors.
+pub fn anchors(doc: &Document, labels: &LabelTable, path: &PathExpr) -> Vec<NodeId> {
+    let (first, _) = match path.steps.split_first() {
+        Some(x) => x,
+        None => return Vec::new(),
+    };
+    let label = match labels.lookup(&first.name) {
+        Some(l) => l,
+        None => return Vec::new(),
+    };
+    let candidates: Vec<NodeId> = match first.axis {
+        Axis::Child => {
+            let root = doc.root();
+            if doc.label(root) == Some(label) {
+                vec![root]
+            } else {
+                Vec::new()
+            }
+        }
+        Axis::Descendant => doc
+            .descendants_or_self(doc.root())
+            .filter(|&n| doc.label(n) == Some(label))
+            .collect(),
+    };
+    candidates
+        .into_iter()
+        .filter(|&a| !eval_path_from(doc, labels, path, a).is_empty())
+        .collect()
+}
+
+/// Existential form: does the path match at all?
+pub fn path_matches(doc: &Document, labels: &LabelTable, path: &PathExpr) -> bool {
+    !eval_path(doc, labels, path).is_empty()
+}
+
+/// Counts elements of `doc` visited by a full navigational evaluation —
+/// the work metric for the no-index baseline (it must walk everything
+/// reachable under the leading `//`).
+pub fn eval_count(doc: &Document, labels: &LabelTable, path: &PathExpr) -> usize {
+    eval_path(doc, labels, path).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xml::parse_document;
+    use fix_xpath::parse_path;
+
+    fn eval(xml: &str, q: &str) -> Vec<u32> {
+        let mut lt = LabelTable::new();
+        let d = parse_document(xml, &mut lt).unwrap();
+        eval_path(&d, &lt, &parse_path(q).unwrap())
+            .into_iter()
+            .map(|n| n.0)
+            .collect()
+    }
+
+    const BIB: &str = "<bib>\
+        <article><author><email/></author><title>X</title><ee/></article>\
+        <article><author><phone/><email/></author><title>Y</title></article>\
+        <book><author><phone/></author><title>Z</title></book>\
+    </bib>";
+
+    #[test]
+    fn child_steps() {
+        assert_eq!(eval(BIB, "/bib/article").len(), 2);
+        assert_eq!(eval(BIB, "/bib/book").len(), 1);
+        assert_eq!(eval(BIB, "/article").len(), 0, "root is bib, not article");
+    }
+
+    #[test]
+    fn descendant_steps() {
+        assert_eq!(eval(BIB, "//author").len(), 3);
+        assert_eq!(eval(BIB, "//article/author/email").len(), 2);
+        assert_eq!(eval(BIB, "//bib//email").len(), 2);
+    }
+
+    #[test]
+    fn predicates_filter() {
+        assert_eq!(eval(BIB, "//article[ee]/title").len(), 1);
+        assert_eq!(eval(BIB, "//author[phone][email]").len(), 1);
+        assert_eq!(eval(BIB, "//article[author/phone]/title").len(), 1);
+    }
+
+    #[test]
+    fn descendant_predicates() {
+        assert_eq!(eval(BIB, "//bib[.//phone]/article").len(), 2);
+        assert_eq!(eval(BIB, "//article[.//phone]/title").len(), 1);
+    }
+
+    #[test]
+    fn value_predicates() {
+        let xml = "<dblp>\
+            <inproceedings><year>1998</year><title>A</title></inproceedings>\
+            <inproceedings><year>1999</year><title>B</title></inproceedings>\
+        </dblp>";
+        assert_eq!(eval(xml, r#"//inproceedings[year="1998"]/title"#).len(), 1);
+        assert_eq!(eval(xml, r#"//inproceedings[year="2000"]/title"#).len(), 0);
+        assert_eq!(eval(xml, r#"//inproceedings[year="1998"]"#).len(), 1);
+    }
+
+    #[test]
+    fn results_are_in_document_order_and_unique() {
+        let xml = "<r><a><a><b/></a><b/></a></r>";
+        let r = eval(xml, "//a//b");
+        // Both b's, each reported once.
+        assert_eq!(r.len(), 2);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unknown_label_yields_empty() {
+        assert!(eval(BIB, "//nonexistent").is_empty());
+        assert!(eval(BIB, "//article[nonexistent]").is_empty());
+    }
+
+    #[test]
+    fn existential_and_count() {
+        let mut lt = LabelTable::new();
+        let d = parse_document(BIB, &mut lt).unwrap();
+        assert!(path_matches(
+            &d,
+            &lt,
+            &parse_path("//book/author/phone").unwrap()
+        ));
+        assert!(!path_matches(
+            &d,
+            &lt,
+            &parse_path("//book/author/email").unwrap()
+        ));
+        assert_eq!(eval_count(&d, &lt, &parse_path("//title").unwrap()), 3);
+    }
+}

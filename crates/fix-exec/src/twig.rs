@@ -1,0 +1,278 @@
+//! Bottom-up structural twig matching over the region-encoded document.
+//!
+//! One postorder pass computes, for every query node `q`, the set of
+//! document nodes rooting a match of `q`'s subtree (all edges are
+//! parent-child inside a twig). A top-down pass then narrows to the nodes
+//! reachable through a matched spine, yielding exactly the output node's
+//! result set. Complexity `O(|doc| · |query|)`, independent of the
+//! navigational evaluator's code path — which is why the tests use it as
+//! an oracle against [`crate::nok`].
+
+use fix_xml::{Document, NodeId, NodeKind};
+use fix_xpath::{Axis, TwigQuery};
+
+use crate::nok::value_matches;
+
+/// Evaluates the twig query, returning the output node's matches in
+/// document order.
+pub fn eval_twig(doc: &Document, q: &TwigQuery) -> Vec<NodeId> {
+    let n = doc.len();
+    let qn = q.nodes.len();
+    // sat[i] holds a bitmask over query nodes satisfied at document node i.
+    // Twigs in this reproduction are small (the paper's depth limit is 6);
+    // fall back to a boolean matrix if a query ever exceeds 64 nodes.
+    assert!(
+        qn <= 64,
+        "twig queries larger than 64 nodes are unsupported"
+    );
+    let mut sat: Vec<u64> = vec![0; n];
+
+    // Postorder = reverse preorder id works for "children before parents"?
+    // No — preorder parents come first, so iterate ids in reverse: every
+    // child has a larger id than its parent, hence is processed earlier.
+    #[allow(clippy::needless_range_loop)] // the body reads sat[child] too
+    for i in (0..n).rev() {
+        let node = NodeId(i as u32);
+        let label = match doc.kind(node) {
+            NodeKind::Element(l) => l,
+            NodeKind::Text(_) => continue,
+        };
+        let mut mask = 0u64;
+        'query: for (qi, qnode) in q.nodes.iter().enumerate() {
+            if qnode.label != label {
+                continue;
+            }
+            if let Some(v) = &qnode.value {
+                if !value_matches(doc, node, v) {
+                    continue;
+                }
+            }
+            for &qc in &qnode.children {
+                let mut found = false;
+                for c in doc.element_children(node) {
+                    if sat[c.index()] & (1 << qc) != 0 {
+                        found = true;
+                        break;
+                    }
+                }
+                if !found {
+                    continue 'query;
+                }
+            }
+            mask |= 1 << qi;
+        }
+        sat[i] = mask;
+    }
+
+    // Top-down narrowing along the spine from the root to the output node.
+    let spine = spine_to_output(q);
+    let mut current: Vec<NodeId> = Vec::new();
+    // Root candidates.
+    match q.root_axis {
+        Axis::Child => {
+            let r = doc.root();
+            if sat[r.index()] & 1 != 0 {
+                current.push(r);
+            }
+        }
+        Axis::Descendant => {
+            for (i, &m) in sat.iter().enumerate() {
+                if m & 1 != 0 {
+                    current.push(NodeId(i as u32));
+                }
+            }
+        }
+    }
+    for &qstep in spine.iter().skip(1) {
+        let mut next = Vec::new();
+        for &p in &current {
+            for c in doc.element_children(p) {
+                if sat[c.index()] & (1 << qstep) != 0 {
+                    next.push(c);
+                }
+            }
+        }
+        next.sort_unstable();
+        next.dedup();
+        current = next;
+        if current.is_empty() {
+            break;
+        }
+    }
+    current
+}
+
+/// True if the twig matches anywhere in the document (Definition 2's
+/// existential match).
+pub fn twig_matches(doc: &Document, q: &TwigQuery) -> bool {
+    !eval_twig(doc, q).is_empty()
+}
+
+/// Checks whether document node `n` satisfies the query subtree rooted at
+/// query node `qi` (label, value, and all child branches).
+pub fn node_satisfies(doc: &Document, q: &TwigQuery, qi: usize, n: NodeId) -> bool {
+    let qnode = &q.nodes[qi];
+    if doc.label(n) != Some(qnode.label) {
+        return false;
+    }
+    if let Some(v) = &qnode.value {
+        if !value_matches(doc, n, v) {
+            return false;
+        }
+    }
+    qnode.children.iter().all(|&qc| {
+        doc.element_children(n)
+            .any(|c| node_satisfies(doc, q, qc, c))
+    })
+}
+
+/// Verifies that `output` is a genuine result of `q`: the (unique) ancestor
+/// chain above it instantiates the query spine, every spine node's branches
+/// are satisfied, and the spine root respects the leading axis. Used to
+/// refine per-node candidates (e.g. from the F&B baseline on value queries,
+/// or from an unclustered FIX probe).
+pub fn verify_output(doc: &Document, q: &TwigQuery, output: NodeId) -> bool {
+    let spine = spine_to_output(q);
+    let mut n = output;
+    for (idx, &qi) in spine.iter().enumerate().rev() {
+        let qnode = &q.nodes[qi];
+        if doc.label(n) != Some(qnode.label) {
+            return false;
+        }
+        if let Some(v) = &qnode.value {
+            if !value_matches(doc, n, v) {
+                return false;
+            }
+        }
+        let spine_child = spine.get(idx + 1);
+        for &qc in &qnode.children {
+            if Some(&qc) == spine_child {
+                continue; // satisfied by the chain below
+            }
+            if !doc
+                .element_children(n)
+                .any(|c| node_satisfies(doc, q, qc, c))
+            {
+                return false;
+            }
+        }
+        if idx > 0 {
+            n = match doc.parent(n) {
+                Some(p) => p,
+                None => return false,
+            };
+        } else if q.root_axis == Axis::Child && n != doc.root() {
+            return false;
+        }
+    }
+    true
+}
+
+/// The chain of query-node indices from the root to the output node.
+fn spine_to_output(q: &TwigQuery) -> Vec<usize> {
+    // Parent links.
+    let mut parent = vec![usize::MAX; q.nodes.len()];
+    for (i, node) in q.nodes.iter().enumerate() {
+        for &c in &node.children {
+            parent[c] = i;
+        }
+    }
+    let mut spine = vec![q.output];
+    let mut cur = q.output;
+    while parent[cur] != usize::MAX {
+        cur = parent[cur];
+        spine.push(cur);
+    }
+    spine.reverse();
+    spine
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xml::{parse_document, LabelTable};
+    use fix_xpath::parse_path;
+
+    fn eval(xml: &str, query: &str) -> Vec<u32> {
+        let mut lt = LabelTable::new();
+        let d = parse_document(xml, &mut lt).unwrap();
+        let p = parse_path(query).unwrap();
+        let q = match TwigQuery::from_path(&p, &lt) {
+            Ok(q) => q,
+            Err(fix_xpath::TwigError::UnknownLabel(_)) => return Vec::new(),
+            Err(e) => panic!("{e}"),
+        };
+        eval_twig(&d, &q).into_iter().map(|n| n.0).collect()
+    }
+
+    const BIB: &str = "<bib>\
+        <article><author><email/></author><title>X</title><ee/></article>\
+        <article><author><phone/><email/></author><title>Y</title></article>\
+        <book><author><phone/></author><title>Z</title></book>\
+    </bib>";
+
+    #[test]
+    fn matches_agree_with_nok_on_twigs() {
+        let mut lt = LabelTable::new();
+        let d = parse_document(BIB, &mut lt).unwrap();
+        for qs in [
+            "/bib/article",
+            "//author",
+            "//article[ee]/title",
+            "//author[phone][email]",
+            "//article[author/phone]/title",
+            "//bib/article/author",
+            "//article[author]/ee",
+            "//book[author]",
+        ] {
+            let p = parse_path(qs).unwrap();
+            let q = TwigQuery::from_path(&p, &lt).unwrap();
+            let a: Vec<u32> = eval_twig(&d, &q).iter().map(|n| n.0).collect();
+            let b: Vec<u32> = crate::nok::eval_path(&d, &lt, &p)
+                .iter()
+                .map(|n| n.0)
+                .collect();
+            assert_eq!(a, b, "disagreement on {qs}");
+        }
+    }
+
+    #[test]
+    fn rooted_queries_respect_the_root() {
+        assert_eq!(eval(BIB, "/bib/book").len(), 1);
+        assert_eq!(eval(BIB, "/article").len(), 0);
+    }
+
+    #[test]
+    fn value_twigs() {
+        let xml = "<dblp>\
+            <proceedings><publisher>Springer</publisher><title>V1</title></proceedings>\
+            <proceedings><publisher>ACM</publisher><title>V2</title></proceedings>\
+        </dblp>";
+        assert_eq!(
+            eval(xml, r#"//proceedings[publisher="Springer"][title]"#).len(),
+            1
+        );
+        assert_eq!(eval(xml, r#"//proceedings[publisher="IEEE"]"#).len(), 0);
+    }
+
+    #[test]
+    fn recursive_labels() {
+        // Repeated labels along a path — the classic stress for twig DP.
+        let xml = "<s><s><np/><s><np/><vp/></s></s></s>";
+        assert_eq!(eval(xml, "//s/s[np]").len(), 2);
+        assert_eq!(eval(xml, "//s[np][vp]").len(), 1);
+        assert_eq!(eval(xml, "//s/s/s/np").len(), 1);
+    }
+
+    #[test]
+    fn output_node_is_the_spine_leaf() {
+        let r = eval(BIB, "//article[author]/title");
+        assert_eq!(r.len(), 2);
+        // Titles, not articles: check via a fresh parse.
+        let mut lt = LabelTable::new();
+        let d = parse_document(BIB, &mut lt).unwrap();
+        for id in r {
+            assert_eq!(d.label(fix_xml::NodeId(id)), lt.lookup("title"));
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Edge-label encoding (Section 3.2).
+//!
+//! The matrix translation must remember vertex labels; the paper does this
+//! by assigning a *distinct positive integer weight* to every distinct
+//! `(source-label, target-label)` pair, after which vertex labels can be
+//! dropped. The dictionary is built while indexing and shared with query
+//! translation; a query edge absent from the dictionary proves the edge
+//! never occurs in the database, so the query has no results.
+
+use std::collections::HashMap;
+
+use fix_xml::LabelId;
+
+/// The shared `(parent label, child label) → weight` dictionary.
+#[derive(Debug, Default, Clone)]
+pub struct EdgeEncoder {
+    weights: HashMap<(LabelId, LabelId), f64>,
+}
+
+impl EdgeEncoder {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an edge label pair, assigning the next integer weight.
+    /// Weights start at 1 (0 must stay "no edge").
+    pub fn intern(&mut self, from: LabelId, to: LabelId) -> f64 {
+        let next = self.weights.len() as f64 + 1.0;
+        *self.weights.entry((from, to)).or_insert(next)
+    }
+
+    /// Looks an edge pair up without interning (query side).
+    pub fn lookup(&self, from: LabelId, to: LabelId) -> Option<f64> {
+        self.weights.get(&(from, to)).copied()
+    }
+
+    /// Number of distinct edge labels seen.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Iterates the dictionary (persistence support).
+    pub fn iter(&self) -> impl Iterator<Item = ((LabelId, LabelId), f64)> + '_ {
+        self.weights.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Inserts a pre-assigned weight (persistence support).
+    ///
+    /// # Panics
+    /// Panics if the pair is already mapped to a different weight.
+    pub fn restore(&mut self, from: LabelId, to: LabelId, w: f64) {
+        let prev = self.weights.insert((from, to), w);
+        assert!(prev.is_none() || prev == Some(w), "conflicting edge weight");
+    }
+
+    /// True if no edge has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_pairs_get_distinct_weights() {
+        let mut e = EdgeEncoder::new();
+        let (a, b, c) = (LabelId(0), LabelId(1), LabelId(2));
+        let w1 = e.intern(a, b);
+        let w2 = e.intern(a, c);
+        let w3 = e.intern(b, c);
+        assert_eq!(w1, 1.0);
+        assert_eq!(w2, 2.0);
+        assert_eq!(w3, 3.0);
+        // Direction matters.
+        let w4 = e.intern(c, b);
+        assert_ne!(w3, w4);
+    }
+
+    #[test]
+    fn intern_is_stable() {
+        let mut e = EdgeEncoder::new();
+        let (a, b) = (LabelId(0), LabelId(1));
+        assert_eq!(e.intern(a, b), e.intern(a, b));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn lookup_does_not_create() {
+        let mut e = EdgeEncoder::new();
+        let (a, b) = (LabelId(0), LabelId(1));
+        assert_eq!(e.lookup(a, b), None);
+        e.intern(a, b);
+        assert_eq!(e.lookup(a, b), Some(1.0));
+        assert_eq!(e.lookup(b, a), None);
+    }
+}

@@ -1,0 +1,421 @@
+//! The feature key `(λ_max, λ_min, root label)` (Section 3.4) and its
+//! containment-based pruning test.
+
+use fix_bisim::{BisimGraph, VertexId};
+use fix_xml::LabelId;
+
+use crate::eig::{spectrum_of_skew, EigOptions};
+use crate::encoder::EdgeEncoder;
+use crate::matrix::SkewMatrix;
+
+/// Which spectrum supplies the feature key.
+///
+/// The paper keys on the eigenvalues of the Hermitian `iM` for the
+/// skew-symmetric `M` ([`FeatureMode::SkewSpectral`]). Theorem 3 proves
+/// range containment for **induced** subpatterns, but Definition 4's match
+/// is a plain subgraph homomorphism — and on recursive data (Treebank-like
+/// labels) the gap is real: the skew key can prune away true matches.
+/// [`FeatureMode::SymmetricNorm`] keys on the spectrum of `|M|` instead;
+/// its λ_max is the Perron root of a non-negative matrix and is monotone
+/// under *any* injective subgraph embedding, which restores the paper's
+/// no-false-negative guarantee (the remaining non-injective corner is
+/// handled by the query processor's duplicate-label guard). See
+/// DESIGN.md §2 and the `ablation` bench for the measured difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeatureMode {
+    /// Sound default: spectrum of the symmetric magnitude matrix `|M|`.
+    #[default]
+    SymmetricNorm,
+    /// Paper-faithful: spectrum of `iM` (Section 3.3).
+    SkewSpectral,
+}
+
+/// The spectral feature key of one pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Features {
+    /// Largest eigenvalue of `iM`.
+    pub lmax: f64,
+    /// Smallest eigenvalue of `iM` (equals `-lmax` for exact arithmetic).
+    pub lmin: f64,
+    /// Second-largest *distinct* eigenvalue magnitude — the optional
+    /// extended feature explored in the ablation benches. `0.0` when the
+    /// pattern has fewer than two distinct magnitudes.
+    pub sigma2: f64,
+    /// The pattern's root label.
+    pub root: LabelId,
+    /// 64-bit Bloom fingerprint of the pattern's edge-label set — the
+    /// optional extra feature FIX's Section 3.4 invites ("other features
+    /// may qualify as well"). A query can only match an entry whose
+    /// fingerprint is a bitwise superset of its own; this is sound for
+    /// *any* match (homomorphisms preserve labeled edges), including the
+    /// non-injective corner where spectral containment is not.
+    pub bloom: u64,
+}
+
+/// Bloom bits of one encoded edge weight (two hash functions).
+pub fn edge_bloom_bits(weight: f64) -> u64 {
+    let c = weight as u64;
+    let b1 = c.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58;
+    let b2 = c.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) >> 58;
+    (1u64 << b1) | (1u64 << b2)
+}
+
+impl Features {
+    /// The artificial `[0, ∞]` range the paper assigns to subpatterns too
+    /// large for eigenvalue extraction (Section 6.1): such entries are
+    /// always returned as candidates, trading pruning power for bounded
+    /// indexing cost.
+    pub fn unbounded(root: LabelId) -> Self {
+        Features {
+            lmax: f64::INFINITY,
+            lmin: f64::NEG_INFINITY,
+            sigma2: f64::INFINITY,
+            root,
+            bloom: u64::MAX,
+        }
+    }
+
+    /// True if this entry was stored with the unbounded fallback range.
+    pub fn is_unbounded(&self) -> bool {
+        self.lmax.is_infinite()
+    }
+
+    /// Range-containment pruning test (Theorem 3): can a pattern with
+    /// features `query` be a subpattern of a pattern with features `self`?
+    ///
+    /// The indexed range is widened by a relative epsilon so numerical
+    /// roundoff can never cause a false negative — the paper's own
+    /// suggestion for dealing with inexact eigenvalues.
+    pub fn contains(&self, query: &Features) -> bool {
+        if self.root != query.root {
+            return false;
+        }
+        let eps = |v: f64| 1e-9 * (1.0 + v.abs());
+        query.lmax <= self.lmax + eps(self.lmax) && query.lmin >= self.lmin - eps(self.lmin)
+    }
+
+    /// Extended containment including the σ₂ feature. **Sound only for
+    /// induced-subgraph matches** (Cauchy interlacing); used by the
+    /// ablation study, not by the default index.
+    pub fn contains_extended(&self, query: &Features) -> bool {
+        let eps = 1e-9 * (1.0 + self.sigma2.abs());
+        self.contains(query) && query.sigma2 <= self.sigma2 + eps
+    }
+
+    /// Edge-fingerprint test: every edge of the query pattern must appear
+    /// (modulo Bloom collisions) in the entry pattern.
+    pub fn bloom_covers(&self, query: &Features) -> bool {
+        query.bloom & !self.bloom == 0
+    }
+}
+
+/// A sparse pattern as `(vertex count, undirected weighted edges)`.
+type SparseEdges = (usize, Vec<(u32, u32, f64)>);
+
+/// Turns pattern graphs into [`Features`], applying the oversized-pattern
+/// fallback.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    /// Eigensolver options.
+    pub eig: EigOptions,
+    /// Patterns with more edges than this get the `[0, ∞]` fallback
+    /// (paper: 3000).
+    pub max_edges: usize,
+    /// Which spectrum to key on.
+    pub mode: FeatureMode,
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        Self {
+            eig: EigOptions::default(),
+            max_edges: 3000,
+            mode: FeatureMode::default(),
+        }
+    }
+}
+
+impl FeatureExtractor {
+    /// Extracts features of `pattern` rooted at `root`, interning unseen
+    /// edge labels (index-build side). Returns the features and whether the
+    /// fallback was applied.
+    ///
+    /// In `SymmetricNorm` mode the stored λ_max is the *certified upper
+    /// bound* of the sparse Perron solve; [`FeatureExtractor::extract_query`]
+    /// uses the lower bound — the asymmetry keeps containment sound under
+    /// bounded iteration counts.
+    pub fn extract_interning(
+        &self,
+        pattern: &BisimGraph,
+        root: VertexId,
+        enc: &mut EdgeEncoder,
+    ) -> (Features, bool) {
+        let root_label = pattern.label(root);
+        let (n, edges) =
+            Self::sparse_reachable(pattern, root, |from, to| Some(enc.intern(from, to)))
+                .expect("interning translation cannot fail");
+        if edges.len() > self.max_edges {
+            return (Features::unbounded(root_label), true);
+        }
+        let bloom = edges
+            .iter()
+            .fold(0u64, |b, &(_, _, w)| b | edge_bloom_bits(w));
+        match self.mode {
+            FeatureMode::SymmetricNorm => {
+                let b = crate::eig::perron_bounds_sparse(n, &edges, &self.eig);
+                (
+                    Features {
+                        lmax: b.upper,
+                        lmin: -b.upper,
+                        sigma2: b.sigma2,
+                        root: root_label,
+                        bloom,
+                    },
+                    false,
+                )
+            }
+            FeatureMode::SkewSpectral => {
+                let m = SkewMatrix::from_pattern_interning(pattern, root, enc);
+                (self.skew_features(&m, root_label, bloom), false)
+            }
+        }
+    }
+
+    /// Extracts features of a query pattern; `None` if the query mentions
+    /// an edge label combination that never occurs in the database (the
+    /// query provably has no results).
+    pub fn extract_query(
+        &self,
+        pattern: &BisimGraph,
+        root: VertexId,
+        enc: &EdgeEncoder,
+    ) -> Option<Features> {
+        let root_label = pattern.label(root);
+        match self.mode {
+            FeatureMode::SymmetricNorm => {
+                let (n, edges) =
+                    Self::sparse_reachable(pattern, root, |from, to| enc.lookup(from, to))?;
+                let bloom = edges
+                    .iter()
+                    .fold(0u64, |b, &(_, _, w)| b | edge_bloom_bits(w));
+                let b = crate::eig::perron_bounds_sparse(n, &edges, &self.eig);
+                Some(Features {
+                    lmax: b.lower,
+                    lmin: -b.lower,
+                    sigma2: b.sigma2,
+                    root: root_label,
+                    bloom,
+                })
+            }
+            FeatureMode::SkewSpectral => {
+                let (_, edges) =
+                    Self::sparse_reachable(pattern, root, |from, to| enc.lookup(from, to))?;
+                let bloom = edges
+                    .iter()
+                    .fold(0u64, |b, &(_, _, w)| b | edge_bloom_bits(w));
+                let m = SkewMatrix::from_pattern(pattern, root, enc)?;
+                Some(self.skew_features(&m, root_label, bloom))
+            }
+        }
+    }
+
+    /// Collects the sub-DAG reachable from `root` as a sparse undirected
+    /// edge list with dense vertex numbering.
+    fn sparse_reachable(
+        pattern: &BisimGraph,
+        root: VertexId,
+        mut weight: impl FnMut(LabelId, LabelId) -> Option<f64>,
+    ) -> Option<SparseEdges> {
+        let mut dim_of = std::collections::HashMap::new();
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            if dim_of.contains_key(&v) {
+                continue;
+            }
+            dim_of.insert(v, order.len() as u32);
+            order.push(v);
+            for &c in pattern.children(v) {
+                if !dim_of.contains_key(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        let mut edges = Vec::new();
+        for &v in &order {
+            for &c in pattern.children(v) {
+                let w = weight(pattern.label(v), pattern.label(c))?;
+                edges.push((dim_of[&v], dim_of[&c], w));
+            }
+        }
+        Some((order.len(), edges))
+    }
+
+    fn skew_features(&self, m: &SkewMatrix, root: LabelId, bloom: u64) -> Features {
+        let spectrum = spectrum_of_skew(m, &self.eig);
+        let lmax = spectrum.first().copied().unwrap_or(0.0);
+        let lmin = spectrum.last().copied().unwrap_or(0.0);
+        let norm = lmax.max(1.0);
+        let sigma2 = spectrum
+            .iter()
+            .copied()
+            .find(|&s| s > 0.0 && s < lmax - 1e-9 * norm)
+            .unwrap_or(0.0);
+        Features {
+            lmax,
+            lmin,
+            sigma2,
+            root,
+            bloom,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_bisim::{build_document_graph, subpattern};
+    use fix_xml::{parse_document, LabelTable};
+
+    fn features_of(xml: &str, lt: &mut LabelTable, enc: &mut EdgeEncoder) -> Features {
+        let d = parse_document(xml, lt).unwrap();
+        let (g, info) = build_document_graph(&d);
+        FeatureExtractor::default()
+            .extract_interning(&g, info.root, enc)
+            .0
+    }
+
+    #[test]
+    fn lmin_is_negated_lmax() {
+        let mut lt = LabelTable::new();
+        let mut enc = EdgeEncoder::new();
+        let f = features_of("<a><b><c/></b><d/></a>", &mut lt, &mut enc);
+        assert_eq!(f.lmin, -f.lmax);
+        assert!(f.lmax > 0.0);
+    }
+
+    #[test]
+    fn subpattern_features_are_contained() {
+        // A concrete instance of Theorem-3-style containment. (In general
+        // a depth truncation is a *quotient*, not an induced subpattern —
+        // see DESIGN.md §2; here no vertices merge at the cut, so the
+        // truncation genuinely is an induced subpattern.)
+        let mut lt = LabelTable::new();
+        let mut enc = EdgeEncoder::new();
+        let d = parse_document("<a><a><b/><c/></a><b/><c><d/></c></a>", &mut lt).unwrap();
+        let (g, info) = build_document_graph(&d);
+        let fx = FeatureExtractor::default();
+        let (whole, _) = fx.extract_interning(&g, info.root, &mut enc);
+        // Depth-2 truncation is an induced subpattern of the full pattern.
+        let (sub, sub_info) = subpattern(&g, info.root, 2);
+        let (subf, _) = fx.extract_interning(&sub, sub_info.root, &mut enc);
+        assert!(whole.contains(&subf), "{whole:?} ⊉ {subf:?}");
+    }
+
+    #[test]
+    fn containment_requires_matching_root() {
+        let f1 = Features {
+            lmax: 5.0,
+            lmin: -5.0,
+            sigma2: 1.0,
+            root: LabelId(0),
+            bloom: 0,
+        };
+        let mut f2 = f1;
+        f2.root = LabelId(1);
+        assert!(!f1.contains(&f2));
+        assert!(f1.contains(&f1));
+    }
+
+    #[test]
+    fn wider_range_contains_narrower() {
+        let big = Features {
+            lmax: 10.0,
+            lmin: -10.0,
+            sigma2: 3.0,
+            root: LabelId(0),
+            bloom: 0,
+        };
+        let small = Features {
+            lmax: 2.0,
+            lmin: -2.0,
+            sigma2: 1.0,
+            root: LabelId(0),
+            bloom: 0,
+        };
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains_extended(&small));
+        assert!(!small.contains_extended(&big));
+    }
+
+    #[test]
+    fn epsilon_tolerates_roundoff() {
+        let f = Features {
+            lmax: 3.0,
+            lmin: -3.0,
+            sigma2: 0.0,
+            root: LabelId(0),
+            bloom: 0,
+        };
+        let jitter = Features {
+            lmax: 3.0 + 1e-12,
+            lmin: -3.0 - 1e-12,
+            sigma2: 0.0,
+            root: LabelId(0),
+            bloom: 0,
+        };
+        assert!(f.contains(&jitter));
+    }
+
+    #[test]
+    fn unbounded_contains_everything_with_same_root() {
+        let u = Features::unbounded(LabelId(7));
+        assert!(u.is_unbounded());
+        let q = Features {
+            lmax: 1e9,
+            lmin: -1e9,
+            sigma2: 100.0,
+            root: LabelId(7),
+            bloom: 0,
+        };
+        assert!(u.contains(&q));
+        assert!(u.contains_extended(&q));
+    }
+
+    #[test]
+    fn oversized_pattern_falls_back() {
+        let mut lt = LabelTable::new();
+        let mut enc = EdgeEncoder::new();
+        let d = parse_document("<a><b/><c/></a>", &mut lt).unwrap();
+        let (g, info) = build_document_graph(&d);
+        let fx = FeatureExtractor {
+            max_edges: 1,
+            ..Default::default()
+        };
+        let (f, fell_back) = fx.extract_interning(&g, info.root, &mut enc);
+        assert!(fell_back);
+        assert!(f.is_unbounded());
+        // Edges were still interned for later queries.
+        assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn isomorphic_patterns_have_equal_features() {
+        let mut lt = LabelTable::new();
+        let mut enc = EdgeEncoder::new();
+        let f1 = features_of("<a><b/><c/></a>", &mut lt, &mut enc);
+        let f2 = features_of("<a><c/><b/></a>", &mut lt, &mut enc);
+        assert!((f1.lmax - f2.lmax).abs() < 1e-9);
+        assert_eq!(f1.root, f2.root);
+    }
+
+    #[test]
+    fn different_structures_usually_differ() {
+        let mut lt = LabelTable::new();
+        let mut enc = EdgeEncoder::new();
+        let f1 = features_of("<a><b/></a>", &mut lt, &mut enc);
+        let f2 = features_of("<a><b/><c/></a>", &mut lt, &mut enc);
+        assert!(f2.lmax > f1.lmax);
+    }
+}

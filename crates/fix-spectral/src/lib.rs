@@ -1,0 +1,33 @@
+//! Spectral features of twig patterns (Section 3 of the paper).
+//!
+//! The pipeline is: twig pattern (a labeled DAG) → anti-symmetric matrix
+//! (edge labels encoded as distinct integer weights, direction as sign;
+//! Section 3.2) → eigenvalues of the Hermitian matrix `iM` (Section 3.3) →
+//! the feature key `(λ_max, λ_min, root label)` (Section 3.4).
+//!
+//! ### Implementation notes
+//!
+//! For a *real* skew-symmetric `M`, the spectrum of `iM` is `{±σ_j} ∪ {0}`
+//! where the `σ_j` are the singular values of `M`. We therefore compute the
+//! eigenvalues of the symmetric positive-semidefinite matrix `A = MᵀM =
+//! −M²` (they are `σ_j²`) with a cyclic Jacobi eigensolver written for this
+//! crate, and take square roots. This is numerically gentler than a complex
+//! Hermitian solve and makes the `λ_min = −λ_max` symmetry exact.
+//!
+//! The paper's Theorem 3 (eigenvalue-range containment of induced
+//! subpatterns) is what makes `(λ_min, λ_max)` a sound pruning key; the
+//! [`features::Features::contains`] test implements it with a relative
+//! epsilon so floating-point roundoff can never introduce false negatives.
+
+pub mod eig;
+pub mod encoder;
+pub mod features;
+pub mod matrix;
+
+pub use eig::{
+    jacobi_eigenvalues, magnitude_top_pair, perron_bounds_sparse, spectrum_of_magnitude,
+    spectrum_of_skew, EigOptions, PerronBounds,
+};
+pub use encoder::EdgeEncoder;
+pub use features::{edge_bloom_bits, FeatureExtractor, FeatureMode, Features};
+pub use matrix::SkewMatrix;

@@ -1,0 +1,202 @@
+//! Anti-symmetric matrix translation of a twig pattern (Section 3.2).
+//!
+//! Vertices of the pattern graph are numbered arbitrarily (eigenvalues are
+//! invariant under permutation); an edge `(i → j)` with encoded weight `w`
+//! sets `M[i,j] = w` and `M[j,i] = −w`. The sign pattern is what preserves
+//! edge *direction* in the spectrum: a zero-diagonal triangular matrix
+//! would be nilpotent (all eigenvalues 0), whereas a non-zero
+//! anti-symmetric matrix always has a non-zero eigenvalue.
+
+use fix_bisim::{BisimGraph, VertexId};
+use fix_xml::LabelId;
+
+use crate::encoder::EdgeEncoder;
+
+/// A dense real skew-symmetric matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkewMatrix {
+    n: usize,
+    /// Row-major entries; `a[i*n + j] = -a[j*n + i]`.
+    a: Vec<f64>,
+}
+
+impl SkewMatrix {
+    /// The zero matrix of dimension `n`.
+    pub fn zero(n: usize) -> Self {
+        Self {
+            n,
+            a: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension (number of pattern vertices).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.a[i * self.n + j]
+    }
+
+    /// Sets the `(i → j)` edge weight `w > 0` (and `M[j,i] = -w`).
+    ///
+    /// # Panics
+    /// Panics on the diagonal or non-positive weights.
+    pub fn set_edge(&mut self, i: usize, j: usize, w: f64) {
+        assert!(i != j, "self-loops cannot appear in a DAG pattern");
+        assert!(w > 0.0, "edge weights are positive by construction");
+        self.a[i * self.n + j] = w;
+        self.a[j * self.n + i] = -w;
+    }
+
+    /// Number of (directed) edges, i.e. positive entries.
+    pub fn edge_count(&self) -> usize {
+        self.a.iter().filter(|&&x| x > 0.0).count()
+    }
+
+    /// Computes `A = MᵀM = −M²` — symmetric PSD, eigenvalues `σ_j²`.
+    pub fn gram(&self) -> Vec<f64> {
+        let n = self.n;
+        let mut g = vec![0.0f64; n * n];
+        // g[i][j] = Σ_k M[k][i] * M[k][j] ; exploit symmetry (compute upper
+        // triangle, mirror).
+        for i in 0..n {
+            for j in i..n {
+                let mut s = 0.0;
+                for k in 0..n {
+                    s += self.a[k * n + i] * self.a[k * n + j];
+                }
+                g[i * n + j] = s;
+                g[j * n + i] = s;
+            }
+        }
+        g
+    }
+
+    /// Translates the pattern rooted at `root` into a matrix, **interning**
+    /// unseen edge labels (index-build side). Only the sub-DAG reachable
+    /// from `root` participates — pattern graphs may share an arena with
+    /// other patterns (see `SubpatternForest`).
+    pub fn from_pattern_interning(
+        pattern: &BisimGraph,
+        root: VertexId,
+        enc: &mut EdgeEncoder,
+    ) -> Self {
+        Self::build(pattern, root, |from, to| Some(enc.intern(from, to)))
+            .expect("interning translation cannot fail")
+    }
+
+    /// Translates the pattern rooted at `root` using **lookup only**
+    /// (query side). Returns `None` if some edge label pair never occurs in
+    /// the database — the query then has zero results.
+    pub fn from_pattern(pattern: &BisimGraph, root: VertexId, enc: &EdgeEncoder) -> Option<Self> {
+        Self::build(pattern, root, |from, to| enc.lookup(from, to))
+    }
+
+    fn build(
+        pattern: &BisimGraph,
+        root: VertexId,
+        mut weight: impl FnMut(LabelId, LabelId) -> Option<f64>,
+    ) -> Option<Self> {
+        // Collect the vertices reachable from `root` and give them dense
+        // matrix dimensions (the assignment is arbitrary — eigenvalues are
+        // permutation-invariant).
+        let mut dim_of = std::collections::HashMap::new();
+        let mut order = Vec::new();
+        let mut stack = vec![root];
+        while let Some(v) = stack.pop() {
+            if dim_of.contains_key(&v) {
+                continue;
+            }
+            dim_of.insert(v, order.len());
+            order.push(v);
+            for &c in pattern.children(v) {
+                if !dim_of.contains_key(&c) {
+                    stack.push(c);
+                }
+            }
+        }
+        let mut m = SkewMatrix::zero(order.len());
+        for &v in &order {
+            for &c in pattern.children(v) {
+                let w = weight(pattern.label(v), pattern.label(c))?;
+                m.set_edge(dim_of[&v], dim_of[&c], w);
+            }
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_bisim::build_document_graph;
+    use fix_xml::{parse_document, LabelTable};
+
+    fn pattern(xml: &str) -> (BisimGraph, VertexId) {
+        let mut lt = LabelTable::new();
+        let d = parse_document(xml, &mut lt).unwrap();
+        let (g, info) = build_document_graph(&d);
+        (g, info.root)
+    }
+
+    #[test]
+    fn antisymmetry_holds() {
+        let (g, root) = pattern("<a><b/><c/></a>");
+        let mut enc = EdgeEncoder::new();
+        let m = SkewMatrix::from_pattern_interning(&g, root, &mut enc);
+        assert_eq!(m.dim(), 3);
+        for i in 0..3 {
+            assert_eq!(m.get(i, i), 0.0);
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), -m.get(j, i));
+            }
+        }
+        assert_eq!(m.edge_count(), 2);
+        assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn same_edge_labels_share_weights() {
+        // Two a->b edges in different graphs must get the same weight.
+        let g1 = pattern("<a><b/></a>");
+        let g2 = pattern("<r><a><b/></a></r>");
+        // Use a shared label table so labels align.
+        let mut lt = LabelTable::new();
+        let d1 = parse_document("<a><b/></a>", &mut lt).unwrap();
+        let d2 = parse_document("<r><a><b/></a></r>", &mut lt).unwrap();
+        let (p1, i1) = build_document_graph(&d1);
+        let (p2, i2) = build_document_graph(&d2);
+        let mut enc = EdgeEncoder::new();
+        let m1 = SkewMatrix::from_pattern_interning(&p1, i1.root, &mut enc);
+        let _m2 = SkewMatrix::from_pattern_interning(&p2, i2.root, &mut enc);
+        // a->b weight assigned once.
+        assert_eq!(enc.len(), 2); // (a,b) and (r,a)
+        assert!(m1.edge_count() == 1);
+        let _ = (g1, g2);
+    }
+
+    #[test]
+    fn lookup_mode_fails_on_unknown_edges() {
+        let (g, root) = pattern("<a><b/></a>");
+        let enc = EdgeEncoder::new();
+        assert!(SkewMatrix::from_pattern(&g, root, &enc).is_none());
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diagonal() {
+        let (g, root) = pattern("<a><b/><c/></a>");
+        let mut enc = EdgeEncoder::new();
+        let m = SkewMatrix::from_pattern_interning(&g, root, &mut enc);
+        let a = m.gram();
+        let n = m.dim();
+        for i in 0..n {
+            assert!(a[i * n + i] >= 0.0);
+            for j in 0..n {
+                assert_eq!(a[i * n + j], a[j * n + i]);
+            }
+        }
+    }
+}

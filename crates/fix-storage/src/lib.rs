@@ -1,0 +1,20 @@
+//! Paged storage substrate: the stand-in for Berkeley DB's storage layer.
+//!
+//! The paper implements FIX on Berkeley DB B-trees over a conventional
+//! paged store. This crate reproduces that substrate from scratch:
+//!
+//! * [`StorageBackend`] — fixed-size page I/O over memory or a file.
+//! * [`BufferPool`] — an LRU page cache with dirty tracking and I/O
+//!   counters. The counters are load-bearing: the experimental section's
+//!   clustered-vs-unclustered comparison is fundamentally an argument about
+//!   sequential vs random page I/O, and the benches report these counts.
+//! * [`HeapFile`] — variable-length records on slotted pages; primary
+//!   storage for documents and the clustered index's reordered copies.
+
+pub mod heap;
+pub mod page;
+pub mod pool;
+
+pub use heap::{HeapFile, RecordId};
+pub use page::{PageId, PAGE_SIZE};
+pub use pool::{BufferPool, FileBackend, IoStats, MemBackend, StorageBackend};

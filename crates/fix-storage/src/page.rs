@@ -1,0 +1,73 @@
+//! Page identifiers and little-endian in-page codecs.
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Identifier of a page within one storage backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Byte offset of this page in a file backend.
+    pub fn offset(self) -> u64 {
+        self.0 * PAGE_SIZE as u64
+    }
+}
+
+/// Reads a `u16` at `off`.
+#[inline]
+pub fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Writes a `u16` at `off`.
+#[inline]
+pub fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u32` at `off`.
+#[inline]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes"))
+}
+
+/// Writes a `u32` at `off`.
+#[inline]
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a `u64` at `off`.
+#[inline]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Writes a `u64` at `off`.
+#[inline]
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codecs_round_trip() {
+        let mut b = vec![0u8; 32];
+        put_u16(&mut b, 0, 0xBEEF);
+        put_u32(&mut b, 4, 0xDEADBEEF);
+        put_u64(&mut b, 8, u64::MAX - 7);
+        assert_eq!(get_u16(&b, 0), 0xBEEF);
+        assert_eq!(get_u32(&b, 4), 0xDEADBEEF);
+        assert_eq!(get_u64(&b, 8), u64::MAX - 7);
+    }
+
+    #[test]
+    fn page_offsets() {
+        assert_eq!(PageId(0).offset(), 0);
+        assert_eq!(PageId(3).offset(), 3 * PAGE_SIZE as u64);
+    }
+}

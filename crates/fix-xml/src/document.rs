@@ -1,0 +1,460 @@
+//! Arena-allocated XML document trees.
+//!
+//! A [`Document`] stores its nodes in a flat `Vec` in *document order*
+//! (preorder), using first-child / next-sibling links. Document order being
+//! the physical order gives us two properties the paper's machinery relies
+//! on: (1) a node id doubles as the "pointer into primary storage" used by
+//! the unclustered index, and (2) a subtree occupies a contiguous id range,
+//! so "copy the subtree" (clustered index) and "stream the subtree as
+//! events" are both simple scans.
+
+use crate::label::LabelId;
+
+/// Identifier of a node within one [`Document`]; equals the node's preorder
+/// rank, so `NodeId` order is document order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Raw index into the document's node arena.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What a node is: an element with an interned label, or a text node
+/// pointing into the document's text arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An element node, e.g. `<author>`.
+    Element(LabelId),
+    /// A text node; the payload indexes [`Document::text`].
+    Text(u32),
+}
+
+/// One tree node. Links are stored as `Option<NodeId>` encoded in u32::MAX
+/// sentinels internally; the public accessors return `Option`.
+#[derive(Debug, Clone, Copy)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: u32,
+    pub(crate) first_child: u32,
+    pub(crate) next_sibling: u32,
+    /// Preorder index one past the last descendant; the subtree of node `i`
+    /// is exactly the id range `i..subtree_end`.
+    pub(crate) subtree_end: u32,
+}
+
+const NIL: u32 = u32::MAX;
+
+impl Node {
+    /// The node's kind (element or text).
+    #[inline]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+}
+
+/// An immutable XML tree plus its text arena.
+///
+/// Labels are interned in an external [`LabelTable`](crate::label::LabelTable) shared across a
+/// collection, so structural comparisons between documents (and against
+/// queries) are integer comparisons.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+    texts: Vec<String>,
+}
+
+impl Document {
+    /// The root element. Every well-formed document has exactly one.
+    pub fn root(&self) -> NodeId {
+        debug_assert!(!self.nodes.is_empty());
+        NodeId(0)
+    }
+
+    /// Total number of nodes (elements + text nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for a pathological empty arena (builders never produce one).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The node's kind.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()].kind
+    }
+
+    /// The element label, or `None` for a text node.
+    #[inline]
+    pub fn label(&self, n: NodeId) -> Option<LabelId> {
+        match self.nodes[n.index()].kind {
+            NodeKind::Element(l) => Some(l),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The text content, or `None` for an element node.
+    pub fn text(&self, n: NodeId) -> Option<&str> {
+        match self.nodes[n.index()].kind {
+            NodeKind::Element(_) => None,
+            NodeKind::Text(t) => Some(&self.texts[t as usize]),
+        }
+    }
+
+    /// Parent link; `None` at the root.
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        let p = self.nodes[n.index()].parent;
+        (p != NIL).then_some(NodeId(p))
+    }
+
+    /// First child in document order.
+    #[inline]
+    pub fn first_child(&self, n: NodeId) -> Option<NodeId> {
+        let c = self.nodes[n.index()].first_child;
+        (c != NIL).then_some(NodeId(c))
+    }
+
+    /// Next sibling in document order.
+    #[inline]
+    pub fn next_sibling(&self, n: NodeId) -> Option<NodeId> {
+        let s = self.nodes[n.index()].next_sibling;
+        (s != NIL).then_some(NodeId(s))
+    }
+
+    /// One past the preorder rank of the last descendant of `n`.
+    #[inline]
+    pub fn subtree_end(&self, n: NodeId) -> NodeId {
+        NodeId(self.nodes[n.index()].subtree_end)
+    }
+
+    /// Number of nodes in the subtree rooted at `n` (including `n`).
+    pub fn subtree_size(&self, n: NodeId) -> usize {
+        (self.nodes[n.index()].subtree_end - n.0) as usize
+    }
+
+    /// True if `desc` lies in the subtree of `anc` (self counts).
+    pub fn is_ancestor_or_self(&self, anc: NodeId, desc: NodeId) -> bool {
+        anc <= desc && desc.0 < self.nodes[anc.index()].subtree_end
+    }
+
+    /// Iterates the children of `n` in document order.
+    pub fn children(&self, n: NodeId) -> Children<'_> {
+        Children {
+            doc: self,
+            next: self.first_child(n),
+        }
+    }
+
+    /// Iterates the element children of `n` (skipping text nodes).
+    pub fn element_children(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.children(n)
+            .filter(|&c| matches!(self.kind(c), NodeKind::Element(_)))
+    }
+
+    /// Iterates the subtree of `n` in document (pre-)order, `n` first.
+    pub fn descendants_or_self(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        (n.0..self.nodes[n.index()].subtree_end).map(NodeId)
+    }
+
+    /// Depth of `n` (root is depth 1, matching the paper's "depth of a
+    /// document" used for the depth-limit cover test).
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut d = 1;
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Maximum node depth in the whole document.
+    pub fn max_depth(&self) -> usize {
+        let mut max = 0;
+        let mut depth = 0usize;
+        // Single pass using the fact that preorder + subtree_end gives us
+        // open/close structure without parent chasing.
+        let mut stack: Vec<u32> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            while let Some(&end) = stack.last() {
+                if end <= i as u32 {
+                    stack.pop();
+                    depth -= 1;
+                } else {
+                    break;
+                }
+            }
+            // Depth is measured over element nodes only; text nodes do not
+            // contribute a level (they are leaves in the structural tree).
+            if matches!(node.kind, NodeKind::Element(_)) {
+                depth += 1;
+                max = max.max(depth);
+                stack.push(node.subtree_end);
+            }
+        }
+        max
+    }
+
+    /// The concatenated text content of the subtree of `n`.
+    pub fn text_content(&self, n: NodeId) -> String {
+        let mut out = String::new();
+        for d in self.descendants_or_self(n) {
+            if let Some(t) = self.text(d) {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Direct access to the text arena length (used by stats).
+    pub fn text_count(&self) -> usize {
+        self.texts.len()
+    }
+}
+
+/// Iterator over the children of a node.
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.doc.next_sibling(cur);
+        Some(cur)
+    }
+}
+
+/// Incremental builder producing a [`Document`] in one preorder pass.
+///
+/// Call [`DocumentBuilder::open`] / [`DocumentBuilder::text`] /
+/// [`DocumentBuilder::close`] in well-nested order, then
+/// [`DocumentBuilder::finish`]. The builder validates nesting and panics on
+/// misuse (it is an internal construction API; the parser performs its own
+/// user-facing error handling before driving the builder).
+#[derive(Debug)]
+pub struct DocumentBuilder {
+    nodes: Vec<Node>,
+    texts: Vec<String>,
+    /// Stack of open element ids.
+    open: Vec<u32>,
+    /// Last finished child of the element at the same stack depth, used to
+    /// wire `next_sibling` links.
+    last_child: Vec<u32>,
+    finished_root: bool,
+}
+
+impl Default for DocumentBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DocumentBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            texts: Vec::new(),
+            open: Vec::new(),
+            last_child: Vec::new(),
+            finished_root: false,
+        }
+    }
+
+    fn push_node(&mut self, kind: NodeKind) -> u32 {
+        assert!(
+            !self.finished_root,
+            "document already has a completed root element"
+        );
+        let id = self.nodes.len() as u32;
+        let parent = self.open.last().copied().unwrap_or(NIL);
+        if parent == NIL {
+            assert!(
+                matches!(kind, NodeKind::Element(_)),
+                "top-level content must be a single element"
+            );
+            assert!(self.nodes.is_empty(), "only one root element is allowed");
+        }
+        // Wire sibling link from the previous child at this level.
+        if let Some(last) = self.last_child.last_mut() {
+            if *last != NIL {
+                self.nodes[*last as usize].next_sibling = id;
+            }
+            *last = id;
+        }
+        // first_child link on the parent.
+        if parent != NIL && self.nodes[parent as usize].first_child == NIL {
+            self.nodes[parent as usize].first_child = id;
+        }
+        self.nodes.push(Node {
+            kind,
+            parent,
+            first_child: NIL,
+            next_sibling: NIL,
+            subtree_end: id + 1,
+        });
+        id
+    }
+
+    /// Opens a new element with label `label`.
+    pub fn open(&mut self, label: LabelId) -> NodeId {
+        let id = self.push_node(NodeKind::Element(label));
+        self.open.push(id);
+        self.last_child.push(NIL);
+        NodeId(id)
+    }
+
+    /// Adds a text node under the currently open element.
+    pub fn text(&mut self, content: &str) -> NodeId {
+        assert!(
+            !self.open.is_empty(),
+            "text node requires an open parent element"
+        );
+        let tid = self.texts.len() as u32;
+        self.texts.push(content.to_owned());
+        NodeId(self.push_node(NodeKind::Text(tid)))
+    }
+
+    /// Closes the most recently opened element.
+    pub fn close(&mut self) {
+        let id = self.open.pop().expect("close without a matching open");
+        self.last_child.pop();
+        self.nodes[id as usize].subtree_end = self.nodes.len() as u32;
+        if self.open.is_empty() {
+            self.finished_root = true;
+        }
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no node has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the document.
+    ///
+    /// # Panics
+    /// Panics if no root element was built or an element is still open.
+    pub fn finish(self) -> Document {
+        assert!(self.open.is_empty(), "unclosed element at finish");
+        assert!(self.finished_root, "document has no root element");
+        Document {
+            nodes: self.nodes,
+            texts: self.texts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelTable;
+
+    fn sample() -> (Document, LabelTable) {
+        // <bib><article><title/>t</article><book/></bib>  (t = text in article)
+        let mut lt = LabelTable::new();
+        let (bib, article, title, book) = (
+            lt.intern("bib"),
+            lt.intern("article"),
+            lt.intern("title"),
+            lt.intern("book"),
+        );
+        let mut b = DocumentBuilder::new();
+        b.open(bib);
+        b.open(article);
+        b.open(title);
+        b.close();
+        b.text("t");
+        b.close();
+        b.open(book);
+        b.close();
+        b.close();
+        (b.finish(), lt)
+    }
+
+    #[test]
+    fn structure_links() {
+        let (d, lt) = sample();
+        let root = d.root();
+        assert_eq!(d.label(root), lt.lookup("bib"));
+        let kids: Vec<_> = d.children(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.label(kids[0]), lt.lookup("article"));
+        assert_eq!(d.label(kids[1]), lt.lookup("book"));
+        assert_eq!(d.parent(kids[0]), Some(root));
+        assert_eq!(d.parent(root), None);
+        let article_kids: Vec<_> = d.children(kids[0]).collect();
+        assert_eq!(article_kids.len(), 2);
+        assert_eq!(d.text(article_kids[1]), Some("t"));
+    }
+
+    #[test]
+    fn subtree_ranges_are_contiguous() {
+        let (d, _) = sample();
+        let root = d.root();
+        assert_eq!(d.subtree_size(root), d.len());
+        let article = d.first_child(root).unwrap();
+        assert_eq!(d.subtree_size(article), 3); // article, title, text
+        let ids: Vec<_> = d.descendants_or_self(article).collect();
+        assert_eq!(ids, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(d.is_ancestor_or_self(root, article));
+        assert!(!d.is_ancestor_or_self(article, root));
+    }
+
+    #[test]
+    fn depth_and_max_depth() {
+        let (d, _) = sample();
+        assert_eq!(d.depth(d.root()), 1);
+        let article = d.first_child(d.root()).unwrap();
+        let title = d.first_child(article).unwrap();
+        assert_eq!(d.depth(title), 3);
+        assert_eq!(d.max_depth(), 3);
+    }
+
+    #[test]
+    fn element_children_skip_text() {
+        let (d, _) = sample();
+        let article = d.first_child(d.root()).unwrap();
+        assert_eq!(d.element_children(article).count(), 1);
+        assert_eq!(d.children(article).count(), 2);
+    }
+
+    #[test]
+    fn text_content_concatenates() {
+        let (d, _) = sample();
+        assert_eq!(d.text_content(d.root()), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "close without a matching open")]
+    fn unbalanced_close_panics() {
+        let mut b = DocumentBuilder::new();
+        b.close();
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a completed root")]
+    fn two_roots_panic() {
+        let mut lt = LabelTable::new();
+        let a = lt.intern("a");
+        let mut b = DocumentBuilder::new();
+        b.open(a);
+        b.close();
+        b.open(a);
+    }
+}

@@ -1,0 +1,205 @@
+//! The SAX-style event stream consumed by index construction.
+//!
+//! Algorithm 1 of the paper (`CONSTRUCT-ENTRIES`) is a single-pass algorithm
+//! over *open*/*close* events carrying a label and a pointer into primary
+//! storage. We model that contract as the [`EventSource`] trait so the same
+//! construction code runs over (a) a parsed [`Document`], (b) the
+//! depth-limited bisimulation-graph "traveler" of `GEN-SUBPATTERN`, and
+//! (c) the value-augmented stream of the Section 4.6 extension.
+
+use crate::document::{Document, NodeId, NodeKind};
+use crate::label::LabelId;
+
+/// A pointer into primary storage. For in-arena documents this is the
+/// preorder node id; for the on-disk store it is a record id.
+pub type StoragePtr = u64;
+
+/// One parse/traversal event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An element (or value-label) opens. Carries the label and the
+    /// element's pointer into primary storage (`x.start_ptr` in the paper).
+    Open { label: LabelId, ptr: StoragePtr },
+    /// The most recently opened element closes.
+    Close,
+}
+
+/// A pull source of [`Event`]s.
+pub trait EventSource {
+    /// Produces the next event, or `None` at end of stream.
+    fn next_event(&mut self) -> Option<Event>;
+}
+
+/// The hashed-value label mapper installed by the Section 4.6 extension.
+type ValueLabelFn<'a> = Box<dyn FnMut(&str) -> LabelId + 'a>;
+
+/// Streams a document subtree as events, in document order.
+///
+/// Text nodes are skipped by default; the value-index extension substitutes
+/// hashed value labels for them via [`TreeEventSource::with_value_labels`].
+pub struct TreeEventSource<'a> {
+    doc: &'a Document,
+    /// Remaining preorder ids in the subtree.
+    next: u32,
+    end: u32,
+    /// Close events still owed before the next open (subtree_end stack).
+    stack: Vec<u32>,
+    /// Maps a text node to a synthetic value label (Section 4.6); `None`
+    /// means text nodes are invisible to the structural index.
+    value_label: Option<ValueLabelFn<'a>>,
+    /// Pending open event when a text node expands to open+close.
+    pending_close: bool,
+}
+
+impl<'a> TreeEventSource<'a> {
+    /// Streams the subtree rooted at `root`.
+    pub fn new(doc: &'a Document, root: NodeId) -> Self {
+        Self {
+            doc,
+            next: root.0,
+            end: doc.subtree_end(root).0,
+            stack: Vec::new(),
+            value_label: None,
+            pending_close: false,
+        }
+    }
+
+    /// Streams the whole document.
+    pub fn whole(doc: &'a Document) -> Self {
+        Self::new(doc, doc.root())
+    }
+
+    /// Enables the value extension: each text node is emitted as an
+    /// open/close pair labeled `hash(text)`.
+    pub fn with_value_labels(mut self, f: impl FnMut(&str) -> LabelId + 'a) -> Self {
+        self.value_label = Some(Box::new(f));
+        self
+    }
+}
+
+impl EventSource for TreeEventSource<'_> {
+    fn next_event(&mut self) -> Option<Event> {
+        if self.pending_close {
+            self.pending_close = false;
+            return Some(Event::Close);
+        }
+        loop {
+            // Emit owed close events for subtrees that ended before `next`.
+            if let Some(&end) = self.stack.last() {
+                if end <= self.next || self.next >= self.end {
+                    self.stack.pop();
+                    return Some(Event::Close);
+                }
+            }
+            if self.next >= self.end {
+                return None;
+            }
+            let id = NodeId(self.next);
+            self.next += 1;
+            match self.doc.kind(id) {
+                NodeKind::Element(label) => {
+                    self.stack.push(self.doc.subtree_end(id).0);
+                    return Some(Event::Open {
+                        label,
+                        ptr: id.0 as StoragePtr,
+                    });
+                }
+                NodeKind::Text(_) => {
+                    if let Some(f) = &mut self.value_label {
+                        let label = f(self.doc.text(id).expect("text node"));
+                        self.pending_close = true;
+                        return Some(Event::Open {
+                            label,
+                            ptr: id.0 as StoragePtr,
+                        });
+                    }
+                    // Structural stream: skip text, continue the loop.
+                }
+            }
+        }
+    }
+}
+
+/// Collects a source into a vector (test/diagnostic helper).
+pub fn drain(mut src: impl EventSource) -> Vec<Event> {
+    let mut out = Vec::new();
+    while let Some(e) = src.next_event() {
+        out.push(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::document::DocumentBuilder;
+    use crate::label::LabelTable;
+
+    fn doc() -> (Document, LabelTable) {
+        // <a><b>hello</b><c/></a>
+        let mut lt = LabelTable::new();
+        let (a, b, c) = (lt.intern("a"), lt.intern("b"), lt.intern("c"));
+        let mut bld = DocumentBuilder::new();
+        bld.open(a);
+        bld.open(b);
+        bld.text("hello");
+        bld.close();
+        bld.open(c);
+        bld.close();
+        bld.close();
+        (bld.finish(), lt)
+    }
+
+    #[test]
+    fn structural_stream_is_balanced_and_skips_text() {
+        let (d, lt) = doc();
+        let evs = drain(TreeEventSource::whole(&d));
+        let a = lt.lookup("a").unwrap();
+        let b = lt.lookup("b").unwrap();
+        let c = lt.lookup("c").unwrap();
+        assert_eq!(
+            evs,
+            vec![
+                Event::Open { label: a, ptr: 0 },
+                Event::Open { label: b, ptr: 1 },
+                Event::Close,
+                Event::Open { label: c, ptr: 3 },
+                Event::Close,
+                Event::Close,
+            ]
+        );
+    }
+
+    #[test]
+    fn subtree_stream() {
+        let (d, lt) = doc();
+        let bnode = d.first_child(d.root()).unwrap();
+        let evs = drain(TreeEventSource::new(&d, bnode));
+        let b = lt.lookup("b").unwrap();
+        assert_eq!(evs, vec![Event::Open { label: b, ptr: 1 }, Event::Close]);
+    }
+
+    #[test]
+    fn value_stream_emits_text_as_labels() {
+        let (d, mut lt) = doc();
+        let v = lt.intern("#v0");
+        let evs = drain(TreeEventSource::whole(&d).with_value_labels(move |_| v));
+        // a( b( v ) c ) -> 5 opens+closes total events = 8
+        assert_eq!(evs.len(), 8);
+        assert_eq!(evs[2], Event::Open { label: v, ptr: 2 });
+        assert_eq!(evs[3], Event::Close);
+    }
+
+    #[test]
+    fn open_close_counts_match() {
+        let (d, _) = doc();
+        let evs = drain(TreeEventSource::whole(&d));
+        let opens = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Open { .. }))
+            .count();
+        let closes = evs.iter().filter(|e| matches!(e, Event::Close)).count();
+        assert_eq!(opens, closes);
+        assert_eq!(opens, 3);
+    }
+}

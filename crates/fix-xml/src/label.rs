@@ -1,0 +1,137 @@
+//! Label interning.
+//!
+//! Element names are interned into dense [`LabelId`]s. The FIX matrix
+//! translation (Section 3.2 of the paper) encodes each *edge* — a pair of
+//! incident vertex labels — as a distinct integer weight, so a dense label
+//! space keeps the edge-encoding dictionary compact. The same table also
+//! hosts the synthetic "value labels" produced by the value-hashing
+//! extension of Section 4.6.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for an interned element (or value) label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelId(pub u32);
+
+impl LabelId {
+    /// Raw index into the owning [`LabelTable`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LabelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A bidirectional string interner for labels.
+///
+/// Interning the same string twice yields the same [`LabelId`]; ids are
+/// assigned densely in first-encounter order, which makes them usable as
+/// array indices throughout the index.
+#[derive(Debug, Default, Clone)]
+pub struct LabelTable {
+    by_name: HashMap<String, LabelId>,
+    names: Vec<String>,
+}
+
+impl LabelTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (allocating one if unseen).
+    pub fn intern(&mut self, name: &str) -> LabelId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = LabelId(u32::try_from(self.names.len()).expect("label space exhausted"));
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Looks up `name` without interning. Returns `None` if it was never
+    /// interned — query processing uses this to short-circuit queries that
+    /// mention labels absent from the database (they cannot match anything).
+    pub fn lookup(&self, name: &str) -> Option<LabelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Resolves an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was not allocated by this table.
+    pub fn resolve(&self, id: LabelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct labels interned so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (LabelId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (LabelId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = LabelTable::new();
+        let a = t.intern("article");
+        let b = t.intern("book");
+        let a2 = t.intern("article");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut t = LabelTable::new();
+        let id = t.intern("author");
+        assert_eq!(t.resolve(id), "author");
+        assert_eq!(t.lookup("author"), Some(id));
+        assert_eq!(t.lookup("missing"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_encounter_order() {
+        let mut t = LabelTable::new();
+        for (i, name) in ["a", "b", "c", "a", "d"].iter().enumerate() {
+            let id = t.intern(name);
+            if i < 3 {
+                assert_eq!(id.index(), i);
+            }
+        }
+        assert_eq!(t.len(), 4);
+        let collected: Vec<_> = t.iter().map(|(_, n)| n.to_owned()).collect();
+        assert_eq!(collected, ["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = LabelTable::new();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+    }
+}

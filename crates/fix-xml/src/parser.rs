@@ -1,0 +1,484 @@
+//! A from-scratch XML pull parser.
+//!
+//! Handles the XML subset exercised by the paper's data sets: elements,
+//! attributes, character data, CDATA sections, comments, processing
+//! instructions, an optional XML declaration / DOCTYPE, and the predefined
+//! plus numeric character references. Namespaces are treated lexically
+//! (prefixed names are kept verbatim), matching how the original FIX
+//! prototype treated labels.
+//!
+//! Attributes are exposed on [`RawEvent::StartElement`]; the document
+//! builder materializes them as `@name` child elements holding a text node,
+//! so attribute-based twigs can be indexed exactly like element twigs.
+
+use std::fmt;
+
+use crate::document::{Document, DocumentBuilder};
+use crate::label::LabelTable;
+
+/// A lexical parse event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RawEvent {
+    /// `<name attr="v" ...>` or `<name/>` (the latter is followed by a
+    /// synthesized `EndElement`).
+    StartElement {
+        name: String,
+        attributes: Vec<(String, String)>,
+    },
+    /// `</name>` (or the synthetic close of an empty-element tag).
+    EndElement { name: String },
+    /// Character data (entity references already decoded). Whitespace-only
+    /// runs between tags are suppressed.
+    Text(String),
+}
+
+/// A parse failure, with byte offset for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the problem was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "XML parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Streaming pull parser over a UTF-8 input string.
+pub struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+    /// Stack of open element names, for well-formedness checking.
+    open: Vec<String>,
+    /// Synthesized end event for `<x/>`.
+    pending_end: Option<String>,
+    /// Set once the root element closes.
+    root_closed: bool,
+    seen_root: bool,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            input: input.as_bytes(),
+            pos: 0,
+            open: Vec::new(),
+            pending_end: None,
+            root_closed: false,
+            seen_root: false,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_until(&mut self, pat: &str) -> Result<(), ParseError> {
+        match self.input[self.pos..]
+            .windows(pat.len())
+            .position(|w| w == pat.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + pat.len();
+                Ok(())
+            }
+            None => self.err(format!("unterminated construct (expected `{pat}`)")),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn read_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ok = c.is_ascii_alphanumeric()
+                || matches!(c, b'_' | b'-' | b'.' | b':' | b'@')
+                || c >= 0x80;
+            if ok {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return self.err("expected a name");
+        }
+        // Names must not start with a digit, '-' or '.'.
+        let first = self.input[start];
+        if first.is_ascii_digit() || first == b'-' || first == b'.' {
+            return self.err("name starts with an illegal character");
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn decode_entities(&self, raw: &str, base: usize) -> Result<String, ParseError> {
+        decode_entities(raw, base)
+    }
+}
+
+/// Decodes the predefined and numeric character references in `raw`
+/// (shared by the slice parser and the streaming parser). `base` is the
+/// byte offset reported on errors.
+pub(crate) fn decode_entities(raw: &str, base: usize) -> Result<String, ParseError> {
+    {
+        if !raw.contains('&') {
+            return Ok(raw.to_owned());
+        }
+        let mut out = String::with_capacity(raw.len());
+        let mut rest = raw;
+        while let Some(i) = rest.find('&') {
+            out.push_str(&rest[..i]);
+            rest = &rest[i..];
+            let semi = rest.find(';').ok_or(ParseError {
+                offset: base,
+                message: "unterminated entity reference".into(),
+            })?;
+            let ent = &rest[1..semi];
+            match ent {
+                "amp" => out.push('&'),
+                "lt" => out.push('<'),
+                "gt" => out.push('>'),
+                "quot" => out.push('"'),
+                "apos" => out.push('\''),
+                _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                    let cp = u32::from_str_radix(&ent[2..], 16).map_err(|_| ParseError {
+                        offset: base,
+                        message: format!("bad hex character reference `&{ent};`"),
+                    })?;
+                    out.push(char::from_u32(cp).ok_or(ParseError {
+                        offset: base,
+                        message: format!("invalid code point in `&{ent};`"),
+                    })?);
+                }
+                _ if ent.starts_with('#') => {
+                    let cp: u32 = ent[1..].parse().map_err(|_| ParseError {
+                        offset: base,
+                        message: format!("bad decimal character reference `&{ent};`"),
+                    })?;
+                    out.push(char::from_u32(cp).ok_or(ParseError {
+                        offset: base,
+                        message: format!("invalid code point in `&{ent};`"),
+                    })?);
+                }
+                _ => {
+                    return Err(ParseError {
+                        offset: base,
+                        message: format!("unknown entity `&{ent};`"),
+                    })
+                }
+            }
+            rest = &rest[semi + 1..];
+        }
+        out.push_str(rest);
+        Ok(out)
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn read_attributes(&mut self) -> Result<Vec<(String, String)>, ParseError> {
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') | Some(b'/') | None => return Ok(attrs),
+                _ => {}
+            }
+            let name = self.read_name()?;
+            self.skip_ws();
+            if self.peek() != Some(b'=') {
+                return self.err(format!("expected `=` after attribute `{name}`"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let quote = match self.peek() {
+                Some(q @ (b'"' | b'\'')) => q,
+                _ => return self.err("attribute value must be quoted"),
+            };
+            self.pos += 1;
+            let vstart = self.pos;
+            while let Some(c) = self.peek() {
+                if c == quote {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.peek() != Some(quote) {
+                return self.err("unterminated attribute value");
+            }
+            let raw = String::from_utf8_lossy(&self.input[vstart..self.pos]).into_owned();
+            self.pos += 1;
+            let value = self.decode_entities(&raw, vstart)?;
+            attrs.push((name, value));
+        }
+    }
+
+    /// Pulls the next event, `Ok(None)` at a well-formed end of input.
+    pub fn next_raw(&mut self) -> Result<Option<RawEvent>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            if self.open.pop().as_deref() != Some(name.as_str()) {
+                return self.err("internal: empty-element bookkeeping");
+            }
+            if self.open.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(Some(RawEvent::EndElement { name }));
+        }
+        loop {
+            // End of input?
+            if self.pos >= self.input.len() {
+                if !self.open.is_empty() {
+                    return self.err(format!(
+                        "unexpected end of input; `<{}>` unclosed",
+                        self.open.last().unwrap()
+                    ));
+                }
+                if !self.seen_root {
+                    return self.err("no root element");
+                }
+                return Ok(None);
+            }
+            if self.peek() == Some(b'<') {
+                if self.starts_with("<!--") {
+                    self.pos += 4;
+                    self.skip_until("-->")?;
+                    continue;
+                }
+                if self.starts_with("<![CDATA[") {
+                    let start = self.pos + 9;
+                    self.pos = start;
+                    self.skip_until("]]>")?;
+                    let text =
+                        String::from_utf8_lossy(&self.input[start..self.pos - 3]).into_owned();
+                    if self.open.is_empty() {
+                        return self.err("character data outside the root element");
+                    }
+                    return Ok(Some(RawEvent::Text(text)));
+                }
+                if self.starts_with("<?") {
+                    self.pos += 2;
+                    self.skip_until("?>")?;
+                    continue;
+                }
+                if self.starts_with("<!DOCTYPE") || self.starts_with("<!doctype") {
+                    // Skip to the matching `>`, tolerating an internal subset.
+                    self.pos += 9;
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match self.peek() {
+                            Some(b'<') => depth += 1,
+                            Some(b'>') => depth -= 1,
+                            None => return self.err("unterminated DOCTYPE"),
+                            _ => {}
+                        }
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                if self.starts_with("</") {
+                    self.pos += 2;
+                    let name = self.read_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'>') {
+                        return self.err("expected `>` in end tag");
+                    }
+                    self.pos += 1;
+                    match self.open.pop() {
+                        Some(top) if top == name => {}
+                        Some(top) => {
+                            return self
+                                .err(format!("mismatched end tag: `</{name}>` closes `<{top}>`"))
+                        }
+                        None => return self.err(format!("stray end tag `</{name}>`")),
+                    }
+                    if self.open.is_empty() {
+                        self.root_closed = true;
+                    }
+                    return Ok(Some(RawEvent::EndElement { name }));
+                }
+                // Start tag.
+                self.pos += 1;
+                if self.root_closed {
+                    return self.err("content after the root element");
+                }
+                let name = self.read_name()?;
+                let attributes = self.read_attributes()?;
+                let empty = self.peek() == Some(b'/');
+                if empty {
+                    self.pos += 1;
+                }
+                if self.peek() != Some(b'>') {
+                    return self.err(format!("expected `>` to finish `<{name}>`"));
+                }
+                self.pos += 1;
+                self.seen_root = true;
+                self.open.push(name.clone());
+                if empty {
+                    self.pending_end = Some(name.clone());
+                }
+                return Ok(Some(RawEvent::StartElement { name, attributes }));
+            }
+            // Character data up to the next `<`.
+            let start = self.pos;
+            while self.pos < self.input.len() && self.peek() != Some(b'<') {
+                self.pos += 1;
+            }
+            let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+            if raw.bytes().all(|b| b.is_ascii_whitespace()) {
+                continue; // inter-tag whitespace
+            }
+            if self.open.is_empty() {
+                return self.err("character data outside the root element");
+            }
+            let text = self.decode_entities(&raw, start)?;
+            return Ok(Some(RawEvent::Text(text)));
+        }
+    }
+}
+
+/// Parses a complete document, interning labels into `labels`.
+///
+/// Attributes become child elements labeled `@name` containing one text
+/// node, so the structural index sees them uniformly.
+pub fn parse_document(input: &str, labels: &mut LabelTable) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input);
+    let mut b = DocumentBuilder::new();
+    while let Some(ev) = p.next_raw()? {
+        match ev {
+            RawEvent::StartElement { name, attributes } => {
+                let l = labels.intern(&name);
+                b.open(l);
+                for (an, av) in attributes {
+                    let al = labels.intern(&format!("@{an}"));
+                    b.open(al);
+                    b.text(&av);
+                    b.close();
+                }
+            }
+            RawEvent::EndElement { .. } => b.close(),
+            RawEvent::Text(t) => {
+                b.text(&t);
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events(s: &str) -> Result<Vec<RawEvent>, ParseError> {
+        let mut p = Parser::new(s);
+        let mut out = Vec::new();
+        while let Some(e) = p.next_raw()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn simple_document() {
+        let evs = events("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(evs.len(), 7);
+        assert!(matches!(&evs[0], RawEvent::StartElement { name, .. } if name == "a"));
+        assert!(matches!(&evs[2], RawEvent::Text(t) if t == "hi"));
+        assert!(matches!(&evs[4], RawEvent::StartElement { name, .. } if name == "c"));
+        assert!(matches!(&evs[5], RawEvent::EndElement { name } if name == "c"));
+    }
+
+    #[test]
+    fn attributes_and_entities() {
+        let evs = events(r#"<a x="1 &amp; 2" y='&#65;'>t&lt;u</a>"#).unwrap();
+        match &evs[0] {
+            RawEvent::StartElement { attributes, .. } => {
+                assert_eq!(attributes[0], ("x".into(), "1 & 2".into()));
+                assert_eq!(attributes[1], ("y".into(), "A".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(&evs[1], RawEvent::Text(t) if t == "t<u"));
+    }
+
+    #[test]
+    fn comments_pis_doctype_cdata() {
+        let s = "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]>\
+                 <a><!-- note --><![CDATA[x < y]]></a>";
+        let evs = events(s).unwrap();
+        assert_eq!(evs.len(), 3);
+        assert!(matches!(&evs[1], RawEvent::Text(t) if t == "x < y"));
+    }
+
+    #[test]
+    fn whitespace_between_tags_is_dropped() {
+        let evs = events("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(evs.len(), 4);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(events("<a><b></a></b>").is_err());
+        assert!(events("<a>").is_err());
+        assert!(events("</a>").is_err());
+        assert!(events("<a/><b/>").is_err());
+        assert!(events("hello").is_err());
+    }
+
+    #[test]
+    fn bad_entities_error() {
+        assert!(events("<a>&bogus;</a>").is_err());
+        assert!(events("<a>&#xZZ;</a>").is_err());
+        assert!(events("<a>&unterminated</a>").is_err());
+    }
+
+    #[test]
+    fn parse_document_materializes_attributes() {
+        let mut lt = LabelTable::new();
+        let d = parse_document(r#"<item id="7"><name>x</name></item>"#, &mut lt).unwrap();
+        let root = d.root();
+        let kids: Vec<_> = d.children(root).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.label(kids[0]), lt.lookup("@id"));
+        assert_eq!(d.text_content(kids[0]), "7");
+        assert_eq!(d.label(kids[1]), lt.lookup("name"));
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let mut s = String::new();
+        for _ in 0..200 {
+            s.push_str("<n>");
+        }
+        for _ in 0..200 {
+            s.push_str("</n>");
+        }
+        let mut lt = LabelTable::new();
+        let d = parse_document(&s, &mut lt).unwrap();
+        assert_eq!(d.len(), 200);
+        assert_eq!(d.max_depth(), 200);
+    }
+}

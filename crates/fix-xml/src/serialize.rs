@@ -1,0 +1,126 @@
+//! Document serialization back to XML text.
+//!
+//! Used by the clustered index (which stores subtree copies), by the data
+//! generators (which persist corpora), and by round-trip tests.
+
+use crate::document::{Document, NodeId, NodeKind};
+use crate::label::LabelTable;
+
+/// Escapes character data.
+fn escape_text(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Escapes an attribute value (double-quoted).
+fn escape_attr(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Serializes the subtree rooted at `node` to XML text.
+///
+/// `@name` children holding a single text node (the parser's attribute
+/// materialization) are serialized back as attributes, so
+/// parse → serialize → parse is the identity on our document model.
+pub fn subtree_to_xml(doc: &Document, labels: &LabelTable, node: NodeId, out: &mut String) {
+    match doc.kind(node) {
+        NodeKind::Text(_) => {
+            escape_text(doc.text(node).expect("text node"), out);
+        }
+        NodeKind::Element(l) => {
+            let name = labels.resolve(l);
+            out.push('<');
+            out.push_str(name);
+            // Leading `@x` children are attributes.
+            let mut children: Vec<NodeId> = doc.children(node).collect();
+            let mut body_start = 0usize;
+            for &c in &children {
+                let is_attr = doc
+                    .label(c)
+                    .map(|cl| labels.resolve(cl).starts_with('@'))
+                    .unwrap_or(false);
+                if is_attr {
+                    let an = labels.resolve(doc.label(c).unwrap());
+                    out.push(' ');
+                    out.push_str(&an[1..]);
+                    out.push_str("=\"");
+                    escape_attr(&doc.text_content(c), out);
+                    out.push('"');
+                    body_start += 1;
+                } else {
+                    break;
+                }
+            }
+            children.drain(..body_start);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            for c in children {
+                subtree_to_xml(doc, labels, c, out);
+            }
+            out.push_str("</");
+            out.push_str(name);
+            out.push('>');
+        }
+    }
+}
+
+/// Serializes a whole document.
+pub fn to_xml_string(doc: &Document, labels: &LabelTable) -> String {
+    let mut out = String::new();
+    subtree_to_xml(doc, labels, doc.root(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn round_trip(s: &str) -> String {
+        let mut lt = LabelTable::new();
+        let d = parse_document(s, &mut lt).unwrap();
+        to_xml_string(&d, &lt)
+    }
+
+    #[test]
+    fn plain_round_trip() {
+        let s = "<a><b>hi</b><c/></a>";
+        assert_eq!(round_trip(s), s);
+    }
+
+    #[test]
+    fn attributes_round_trip() {
+        let s = r#"<item id="7" k="a&amp;b"><name>x</name></item>"#;
+        assert_eq!(round_trip(s), s);
+    }
+
+    #[test]
+    fn text_is_escaped() {
+        let s = "<a>x &lt; y &amp; z</a>";
+        assert_eq!(round_trip(s), s);
+    }
+
+    #[test]
+    fn reparse_is_stable() {
+        let s = r#"<r a="1"><x>t</x><y><z/></y></r>"#;
+        let once = round_trip(s);
+        let twice = round_trip(&once);
+        assert_eq!(once, twice);
+    }
+}

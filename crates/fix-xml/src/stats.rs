@@ -1,0 +1,79 @@
+//! Document and collection statistics (Table 1 of the paper reports data-set
+//! size, element counts, and index sizes; this module computes the
+//! data-side columns).
+
+use crate::document::{Document, NodeId, NodeKind};
+use crate::label::LabelTable;
+
+/// Summary statistics of a document or collection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DocStats {
+    /// Number of element nodes.
+    pub elements: usize,
+    /// Number of text nodes.
+    pub texts: usize,
+    /// Maximum depth (root = 1).
+    pub max_depth: usize,
+    /// Serialized size estimate in bytes.
+    pub bytes: usize,
+}
+
+impl DocStats {
+    /// Computes statistics for one document.
+    pub fn of(doc: &Document, labels: &LabelTable) -> Self {
+        let mut s = DocStats {
+            max_depth: doc.max_depth(),
+            ..Default::default()
+        };
+        for n in doc.descendants_or_self(doc.root()) {
+            match doc.kind(n) {
+                NodeKind::Element(l) => {
+                    s.elements += 1;
+                    // `<tag>` + `</tag>`.
+                    s.bytes += 2 * labels.resolve(l).len() + 5;
+                }
+                NodeKind::Text(_) => {
+                    s.texts += 1;
+                    s.bytes += doc.text(NodeId(n.0)).map(str::len).unwrap_or(0);
+                }
+            }
+        }
+        s
+    }
+
+    /// Accumulates another document's stats (collection totals).
+    pub fn merge(&mut self, other: &DocStats) {
+        self.elements += other.elements;
+        self.texts += other.texts;
+        self.max_depth = self.max_depth.max(other.max_depth);
+        self.bytes += other.bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    #[test]
+    fn counts() {
+        let mut lt = LabelTable::new();
+        let d = parse_document("<a><b>hi</b><c/></a>", &mut lt).unwrap();
+        let s = DocStats::of(&d, &lt);
+        assert_eq!(s.elements, 3);
+        assert_eq!(s.texts, 1);
+        assert_eq!(s.max_depth, 2);
+        assert!(s.bytes >= "<a><b>hi</b><c/></a>".len() - 4);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut lt = LabelTable::new();
+        let d1 = parse_document("<a><b/></a>", &mut lt).unwrap();
+        let d2 = parse_document("<a><b><c/></b></a>", &mut lt).unwrap();
+        let mut s = DocStats::of(&d1, &lt);
+        s.merge(&DocStats::of(&d2, &lt));
+        assert_eq!(s.elements, 5);
+        assert_eq!(s.max_depth, 3);
+    }
+}

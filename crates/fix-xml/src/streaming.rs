@@ -1,0 +1,491 @@
+//! Streaming parser over any `io::Read`: the incremental twin of
+//! [`Parser`](crate::parser::Parser), holding only the bytes of the token
+//! currently being lexed plus a small read-ahead — documents larger than
+//! memory parse fine as long as individual tokens (one tag, one text run,
+//! one comment) fit.
+//!
+//! The two parsers are differentially tested: for every corpus and every
+//! chunking of the byte stream they must produce identical event
+//! sequences and identical errors-or-success.
+
+use std::io::Read;
+
+use crate::document::{Document, DocumentBuilder};
+use crate::label::LabelTable;
+use crate::parser::{decode_entities, ParseError, RawEvent};
+
+/// Incremental pull parser over a reader.
+pub struct StreamingParser<R: Read> {
+    reader: R,
+    /// Unconsumed bytes; `buf[0]` is at absolute offset `base`.
+    buf: Vec<u8>,
+    base: usize,
+    eof: bool,
+    open: Vec<String>,
+    pending_end: Option<String>,
+    root_closed: bool,
+    seen_root: bool,
+}
+
+impl<R: Read> StreamingParser<R> {
+    /// Wraps a reader.
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: Vec::new(),
+            base: 0,
+            eof: false,
+            open: Vec::new(),
+            pending_end: None,
+            root_closed: false,
+            seen_root: false,
+        }
+    }
+
+    fn err<T>(&self, at: usize, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.base + at,
+            message: message.into(),
+        })
+    }
+
+    /// Reads more input; returns false at EOF.
+    fn fill(&mut self) -> Result<bool, ParseError> {
+        if self.eof {
+            return Ok(false);
+        }
+        let mut chunk = [0u8; 4096];
+        let n = self.reader.read(&mut chunk).map_err(|e| ParseError {
+            offset: self.base + self.buf.len(),
+            message: format!("I/O error: {e}"),
+        })?;
+        if n == 0 {
+            self.eof = true;
+            return Ok(false);
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(true)
+    }
+
+    /// Ensures at least `n` unconsumed bytes (or EOF).
+    fn want(&mut self, n: usize) -> Result<(), ParseError> {
+        while self.buf.len() < n && self.fill()? {}
+        Ok(())
+    }
+
+    /// Finds `pat` in the buffer starting at `from`, reading as needed.
+    fn find(&mut self, from: usize, pat: &[u8]) -> Result<Option<usize>, ParseError> {
+        let mut searched_to = from;
+        loop {
+            if self.buf.len() >= searched_to + pat.len() {
+                if let Some(i) = self.buf[searched_to..]
+                    .windows(pat.len())
+                    .position(|w| w == pat)
+                {
+                    return Ok(Some(searched_to + i));
+                }
+                // Overlap: a match could straddle the chunk boundary.
+                searched_to = self.buf.len() + 1 - pat.len();
+            }
+            if !self.fill()? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Drops `n` consumed bytes from the front.
+    fn consume(&mut self, n: usize) {
+        self.buf.drain(..n);
+        self.base += n;
+    }
+
+    /// Pulls the next event; `Ok(None)` at a well-formed end of input.
+    pub fn next_raw(&mut self) -> Result<Option<RawEvent>, ParseError> {
+        if let Some(name) = self.pending_end.take() {
+            self.open.pop();
+            if self.open.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(Some(RawEvent::EndElement { name }));
+        }
+        loop {
+            self.want(1)?;
+            if self.buf.is_empty() {
+                if !self.open.is_empty() {
+                    return self.err(0, "unexpected end of input; element unclosed");
+                }
+                if !self.seen_root {
+                    return self.err(0, "no root element");
+                }
+                return Ok(None);
+            }
+            if self.buf[0] == b'<' {
+                self.want(9)?; // longest discriminator: `<![CDATA[`
+                if self.buf.starts_with(b"<!--") {
+                    match self.find(4, b"-->")? {
+                        Some(i) => {
+                            self.consume(i + 3);
+                            continue;
+                        }
+                        None => return self.err(self.buf.len(), "unterminated comment"),
+                    }
+                }
+                if self.buf.starts_with(b"<![CDATA[") {
+                    match self.find(9, b"]]>")? {
+                        Some(i) => {
+                            let text = String::from_utf8_lossy(&self.buf[9..i]).into_owned();
+                            self.consume(i + 3);
+                            if self.open.is_empty() {
+                                return self.err(0, "character data outside the root element");
+                            }
+                            return Ok(Some(RawEvent::Text(text)));
+                        }
+                        None => return self.err(self.buf.len(), "unterminated CDATA"),
+                    }
+                }
+                if self.buf.starts_with(b"<?") {
+                    match self.find(2, b"?>")? {
+                        Some(i) => {
+                            self.consume(i + 2);
+                            continue;
+                        }
+                        None => return self.err(self.buf.len(), "unterminated PI"),
+                    }
+                }
+                if self.buf.starts_with(b"<!DOCTYPE") || self.buf.starts_with(b"<!doctype") {
+                    // Balance `<`/`>` to skip an internal subset.
+                    let mut depth = 1usize;
+                    let mut i = 9usize;
+                    loop {
+                        self.want(i + 1)?;
+                        match self.buf.get(i) {
+                            Some(b'<') => depth += 1,
+                            Some(b'>') => depth -= 1,
+                            Some(_) => {}
+                            None => return self.err(i, "unterminated DOCTYPE"),
+                        }
+                        i += 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    self.consume(i);
+                    continue;
+                }
+                // Start or end tag: everything up to `>` (attribute values
+                // may not contain `>`? They may! Scan respecting quotes.)
+                let close = self.find_tag_end()?;
+                let tag = self.buf[..close + 1].to_vec();
+                let at = 0usize;
+                let ev = self.parse_tag(&tag, at)?;
+                self.consume(close + 1);
+                return Ok(Some(ev));
+            }
+            // Text run up to the next `<` (or EOF).
+            let end = match self.find(0, b"<")? {
+                Some(i) => i,
+                None => self.buf.len(),
+            };
+            let raw = String::from_utf8_lossy(&self.buf[..end]).into_owned();
+            let at = 0usize;
+            self.consume(end);
+            if raw.bytes().all(|b| b.is_ascii_whitespace()) {
+                continue;
+            }
+            if self.open.is_empty() {
+                return self.err(at, "character data outside the root element");
+            }
+            let text = decode_entities(&raw, self.base + at)?;
+            return Ok(Some(RawEvent::Text(text)));
+        }
+    }
+
+    /// Index of the `>` ending the tag at buffer position 0, respecting
+    /// quoted attribute values.
+    fn find_tag_end(&mut self) -> Result<usize, ParseError> {
+        let mut i = 1usize;
+        let mut quote: Option<u8> = None;
+        loop {
+            self.want(i + 1)?;
+            match self.buf.get(i) {
+                None => return self.err(i, "unterminated tag"),
+                Some(&c) => match quote {
+                    Some(q) if c == q => quote = None,
+                    Some(_) => {}
+                    None => match c {
+                        b'"' | b'\'' => quote = Some(c),
+                        b'>' => return Ok(i),
+                        _ => {}
+                    },
+                },
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses one complete `<...>` tag (start or end) at absolute offset
+    /// `base + at`.
+    fn parse_tag(&mut self, tag: &[u8], at: usize) -> Result<RawEvent, ParseError> {
+        let abs = self.base + at;
+        let inner = &tag[1..tag.len() - 1]; // strip `<` and `>`
+        if let Some(name_part) = inner.strip_prefix(b"/") {
+            let name = std::str::from_utf8(name_part)
+                .map_err(|_| ParseError {
+                    offset: abs,
+                    message: "non-UTF-8 tag name".into(),
+                })?
+                .trim()
+                .to_owned();
+            if name.is_empty() || !valid_name(&name) {
+                return self.err(at, "bad end-tag name");
+            }
+            match self.open.pop() {
+                Some(top) if top == name => {}
+                Some(top) => {
+                    return self.err(
+                        at,
+                        format!("mismatched end tag: `</{name}>` closes `<{top}>`"),
+                    )
+                }
+                None => return self.err(at, format!("stray end tag `</{name}>`")),
+            }
+            if self.open.is_empty() {
+                self.root_closed = true;
+            }
+            return Ok(RawEvent::EndElement { name });
+        }
+        if self.root_closed {
+            return self.err(at, "content after the root element");
+        }
+        let (inner, empty) = match inner.strip_suffix(b"/") {
+            Some(rest) => (rest, true),
+            None => (inner, false),
+        };
+        let text = std::str::from_utf8(inner).map_err(|_| ParseError {
+            offset: abs,
+            message: "non-UTF-8 tag".into(),
+        })?;
+        // Split name from attributes.
+        let name_end = text
+            .find(|c: char| c.is_ascii_whitespace())
+            .unwrap_or(text.len());
+        let name = text[..name_end].to_owned();
+        if name.is_empty() || !valid_name(&name) {
+            return self.err(at, "bad start-tag name");
+        }
+        let mut attributes = Vec::new();
+        let mut rest = text[name_end..].trim_start();
+        while !rest.is_empty() {
+            let eq = rest.find('=').ok_or(ParseError {
+                offset: abs,
+                message: format!("expected `=` in attributes of `<{name}>`"),
+            })?;
+            let aname = rest[..eq].trim().to_owned();
+            if aname.is_empty() || !valid_name(&aname) {
+                return self.err(at, "bad attribute name");
+            }
+            let after = rest[eq + 1..].trim_start();
+            let quote = after.chars().next().ok_or(ParseError {
+                offset: abs,
+                message: "missing attribute value".into(),
+            })?;
+            if quote != '"' && quote != '\'' {
+                return self.err(at, "attribute value must be quoted");
+            }
+            let vend = after[1..].find(quote).ok_or(ParseError {
+                offset: abs,
+                message: "unterminated attribute value".into(),
+            })?;
+            let value = decode_entities(&after[1..1 + vend], abs)?;
+            attributes.push((aname, value));
+            rest = after[1 + vend + 1..].trim_start();
+        }
+        self.seen_root = true;
+        self.open.push(name.clone());
+        if empty {
+            self.pending_end = Some(name.clone());
+        }
+        Ok(RawEvent::StartElement { name, attributes })
+    }
+}
+
+fn valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_digit() || c == '-' || c == '.' => return false,
+        Some(_) => {}
+        None => return false,
+    }
+    s.chars().all(|c| {
+        c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | ':' | '@') || !c.is_ascii()
+    })
+}
+
+/// Parses a complete document from a reader (the streaming counterpart of
+/// [`parse_document`](crate::parser::parse_document); attributes are
+/// materialized as `@name` children the same way).
+pub fn parse_document_from_reader<R: Read>(
+    reader: R,
+    labels: &mut LabelTable,
+) -> Result<Document, ParseError> {
+    let mut p = StreamingParser::new(reader);
+    let mut b = DocumentBuilder::new();
+    while let Some(ev) = p.next_raw()? {
+        match ev {
+            RawEvent::StartElement { name, attributes } => {
+                let l = labels.intern(&name);
+                b.open(l);
+                for (an, av) in attributes {
+                    let al = labels.intern(&format!("@{an}"));
+                    b.open(al);
+                    b.text(&av);
+                    b.close();
+                }
+            }
+            RawEvent::EndElement { .. } => b.close(),
+            RawEvent::Text(t) => {
+                b.text(&t);
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::Parser;
+
+    /// A reader that yields at most `chunk` bytes per read call — the
+    /// adversarial chunking for boundary-condition coverage.
+    struct Dribble<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    fn stream_events(input: &str, chunk: usize) -> Result<Vec<RawEvent>, ParseError> {
+        let mut p = StreamingParser::new(Dribble {
+            data: input.as_bytes(),
+            pos: 0,
+            chunk,
+        });
+        let mut out = Vec::new();
+        while let Some(e) = p.next_raw()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    fn slice_events(input: &str) -> Result<Vec<RawEvent>, ParseError> {
+        let mut p = Parser::new(input);
+        let mut out = Vec::new();
+        while let Some(e) = p.next_raw()? {
+            out.push(e);
+        }
+        Ok(out)
+    }
+
+    const CASES: &[&str] = &[
+        "<a><b>hi</b><c/></a>",
+        r#"<a x="1 &amp; 2" y='&#65;'>t&lt;u</a>"#,
+        "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><a><!-- note --><![CDATA[x < y]]></a>",
+        "<a>\n  <b/>\n</a>",
+        "<r><x a='q\"z'>mixed <i>in</i> line</x></r>",
+        "<deep><deep><deep><leaf/></deep></deep></deep>",
+    ];
+
+    const BAD: &[&str] = &[
+        "<a><b></a></b>",
+        "<a>",
+        "</a>",
+        "<a/><b/>",
+        "hello",
+        "<a>&bogus;</a>",
+        "<a x=>y</a>",
+        "<a x='1>",
+        "<!-- unterminated",
+    ];
+
+    #[test]
+    fn agrees_with_the_slice_parser_on_every_chunking() {
+        for case in CASES {
+            let want = slice_events(case).unwrap();
+            for chunk in [1usize, 2, 3, 7, 64, 4096] {
+                let got = stream_events(case, chunk).unwrap_or_else(|e| {
+                    panic!("chunk {chunk}: {case}: {e}");
+                });
+                assert_eq!(got, want, "chunk {chunk} on {case}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_what_the_slice_parser_rejects() {
+        for case in BAD {
+            assert!(slice_events(case).is_err(), "slice accepted {case}");
+            for chunk in [1usize, 3, 4096] {
+                assert!(
+                    stream_events(case, chunk).is_err(),
+                    "stream (chunk {chunk}) accepted {case}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn documents_parse_identically() {
+        for case in CASES {
+            let mut lt1 = LabelTable::new();
+            let d1 = crate::parser::parse_document(case, &mut lt1).unwrap();
+            let mut lt2 = LabelTable::new();
+            let d2 = parse_document_from_reader(
+                Dribble {
+                    data: case.as_bytes(),
+                    pos: 0,
+                    chunk: 5,
+                },
+                &mut lt2,
+            )
+            .unwrap();
+            assert_eq!(
+                crate::serialize::to_xml_string(&d1, &lt1),
+                crate::serialize::to_xml_string(&d2, &lt2),
+                "document mismatch on {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_on_long_flat_documents() {
+        // 20k siblings streamed 16 bytes at a time: the internal buffer
+        // never needs to hold more than one token.
+        let mut xml = String::from("<r>");
+        for i in 0..20_000 {
+            xml.push_str(&format!("<x i=\"{i}\"/>"));
+        }
+        xml.push_str("</r>");
+        let mut p = StreamingParser::new(Dribble {
+            data: xml.as_bytes(),
+            pos: 0,
+            chunk: 16,
+        });
+        let mut max_buf = 0usize;
+        let mut events = 0usize;
+        while let Some(_e) = p.next_raw().unwrap() {
+            events += 1;
+            max_buf = max_buf.max(p.buf.len());
+        }
+        assert_eq!(events, 2 + 2 * 20_000);
+        assert!(max_buf < 8192, "buffer grew to {max_buf}");
+    }
+}

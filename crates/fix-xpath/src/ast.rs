@@ -1,0 +1,434 @@
+//! Abstract syntax of the XPath fragment (child/descendant axes, NameTests,
+//! branching predicates, value-equality comparisons).
+
+use std::fmt;
+
+/// A step axis. The paper restricts attention to the two axes that a study
+/// of the XQuery Use Cases found account for almost all real queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `/` — child.
+    Child,
+    /// `//` — descendant(-or-self applied to the following NameTest).
+    Descendant,
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Axis::Child => write!(f, "/"),
+            Axis::Descendant => write!(f, "//"),
+        }
+    }
+}
+
+/// A branching predicate: a relative path, optionally compared to a string
+/// value (`[author]`, `[.//bidder[name]]`, `[year = "1998"]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// The relative path tested for existence.
+    pub path: PathExpr,
+    /// If set, the last step's text value must equal this string.
+    pub value: Option<String>,
+}
+
+/// One step of a path expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    /// How this step relates to the previous one.
+    pub axis: Axis,
+    /// The element name to match (`*` wildcards are not part of the paper's
+    /// twig model and are rejected by the parser).
+    pub name: String,
+    /// Branching predicates on this step.
+    pub predicates: Vec<Predicate>,
+}
+
+impl Step {
+    /// A predicate-free child step (convenience for tests/builders).
+    pub fn child(name: &str) -> Self {
+        Step {
+            axis: Axis::Child,
+            name: name.to_owned(),
+            predicates: Vec::new(),
+        }
+    }
+
+    /// A predicate-free descendant step.
+    pub fn descendant(name: &str) -> Self {
+        Step {
+            axis: Axis::Descendant,
+            name: name.to_owned(),
+            predicates: Vec::new(),
+        }
+    }
+}
+
+/// A parsed path expression: a non-empty list of steps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PathExpr {
+    /// The steps, outermost first.
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// True if every axis after the first is `/` and no value comparison
+    /// appears anywhere — i.e. the expression is a twig query
+    /// (Definition 1). The value-extended index relaxes the "no value"
+    /// part; see [`PathExpr::is_twig_with_values`].
+    pub fn is_twig(&self) -> bool {
+        self.is_twig_inner(false)
+    }
+
+    /// Like [`PathExpr::is_twig`] but permitting value-equality predicates
+    /// (the Section 4.6 extension).
+    pub fn is_twig_with_values(&self) -> bool {
+        self.is_twig_inner(true)
+    }
+
+    fn is_twig_inner(&self, allow_values: bool) -> bool {
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 && step.axis != Axis::Child {
+                return false;
+            }
+            for p in &step.predicates {
+                if p.value.is_some() && !allow_values {
+                    return false;
+                }
+                // A predicate path is relative: its first step's axis must
+                // also be `/` for the whole expression to be a twig.
+                if p.path.steps.first().map(|s| s.axis) != Some(Axis::Child) {
+                    return false;
+                }
+                if !p.path.is_twig_pred(allow_values) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Twig check for a predicate path: *all* axes (including the first)
+    /// must be `/`.
+    fn is_twig_pred(&self, allow_values: bool) -> bool {
+        for step in &self.steps {
+            if step.axis != Axis::Child {
+                return false;
+            }
+            for p in &step.predicates {
+                if p.value.is_some() && !allow_values {
+                    return false;
+                }
+                if !p.path.is_twig_pred(allow_values) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The query's depth: the length of the longest root-to-leaf chain of
+    /// NameTests, counting predicate branches. Used by the optimizer's
+    /// "does the index cover this query" test (Section 5).
+    pub fn depth(&self) -> usize {
+        // Depth of a step list is 1 + max(depth of the rest of the spine,
+        // depth of each predicate path; a value comparison adds one level
+        // because it becomes a child value-label node).
+        fn rec(steps: &[Step]) -> usize {
+            match steps.split_first() {
+                None => 0,
+                Some((s, rest)) => {
+                    let mut m = rec(rest);
+                    for p in &s.predicates {
+                        m = m.max(rec(&p.path.steps) + usize::from(p.value.is_some()));
+                    }
+                    1 + m
+                }
+            }
+        }
+        rec(&self.steps)
+    }
+
+    /// True if any predicate anywhere carries a value comparison.
+    pub fn has_value_predicates(&self) -> bool {
+        fn any(steps: &[Step]) -> bool {
+            steps.iter().any(|s| {
+                s.predicates
+                    .iter()
+                    .any(|p| p.value.is_some() || any(&p.path.steps))
+            })
+        }
+        any(&self.steps)
+    }
+
+    /// True if any step has a branching predicate (a "branching path" in the
+    /// paper's `bp` vs `sp` query taxonomy).
+    pub fn is_branching(&self) -> bool {
+        self.steps.iter().any(|s| !s.predicates.is_empty())
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for step in &self.steps {
+            write!(f, "{}{}", step.axis, step.name)?;
+            for p in &step.predicates {
+                write!(f, "[")?;
+                // Predicate paths print without their leading `/`.
+                let mut first = true;
+                for ps in &p.path.steps {
+                    if first {
+                        if ps.axis == Axis::Descendant {
+                            write!(f, ".//")?;
+                        }
+                        first = false;
+                    } else {
+                        write!(f, "{}", ps.axis)?;
+                    }
+                    write!(f, "{}", ps.name)?;
+                    for pp in &ps.predicates {
+                        write!(f, "[{}]", PredDisplay(pp))?;
+                    }
+                }
+                if let Some(v) = &p.value {
+                    write!(f, "=\"{v}\"")?;
+                }
+                write!(f, "]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+struct PredDisplay<'a>(&'a Predicate);
+
+impl fmt::Display for PredDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for ps in &self.0.path.steps {
+            if first {
+                if ps.axis == Axis::Descendant {
+                    write!(f, ".//")?;
+                }
+                first = false;
+            } else {
+                write!(f, "{}", ps.axis)?;
+            }
+            write!(f, "{}", ps.name)?;
+            for pp in &ps.predicates {
+                write!(f, "[{}]", PredDisplay(pp))?;
+            }
+        }
+        if let Some(v) = &self.0.value {
+            write!(f, "=\"{v}\"")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(steps: Vec<Step>) -> PathExpr {
+        PathExpr { steps }
+    }
+
+    #[test]
+    fn twig_detection() {
+        // //article[author]/ee is a twig.
+        let mut art = Step::descendant("article");
+        art.predicates.push(Predicate {
+            path: path(vec![Step::child("author")]),
+            value: None,
+        });
+        let q = path(vec![art.clone(), Step::child("ee")]);
+        assert!(q.is_twig());
+
+        // //article[.//author]/ee is not (descendant inside predicate).
+        let mut art2 = Step::descendant("article");
+        art2.predicates.push(Predicate {
+            path: path(vec![Step::descendant("author")]),
+            value: None,
+        });
+        let q2 = path(vec![art2, Step::child("ee")]);
+        assert!(!q2.is_twig());
+
+        // interior // is not a twig.
+        let q3 = path(vec![Step::descendant("a"), Step::descendant("b")]);
+        assert!(!q3.is_twig());
+
+        // value predicates are not a (pure) twig but are a value twig.
+        let mut art3 = Step::descendant("article");
+        art3.predicates.push(Predicate {
+            path: path(vec![Step::child("name")]),
+            value: Some("John Smith".into()),
+        });
+        let q4 = path(vec![art3, Step::child("title")]);
+        assert!(!q4.is_twig());
+        assert!(q4.is_twig_with_values());
+        assert!(q4.has_value_predicates());
+    }
+
+    #[test]
+    fn depth_counts_longest_chain() {
+        // //a/b/c has depth 3.
+        let q = path(vec![
+            Step::descendant("a"),
+            Step::child("b"),
+            Step::child("c"),
+        ]);
+        assert_eq!(q.depth(), 3);
+
+        // //a[b/c/d]/e : spine depth 2, predicate chain depth 1+3 = 4.
+        let mut a = Step::descendant("a");
+        a.predicates.push(Predicate {
+            path: path(vec![Step::child("b"), Step::child("c"), Step::child("d")]),
+            value: None,
+        });
+        let q2 = path(vec![a, Step::child("e")]);
+        assert_eq!(q2.depth(), 4);
+    }
+
+    #[test]
+    fn branching_classification() {
+        let sp = path(vec![Step::descendant("a"), Step::child("b")]);
+        assert!(!sp.is_branching());
+        let mut a = Step::descendant("a");
+        a.predicates.push(Predicate {
+            path: path(vec![Step::child("x")]),
+            value: None,
+        });
+        let bp = path(vec![a]);
+        assert!(bp.is_branching());
+    }
+}
+
+/// Fluent builder for programmatic query construction (the API a query
+/// compiler would target instead of strings):
+///
+/// ```
+/// use fix_xpath::QueryBuilder;
+///
+/// let q = QueryBuilder::anywhere("article")
+///     .pred(QueryBuilder::rel("author").pred(QueryBuilder::rel("phone")))
+///     .pred_eq("year", "1998")
+///     .child("title")
+///     .build();
+/// assert_eq!(q.to_string(), r#"//article[author[phone]][year="1998"]/title"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    steps: Vec<Step>,
+}
+
+impl QueryBuilder {
+    /// Starts an unanchored query: `//name…`.
+    pub fn anywhere(name: &str) -> Self {
+        Self {
+            steps: vec![Step::descendant(name)],
+        }
+    }
+
+    /// Starts a root-anchored query: `/name…`.
+    pub fn rooted(name: &str) -> Self {
+        Self {
+            steps: vec![Step::child(name)],
+        }
+    }
+
+    /// Starts a relative path for use inside predicates: `name…`.
+    pub fn rel(name: &str) -> Self {
+        Self {
+            steps: vec![Step::child(name)],
+        }
+    }
+
+    /// Appends a `/name` step.
+    pub fn child(mut self, name: &str) -> Self {
+        self.steps.push(Step::child(name));
+        self
+    }
+
+    /// Appends a `//name` step (the result is no longer a single twig; it
+    /// will be decomposed at query time).
+    pub fn descendant(mut self, name: &str) -> Self {
+        self.steps.push(Step::descendant(name));
+        self
+    }
+
+    /// Attaches `[<rel>]` to the current step.
+    pub fn pred(mut self, rel: QueryBuilder) -> Self {
+        self.steps
+            .last_mut()
+            .expect("builder always has a step")
+            .predicates
+            .push(Predicate {
+                path: rel.build(),
+                value: None,
+            });
+        self
+    }
+
+    /// Attaches `[name = "value"]` to the current step.
+    pub fn pred_eq(mut self, name: &str, value: &str) -> Self {
+        self.steps
+            .last_mut()
+            .expect("builder always has a step")
+            .predicates
+            .push(Predicate {
+                path: PathExpr {
+                    steps: vec![Step::child(name)],
+                },
+                value: Some(value.to_owned()),
+            });
+        self
+    }
+
+    /// Finishes the expression.
+    pub fn build(self) -> PathExpr {
+        PathExpr { steps: self.steps }
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = QueryBuilder::anywhere("item")
+            .pred(QueryBuilder::rel("name"))
+            .child("mailbox")
+            .child("mail")
+            .pred(QueryBuilder::rel("to"))
+            .build();
+        let parsed = crate::parser::parse_path("//item[name]/mailbox/mail[to]").unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn rooted_and_value_forms() {
+        let built = QueryBuilder::rooted("dblp")
+            .child("proceedings")
+            .pred_eq("publisher", "Springer")
+            .build();
+        assert_eq!(
+            built.to_string(),
+            r#"/dblp/proceedings[publisher="Springer"]"#
+        );
+        assert!(built.is_twig_with_values());
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let built = QueryBuilder::anywhere("a")
+            .pred(
+                QueryBuilder::rel("b")
+                    .pred(QueryBuilder::rel("c"))
+                    .child("d"),
+            )
+            .build();
+        assert_eq!(built.to_string(), "//a[b[c]/d]");
+    }
+}

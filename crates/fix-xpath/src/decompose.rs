@@ -1,0 +1,134 @@
+//! Decomposition of general path expressions into twig blocks (Section 5).
+//!
+//! A path with interior `//`-axes — e.g.
+//! `//open_auction[.//bidder[name][email]]/price` — is not a twig query.
+//! The paper decomposes it into twig queries connected by `//`-edges
+//! (`//open_auction/price` and `//bidder[name][email]` in the example). The
+//! *top* block is the one containing the expression's root; on an index with
+//! a non-zero depth limit only the top block provides pruning power (the
+//! candidates must contain it rooted at the entry root); on an unlimited
+//! index over a document collection, *all* blocks prune (a document must
+//! contain every block).
+
+use crate::ast::{Axis, PathExpr, Predicate, Step};
+
+/// Splits `path` into twig blocks. The first element is the top block
+/// (containing the original root); all blocks are valid twig expressions
+/// with a leading `//` axis (except the top block, which keeps the original
+/// leading axis). Value predicates travel with their step.
+pub fn decompose(path: &PathExpr) -> Vec<PathExpr> {
+    let mut blocks = Vec::new();
+    let top = split_spine(&path.steps, path.steps.first().map(|s| s.axis), &mut blocks);
+    let mut out = Vec::with_capacity(blocks.len() + 1);
+    out.push(top);
+    out.append(&mut blocks);
+    out
+}
+
+/// Processes a spine, cutting at interior `//` steps; returns the leading
+/// block and pushes the rest onto `extra`.
+fn split_spine(steps: &[Step], lead: Option<Axis>, extra: &mut Vec<PathExpr>) -> PathExpr {
+    let mut block = PathExpr { steps: Vec::new() };
+    let iter = steps.iter().enumerate().peekable();
+    for (i, step) in iter {
+        if i > 0 && step.axis == Axis::Descendant {
+            // Start a new block at this step; the remainder (including this
+            // step) is processed recursively as its own spine.
+            let rest = &steps[i..];
+            let sub = split_spine(rest, Some(Axis::Descendant), extra);
+            extra.push(sub);
+            break;
+        }
+        let mut clean = Step {
+            axis: if i == 0 {
+                lead.unwrap_or(step.axis)
+            } else {
+                step.axis
+            },
+            name: step.name.clone(),
+            predicates: Vec::new(),
+        };
+        for pred in &step.predicates {
+            if pred.path.steps.first().map(|s| s.axis) == Some(Axis::Descendant) {
+                // `.//x...` predicate: becomes a separate `//x...` block.
+                let sub = split_spine(&pred.path.steps, Some(Axis::Descendant), extra);
+                extra.push(sub);
+            } else {
+                // Child predicate: keep it, but recursively extract any
+                // interior `//` inside it.
+                let sub = split_spine(&pred.path.steps, Some(Axis::Child), extra);
+                clean.predicates.push(Predicate {
+                    path: sub,
+                    value: pred.value.clone(),
+                });
+            }
+        }
+        block.steps.push(clean);
+    }
+    block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+
+    fn dec(s: &str) -> Vec<String> {
+        decompose(&parse_path(s).unwrap())
+            .iter()
+            .map(|p| p.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn twig_stays_whole() {
+        assert_eq!(dec("//a[b]/c"), vec!["//a[b]/c"]);
+    }
+
+    #[test]
+    fn paper_example() {
+        // Section 5's example.
+        let blocks = dec("//open_auction[.//bidder[name][email]]/price");
+        assert_eq!(
+            blocks,
+            vec!["//open_auction/price", "//bidder[name][email]"]
+        );
+    }
+
+    #[test]
+    fn interior_descendant_in_spine() {
+        let blocks = dec("//a/b//c/d");
+        assert_eq!(blocks, vec!["//a/b", "//c/d"]);
+    }
+
+    #[test]
+    fn multiple_cuts() {
+        let blocks = dec("//a//b[x]//c");
+        assert_eq!(blocks, vec!["//a", "//c", "//b[x]"]);
+        // All blocks are twigs.
+        for b in decompose(&parse_path("//a//b[x]//c").unwrap()) {
+            assert!(b.is_twig(), "{b} is not a twig");
+        }
+    }
+
+    #[test]
+    fn rooted_lead_axis_is_preserved() {
+        let blocks = dec("/bib/article//author");
+        assert_eq!(blocks, vec!["/bib/article", "//author"]);
+    }
+
+    #[test]
+    fn value_predicates_travel() {
+        let blocks = dec(r#"//a[.//b[c="v"]]/d"#);
+        assert_eq!(blocks, vec!["//a/d", r#"//b[c="v"]"#]);
+    }
+
+    #[test]
+    fn all_blocks_are_twigs_property() {
+        for q in ["//a//b//c//d", "//a[.//b]//c[d//e]/f", "//x[y/z]//w"] {
+            for b in decompose(&parse_path(q).unwrap()) {
+                assert!(b.is_twig_with_values(), "{q} produced non-twig {b}");
+            }
+        }
+    }
+}

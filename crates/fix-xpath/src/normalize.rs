@@ -1,0 +1,202 @@
+//! Query normalization: a small logical-rewrite pass run before planning.
+//!
+//! Two semantics-preserving rewrites on the twig fragment:
+//!
+//! 1. **Duplicate elimination** — `a[b][b]/c` ⇒ `a[b]/c` (predicates are
+//!    existential, so repetition is idempotent).
+//! 2. **Implication pruning** — a predicate implied by a stronger sibling
+//!    is dropped: `a[b][b/c]` ⇒ `a[b/c]` and `a[b][b="x"]` ⇒ `a[b="x"]`
+//!    (the match witnessing the stronger predicate witnesses the weaker
+//!    one).
+//!
+//! Both run recursively through nested predicates. Canonical predicate
+//! ordering makes the output deterministic, which also benefits feature
+//! extraction (syntactically different but equal queries produce the same
+//! pattern and hit the same memoized features).
+
+use crate::ast::{Axis, PathExpr, Predicate, Step};
+
+/// Normalizes a path expression (see module docs). Purely structural —
+/// result set is provably unchanged (and property-tested against all
+/// evaluators).
+pub fn normalize(path: &PathExpr) -> PathExpr {
+    PathExpr {
+        steps: path.steps.iter().map(normalize_step).collect(),
+    }
+}
+
+fn normalize_step(step: &Step) -> Step {
+    let mut predicates: Vec<Predicate> = step
+        .predicates
+        .iter()
+        .map(|p| Predicate {
+            path: normalize(&p.path),
+            value: p.value.clone(),
+        })
+        .collect();
+    // Canonical order first so dedup catches syntactic duplicates.
+    predicates.sort_by_key(render_pred);
+    predicates.dedup();
+    // Implication pruning: drop any predicate implied by another one.
+    let mut kept: Vec<Predicate> = Vec::with_capacity(predicates.len());
+    for (i, p) in predicates.iter().enumerate() {
+        let implied = predicates
+            .iter()
+            .enumerate()
+            .any(|(j, q)| i != j && implies(q, p) && !(implies(p, q) && j > i));
+        if !implied {
+            kept.push(p.clone());
+        }
+    }
+    Step {
+        axis: step.axis,
+        name: step.name.clone(),
+        predicates: kept,
+    }
+}
+
+fn render_pred(p: &Predicate) -> String {
+    format!("{p:?}")
+}
+
+/// True if a match of `strong` always witnesses `weak` (so `weak` is
+/// redundant next to `strong`). Conservative: descendant axes anywhere in
+/// either predicate disable the check.
+pub fn implies(strong: &Predicate, weak: &Predicate) -> bool {
+    // [x = "v"] implies [x]; [x] does not imply [x = "v"].
+    let value_ok = match (&strong.value, &weak.value) {
+        (_, None) => true,
+        (Some(a), Some(b)) => a == b,
+        (None, Some(_)) => false,
+    };
+    value_ok && chain_implies(&strong.path.steps, &weak.path.steps, weak.value.as_deref())
+}
+
+/// Does the chain `strong` (with its own predicates) imply the chain
+/// `weak` (whose last step may carry `weak_value`)? Both are predicate
+/// paths: linear spines with nested predicates.
+fn chain_implies(strong: &[Step], weak: &[Step], weak_value: Option<&str>) -> bool {
+    match (strong.split_first(), weak.split_first()) {
+        (_, None) => true,
+        (None, Some(_)) => false,
+        (Some((s, s_rest)), Some((w, w_rest))) => {
+            if s.axis != Axis::Child || w.axis != Axis::Child || s.name != w.name {
+                return false;
+            }
+            // If the weak chain ends here with a value test, the strong
+            // chain must also end here (a longer strong chain constrains a
+            // *descendant*, not this node's text) — unless the value test
+            // is discharged through a predicate below.
+            let ends_with_value = w_rest.is_empty() && weak_value.is_some();
+            // Existential constraints available at this strong node: its
+            // predicates plus its own continuation chain.
+            let strong_conts: Vec<Predicate> = s
+                .predicates
+                .iter()
+                .cloned()
+                .chain((!s_rest.is_empty()).then(|| Predicate {
+                    path: PathExpr {
+                        steps: s_rest.to_vec(),
+                    },
+                    value: None,
+                }))
+                .collect();
+            let preds_ok = w
+                .predicates
+                .iter()
+                .all(|wp| strong_conts.iter().any(|sp| implies(sp, wp)));
+            if !preds_ok {
+                return false;
+            }
+            if ends_with_value {
+                return s_rest.is_empty();
+            }
+            // The weak continuation is satisfied either by the strong
+            // continuation (chain-wise) or by one of the strong step's own
+            // predicates (e.g. `[b[c]]` implies `[b/c]`).
+            if w_rest.is_empty() {
+                return true;
+            }
+            let w_cont = Predicate {
+                path: PathExpr {
+                    steps: w_rest.to_vec(),
+                },
+                value: weak_value.map(str::to_owned),
+            };
+            chain_implies(s_rest, w_rest, weak_value)
+                || s.predicates.iter().any(|sp| implies(sp, &w_cont))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+
+    fn norm(s: &str) -> String {
+        normalize(&parse_path(s).unwrap()).to_string()
+    }
+
+    #[test]
+    fn duplicate_predicates_collapse() {
+        assert_eq!(norm("//a[b][b]/c"), "//a[b]/c");
+        assert_eq!(norm("//a[b][c][b][c]"), "//a[b][c]");
+    }
+
+    #[test]
+    fn implied_predicates_are_dropped() {
+        assert_eq!(norm("//a[b][b/c]"), "//a[b/c]");
+        assert_eq!(norm(r#"//a[b][b="x"]"#), r#"//a[b="x"]"#);
+        assert_eq!(norm("//a[b][b[c][d]]"), "//a[b[c][d]]");
+        // Nested implication.
+        assert_eq!(norm("//a[b[c]][b[c/d]]"), "//a[b[c/d]]");
+    }
+
+    #[test]
+    fn non_implications_are_kept() {
+        // Different branches are independent.
+        assert_eq!(norm("//a[b/c][b/d]"), "//a[b/c][b/d]");
+        // A value test is not implied by a longer structural chain.
+        assert_eq!(norm(r#"//a[b="x"][b/c]"#), r#"//a[b/c][b="x"]"#);
+        // [b="x"] and [b="y"] are both kept.
+        assert_eq!(norm(r#"//a[b="x"][b="y"]"#), r#"//a[b="x"][b="y"]"#);
+    }
+
+    #[test]
+    fn descendant_predicates_are_left_alone() {
+        assert_eq!(
+            norm("//a[.//b][.//b]"),
+            "//a[.//b]",
+            "exact duplicates still dedup"
+        );
+        // But no implication reasoning across `//`.
+        assert_eq!(norm("//a[.//b][b]"), "//a[b][.//b]");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        for q in [
+            "//a[b][b/c][d]/e",
+            r#"//x[y="v"][y][z[w][w/q]]"#,
+            "//a[b][c][b]",
+        ] {
+            let once = norm(q);
+            let twice = normalize(&parse_path(&once).unwrap()).to_string();
+            assert_eq!(once, twice, "not idempotent on {q}");
+        }
+    }
+
+    #[test]
+    fn nested_predicate_forms_are_recognized() {
+        // [b[c]] and [b/c] are the same constraint; the canonical
+        // representative (first in predicate sort order) survives.
+        assert_eq!(norm("//a[b/c][b[c]]"), "//a[b[c]]");
+    }
+
+    #[test]
+    fn spine_is_untouched() {
+        assert_eq!(norm("//a/b/c"), "//a/b/c");
+        assert_eq!(norm("/a/b[x]/c"), "/a/b[x]/c");
+    }
+}

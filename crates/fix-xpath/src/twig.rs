@@ -1,0 +1,321 @@
+//! Twig queries as label-interned trees.
+//!
+//! A [`TwigQuery`] is the tree form of a twig path expression
+//! (Definition 1, optionally extended with value-equality leaves per
+//! Section 4.6): each NameTest becomes a node, `/`-axes become edges, and
+//! the last spine step is marked as the *output* node (the node whose
+//! matches the query returns). The leading axis (`/` or `//`) is recorded
+//! separately — it governs whether the twig root must be the document root.
+
+use std::fmt;
+
+use fix_xml::{LabelId, LabelTable};
+
+use crate::ast::{Axis, PathExpr, Step};
+
+/// One node of a twig query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryNode {
+    /// The interned element label this node must match.
+    pub label: LabelId,
+    /// Child twig nodes (indices into [`TwigQuery::nodes`]).
+    pub children: Vec<usize>,
+    /// If set, the matched element must contain a text child equal to this
+    /// string (value-equality predicate).
+    pub value: Option<String>,
+}
+
+/// Why a path expression could not be converted into a twig query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TwigError {
+    /// The expression violates Definition 1 (interior `//`, etc.).
+    NotATwig,
+    /// A NameTest mentions a label absent from the database's label table.
+    /// Such a query cannot match anything (useful short-circuit).
+    UnknownLabel(String),
+}
+
+impl fmt::Display for TwigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TwigError::NotATwig => write!(f, "path expression is not a twig query"),
+            TwigError::UnknownLabel(l) => write!(f, "label `{l}` does not occur in the database"),
+        }
+    }
+}
+
+impl std::error::Error for TwigError {}
+
+/// A twig query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwigQuery {
+    /// All nodes; index 0 is the root.
+    pub nodes: Vec<QueryNode>,
+    /// Index of the output (result) node — the last step of the main spine.
+    pub output: usize,
+    /// The leading axis: `//` (anywhere) or `/` (root must be the document
+    /// root element).
+    pub root_axis: Axis,
+}
+
+/// How to resolve NameTest strings to label ids.
+enum Resolver<'a> {
+    /// Fail with [`TwigError::UnknownLabel`] on unseen labels.
+    Lookup(&'a LabelTable),
+    /// Intern unseen labels (used when building queries before data).
+    Intern(&'a mut LabelTable),
+}
+
+impl Resolver<'_> {
+    fn resolve(&mut self, name: &str) -> Result<LabelId, TwigError> {
+        match self {
+            Resolver::Lookup(t) => t
+                .lookup(name)
+                .ok_or_else(|| TwigError::UnknownLabel(name.to_owned())),
+            Resolver::Intern(t) => Ok(t.intern(name)),
+        }
+    }
+}
+
+impl TwigQuery {
+    /// Converts a (value-)twig path expression, resolving labels against an
+    /// existing table. Queries naming unknown labels are rejected with
+    /// [`TwigError::UnknownLabel`] — they cannot match any document.
+    pub fn from_path(path: &PathExpr, labels: &LabelTable) -> Result<Self, TwigError> {
+        Self::build(path, Resolver::Lookup(labels))
+    }
+
+    /// Converts a (value-)twig path expression, interning labels as needed.
+    pub fn from_path_interning(
+        path: &PathExpr,
+        labels: &mut LabelTable,
+    ) -> Result<Self, TwigError> {
+        Self::build(path, Resolver::Intern(labels))
+    }
+
+    fn build(path: &PathExpr, mut r: Resolver<'_>) -> Result<Self, TwigError> {
+        if !path.is_twig_with_values() {
+            return Err(TwigError::NotATwig);
+        }
+        let root_axis = path.steps.first().map(|s| s.axis).unwrap_or(Axis::Child);
+        let mut q = TwigQuery {
+            nodes: Vec::new(),
+            output: 0,
+            root_axis,
+        };
+        let out = q.add_spine(&path.steps, &mut r)?;
+        q.output = out;
+        Ok(q)
+    }
+
+    /// Adds a spine of steps under no parent (first call) and returns the
+    /// index of the deepest spine node.
+    fn add_spine(&mut self, steps: &[Step], r: &mut Resolver<'_>) -> Result<usize, TwigError> {
+        let mut parent: Option<usize> = None;
+        let mut last = 0usize;
+        for step in steps {
+            let label = r.resolve(&step.name)?;
+            let idx = self.nodes.len();
+            self.nodes.push(QueryNode {
+                label,
+                children: Vec::new(),
+                value: None,
+            });
+            if let Some(p) = parent {
+                self.nodes[p].children.push(idx);
+            }
+            for pred in &step.predicates {
+                if pred.path.steps.is_empty() {
+                    return Err(TwigError::NotATwig);
+                }
+                let leaf = self.add_pred_spine(idx, &pred.path.steps, r)?;
+                self.nodes[leaf].value = pred.value.clone();
+            }
+            parent = Some(idx);
+            last = idx;
+        }
+        Ok(last)
+    }
+
+    /// Adds a predicate path under `parent`; returns the leaf node index.
+    fn add_pred_spine(
+        &mut self,
+        parent: usize,
+        steps: &[Step],
+        r: &mut Resolver<'_>,
+    ) -> Result<usize, TwigError> {
+        let mut p = parent;
+        let mut last = parent;
+        for step in steps {
+            let label = r.resolve(&step.name)?;
+            let idx = self.nodes.len();
+            self.nodes.push(QueryNode {
+                label,
+                children: Vec::new(),
+                value: None,
+            });
+            self.nodes[p].children.push(idx);
+            for pred in &step.predicates {
+                let leaf = self.add_pred_spine(idx, &pred.path.steps, r)?;
+                self.nodes[leaf].value = pred.value.clone();
+            }
+            p = idx;
+            last = idx;
+        }
+        Ok(last)
+    }
+
+    /// The root node index (always 0).
+    pub fn root(&self) -> usize {
+        0
+    }
+
+    /// The root's label.
+    pub fn root_label(&self) -> LabelId {
+        self.nodes[0].label
+    }
+
+    /// Number of query nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the query is empty (never produced by the builders).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Depth of the twig (root = 1), counting a value leaf as one extra
+    /// level (it becomes a child value-label node in the index).
+    pub fn depth(&self) -> usize {
+        fn rec(q: &TwigQuery, n: usize) -> usize {
+            let node = &q.nodes[n];
+            let below = node
+                .children
+                .iter()
+                .map(|&c| rec(q, c))
+                .max()
+                .unwrap_or(0)
+                .max(usize::from(node.value.is_some()));
+            1 + below
+        }
+        rec(self, 0)
+    }
+
+    /// True if any node carries a value constraint.
+    pub fn has_values(&self) -> bool {
+        self.nodes.iter().any(|n| n.value.is_some())
+    }
+
+    /// A copy of the twig with all value constraints removed — the purely
+    /// structural skeleton used when a value query is pruned through a
+    /// structure-only index.
+    pub fn strip_values(&self) -> TwigQuery {
+        let mut q = self.clone();
+        for n in &mut q.nodes {
+            n.value = None;
+        }
+        q
+    }
+
+    /// Iterates `(parent, child)` label-id edges of the twig (value leaves
+    /// excluded — the value extension adds them separately once hashed).
+    pub fn edges(&self) -> impl Iterator<Item = (LabelId, LabelId)> + '_ {
+        self.nodes.iter().enumerate().flat_map(move |(i, n)| {
+            n.children
+                .iter()
+                .map(move |&c| (self.nodes[i].label, self.nodes[c].label))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path;
+
+    fn twig(s: &str) -> (TwigQuery, LabelTable) {
+        let p = parse_path(s).unwrap();
+        let mut lt = LabelTable::new();
+        let q = TwigQuery::from_path_interning(&p, &mut lt).unwrap();
+        (q, lt)
+    }
+
+    #[test]
+    fn linear_path() {
+        let (q, lt) = twig("//a/b/c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.root_label(), lt.lookup("a").unwrap());
+        assert_eq!(q.output, 2);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.root_axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn branches_attach_to_their_step() {
+        let (q, lt) = twig("//article[author]/ee");
+        // article has children: author (pred) and ee (spine).
+        let root = &q.nodes[0];
+        assert_eq!(root.label, lt.lookup("article").unwrap());
+        assert_eq!(root.children.len(), 2);
+        let labels: Vec<_> = root.children.iter().map(|&c| q.nodes[c].label).collect();
+        assert_eq!(
+            labels,
+            vec![lt.lookup("author").unwrap(), lt.lookup("ee").unwrap()]
+        );
+        // Output is the ee node.
+        assert_eq!(q.nodes[q.output].label, lt.lookup("ee").unwrap());
+    }
+
+    #[test]
+    fn multi_step_predicate() {
+        let (q, lt) = twig("//item[mailbox/mail/text]/description");
+        assert_eq!(q.depth(), 4);
+        // Chain under item: mailbox -> mail -> text.
+        let item = &q.nodes[0];
+        let mailbox = item.children[0];
+        assert_eq!(q.nodes[mailbox].label, lt.lookup("mailbox").unwrap());
+        let mail = q.nodes[mailbox].children[0];
+        assert_eq!(q.nodes[mail].label, lt.lookup("mail").unwrap());
+    }
+
+    #[test]
+    fn value_twig() {
+        let (q, _) = twig(r#"//inproceedings[year="1998"][title]/author"#);
+        assert!(q.has_values());
+        let year = q.nodes[0].children[0];
+        assert_eq!(q.nodes[year].value.as_deref(), Some("1998"));
+        // Depth counts the value leaf: inproceedings/year/#value = 3.
+        assert_eq!(q.depth(), 3);
+    }
+
+    #[test]
+    fn unknown_label_is_rejected_in_lookup_mode() {
+        let p = parse_path("//nope/x").unwrap();
+        let lt = LabelTable::new();
+        assert_eq!(
+            TwigQuery::from_path(&p, &lt),
+            Err(TwigError::UnknownLabel("nope".into()))
+        );
+    }
+
+    #[test]
+    fn non_twig_is_rejected() {
+        let p = parse_path("//a//b").unwrap();
+        let mut lt = LabelTable::new();
+        assert_eq!(
+            TwigQuery::from_path_interning(&p, &mut lt),
+            Err(TwigError::NotATwig)
+        );
+    }
+
+    #[test]
+    fn edges_enumerate_parent_child_pairs() {
+        let (q, lt) = twig("//a[b]/c");
+        let a = lt.lookup("a").unwrap();
+        let edges: Vec<_> = q.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&(a, lt.lookup("b").unwrap())));
+        assert!(edges.contains(&(a, lt.lookup("c").unwrap())));
+    }
+}

@@ -1,0 +1,72 @@
+//! The large-document scenario (the paper's XMark/Treebank configuration):
+//! index every element's depth-6 subpattern, then compare indexed query
+//! processing against the unindexed NoK-style navigational baseline.
+//!
+//! Run with: `cargo run --release --example large_document`
+
+use std::time::Instant;
+
+use fix::core::{Collection, DocId, FixIndex, FixOptions};
+use fix::datagen::{xmark, GenConfig};
+use fix::exec::eval_path;
+use fix::xpath::parse_path;
+
+fn main() {
+    let xml = xmark(GenConfig::scaled(4.0));
+    let mut coll = Collection::new();
+    coll.add_xml(&xml)
+        .expect("generated document is well-formed");
+    let stats = coll.stats();
+    println!(
+        "XMark-like document: {} elements, max depth {}, ~{} KiB",
+        stats.elements,
+        stats.max_depth,
+        stats.bytes / 1024
+    );
+
+    let t = Instant::now();
+    let index = FixIndex::build(&mut coll, FixOptions::large_document(6));
+    println!(
+        "depth-6 index built in {:?}: {} entries, {} distinct patterns, {} oversized fallbacks\n",
+        t.elapsed(),
+        index.entry_count(),
+        index.stats().distinct_patterns,
+        index.stats().fallbacks,
+    );
+
+    println!(
+        "{:<58} {:>9} {:>11} {:>11} {:>8}",
+        "query", "results", "FIX", "NoK scan", "speedup"
+    );
+    for query in [
+        "//category/description[parlist]/parlist/listitem/text",
+        "//closed_auction/annotation/description/text",
+        "//open_auction[seller]/annotation/description/text",
+        "//item/mailbox/mail/text/emph/keyword",
+        "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+    ] {
+        let t = Instant::now();
+        let out = index.query(&coll, query).expect("covered query");
+        let fix_time = t.elapsed();
+
+        let path = parse_path(query).expect("parseable");
+        let doc = coll.doc(DocId(0));
+        let t = Instant::now();
+        let baseline = eval_path(doc, &coll.labels, &path);
+        let nok_time = t.elapsed();
+
+        assert_eq!(
+            out.results.len(),
+            baseline.len(),
+            "result mismatch on {query}"
+        );
+        println!(
+            "{:<58} {:>9} {:>11?} {:>11?} {:>7.1}x",
+            query,
+            out.results.len(),
+            fix_time,
+            nok_time,
+            nok_time.as_secs_f64() / fix_time.as_secs_f64().max(1e-9),
+        );
+    }
+}

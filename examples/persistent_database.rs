@@ -1,0 +1,78 @@
+//! Persistence and planning: build an index, save it as one `.fixdb` file,
+//! load it back, insert more documents incrementally, and let the
+//! histogram-based planner pick index-vs-scan per query.
+//!
+//! Run with: `cargo run --release --example persistent_database`
+
+use fix::core::{load_database, save_database, Collection, FixIndex, FixOptions, LambdaHistogram};
+use fix::datagen::{tcmd, GenConfig};
+use fix::xpath::parse_path;
+
+fn main() {
+    let dir = std::env::temp_dir().join("fix-example-db");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("articles.fixdb");
+
+    // 1. Build and save.
+    let mut coll = Collection::new();
+    for doc in tcmd(GenConfig::scaled(0.2)) {
+        coll.add_xml(&doc).expect("generated XML parses");
+    }
+    let index = FixIndex::build(&mut coll, FixOptions::collection());
+    save_database(&path, &coll, &index).expect("save");
+    println!(
+        "saved {} documents / {} entries to {} ({} KiB)",
+        coll.len(),
+        index.entry_count(),
+        path.display(),
+        std::fs::metadata(&path)
+            .map(|m| m.len() / 1024)
+            .unwrap_or(0)
+    );
+
+    // 2. Load into a fresh process state; results must be identical.
+    let (loaded_coll, loaded_idx) = load_database(&path).expect("load");
+    let q = "/article/epilog[acknoledgements]/references/a_id";
+    let before = index.query(&coll, q).expect("covered").results.len();
+    let after = loaded_idx
+        .query(&loaded_coll, q)
+        .expect("covered")
+        .results
+        .len();
+    assert_eq!(before, after);
+    println!("reloaded: {q} -> {after} results (identical to pre-save)");
+
+    // 3. Incremental insert into the in-memory index.
+    let mut live_coll = Collection::new();
+    for doc in tcmd(GenConfig::scaled(0.05)) {
+        live_coll.add_xml(&doc).expect("parses");
+    }
+    let mut live = FixIndex::build(&mut live_coll, FixOptions::collection());
+    let added = live
+        .insert_xml(
+            &mut live_coll,
+            "<article><prolog><title>fresh</title><authors><author><name>N</name></author></authors></prolog><epilog><references><a_id>r1</a_id></references></epilog></article>",
+        )
+        .expect("well-formed")
+        .expect("unclustered index accepts inserts");
+    println!(
+        "inserted doc {} incrementally; index now has {} entries",
+        added.0,
+        live.entry_count()
+    );
+
+    // 4. Histogram-based planning (Section 5's cost-model suggestion).
+    let hist = LambdaHistogram::build(&live);
+    for q in [
+        "/article/epilog[acknoledgements]/references/a_id", // selective
+        "/article/prolog",                                  // matches almost everything
+    ] {
+        let path = parse_path(q).expect("parseable");
+        let plan = live.plan(&live_coll, &hist, &path, 0.3);
+        let (chosen, results) = live.query_auto(&live_coll, &hist, &path, 0.3);
+        assert_eq!(plan, chosen);
+        println!("{q}\n  plan {plan:?} -> {} results", results.len());
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

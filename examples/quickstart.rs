@@ -1,0 +1,55 @@
+//! Quick start: build a FIX index over a handful of bibliography documents
+//! and run a few twig queries, printing results and the pruning metrics.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use fix::core::{Collection, FixIndex, FixOptions};
+
+fn main() {
+    // 1. A small collection of documents sharing one label table.
+    let mut coll = Collection::new();
+    for xml in [
+        "<bib><article><author><email/></author><title>Holistic twig joins</title><ee/></article></bib>",
+        "<bib><book><author><phone/></author><title>Data on the Web</title></book></bib>",
+        "<bib><article><author><phone/><email/></author><title>Structural joins</title></article></bib>",
+        "<bib><inproceedings><author/><title>NoK</title><url/></inproceedings></bib>",
+    ] {
+        coll.add_xml(xml).expect("well-formed example document");
+    }
+
+    // 2. Build the index: collection mode (one entry per document, keyed by
+    //    the spectral features of the document's bisimulation pattern).
+    let index = FixIndex::build(&mut coll, FixOptions::collection());
+    println!(
+        "indexed {} documents as {} entries ({} distinct patterns, B-tree {} bytes)\n",
+        coll.len(),
+        index.entry_count(),
+        index.stats().distinct_patterns,
+        index.stats().btree_bytes,
+    );
+
+    // 3. Queries: the index prunes, the NoK-style navigator refines.
+    for query in [
+        "//article[author]/ee",
+        "//author[phone][email]",
+        "//book/author/phone",
+        "//article/title",
+    ] {
+        let out = index.query(&coll, query).expect("valid query");
+        println!("{query}");
+        println!(
+            "  candidates {}/{} (pruning power {:.0}%), results {}, false-positive ratio {:.0}%",
+            out.metrics.candidates,
+            out.metrics.entries,
+            100.0 * out.metrics.pp(),
+            out.results.len(),
+            100.0 * out.metrics.fpr(),
+        );
+        for (doc, node) in &out.results {
+            let d = coll.doc(*doc);
+            let label = coll.labels.resolve(d.label(*node).expect("element result"));
+            println!("  -> doc {} node {} <{}>", doc.0, node.0, label);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! The integrated value index (Section 4.6, Figure 7): hash text values
+//! into `β` synthetic labels and index structure + values together, so a
+//! predicate like `[publisher="Springer"]` prunes *before* refinement.
+//! Sweeps β to show the size-vs-pruning tradeoff the paper discusses.
+//!
+//! Run with: `cargo run --release --example value_queries`
+
+use fix::core::{Collection, FixIndex, FixOptions};
+use fix::datagen::{dblp, GenConfig};
+
+const QUERIES: &[&str] = &[
+    r#"//proceedings[publisher="Springer"][title]"#,
+    r#"//inproceedings[year="1998"][title]/author"#,
+];
+
+fn main() {
+    let xml = dblp(GenConfig::scaled(0.5));
+    let mut coll = Collection::new();
+    coll.add_xml(&xml)
+        .expect("generated document is well-formed");
+    println!("DBLP-like document: {} elements\n", coll.stats().elements);
+
+    // Structure-only index: value predicates are refinement-only.
+    let structural = FixIndex::build(&mut coll, FixOptions::large_document(3));
+    println!(
+        "structure-only index: {} bytes",
+        structural.stats().index_bytes()
+    );
+    for q in QUERIES {
+        let out = structural.query(&coll, q).expect("covered");
+        println!(
+            "  {q}\n    candidates {:>6}, results {:>5}, fpr {:>5.1}%",
+            out.metrics.candidates,
+            out.results.len(),
+            100.0 * out.metrics.fpr()
+        );
+    }
+
+    // Integrated value indexes with increasing β: bigger hash range →
+    // fewer collisions → stronger pruning, but a larger label space and
+    // bisimulation graph (the tradeoff at the end of Section 4.6).
+    for beta in [4, 16, 64, 256] {
+        let mut coll = Collection::new();
+        coll.add_xml(&xml).expect("well-formed");
+        let index = FixIndex::build(&mut coll, FixOptions::large_document(3).with_values(beta));
+        println!(
+            "\nvalue index β={beta}: {} bytes, {} distinct patterns",
+            index.stats().index_bytes(),
+            index.stats().distinct_patterns
+        );
+        for q in QUERIES {
+            let out = index.query(&coll, q).expect("covered");
+            println!(
+                "  {q}\n    candidates {:>6}, results {:>5}, fpr {:>5.1}%",
+                out.metrics.candidates,
+                out.results.len(),
+                100.0 * out.metrics.fpr()
+            );
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! `fixdb` — command-line front end for the FIX index.
+//!
+//! ```text
+//! fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] <file.xml>...
+//! fixdb query  <db> <xpath> [--metrics] [--show N] [--plan] [--explain]
+//! fixdb insert <db> <file.xml>...
+//! fixdb remove <db> <doc-id>...
+//! fixdb vacuum <db>
+//! fixdb stats  <db>
+//! fixdb gen    <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
+//! ```
+//!
+//! `build` indexes XML files into a self-contained database file; `query`
+//! runs an XPath twig over it; `insert` appends documents incrementally
+//! (unclustered databases); `gen` writes the paper-shaped synthetic
+//! corpora for experimentation.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use fix::core::{load_database, save_database, Collection, FixIndex, FixOptions, QueryError};
+use fix::datagen::GenConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => build(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("insert") => insert(&args[1..]),
+        Some("remove") => remove(&args[1..]),
+        Some("vacuum") => vacuum(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("gen") => gen(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: fixdb <build|query|insert|stats|gen> ...\n\
+                 \n\
+                 fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] <file.xml>...\n\
+                 fixdb query  <db> <xpath> [--metrics] [--show N] [--plan] [--explain]\n\
+                 fixdb insert <db> <file.xml>...\n\
+                 fixdb remove <db> <doc-id>...\n\
+                 fixdb vacuum <db>\n\
+                 fixdb stats  <db>\n\
+                 fixdb gen    <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("fixdb: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
+    msg.into().into()
+}
+
+fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut db: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut opts = FixOptions::collection();
+    let mut depth_limit = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--depth-limit" => {
+                depth_limit = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--depth-limit needs an integer"))?;
+            }
+            "--clustered" => opts.clustered = true,
+            "--values" => {
+                let beta = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--values needs a positive integer"))?;
+                opts.value_beta = Some(beta);
+            }
+            "--bloom" => opts.edge_bloom = true,
+            _ if db.is_none() => db = Some(PathBuf::from(a)),
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+    let db = db.ok_or_else(|| err("missing database path"))?;
+    if files.is_empty() {
+        return Err(err("no input files"));
+    }
+    opts.depth_limit = depth_limit;
+
+    let mut coll = Collection::new();
+    for f in &files {
+        // Stream from disk — documents never need to fit in memory twice.
+        let file = std::io::BufReader::new(std::fs::File::open(f)?);
+        let doc = fix::xml::parse_document_from_reader(file, &mut coll.labels)
+            .map_err(|e| err(format!("{}: {e}", f.display())))?;
+        coll.add_document(doc);
+    }
+    let idx = FixIndex::build(&mut coll, opts);
+    save_database(&db, &coll, &idx)?;
+    let s = idx.stats();
+    println!(
+        "indexed {} documents ({} entries, {} distinct patterns) in {:?}",
+        coll.len(),
+        s.entries,
+        s.distinct_patterns,
+        s.build_time
+    );
+    println!(
+        "index size: {} KiB (B-tree {} KiB{})",
+        s.index_bytes() / 1024,
+        s.btree_bytes / 1024,
+        if s.clustered_bytes > 0 {
+            format!(", clustered copies {} KiB", s.clustered_bytes / 1024)
+        } else {
+            String::new()
+        }
+    );
+    println!("written to {}", db.display());
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut db: Option<&str> = None;
+    let mut xpath: Option<&str> = None;
+    let mut metrics = false;
+    let mut plan = false;
+    let mut explain = false;
+    let mut show = 10usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--metrics" => metrics = true,
+            "--plan" => plan = true,
+            "--explain" => explain = true,
+            "--show" => {
+                show = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--show needs an integer"))?;
+            }
+            _ if db.is_none() => db = Some(a),
+            _ if xpath.is_none() => xpath = Some(a),
+            other => return Err(err(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let db = db.ok_or_else(|| err("missing database path"))?;
+    let xpath = xpath.ok_or_else(|| err("missing query"))?;
+    let (coll, idx) = load_database(Path::new(db))?;
+    if explain {
+        let path = fix::xpath::parse_path(xpath).map_err(|e| err(e.to_string()))?;
+        let e = idx.explain(&coll, &path).map_err(|e| err(e.to_string()))?;
+        print!("{e}");
+        return Ok(());
+    }
+    if plan {
+        // Histogram-based plan selection (Section 5's cost model): run
+        // whichever of index-probe or full scan the estimate prefers.
+        let path = fix::xpath::parse_path(xpath).map_err(|e| err(e.to_string()))?;
+        let hist = fix::core::LambdaHistogram::build(&idx);
+        let t = std::time::Instant::now();
+        let (chosen, results) = idx.query_auto(&coll, &hist, &path, 0.1);
+        println!("plan: {chosen:?}");
+        println!("{} results in {:?}", results.len(), t.elapsed());
+        for (doc, node) in results.iter().take(show) {
+            let d = coll.doc(*doc);
+            let label = coll.labels.resolve(d.label(*node).expect("element result"));
+            println!("  doc {} node {} <{}>", doc.0, node.0, label);
+        }
+        return Ok(());
+    }
+    let t = std::time::Instant::now();
+    let out = match idx.query(&coll, xpath) {
+        Ok(o) => o,
+        Err(QueryError::NotCovered {
+            query_depth,
+            depth_limit,
+        }) => {
+            return Err(err(format!(
+                "query depth {query_depth} exceeds the index depth limit {depth_limit}; \
+                 rebuild with a larger --depth-limit"
+            )))
+        }
+        Err(e) => return Err(err(e.to_string())),
+    };
+    let elapsed = t.elapsed();
+    println!("{} results in {elapsed:?}", out.results.len());
+    for (doc, node) in out.results.iter().take(show) {
+        let d = coll.doc(*doc);
+        let label = coll.labels.resolve(d.label(*node).expect("element result"));
+        let preview = d.text_content(*node);
+        let preview: String = preview.chars().take(40).collect();
+        println!("  doc {} node {} <{}> {:?}", doc.0, node.0, label, preview);
+    }
+    if out.results.len() > show {
+        println!("  … and {} more (use --show N)", out.results.len() - show);
+    }
+    if metrics {
+        let m = out.metrics;
+        println!(
+            "metrics: entries {} candidates {} producing {} | sel {:.2}% pp {:.2}% fpr {:.2}%",
+            m.entries,
+            m.candidates,
+            m.producing,
+            100.0 * m.sel(),
+            100.0 * m.pp(),
+            100.0 * m.fpr()
+        );
+    }
+    Ok(())
+}
+
+fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db = args.first().ok_or_else(|| err("missing database path"))?;
+    if args.len() < 2 {
+        return Err(err("no input files"));
+    }
+    let (mut coll, idx) = load_database(Path::new(db))?;
+    // Indexes loaded from disk have dropped their construction state;
+    // rebuild it by re-indexing (still correct, and the database file is
+    // the source of truth). Honest limitation, reported to the user.
+    let mut opts = idx.options().clone();
+    if opts.clustered {
+        return Err(err(
+            "clustered databases cannot absorb inserts; rebuild instead",
+        ));
+    }
+    for f in &args[1..] {
+        let xml = std::fs::read_to_string(f)?;
+        coll.add_xml(&xml).map_err(|e| err(format!("{f}: {e}")))?;
+    }
+    opts.pool_pages = opts.pool_pages.max(1);
+    let idx = FixIndex::build(&mut coll, opts);
+    save_database(Path::new(db), &coll, &idx)?;
+    println!(
+        "database now holds {} documents, {} entries",
+        coll.len(),
+        idx.entry_count()
+    );
+    Ok(())
+}
+
+fn remove(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db = args.first().ok_or_else(|| err("missing database path"))?;
+    if args.len() < 2 {
+        return Err(err("no document ids"));
+    }
+    let (coll, mut idx) = load_database(Path::new(db))?;
+    for a in &args[1..] {
+        let id: u32 = a.parse().map_err(|_| err(format!("bad doc id `{a}`")))?;
+        if id as usize >= coll.len() {
+            return Err(err(format!("doc id {id} out of range (0..{})", coll.len())));
+        }
+        idx.remove_document(fix::core::DocId(id));
+    }
+    save_database(Path::new(db), &coll, &idx)?;
+    println!(
+        "{} documents tombstoned ({} total live); run `fixdb vacuum` to reclaim space",
+        args.len() - 1,
+        coll.len() - idx.removed_count()
+    );
+    Ok(())
+}
+
+fn vacuum(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db = args.first().ok_or_else(|| err("missing database path"))?;
+    let (coll, idx) = load_database(Path::new(db))?;
+    let before = idx.removed_count();
+    let (fresh_coll, fresh_idx) = idx.vacuum(&coll);
+    save_database(Path::new(db), &fresh_coll, &fresh_idx)?;
+    println!(
+        "vacuumed {} tombstoned documents; database now holds {} documents / {} entries",
+        before,
+        fresh_coll.len(),
+        fresh_idx.entry_count()
+    );
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db = args.first().ok_or_else(|| err("missing database path"))?;
+    let (coll, idx) = load_database(Path::new(db))?;
+    let cs = coll.stats();
+    let is = idx.stats();
+    let o = idx.options();
+    println!("documents:         {}", coll.len());
+    println!("elements:          {}", cs.elements);
+    println!("max depth:         {}", cs.max_depth);
+    println!("distinct labels:   {}", coll.labels.len());
+    println!("depth limit:       {}", o.depth_limit);
+    println!("clustered:         {}", o.clustered);
+    println!("value index β:     {:?}", o.value_beta);
+    println!("edge bloom:        {}", o.edge_bloom);
+    println!("index entries:     {}", is.entries);
+    println!("index size:        {} KiB", is.index_bytes() / 1024);
+    println!("tombstoned docs:   {}", idx.removed_count());
+    // Top element labels by frequency.
+    let mut counts: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();
+    for (_, d) in coll.iter() {
+        for n in d.descendants_or_self(d.root()) {
+            if let Some(l) = d.label(n) {
+                *counts.entry(coll.labels.resolve(l)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut top: Vec<(&str, u64)> = counts.into_iter().collect();
+    top.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    println!("top labels:");
+    for (name, n) in top.iter().take(8) {
+        println!("  {name:<24} {n}");
+    }
+    Ok(())
+}
+
+fn gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let which = args.first().ok_or_else(|| err("missing data set name"))?;
+    let mut scale = 1.0f64;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--scale needs a number"))?;
+            }
+            "--out" => out = it.next().map(PathBuf::from),
+            other => return Err(err(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let cfg = GenConfig::scaled(scale);
+    match which.as_str() {
+        "tcmd" => {
+            let dir = out.unwrap_or_else(|| PathBuf::from("tcmd"));
+            std::fs::create_dir_all(&dir)?;
+            let docs = fix::datagen::tcmd(cfg);
+            for (i, d) in docs.iter().enumerate() {
+                std::fs::write(dir.join(format!("doc{i:05}.xml")), d)?;
+            }
+            println!("wrote {} documents to {}", docs.len(), dir.display());
+        }
+        name @ ("dblp" | "xmark" | "treebank") => {
+            let xml = match name {
+                "dblp" => fix::datagen::dblp(cfg),
+                "xmark" => fix::datagen::xmark(cfg),
+                _ => fix::datagen::treebank(cfg),
+            };
+            let path = out.unwrap_or_else(|| PathBuf::from(format!("{name}.xml")));
+            std::fs::write(&path, &xml)?;
+            println!("wrote {} bytes to {}", xml.len(), path.display());
+        }
+        other => return Err(err(format!("unknown data set `{other}`"))),
+    }
+    Ok(())
+}

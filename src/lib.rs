@@ -1,0 +1,86 @@
+//! # FIX — Feature-based Indexing for XML
+//!
+//! A from-scratch Rust reproduction of *FIX: Feature-based Indexing
+//! Technique for XML Documents* (Zhang, Özsu, Ilyas, Aboulnaga;
+//! University of Waterloo TR CS-2006-07 / VLDB 2006).
+//!
+//! FIX indexes XML twig patterns by **spectral features**: each indexable
+//! unit is reduced to its bisimulation graph, encoded as a skew-symmetric
+//! matrix, and keyed by `(λ_max, λ_min, root label)` in a B-tree.
+//! Eigenvalue-range *containment* (Theorem 3) makes lookups sound — the
+//! candidate set can contain false positives (removed by a refinement
+//! pass) but never false negatives.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`core`] — the index itself: construction (Algorithm 1), query
+//!   processing (Algorithm 2), clustered/unclustered variants, the value
+//!   extension, and the Section 6.2 metrics.
+//! * [`xml`] — XML data model, parser, serializer, event streams.
+//! * [`xpath`] — the path-expression fragment, twig queries, and the
+//!   Section 5 decomposition.
+//! * [`bisim`] — bisimulation graphs (including the F&B baseline
+//!   partition) and the depth-limited subpattern traveler.
+//! * [`spectral`] — matrix translation, eigensolver, feature extraction.
+//! * [`storage`] / [`btree`] — the paged-storage and B+-tree substrate.
+//! * [`exec`] — query evaluators: NoK-style navigation, bottom-up twig
+//!   matching, and F&B index evaluation.
+//! * [`datagen`] — deterministic synthetic corpora shaped like the
+//!   paper's four data sets, plus the random query generator.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fix::core::{Collection, FixIndex, FixOptions};
+//!
+//! let mut coll = Collection::new();
+//! coll.add_xml("<bib><article><author/><ee/></article></bib>").unwrap();
+//! coll.add_xml("<bib><book><author/></book></bib>").unwrap();
+//!
+//! let index = FixIndex::build(&mut coll, FixOptions::collection());
+//! let out = index.query(&coll, "//article[author]/ee").unwrap();
+//! assert_eq!(out.results.len(), 1);
+//! println!("pruning power: {:.2}", out.metrics.pp());
+//! ```
+
+pub use fix_core as core;
+
+/// XML data model, parser, and event streams (`fix-xml`).
+pub mod xml {
+    pub use fix_xml::*;
+}
+
+/// Path expressions and twig queries (`fix-xpath`).
+pub mod xpath {
+    pub use fix_xpath::*;
+}
+
+/// Bisimulation graphs and the F&B baseline (`fix-bisim`).
+pub mod bisim {
+    pub use fix_bisim::*;
+}
+
+/// Spectral features (`fix-spectral`).
+pub mod spectral {
+    pub use fix_spectral::*;
+}
+
+/// Paged storage substrate (`fix-storage`).
+pub mod storage {
+    pub use fix_storage::*;
+}
+
+/// Disk B+-tree (`fix-btree`).
+pub mod btree {
+    pub use fix_btree::*;
+}
+
+/// Query evaluators and baselines (`fix-exec`).
+pub mod exec {
+    pub use fix_exec::*;
+}
+
+/// Synthetic data sets and random queries (`fix-datagen`).
+pub mod datagen {
+    pub use fix_datagen::*;
+}

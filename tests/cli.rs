@@ -1,0 +1,128 @@
+//! End-to-end CLI test: generate a corpus, build a database file, query
+//! it, inspect stats — the full `fixdb` surface a downstream user touches.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixdb() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fixdb"))
+}
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fixdb-cli-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn gen_build_query_stats_round_trip() {
+    let dir = workdir("roundtrip");
+    let xml = dir.join("dblp.xml");
+    let db = dir.join("db.fixdb");
+
+    let out = fixdb()
+        .args(["gen", "dblp", "--scale", "0.03", "--out"])
+        .arg(&xml)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = fixdb()
+        .args(["build"])
+        .arg(&db)
+        .args(["--depth-limit", "6", "--values", "32", "--bloom"])
+        .arg(&xml)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("indexed 1 documents"), "{stdout}");
+
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .args(["//inproceedings[url]/title", "--metrics"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("results in"), "{stdout}");
+    assert!(stdout.contains("metrics:"), "{stdout}");
+
+    let out = fixdb().args(["stats"]).arg(&db).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("depth limit:       6"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_and_insert_small_collection() {
+    let dir = workdir("insert");
+    let a = dir.join("a.xml");
+    let b = dir.join("b.xml");
+    let db = dir.join("db.fixdb");
+    std::fs::write(&a, "<bib><article><author/><ee/></article></bib>").unwrap();
+    std::fs::write(&b, "<bib><book><author/></book></bib>").unwrap();
+
+    let out = fixdb().args(["build"]).arg(&db).arg(&a).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = fixdb().args(["insert"]).arg(&db).arg(&b).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 documents"), "{stdout}");
+
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .arg("//book/author")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("1 results"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = fixdb().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = fixdb()
+        .args(["query", "/nonexistent.fixdb", "//a"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let out = fixdb().args(["gen", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,82 @@
+//! Concurrent read path: a built index is shared across threads (`&self`
+//! queries go through the buffer pool's internal lock), and all threads
+//! must see identical, correct results.
+
+use std::sync::Arc;
+
+use fix::core::{Collection, FixIndex, FixOptions};
+use fix::datagen::{xmark, GenConfig};
+
+#[test]
+fn parallel_queries_agree_with_serial() {
+    let mut coll = Collection::new();
+    coll.add_xml(&xmark(GenConfig::scaled(0.1))).unwrap();
+    let idx = Arc::new(FixIndex::build(&mut coll, FixOptions::large_document(6)));
+    let coll = Arc::new(coll);
+
+    let queries = [
+        "//item/mailbox/mail/text/emph/keyword",
+        "//category/description[parlist]/parlist/listitem/text",
+        "//open_auction[seller]/annotation/description/text",
+        "//description/parlist/listitem",
+        "//closed_auction/annotation/description/text",
+        "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+    ];
+    // Serial reference.
+    let reference: Vec<usize> = queries
+        .iter()
+        .map(|q| idx.query(&coll, q).unwrap().results.len())
+        .collect();
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let idx = Arc::clone(&idx);
+            let coll = Arc::clone(&coll);
+            handles.push(s.spawn(move || {
+                // Each thread hammers all queries in a rotated order.
+                let mut counts = vec![0usize; queries.len()];
+                for round in 0..5 {
+                    for (i, q) in queries.iter().enumerate() {
+                        let k = (i + t + round) % queries.len();
+                        counts[k] = idx.query(&coll, queries[k]).unwrap().results.len();
+                        let _ = q;
+                    }
+                }
+                counts
+            }));
+        }
+        for h in handles {
+            let counts = h.join().expect("no panics in worker threads");
+            assert_eq!(counts, reference, "thread saw different results");
+        }
+    });
+}
+
+#[test]
+fn crossbeam_scoped_queries() {
+    // Same property through crossbeam's scope (the workspace's sanctioned
+    // concurrency crate), exercising the pool under heavier interleaving.
+    let mut coll = Collection::new();
+    for xml in [
+        "<bib><article><author/><ee/></article></bib>",
+        "<bib><book><author><phone/></author></book></bib>",
+        "<bib><article><author><email/></author><title>t</title></article></bib>",
+    ] {
+        coll.add_xml(xml).unwrap();
+    }
+    let idx = FixIndex::build(&mut coll, FixOptions::collection());
+    let expected = idx.query(&coll, "//article/author").unwrap().results.len();
+
+    crossbeam::scope(|s| {
+        for _ in 0..16 {
+            s.spawn(|_| {
+                for _ in 0..50 {
+                    let n = idx.query(&coll, "//article/author").unwrap().results.len();
+                    assert_eq!(n, expected);
+                }
+            });
+        }
+    })
+    .expect("scope");
+}

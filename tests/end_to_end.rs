@@ -1,0 +1,248 @@
+//! End-to-end integration: build FIX over each of the four generated data
+//! sets, run the paper's representative queries plus random twigs, and
+//! check (a) results equal the navigational baseline, (b) the index never
+//! produces false negatives, (c) clustered and unclustered variants agree.
+
+use fix::core::{ground_truth, Collection, DocId, FixIndex, FixOptions};
+use fix::datagen::{dblp, random_twigs, tcmd, treebank, xmark, GenConfig, QueryGenConfig};
+use fix::exec::eval_path;
+use fix::xpath::{parse_path, PathExpr};
+
+fn tcmd_collection() -> Collection {
+    let mut c = Collection::new();
+    for d in tcmd(GenConfig::scaled(0.15)) {
+        c.add_xml(&d).unwrap();
+    }
+    c
+}
+
+fn single_doc_collection(xml: &str) -> Collection {
+    let mut c = Collection::new();
+    c.add_xml(xml).unwrap();
+    c
+}
+
+/// Baseline result set over the whole collection.
+fn baseline(coll: &Collection, path: &PathExpr) -> Vec<(DocId, u32)> {
+    let mut out = Vec::new();
+    for (id, d) in coll.iter() {
+        for n in eval_path(d, &coll.labels, path) {
+            out.push((id, n.0));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+fn check_queries(coll: &mut Collection, opts: FixOptions, queries: &[&str]) {
+    let depth_limit = opts.depth_limit;
+    let idx = FixIndex::build(coll, opts);
+    for q in queries {
+        let path = parse_path(q).unwrap();
+        let out = idx
+            .query_path(coll, &path)
+            .unwrap_or_else(|e| panic!("{q}: {e}"));
+        let got: Vec<(DocId, u32)> = out.results.iter().map(|&(d, n)| (d, n.0)).collect();
+        let want = baseline(coll, &path);
+        assert_eq!(got, want, "result mismatch on {q}");
+        // No false negatives: every truly-producing entry was a candidate.
+        let truth = ground_truth(coll, &path, depth_limit);
+        assert_eq!(
+            out.metrics.producing, truth,
+            "false negative on {q}: produced {} of {}",
+            out.metrics.producing, truth
+        );
+        assert!(out.metrics.candidates >= out.metrics.producing);
+    }
+}
+
+#[test]
+fn tcmd_collection_mode() {
+    let mut coll = tcmd_collection();
+    check_queries(
+        &mut coll,
+        FixOptions::collection(),
+        &[
+            "/article/epilog[acknoledgements]/references/a_id",
+            "/article/prolog[keywords]/authors/author/contact[phone]",
+            "/article[epilog]/prolog/authors/author",
+            "//author/contact/email",
+            "//references/a_id",
+            "//article[body]/epilog",
+        ],
+    );
+}
+
+#[test]
+fn dblp_depth_limited() {
+    let mut coll = single_doc_collection(&dblp(GenConfig::scaled(0.05)));
+    check_queries(
+        &mut coll,
+        FixOptions::large_document(6),
+        &[
+            "//proceedings[booktitle]/title[sup][i]",
+            "//article[number]/author",
+            "//inproceedings[url]/title",
+            "//dblp/inproceedings/author",
+            "//inproceedings[url]/title[sub][i]",
+            "//inproceedings/title/i",
+        ],
+    );
+}
+
+#[test]
+fn xmark_depth_limited() {
+    let mut coll = single_doc_collection(&xmark(GenConfig::scaled(0.1)));
+    check_queries(
+        &mut coll,
+        FixOptions::large_document(6),
+        &[
+            "//category/description[parlist]/parlist/listitem/text",
+            "//closed_auction/annotation/description/text",
+            "//open_auction[seller]/annotation/description/text",
+            "//item/mailbox/mail/text/emph/keyword",
+            "//description/parlist/listitem",
+            "//item[name]/mailbox/mail[to]/text[bold]/emph/bold",
+            "//item[payment][quantity][shipping][mailbox/mail/text]/description/parlist",
+        ],
+    );
+}
+
+#[test]
+fn treebank_depth_limited() {
+    let mut coll = single_doc_collection(&treebank(GenConfig::scaled(0.1)));
+    check_queries(
+        &mut coll,
+        FixOptions::large_document(6),
+        &[
+            "//EMPTY/S/NP[PP]/NP",
+            "//S[VP]/NP/NP/PP/NP",
+            "//EMPTY/S[VP]/NP",
+            "//EMPTY/S/NP/NP/PP",
+            "//EMPTY/S/VP",
+        ],
+    );
+}
+
+#[test]
+fn random_twigs_never_lose_results_tcmd() {
+    let mut coll = tcmd_collection();
+    let idx = FixIndex::build(&mut coll, FixOptions::collection());
+    let docs: Vec<&fix::xml::Document> = coll.iter().map(|(_, d)| d).collect();
+    let queries = random_twigs(
+        &docs,
+        &coll.labels,
+        QueryGenConfig {
+            count: 150,
+            ..Default::default()
+        },
+    );
+    for q in &queries {
+        let out = idx.query_path(&coll, q).unwrap();
+        let want = baseline(&coll, q);
+        let got: Vec<(DocId, u32)> = out.results.iter().map(|&(d, n)| (d, n.0)).collect();
+        assert_eq!(got, want, "mismatch on random query {q}");
+    }
+}
+
+#[test]
+fn random_twigs_never_lose_results_treebank() {
+    // Recursive labels are the stress case for containment pruning (see
+    // DESIGN.md §2 on induced vs plain subgraphs).
+    let mut coll = single_doc_collection(&treebank(GenConfig::scaled(0.05)));
+    let idx = FixIndex::build(&mut coll, FixOptions::large_document(5));
+    let docs: Vec<&fix::xml::Document> = coll.iter().map(|(_, d)| d).collect();
+    let queries = random_twigs(
+        &docs,
+        &coll.labels,
+        QueryGenConfig {
+            count: 150,
+            max_depth: 5,
+            ..Default::default()
+        },
+    );
+    for q in &queries {
+        let out = idx.query_path(&coll, q).unwrap();
+        let want = baseline(&coll, q);
+        let got: Vec<(DocId, u32)> = out.results.iter().map(|&(d, n)| (d, n.0)).collect();
+        assert_eq!(got, want, "mismatch on random query {q}");
+    }
+}
+
+#[test]
+fn clustered_matches_unclustered_on_xmark() {
+    let xml = xmark(GenConfig::scaled(0.05));
+    let mut c1 = single_doc_collection(&xml);
+    let mut c2 = single_doc_collection(&xml);
+    let u = FixIndex::build(&mut c1, FixOptions::large_document(6));
+    let cl = FixIndex::build(&mut c2, FixOptions::large_document(6).clustered());
+    assert!(cl.stats().clustered_bytes > u.stats().btree_bytes);
+    for q in [
+        "//item/mailbox/mail/text/emph/keyword",
+        "//open_auction[seller]/annotation/description/text",
+        "//description/parlist/listitem",
+    ] {
+        let a = u.query(&c1, q).unwrap();
+        let b = cl.query(&c2, q).unwrap();
+        assert_eq!(
+            a.results, b.results,
+            "clustered/unclustered disagree on {q}"
+        );
+        assert_eq!(a.metrics, b.metrics);
+    }
+}
+
+#[test]
+fn value_index_agrees_with_structural_plus_refinement() {
+    let xml = dblp(GenConfig::scaled(0.05));
+    let mut c1 = single_doc_collection(&xml);
+    let mut c2 = single_doc_collection(&xml);
+    let plain = FixIndex::build(&mut c1, FixOptions::large_document(4));
+    let valued = FixIndex::build(&mut c2, FixOptions::large_document(4).with_values(32));
+    for q in [
+        r#"//proceedings[publisher="Springer"][title]"#,
+        r#"//inproceedings[year="1998"][title]/author"#,
+        r#"//article[number="3"]/author"#,
+    ] {
+        let a = plain.query(&c1, q).unwrap();
+        let b = valued.query(&c2, q).unwrap();
+        let ra: Vec<_> = a.results.iter().map(|&(_, n)| n.0).collect();
+        let rb: Vec<_> = b.results.iter().map(|&(_, n)| n.0).collect();
+        assert_eq!(ra, rb, "value index changed results on {q}");
+        // The value index must prune at least as hard.
+        assert!(
+            b.metrics.candidates <= a.metrics.candidates,
+            "value index pruned worse on {q}: {} vs {}",
+            b.metrics.candidates,
+            a.metrics.candidates
+        );
+    }
+}
+
+#[test]
+fn paged_storage_shows_the_io_asymmetry() {
+    let xml = xmark(GenConfig::scaled(0.2));
+    let mut coll = single_doc_collection(&xml);
+    let idx = FixIndex::build(&mut coll, FixOptions::large_document(6));
+    // A pool large enough to hold the whole document: misses then count
+    // *distinct* pages touched, i.e. the data volume read from storage.
+    coll.enable_paged_storage(4096);
+    // Indexed query: touches candidate subtrees only.
+    coll.reset_io_stats();
+    let out = idx
+        .query(
+            &coll,
+            "//category/description[parlist]/parlist/listitem/text",
+        )
+        .unwrap();
+    let fix_io = coll.io_stats();
+    // Baseline: full document scan.
+    coll.reset_io_stats();
+    coll.touch_document(DocId(0));
+    let scan_io = coll.io_stats();
+    assert!(!out.results.is_empty());
+    assert!(
+        fix_io.misses < scan_io.misses,
+        "index must read less data than a full scan: {fix_io:?} vs {scan_io:?}"
+    );
+}

@@ -1,0 +1,120 @@
+//! Persistence property test: for arbitrary collections and index
+//! configurations, save → load must reproduce identical query outcomes
+//! (results *and* metrics), including tombstones.
+
+use proptest::prelude::*;
+
+use fix::core::{load_database, save_database, Collection, DocId, FixIndex, FixOptions};
+
+fn doc_strategy() -> impl Strategy<Value = String> {
+    #[derive(Debug, Clone)]
+    enum T {
+        Leaf(u8),
+        Text(u8, u8),
+        Node(u8, Vec<T>),
+    }
+    fn render(t: &T, out: &mut String) {
+        match t {
+            T::Leaf(l) => out.push_str(&format!("<p{l}/>")),
+            T::Text(l, v) => out.push_str(&format!("<p{l}>w{v}</p{l}>")),
+            T::Node(l, c) => {
+                out.push_str(&format!("<p{l}>"));
+                for x in c {
+                    render(x, out);
+                }
+                out.push_str(&format!("</p{l}>"));
+            }
+        }
+    }
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(T::Leaf),
+        (0u8..5, 0u8..3).prop_map(|(l, v)| T::Text(l, v)),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        ((0u8..5), prop::collection::vec(inner, 1..4)).prop_map(|(l, c)| T::Node(l, c))
+    })
+    .prop_map(|t| {
+        let mut s = String::from("<p0>");
+        render(&t, &mut s);
+        s.push_str("</p0>");
+        s
+    })
+}
+
+fn options_strategy() -> impl Strategy<Value = FixOptions> {
+    (
+        0usize..4,
+        prop::bool::ANY,
+        prop::option::of(1u32..16),
+        prop::bool::ANY,
+    )
+        .prop_map(|(depth, clustered, beta, bloom)| {
+            let mut o = if depth == 0 {
+                FixOptions::collection()
+            } else {
+                FixOptions::large_document(depth)
+            };
+            o.clustered = clustered;
+            o.value_beta = beta;
+            o.edge_bloom = bloom;
+            o
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn save_load_is_an_identity_on_outcomes(
+        docs in prop::collection::vec(doc_strategy(), 1..5),
+        opts in options_strategy(),
+        remove_first in prop::bool::ANY,
+        queries in prop::collection::vec((0u8..5, 0u8..5), 1..4),
+    ) {
+        let dir = std::env::temp_dir().join(format!("fix-prop-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("case-{:x}.fixdb", rand_suffix(&docs)));
+
+        let clustered = opts.clustered;
+        let mut coll = Collection::new();
+        for d in &docs {
+            coll.add_xml(d).unwrap();
+        }
+        let mut idx = FixIndex::build(&mut coll, opts);
+        if remove_first && !clustered {
+            idx.remove_document(DocId(0));
+        }
+        save_database(&path, &coll, &idx).unwrap();
+        let (lcoll, lidx) = load_database(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(lcoll.len(), coll.len());
+        prop_assert_eq!(lidx.entry_count(), idx.entry_count());
+        for (a, b) in &queries {
+            let q = format!("//p{a}/p{b}");
+            // Depth-1 indexes legitimately reject two-step queries; the
+            // loaded index must reject them identically.
+            match (idx.query(&coll, &q), lidx.query(&lcoll, &q)) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(&x.results, &y.results, "results differ on {}", q);
+                    prop_assert_eq!(x.metrics, y.metrics, "metrics differ on {}", q);
+                }
+                (Err(ex), Err(ey)) => prop_assert_eq!(ex, ey, "errors differ on {}", q),
+                (x, y) => prop_assert!(false, "coverage disagreement on {}: {:?} vs {:?}", q, x.is_ok(), y.is_ok()),
+            }
+        }
+    }
+}
+
+/// A cheap deterministic suffix so parallel proptest cases do not clobber
+/// each other's files.
+fn rand_suffix(docs: &[String]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for d in docs {
+        for b in d.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}

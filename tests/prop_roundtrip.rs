@@ -1,0 +1,201 @@
+//! Property tests for the XML substrate: parser/serializer round-trips and
+//! event-stream balance on arbitrary trees.
+
+use proptest::prelude::*;
+
+use fix::xml::{drain_events, parse_document, to_xml_string, Event, LabelTable, TreeEventSource};
+
+/// A tiny recursive tree model driving the generators.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(u8),
+    Text(String),
+    Node(u8, Vec<Tree>),
+}
+
+fn tree_strategy() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        (0u8..6).prop_map(Tree::Leaf),
+        "[a-z ]{1,12}".prop_map(Tree::Text),
+    ];
+    leaf.prop_recursive(4, 64, 5, |inner| {
+        ((0u8..6), prop::collection::vec(inner, 0..5)).prop_map(|(l, c)| Tree::Node(l, c))
+    })
+}
+
+fn to_xml(t: &Tree, out: &mut String) {
+    match t {
+        Tree::Leaf(l) => {
+            out.push_str(&format!("<l{l}/>"));
+        }
+        Tree::Text(s) => {
+            // Escape via the serializer conventions.
+            for c in s.chars() {
+                match c {
+                    '&' => out.push_str("&amp;"),
+                    '<' => out.push_str("&lt;"),
+                    _ => out.push(c),
+                }
+            }
+        }
+        Tree::Node(l, children) => {
+            out.push_str(&format!("<l{l}>"));
+            for c in children {
+                to_xml(c, out);
+            }
+            out.push_str(&format!("</l{l}>"));
+        }
+    }
+}
+
+/// Wraps an arbitrary tree in a root element so the document is valid.
+fn document_xml(t: &Tree) -> String {
+    let mut s = String::from("<root>");
+    to_xml(t, &mut s);
+    s.push_str("</root>");
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parse_serialize_is_identity_after_one_pass(t in tree_strategy()) {
+        let xml = document_xml(&t);
+        let mut lt = LabelTable::new();
+        let doc = parse_document(&xml, &mut lt).unwrap();
+        let once = to_xml_string(&doc, &lt);
+        // A second round-trip must be a fixpoint.
+        let mut lt2 = LabelTable::new();
+        let doc2 = parse_document(&once, &mut lt2).unwrap();
+        let twice = to_xml_string(&doc2, &lt2);
+        prop_assert_eq!(&once, &twice);
+        // Same number of elements and texts both ways.
+        prop_assert_eq!(doc.len(), doc2.len());
+    }
+
+    #[test]
+    fn event_stream_is_balanced(t in tree_strategy()) {
+        let xml = document_xml(&t);
+        let mut lt = LabelTable::new();
+        let doc = parse_document(&xml, &mut lt).unwrap();
+        let evs = drain_events(TreeEventSource::whole(&doc));
+        let mut depth = 0i64;
+        let mut opens = 0usize;
+        for e in &evs {
+            match e {
+                Event::Open { .. } => {
+                    depth += 1;
+                    opens += 1;
+                }
+                Event::Close => depth -= 1,
+            }
+            prop_assert!(depth >= 0);
+        }
+        prop_assert_eq!(depth, 0);
+        // One open per element node.
+        let elements = doc
+            .descendants_or_self(doc.root())
+            .filter(|&n| doc.label(n).is_some())
+            .count();
+        prop_assert_eq!(opens, elements);
+    }
+
+    #[test]
+    fn subtree_ranges_nest_properly(t in tree_strategy()) {
+        let xml = document_xml(&t);
+        let mut lt = LabelTable::new();
+        let doc = parse_document(&xml, &mut lt).unwrap();
+        for n in doc.descendants_or_self(doc.root()) {
+            let end = doc.subtree_end(n);
+            prop_assert!(end > n);
+            // Children ranges are disjoint and inside the parent's range.
+            let mut prev_end = n.0 + 1;
+            for c in doc.children(n) {
+                prop_assert!(c.0 >= prev_end);
+                let cend = doc.subtree_end(c);
+                prop_assert!(cend <= end);
+                prev_end = cend.0;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever bytes arrive — errors only.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,300}") {
+        let mut lt = LabelTable::new();
+        let _ = parse_document(&input, &mut lt);
+    }
+
+    /// Same, for inputs that look like XML but may be malformed.
+    #[test]
+    fn parser_never_panics_on_xmlish_input(
+        parts in prop::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<b x='1'>".to_string()),
+                Just("</b>".to_string()),
+                Just("<c/>".to_string()),
+                Just("text".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("<!--c-->".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("<".to_string()),
+                Just(">".to_string()),
+                Just("<?pi?>".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let input: String = parts.concat();
+        let mut lt = LabelTable::new();
+        // Must return Ok or Err, never panic; on Ok the round-trip holds.
+        if let Ok(doc) = parse_document(&input, &mut lt) {
+            let rendered = to_xml_string(&doc, &lt);
+            let mut lt2 = LabelTable::new();
+            let doc2 = parse_document(&rendered, &mut lt2).unwrap();
+            prop_assert_eq!(doc.len(), doc2.len());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The streaming parser agrees with the slice parser on arbitrary
+    /// trees under arbitrary chunkings.
+    #[test]
+    fn streaming_parser_matches_slice_parser(
+        t in tree_strategy(),
+        chunk in 1usize..32,
+    ) {
+        use std::io::Read;
+        struct Dribble<'a> { data: &'a [u8], pos: usize, chunk: usize }
+        impl Read for Dribble<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let xml = document_xml(&t);
+        let mut lt1 = LabelTable::new();
+        let d1 = parse_document(&xml, &mut lt1).unwrap();
+        let mut lt2 = LabelTable::new();
+        let d2 = fix::xml::parse_document_from_reader(
+            Dribble { data: xml.as_bytes(), pos: 0, chunk },
+            &mut lt2,
+        ).unwrap();
+        prop_assert_eq!(
+            to_xml_string(&d1, &lt1),
+            to_xml_string(&d2, &lt2)
+        );
+    }
+}
