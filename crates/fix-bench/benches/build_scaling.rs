@@ -1,0 +1,94 @@
+//! Construction-pipeline scaling: build each data set at 1..=N threads and
+//! report wall-clock speedup over the sequential build, verifying on every
+//! run that the parallel index is byte-identical to the sequential one.
+//!
+//! Plain `main` (harness = false) so the sweep controls its own timing.
+//!
+//!   cargo bench -p fix-bench --bench build_scaling              # full sweep
+//!   cargo bench -p fix-bench --bench build_scaling -- --test    # CI smoke
+//!   cargo bench -p fix-bench --bench build_scaling -- --scale 0.5 --max-threads 8
+
+use std::time::{Duration, Instant};
+
+use fix_bench::{ms, Dataset};
+use fix_core::{Collection, FixIndex, FixOptions};
+
+fn keys_of(idx: &FixIndex) -> Vec<(Vec<u8>, u64)> {
+    idx.entries()
+        .map(|(k, v)| (k.encode().to_vec(), v))
+        .collect()
+}
+
+fn build_once(ds: Dataset, scale: f64, opts: &FixOptions) -> (Duration, FixIndex) {
+    // Corpora are deterministic, so a reload per rep is an exact replay;
+    // only the build itself is timed.
+    let mut coll: Collection = ds.load(scale);
+    let t0 = Instant::now();
+    let idx = FixIndex::build(&mut coll, opts.clone());
+    (t0.elapsed(), idx)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let mut scale = if smoke { 0.05 } else { 1.0 };
+    let mut max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(if smoke { 2 } else { 4 });
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--max-threads" => {
+                max_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(max_threads)
+            }
+            _ => {}
+        }
+    }
+    let reps = if smoke { 1 } else { 3 };
+
+    println!(
+        "build_scaling: scale {scale}, threads 1..={max_threads}, best of {reps} ({}):",
+        if smoke { "smoke" } else { "full" },
+    );
+    for ds in Dataset::ALL {
+        let opts = ds.default_options();
+        let (base_time, base_idx) = (0..reps)
+            .map(|_| build_once(ds, scale, &opts))
+            .min_by_key(|(d, _)| *d)
+            .expect("reps >= 1");
+        let base_keys = keys_of(&base_idx);
+        println!(
+            "  {:<9} {:>7} entries  t=1 {:>9}",
+            ds.name(),
+            base_keys.len(),
+            ms(base_time),
+        );
+
+        let mut t = 2;
+        while t <= max_threads {
+            let (time, idx) = (0..reps)
+                .map(|_| build_once(ds, scale, &opts.clone().with_threads(t)))
+                .min_by_key(|(d, _)| *d)
+                .expect("reps >= 1");
+            assert_eq!(
+                base_keys,
+                keys_of(&idx),
+                "{} at {t} threads is not byte-identical to the sequential build",
+                ds.name(),
+            );
+            println!(
+                "  {:<27}t={t} {:>9}  speedup {:.2}x  (byte-identical)",
+                "", // align under the dataset row
+                ms(time),
+                base_time.as_secs_f64() / time.as_secs_f64().max(1e-9),
+            );
+            t *= 2;
+        }
+    }
+    println!("build_scaling: all thread counts byte-identical to sequential");
+}

@@ -134,6 +134,27 @@ impl BisimGraph {
         self.vertices.iter().any(|v| !seen.insert(v.label))
     }
 
+    /// Merges every vertex of `src` into this graph and returns the full
+    /// id map (`map[v.index()]` is `v`'s vertex here). Because both graphs
+    /// are hash-consed bottom-up (a child always has a smaller id than its
+    /// parents), one id-ordered pass suffices, and — crucially for the
+    /// parallel build — absorbing replays `src`'s intern order exactly:
+    /// interleaving per-worker graphs in worker order produces the same
+    /// vertex numbering a single sequential construction would.
+    pub fn absorb(&mut self, src: &BisimGraph) -> Vec<VertexId> {
+        let mut map = Vec::with_capacity(src.vertices.len());
+        for v in &src.vertices {
+            let mut children: Vec<VertexId> = v.children.iter().map(|c| map[c.index()]).collect();
+            children.sort_unstable();
+            children.dedup();
+            map.push(self.intern(Signature {
+                label: v.label,
+                children,
+            }));
+        }
+        map
+    }
+
     /// Number of vertices and edges reachable from `root` within `depth`
     /// levels (`usize::MAX` for unlimited). Used to decide whether a
     /// subpattern is too large for eigenvalue extraction (Section 6.1's
@@ -198,6 +219,51 @@ mod tests {
         assert_eq!(g.height(pa), 2);
         assert_eq!(g.height(leaf_b), 1);
         assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn graph_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BisimGraph>();
+        assert_send_sync::<VertexId>();
+    }
+
+    #[test]
+    fn absorb_merges_and_replays_intern_order() {
+        let mut t = LabelTable::new();
+        let (a, b, c) = (lbl(&mut t, "a"), lbl(&mut t, "b"), lbl(&mut t, "c"));
+
+        // Worker-local graph 1: c-leaf, then b(c).
+        let mut g1 = BisimGraph::new();
+        let c1 = g1.intern_public(c, vec![]);
+        let b1 = g1.intern_public(b, vec![c1]);
+
+        // Worker-local graph 2: c-leaf again (duplicate), then a(c).
+        let mut g2 = BisimGraph::new();
+        let c2 = g2.intern_public(c, vec![]);
+        let a2 = g2.intern_public(a, vec![c2]);
+
+        // Sequential reference: the same intern calls in worker order.
+        let mut seq = BisimGraph::new();
+        let sc = seq.intern_public(c, vec![]);
+        let sb = seq.intern_public(b, vec![sc]);
+        let sc2 = seq.intern_public(c, vec![]);
+        let sa = seq.intern_public(a, vec![sc2]);
+
+        let mut merged = BisimGraph::new();
+        let m1 = merged.absorb(&g1);
+        let m2 = merged.absorb(&g2);
+        assert_eq!(merged.len(), 3, "shared c-leaf stored once");
+        assert_eq!(m1[b1.index()], sb);
+        assert_eq!(m1[c1.index()], sc);
+        assert_eq!(m2[a2.index()], sa);
+        assert_eq!(m2[c2.index()], sc2);
+        assert_eq!(merged.len(), seq.len());
+        for v in merged.iter() {
+            assert_eq!(merged.label(v), seq.label(v));
+            assert_eq!(merged.children(v), seq.children(v));
+            assert_eq!(merged.height(v), seq.height(v));
+        }
     }
 
     #[test]

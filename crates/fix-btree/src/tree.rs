@@ -73,6 +73,91 @@ impl BTree {
         t
     }
 
+    /// Builds a tree bottom-up from entries already sorted by key
+    /// (ascending; equal keys must be adjacent). Leaves are packed full
+    /// and chained left-to-right, then each internal level is built over
+    /// the one below it — one page write per page, no splits. This is the
+    /// loading path for batch index construction; the resulting tree
+    /// accepts ordinary [`insert`](Self::insert) calls afterwards.
+    ///
+    /// # Panics
+    /// Panics if the input is not sorted or a key has the wrong length.
+    pub fn bulk_load<I>(pool: Arc<BufferPool>, key_len: usize, sorted: I) -> Self
+    where
+        I: IntoIterator<Item = (Vec<u8>, u64)>,
+    {
+        assert!((1..=256).contains(&key_len), "unsupported key length");
+        let entries: Vec<(Vec<u8>, u64)> = sorted.into_iter().collect();
+        if entries.is_empty() {
+            return Self::new(pool, key_len);
+        }
+        for (k, _) in &entries {
+            assert_eq!(k.len(), key_len, "key length mismatch");
+        }
+        for w in entries.windows(2) {
+            assert!(w[0].0 <= w[1].0, "bulk_load input not sorted");
+        }
+        let total = entries.len() as u64;
+        let mut t = Self {
+            pool,
+            key_len,
+            root: PageId(0), // patched below
+            height: 1,
+            entries: 0,
+            pages: 0,
+        };
+
+        // Leaf level: pack `leaf_cap` entries per page, chain the pages.
+        let cap = t.leaf_cap();
+        let leaf_count = entries.len().div_ceil(cap);
+        let leaf_pages: Vec<PageId> = (0..leaf_count).map(|_| t.alloc()).collect();
+        // `(subtree min key, page)` for the level under construction.
+        let mut level: Vec<(Vec<u8>, u64)> = Vec::with_capacity(leaf_count);
+        let mut iter = entries.into_iter();
+        for (i, page) in leaf_pages.iter().enumerate() {
+            let chunk: Vec<(Vec<u8>, u64)> = iter.by_ref().take(cap).collect();
+            level.push((chunk[0].0.clone(), page.0));
+            let next = leaf_pages.get(i + 1).map_or(NO_PAGE, |p| p.0);
+            t.store(
+                *page,
+                &Node::Leaf {
+                    entries: chunk,
+                    next,
+                },
+            );
+        }
+
+        // Internal levels: group children, separator = right child's min.
+        let mut height = 1;
+        while level.len() > 1 {
+            let per = t.internal_cap() + 1;
+            let mut next_level = Vec::with_capacity(level.len().div_ceil(per));
+            let mut i = 0;
+            while i < level.len() {
+                let mut take = per.min(level.len() - i);
+                // Never leave a single orphan child for the next group:
+                // an internal node must have at least one key.
+                if level.len() - i - take == 1 {
+                    take -= 1;
+                }
+                let group = &level[i..i + take];
+                let keys: Vec<Vec<u8>> = group[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children: Vec<u64> = group.iter().map(|&(_, p)| p).collect();
+                let page = t.alloc();
+                t.store(page, &Node::Internal { keys, children });
+                next_level.push((group[0].0.clone(), page.0));
+                i += take;
+            }
+            level = next_level;
+            height += 1;
+        }
+
+        t.root = PageId(level[0].1);
+        t.height = height;
+        t.entries = total;
+        t
+    }
+
     /// Max entries in a leaf page.
     fn leaf_cap(&self) -> usize {
         (PAGE_SIZE - HDR) / (self.key_len + 8)
@@ -542,6 +627,61 @@ mod tests {
         assert!(s.pages > 10);
         assert_eq!(s.entries, 10_000);
         assert_eq!(s.size_bytes, s.pages * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn bulk_load_matches_insertion_order_scan() {
+        for n in [0u64, 1, 2, 200, 5000] {
+            let sorted: Vec<(Vec<u8>, u64)> = (0..n).map(|i| (key8(i), i * 3)).collect();
+            let t = BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, sorted.clone());
+            assert_eq!(t.len(), n);
+            t.check_invariants();
+            let scanned: Vec<_> = t.iter().collect();
+            assert_eq!(scanned, sorted, "scan mismatch at n={n}");
+            if n > 0 {
+                assert_eq!(t.get(&key8(0)), Some(0));
+                assert_eq!(t.get(&key8(n - 1)), Some((n - 1) * 3));
+                assert_eq!(t.get(&key8(n)), None);
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_load_then_insert_keeps_invariants() {
+        let sorted: Vec<(Vec<u8>, u64)> = (0..2000u64).map(|i| (key8(i * 2), i)).collect();
+        let mut t = BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, sorted);
+        for i in 0..2000u64 {
+            t.insert(&key8(i * 2 + 1), i + 10_000);
+        }
+        assert_eq!(t.len(), 4000);
+        t.check_invariants();
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all.len(), 4000);
+        for (i, (k, _)) in all.iter().enumerate() {
+            assert_eq!(k, &key8(i as u64));
+        }
+    }
+
+    #[test]
+    fn bulk_load_range_scans_agree_with_inserted_tree() {
+        let sorted: Vec<(Vec<u8>, u64)> = (0..1500u64).map(|i| (key8(i * 7), i)).collect();
+        let bulk = BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, sorted.clone());
+        let mut inserted = tree(8);
+        for (k, v) in &sorted {
+            inserted.insert(k, *v);
+        }
+        for (lo, hi) in [(0u64, 100), (500, 5000), (9000, 11_000)] {
+            let a: Vec<_> = bulk.range(&key8(lo), Some(&key8(hi))).collect();
+            let b: Vec<_> = inserted.range(&key8(lo), Some(&key8(hi))).collect();
+            assert_eq!(a, b, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not sorted")]
+    fn bulk_load_rejects_unsorted_input() {
+        let out_of_order = vec![(key8(5), 1), (key8(3), 2)];
+        BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, out_of_order);
     }
 
     #[test]

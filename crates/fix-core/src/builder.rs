@@ -48,6 +48,16 @@ pub struct BuildStats {
     pub btree_bytes: u64,
     /// Clustered copy size in bytes (0 for unclustered indexes).
     pub clustered_bytes: u64,
+    /// Worker threads the construction pipeline ran with.
+    pub threads: usize,
+    /// Phase 1: streaming documents into the bisimulation graph.
+    pub stream_time: Duration,
+    /// Phase 2: sequential subpattern enumeration and edge discovery.
+    pub discover_time: Duration,
+    /// Phase 3: eigenvalue extraction (parallel across distinct patterns).
+    pub extract_time: Duration,
+    /// Phase 4: key sort plus bottom-up B-tree bulk load.
+    pub load_time: Duration,
 }
 
 impl BuildStats {
@@ -99,9 +109,48 @@ pub struct FixIndex {
     pub(crate) removed: std::collections::HashSet<DocId>,
 }
 
-/// Indexes one document: streams it into the shared bisimulation graph and
-/// emits one `(key, ptr)` entry per indexable unit, either straight into
-/// the B-tree (unclustered) or into `pending` (clustered bulk-load).
+/// Builds an index with its pages in a `FileBackend` at `path` (backing
+/// implementation of `FixDatabase::build_on_disk` and the deprecated
+/// `FixIndex::build_on_disk`).
+pub(crate) fn build_on_disk_impl(
+    coll: &mut Collection,
+    opts: FixOptions,
+    path: &std::path::Path,
+) -> std::io::Result<FixIndex> {
+    let backend = fix_storage::FileBackend::create(path)?;
+    let pool = Arc::new(BufferPool::new(Box::new(backend), opts.pool_pages));
+    Ok(FixIndex::build_on(coll, opts, pool))
+}
+
+/// One streamed document: its root unit plus (in large-document mode) the
+/// per-element units, with vertex ids in the *shared* bisimulation graph.
+struct StreamedDoc {
+    root: VertexId,
+    root_ptr: u64,
+    closed: Vec<(VertexId, u64)>,
+}
+
+/// Streams one document into `graph` (no value hashing).
+fn stream_document(graph: &mut BisimGraph, doc: &Document, record_all: bool) -> StreamedDoc {
+    let builder = BisimBuilder::new(graph);
+    let builder = if record_all {
+        builder.record_all_elements()
+    } else {
+        builder
+    };
+    let info = builder.run(&mut TreeEventSource::whole(doc));
+    StreamedDoc {
+        root: info.root,
+        root_ptr: info.root_ptr,
+        closed: info.closed,
+    }
+}
+
+/// Incrementally indexes one document into an already-built unclustered
+/// index: streams it into the shared bisimulation graph and inserts one
+/// `(key, ptr)` entry per indexable unit straight into the B-tree. Bulk
+/// construction goes through the phased pipeline in `FixIndex::build_on`
+/// instead; both assign identical keys.
 #[allow(clippy::too_many_arguments)]
 fn index_document(
     doc_id: DocId,
@@ -112,7 +161,6 @@ fn index_document(
     encoder: &mut EdgeEncoder,
     hasher: &Option<ValueHasher>,
     btree: &mut BTree,
-    pending: &mut Vec<([u8; KEY_LEN], EntryPtr)>,
 ) {
     let depth_limit = opts.depth_limit;
     let builder = BisimBuilder::new(&mut state.graph);
@@ -175,11 +223,7 @@ fn index_document(
             doc: doc_id,
             node: ptr as u32,
         };
-        if opts.clustered {
-            pending.push((key, entry));
-        } else {
-            btree.insert(&key, entry.to_u64());
-        }
+        btree.insert(&key, entry.to_u64());
     }
 }
 
@@ -195,68 +239,232 @@ impl FixIndex {
     /// `FileBackend` behind the buffer pool — the configuration for
     /// corpora larger than memory). The resulting index behaves
     /// identically; only the page I/O is physical.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `FixDatabase::build_on_disk` instead; this constructor will go away"
+    )]
     pub fn build_on_disk(
         coll: &mut Collection,
         opts: FixOptions,
         path: &std::path::Path,
     ) -> std::io::Result<FixIndex> {
-        let backend = fix_storage::FileBackend::create(path)?;
-        let pool = Arc::new(BufferPool::new(Box::new(backend), opts.pool_pages));
-        Ok(Self::build_on(coll, opts, pool))
+        build_on_disk_impl(coll, opts, path)
     }
 
+    /// The four-phase construction pipeline. Phases 1 and 3 fan out across
+    /// `opts.threads` scoped workers; phases 2 and 4 are sequential, which
+    /// is what pins down the label/edge encodings and entry sequence
+    /// numbers — the built index is bit-identical at every thread count.
     fn build_on(coll: &mut Collection, opts: FixOptions, pool: Arc<BufferPool>) -> FixIndex {
         let start = Instant::now();
-        let mut btree = BTree::new(Arc::clone(&pool), KEY_LEN);
+        let threads = opts.effective_threads();
         let mut encoder = EdgeEncoder::new();
         let hasher = opts.value_beta.map(ValueHasher::new);
         let mut state = IncrementalState::new();
-        // Clustered mode buffers (key, ptr) and bulk-loads in key order.
-        let mut pending: Vec<([u8; KEY_LEN], EntryPtr)> = Vec::new();
-
         let depth_limit = opts.depth_limit;
-        let (labels, docs) = coll.split_mut();
-        for (i, doc) in docs.iter().enumerate() {
-            index_document(
-                DocId(i as u32),
-                doc,
-                labels,
-                &opts,
-                &mut state,
-                &mut encoder,
-                &hasher,
-                &mut btree,
-                &mut pending,
-            );
-        }
+        let record_all = depth_limit > 0;
 
-        // Clustered: copy each entry's (truncated) subtree into a heap in
-        // key order, then bulk-insert (key → record) sequentially.
-        let clustered = if opts.clustered {
-            pending.sort_unstable_by_key(|a| a.0);
-            let mut heap = HeapFile::new(Arc::clone(&pool));
-            for (key, ptr) in &pending {
-                let doc = coll.doc(ptr.doc);
-                let xml = serialize_truncated(
+        // Phase 1 — stream documents into the shared bisimulation graph.
+        // Workers stream disjoint document ranges into thread-local graphs;
+        // absorbing those graphs in document order replays the sequential
+        // intern order exactly (see `BisimGraph::absorb`), so the shared
+        // vertex numbering matches the single-threaded build. Value mode
+        // interns labels *while* streaming and therefore stays sequential.
+        let (labels, docs) = coll.split_mut();
+        let mut streamed: Vec<StreamedDoc> = Vec::with_capacity(docs.len());
+        if threads > 1 && hasher.is_none() && docs.len() > 1 {
+            let chunk = docs.len().div_ceil(threads);
+            let locals: Vec<(BisimGraph, Vec<StreamedDoc>)> = std::thread::scope(|s| {
+                let handles: Vec<_> = docs
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move || {
+                            let mut g = BisimGraph::new();
+                            let infos = part
+                                .iter()
+                                .map(|d| stream_document(&mut g, d, record_all))
+                                .collect::<Vec<_>>();
+                            (g, infos)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("streaming worker panicked"))
+                    .collect()
+            });
+            for (local, infos) in &locals {
+                let map = state.graph.absorb(local);
+                for info in infos {
+                    streamed.push(StreamedDoc {
+                        root: map[info.root.index()],
+                        root_ptr: info.root_ptr,
+                        closed: info
+                            .closed
+                            .iter()
+                            .map(|&(v, p)| (map[v.index()], p))
+                            .collect(),
+                    });
+                }
+            }
+        } else {
+            for doc in docs.iter() {
+                match &hasher {
+                    Some(h) => {
+                        let vl: &mut HashSet<LabelId> = &mut state.value_labels;
+                        let mut src = TreeEventSource::whole(doc).with_value_labels(|t| {
+                            let l = h.label_interning(t, labels);
+                            vl.insert(l);
+                            l
+                        });
+                        let builder = BisimBuilder::new(&mut state.graph);
+                        let builder = if record_all {
+                            builder.record_all_elements()
+                        } else {
+                            builder
+                        };
+                        let info = builder.run(&mut src);
+                        streamed.push(StreamedDoc {
+                            root: info.root,
+                            root_ptr: info.root_ptr,
+                            closed: info.closed,
+                        });
+                    }
+                    None => streamed.push(stream_document(&mut state.graph, doc, record_all)),
+                }
+            }
+        }
+        let stream_time = start.elapsed();
+
+        // Phase 2 (sequential) — enumerate indexable units, truncate each
+        // to its depth-k pattern, and intern every pattern edge into the
+        // encoder in first-seen order. After this sweep the encoder is
+        // frozen: extraction only reads it.
+        let t_discover = Instant::now();
+        let limit = if depth_limit == 0 {
+            usize::MAX
+        } else {
+            depth_limit
+        };
+        let mut units: Vec<(DocId, VertexId, u64)> = Vec::new();
+        let mut new_patterns: Vec<VertexId> = Vec::new();
+        let mut discovered: HashSet<VertexId> = HashSet::new();
+        for (i, info) in streamed.iter().enumerate() {
+            let doc_units: Vec<(VertexId, u64)> = if depth_limit == 0 {
+                vec![(info.root, info.root_ptr)]
+            } else {
+                info.closed
+                    .iter()
+                    .copied()
+                    .filter(|&(v, _)| !state.value_labels.contains(&state.graph.label(v)))
+                    .collect()
+            };
+            for (vertex, ptr) in doc_units {
+                let pat_root = if opts.literal_gen_subpattern {
+                    let (pat, pinfo) = fix_bisim::subpattern(&state.graph, vertex, limit);
+                    state.forest.adopt(&pat, pinfo.root)
+                } else {
+                    state.forest.truncate(&state.graph, vertex, limit)
+                };
+                if discovered.insert(pat_root) {
+                    opts.extractor
+                        .discover_edges(state.forest.graph(), pat_root, &mut encoder);
+                    new_patterns.push(pat_root);
+                }
+                units.push((DocId(i as u32), pat_root, ptr));
+            }
+        }
+        let discover_time = t_discover.elapsed();
+
+        // Phase 3 — eigendecomposition once per distinct pattern, fanned
+        // out across workers against the frozen encoder (workers share
+        // only `&` state; results land in a map, so arrival order is
+        // irrelevant).
+        let t_extract = Instant::now();
+        {
+            let graph = state.forest.graph();
+            let enc = &encoder;
+            let extractor = &opts.extractor;
+            let extracted: Vec<Vec<(VertexId, (Features, bool))>> =
+                if threads > 1 && new_patterns.len() > 1 {
+                    let chunk = new_patterns.len().div_ceil(threads);
+                    std::thread::scope(|s| {
+                        let handles: Vec<_> = new_patterns
+                            .chunks(chunk)
+                            .map(|part| {
+                                s.spawn(move || {
+                                    part.iter()
+                                        .map(|&p| (p, extractor.extract_frozen(graph, p, enc)))
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                            .collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("extraction worker panicked"))
+                            .collect()
+                    })
+                } else {
+                    vec![new_patterns
+                        .iter()
+                        .map(|&p| (p, extractor.extract_frozen(graph, p, enc)))
+                        .collect()]
+                };
+            for (p, res) in extracted.into_iter().flatten() {
+                if res.1 {
+                    state.fallbacks += 1;
+                }
+                state.feat_memo.insert(p, res);
+            }
+        }
+        let extract_time = t_extract.elapsed();
+
+        // Phase 4 (sequential) — assign sequence numbers in document
+        // order, sort the (unique) keys once, and bulk-load the B-tree
+        // bottom-up. Clustered mode additionally copies each entry's
+        // truncated subtree into the heap in key order first, so
+        // refinement I/O stays sequential.
+        let t_load = Instant::now();
+        let mut entries: Vec<([u8; KEY_LEN], EntryPtr)> = Vec::with_capacity(units.len());
+        for (doc, pat_root, ptr) in units {
+            let (features, _) = state.feat_memo[&pat_root];
+            let key = IndexKey::new(&features, state.seq).encode();
+            state.seq = state.seq.checked_add(1).expect("entry space exhausted");
+            entries.push((
+                key,
+                EntryPtr {
                     doc,
-                    &coll.labels,
-                    NodeId(ptr.node),
-                    if depth_limit == 0 {
-                        usize::MAX
-                    } else {
-                        depth_limit
-                    },
-                );
+                    node: ptr as u32,
+                },
+            ));
+        }
+        entries.sort_unstable_by_key(|e| e.0);
+        let (btree, clustered) = if opts.clustered {
+            let mut heap = HeapFile::new(Arc::clone(&pool));
+            let mut loaded = Vec::with_capacity(entries.len());
+            for (key, ptr) in &entries {
+                let doc = coll.doc(ptr.doc);
+                let xml = serialize_truncated(doc, &coll.labels, NodeId(ptr.node), limit);
                 let mut record = Vec::with_capacity(8 + xml.len());
                 record.extend_from_slice(&ptr.to_u64().to_le_bytes());
                 record.extend_from_slice(xml.as_bytes());
-                let rid = heap.append(&record);
-                btree.insert(key, rid.to_u64());
+                loaded.push((key.to_vec(), heap.append(&record).to_u64()));
             }
-            Some(heap)
+            (
+                BTree::bulk_load(Arc::clone(&pool), KEY_LEN, loaded),
+                Some(heap),
+            )
         } else {
-            None
+            (
+                BTree::bulk_load(
+                    Arc::clone(&pool),
+                    KEY_LEN,
+                    entries.iter().map(|(k, p)| (k.to_vec(), p.to_u64())),
+                ),
+                None,
+            )
         };
+        let load_time = t_load.elapsed();
 
         let stats = BuildStats {
             entries: btree.len(),
@@ -267,6 +475,11 @@ impl FixIndex {
             bisim_edges: state.graph.edge_count(),
             btree_bytes: btree.stats().size_bytes,
             clustered_bytes: clustered.as_ref().map(HeapFile::size_bytes).unwrap_or(0),
+            threads,
+            stream_time,
+            discover_time,
+            extract_time,
+            load_time,
         };
         let incremental = if opts.clustered { None } else { Some(state) };
         FixIndex {
@@ -334,7 +547,6 @@ impl FixIndex {
         let doc_id = coll.add_xml(xml)?;
         let state = self.incremental.as_mut().expect("checked above");
         let (labels, docs) = coll.split_mut();
-        let mut pending = Vec::new();
         index_document(
             doc_id,
             &docs[doc_id.0 as usize],
@@ -344,9 +556,7 @@ impl FixIndex {
             &mut self.encoder,
             &self.hasher,
             &mut self.btree,
-            &mut pending,
         );
-        debug_assert!(pending.is_empty(), "unclustered inserts bypass pending");
         self.stats.entries = self.btree.len();
         self.stats.distinct_patterns = state.feat_memo.len() as u64;
         self.stats.fallbacks = state.fallbacks;
@@ -697,8 +907,8 @@ mod tombstone_tests {
         let dir = std::env::temp_dir().join(format!("fix-tomb-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.fixdb");
-        crate::persist::save_database(&path, &c, &idx).unwrap();
-        let (lc, li) = crate::persist::load_database(&path).unwrap();
+        crate::persist::save_impl(&path, &c, &idx).unwrap();
+        let (lc, li) = crate::persist::load_impl(&path).unwrap();
         assert!(li.is_removed(DocId(2)));
         assert!(li.query(&lc, "//book/author").unwrap().results.is_empty());
         std::fs::remove_dir_all(&dir).ok();
@@ -726,7 +936,7 @@ mod disk_tests {
             c2.add_xml(xml).unwrap();
         }
         let mem = FixIndex::build(&mut c1, FixOptions::large_document(4));
-        let disk = FixIndex::build_on_disk(&mut c2, FixOptions::large_document(4), &pages).unwrap();
+        let disk = build_on_disk_impl(&mut c2, FixOptions::large_document(4), &pages).unwrap();
         assert!(pages.exists());
         assert!(std::fs::metadata(&pages).unwrap().len() > 0);
         for q in [
@@ -746,15 +956,32 @@ mod disk_tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        // The pre-facade entry points must keep behaving until removal.
+        let dir = std::env::temp_dir().join(format!("fix-shim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("shim.pages");
+        let db = dir.join("shim.fixdb");
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b/></a>").unwrap();
+        let idx = FixIndex::build_on_disk(&mut coll, FixOptions::collection(), &pages).unwrap();
+        crate::persist::save_database(&db, &coll, &idx).unwrap();
+        let (lc, li) = crate::persist::load_database(&db).unwrap();
+        assert_eq!(li.entry_count(), 1);
+        assert_eq!(li.query(&lc, "//a/b").unwrap().results.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn on_disk_clustered_build() {
         let dir = std::env::temp_dir().join(format!("fix-diskc-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let pages = dir.join("clustered.pages");
         let mut coll = Collection::new();
         coll.add_xml("<a><b><c/></b><b/></a>").unwrap();
-        let idx =
-            FixIndex::build_on_disk(&mut coll, FixOptions::large_document(3).clustered(), &pages)
-                .unwrap();
+        let idx = build_on_disk_impl(&mut coll, FixOptions::large_document(3).clustered(), &pages)
+            .unwrap();
         let out = idx.query(&coll, "//b/c").unwrap();
         assert_eq!(out.results.len(), 1);
         std::fs::remove_dir_all(&dir).ok();

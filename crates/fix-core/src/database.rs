@@ -1,0 +1,289 @@
+//! [`FixDatabase`] — the one-stop facade over collection, index, and
+//! persistence.
+//!
+//! The lower-level pieces ([`Collection`], [`FixIndex`], the persist
+//! module) stay public for experiments that need to hold them apart, but
+//! applications should only ever need this:
+//!
+//! ```
+//! use fix_core::{FixDatabase, FixOptions};
+//!
+//! let mut db = FixDatabase::in_memory();
+//! db.add_xml("<bib><article><author/><ee/></article></bib>")?;
+//! db.add_xml("<bib><book><author/></book></bib>")?;
+//! db.build(FixOptions::builder().threads(2).build())?;
+//! let out = db.query("//article[author]/ee")?;
+//! assert_eq!(out.results.len(), 1);
+//! # Ok::<(), fix_core::FixError>(())
+//! ```
+
+use std::path::{Path, PathBuf};
+
+use crate::builder::{BuildStats, FixIndex};
+use crate::collection::{Collection, DocId};
+use crate::error::FixError;
+use crate::options::FixOptions;
+use crate::query::QueryOutcome;
+
+/// A FIX database: a document collection plus (once built or loaded) its
+/// index, optionally bound to a file path for persistence.
+pub struct FixDatabase {
+    path: Option<PathBuf>,
+    coll: Collection,
+    index: Option<FixIndex>,
+}
+
+impl FixDatabase {
+    /// Creates an empty, unbound in-memory database.
+    pub fn in_memory() -> Self {
+        Self {
+            path: None,
+            coll: Collection::new(),
+            index: None,
+        }
+    }
+
+    /// Opens the database file at `path`, loading it if it exists or
+    /// starting empty (bound to that path, so [`FixDatabase::save`] knows
+    /// where to write) if it does not.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, FixError> {
+        let path = path.as_ref();
+        let (coll, index) = if path.exists() {
+            let (c, i) = crate::persist::load_impl(path)?;
+            (c, Some(i))
+        } else {
+            (Collection::new(), None)
+        };
+        Ok(Self {
+            path: Some(path.to_path_buf()),
+            coll,
+            index,
+        })
+    }
+
+    /// Wraps an already-constructed collection/index pair (escape hatch
+    /// for experiment code that built the parts by hand).
+    pub fn from_parts(coll: Collection, index: Option<FixIndex>) -> Self {
+        Self {
+            path: None,
+            coll,
+            index,
+        }
+    }
+
+    /// Tears the database back into its parts.
+    pub fn into_parts(self) -> (Collection, Option<FixIndex>) {
+        (self.coll, self.index)
+    }
+
+    /// Adds one XML document. Before [`FixDatabase::build`] this only
+    /// grows the collection; afterwards the document is also indexed
+    /// incrementally (unclustered in-memory indexes only — clustered or
+    /// loaded indexes return [`FixError::ImmutableIndex`]).
+    pub fn add_xml(&mut self, xml: &str) -> Result<DocId, FixError> {
+        match &mut self.index {
+            None => Ok(self.coll.add_xml(xml)?),
+            Some(idx) => match idx.insert_xml(&mut self.coll, xml)? {
+                Some(id) => Ok(id),
+                None => Err(FixError::ImmutableIndex),
+            },
+        }
+    }
+
+    /// Builds (or rebuilds) the index over the current collection with an
+    /// in-memory page pool. Returns the construction statistics.
+    pub fn build(&mut self, opts: FixOptions) -> Result<&BuildStats, FixError> {
+        self.index = Some(FixIndex::build(&mut self.coll, opts));
+        Ok(self.stats().expect("index was just built"))
+    }
+
+    /// Builds (or rebuilds) the index with its pages in a real file at
+    /// `pages` — the configuration for corpora larger than memory.
+    pub fn build_on_disk(
+        &mut self,
+        opts: FixOptions,
+        pages: impl AsRef<Path>,
+    ) -> Result<&BuildStats, FixError> {
+        self.index = Some(crate::builder::build_on_disk_impl(
+            &mut self.coll,
+            opts,
+            pages.as_ref(),
+        )?);
+        Ok(self.stats().expect("index was just built"))
+    }
+
+    /// Runs an XPath query through the index.
+    pub fn query(&self, query: &str) -> Result<QueryOutcome, FixError> {
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        Ok(idx.query(&self.coll, query)?)
+    }
+
+    /// Tombstones a document (see [`FixIndex::remove_document`]).
+    pub fn remove_document(&mut self, doc: DocId) -> Result<(), FixError> {
+        let idx = self.index.as_mut().ok_or(FixError::NoIndex)?;
+        idx.remove_document(doc);
+        Ok(())
+    }
+
+    /// Rebuilds collection and index without tombstoned documents.
+    pub fn vacuum(&mut self) -> Result<(), FixError> {
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        let (coll, index) = idx.vacuum(&self.coll);
+        self.coll = coll;
+        self.index = Some(index);
+        Ok(())
+    }
+
+    /// Saves to the bound path (set by [`FixDatabase::open`] or a prior
+    /// [`FixDatabase::save_as`]). The index must exist — the file format
+    /// stores collection and index together.
+    pub fn save(&self) -> Result<(), FixError> {
+        let path = self
+            .path
+            .clone()
+            .ok_or_else(|| FixError::Io(std::io::Error::other("database has no bound path")))?;
+        self.save_to(&path)
+    }
+
+    /// Saves to `path` and binds the database to it.
+    pub fn save_as(&mut self, path: impl AsRef<Path>) -> Result<(), FixError> {
+        self.save_to(path.as_ref())?;
+        self.path = Some(path.as_ref().to_path_buf());
+        Ok(())
+    }
+
+    fn save_to(&self, path: &Path) -> Result<(), FixError> {
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        Ok(crate::persist::save_impl(path, &self.coll, idx)?)
+    }
+
+    /// The document collection.
+    pub fn collection(&self) -> &Collection {
+        &self.coll
+    }
+
+    /// The index, if one has been built or loaded.
+    pub fn index(&self) -> Option<&FixIndex> {
+        self.index.as_ref()
+    }
+
+    /// Construction statistics, if an index exists.
+    pub fn stats(&self) -> Option<&BuildStats> {
+        self.index.as_ref().map(FixIndex::stats)
+    }
+
+    /// The bound file path, if any.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.coll.len()
+    }
+
+    /// True if the collection holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.coll.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fix-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn in_memory_lifecycle() {
+        let mut db = FixDatabase::in_memory();
+        assert!(db.is_empty());
+        assert!(matches!(db.query("//a"), Err(FixError::NoIndex)));
+        db.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        db.add_xml("<bib><book><author/></book></bib>").unwrap();
+        let stats = db.build(FixOptions::collection()).unwrap();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(db.query("//article[author]/ee").unwrap().results.len(), 1);
+        // Post-build adds go through incremental insertion.
+        db.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.query("//article[author]/ee").unwrap().results.len(), 2);
+    }
+
+    #[test]
+    fn clustered_refuses_post_build_adds() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::builder().clustered(true).build())
+            .unwrap();
+        assert!(matches!(
+            db.add_xml("<a><c/></a>"),
+            Err(FixError::ImmutableIndex)
+        ));
+        assert_eq!(db.len(), 1, "collection untouched on refusal");
+    }
+
+    #[test]
+    fn open_save_round_trip() {
+        let path = temp("facade.fixdb");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = FixDatabase::open(&path).unwrap();
+            assert!(db.is_empty(), "fresh path starts empty");
+            db.add_xml("<bib><article><author/><ee/></article></bib>")
+                .unwrap();
+            db.build(FixOptions::builder().depth_limit(3).build())
+                .unwrap();
+            db.save().unwrap();
+        }
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.path(), Some(path.as_path()));
+        assert_eq!(db.query("//article[author]/ee").unwrap().results.len(), 1);
+        // Loaded indexes are immutable; adds surface the typed error.
+        let mut db = db;
+        assert!(matches!(db.add_xml("<x/>"), Err(FixError::ImmutableIndex)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_requires_binding_and_index() {
+        let db = FixDatabase::in_memory();
+        assert!(matches!(db.save(), Err(FixError::Io(_))));
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a/>").unwrap();
+        let path = temp("unbuilt.fixdb");
+        assert!(matches!(db.save_as(&path), Err(FixError::NoIndex)));
+    }
+
+    #[test]
+    fn vacuum_through_facade() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.add_xml("<a><c/></a>").unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        db.remove_document(DocId(0)).unwrap();
+        db.vacuum().unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(db.query("//a/b").unwrap().results.is_empty());
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn build_on_disk_through_facade() {
+        let pages = temp("facade.pages");
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b><c/></b></a>").unwrap();
+        db.build_on_disk(FixOptions::builder().depth_limit(3).build(), &pages)
+            .unwrap();
+        assert!(pages.exists());
+        assert_eq!(db.query("//b/c").unwrap().results.len(), 1);
+        std::fs::remove_file(&pages).ok();
+    }
+}

@@ -1,0 +1,87 @@
+//! The unified error type for the [`FixDatabase`](crate::FixDatabase)
+//! facade.
+//!
+//! The lower layers keep their precise error types (`fix_xml::ParseError`,
+//! [`QueryError`](crate::QueryError), `std::io::Error`); this enum folds
+//! them into one `Result` surface so applications can use `?` end to end.
+
+use std::fmt;
+
+use crate::query::QueryError;
+
+/// Anything that can go wrong talking to a FIX database.
+#[derive(Debug)]
+pub enum FixError {
+    /// An XML document failed to parse.
+    Parse(fix_xml::ParseError),
+    /// A query failed to parse or is not covered by the index.
+    Query(QueryError),
+    /// Underlying file I/O failed (open/save/load, on-disk pages).
+    Io(std::io::Error),
+    /// The operation needs an index, but none has been built or loaded.
+    NoIndex,
+    /// The index cannot absorb updates (clustered indexes store their
+    /// copies in key order; indexes loaded from disk drop construction
+    /// state). Rebuild with [`FixDatabase::build`](crate::FixDatabase::build).
+    ImmutableIndex,
+}
+
+impl fmt::Display for FixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixError::Parse(e) => write!(f, "XML parse error: {e}"),
+            FixError::Query(e) => write!(f, "query error: {e}"),
+            FixError::Io(e) => write!(f, "I/O error: {e}"),
+            FixError::NoIndex => write!(f, "no index: call build() or open an existing database"),
+            FixError::ImmutableIndex => {
+                write!(f, "this index cannot absorb updates; rebuild to modify")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FixError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fix_xml::ParseError> for FixError {
+    fn from(e: fix_xml::ParseError) -> Self {
+        FixError::Parse(e)
+    }
+}
+
+impl From<QueryError> for FixError {
+    fn from(e: QueryError) -> Self {
+        FixError::Query(e)
+    }
+}
+
+impl From<std::io::Error> for FixError {
+    fn from(e: std::io::Error) -> Self {
+        FixError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let io = FixError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.to_string().contains("gone"));
+        assert!(std::error::Error::source(&io).is_some());
+        assert!(FixError::NoIndex.to_string().contains("build()"));
+        assert!(std::error::Error::source(&FixError::NoIndex).is_none());
+        let q = FixError::from(QueryError::NotCovered {
+            query_depth: 9,
+            depth_limit: 4,
+        });
+        assert!(q.to_string().contains("query error"));
+    }
+}

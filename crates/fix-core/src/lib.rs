@@ -25,6 +25,8 @@
 
 pub mod builder;
 pub mod collection;
+pub mod database;
+pub mod error;
 pub mod estimate;
 pub mod explain;
 pub mod key;
@@ -37,11 +39,14 @@ pub mod values;
 
 pub use builder::{BuildStats, FixIndex};
 pub use collection::{Collection, DocId};
+pub use database::FixDatabase;
+pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
 pub use explain::{BlockExplain, Explain};
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, Metrics};
-pub use options::{FixOptions, RefineOp};
+pub use options::{FixOptions, FixOptionsBuilder, RefineOp};
+#[allow(deprecated)]
 pub use persist::{load_database, save_database};
 pub use query::{QueryError, QueryOutcome};
 pub use spatial::SpatialIndex;

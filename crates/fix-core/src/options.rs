@@ -52,6 +52,12 @@ pub struct FixOptions {
     /// index-construction ablation that reproduces the paper's Treebank
     /// ICT blow-up.
     pub literal_gen_subpattern: bool,
+    /// Worker threads for the parallel construction phases (document
+    /// streaming and eigenvalue extraction). `1` builds sequentially;
+    /// `0` means "use all available parallelism". The built index is
+    /// bit-identical at every thread count (see `DESIGN.md`, "Parallel
+    /// construction").
+    pub threads: usize,
 }
 
 impl FixOptions {
@@ -68,6 +74,7 @@ impl FixOptions {
             extended_features: false,
             edge_bloom: false,
             literal_gen_subpattern: false,
+            threads: 1,
         }
     }
 
@@ -107,6 +114,129 @@ impl FixOptions {
         self.value_beta = Some(beta);
         self
     }
+
+    /// Sets the construction worker-thread count (`0` = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves [`FixOptions::threads`] to a concrete worker count
+    /// (`0` → `std::thread::available_parallelism()`).
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
+    }
+
+    /// Starts a fluent builder seeded with the collection-mode defaults.
+    ///
+    /// ```
+    /// use fix_core::FixOptions;
+    /// let opts = FixOptions::builder()
+    ///     .depth_limit(6)
+    ///     .clustered(true)
+    ///     .values(64)
+    ///     .threads(4)
+    ///     .build();
+    /// assert_eq!(opts.depth_limit, 6);
+    /// assert!(opts.clustered);
+    /// ```
+    pub fn builder() -> FixOptionsBuilder {
+        FixOptionsBuilder {
+            opts: Self::collection(),
+        }
+    }
+}
+
+/// Fluent builder for [`FixOptions`] (see [`FixOptions::builder`]).
+#[derive(Debug, Clone)]
+pub struct FixOptionsBuilder {
+    opts: FixOptions,
+}
+
+impl FixOptionsBuilder {
+    /// Subpattern depth limit `k`; `0` selects collection mode (one entry
+    /// per document).
+    pub fn depth_limit(mut self, k: usize) -> Self {
+        self.opts.depth_limit = k;
+        self
+    }
+
+    /// Builds a clustered index (subtree copies in feature-key order).
+    pub fn clustered(mut self, clustered: bool) -> Self {
+        self.opts.clustered = clustered;
+        self
+    }
+
+    /// Enables the integrated value index with hash range `β`.
+    pub fn values(mut self, beta: u32) -> Self {
+        assert!(beta > 0, "β must be positive");
+        self.opts.value_beta = Some(beta);
+        self
+    }
+
+    /// Construction worker-thread count (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Buffer-pool capacity in pages.
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        assert!(pages > 0, "the buffer pool needs at least one page");
+        self.opts.pool_pages = pages;
+        self
+    }
+
+    /// Switches to the paper-faithful skew-spectral feature key.
+    pub fn paper_mode(mut self, on: bool) -> Self {
+        self.opts.extractor.mode = if on {
+            fix_spectral::FeatureMode::SkewSpectral
+        } else {
+            fix_spectral::FeatureMode::SymmetricNorm
+        };
+        self
+    }
+
+    /// Enables edge-fingerprint pruning.
+    pub fn edge_bloom(mut self, on: bool) -> Self {
+        self.opts.edge_bloom = on;
+        self
+    }
+
+    /// Enables the extended σ₂ pruning feature.
+    pub fn extended_features(mut self, on: bool) -> Self {
+        self.opts.extended_features = on;
+        self
+    }
+
+    /// Uses the paper-literal `GEN-SUBPATTERN` enumeration.
+    pub fn literal_gen_subpattern(mut self, on: bool) -> Self {
+        self.opts.literal_gen_subpattern = on;
+        self
+    }
+
+    /// Oversized-pattern fallback threshold (max edges the eigensolver
+    /// will accept).
+    pub fn max_edges(mut self, max_edges: usize) -> Self {
+        self.opts.extractor.max_edges = max_edges;
+        self
+    }
+
+    /// Refinement operator.
+    pub fn refine(mut self, op: RefineOp) -> Self {
+        self.opts.refine = op;
+        self
+    }
+
+    /// Finalizes the options.
+    pub fn build(self) -> FixOptions {
+        self.opts
+    }
 }
 
 #[cfg(test)]
@@ -128,5 +258,42 @@ mod tests {
     #[should_panic(expected = "positive depth limit")]
     fn zero_depth_large_mode_panics() {
         let _ = FixOptions::large_document(0);
+    }
+
+    #[test]
+    fn builder_covers_every_knob() {
+        let o = FixOptions::builder()
+            .depth_limit(4)
+            .clustered(true)
+            .values(16)
+            .threads(8)
+            .pool_pages(64)
+            .paper_mode(true)
+            .edge_bloom(true)
+            .extended_features(true)
+            .literal_gen_subpattern(true)
+            .max_edges(123)
+            .refine(RefineOp::Twig)
+            .build();
+        assert_eq!(o.depth_limit, 4);
+        assert!(o.clustered);
+        assert_eq!(o.value_beta, Some(16));
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.pool_pages, 64);
+        assert_eq!(o.extractor.mode, fix_spectral::FeatureMode::SkewSpectral);
+        assert!(o.edge_bloom);
+        assert!(o.extended_features);
+        assert!(o.literal_gen_subpattern);
+        assert_eq!(o.extractor.max_edges, 123);
+        assert_eq!(o.refine, RefineOp::Twig);
+    }
+
+    #[test]
+    fn thread_resolution() {
+        assert_eq!(FixOptions::collection().threads, 1);
+        assert_eq!(FixOptions::collection().effective_threads(), 1);
+        let auto = FixOptions::collection().with_threads(0);
+        assert!(auto.effective_threads() >= 1);
+        assert_eq!(FixOptions::collection().with_threads(7).threads, 7);
     }
 }

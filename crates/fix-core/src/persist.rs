@@ -4,10 +4,11 @@
 //!
 //! The format is a simple length-prefixed little-endian binary layout. The
 //! B-tree is persisted *logically* (sorted key/value pairs) and rebuilt by
-//! sequential insertion on load — for indexes of this class the rebuild is
-//! a linear bulk-load, and it keeps the format independent of page-layout
-//! details. Clustered heap records are replayed in insertion order, which
-//! reproduces identical record ids (the heap's append is deterministic).
+//! a bottom-up bulk load, which keeps the format independent of
+//! page-layout details. Clustered heap records are replayed in insertion
+//! order *before* the B-tree load — the same allocation order construction
+//! uses — which reproduces identical record ids (the heap's append is
+//! deterministic).
 
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -76,7 +77,24 @@ fn corrupt(msg: &str) -> io::Error {
 }
 
 /// Saves a collection and its index as one database file.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FixDatabase::save`/`save_as` instead; this free function will go away"
+)]
 pub fn save_database(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    save_impl(path, coll, idx)
+}
+
+/// Loads a database file back into a `(Collection, FixIndex)` pair.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `FixDatabase::open` instead; this free function will go away"
+)]
+pub fn load_database(path: &Path) -> io::Result<(Collection, FixIndex)> {
+    load_impl(path)
+}
+
+pub(crate) fn save_impl(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = io::BufWriter::new(file);
     w.write_all(MAGIC)?;
@@ -148,8 +166,7 @@ pub fn save_database(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Resu
     w.flush()
 }
 
-/// Loads a database file back into a `(Collection, FixIndex)` pair.
-pub fn load_database(path: &Path) -> io::Result<(Collection, FixIndex)> {
+pub(crate) fn load_impl(path: &Path) -> io::Result<(Collection, FixIndex)> {
     let file = std::fs::File::open(path)?;
     let mut r = io::BufReader::new(file);
     let mut magic = [0u8; 8];
@@ -212,16 +229,23 @@ pub fn load_database(path: &Path) -> io::Result<(Collection, FixIndex)> {
         encoder.restore(a, b, w);
     }
 
-    let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
-    let mut btree = BTree::new(Arc::clone(&pool), KEY_LEN);
     let n_entries = get_u64(&mut r)?;
+    let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
     for _ in 0..n_entries {
         let mut k = [0u8; KEY_LEN];
         r.read_exact(&mut k)?;
         let v = get_u64(&mut r)?;
-        btree.insert(&k, v);
+        entries.push((k.to_vec(), v));
+    }
+    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err(corrupt("B-tree entries out of order"));
     }
 
+    // Replay heap appends *before* loading the B-tree: construction
+    // allocates heap pages first and B-tree pages second, so replaying in
+    // the same order reproduces the record ids the stored B-tree values
+    // point at.
+    let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
     let n_records = get_u64(&mut r)?;
     let clustered_heap = if n_records == u64::MAX {
         None
@@ -233,6 +257,7 @@ pub fn load_database(path: &Path) -> io::Result<(Collection, FixIndex)> {
         }
         Some(heap)
     };
+    let btree = BTree::bulk_load(Arc::clone(&pool), KEY_LEN, entries);
 
     let stats = BuildStats {
         entries: btree.len(),
@@ -306,8 +331,8 @@ mod tests {
         let mut coll = sample_collection();
         let idx = FixIndex::build(&mut coll, FixOptions::large_document(4));
         let path = temp("uncl.fixdb");
-        save_database(&path, &coll, &idx).unwrap();
-        let loaded = load_database(&path).unwrap();
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
         assert_eq!(loaded.0.len(), 3);
         assert_eq!(loaded.1.entry_count(), idx.entry_count());
         same_outcomes(
@@ -332,8 +357,8 @@ mod tests {
                 .with_edge_bloom(),
         );
         let path = temp("clust.fixdb");
-        save_database(&path, &coll, &idx).unwrap();
-        let loaded = load_database(&path).unwrap();
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
         assert!(loaded.1.options().clustered);
         assert_eq!(loaded.1.options().value_beta, Some(16));
         assert!(loaded.1.options().edge_bloom);
@@ -349,8 +374,8 @@ mod tests {
         let mut coll = sample_collection();
         let idx = FixIndex::build(&mut coll, FixOptions::collection());
         let path = temp("coll.fixdb");
-        save_database(&path, &coll, &idx).unwrap();
-        let loaded = load_database(&path).unwrap();
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
         assert_eq!(loaded.1.options().depth_limit, 0);
         same_outcomes(&(coll, idx), &loaded, &["//article/title", "/bib/book"]);
     }
@@ -359,8 +384,8 @@ mod tests {
     fn corrupt_files_are_rejected() {
         let path = temp("bad.fixdb");
         std::fs::write(&path, b"not a database").unwrap();
-        assert!(load_database(&path).is_err());
+        assert!(load_impl(&path).is_err());
         std::fs::write(&path, b"FIXDB\x00\x01\x00trunc").unwrap();
-        assert!(load_database(&path).is_err());
+        assert!(load_impl(&path).is_err());
     }
 }

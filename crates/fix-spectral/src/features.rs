@@ -181,6 +181,74 @@ impl FeatureExtractor {
         }
     }
 
+    /// Edge-discovery sweep for the two-phase parallel build: walks the
+    /// pattern exactly as [`extract_interning`](Self::extract_interning)
+    /// would, interning every edge label pair in the same order, but skips
+    /// the (expensive) eigenvalue work. Returns the pattern's edge count.
+    ///
+    /// Running this sequentially over all patterns and then
+    /// [`extract_frozen`](Self::extract_frozen) in parallel yields
+    /// bit-identical features to a sequential `extract_interning` pass,
+    /// because encoded weights depend only on intern order.
+    pub fn discover_edges(
+        &self,
+        pattern: &BisimGraph,
+        root: VertexId,
+        enc: &mut EdgeEncoder,
+    ) -> usize {
+        let (_, edges) =
+            Self::sparse_reachable(pattern, root, |from, to| Some(enc.intern(from, to)))
+                .expect("interning translation cannot fail");
+        edges.len()
+    }
+
+    /// Extracts features against a *frozen* encoder: every edge of the
+    /// pattern must already be interned (by a prior
+    /// [`discover_edges`](Self::discover_edges) sweep). Takes `&EdgeEncoder`,
+    /// so any number of threads can extract concurrently; the result is
+    /// bit-identical to what [`extract_interning`](Self::extract_interning)
+    /// would produce.
+    ///
+    /// # Panics
+    /// Panics if the pattern contains an edge the encoder has not seen.
+    pub fn extract_frozen(
+        &self,
+        pattern: &BisimGraph,
+        root: VertexId,
+        enc: &EdgeEncoder,
+    ) -> (Features, bool) {
+        let root_label = pattern.label(root);
+        let (n, edges) = Self::sparse_reachable(pattern, root, |from, to| enc.lookup(from, to))
+            .expect("extract_frozen: edge missing from encoder (discovery sweep incomplete)");
+        if edges.len() > self.max_edges {
+            return (Features::unbounded(root_label), true);
+        }
+        let bloom = edges
+            .iter()
+            .fold(0u64, |b, &(_, _, w)| b | edge_bloom_bits(w));
+        match self.mode {
+            FeatureMode::SymmetricNorm => {
+                let b = crate::eig::perron_bounds_sparse(n, &edges, &self.eig);
+                (
+                    Features {
+                        lmax: b.upper,
+                        lmin: -b.upper,
+                        sigma2: b.sigma2,
+                        root: root_label,
+                        bloom,
+                    },
+                    false,
+                )
+            }
+            FeatureMode::SkewSpectral => {
+                let m = SkewMatrix::from_pattern(pattern, root, enc).expect(
+                    "extract_frozen: edge missing from encoder (discovery sweep incomplete)",
+                );
+                (self.skew_features(&m, root_label, bloom), false)
+            }
+        }
+    }
+
     /// Extracts features of a query pattern; `None` if the query mentions
     /// an edge label combination that never occurs in the database (the
     /// query provably has no results).
@@ -398,6 +466,70 @@ mod tests {
         assert!(f.is_unbounded());
         // Edges were still interned for later queries.
         assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn extractor_state_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FeatureExtractor>();
+        assert_send_sync::<EdgeEncoder>();
+        assert_send_sync::<Features>();
+    }
+
+    #[test]
+    fn frozen_extraction_is_bit_identical_to_interning() {
+        let docs = [
+            "<a><b><c/></b><d/></a>",
+            "<a><a><b/><c/></a><b/><c><d/></c></a>",
+            "<r><x><y><z/></y></x><x><y/></x></r>",
+        ];
+        for mode in [FeatureMode::SymmetricNorm, FeatureMode::SkewSpectral] {
+            let fx = FeatureExtractor {
+                mode,
+                ..Default::default()
+            };
+            let mut lt = LabelTable::new();
+            let mut enc_seq = EdgeEncoder::new();
+            let mut enc_frozen = EdgeEncoder::new();
+            let mut patterns = Vec::new();
+            for xml in docs {
+                let d = parse_document(xml, &mut lt).unwrap();
+                let (g, info) = build_document_graph(&d);
+                patterns.push((g, info.root));
+            }
+            // Two-phase: discovery sweep, then frozen extraction.
+            for (g, root) in &patterns {
+                fx.discover_edges(g, *root, &mut enc_frozen);
+            }
+            for (g, root) in &patterns {
+                let (seq, fb_seq) = fx.extract_interning(g, *root, &mut enc_seq);
+                let (frz, fb_frz) = fx.extract_frozen(g, *root, &enc_frozen);
+                assert_eq!(fb_seq, fb_frz);
+                assert_eq!(seq.lmax.to_bits(), frz.lmax.to_bits(), "{mode:?}");
+                assert_eq!(seq.lmin.to_bits(), frz.lmin.to_bits(), "{mode:?}");
+                assert_eq!(seq.sigma2.to_bits(), frz.sigma2.to_bits(), "{mode:?}");
+                assert_eq!(seq.bloom, frz.bloom);
+                assert_eq!(seq.root, frz.root);
+            }
+            // Both encoders saw the same edges in the same order.
+            assert_eq!(enc_seq.len(), enc_frozen.len());
+        }
+    }
+
+    #[test]
+    fn frozen_extraction_applies_oversize_fallback() {
+        let mut lt = LabelTable::new();
+        let mut enc = EdgeEncoder::new();
+        let d = parse_document("<a><b/><c/></a>", &mut lt).unwrap();
+        let (g, info) = build_document_graph(&d);
+        let fx = FeatureExtractor {
+            max_edges: 1,
+            ..Default::default()
+        };
+        assert_eq!(fx.discover_edges(&g, info.root, &mut enc), 2);
+        let (f, fell_back) = fx.extract_frozen(&g, info.root, &enc);
+        assert!(fell_back);
+        assert!(f.is_unbounded());
     }
 
     #[test]

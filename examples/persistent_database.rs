@@ -1,78 +1,82 @@
-//! Persistence and planning: build an index, save it as one `.fixdb` file,
-//! load it back, insert more documents incrementally, and let the
+//! Persistence and planning: build a database, save it as one `.fixdb`
+//! file, open it back, insert more documents incrementally, and let the
 //! histogram-based planner pick index-vs-scan per query.
 //!
 //! Run with: `cargo run --release --example persistent_database`
 
-use fix::core::{load_database, save_database, Collection, FixIndex, FixOptions, LambdaHistogram};
+use fix::core::LambdaHistogram;
 use fix::datagen::{tcmd, GenConfig};
 use fix::xpath::parse_path;
+use fix::{FixDatabase, FixError, FixOptions};
 
-fn main() {
+fn main() -> Result<(), FixError> {
     let dir = std::env::temp_dir().join("fix-example-db");
     std::fs::create_dir_all(&dir).expect("temp dir");
     let path = dir.join("articles.fixdb");
+    std::fs::remove_file(&path).ok();
 
-    // 1. Build and save.
-    let mut coll = Collection::new();
+    // 1. Open (fresh path → empty database bound to it), fill, build with
+    //    the parallel pipeline, save.
+    let mut db = FixDatabase::open(&path)?;
     for doc in tcmd(GenConfig::scaled(0.2)) {
-        coll.add_xml(&doc).expect("generated XML parses");
+        db.add_xml(&doc)?;
     }
-    let index = FixIndex::build(&mut coll, FixOptions::collection());
-    save_database(&path, &coll, &index).expect("save");
+    let stats = *db.build(FixOptions::builder().threads(0).build())?;
+    println!(
+        "built {} entries with {} threads (stream {:?}, extract {:?})",
+        stats.entries, stats.threads, stats.stream_time, stats.extract_time
+    );
+    db.save()?;
+    let entries = db.stats().expect("built").entries;
     println!(
         "saved {} documents / {} entries to {} ({} KiB)",
-        coll.len(),
-        index.entry_count(),
+        db.len(),
+        entries,
         path.display(),
         std::fs::metadata(&path)
             .map(|m| m.len() / 1024)
             .unwrap_or(0)
     );
 
-    // 2. Load into a fresh process state; results must be identical.
-    let (loaded_coll, loaded_idx) = load_database(&path).expect("load");
+    // 2. Open into fresh process state; results must be identical.
+    let reopened = FixDatabase::open(&path)?;
     let q = "/article/epilog[acknoledgements]/references/a_id";
-    let before = index.query(&coll, q).expect("covered").results.len();
-    let after = loaded_idx
-        .query(&loaded_coll, q)
-        .expect("covered")
-        .results
-        .len();
+    let before = db.query(q)?.results.len();
+    let after = reopened.query(q)?.results.len();
     assert_eq!(before, after);
-    println!("reloaded: {q} -> {after} results (identical to pre-save)");
+    println!("reopened: {q} -> {after} results (identical to pre-save)");
 
-    // 3. Incremental insert into the in-memory index.
-    let mut live_coll = Collection::new();
+    // 3. Incremental insert: an unclustered in-memory database keeps its
+    //    construction state, so post-build adds stream straight into the
+    //    index.
+    let mut live = FixDatabase::in_memory();
     for doc in tcmd(GenConfig::scaled(0.05)) {
-        live_coll.add_xml(&doc).expect("parses");
+        live.add_xml(&doc)?;
     }
-    let mut live = FixIndex::build(&mut live_coll, FixOptions::collection());
-    let added = live
-        .insert_xml(
-            &mut live_coll,
-            "<article><prolog><title>fresh</title><authors><author><name>N</name></author></authors></prolog><epilog><references><a_id>r1</a_id></references></epilog></article>",
-        )
-        .expect("well-formed")
-        .expect("unclustered index accepts inserts");
+    live.build(FixOptions::collection())?;
+    let added = live.add_xml(
+        "<article><prolog><title>fresh</title><authors><author><name>N</name></author></authors></prolog><epilog><references><a_id>r1</a_id></references></epilog></article>",
+    )?;
     println!(
         "inserted doc {} incrementally; index now has {} entries",
         added.0,
-        live.entry_count()
+        live.stats().expect("built").entries
     );
 
     // 4. Histogram-based planning (Section 5's cost-model suggestion).
-    let hist = LambdaHistogram::build(&live);
+    let idx = live.index().expect("built");
+    let hist = LambdaHistogram::build(idx);
     for q in [
         "/article/epilog[acknoledgements]/references/a_id", // selective
         "/article/prolog",                                  // matches almost everything
     ] {
-        let path = parse_path(q).expect("parseable");
-        let plan = live.plan(&live_coll, &hist, &path, 0.3);
-        let (chosen, results) = live.query_auto(&live_coll, &hist, &path, 0.3);
+        let qp = parse_path(q).expect("parseable");
+        let plan = idx.plan(live.collection(), &hist, &qp, 0.3);
+        let (chosen, results) = idx.query_auto(live.collection(), &hist, &qp, 0.3);
         assert_eq!(plan, chosen);
         println!("{q}\n  plan {plan:?} -> {} results", results.len());
     }
 
     std::fs::remove_dir_all(&dir).ok();
+    Ok(())
 }

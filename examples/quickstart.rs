@@ -1,31 +1,35 @@
-//! Quick start: build a FIX index over a handful of bibliography documents
-//! and run a few twig queries, printing results and the pruning metrics.
+//! Quick start: build a FIX database over a handful of bibliography
+//! documents and run a few twig queries, printing results and the pruning
+//! metrics.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use fix::core::{Collection, FixIndex, FixOptions};
+use fix::{FixDatabase, FixError, FixOptions};
 
-fn main() {
-    // 1. A small collection of documents sharing one label table.
-    let mut coll = Collection::new();
+fn main() -> Result<(), FixError> {
+    // 1. A database starts as an empty document collection.
+    let mut db = FixDatabase::in_memory();
     for xml in [
         "<bib><article><author><email/></author><title>Holistic twig joins</title><ee/></article></bib>",
         "<bib><book><author><phone/></author><title>Data on the Web</title></book></bib>",
         "<bib><article><author><phone/><email/></author><title>Structural joins</title></article></bib>",
         "<bib><inproceedings><author/><title>NoK</title><url/></inproceedings></bib>",
     ] {
-        coll.add_xml(xml).expect("well-formed example document");
+        db.add_xml(xml)?;
     }
 
     // 2. Build the index: collection mode (one entry per document, keyed by
     //    the spectral features of the document's bisimulation pattern).
-    let index = FixIndex::build(&mut coll, FixOptions::collection());
+    //    `threads(0)` fans the construction pipeline out across all cores —
+    //    the result is bit-identical to a sequential build.
+    let stats = *db.build(FixOptions::builder().threads(0).build())?;
     println!(
-        "indexed {} documents as {} entries ({} distinct patterns, B-tree {} bytes)\n",
-        coll.len(),
-        index.entry_count(),
-        index.stats().distinct_patterns,
-        index.stats().btree_bytes,
+        "indexed {} documents as {} entries ({} distinct patterns, B-tree {} bytes, {} threads)\n",
+        db.len(),
+        stats.entries,
+        stats.distinct_patterns,
+        stats.btree_bytes,
+        stats.threads,
     );
 
     // 3. Queries: the index prunes, the NoK-style navigator refines.
@@ -35,7 +39,7 @@ fn main() {
         "//book/author/phone",
         "//article/title",
     ] {
-        let out = index.query(&coll, query).expect("valid query");
+        let out = db.query(query)?;
         println!("{query}");
         println!(
             "  candidates {}/{} (pruning power {:.0}%), results {}, false-positive ratio {:.0}%",
@@ -45,6 +49,7 @@ fn main() {
             out.results.len(),
             100.0 * out.metrics.fpr(),
         );
+        let coll = db.collection();
         for (doc, node) in &out.results {
             let d = coll.doc(*doc);
             let label = coll.labels.resolve(d.label(*node).expect("element result"));
@@ -52,4 +57,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -1,7 +1,7 @@
 //! `fixdb` — command-line front end for the FIX index.
 //!
 //! ```text
-//! fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] <file.xml>...
+//! fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...
 //! fixdb query  <db> <xpath> [--metrics] [--show N] [--plan] [--explain]
 //! fixdb insert <db> <file.xml>...
 //! fixdb remove <db> <doc-id>...
@@ -13,13 +13,15 @@
 //! `build` indexes XML files into a self-contained database file; `query`
 //! runs an XPath twig over it; `insert` appends documents incrementally
 //! (unclustered databases); `gen` writes the paper-shaped synthetic
-//! corpora for experimentation.
+//! corpora for experimentation. Everything routes through the
+//! [`FixDatabase`] facade.
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use fix::core::{load_database, save_database, Collection, FixIndex, FixOptions, QueryError};
+use fix::core::{Collection, QueryError};
 use fix::datagen::GenConfig;
+use fix::{FixDatabase, FixError, FixOptions};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,7 +37,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fixdb <build|query|insert|stats|gen> ...\n\
                  \n\
-                 fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] <file.xml>...\n\
+                 fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...\n\
                  fixdb query  <db> <xpath> [--metrics] [--show N] [--plan] [--explain]\n\
                  fixdb insert <db> <file.xml>...\n\
                  fixdb remove <db> <doc-id>...\n\
@@ -59,38 +61,54 @@ fn err(msg: impl Into<String>) -> Box<dyn std::error::Error> {
     msg.into().into()
 }
 
+/// Opens an existing database, rejecting paths that do not exist yet
+/// (`FixDatabase::open` would silently start an empty one).
+fn open_existing(path: &str) -> Result<FixDatabase, Box<dyn std::error::Error>> {
+    if !std::path::Path::new(path).exists() {
+        return Err(err(format!("no such database: {path}")));
+    }
+    Ok(FixDatabase::open(path)?)
+}
+
 fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut db: Option<PathBuf> = None;
+    let mut db_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
-    let mut opts = FixOptions::collection();
-    let mut depth_limit = 0usize;
+    let mut builder = FixOptions::builder();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--depth-limit" => {
-                depth_limit = it
+                let k: usize = it
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err("--depth-limit needs an integer"))?;
+                builder = builder.depth_limit(k);
             }
-            "--clustered" => opts.clustered = true,
+            "--clustered" => builder = builder.clustered(true),
             "--values" => {
-                let beta = it
+                let beta: u32 = it
                     .next()
                     .and_then(|s| s.parse().ok())
+                    .filter(|&b| b > 0)
                     .ok_or_else(|| err("--values needs a positive integer"))?;
-                opts.value_beta = Some(beta);
+                builder = builder.values(beta);
             }
-            "--bloom" => opts.edge_bloom = true,
-            _ if db.is_none() => db = Some(PathBuf::from(a)),
+            "--bloom" => builder = builder.edge_bloom(true),
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--threads needs an integer (0 = all cores)"))?;
+                builder = builder.threads(n);
+            }
+            _ if db_path.is_none() => db_path = Some(PathBuf::from(a)),
             _ => files.push(PathBuf::from(a)),
         }
     }
-    let db = db.ok_or_else(|| err("missing database path"))?;
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
     if files.is_empty() {
         return Err(err("no input files"));
     }
-    opts.depth_limit = depth_limit;
 
     let mut coll = Collection::new();
     for f in &files {
@@ -100,16 +118,23 @@ fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             .map_err(|e| err(format!("{}: {e}", f.display())))?;
         coll.add_document(doc);
     }
-    let idx = FixIndex::build(&mut coll, opts);
-    save_database(&db, &coll, &idx)?;
-    let s = idx.stats();
+    let mut db = FixDatabase::from_parts(coll, None);
+    db.build(builder.build())?;
+    db.save_as(&db_path)?;
+    let s = *db.stats().expect("freshly built");
     println!(
         "indexed {} documents ({} entries, {} distinct patterns) in {:?}",
-        coll.len(),
+        db.len(),
         s.entries,
         s.distinct_patterns,
         s.build_time
     );
+    if s.threads > 1 {
+        println!(
+            "threads: {} (stream {:?}, discover {:?}, extract {:?}, load {:?})",
+            s.threads, s.stream_time, s.discover_time, s.extract_time, s.load_time
+        );
+    }
     println!(
         "index size: {} KiB (B-tree {} KiB{})",
         s.index_bytes() / 1024,
@@ -120,12 +145,12 @@ fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             String::new()
         }
     );
-    println!("written to {}", db.display());
+    println!("written to {}", db_path.display());
     Ok(())
 }
 
 fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let mut db: Option<&str> = None;
+    let mut db_path: Option<&str> = None;
     let mut xpath: Option<&str> = None;
     let mut metrics = false;
     let mut plan = false;
@@ -143,27 +168,30 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err("--show needs an integer"))?;
             }
-            _ if db.is_none() => db = Some(a),
+            _ if db_path.is_none() => db_path = Some(a),
             _ if xpath.is_none() => xpath = Some(a),
             other => return Err(err(format!("unexpected argument `{other}`"))),
         }
     }
-    let db = db.ok_or_else(|| err("missing database path"))?;
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
     let xpath = xpath.ok_or_else(|| err("missing query"))?;
-    let (coll, idx) = load_database(Path::new(db))?;
+    let db = open_existing(db_path)?;
+    let coll = db.collection();
     if explain {
+        let idx = db.index().ok_or(FixError::NoIndex)?;
         let path = fix::xpath::parse_path(xpath).map_err(|e| err(e.to_string()))?;
-        let e = idx.explain(&coll, &path).map_err(|e| err(e.to_string()))?;
+        let e = idx.explain(coll, &path).map_err(|e| err(e.to_string()))?;
         print!("{e}");
         return Ok(());
     }
     if plan {
         // Histogram-based plan selection (Section 5's cost model): run
         // whichever of index-probe or full scan the estimate prefers.
+        let idx = db.index().ok_or(FixError::NoIndex)?;
         let path = fix::xpath::parse_path(xpath).map_err(|e| err(e.to_string()))?;
-        let hist = fix::core::LambdaHistogram::build(&idx);
+        let hist = fix::core::LambdaHistogram::build(idx);
         let t = std::time::Instant::now();
-        let (chosen, results) = idx.query_auto(&coll, &hist, &path, 0.1);
+        let (chosen, results) = idx.query_auto(coll, &hist, &path, 0.1);
         println!("plan: {chosen:?}");
         println!("{} results in {:?}", results.len(), t.elapsed());
         for (doc, node) in results.iter().take(show) {
@@ -174,12 +202,12 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let t = std::time::Instant::now();
-    let out = match idx.query(&coll, xpath) {
+    let out = match db.query(xpath) {
         Ok(o) => o,
-        Err(QueryError::NotCovered {
+        Err(FixError::Query(QueryError::NotCovered {
             query_depth,
             depth_limit,
-        }) => {
+        })) => {
             return Err(err(format!(
                 "query depth {query_depth} exceeds the index depth limit {depth_limit}; \
                  rebuild with a larger --depth-limit"
@@ -215,75 +243,82 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db = args.first().ok_or_else(|| err("missing database path"))?;
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
     if args.len() < 2 {
         return Err(err("no input files"));
     }
-    let (mut coll, idx) = load_database(Path::new(db))?;
+    let db = open_existing(db_path)?;
     // Indexes loaded from disk have dropped their construction state;
-    // rebuild it by re-indexing (still correct, and the database file is
-    // the source of truth). Honest limitation, reported to the user.
-    let mut opts = idx.options().clone();
+    // rebuild by re-indexing (still correct, and the database file is the
+    // source of truth). Honest limitation, reported to the user.
+    let opts = db
+        .index()
+        .ok_or_else(|| err("database has no index"))?
+        .options()
+        .clone();
     if opts.clustered {
         return Err(err(
             "clustered databases cannot absorb inserts; rebuild instead",
         ));
     }
+    let (mut coll, _) = db.into_parts();
     for f in &args[1..] {
         let xml = std::fs::read_to_string(f)?;
         coll.add_xml(&xml).map_err(|e| err(format!("{f}: {e}")))?;
     }
-    opts.pool_pages = opts.pool_pages.max(1);
-    let idx = FixIndex::build(&mut coll, opts);
-    save_database(Path::new(db), &coll, &idx)?;
+    let mut db = FixDatabase::from_parts(coll, None);
+    db.build(opts)?;
+    db.save_as(db_path)?;
     println!(
         "database now holds {} documents, {} entries",
-        coll.len(),
-        idx.entry_count()
+        db.len(),
+        db.stats().expect("freshly built").entries
     );
     Ok(())
 }
 
 fn remove(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db = args.first().ok_or_else(|| err("missing database path"))?;
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
     if args.len() < 2 {
         return Err(err("no document ids"));
     }
-    let (coll, mut idx) = load_database(Path::new(db))?;
+    let mut db = open_existing(db_path)?;
     for a in &args[1..] {
         let id: u32 = a.parse().map_err(|_| err(format!("bad doc id `{a}`")))?;
-        if id as usize >= coll.len() {
-            return Err(err(format!("doc id {id} out of range (0..{})", coll.len())));
+        if id as usize >= db.len() {
+            return Err(err(format!("doc id {id} out of range (0..{})", db.len())));
         }
-        idx.remove_document(fix::core::DocId(id));
+        db.remove_document(fix::core::DocId(id))?;
     }
-    save_database(Path::new(db), &coll, &idx)?;
+    db.save()?;
     println!(
         "{} documents tombstoned ({} total live); run `fixdb vacuum` to reclaim space",
         args.len() - 1,
-        coll.len() - idx.removed_count()
+        db.len() - db.index().map(|i| i.removed_count()).unwrap_or(0)
     );
     Ok(())
 }
 
 fn vacuum(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db = args.first().ok_or_else(|| err("missing database path"))?;
-    let (coll, idx) = load_database(Path::new(db))?;
-    let before = idx.removed_count();
-    let (fresh_coll, fresh_idx) = idx.vacuum(&coll);
-    save_database(Path::new(db), &fresh_coll, &fresh_idx)?;
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
+    let mut db = open_existing(db_path)?;
+    let before = db.index().map(|i| i.removed_count()).unwrap_or(0);
+    db.vacuum()?;
+    db.save()?;
     println!(
         "vacuumed {} tombstoned documents; database now holds {} documents / {} entries",
         before,
-        fresh_coll.len(),
-        fresh_idx.entry_count()
+        db.len(),
+        db.index().map(|i| i.entry_count()).unwrap_or(0)
     );
     Ok(())
 }
 
 fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db = args.first().ok_or_else(|| err("missing database path"))?;
-    let (coll, idx) = load_database(Path::new(db))?;
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
+    let db = open_existing(db_path)?;
+    let coll = db.collection();
+    let idx = db.index().ok_or_else(|| err("database has no index"))?;
     let cs = coll.stats();
     let is = idx.stats();
     let o = idx.options();

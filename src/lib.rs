@@ -30,20 +30,44 @@
 //!
 //! ## Quick start
 //!
+//! [`FixDatabase`] is the facade: open (or create) a database, add
+//! documents, build, query. [`FixOptions::builder`] names every
+//! construction knob; `threads(n)` parallelises the build pipeline with a
+//! bit-identical result (0 = all cores). Every failure is one
+//! [`FixError`].
+//!
+//! ```
+//! use fix::{FixDatabase, FixOptions};
+//!
+//! # fn main() -> Result<(), fix::FixError> {
+//! let mut db = FixDatabase::in_memory();
+//! db.add_xml("<bib><article><author/><ee/></article></bib>")?;
+//! db.add_xml("<bib><book><author/></book></bib>")?;
+//!
+//! db.build(FixOptions::builder().depth_limit(6).threads(2).build())?;
+//! let out = db.query("//article[author]/ee")?;
+//! assert_eq!(out.results.len(), 1);
+//! println!("pruning power: {:.2}", out.metrics.pp());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The lower-level pieces stay available for code that wants to own them:
+//!
 //! ```
 //! use fix::core::{Collection, FixIndex, FixOptions};
 //!
 //! let mut coll = Collection::new();
 //! coll.add_xml("<bib><article><author/><ee/></article></bib>").unwrap();
-//! coll.add_xml("<bib><book><author/></book></bib>").unwrap();
-//!
 //! let index = FixIndex::build(&mut coll, FixOptions::collection());
-//! let out = index.query(&coll, "//article[author]/ee").unwrap();
-//! assert_eq!(out.results.len(), 1);
-//! println!("pruning power: {:.2}", out.metrics.pp());
+//! assert_eq!(index.query(&coll, "//article/author").unwrap().results.len(), 1);
 //! ```
 
 pub use fix_core as core;
+
+// The facade types, re-exported at the root: most applications need
+// nothing beyond these three.
+pub use fix_core::{FixDatabase, FixError, FixOptions};
 
 /// XML data model, parser, and event streams (`fix-xml`).
 pub mod xml {

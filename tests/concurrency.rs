@@ -2,10 +2,12 @@
 //! queries go through the buffer pool's internal lock), and all threads
 //! must see identical, correct results.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use fix::core::{Collection, FixIndex, FixOptions};
-use fix::datagen::{xmark, GenConfig};
+use fix::datagen::{tcmd, xmark, GenConfig};
+use fix::FixDatabase;
 
 #[test]
 fn parallel_queries_agree_with_serial() {
@@ -49,6 +51,83 @@ fn parallel_queries_agree_with_serial() {
         for h in handles {
             let counts = h.join().expect("no panics in worker threads");
             assert_eq!(counts, reference, "thread saw different results");
+        }
+    });
+}
+
+#[test]
+fn queries_run_concurrently_with_a_parallel_build() {
+    // A parallel build on one database must not disturb readers of
+    // another, and the freshly built index must answer correctly from
+    // many threads immediately afterwards.
+    let docs = tcmd(GenConfig::scaled(0.2));
+    let queries = [
+        "/article/prolog",
+        "/article/epilog[acknoledgements]/references/a_id",
+        "//authors/author",
+    ];
+
+    // A pre-built database that reader threads hammer throughout.
+    let mut served = FixDatabase::in_memory();
+    for d in &docs {
+        served.add_xml(d).unwrap();
+    }
+    served.build(FixOptions::collection()).unwrap();
+    let served = Arc::new(served);
+    let reference: Vec<usize> = queries
+        .iter()
+        .map(|q| served.query(q).unwrap().results.len())
+        .collect();
+
+    let building = AtomicBool::new(true);
+    let fresh = std::thread::scope(|s| {
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let served = Arc::clone(&served);
+            let building = &building;
+            let reference = &reference;
+            readers.push(s.spawn(move || {
+                let mut rounds = 0usize;
+                while building.load(Ordering::Relaxed) || rounds < 3 {
+                    for (q, want) in queries.iter().zip(reference) {
+                        assert_eq!(served.query(q).unwrap().results.len(), *want);
+                    }
+                    rounds += 1;
+                }
+            }));
+        }
+
+        // The build itself runs its own worker pool while readers spin.
+        let mut db = FixDatabase::in_memory();
+        for d in &docs {
+            db.add_xml(d).unwrap();
+        }
+        db.build(FixOptions::builder().threads(4).build()).unwrap();
+        building.store(false, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+        db
+    });
+
+    // After the build: the new index is queried from many threads and must
+    // agree with the serially queried pre-built database.
+    assert_eq!(
+        fresh.stats().unwrap().entries,
+        served.stats().unwrap().entries
+    );
+    let fresh = Arc::new(fresh);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let fresh = Arc::clone(&fresh);
+            let reference = &reference;
+            s.spawn(move || {
+                for _ in 0..5 {
+                    for (q, want) in queries.iter().zip(reference) {
+                        assert_eq!(fresh.query(q).unwrap().results.len(), *want);
+                    }
+                }
+            });
         }
     });
 }

@@ -1,0 +1,149 @@
+//! Parallel-build determinism: the phased pipeline must produce a
+//! bit-identical index at every thread count — same B-tree keys and
+//! values, same stats, same query outcomes — on the paper-shaped corpora.
+
+use fix::core::{Collection, FixIndex, FixOptions};
+use fix::datagen::{dblp, tcmd, xmark, GenConfig};
+use fix::FixDatabase;
+
+fn keys_of(idx: &FixIndex) -> Vec<(Vec<u8>, u64)> {
+    idx.entries()
+        .map(|(k, v)| (k.encode().to_vec(), v))
+        .collect()
+}
+
+fn build(docs: &[String], opts: FixOptions) -> (Collection, FixIndex) {
+    let mut coll = Collection::new();
+    for d in docs {
+        coll.add_xml(d).unwrap();
+    }
+    let idx = FixIndex::build(&mut coll, opts);
+    (coll, idx)
+}
+
+fn assert_identical(
+    reference: &(Collection, FixIndex),
+    other: &(Collection, FixIndex),
+    queries: &[&str],
+    label: &str,
+) {
+    let (rs, os) = (reference.1.stats(), other.1.stats());
+    assert_eq!(rs.entries, os.entries, "{label}: entry counts differ");
+    assert_eq!(
+        rs.distinct_patterns, os.distinct_patterns,
+        "{label}: distinct patterns differ"
+    );
+    assert_eq!(rs.fallbacks, os.fallbacks, "{label}: fallbacks differ");
+    assert_eq!(
+        keys_of(&reference.1),
+        keys_of(&other.1),
+        "{label}: B-tree keys/values differ"
+    );
+    for q in queries {
+        let a = reference.1.query(&reference.0, q).unwrap();
+        let b = other.1.query(&other.0, q).unwrap();
+        assert_eq!(a.results, b.results, "{label}: results differ on {q}");
+        assert_eq!(a.metrics, b.metrics, "{label}: metrics differ on {q}");
+    }
+}
+
+#[test]
+fn collection_mode_bit_identical_across_thread_counts() {
+    // Many small documents → phase 1 (streaming) actually fans out.
+    let docs = tcmd(GenConfig::scaled(0.3));
+    assert!(docs.len() > 8, "corpus must exceed the widest worker pool");
+    let queries = [
+        "/article/prolog",
+        "/article/epilog[acknoledgements]/references/a_id",
+        "//authors/author",
+    ];
+    let reference = build(&docs, FixOptions::collection());
+    assert_eq!(reference.1.stats().threads, 1);
+    for t in [2usize, 4, 8] {
+        let parallel = build(&docs, FixOptions::collection().with_threads(t));
+        assert_eq!(parallel.1.stats().threads, t);
+        assert_identical(&reference, &parallel, &queries, &format!("tcmd t={t}"));
+    }
+}
+
+#[test]
+fn large_document_mode_bit_identical_across_thread_counts() {
+    // One big document → phase 3 (extraction) carries the parallelism.
+    let docs = vec![xmark(GenConfig::scaled(0.1))];
+    let queries = [
+        "//item/mailbox/mail",
+        "//open_auction[seller]/annotation/description/text",
+        "//description/parlist/listitem",
+    ];
+    let reference = build(&docs, FixOptions::large_document(6));
+    for t in [2usize, 4, 8] {
+        let parallel = build(&docs, FixOptions::large_document(6).with_threads(t));
+        assert_identical(&reference, &parallel, &queries, &format!("xmark t={t}"));
+    }
+}
+
+#[test]
+fn value_and_clustered_modes_stay_deterministic() {
+    let docs = vec![dblp(GenConfig::scaled(0.1))];
+    let queries = ["//inproceedings[url]/title", "//article/author"];
+    let value_opts = |t: usize| {
+        FixOptions::builder()
+            .depth_limit(6)
+            .values(16)
+            .threads(t)
+            .build()
+    };
+    // Value mode streams sequentially (label interning) but extraction
+    // still fans out — results must not change.
+    let reference = build(&docs, value_opts(1));
+    let parallel = build(&docs, value_opts(4));
+    assert_identical(&reference, &parallel, &queries, "dblp values t=4");
+
+    let clustered_opts = |t: usize| {
+        FixOptions::builder()
+            .depth_limit(6)
+            .clustered(true)
+            .threads(t)
+            .build()
+    };
+    let reference = build(&docs, clustered_opts(1));
+    let parallel = build(&docs, clustered_opts(4));
+    // Clustered values are heap record ids; identical keys and rids mean
+    // the copy heap was laid out identically too.
+    assert_identical(&reference, &parallel, &queries, "dblp clustered t=4");
+    for ((_, va), (_, vb)) in keys_of(&reference.1).iter().zip(keys_of(&parallel.1)) {
+        assert_eq!(va, &vb, "clustered record ids diverged");
+    }
+}
+
+#[test]
+fn on_disk_parallel_build_matches_in_memory() {
+    let dir = std::env::temp_dir().join(format!("fix-par-disk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let pages = dir.join("par.pages");
+
+    let docs = tcmd(GenConfig::scaled(0.1));
+    let reference = build(&docs, FixOptions::collection());
+
+    let mut db = FixDatabase::in_memory();
+    for d in &docs {
+        db.add_xml(d).unwrap();
+    }
+    db.build_on_disk(
+        FixOptions::builder().threads(4).pool_pages(64).build(),
+        &pages,
+    )
+    .unwrap();
+    assert!(pages.exists());
+    assert_eq!(
+        keys_of(&reference.1),
+        keys_of(db.index().unwrap()),
+        "on-disk parallel keys differ from in-memory sequential"
+    );
+    let q = "/article/epilog[acknoledgements]/references/a_id";
+    assert_eq!(
+        reference.1.query(&reference.0, q).unwrap().results,
+        db.query(q).unwrap().results
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

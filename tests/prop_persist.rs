@@ -1,10 +1,12 @@
 //! Persistence property test: for arbitrary collections and index
-//! configurations, save → load must reproduce identical query outcomes
-//! (results *and* metrics), including tombstones.
+//! configurations, save → open must reproduce identical query outcomes
+//! (results *and* metrics), including tombstones. Exercises the
+//! `FixDatabase` facade end to end.
 
 use proptest::prelude::*;
 
-use fix::core::{load_database, save_database, Collection, DocId, FixIndex, FixOptions};
+use fix::core::DocId;
+use fix::{FixDatabase, FixOptions};
 
 fn doc_strategy() -> impl Strategy<Value = String> {
     #[derive(Debug, Clone)]
@@ -47,17 +49,18 @@ fn options_strategy() -> impl Strategy<Value = FixOptions> {
         prop::bool::ANY,
         prop::option::of(1u32..16),
         prop::bool::ANY,
+        1usize..5,
     )
-        .prop_map(|(depth, clustered, beta, bloom)| {
-            let mut o = if depth == 0 {
-                FixOptions::collection()
-            } else {
-                FixOptions::large_document(depth)
-            };
-            o.clustered = clustered;
-            o.value_beta = beta;
-            o.edge_bloom = bloom;
-            o
+        .prop_map(|(depth, clustered, beta, bloom, threads)| {
+            let mut b = FixOptions::builder()
+                .depth_limit(depth)
+                .clustered(clustered)
+                .edge_bloom(bloom)
+                .threads(threads);
+            if let Some(beta) = beta {
+                b = b.values(beta);
+            }
+            b.build()
         })
 }
 
@@ -65,7 +68,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
-    fn save_load_is_an_identity_on_outcomes(
+    fn save_open_is_an_identity_on_outcomes(
         docs in prop::collection::vec(doc_strategy(), 1..5),
         opts in options_strategy(),
         remove_first in prop::bool::ANY,
@@ -76,25 +79,26 @@ proptest! {
         let path = dir.join(format!("case-{:x}.fixdb", rand_suffix(&docs)));
 
         let clustered = opts.clustered;
-        let mut coll = Collection::new();
+        let mut db = FixDatabase::in_memory();
         for d in &docs {
-            coll.add_xml(d).unwrap();
+            db.add_xml(d).unwrap();
         }
-        let mut idx = FixIndex::build(&mut coll, opts);
+        db.build(opts).unwrap();
         if remove_first && !clustered {
-            idx.remove_document(DocId(0));
+            db.remove_document(DocId(0)).unwrap();
         }
-        save_database(&path, &coll, &idx).unwrap();
-        let (lcoll, lidx) = load_database(&path).unwrap();
+        db.save_as(&path).unwrap();
+        let loaded = FixDatabase::open(&path).unwrap();
         std::fs::remove_file(&path).ok();
 
-        prop_assert_eq!(lcoll.len(), coll.len());
+        prop_assert_eq!(loaded.len(), db.len());
+        let (idx, lidx) = (db.index().unwrap(), loaded.index().unwrap());
         prop_assert_eq!(lidx.entry_count(), idx.entry_count());
         for (a, b) in &queries {
             let q = format!("//p{a}/p{b}");
             // Depth-1 indexes legitimately reject two-step queries; the
             // loaded index must reject them identically.
-            match (idx.query(&coll, &q), lidx.query(&lcoll, &q)) {
+            match (idx.query(db.collection(), &q), lidx.query(loaded.collection(), &q)) {
                 (Ok(x), Ok(y)) => {
                     prop_assert_eq!(&x.results, &y.results, "results differ on {}", q);
                     prop_assert_eq!(x.metrics, y.metrics, "metrics differ on {}", q);

@@ -1,0 +1,247 @@
+//! Minimal offline stand-in for the `criterion` bench harness.
+//!
+//! Implements the API subset the `fix-bench` benches use: groups,
+//! `bench_function` / `bench_with_input`, throughput/sample-size hints,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is
+//! deliberately simple (fixed wall-clock budget per benchmark, mean
+//! time per iteration printed to stdout); `--test` runs every benchmark
+//! exactly once, which is what CI smoke runs use.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    /// Wall-clock budget per benchmark outside `--test` mode.
+    measure_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in &args {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo bench passes through; ignored here.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Self {
+            test_mode,
+            filter,
+            measure_budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Throughput hint attached to a group (accepted, not reported).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Things accepted as a benchmark label.
+pub trait IntoBenchmarkLabel {
+    /// Converts to the printed label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.id
+    }
+}
+
+/// Timing helper handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for the configured iteration count, timing it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepts (and ignores) a throughput hint.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Accepts (and ignores) a sample-size hint.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkLabel, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.run(&label, |b| f(b));
+        self
+    }
+
+    /// Registers and immediately runs one benchmark over `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkLabel,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.run(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.criterion.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.criterion.test_mode {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            routine(&mut b);
+            println!("test {label} ... ok");
+            return;
+        }
+        // Calibrate: one timed iteration sizes the measurement batch.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let budget = self.criterion.measure_budget;
+        let iters = (budget.as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        let mean = b.elapsed / iters.max(1) as u32;
+        println!("{label}: {mean:?}/iter ({iters} iterations)");
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+            measure_budget: Duration::from_millis(1),
+        };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter(|| ran += n)
+        });
+        g.finish();
+        assert_eq!(ran, 4);
+    }
+}

@@ -1,0 +1,82 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the scoped-thread subset this workspace uses
+//! (`crossbeam::scope` + `Scope::spawn`) on top of `std::thread::scope`,
+//! which has been stable since Rust 1.63 and makes the old crossbeam
+//! scoped-thread machinery unnecessary.
+
+pub mod thread {
+    //! Scoped threads (`crossbeam::thread` API subset).
+
+    /// A scope for spawning borrowed threads; wraps [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; join is optional (the scope joins
+    /// stragglers on exit, as upstream crossbeam does).
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish and returns its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives
+        /// the scope again so it can spawn nested threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope in which borrowed threads can be spawned.
+    ///
+    /// Unlike upstream (which collects child panics into the `Err` arm),
+    /// a panicking child re-panics on scope exit via `std::thread::scope`;
+    /// the `Result` wrapper only preserves the upstream signature.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_borrows_stack_data() {
+        let data = [1u32, 2, 3];
+        let sum = crate::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u32>());
+            h.join().expect("child thread")
+        })
+        .expect("scope");
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = crate::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 41u32).join().expect("inner") + 1)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

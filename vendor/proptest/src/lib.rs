@@ -1,0 +1,871 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! Implements the API subset this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map` / `prop_flat_map` / `prop_recursive`,
+//! range and tuple and regex-literal strategies, `prop::collection::vec`,
+//! `prop::option::of`, `prop::bool::ANY`, `prop::sample::Index`,
+//! `prop_oneof!`, and the `proptest!` test macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from upstream, by design:
+//! - no shrinking — a failing case reports the generated input as-is;
+//! - generation is driven by a ChaCha8 stream seeded deterministically
+//!   from the test's module path, so runs are reproducible but the cases
+//!   differ from what upstream proptest would generate;
+//! - `.proptest-regressions` files are ignored.
+
+use std::fmt;
+use std::rc::Rc;
+
+use rand::Rng as _;
+use rand_chacha::rand_core::SeedableRng as _;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng(rand_chacha::ChaCha8Rng);
+
+impl TestRng {
+    /// Seeds deterministically from an arbitrary name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        Self(rand_chacha::ChaCha8Rng::seed_from_u64(h))
+    }
+}
+
+/// Error produced by one test case.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed.
+    Fail(String),
+    /// The inputs were rejected by `prop_assume!`; try another case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        Self::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        Self::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(r) => write!(f, "test case failed: {r}"),
+            Self::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for TestCaseError {
+    fn from(e: E) -> Self {
+        Self::Fail(e.to_string())
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { source: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S, F>(self, f: F) -> strategy::FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        strategy::FlatMap { source: self, f }
+    }
+
+    /// Recursive strategies: `self` generates leaves, `recurse` wraps an
+    /// inner strategy into a branch. `depth` bounds the nesting; the
+    /// size/branch hints are accepted for API compatibility.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            level = strategy::LeafOrBranch {
+                leaf: leaf.clone(),
+                branch: recurse(level).boxed(),
+            }
+            .boxed();
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub struct BoxedStrategy<V>(Rc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<V: fmt::Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+pub mod strategy {
+    //! Combinator strategies returned by [`Strategy`](crate::Strategy)
+    //! methods and the `prop_oneof!` macro.
+
+    use super::{fmt, BoxedStrategy, Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) source: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    /// One level of a recursive strategy: leaf or branch.
+    pub(crate) struct LeafOrBranch<V> {
+        pub(crate) leaf: BoxedStrategy<V>,
+        pub(crate) branch: BoxedStrategy<V>,
+    }
+
+    impl<V: fmt::Debug> Strategy for LeafOrBranch<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            // Favour branches so recursive structures get real depth.
+            if rng.0.gen_bool(0.7) {
+                self.branch.generate(rng)
+            } else {
+                self.leaf.generate(rng)
+            }
+        }
+    }
+
+    /// Uniform choice between strategies; built by `prop_oneof!`.
+    pub struct OneOf<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds from a non-empty option list.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V: fmt::Debug> Strategy for OneOf<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.0.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String-literal strategies: a small regex-subset interpreter covering
+/// the patterns this workspace uses (character classes, `.`, literals,
+/// `{m}` / `{m,n}` / `*` / `+` / `?` quantifiers).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        regex_lite::generate(self, rng)
+    }
+}
+
+mod regex_lite {
+    use super::TestRng;
+    use rand::Rng as _;
+
+    enum Atom {
+        Lit(char),
+        /// Inclusive character ranges.
+        Class(Vec<(char, char)>),
+        /// `.` — printable ASCII.
+        Any,
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '.' => Atom::Any,
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut class: Vec<char> = Vec::new();
+                    for c in chars.by_ref() {
+                        if c == ']' {
+                            break;
+                        }
+                        class.push(c);
+                    }
+                    let mut i = 0;
+                    while i < class.len() {
+                        if i + 2 < class.len() && class[i + 1] == '-' {
+                            ranges.push((class[i], class[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((class[i], class[i]));
+                            i += 1;
+                        }
+                    }
+                    assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                    Atom::Class(ranges)
+                }
+                '\\' => Atom::Lit(chars.next().expect("dangling escape")),
+                c => Atom::Lit(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.parse().expect("bad quantifier"),
+                            hi.parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n = spec.parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    pub(super) fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.0.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Any => out.push(char::from(rng.0.gen_range(0x20u8..=0x7E))),
+                    Atom::Class(ranges) => {
+                        let (lo, hi) = ranges[rng.0.gen_range(0..ranges.len())];
+                        out.push(
+                            char::from_u32(rng.0.gen_range(lo as u32..=hi as u32))
+                                .expect("class range within valid chars"),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Types with a canonical strategy, usable via [`any`].
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// A full-domain strategy for primitives.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::FromRng + fmt::Debug> Strategy for AnyPrim<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::from_rng(&mut rng.0)
+    }
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_prim!(u8, u32, u64, usize, bool, f64);
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// Accepted element-count specifications for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.0.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.0.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+
+    /// `None` a quarter of the time, otherwise `Some` of `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+}
+
+pub mod bool {
+    //! `bool` strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// The strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.0.gen_bool(0.5)
+        }
+    }
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+}
+
+pub mod sample {
+    //! Sampling helpers.
+
+    use super::{Arbitrary, Strategy, TestRng};
+    use rand::Rng as _;
+
+    /// An index into a not-yet-known-length collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects onto `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    /// The strategy type of `any::<Index>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct IndexStrategy;
+
+    impl Strategy for IndexStrategy {
+        type Value = Index;
+
+        fn generate(&self, rng: &mut TestRng) -> Index {
+            Index(rng.0.gen::<usize>())
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = IndexStrategy;
+
+        fn arbitrary() -> Self::Strategy {
+            IndexStrategy
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the `proptest!` macro.
+
+    use super::{ProptestConfig, Strategy, TestCaseError, TestRng};
+
+    /// Runs `cfg.cases` successful cases of `test` over `strategy`,
+    /// panicking (with the offending input) on the first failure.
+    pub fn run<S, F>(name: &str, cfg: &ProptestConfig, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::from_name(name);
+        let max_rejects = cfg.cases.saturating_mul(64).saturating_add(1024);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < cfg.cases {
+            let value = strategy.generate(&mut rng);
+            let rendered = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < max_rejects,
+                        "{name}: too many rejected cases ({rejected})"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(reason))) => {
+                    panic!("{name}: case #{passed} failed: {reason}\n    input: {rendered}")
+                }
+                Err(payload) => {
+                    eprintln!("{name}: case #{passed} panicked\n    input: {rendered}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: `#[test]` functions whose arguments are drawn
+/// from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (
+        cfg = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                &strategy,
+                #[allow(unreachable_code, unused_mut)]
+                |($($pat,)+)| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(::std::vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    pub mod prop {
+        //! Namespaced strategy modules (`prop::collection`, ...).
+        pub use crate::{bool, collection, option, sample, strategy};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn tree_strategy() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0u8..5, 1..4)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_vecs((a, n) in (0u8..5, 1usize..4), v in tree_strategy()) {
+            prop_assert!(a < 5);
+            prop_assert!((1..4).contains(&n));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+        }
+
+        #[test]
+        fn regex_and_oneof(s in "[a-z ]{1,12}", which in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            prop_assert!(which == 1 || which == 2, "got {}", which);
+        }
+
+        #[test]
+        fn assume_rejects_and_index_projects(n in 0u32..100, pick in any::<prop::sample::Index>()) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert!(pick.index(7) < 7);
+        }
+
+        #[test]
+        fn recursive_flat_map_exact_vec(
+            t in (0u8..3).prop_recursive(3, 16, 3, |inner| {
+                (0u8..3, prop::collection::vec(inner, 1..3)).prop_map(|(l, _)| l)
+            }),
+            (len, v) in (2usize..5).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0u64..10, n))
+            }),
+        ) {
+            prop_assert!(t < 3);
+            prop_assert_eq!(v.len(), len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case #0 failed")]
+    fn failing_property_panics_with_input() {
+        crate::test_runner::run(
+            "failing_property",
+            &ProptestConfig::with_cases(4),
+            &(0u8..5),
+            |_| Err(TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn question_mark_on_io_errors_converts() {
+        fn body() -> Result<(), TestCaseError> {
+            std::fs::read("/definitely/not/here/ever")?;
+            Ok(())
+        }
+        assert!(matches!(body(), Err(TestCaseError::Fail(_))));
+    }
+}
