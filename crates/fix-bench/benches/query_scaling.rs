@@ -1,0 +1,159 @@
+//! Query-serving scaling: a repeated-query workload through a
+//! [`QuerySession`] at 1..=N refinement threads, reporting the warm-cache
+//! wall-clock speedup over the sequential `FixDatabase::query` path and the
+//! plan-cache hit rate, and verifying on every configuration that the
+//! served outcomes are byte-identical to the sequential ones.
+//!
+//! Plain `main` (harness = false) so the sweep controls its own timing.
+//!
+//!   cargo bench -p fix-bench --bench query_scaling              # full sweep
+//!   cargo bench -p fix-bench --bench query_scaling -- --test    # CI smoke
+//!   cargo bench -p fix-bench --bench query_scaling -- --scale 0.5 --max-threads 8
+
+use std::time::{Duration, Instant};
+
+use fix_bench::{ms, Dataset};
+use fix_core::{FixDatabase, QueryOutcome, QuerySession};
+
+/// The Table 2 representative queries, grouped per data set — the serving
+/// workload repeats each group round after round, the way a query-serving
+/// process sees the same handful of application queries over and over.
+const WORKLOADS: [(Dataset, &[&str]); 4] = [
+    (
+        Dataset::Tcmd,
+        &[
+            "/article/epilog[acknoledgements]/references/a_id",
+            "/article/prolog[keywords]/authors/author/contact[phone]",
+            "/article[epilog]/prolog/authors/author",
+        ],
+    ),
+    (
+        Dataset::Dblp,
+        &[
+            "//proceedings[booktitle]/title[sup][i]",
+            "//article[number]/author",
+            "//inproceedings[url]/title",
+        ],
+    ),
+    (
+        Dataset::Xmark,
+        &[
+            "//category/description[parlist]/parlist/listitem/text",
+            "//closed_auction/annotation/description/text",
+            "//open_auction[seller]/annotation/description/text",
+        ],
+    ),
+    (
+        Dataset::Treebank,
+        &[
+            "//EMPTY/S/NP[PP]/NP",
+            "//S[VP]/NP/NP/PP/NP",
+            "//EMPTY/S[VP]/NP",
+        ],
+    ),
+];
+
+/// One timed pass: `rounds` repetitions of the whole query group.
+fn timed_rounds(rounds: usize, queries: &[&str], mut run: impl FnMut(&str)) -> Duration {
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        for q in queries {
+            run(q);
+        }
+    }
+    t0.elapsed()
+}
+
+/// Verifies every query's served outcome against the sequential reference.
+fn verify(session: &QuerySession, queries: &[&str], reference: &[QueryOutcome], label: &str) {
+    for (q, want) in queries.iter().zip(reference) {
+        let got = session.query(q).expect("reference query serves");
+        assert_eq!(&got, want, "{label}: served outcome diverged on {q}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let mut scale = if smoke { 0.05 } else { 1.0 };
+    let mut max_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(if smoke { 2 } else { 4 });
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale),
+            "--max-threads" => {
+                max_threads = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(max_threads)
+            }
+            _ => {}
+        }
+    }
+    let reps = if smoke { 1 } else { 3 };
+    let rounds = if smoke { 2 } else { 10 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "query_scaling: scale {scale}, {rounds} rounds/pass, threads 1..={max_threads}, {cores} host core(s), best of {reps} ({}):",
+        if smoke { "smoke" } else { "full" },
+    );
+    if max_threads > cores {
+        println!(
+            "  note: thread counts past {cores} oversubscribe this host — they verify \
+             determinism but time-slice one core, so expect no speedup from them here"
+        );
+    }
+    for (ds, queries) in WORKLOADS {
+        let mut db = FixDatabase::from_parts(ds.load(scale), None);
+        db.build(ds.default_options()).expect("index builds");
+
+        // Sequential reference: outcomes once, then the same repeated
+        // workload through the uncached single-threaded path.
+        let reference: Vec<QueryOutcome> = queries
+            .iter()
+            .map(|q| db.query(q).expect("reference query runs"))
+            .collect();
+        let base_time = (0..reps)
+            .map(|_| timed_rounds(rounds, queries, |q| drop(db.query(q).unwrap())))
+            .min()
+            .expect("reps >= 1");
+        println!(
+            "  {:<9} {} queries  sequential {:>9}",
+            ds.name(),
+            queries.len(),
+            ms(base_time),
+        );
+
+        let mut t = 1;
+        while t <= max_threads {
+            let session = db.session().expect("indexed database").with_threads(t);
+            // Cold pass: populates the plan cache and checks byte-identity.
+            verify(&session, queries, &reference, ds.name());
+            let time = (0..reps)
+                .map(|_| timed_rounds(rounds, queries, |q| drop(session.query(q).unwrap())))
+                .min()
+                .expect("reps >= 1");
+            // Re-check after the timed warm passes: eviction or reuse must
+            // not have changed a single byte.
+            verify(&session, queries, &reference, ds.name());
+            let stats = session.cache_stats();
+            println!(
+                "  {:<11}t={t:<2} {:>9}  speedup {:.2}x  cache {:.0}% hits ({}h/{}m)  (byte-identical)",
+                "", // align under the dataset row
+                ms(time),
+                base_time.as_secs_f64() / time.as_secs_f64().max(1e-9),
+                100.0 * stats.hit_rate(),
+                stats.hits,
+                stats.misses,
+            );
+            t *= 2;
+        }
+    }
+    println!("query_scaling: all thread counts byte-identical to the sequential path");
+}

@@ -110,8 +110,7 @@ pub struct FixIndex {
 }
 
 /// Builds an index with its pages in a `FileBackend` at `path` (backing
-/// implementation of `FixDatabase::build_on_disk` and the deprecated
-/// `FixIndex::build_on_disk`).
+/// implementation of `FixDatabase::build_on_disk`).
 pub(crate) fn build_on_disk_impl(
     coll: &mut Collection,
     opts: FixOptions,
@@ -233,22 +232,6 @@ impl FixIndex {
     pub fn build(coll: &mut Collection, opts: FixOptions) -> FixIndex {
         let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
         Self::build_on(coll, opts, pool)
-    }
-
-    /// Builds the index with its pages on disk at `path` (a real
-    /// `FileBackend` behind the buffer pool — the configuration for
-    /// corpora larger than memory). The resulting index behaves
-    /// identically; only the page I/O is physical.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `FixDatabase::build_on_disk` instead; this constructor will go away"
-    )]
-    pub fn build_on_disk(
-        coll: &mut Collection,
-        opts: FixOptions,
-        path: &std::path::Path,
-    ) -> std::io::Result<FixIndex> {
-        build_on_disk_impl(coll, opts, path)
     }
 
     /// The four-phase construction pipeline. Phases 1 and 3 fan out across
@@ -952,24 +935,6 @@ mod disk_tests {
         // The disk pool really does physical reads under pressure.
         disk.reset_io_stats();
         let _ = disk.query(&c2, "//author").unwrap();
-        std::fs::remove_dir_all(&dir).ok();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        // The pre-facade entry points must keep behaving until removal.
-        let dir = std::env::temp_dir().join(format!("fix-shim-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let pages = dir.join("shim.pages");
-        let db = dir.join("shim.fixdb");
-        let mut coll = Collection::new();
-        coll.add_xml("<a><b/></a>").unwrap();
-        let idx = FixIndex::build_on_disk(&mut coll, FixOptions::collection(), &pages).unwrap();
-        crate::persist::save_database(&db, &coll, &idx).unwrap();
-        let (lc, li) = crate::persist::load_database(&db).unwrap();
-        assert_eq!(li.entry_count(), 1);
-        assert_eq!(li.query(&lc, "//a/b").unwrap().results.len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -16,21 +16,37 @@
 //! assert_eq!(out.results.len(), 1);
 //! # Ok::<(), fix_core::FixError>(())
 //! ```
+//!
+//! # Snapshots and concurrency
+//!
+//! Collection and index live behind [`Arc`], so
+//! [`FixDatabase::session`] can hand out [`QuerySession`] snapshots that
+//! serve queries from any number of threads while the database itself
+//! stays usable for read-side admin work (more queries, [`save`], stats).
+//! Mutations (`add_xml`, `remove_document`) need exclusive ownership and
+//! return [`FixError::SnapshotInUse`] while sessions are alive;
+//! [`vacuum`] instead swaps in a *new* snapshot pair, leaving live
+//! sessions on the old (still consistent) one.
+//!
+//! [`save`]: FixDatabase::save
+//! [`vacuum`]: FixDatabase::vacuum
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use crate::builder::{BuildStats, FixIndex};
 use crate::collection::{Collection, DocId};
 use crate::error::FixError;
 use crate::options::FixOptions;
-use crate::query::QueryOutcome;
+use crate::query::{QueryHits, QueryOutcome};
+use crate::session::QuerySession;
 
 /// A FIX database: a document collection plus (once built or loaded) its
 /// index, optionally bound to a file path for persistence.
 pub struct FixDatabase {
     path: Option<PathBuf>,
-    coll: Collection,
-    index: Option<FixIndex>,
+    coll: Arc<Collection>,
+    index: Option<Arc<FixIndex>>,
 }
 
 impl FixDatabase {
@@ -38,7 +54,7 @@ impl FixDatabase {
     pub fn in_memory() -> Self {
         Self {
             path: None,
-            coll: Collection::new(),
+            coll: Arc::new(Collection::new()),
             index: None,
         }
     }
@@ -50,13 +66,13 @@ impl FixDatabase {
         let path = path.as_ref();
         let (coll, index) = if path.exists() {
             let (c, i) = crate::persist::load_impl(path)?;
-            (c, Some(i))
+            (c, Some(Arc::new(i)))
         } else {
             (Collection::new(), None)
         };
         Ok(Self {
             path: Some(path.to_path_buf()),
-            coll,
+            coll: Arc::new(coll),
             index,
         })
     }
@@ -66,14 +82,21 @@ impl FixDatabase {
     pub fn from_parts(coll: Collection, index: Option<FixIndex>) -> Self {
         Self {
             path: None,
-            coll,
-            index,
+            coll: Arc::new(coll),
+            index: index.map(Arc::new),
         }
     }
 
-    /// Tears the database back into its parts.
-    pub fn into_parts(self) -> (Collection, Option<FixIndex>) {
-        (self.coll, self.index)
+    /// Tears the database back into its parts. Fails with
+    /// [`FixError::SnapshotInUse`] while [`QuerySession`] snapshots are
+    /// alive, because the parts would no longer be exclusively owned.
+    pub fn into_parts(self) -> Result<(Collection, Option<FixIndex>), FixError> {
+        let coll = Arc::try_unwrap(self.coll).map_err(|_| FixError::SnapshotInUse)?;
+        let index = match self.index {
+            None => None,
+            Some(i) => Some(Arc::try_unwrap(i).map_err(|_| FixError::SnapshotInUse)?),
+        };
+        Ok((coll, index))
     }
 
     /// Adds one XML document. Before [`FixDatabase::build`] this only
@@ -82,18 +105,27 @@ impl FixDatabase {
     /// loaded indexes return [`FixError::ImmutableIndex`]).
     pub fn add_xml(&mut self, xml: &str) -> Result<DocId, FixError> {
         match &mut self.index {
-            None => Ok(self.coll.add_xml(xml)?),
-            Some(idx) => match idx.insert_xml(&mut self.coll, xml)? {
-                Some(id) => Ok(id),
-                None => Err(FixError::ImmutableIndex),
-            },
+            None => {
+                let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+                Ok(coll.add_xml(xml)?)
+            }
+            Some(idx) => {
+                let idx = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
+                let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+                match idx.insert_xml(coll, xml)? {
+                    Some(id) => Ok(id),
+                    None => Err(FixError::ImmutableIndex),
+                }
+            }
         }
     }
 
     /// Builds (or rebuilds) the index over the current collection with an
     /// in-memory page pool. Returns the construction statistics.
     pub fn build(&mut self, opts: FixOptions) -> Result<&BuildStats, FixError> {
-        self.index = Some(FixIndex::build(&mut self.coll, opts));
+        let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+        let idx = FixIndex::build(coll, opts);
+        self.index = Some(Arc::new(idx));
         Ok(self.stats().expect("index was just built"))
     }
 
@@ -104,33 +136,53 @@ impl FixDatabase {
         opts: FixOptions,
         pages: impl AsRef<Path>,
     ) -> Result<&BuildStats, FixError> {
-        self.index = Some(crate::builder::build_on_disk_impl(
-            &mut self.coll,
-            opts,
-            pages.as_ref(),
-        )?);
+        let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+        let idx = crate::builder::build_on_disk_impl(coll, opts, pages.as_ref())?;
+        self.index = Some(Arc::new(idx));
         Ok(self.stats().expect("index was just built"))
     }
 
-    /// Runs an XPath query through the index.
+    /// Runs an XPath query through the index — a thin collect over
+    /// [`FixDatabase::query_iter`].
     pub fn query(&self, query: &str) -> Result<QueryOutcome, FixError> {
+        Ok(self.query_iter(query)?.into_outcome())
+    }
+
+    /// Parses a query and returns a lazy iterator over its
+    /// `(document, node)` matches, in document order. Pruning runs up
+    /// front; refinement is paid one candidate document at a time, so
+    /// consumers that stop early skip the remaining evaluation work.
+    pub fn query_iter(&self, query: &str) -> Result<QueryHits<'_>, FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
-        Ok(idx.query(&self.coll, query)?)
+        Ok(idx.query_iter(&self.coll, query)?)
+    }
+
+    /// Opens a concurrent query snapshot: a cheaply cloneable,
+    /// `Send + Sync` handle over the current collection and index, with a
+    /// shared plan cache and parallel refinement (see [`QuerySession`]).
+    /// The session stays on this exact snapshot even if the database is
+    /// later vacuumed or rebuilt.
+    pub fn session(&self) -> Result<QuerySession, FixError> {
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        Ok(QuerySession::new(self.coll.clone(), idx.clone()))
     }
 
     /// Tombstones a document (see [`FixIndex::remove_document`]).
     pub fn remove_document(&mut self, doc: DocId) -> Result<(), FixError> {
         let idx = self.index.as_mut().ok_or(FixError::NoIndex)?;
+        let idx = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
         idx.remove_document(doc);
         Ok(())
     }
 
-    /// Rebuilds collection and index without tombstoned documents.
+    /// Rebuilds collection and index without tombstoned documents. This
+    /// *replaces* the snapshot rather than mutating it, so it works with
+    /// live sessions — they simply keep serving the pre-vacuum state.
     pub fn vacuum(&mut self) -> Result<(), FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
         let (coll, index) = idx.vacuum(&self.coll);
-        self.coll = coll;
-        self.index = Some(index);
+        self.coll = Arc::new(coll);
+        self.index = Some(Arc::new(index));
         Ok(())
     }
 
@@ -138,10 +190,7 @@ impl FixDatabase {
     /// [`FixDatabase::save_as`]). The index must exist — the file format
     /// stores collection and index together.
     pub fn save(&self) -> Result<(), FixError> {
-        let path = self
-            .path
-            .clone()
-            .ok_or_else(|| FixError::Io(std::io::Error::other("database has no bound path")))?;
+        let path = self.path.clone().ok_or(FixError::NoPath)?;
         self.save_to(&path)
     }
 
@@ -164,12 +213,12 @@ impl FixDatabase {
 
     /// The index, if one has been built or loaded.
     pub fn index(&self) -> Option<&FixIndex> {
-        self.index.as_ref()
+        self.index.as_deref()
     }
 
     /// Construction statistics, if an index exists.
     pub fn stats(&self) -> Option<&BuildStats> {
-        self.index.as_ref().map(FixIndex::stats)
+        self.index.as_deref().map(FixIndex::stats)
     }
 
     /// The bound file path, if any.
@@ -255,7 +304,7 @@ mod tests {
     #[test]
     fn save_requires_binding_and_index() {
         let db = FixDatabase::in_memory();
-        assert!(matches!(db.save(), Err(FixError::Io(_))));
+        assert!(matches!(db.save(), Err(FixError::NoPath)));
         let mut db = FixDatabase::in_memory();
         db.add_xml("<a/>").unwrap();
         let path = temp("unbuilt.fixdb");
@@ -285,5 +334,87 @@ mod tests {
         assert!(pages.exists());
         assert_eq!(db.query("//b/c").unwrap().results.len(), 1);
         std::fs::remove_file(&pages).ok();
+    }
+
+    #[test]
+    fn query_iter_streams_lazily() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        db.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        let eager = db.query("//article[author]/ee").unwrap();
+        let mut it = db.query_iter("//article[author]/ee").unwrap();
+        let first = it.next().unwrap();
+        assert_eq!(first, eager.results[0]);
+        // Only the first document group has been refined so far.
+        assert_eq!(it.metrics().producing, 1);
+        let rest: Vec<_> = it.collect();
+        assert_eq!(rest, eager.results[1..]);
+        assert!(matches!(
+            db.query_iter("not a path"),
+            Err(FixError::BadQuery(_))
+        ));
+    }
+
+    #[test]
+    fn mutations_fail_while_a_session_is_live() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        let session = db.session().unwrap();
+        assert!(matches!(
+            db.add_xml("<a><c/></a>"),
+            Err(FixError::SnapshotInUse)
+        ));
+        assert!(matches!(
+            db.remove_document(DocId(0)),
+            Err(FixError::SnapshotInUse)
+        ));
+        // Reads are unaffected.
+        assert_eq!(db.query("//a/b").unwrap().results.len(), 1);
+        assert_eq!(session.query("//a/b").unwrap().results.len(), 1);
+        drop(session);
+        db.add_xml("<a><c/></a>").unwrap();
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn vacuum_leaves_live_sessions_on_the_old_snapshot() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.add_xml("<a><c/></a>").unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        db.remove_document(DocId(0)).unwrap();
+        let session = db.session().unwrap();
+        db.vacuum().unwrap();
+        assert_eq!(db.len(), 1);
+        // The session still serves the pre-vacuum snapshot (with the
+        // tombstone applied, as at session creation).
+        assert!(session.query("//a/b").unwrap().results.is_empty());
+        assert_eq!(session.query("//a/c").unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn into_parts_requires_exclusive_ownership() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        let session = db.session().unwrap();
+        let db = match db.into_parts() {
+            Err(FixError::SnapshotInUse) => {
+                // Rebuild the handle; the session still pins the snapshot.
+                let mut db = FixDatabase::in_memory();
+                db.add_xml("<a><b/></a>").unwrap();
+                db.build(FixOptions::collection()).unwrap();
+                db
+            }
+            other => panic!("expected SnapshotInUse, got {:?}", other.map(|_| ())),
+        };
+        drop(session);
+        let (coll, index) = db.into_parts().unwrap();
+        assert_eq!(coll.len(), 1);
+        assert!(index.is_some());
     }
 }

@@ -2,8 +2,10 @@
 //! facade.
 //!
 //! The lower layers keep their precise error types (`fix_xml::ParseError`,
-//! [`QueryError`](crate::QueryError), `std::io::Error`); this enum folds
-//! them into one `Result` surface so applications can use `?` end to end.
+//! [`QueryError`], `std::io::Error`); this enum folds
+//! them into one flat `Result` surface — query failures appear directly as
+//! [`FixError::BadQuery`] / [`FixError::NotCovered`], not behind a nested
+//! enum — so applications can use `?` and a single `match` end to end.
 
 use std::fmt;
 
@@ -14,28 +16,59 @@ use crate::query::QueryError;
 pub enum FixError {
     /// An XML document failed to parse.
     Parse(fix_xml::ParseError),
-    /// A query failed to parse or is not covered by the index.
-    Query(QueryError),
+    /// A query string failed to parse.
+    BadQuery(fix_xpath::XPathError),
+    /// The index's depth limit does not cover the query's top twig block —
+    /// the optimizer must fall back to an unindexed plan (Section 4.4).
+    NotCovered {
+        /// Depth of the query's top block.
+        query_depth: usize,
+        /// The index's depth limit.
+        depth_limit: usize,
+    },
     /// Underlying file I/O failed (open/save/load, on-disk pages).
     Io(std::io::Error),
     /// The operation needs an index, but none has been built or loaded.
     NoIndex,
+    /// [`FixDatabase::save`](crate::FixDatabase::save) was called on a
+    /// database never bound to a file (use
+    /// [`FixDatabase::save_as`](crate::FixDatabase::save_as) first).
+    NoPath,
     /// The index cannot absorb updates (clustered indexes store their
     /// copies in key order; indexes loaded from disk drop construction
     /// state). Rebuild with [`FixDatabase::build`](crate::FixDatabase::build).
     ImmutableIndex,
+    /// A mutating operation was attempted while
+    /// [`QuerySession`](crate::QuerySession) snapshots are still alive.
+    /// Drop the sessions and retry. (`vacuum` is exempt: it swaps in a
+    /// fresh snapshot and leaves live sessions on the old one.)
+    SnapshotInUse,
 }
 
 impl fmt::Display for FixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FixError::Parse(e) => write!(f, "XML parse error: {e}"),
-            FixError::Query(e) => write!(f, "query error: {e}"),
+            FixError::BadQuery(e) => write!(f, "query error: {e}"),
+            FixError::NotCovered {
+                query_depth,
+                depth_limit,
+            } => write!(
+                f,
+                "query error: query depth {query_depth} exceeds the index depth limit {depth_limit}"
+            ),
             FixError::Io(e) => write!(f, "I/O error: {e}"),
             FixError::NoIndex => write!(f, "no index: call build() or open an existing database"),
+            FixError::NoPath => {
+                write!(f, "database has no bound path: use save_as() or open()")
+            }
             FixError::ImmutableIndex => {
                 write!(f, "this index cannot absorb updates; rebuild to modify")
             }
+            FixError::SnapshotInUse => write!(
+                f,
+                "query sessions still hold a snapshot; drop them before mutating"
+            ),
         }
     }
 }
@@ -55,9 +88,24 @@ impl From<fix_xml::ParseError> for FixError {
     }
 }
 
+impl From<fix_xpath::XPathError> for FixError {
+    fn from(e: fix_xpath::XPathError) -> Self {
+        FixError::BadQuery(e)
+    }
+}
+
 impl From<QueryError> for FixError {
     fn from(e: QueryError) -> Self {
-        FixError::Query(e)
+        match e {
+            QueryError::Parse(e) => FixError::BadQuery(e),
+            QueryError::NotCovered {
+                query_depth,
+                depth_limit,
+            } => FixError::NotCovered {
+                query_depth,
+                depth_limit,
+            },
+        }
     }
 }
 
@@ -78,10 +126,30 @@ mod tests {
         assert!(std::error::Error::source(&io).is_some());
         assert!(FixError::NoIndex.to_string().contains("build()"));
         assert!(std::error::Error::source(&FixError::NoIndex).is_none());
+        assert!(FixError::NoPath.to_string().contains("save_as"));
+        assert!(FixError::SnapshotInUse.to_string().contains("snapshot"));
+    }
+
+    #[test]
+    fn query_errors_flatten() {
         let q = FixError::from(QueryError::NotCovered {
             query_depth: 9,
             depth_limit: 4,
         });
-        assert!(q.to_string().contains("query error"));
+        assert!(matches!(
+            q,
+            FixError::NotCovered {
+                query_depth: 9,
+                depth_limit: 4
+            }
+        ));
+        assert!(q.to_string().contains("depth 9"));
+        let bad = fix_xpath::parse_path("not a path").unwrap_err();
+        assert!(matches!(FixError::from(bad), FixError::BadQuery(_)));
+        let bad = fix_xpath::parse_path("not a path").unwrap_err();
+        assert!(matches!(
+            FixError::from(QueryError::Parse(bad)),
+            FixError::BadQuery(_)
+        ));
     }
 }

@@ -33,7 +33,9 @@ pub mod key;
 pub mod metrics;
 pub mod options;
 pub mod persist;
+pub mod plan_cache;
 pub mod query;
+pub mod session;
 pub mod spatial;
 pub mod values;
 
@@ -44,10 +46,10 @@ pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
 pub use explain::{BlockExplain, Explain};
 pub use key::{EntryPtr, IndexKey};
-pub use metrics::{ground_truth, Metrics};
+pub use metrics::{ground_truth, CacheStats, Metrics};
 pub use options::{FixOptions, FixOptionsBuilder, RefineOp};
-#[allow(deprecated)]
-pub use persist::{load_database, save_database};
-pub use query::{QueryError, QueryOutcome};
+pub use plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+pub use query::{QueryError, QueryHits, QueryOutcome, QueryPlan};
+pub use session::QuerySession;
 pub use spatial::SpatialIndex;
 pub use values::ValueHasher;

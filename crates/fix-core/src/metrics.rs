@@ -56,6 +56,29 @@ fn ratio(a: u64, b: u64) -> f64 {
     }
 }
 
+/// A point-in-time snapshot of a plan cache's effectiveness (see
+/// `PlanCache::stats`). Each `QuerySession::query` call counts exactly one
+/// hit (the compiled plan was reused, skipping steps 1–3 of Algorithm 2)
+/// or one miss (the plan was compiled and cached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a cached plan.
+    pub hits: u64,
+    /// Queries that had to compile their plan.
+    pub misses: u64,
+    /// Plans currently cached (aliased spellings count separately).
+    pub entries: usize,
+    /// Maximum number of cached plans before LRU eviction.
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from the cache (`0.0` before any query).
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.hits, self.hits + self.misses)
+    }
+}
+
 /// Computes `rst` from first principles, without the index: the number of
 /// entries that must produce results — documents with ≥ 1 result in
 /// collection mode (`depth_limit == 0`), query anchors in large-document
@@ -101,6 +124,19 @@ mod tests {
             producing: 3,
         };
         assert_eq!(perfect.fpr(), 0.0);
+    }
+
+    #[test]
+    fn cache_stats_hit_rate() {
+        let cold = CacheStats::default();
+        assert_eq!(cold.hit_rate(), 0.0);
+        let warm = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+            capacity: 256,
+        };
+        assert!((warm.hit_rate() - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -58,6 +58,13 @@ pub struct FixOptions {
     /// bit-identical at every thread count (see `DESIGN.md`, "Parallel
     /// construction").
     pub threads: usize,
+    /// Worker threads for the parallel candidate-refinement phase of query
+    /// processing (the default for
+    /// [`QuerySession`](crate::QuerySession)s). `1` refines sequentially;
+    /// `0` means "use all available parallelism". Results are merged in
+    /// document order, so the outcome is byte-identical at every thread
+    /// count (see `DESIGN.md`, "Concurrent query serving").
+    pub query_threads: usize,
 }
 
 impl FixOptions {
@@ -75,6 +82,7 @@ impl FixOptions {
             edge_bloom: false,
             literal_gen_subpattern: false,
             threads: 1,
+            query_threads: 1,
         }
     }
 
@@ -121,15 +129,22 @@ impl FixOptions {
         self
     }
 
+    /// Sets the refinement worker-thread count (`0` = all cores).
+    pub fn with_query_threads(mut self, threads: usize) -> Self {
+        self.query_threads = threads;
+        self
+    }
+
     /// Resolves [`FixOptions::threads`] to a concrete worker count
     /// (`0` → `std::thread::available_parallelism()`).
     pub fn effective_threads(&self) -> usize {
-        match self.threads {
-            0 => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            n => n,
-        }
+        resolve_threads(self.threads)
+    }
+
+    /// Resolves [`FixOptions::query_threads`] to a concrete worker count
+    /// (`0` → `std::thread::available_parallelism()`).
+    pub fn effective_query_threads(&self) -> usize {
+        resolve_threads(self.query_threads)
     }
 
     /// Starts a fluent builder seeded with the collection-mode defaults.
@@ -149,6 +164,16 @@ impl FixOptions {
         FixOptionsBuilder {
             opts: Self::collection(),
         }
+    }
+}
+
+/// `0` means "all cores" in every thread-count knob.
+pub(crate) fn resolve_threads(n: usize) -> usize {
+    match n {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
     }
 }
 
@@ -182,6 +207,12 @@ impl FixOptionsBuilder {
     /// Construction worker-thread count (`0` = all cores).
     pub fn threads(mut self, threads: usize) -> Self {
         self.opts.threads = threads;
+        self
+    }
+
+    /// Refinement worker-thread count for query serving (`0` = all cores).
+    pub fn query_threads(mut self, threads: usize) -> Self {
+        self.opts.query_threads = threads;
         self
     }
 
@@ -267,6 +298,7 @@ mod tests {
             .clustered(true)
             .values(16)
             .threads(8)
+            .query_threads(6)
             .pool_pages(64)
             .paper_mode(true)
             .edge_bloom(true)
@@ -279,6 +311,7 @@ mod tests {
         assert!(o.clustered);
         assert_eq!(o.value_beta, Some(16));
         assert_eq!(o.threads, 8);
+        assert_eq!(o.query_threads, 6);
         assert_eq!(o.pool_pages, 64);
         assert_eq!(o.extractor.mode, fix_spectral::FeatureMode::SkewSpectral);
         assert!(o.edge_bloom);
@@ -295,5 +328,12 @@ mod tests {
         let auto = FixOptions::collection().with_threads(0);
         assert!(auto.effective_threads() >= 1);
         assert_eq!(FixOptions::collection().with_threads(7).threads, 7);
+        assert_eq!(FixOptions::collection().query_threads, 1);
+        let qauto = FixOptions::collection().with_query_threads(0);
+        assert!(qauto.effective_query_threads() >= 1);
+        assert_eq!(
+            FixOptions::collection().with_query_threads(5).query_threads,
+            5
+        );
     }
 }

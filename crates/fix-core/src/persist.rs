@@ -76,24 +76,6 @@ fn corrupt(msg: &str) -> io::Error {
     )
 }
 
-/// Saves a collection and its index as one database file.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `FixDatabase::save`/`save_as` instead; this free function will go away"
-)]
-pub fn save_database(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
-    save_impl(path, coll, idx)
-}
-
-/// Loads a database file back into a `(Collection, FixIndex)` pair.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `FixDatabase::open` instead; this free function will go away"
-)]
-pub fn load_database(path: &Path) -> io::Result<(Collection, FixIndex)> {
-    load_impl(path)
-}
-
 pub(crate) fn save_impl(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = io::BufWriter::new(file);

@@ -1,0 +1,209 @@
+//! A bounded LRU cache of compiled [`QueryPlan`]s.
+//!
+//! Steps 1–3 of Algorithm 2 — parse, twig decomposition, and the
+//! `(λ_max, λ_min)` eigen-features — depend only on the query string and
+//! the index configuration, so for repeated queries they are pure
+//! recomputation. [`PlanCache`] memoizes them under the *normalized* query
+//! spelling (`PathExpr`'s `Display`), with the raw spelling aliased to the
+//! same entry so an exact repeat also skips the parse.
+//!
+//! The cache is a plain mutex around a tick-stamped hash map: lookups and
+//! inserts are O(1); eviction scans for the stalest entry, which is O(n)
+//! in the (small, bounded) capacity and only paid when the cache is full.
+//! Hit/miss tallies live in atomics *outside* the mutex, and the mutex is
+//! never held while compiling a plan — concurrent sessions may compile the
+//! same plan twice on a cold start, which costs a few spare eigenvalue
+//! solves but never blocks a reader behind a solver.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::CacheStats;
+use crate::query::QueryPlan;
+
+/// Plan-cache capacity used by sessions unless overridden: comfortably
+/// more distinct queries than a realistic hot set, at ~a few hundred bytes
+/// per plan.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+/// A bounded, thread-safe LRU map from query spellings to compiled plans.
+pub struct PlanCache {
+    capacity: usize,
+    inner: Mutex<CacheMap>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct CacheMap {
+    /// Monotonic use counter; entries stamp it on every touch.
+    tick: u64,
+    entries: HashMap<String, CacheEntry>,
+}
+
+struct CacheEntry {
+    plan: Arc<QueryPlan>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans. A capacity of `0`
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            inner: Mutex::new(CacheMap {
+                tick: 0,
+                entries: HashMap::new(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a plan by spelling, refreshing its LRU stamp. Does *not*
+    /// tally a hit or miss — callers tally exactly once per query via
+    /// [`PlanCache::note_hit`] / [`PlanCache::note_miss`], which keeps the
+    /// two-probe lookup (raw spelling, then normalized) honest.
+    pub fn get(&self, key: &str) -> Option<Arc<QueryPlan>> {
+        let mut map = self.inner.lock();
+        map.tick += 1;
+        let tick = map.tick;
+        let entry = map.entries.get_mut(key)?;
+        entry.last_used = tick;
+        Some(entry.plan.clone())
+    }
+
+    /// Inserts (or refreshes) a plan under `key`, evicting the
+    /// least-recently-used entry if the cache is full.
+    pub fn insert(&self, key: String, plan: Arc<QueryPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.inner.lock();
+        map.tick += 1;
+        let tick = map.tick;
+        if !map.entries.contains_key(&key) && map.entries.len() >= self.capacity {
+            if let Some(stalest) = map
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                map.entries.remove(&stalest);
+            }
+        }
+        map.entries.insert(
+            key,
+            CacheEntry {
+                plan,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Tallies one cache hit.
+    pub fn note_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Tallies one cache miss.
+    pub fn note_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current effectiveness counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().entries.len(),
+            capacity: self.capacity,
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached plan (counters are preserved).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fix_xpath::parse_path;
+
+    fn plan_for(q: &str) -> Arc<QueryPlan> {
+        Arc::new(QueryPlan {
+            path: parse_path(q).unwrap(),
+            blocks: vec![parse_path(q).unwrap()],
+            top: None,
+            rest: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn cache_is_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PlanCache>();
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let cache = PlanCache::new(2);
+        cache.insert("//a".into(), plan_for("//a"));
+        cache.insert("//b".into(), plan_for("//b"));
+        // Touch `//a` so `//b` becomes the eviction victim.
+        assert!(cache.get("//a").is_some());
+        cache.insert("//c".into(), plan_for("//c"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("//a").is_some());
+        assert!(cache.get("//b").is_none());
+        assert!(cache.get("//c").is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = PlanCache::new(2);
+        cache.insert("//a".into(), plan_for("//a"));
+        cache.insert("//b".into(), plan_for("//b"));
+        cache.insert("//a".into(), plan_for("//a"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get("//b").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = PlanCache::new(0);
+        cache.insert("//a".into(), plan_for("//a"));
+        assert!(cache.is_empty());
+        assert!(cache.get("//a").is_none());
+    }
+
+    #[test]
+    fn stats_reflect_tallies() {
+        let cache = PlanCache::new(4);
+        cache.note_miss();
+        cache.insert("//a".into(), plan_for("//a"));
+        cache.note_hit();
+        cache.note_hit();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries, s.capacity), (2, 1, 1, 4));
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        cache.clear();
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().hits, 2, "counters survive clear");
+    }
+}

@@ -14,7 +14,7 @@
 use std::fmt;
 
 use fix_bisim::{query_pattern_with_values, UnitInfo};
-use fix_exec::{eval_path, eval_path_from, eval_twig};
+use fix_exec::Refiner;
 use fix_spectral::Features;
 use fix_xml::NodeId;
 use fix_xpath::{decompose, parse_path, Axis, PathExpr, TwigError, TwigQuery, XPathError};
@@ -96,6 +96,45 @@ impl QueryOutcome {
     }
 }
 
+/// A compiled query: the normalized path expression, its twig-block
+/// decomposition, and the precomputed pruning features — steps 1–3 of
+/// Algorithm 2, everything that depends only on the query string and the
+/// index configuration. Plans are immutable and cheap to share
+/// (`QuerySession`s keep them in an `Arc`-valued LRU cache); executing one
+/// is [`FixIndex::scan_plan`] + refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// The normalized path expression (see `fix_xpath::normalize`).
+    pub(crate) path: PathExpr,
+    /// Twig blocks from `fix_xpath::decompose`; the top block is first.
+    pub(crate) blocks: Vec<PathExpr>,
+    /// Pruning features of the top block; `None` when the block provably
+    /// matches nothing (unknown label / edge pair / value bucket).
+    pub(crate) top: Option<Features>,
+    /// Features of the remaining blocks, aligned with `blocks[1..]`.
+    /// Populated only in collection mode, where rest blocks prune
+    /// (Section 5); empty otherwise.
+    pub(crate) rest: Vec<Option<Features>>,
+}
+
+impl QueryPlan {
+    /// The normalized path this plan evaluates.
+    pub fn path(&self) -> &PathExpr {
+        &self.path
+    }
+
+    /// The canonical spelling of the query — the string plans are cached
+    /// under.
+    pub fn normalized(&self) -> String {
+        self.path.to_string()
+    }
+
+    /// Pruning features of the top twig block (`None` = provably empty).
+    pub fn features(&self) -> Option<&Features> {
+        self.top.as_ref()
+    }
+}
+
 impl FixIndex {
     /// Parses and runs a query (see [`FixIndex::query_path`]).
     pub fn query(&self, coll: &Collection, query: &str) -> Result<QueryOutcome, QueryError> {
@@ -112,38 +151,77 @@ impl FixIndex {
         coll: &Collection,
         path: &PathExpr,
     ) -> Result<QueryOutcome, QueryError> {
-        let path = fix_xpath::normalize(path);
-        let candidates = self.candidates(coll, &path)?;
-        Ok(self.refine(coll, &path, candidates))
+        let plan = self.plan_path(coll, path)?;
+        let candidates = self.scan_plan(&plan);
+        Ok(self.refine(coll, &plan.path, candidates))
     }
 
-    /// The pruning phase alone: candidate `(entry key, B-tree value)`
-    /// pairs in key order. Exposed separately so the experiment harness can
-    /// measure pruning power without paying for refinement.
-    pub fn candidates(
+    /// Compiles a query string into a reusable [`QueryPlan`] (steps 1–3 of
+    /// Algorithm 2: parse, decompose, compute features). (Named `compile`
+    /// rather than `plan` — [`FixIndex::plan`](crate::estimate) is the
+    /// histogram-based index-vs-scan decision.)
+    pub fn compile(&self, coll: &Collection, query: &str) -> Result<QueryPlan, QueryError> {
+        let path = parse_path(query)?;
+        self.plan_path(coll, &path)
+    }
+
+    /// Compiles a parsed path expression into a [`QueryPlan`].
+    pub fn plan_path(&self, coll: &Collection, path: &PathExpr) -> Result<QueryPlan, QueryError> {
+        self.plan_normalized(coll, fix_xpath::normalize(path))
+    }
+
+    /// Plan construction for an already-normalized path (callers that
+    /// normalized up front to derive a cache key).
+    pub(crate) fn plan_normalized(
         &self,
         coll: &Collection,
-        path: &PathExpr,
-    ) -> Result<Vec<(IndexKey, u64)>, QueryError> {
-        let blocks = decompose(path);
-        let top = &blocks[0];
+        path: PathExpr,
+    ) -> Result<QueryPlan, QueryError> {
+        let blocks = decompose(&path);
         // Pruning features of the top block.
-        let top_feat = match self.block_features(coll, top)? {
-            Some(f) => f,
-            None => return Ok(Vec::new()),
+        let top = self.block_features(coll, &blocks[0])?;
+        // In collection mode the remaining blocks prune too: the document
+        // must contain every block (Section 5). With a positive depth
+        // limit they give no pruning power (only the top block is anchored
+        // at the entry root), so skip the eigenwork. Rest blocks cannot
+        // raise `NotCovered` (the depth test only applies when
+        // `depth_limit > 0`), so eager computation is outcome-identical to
+        // the old lazy path.
+        let rest = if self.opts.depth_limit == 0 && blocks.len() > 1 && top.is_some() {
+            blocks[1..]
+                .iter()
+                .map(|b| self.block_features(coll, b))
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            Vec::new()
+        };
+        Ok(QueryPlan {
+            path,
+            blocks,
+            top,
+            rest,
+        })
+    }
+
+    /// Step 4 of Algorithm 2: range-scan the B-tree with a compiled plan's
+    /// features. Returns candidate `(entry key, B-tree value)` pairs in
+    /// key order.
+    pub fn scan_plan(&self, plan: &QueryPlan) -> Vec<(IndexKey, u64)> {
+        let Some(top_feat) = &plan.top else {
+            return Vec::new();
         };
         // Anchored probes (every entry is rooted at a potential anchor):
         // large-document mode always; collection mode when the query is
         // rooted at the document root.
-        let anchored = self.opts.depth_limit > 0 || top.steps[0].axis == Axis::Child;
+        let anchored = self.opts.depth_limit > 0 || plan.blocks[0].steps[0].axis == Axis::Child;
         let mut cands: Vec<(IndexKey, u64)> = if anchored {
             self.btree
                 .range(
-                    &IndexKey::scan_start(&top_feat),
-                    Some(&IndexKey::scan_end(&top_feat)),
+                    &IndexKey::scan_start(top_feat),
+                    Some(&IndexKey::scan_end(top_feat)),
                 )
                 .map(|(k, v)| (IndexKey::decode(&k), v))
-                .filter(|(k, _)| self.entry_contains(k, &top_feat, true))
+                .filter(|(k, _)| self.entry_contains(k, top_feat, true))
                 .collect()
         } else {
             // Un-anchored collection probe: the pattern can root anywhere
@@ -151,7 +229,7 @@ impl FixIndex {
             self.btree
                 .iter()
                 .map(|(k, v)| (IndexKey::decode(&k), v))
-                .filter(|(k, _)| self.entry_contains(k, &top_feat, false))
+                .filter(|(k, _)| self.entry_contains(k, top_feat, false))
                 .collect()
         };
         // Tombstoned documents never appear as candidates. (Clustered
@@ -160,23 +238,29 @@ impl FixIndex {
         if !self.removed.is_empty() && self.clustered.is_none() {
             cands.retain(|&(_, v)| !self.removed.contains(&EntryPtr::from_u64(v).doc));
         }
-        // In collection mode the remaining blocks prune too: the document
-        // must contain every block (Section 5). With a positive depth
-        // limit they give no pruning power (only the top block is anchored
-        // at the entry root).
-        if self.opts.depth_limit == 0 && blocks.len() > 1 && !cands.is_empty() {
-            for block in &blocks[1..] {
-                let bf = match self.block_features(coll, block)? {
-                    Some(f) => f,
-                    None => return Ok(Vec::new()),
-                };
-                cands.retain(|(k, _)| self.entry_contains(k, &bf, false));
-                if cands.is_empty() {
-                    break;
-                }
+        for bf in &plan.rest {
+            if cands.is_empty() {
+                break;
             }
+            let Some(bf) = bf else {
+                // A provably-empty rest block empties the whole conjunction.
+                return Vec::new();
+            };
+            cands.retain(|(k, _)| self.entry_contains(k, bf, false));
         }
-        Ok(cands)
+        cands
+    }
+
+    /// The pruning phase alone: candidate `(entry key, B-tree value)`
+    /// pairs in key order. Exposed separately so the experiment harness can
+    /// measure pruning power without paying for refinement. Equivalent to
+    /// [`FixIndex::plan_path`] followed by [`FixIndex::scan_plan`].
+    pub fn candidates(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+    ) -> Result<Vec<(IndexKey, u64)>, QueryError> {
+        Ok(self.scan_plan(&self.plan_path(coll, path)?))
     }
 
     /// Computes pruning features for one twig block; `Ok(None)` when the
@@ -305,16 +389,78 @@ impl FixIndex {
         path: &PathExpr,
         candidates: Vec<(IndexKey, u64)>,
     ) -> QueryOutcome {
+        self.refine_with_threads(coll, path, candidates, 1)
+    }
+
+    /// Refinement fanned across `threads` workers. Candidates are split
+    /// into contiguous chunks (preserving key order within each), refined
+    /// concurrently, and the per-chunk results concatenated in chunk order
+    /// before the final sort + dedup — the same multiset the sequential
+    /// loop produces, so the [`QueryOutcome`] is byte-identical at every
+    /// thread count. `threads ≤ 1` runs the plain sequential loop.
+    pub fn refine_with_threads(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+        candidates: Vec<(IndexKey, u64)>,
+        threads: usize,
+    ) -> QueryOutcome {
+        let cdt = candidates.len() as u64;
+        let refiner = Refiner::new(
+            &coll.labels,
+            path,
+            self.opts.depth_limit,
+            self.opts.refine == RefineOp::Twig,
+        );
+        let threads = threads.max(1).min(candidates.len().max(1));
+        let (mut results, producing) = if threads <= 1 {
+            self.refine_chunk(coll, &refiner, &candidates)
+        } else {
+            let chunk = candidates.len().div_ceil(threads);
+            let parts: Vec<(Vec<(DocId, NodeId)>, u64)> = std::thread::scope(|s| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|part| {
+                        let refiner = &refiner;
+                        s.spawn(move || self.refine_chunk(coll, refiner, part))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("refinement worker panicked"))
+                    .collect()
+            });
+            let mut results = Vec::new();
+            let mut producing = 0u64;
+            for (r, p) in parts {
+                results.extend(r);
+                producing += p;
+            }
+            (results, producing)
+        };
+        results.sort_unstable();
+        results.dedup();
+        QueryOutcome {
+            results,
+            metrics: Metrics {
+                entries: self.btree.len(),
+                candidates: cdt,
+                producing,
+            },
+        }
+    }
+
+    /// Refines one contiguous run of candidates. `&self`-only — safe to
+    /// call from any number of worker threads at once.
+    fn refine_chunk(
+        &self,
+        coll: &Collection,
+        refiner: &Refiner<'_>,
+        candidates: &[(IndexKey, u64)],
+    ) -> (Vec<(DocId, NodeId)>, u64) {
         let mut producing = 0u64;
         let mut results: Vec<(DocId, NodeId)> = Vec::new();
-        let cdt = candidates.len() as u64;
-        // Precompute the twig for the structural refinement ablation.
-        let twig_for_refine = if self.opts.refine == RefineOp::Twig && self.opts.depth_limit == 0 {
-            TwigQuery::from_path(path, &coll.labels).ok()
-        } else {
-            None
-        };
-        for (_, value) in candidates {
+        for &(_, value) in candidates {
             let ptr = if self.clustered.is_some() {
                 // Clustered: fetch the copy (sequential I/O — candidates
                 // arrive in key order) and recover the pointer.
@@ -338,33 +484,164 @@ impl FixIndex {
                     coll.touch_subtree(ptr.doc, NodeId(ptr.node));
                 }
             }
-            let rs: Vec<NodeId> = if self.opts.depth_limit == 0 {
-                match &twig_for_refine {
-                    Some(t) => eval_twig(doc, t),
-                    None => eval_path(doc, &coll.labels, path),
-                }
-            } else if path.steps[0].axis == Axis::Child && NodeId(ptr.node) != doc.root() {
-                // A rooted query (`/a/...`) can only anchor at the document
-                // root; any other entry in the partition is a false
-                // positive.
-                Vec::new()
-            } else {
-                eval_path_from(doc, &coll.labels, path, NodeId(ptr.node))
-            };
+            let rs = refiner.matches_at(doc, NodeId(ptr.node));
             if !rs.is_empty() {
                 producing += 1;
                 results.extend(rs.into_iter().map(|n| (ptr.doc, n)));
             }
         }
-        results.sort_unstable();
-        results.dedup();
-        QueryOutcome {
-            results,
+        (results, producing)
+    }
+
+    /// Parses a query and returns a lazy iterator over its matches (see
+    /// [`QueryHits`]).
+    pub fn query_iter<'a>(
+        &'a self,
+        coll: &'a Collection,
+        query: &str,
+    ) -> Result<QueryHits<'a>, QueryError> {
+        let plan = self.compile(coll, query)?;
+        Ok(self.hits(coll, &plan))
+    }
+
+    /// Executes a compiled plan as a lazy iterator. Pruning (the B-tree
+    /// scan and, for the clustered variant, the copy-heap fetches) happens
+    /// up front; refinement is deferred and paid one *document* at a time
+    /// as the iterator is advanced.
+    pub fn hits<'a>(&'a self, coll: &'a Collection, plan: &QueryPlan) -> QueryHits<'a> {
+        let candidates = self.scan_plan(plan);
+        let cdt = candidates.len() as u64;
+        // Resolve pointers up front, in key order, so the clustered copy
+        // heap still sees sequential I/O.
+        let mut ptrs: Vec<EntryPtr> = Vec::with_capacity(candidates.len());
+        for (_, value) in candidates {
+            let ptr = if self.clustered.is_some() {
+                self.clustered_fetch(value).0
+            } else {
+                EntryPtr::from_u64(value)
+            };
+            if !self.removed.contains(&ptr.doc) {
+                ptrs.push(ptr);
+            }
+        }
+        // Group candidates by document, ascending: the concatenation of
+        // each document's sorted, deduplicated output then equals the
+        // globally sorted result set the eager path produces.
+        ptrs.sort_unstable();
+        QueryHits {
+            index: self,
+            coll,
+            refiner: Refiner::new(
+                &coll.labels,
+                &plan.path,
+                self.opts.depth_limit,
+                self.opts.refine == RefineOp::Twig,
+            ),
+            pending: ptrs.into_iter(),
+            lookahead: None,
+            buf: Vec::new().into_iter(),
             metrics: Metrics {
                 entries: self.btree.len(),
                 candidates: cdt,
-                producing,
+                producing: 0,
             },
+        }
+    }
+}
+
+/// A lazy stream of query matches, yielded in document order — the exact
+/// sequence [`QueryOutcome::results`] would hold, without materializing it
+/// up front. Refinement runs one document group at a time: consumers that
+/// stop early (first match, top-N) skip the evaluation work for every
+/// remaining candidate document.
+pub struct QueryHits<'a> {
+    index: &'a FixIndex,
+    coll: &'a Collection,
+    refiner: Refiner<'a>,
+    /// Resolved candidate pointers, sorted by `(document, node)`.
+    pending: std::vec::IntoIter<EntryPtr>,
+    /// First pointer of the next document group, peeked off `pending`.
+    lookahead: Option<EntryPtr>,
+    /// The current document's matches, drained front to back.
+    buf: std::vec::IntoIter<(DocId, NodeId)>,
+    metrics: Metrics,
+}
+
+impl QueryHits<'_> {
+    /// The Section 6.2 counters. `entries` and `candidates` are exact from
+    /// construction; `producing` counts only the candidates refined so
+    /// far, so it is complete once the iterator is exhausted.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Drains the remaining matches into an eager [`QueryOutcome`].
+    pub fn into_outcome(mut self) -> QueryOutcome {
+        let mut results: Vec<(DocId, NodeId)> = Vec::new();
+        for hit in &mut self {
+            results.push(hit);
+        }
+        QueryOutcome {
+            results,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Refines the next document's candidate group into `buf`; `false`
+    /// when no candidates remain.
+    fn refine_next_doc(&mut self) -> bool {
+        let Some(first) = self.lookahead.take().or_else(|| self.pending.next()) else {
+            return false;
+        };
+        let doc_id = first.doc;
+        let mut group = vec![first];
+        for ptr in self.pending.by_ref() {
+            if ptr.doc != doc_id {
+                self.lookahead = Some(ptr);
+                break;
+            }
+            group.push(ptr);
+        }
+        let doc = self.coll.doc(doc_id);
+        let mut nodes: Vec<NodeId> = Vec::new();
+        for ptr in group {
+            // Same primary-storage charging as the eager path (clustered
+            // candidates paid for their copies at construction).
+            if self.index.clustered.is_none() {
+                if self.index.opts.depth_limit == 0 {
+                    self.coll.touch_document(ptr.doc);
+                } else {
+                    self.coll.touch_subtree(ptr.doc, NodeId(ptr.node));
+                }
+            }
+            let rs = self.refiner.matches_at(doc, NodeId(ptr.node));
+            if !rs.is_empty() {
+                self.metrics.producing += 1;
+                nodes.extend(rs);
+            }
+        }
+        nodes.sort_unstable();
+        nodes.dedup();
+        self.buf = nodes
+            .into_iter()
+            .map(|n| (doc_id, n))
+            .collect::<Vec<_>>()
+            .into_iter();
+        true
+    }
+}
+
+impl Iterator for QueryHits<'_> {
+    type Item = (DocId, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(hit) = self.buf.next() {
+                return Some(hit);
+            }
+            if !self.refine_next_doc() {
+                return None;
+            }
         }
     }
 }
@@ -420,7 +697,7 @@ mod tests {
         assert_eq!(out2.results.len(), 1);
         // Results agree with the navigational baseline.
         let p = parse_path("//s/np").unwrap();
-        let base = eval_path(c.doc(DocId(0)), &c.labels, &p);
+        let base = fix_exec::eval_path(c.doc(DocId(0)), &c.labels, &p);
         let via_index = idx.query(&c, "//s/np").unwrap();
         assert_eq!(via_index.results.len(), base.len());
     }
@@ -480,6 +757,76 @@ mod tests {
             assert_eq!(a.results, b.results, "disagreement on {q}");
             assert_eq!(a.metrics, b.metrics, "metric disagreement on {q}");
         }
+    }
+
+    #[test]
+    fn parallel_refinement_matches_sequential() {
+        let mut c1 = bib_collection();
+        let u = FixIndex::build(&mut c1, FixOptions::collection());
+        let mut c2 = bib_collection();
+        let cl = FixIndex::build(&mut c2, FixOptions::collection().clustered());
+        for q in [
+            "//article[author]/ee",
+            "//author[phone][email]",
+            "/bib/article/author",
+            "//book/title",
+            "//nonexistent/label",
+        ] {
+            for (idx, c) in [(&u, &c1), (&cl, &c2)] {
+                let seq = idx.query(c, q).unwrap();
+                let plan = idx.compile(c, q).unwrap();
+                for t in [2, 3, 8] {
+                    let par = idx.refine_with_threads(c, plan.path(), idx.scan_plan(&plan), t);
+                    assert_eq!(seq, par, "thread count {t} diverged on {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_iter_streams_the_eager_results() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        for q in [
+            "//article[author]/ee",
+            "//author[phone][email]",
+            "//book/title",
+            "//nonexistent/label",
+        ] {
+            let eager = idx.query(&c, q).unwrap();
+            let lazy: Vec<_> = idx.query_iter(&c, q).unwrap().collect();
+            assert_eq!(eager.results, lazy, "stream diverged on {q}");
+            let outcome = idx.query_iter(&c, q).unwrap().into_outcome();
+            assert_eq!(eager, outcome, "outcome diverged on {q}");
+        }
+    }
+
+    #[test]
+    fn query_iter_streams_large_document_mode() {
+        let mut c = Collection::new();
+        c.add_xml("<s><s><np/><s><np/><vp/></s></s><vp/><empty><s><np/></s></empty></s>")
+            .unwrap();
+        let idx = FixIndex::build(&mut c, FixOptions::large_document(4));
+        for q in ["//s[np][vp]", "//s/np", "//empty/s/np"] {
+            let eager = idx.query(&c, q).unwrap();
+            let outcome = idx.query_iter(&c, q).unwrap().into_outcome();
+            assert_eq!(eager, outcome, "outcome diverged on {q}");
+        }
+    }
+
+    #[test]
+    fn plans_compile_once_and_rerun() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        let plan = idx.compile(&c, "//article[author]/ee").unwrap();
+        assert!(plan.features().is_some());
+        // The canonical spelling re-parses to the same plan (cache keys are
+        // stable).
+        let replanned = idx.compile(&c, &plan.normalized()).unwrap();
+        assert_eq!(plan, replanned);
+        let a = idx.refine(&c, plan.path(), idx.scan_plan(&plan));
+        let b = idx.query(&c, "//article[author]/ee").unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

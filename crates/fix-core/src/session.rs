@@ -1,0 +1,247 @@
+//! [`QuerySession`] — a concurrent, snapshot-isolated query handle.
+//!
+//! A session pins the collection and index behind [`Arc`]s at creation
+//! time: clone it freely and hand the clones to as many threads as the
+//! workload needs — all state is shared and `&`-only. The owning
+//! [`FixDatabase`](crate::FixDatabase) keeps working in parallel; its
+//! mutating operations fail fast with
+//! [`FixError::SnapshotInUse`] while
+//! sessions are alive, and `vacuum` simply swaps in a new snapshot
+//! underneath them.
+//!
+//! Each query runs Algorithm 2 with two serving-side accelerations, both
+//! outcome-invisible:
+//!
+//! * **Plan caching** — steps 1–3 (parse, twig decomposition,
+//!   eigen-features) are memoized in a bounded LRU keyed by the normalized
+//!   query spelling, shared across clones. A warm hit goes straight to the
+//!   B-tree range scan.
+//! * **Parallel refinement** — candidates fan out across
+//!   [`FixOptions::query_threads`](crate::FixOptions::query_threads)
+//!   workers and merge back in document order, byte-identical to the
+//!   sequential path.
+
+use std::sync::Arc;
+
+use crate::builder::FixIndex;
+use crate::collection::Collection;
+use crate::error::FixError;
+use crate::metrics::CacheStats;
+use crate::options::resolve_threads;
+use crate::plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
+use crate::query::{QueryHits, QueryOutcome, QueryPlan};
+
+/// Fewest candidates per extra worker that make spawning it worthwhile.
+/// Below this, per-candidate refinement is cheaper than thread start-up
+/// and the session runs the sequential loop regardless of
+/// [`QuerySession::threads`]. (The outcome is byte-identical either way;
+/// this is purely a latency guard for highly selective queries.)
+const MIN_CANDIDATES_PER_WORKER: usize = 128;
+
+/// A shared-read query-serving handle over one database snapshot. Cheap to
+/// clone (`Arc` bumps); clones share the snapshot *and* the plan cache.
+#[derive(Clone)]
+pub struct QuerySession {
+    coll: Arc<Collection>,
+    index: Arc<FixIndex>,
+    cache: Arc<PlanCache>,
+    /// Resolved refinement worker count (≥ 1).
+    threads: usize,
+}
+
+impl QuerySession {
+    /// Snapshots the given collection/index pair. The worker count comes
+    /// from the index's [`query_threads`](crate::FixOptions::query_threads)
+    /// option; the plan cache starts empty at the default capacity.
+    pub fn new(coll: Arc<Collection>, index: Arc<FixIndex>) -> Self {
+        let threads = index.opts.effective_query_threads();
+        Self {
+            coll,
+            index,
+            cache: Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            threads,
+        }
+    }
+
+    /// Overrides the refinement worker count (`0` = all cores) for this
+    /// handle and clones made from it.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = resolve_threads(threads);
+        self
+    }
+
+    /// Replaces the plan cache with a fresh one of the given capacity
+    /// (`0` disables caching). Detaches from the cache shared with
+    /// earlier clones; counters restart at zero.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Arc::new(PlanCache::new(capacity));
+        self
+    }
+
+    /// Runs a query: cached plan → B-tree scan → parallel refinement.
+    /// The [`QueryOutcome`] is byte-identical to
+    /// [`FixIndex::query`](crate::FixIndex::query) on the same snapshot,
+    /// for every thread count and cache state.
+    pub fn query(&self, query: &str) -> Result<QueryOutcome, FixError> {
+        let plan = self.cached_plan(query)?;
+        let candidates = self.index.scan_plan(&plan);
+        // Scale the worker count to the candidate load: a query that the
+        // index prunes down to a handful of candidates finishes faster on
+        // one thread than it takes to start a second.
+        let threads = self
+            .threads
+            .min(candidates.len() / MIN_CANDIDATES_PER_WORKER + 1);
+        Ok(self
+            .index
+            .refine_with_threads(&self.coll, plan.path(), candidates, threads))
+    }
+
+    /// Runs a query as a lazy iterator over matches in document order
+    /// (the session-side analogue of
+    /// [`FixDatabase::query_iter`](crate::FixDatabase::query_iter)); the
+    /// plan cache still applies, refinement is sequential-on-demand.
+    pub fn query_iter(&self, query: &str) -> Result<QueryHits<'_>, FixError> {
+        let plan = self.cached_plan(query)?;
+        Ok(self.index.hits(&self.coll, &plan))
+    }
+
+    /// Fetches or compiles the plan for `query`, tallying exactly one
+    /// cache hit or miss. Two probes: the raw spelling first (an exact
+    /// repeat skips even the parse), then the normalized spelling; on a
+    /// miss the compiled plan is stored under both.
+    fn cached_plan(&self, query: &str) -> Result<Arc<QueryPlan>, FixError> {
+        if let Some(plan) = self.cache.get(query) {
+            self.cache.note_hit();
+            return Ok(plan);
+        }
+        let path = fix_xpath::parse_path(query)?;
+        let normalized = fix_xpath::normalize(&path);
+        let key = normalized.to_string();
+        if let Some(plan) = self.cache.get(&key) {
+            self.cache.note_hit();
+            if query != key {
+                // Alias this spelling so its next repeat skips the parse.
+                self.cache.insert(query.to_string(), plan.clone());
+            }
+            return Ok(plan);
+        }
+        self.cache.note_miss();
+        let plan = Arc::new(self.index.plan_normalized(&self.coll, normalized)?);
+        if query != key {
+            self.cache.insert(query.to_string(), plan.clone());
+        }
+        self.cache.insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    /// Plan-cache effectiveness counters (shared across clones).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The resolved refinement worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The snapshotted collection.
+    pub fn collection(&self) -> &Collection {
+        &self.coll
+    }
+
+    /// The snapshotted index.
+    pub fn index(&self) -> &FixIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::FixDatabase;
+    use crate::options::FixOptions;
+
+    fn serving_db() -> FixDatabase {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<bib><article><author><email/></author><ee/></article></bib>")
+            .unwrap();
+        db.add_xml("<bib><book><author><phone/></author></book></bib>")
+            .unwrap();
+        db.add_xml("<bib><article><author><phone/><email/></author></article></bib>")
+            .unwrap();
+        db.build(FixOptions::collection().with_query_threads(3))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn session_is_shareable() {
+        fn assert_send_sync<T: Send + Sync + Clone>() {}
+        assert_send_sync::<QuerySession>();
+    }
+
+    #[test]
+    fn session_matches_the_sequential_path() {
+        let db = serving_db();
+        let session = db.session().unwrap();
+        assert_eq!(session.threads(), 3);
+        for q in [
+            "//article[author]/ee",
+            "//author[phone][email]",
+            "/bib/book/author/phone",
+            "//nonexistent/label",
+        ] {
+            let seq = db.query(q).unwrap();
+            // Cold (miss), warm (hit), and iterator paths all agree.
+            assert_eq!(session.query(q).unwrap(), seq, "cold diverged on {q}");
+            assert_eq!(session.query(q).unwrap(), seq, "warm diverged on {q}");
+            let streamed: Vec<_> = session.query_iter(q).unwrap().collect();
+            assert_eq!(streamed, seq.results, "stream diverged on {q}");
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_tally_once_per_query() {
+        let db = serving_db();
+        let session = db.session().unwrap();
+        session.query("//article/author").unwrap();
+        session.query("//article/author").unwrap();
+        session.query("//article/author").unwrap();
+        session.query("//book/author").unwrap();
+        let s = session.cache_stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+        // Clones share the cache — a clone's repeat is a hit.
+        let clone = session.clone();
+        clone.query("//book/author").unwrap();
+        assert_eq!(session.cache_stats().hits, 3);
+    }
+
+    #[test]
+    fn errors_flatten_through_the_session() {
+        let db = serving_db();
+        let session = db.session().unwrap();
+        assert!(matches!(
+            session.query("not a path"),
+            Err(FixError::BadQuery(_))
+        ));
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b><c/></b></a>").unwrap();
+        db.build(FixOptions::large_document(2)).unwrap();
+        let session = db.session().unwrap();
+        assert!(matches!(
+            session.query("//a/b/c"),
+            Err(FixError::NotCovered { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_capacity_session_still_answers() {
+        let db = serving_db();
+        let session = db.session().unwrap().with_cache_capacity(0);
+        let a = session.query("//article[author]/ee").unwrap();
+        let b = session.query("//article[author]/ee").unwrap();
+        assert_eq!(a, b);
+        let s = session.cache_stats();
+        assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+}

@@ -22,6 +22,7 @@
 pub mod fbq;
 pub mod nok;
 pub mod pathstack;
+pub mod refine;
 pub mod structjoin;
 pub mod twig;
 pub mod twigstack;
@@ -29,6 +30,7 @@ pub mod twigstack;
 pub use fbq::eval_fb;
 pub use nok::{anchors, eval_path, eval_path_from, path_matches, value_matches};
 pub use pathstack::{eval_pathstack, PathStackStats};
+pub use refine::Refiner;
 pub use structjoin::{eval_structural, join_pairs, semijoin_ancestors, semijoin_descendants};
 pub use twig::{eval_twig, node_satisfies, twig_matches, verify_output};
 pub use twigstack::{eval_twigstack, twigstack_filter, TwigStackStats};

@@ -31,6 +31,12 @@ pub enum FeatureMode {
 }
 
 /// The spectral feature key of one pattern.
+///
+/// Extraction never produces NaN components (eigenvalues of real
+/// matrices; the oversized fallback uses ±∞), so `Features` implements
+/// `Eq` and `Hash` and can key caches and memo tables directly. Hashing
+/// goes through the IEEE bit patterns with negative zero normalized, which
+/// keeps `hash` consistent with the float `==` of `PartialEq`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Features {
     /// Largest eigenvalue of `iM`.
@@ -50,6 +56,21 @@ pub struct Features {
     /// *any* match (homomorphisms preserve labeled edges), including the
     /// non-injective corner where spectral containment is not.
     pub bloom: u64,
+}
+
+impl Eq for Features {}
+
+impl std::hash::Hash for Features {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // `v + 0.0` maps -0.0 to +0.0 so values that compare equal under
+        // the derived `PartialEq` hash identically.
+        let bits = |v: f64| (v + 0.0).to_bits();
+        bits(self.lmax).hash(state);
+        bits(self.lmin).hash(state);
+        bits(self.sigma2).hash(state);
+        self.root.hash(state);
+        self.bloom.hash(state);
+    }
 }
 
 /// Bloom bits of one encoded edge weight (two hash functions).
@@ -466,6 +487,40 @@ mod tests {
         assert!(f.is_unbounded());
         // Edges were still interned for later queries.
         assert_eq!(enc.len(), 2);
+    }
+
+    #[test]
+    fn features_hash_consistently_with_equality() {
+        use std::collections::HashSet;
+        let f = Features {
+            lmax: 2.0,
+            lmin: -2.0,
+            sigma2: 0.0,
+            root: LabelId(3),
+            bloom: 5,
+        };
+        // A zero λ_max stores lmin = -0.0; the probe side computes +0.0.
+        let stored = Features {
+            lmax: 0.0,
+            lmin: -0.0,
+            sigma2: 0.0,
+            root: LabelId(1),
+            bloom: 0,
+        };
+        let probed = Features {
+            lmin: 0.0,
+            ..stored
+        };
+        assert_eq!(stored, probed);
+        let mut set = HashSet::new();
+        assert!(set.insert(f));
+        assert!(!set.insert(f), "identical features dedup");
+        assert!(set.insert(stored));
+        assert!(!set.insert(probed), "-0.0 and +0.0 hash to the same key");
+        assert!(
+            set.insert(Features::unbounded(LabelId(1))),
+            "±∞ hashes fine"
+        );
     }
 
     #[test]

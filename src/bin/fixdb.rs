@@ -1,25 +1,30 @@
 //! `fixdb` — command-line front end for the FIX index.
 //!
 //! ```text
-//! fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...
-//! fixdb query  <db> <xpath> [--metrics] [--show N] [--plan] [--explain]
-//! fixdb insert <db> <file.xml>...
-//! fixdb remove <db> <doc-id>...
-//! fixdb vacuum <db>
-//! fixdb stats  <db>
-//! fixdb gen    <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
+//! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...
+//! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain]
+//! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R]
+//! fixdb insert      <db> <file.xml>...
+//! fixdb remove      <db> <doc-id>...
+//! fixdb vacuum      <db>
+//! fixdb stats       <db>
+//! fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
 //! ```
 //!
 //! `build` indexes XML files into a self-contained database file; `query`
-//! runs an XPath twig over it; `insert` appends documents incrementally
-//! (unclustered databases); `gen` writes the paper-shaped synthetic
-//! corpora for experimentation. Everything routes through the
+//! runs an XPath twig over it; `bench-query` serves a batch of queries
+//! through a [`QuerySession`](fix::core::QuerySession) — plan cache plus
+//! parallel refinement — and reports timings, cache hit-rate, and a
+//! verification against the sequential path; `insert` appends documents
+//! incrementally (unclustered databases); `gen` writes the paper-shaped
+//! synthetic corpora for experimentation. Everything routes through the
 //! [`FixDatabase`] facade.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-use fix::core::{Collection, QueryError};
+use fix::core::Collection;
 use fix::datagen::GenConfig;
 use fix::{FixDatabase, FixError, FixOptions};
 
@@ -28,6 +33,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("build") => build(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("bench-query") => bench_query(&args[1..]),
         Some("insert") => insert(&args[1..]),
         Some("remove") => remove(&args[1..]),
         Some("vacuum") => vacuum(&args[1..]),
@@ -35,15 +41,16 @@ fn main() -> ExitCode {
         Some("gen") => gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fixdb <build|query|insert|stats|gen> ...\n\
+                "usage: fixdb <build|query|bench-query|insert|stats|gen> ...\n\
                  \n\
-                 fixdb build  <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...\n\
-                 fixdb query  <db> <xpath> [--metrics] [--show N] [--plan] [--explain]\n\
-                 fixdb insert <db> <file.xml>...\n\
-                 fixdb remove <db> <doc-id>...\n\
-                 fixdb vacuum <db>\n\
-                 fixdb stats  <db>\n\
-                 fixdb gen    <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
+                 fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...\n\
+                 fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain]\n\
+                 fixdb bench-query <db> <xpath>... [--threads N] [--repeat R]\n\
+                 fixdb insert      <db> <file.xml>...\n\
+                 fixdb remove      <db> <doc-id>...\n\
+                 fixdb vacuum      <db>\n\
+                 fixdb stats       <db>\n\
+                 fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
             );
             return ExitCode::FAILURE;
         }
@@ -204,10 +211,10 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let t = std::time::Instant::now();
     let out = match db.query(xpath) {
         Ok(o) => o,
-        Err(FixError::Query(QueryError::NotCovered {
+        Err(FixError::NotCovered {
             query_depth,
             depth_limit,
-        })) => {
+        }) => {
             return Err(err(format!(
                 "query depth {query_depth} exceeds the index depth limit {depth_limit}; \
                  rebuild with a larger --depth-limit"
@@ -242,6 +249,96 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Serves a batch of queries through a `QuerySession` — the concurrent
+/// query path with plan caching and parallel refinement — and reports
+/// round timings plus cache effectiveness. Every outcome is verified
+/// byte-identical against the sequential `FixDatabase::query` path.
+fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut db_path: Option<&str> = None;
+    let mut queries: Vec<&str> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut repeat = 5usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("--threads needs an integer (0 = all cores)"))?,
+                );
+            }
+            "--repeat" => {
+                repeat = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&r| r > 0)
+                    .ok_or_else(|| err("--repeat needs a positive integer"))?;
+            }
+            _ if db_path.is_none() => db_path = Some(a),
+            _ => queries.push(a),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
+    if queries.is_empty() {
+        return Err(err("no queries"));
+    }
+    let db = open_existing(db_path)?;
+    let mut session = db.session()?;
+    if let Some(n) = threads {
+        session = session.with_threads(n);
+    }
+    println!(
+        "serving {} queries × {} rounds, {} refinement thread(s)",
+        queries.len(),
+        repeat,
+        session.threads()
+    );
+    let mut total = Duration::ZERO;
+    for q in &queries {
+        let t = Instant::now();
+        let cold = session.query(q).map_err(|e| err(format!("{q}: {e}")))?;
+        let cold_time = t.elapsed();
+        let mut warm_time = Duration::ZERO;
+        for _ in 1..repeat {
+            let t = Instant::now();
+            let warm = session.query(q).map_err(|e| err(format!("{q}: {e}")))?;
+            warm_time += t.elapsed();
+            if warm != cold {
+                return Err(err(format!("non-deterministic results on `{q}`")));
+            }
+        }
+        // The session's parallel, cached path must be byte-identical to
+        // the sequential facade path.
+        let sequential = db.query(q).map_err(|e| err(format!("{q}: {e}")))?;
+        if sequential != cold {
+            return Err(err(format!(
+                "session diverged from the sequential path on `{q}`"
+            )));
+        }
+        total += cold_time + warm_time;
+        if repeat > 1 {
+            println!(
+                "  {q}: {} results, cold {cold_time:?}, warm avg {:?}",
+                cold.results.len(),
+                warm_time / (repeat - 1) as u32
+            );
+        } else {
+            println!("  {q}: {} results in {cold_time:?}", cold.results.len());
+        }
+    }
+    let s = session.cache_stats();
+    println!(
+        "total {total:?} | plan cache: {} hits / {} misses ({:.1}% hit rate, {} cached)",
+        s.hits,
+        s.misses,
+        100.0 * s.hit_rate(),
+        s.entries
+    );
+    println!("all outcomes verified against the sequential path");
+    Ok(())
+}
+
 fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let db_path = args.first().ok_or_else(|| err("missing database path"))?;
     if args.len() < 2 {
@@ -261,7 +358,7 @@ fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "clustered databases cannot absorb inserts; rebuild instead",
         ));
     }
-    let (mut coll, _) = db.into_parts();
+    let (mut coll, _) = db.into_parts()?;
     for f in &args[1..] {
         let xml = std::fs::read_to_string(f)?;
         coll.add_xml(&xml).map_err(|e| err(format!("{f}: {e}")))?;

@@ -33,7 +33,8 @@
 //! [`FixDatabase`] is the facade: open (or create) a database, add
 //! documents, build, query. [`FixOptions::builder`] names every
 //! construction knob; `threads(n)` parallelises the build pipeline with a
-//! bit-identical result (0 = all cores). Every failure is one
+//! bit-identical result (0 = all cores), `query_threads(n)` does the same
+//! for the refinement phase of query serving. Every failure is one
 //! [`FixError`].
 //!
 //! ```
@@ -52,6 +53,32 @@
 //! # }
 //! ```
 //!
+//! ## Concurrent serving
+//!
+//! [`QuerySession`] snapshots a database for shared-read serving: clone
+//! it across threads, get plan caching (parse/decompose/eigen-features
+//! memoized per normalized query) and parallel candidate refinement for
+//! free — with results byte-identical to the sequential path.
+//!
+//! ```
+//! use fix::{FixDatabase, FixOptions};
+//!
+//! # fn main() -> Result<(), fix::FixError> {
+//! let mut db = FixDatabase::in_memory();
+//! db.add_xml("<bib><article><author/><ee/></article></bib>")?;
+//! db.build(FixOptions::builder().query_threads(2).build())?;
+//! let session = db.session()?;
+//! std::thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let session = session.clone();
+//!         s.spawn(move || session.query("//article[author]/ee").unwrap());
+//!     }
+//! });
+//! assert!(session.cache_stats().hits >= 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
 //! The lower-level pieces stay available for code that wants to own them:
 //!
 //! ```
@@ -66,8 +93,8 @@
 pub use fix_core as core;
 
 // The facade types, re-exported at the root: most applications need
-// nothing beyond these three.
-pub use fix_core::{FixDatabase, FixError, FixOptions};
+// nothing beyond these.
+pub use fix_core::{FixDatabase, FixError, FixOptions, QuerySession};
 
 /// XML data model, parser, and event streams (`fix-xml`).
 pub mod xml {

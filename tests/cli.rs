@@ -112,6 +112,67 @@ fn build_and_insert_small_collection() {
 }
 
 #[test]
+fn bench_query_serves_and_verifies() {
+    let dir = workdir("bench-query");
+    let xml = dir.join("dblp.xml");
+    let db = dir.join("db.fixdb");
+
+    let out = fixdb()
+        .args(["gen", "dblp", "--scale", "0.03", "--out"])
+        .arg(&xml)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = fixdb().args(["build"]).arg(&db).arg(&xml).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = fixdb()
+        .args(["bench-query"])
+        .arg(&db)
+        .args([
+            "//inproceedings[url]/title",
+            "//article[number]/author",
+            "--threads",
+            "2",
+            "--repeat",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 refinement thread(s)"), "{stdout}");
+    assert!(stdout.contains("plan cache: 4 hits / 2 misses"), "{stdout}");
+    assert!(
+        stdout.contains("verified against the sequential path"),
+        "{stdout}"
+    );
+
+    // Unservable queries surface as errors, not bogus timings.
+    let out = fixdb()
+        .args(["bench-query"])
+        .arg(&db)
+        .arg("not a path")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = fixdb().output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,157 @@
+//! The concurrent query-serving layer: `QuerySession` snapshots under
+//! multi-threaded load, plan-cache correctness and eviction, and the
+//! byte-identity guarantee of the cached + parallel path against the
+//! sequential baseline.
+
+use fix::core::{DocId, FixOptions, QueryOutcome};
+use fix::datagen::{tcmd, xmark, GenConfig};
+use fix::{FixDatabase, FixError};
+
+fn collection_db() -> FixDatabase {
+    let mut db = FixDatabase::in_memory();
+    for doc in tcmd(GenConfig::scaled(0.2)) {
+        db.add_xml(&doc).unwrap();
+    }
+    db.build(FixOptions::collection().with_query_threads(4))
+        .unwrap();
+    db
+}
+
+const COLLECTION_QUERIES: &[&str] = &[
+    "/article[epilog]/prolog/authors/author",
+    "//author/contact[phone]",
+    "//prolog[keywords]/authors/author",
+    "//contact[phone][email]",
+    "//section/p",
+    "//nonexistent/label",
+];
+
+#[test]
+fn session_stress_matches_sequential_baseline() {
+    let db = collection_db();
+    // Sequential reference outcomes, computed before any session exists.
+    let reference: Vec<QueryOutcome> = COLLECTION_QUERIES
+        .iter()
+        .map(|q| db.query(q).unwrap())
+        .collect();
+
+    let session = db.session().unwrap();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let session = session.clone();
+            let reference = &reference;
+            handles.push(s.spawn(move || {
+                // Each thread hammers all queries in a rotated order, so
+                // cache warm-up interleaves differently per thread.
+                for round in 0..5 {
+                    for i in 0..COLLECTION_QUERIES.len() {
+                        let k = (i + t + round) % COLLECTION_QUERIES.len();
+                        let out = session.query(COLLECTION_QUERIES[k]).unwrap();
+                        assert_eq!(
+                            out, reference[k],
+                            "thread {t} round {round} diverged on {}",
+                            COLLECTION_QUERIES[k]
+                        );
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panics in serving threads");
+        }
+    });
+
+    // 8 threads × 5 rounds × 6 queries, every one tallied exactly once.
+    let s = session.cache_stats();
+    assert_eq!(s.hits + s.misses, 8 * 5 * 6);
+    assert!(
+        s.misses <= COLLECTION_QUERIES.len() as u64 * 8,
+        "at worst each thread compiles each query once on a cold race; got {} misses",
+        s.misses
+    );
+    assert!(s.hit_rate() > 0.5);
+}
+
+#[test]
+fn large_document_session_matches_sequential_baseline() {
+    let mut db = FixDatabase::in_memory();
+    db.add_xml(&xmark(GenConfig::scaled(0.1))).unwrap();
+    db.build(FixOptions::large_document(6).with_query_threads(0))
+        .unwrap();
+    let queries = [
+        "//item/mailbox/mail/text/emph/keyword",
+        "//open_auction[seller]/annotation/description/text",
+        "//description/parlist/listitem",
+        "//closed_auction/annotation/description/text",
+    ];
+    let session = db.session().unwrap();
+    assert!(session.threads() >= 1);
+    for q in queries {
+        let seq = db.query(q).unwrap();
+        assert_eq!(session.query(q).unwrap(), seq, "cold diverged on {q}");
+        assert_eq!(session.query(q).unwrap(), seq, "warm diverged on {q}");
+    }
+}
+
+#[test]
+fn plan_cache_evicts_and_stays_correct() {
+    let db = collection_db();
+    // Capacity 2 with 6 distinct queries: constant eviction pressure.
+    let session = db.session().unwrap().with_cache_capacity(2);
+    let reference: Vec<QueryOutcome> = COLLECTION_QUERIES
+        .iter()
+        .map(|q| db.query(q).unwrap())
+        .collect();
+    for round in 0..3 {
+        for (i, q) in COLLECTION_QUERIES.iter().enumerate() {
+            let out = session.query(q).unwrap();
+            assert_eq!(out, reference[i], "round {round} diverged on {q}");
+        }
+    }
+    let s = session.cache_stats();
+    assert!(s.entries <= 2, "capacity respected, got {}", s.entries);
+    assert_eq!(s.capacity, 2);
+    assert_eq!(s.hits + s.misses, 18);
+}
+
+#[test]
+fn warm_hits_reuse_the_plan_and_agree_with_misses() {
+    let db = collection_db();
+    let session = db.session().unwrap();
+    let q = "//item[quantity]/location";
+    let miss = session.query(q).unwrap();
+    assert_eq!(session.cache_stats().misses, 1);
+    let hit = session.query(q).unwrap();
+    assert_eq!(session.cache_stats().hits, 1, "second run must hit");
+    assert_eq!(miss, hit, "hit and miss outcomes must be byte-identical");
+}
+
+#[test]
+fn snapshot_isolation_against_admin_operations() {
+    let mut db = FixDatabase::in_memory();
+    db.add_xml("<r><a><b/></a></r>").unwrap();
+    db.add_xml("<r><a><c/></a></r>").unwrap();
+    db.build(FixOptions::collection()).unwrap();
+    let session = db.session().unwrap();
+    // Mutations are refused while the snapshot is out.
+    assert!(matches!(
+        db.add_xml("<r><a><b/></a></r>"),
+        Err(FixError::SnapshotInUse)
+    ));
+    assert!(matches!(
+        db.remove_document(DocId(0)),
+        Err(FixError::SnapshotInUse)
+    ));
+    assert_eq!(session.query("//a/b").unwrap().results.len(), 1);
+    drop(session);
+    // With the snapshot released, the same operations go through.
+    db.remove_document(DocId(0)).unwrap();
+    let session = db.session().unwrap();
+    assert!(session.query("//a/b").unwrap().results.is_empty());
+    // Vacuum swaps snapshots; the live session keeps the old one.
+    db.vacuum().unwrap();
+    assert_eq!(db.len(), 1);
+    assert_eq!(session.collection().len(), 2);
+    assert!(session.query("//a/b").unwrap().results.is_empty());
+}

@@ -187,7 +187,7 @@ impl<T: Clone + fmt::Debug> Strategy for Just<T> {
 }
 
 pub mod strategy {
-    //! Combinator strategies returned by [`Strategy`](crate::Strategy)
+    //! Combinator strategies returned by [`Strategy`]
     //! methods and the `prop_oneof!` macro.
 
     use super::{fmt, BoxedStrategy, Strategy, TestRng};
@@ -492,7 +492,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng as _;
 
-    /// Accepted element-count specifications for [`vec`].
+    /// Accepted element-count specifications for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -527,7 +527,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
