@@ -13,4 +13,4 @@ pub mod tree;
 
 pub use keycodec::{decode_f64, encode_f64, KeyWriter};
 pub use rtree::{Point, RTree, RTreeProbeStats};
-pub use tree::{BTree, BTreeStats};
+pub use tree::{BTree, BTreeStats, RangeScan, ScanStats};

@@ -6,8 +6,10 @@
 //! pattern (the part the experiments measure) is identical to an in-place
 //! implementation.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use fix_obs::{MetricsRegistry, Reportable};
 use fix_storage::{BufferPool, PageId, PAGE_SIZE};
 
 /// Offset of the entry area in a node page.
@@ -40,6 +42,22 @@ enum Node {
     },
 }
 
+/// Cumulative scan-work counters since the tree was opened (relaxed
+/// atomics — `&self` scans from any number of threads tally safely).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Range scans started (`range`, `iter`, and `get` each count one).
+    pub scans: u64,
+    /// Entries yielded across all scans.
+    pub entries_scanned: u64,
+}
+
+#[derive(Default)]
+struct ScanCounters {
+    scans: AtomicU64,
+    entries: AtomicU64,
+}
+
 /// A B+-tree with fixed-length byte keys and `u64` values.
 pub struct BTree {
     pool: Arc<BufferPool>,
@@ -48,6 +66,7 @@ pub struct BTree {
     height: usize,
     entries: u64,
     pages: u64,
+    scan_counters: ScanCounters,
 }
 
 impl BTree {
@@ -62,6 +81,7 @@ impl BTree {
             height: 1,
             entries: 0,
             pages: 1,
+            scan_counters: ScanCounters::default(),
         };
         t.store(
             root,
@@ -105,6 +125,7 @@ impl BTree {
             height: 1,
             entries: 0,
             pages: 0,
+            scan_counters: ScanCounters::default(),
         };
 
         // Leaf level: pack `leaf_cap` entries per page, chain the pages.
@@ -341,6 +362,7 @@ impl BTree {
     /// is given), in key order.
     pub fn range<'a>(&'a self, start: &[u8], end: Option<&[u8]>) -> RangeScan<'a> {
         assert_eq!(start.len(), self.key_len);
+        self.scan_counters.scans.fetch_add(1, Ordering::Relaxed);
         // Descend to the leaf that may contain `start`.
         let mut page = self.root;
         loop {
@@ -357,6 +379,7 @@ impl BTree {
                         pos,
                         next,
                         end: end.map(<[u8]>::to_vec),
+                        yielded: 0,
                     };
                 }
             }
@@ -367,6 +390,14 @@ impl BTree {
     pub fn iter(&self) -> RangeScan<'_> {
         let start = vec![0u8; self.key_len];
         self.range(&start, None)
+    }
+
+    /// Cumulative scan-work counters since the tree was opened.
+    pub fn scan_stats(&self) -> ScanStats {
+        ScanStats {
+            scans: self.scan_counters.scans.load(Ordering::Relaxed),
+            entries_scanned: self.scan_counters.entries.load(Ordering::Relaxed),
+        }
     }
 
     /// Current statistics.
@@ -460,6 +491,9 @@ pub struct RangeScan<'a> {
     pos: usize,
     next: u64,
     end: Option<Vec<u8>>,
+    /// Entries yielded so far; flushed into the tree's counters once on
+    /// drop so the scan hot loop touches no shared cache lines.
+    yielded: u64,
 }
 
 impl Iterator for RangeScan<'_> {
@@ -475,6 +509,7 @@ impl Iterator for RangeScan<'_> {
                     }
                 }
                 self.pos += 1;
+                self.yielded += 1;
                 return Some((k.clone(), *v));
             }
             if self.next == NO_PAGE {
@@ -489,6 +524,40 @@ impl Iterator for RangeScan<'_> {
                 Node::Internal { .. } => unreachable!("leaf chain points to internal node"),
             }
         }
+    }
+}
+
+impl Drop for RangeScan<'_> {
+    fn drop(&mut self) {
+        if self.yielded > 0 {
+            self.tree
+                .scan_counters
+                .entries
+                .fetch_add(self.yielded, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Reportable for BTreeStats {
+    /// Sets shape gauges (idempotent — levels, not work).
+    fn report(&self, registry: &MetricsRegistry) {
+        registry.gauge("fix_btree_height").set(self.height as i64);
+        registry.gauge("fix_btree_pages").set(self.pages as i64);
+        registry.gauge("fix_btree_entries").set(self.entries as i64);
+        registry
+            .gauge("fix_btree_size_bytes")
+            .set(self.size_bytes as i64);
+    }
+}
+
+impl Reportable for ScanStats {
+    /// Sets cumulative scan-work gauges (the tree's atomics are the source
+    /// of truth; re-reporting overwrites with the latest totals).
+    fn report(&self, registry: &MetricsRegistry) {
+        registry.gauge("fix_btree_scans").set(self.scans as i64);
+        registry
+            .gauge("fix_btree_scanned_entries")
+            .set(self.entries_scanned as i64);
     }
 }
 
@@ -682,6 +751,48 @@ mod tests {
     fn bulk_load_rejects_unsorted_input() {
         let out_of_order = vec![(key8(5), 1), (key8(3), 2)];
         BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, out_of_order);
+    }
+
+    #[test]
+    fn scan_stats_count_scans_and_entries() {
+        let mut t = tree(8);
+        for i in 0..100u64 {
+            t.insert(&key8(i), i);
+        }
+        assert_eq!(t.scan_stats(), ScanStats::default());
+        assert_eq!(t.range(&key8(10), Some(&key8(20))).count(), 10);
+        let s = t.scan_stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.entries_scanned, 10);
+        // `get` runs a one-entry scan; iter scans everything.
+        t.get(&key8(5));
+        assert_eq!(t.iter().count(), 100);
+        let s = t.scan_stats();
+        assert_eq!(s.scans, 3);
+        assert_eq!(s.entries_scanned, 111);
+        // A dropped, half-consumed scan still flushes what it yielded.
+        let mut scan = t.range(&key8(0), None);
+        scan.next();
+        scan.next();
+        drop(scan);
+        assert_eq!(t.scan_stats().entries_scanned, 113);
+    }
+
+    #[test]
+    fn stats_report_as_gauges() {
+        let mut t = tree(8);
+        for i in 0..50u64 {
+            t.insert(&key8(i), i);
+        }
+        t.iter().count();
+        let reg = MetricsRegistry::new();
+        t.stats().report(&reg);
+        t.scan_stats().report(&reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("fix_btree_entries"), Some(50));
+        assert_eq!(snap.gauge("fix_btree_scans"), Some(1));
+        assert_eq!(snap.gauge("fix_btree_scanned_entries"), Some(50));
+        assert!(snap.gauge("fix_btree_height").unwrap() >= 1);
     }
 
     #[test]

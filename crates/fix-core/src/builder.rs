@@ -67,6 +67,45 @@ impl BuildStats {
     }
 }
 
+impl fix_obs::Reportable for BuildStats {
+    /// Sets the construction gauges (idempotent — build stats are levels;
+    /// rebuilding reports the new values over the old).
+    fn report(&self, registry: &fix_obs::MetricsRegistry) {
+        let ns = |d: Duration| i64::try_from(d.as_nanos()).unwrap_or(i64::MAX);
+        registry.gauge("fix_build_entries").set(self.entries as i64);
+        registry
+            .gauge("fix_build_distinct_patterns")
+            .set(self.distinct_patterns as i64);
+        registry
+            .gauge("fix_build_fallbacks")
+            .set(self.fallbacks as i64);
+        registry.gauge("fix_build_threads").set(self.threads as i64);
+        registry
+            .gauge("fix_build_bisim_vertices")
+            .set(self.bisim_vertices as i64);
+        registry
+            .gauge("fix_build_bisim_edges")
+            .set(self.bisim_edges as i64);
+        registry
+            .gauge("fix_build_btree_bytes")
+            .set(self.btree_bytes as i64);
+        registry
+            .gauge("fix_build_clustered_bytes")
+            .set(self.clustered_bytes as i64);
+        registry.gauge("fix_build_wall_ns").set(ns(self.build_time));
+        registry
+            .gauge("fix_build_stream_ns")
+            .set(ns(self.stream_time));
+        registry
+            .gauge("fix_build_discover_ns")
+            .set(ns(self.discover_time));
+        registry
+            .gauge("fix_build_extract_ns")
+            .set(ns(self.extract_time));
+        registry.gauge("fix_build_load_ns").set(ns(self.load_time));
+    }
+}
+
 /// The mutable construction state that incremental insertion keeps alive:
 /// the shared bisimulation graph, the truncation forest, and the feature
 /// memo. Dropped for clustered indexes (their copies live in key order and
@@ -552,6 +591,17 @@ impl FixIndex {
     /// Construction statistics.
     pub fn stats(&self) -> &BuildStats {
         &self.stats
+    }
+
+    /// Shape statistics of the underlying B-tree.
+    pub fn btree_stats(&self) -> fix_btree::BTreeStats {
+        self.btree.stats()
+    }
+
+    /// Cumulative B-tree scan-work counters (range scans started, entries
+    /// yielded) since the index was built or loaded.
+    pub fn scan_stats(&self) -> fix_btree::ScanStats {
+        self.btree.scan_stats()
     }
 
     /// The index configuration.

@@ -34,6 +34,8 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use fix_obs::{MetricsRegistry, Reportable, Stage};
+
 use crate::builder::{BuildStats, FixIndex};
 use crate::collection::{Collection, DocId};
 use crate::error::FixError;
@@ -47,6 +49,9 @@ pub struct FixDatabase {
     path: Option<PathBuf>,
     coll: Arc<Collection>,
     index: Option<Arc<FixIndex>>,
+    /// The database's metrics registry; sessions created via
+    /// [`FixDatabase::session`] record into it.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl FixDatabase {
@@ -56,6 +61,7 @@ impl FixDatabase {
             path: None,
             coll: Arc::new(Collection::new()),
             index: None,
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -74,6 +80,7 @@ impl FixDatabase {
             path: Some(path.to_path_buf()),
             coll: Arc::new(coll),
             index,
+            metrics: Arc::new(MetricsRegistry::new()),
         })
     }
 
@@ -84,6 +91,7 @@ impl FixDatabase {
             path: None,
             coll: Arc::new(coll),
             index: index.map(Arc::new),
+            metrics: Arc::new(MetricsRegistry::new()),
         }
     }
 
@@ -126,6 +134,7 @@ impl FixDatabase {
         let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
         let idx = FixIndex::build(coll, opts);
         self.index = Some(Arc::new(idx));
+        self.report_metrics();
         Ok(self.stats().expect("index was just built"))
     }
 
@@ -139,6 +148,7 @@ impl FixDatabase {
         let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
         let idx = crate::builder::build_on_disk_impl(coll, opts, pages.as_ref())?;
         self.index = Some(Arc::new(idx));
+        self.report_metrics();
         Ok(self.stats().expect("index was just built"))
     }
 
@@ -164,7 +174,7 @@ impl FixDatabase {
     /// later vacuumed or rebuilt.
     pub fn session(&self) -> Result<QuerySession, FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
-        Ok(QuerySession::new(self.coll.clone(), idx.clone()))
+        Ok(QuerySession::new(self.coll.clone(), idx.clone()).with_registry(self.metrics.clone()))
     }
 
     /// Tombstones a document (see [`FixIndex::remove_document`]).
@@ -204,6 +214,45 @@ impl FixDatabase {
     fn save_to(&self, path: &Path) -> Result<(), FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
         Ok(crate::persist::save_impl(path, &self.coll, idx)?)
+    }
+
+    /// The database's metrics registry. Sessions opened via
+    /// [`FixDatabase::session`] record their per-query stage timings and
+    /// work counters here; [`FixDatabase::report_metrics`] refreshes the
+    /// level-style gauges (index shape, build stats, scan totals).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Refreshes every level-style gauge in the registry from current
+    /// state and materializes the standard per-query instruments (so an
+    /// exposition shows them at zero before any query has run). Call
+    /// before [`MetricsRegistry::render_prometheus`] /
+    /// [`MetricsRegistry::render_json`].
+    pub fn report_metrics(&self) {
+        let reg = &*self.metrics;
+        reg.counter("fix_queries_total");
+        reg.histogram("fix_query_wall_ns");
+        for s in Stage::ALL {
+            reg.histogram(s.metric_name());
+        }
+        reg.counter("fix_refine_candidates_total");
+        reg.counter("fix_refine_producing_total");
+        for g in [
+            "fix_plan_cache_hits",
+            "fix_plan_cache_misses",
+            "fix_plan_cache_evictions",
+            "fix_plan_cache_entries",
+            "fix_plan_cache_capacity",
+        ] {
+            reg.gauge(g);
+        }
+        if let Some(idx) = self.index.as_deref() {
+            idx.stats().report(reg);
+            idx.btree_stats().report(reg);
+            idx.scan_stats().report(reg);
+            reg.gauge("fix_index_entries").set(idx.entry_count() as i64);
+        }
     }
 
     /// The document collection.

@@ -4,11 +4,13 @@
 
 use std::fmt;
 
+use fix_obs::QueryTrace;
 use fix_spectral::Features;
-use fix_xpath::{decompose, normalize, Axis, PathExpr};
+use fix_xpath::{decompose, normalize, parse_path, Axis, PathExpr};
 
 use crate::builder::FixIndex;
 use crate::collection::Collection;
+use crate::metrics::Metrics;
 use crate::query::QueryError;
 
 /// How one twig block prunes.
@@ -84,6 +86,39 @@ impl fmt::Display for Explain {
     }
 }
 
+/// EXPLAIN ANALYZE: the static [`Explain`] plus one *actual* traced
+/// execution — per-stage wall times and the Section 6.2 effectiveness
+/// metrics computed from the real candidate/result counts, not estimates.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalyze {
+    /// The static planner view.
+    pub explain: Explain,
+    /// The executed pipeline, stage by stage.
+    pub trace: QueryTrace,
+    /// Real `ent`/`cdt`/`rst` counters from the run.
+    pub metrics: Metrics,
+    /// Number of final result rows.
+    pub results: usize,
+}
+
+impl fmt::Display for ExplainAnalyze {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.explain, self.trace)?;
+        writeln!(
+            f,
+            "candidates {}  producing {}  results {}",
+            self.metrics.candidates, self.metrics.producing, self.results
+        )?;
+        writeln!(
+            f,
+            "sel {:.4}  pp {:.4}  fpr {:.4}",
+            self.metrics.sel(),
+            self.metrics.pp(),
+            self.metrics.fpr()
+        )
+    }
+}
+
 impl FixIndex {
     /// Explains how a query would be processed, without refinement.
     pub fn explain(&self, coll: &Collection, path: &PathExpr) -> Result<Explain, QueryError> {
@@ -126,6 +161,29 @@ impl FixIndex {
             }
         }
         Ok(out)
+    }
+
+    /// EXPLAIN ANALYZE: the static explanation, plus the query actually
+    /// run (traced, refinement across `threads` workers) with the real
+    /// per-stage wall times and §6.2 selectivity/pruning-power/FPR
+    /// numbers. Not-covered queries propagate
+    /// [`QueryError::NotCovered`] — there is nothing to analyze when the
+    /// index cannot run the query.
+    pub fn explain_analyze(
+        &self,
+        coll: &Collection,
+        query: &str,
+        threads: usize,
+    ) -> Result<ExplainAnalyze, QueryError> {
+        let path = parse_path(query)?;
+        let explain = self.explain(coll, &path)?;
+        let (outcome, trace) = self.query_traced(coll, query, threads)?;
+        Ok(ExplainAnalyze {
+            explain,
+            trace,
+            metrics: outcome.metrics,
+            results: outcome.results.len(),
+        })
     }
 
     fn block_has_duplicate_labels(coll: &Collection, block: &PathExpr) -> bool {
@@ -180,6 +238,31 @@ mod tests {
             .unwrap();
         assert_eq!(e.not_covered, Some((6, 4)));
         assert!(format!("{e}").contains("NOT COVERED"));
+    }
+
+    #[test]
+    fn explain_analyze_runs_the_query_for_real() {
+        use fix_obs::Stage;
+        let (coll, idx) = setup();
+        let ea = idx.explain_analyze(&coll, "//np//pp", 2).unwrap();
+        // The trace and metrics come from an actual execution and agree
+        // with the plain query path.
+        let out = idx.query(&coll, "//np//pp").unwrap();
+        assert_eq!(ea.metrics, out.metrics);
+        assert_eq!(ea.results, out.results.len());
+        assert_eq!(
+            ea.trace.stage(Stage::Scan).unwrap().items,
+            Some(out.metrics.candidates)
+        );
+        let text = format!("{ea}");
+        assert!(text.contains("normalized:"), "{text}");
+        assert!(text.contains("scan"), "{text}");
+        assert!(text.contains("sel "), "{text}");
+        // Not-covered queries have nothing to analyze.
+        assert!(matches!(
+            idx.explain_analyze(&coll, "//s/s/np/pp/s/np", 1),
+            Err(QueryError::NotCovered { .. })
+        ));
     }
 
     #[test]

@@ -44,7 +44,8 @@ pub use collection::{Collection, DocId};
 pub use database::FixDatabase;
 pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
-pub use explain::{BlockExplain, Explain};
+pub use explain::{BlockExplain, Explain, ExplainAnalyze};
+pub use fix_obs::{MetricsRegistry, MetricsSnapshot, QueryTrace, Reportable, Stage, StageRecord};
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, CacheStats, Metrics};
 pub use options::{FixOptions, FixOptionsBuilder, RefineOp};

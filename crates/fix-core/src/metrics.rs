@@ -11,6 +11,7 @@
 //! ```
 
 use fix_exec::{anchors, eval_path};
+use fix_obs::{MetricsRegistry, Reportable};
 use fix_xpath::PathExpr;
 
 use crate::collection::Collection;
@@ -48,6 +49,20 @@ impl Metrics {
     }
 }
 
+impl Reportable for Metrics {
+    /// Adds one query's pruning/refinement work to the cumulative
+    /// counters; `entries` is a level and sets a gauge.
+    fn report(&self, registry: &MetricsRegistry) {
+        registry.gauge("fix_index_entries").set(self.entries as i64);
+        registry
+            .counter("fix_refine_candidates_total")
+            .add(self.candidates);
+        registry
+            .counter("fix_refine_producing_total")
+            .add(self.producing);
+    }
+}
+
 fn ratio(a: u64, b: u64) -> f64 {
     if b == 0 {
         0.0
@@ -66,6 +81,8 @@ pub struct CacheStats {
     pub hits: u64,
     /// Queries that had to compile their plan.
     pub misses: u64,
+    /// Plans evicted to stay within capacity.
+    pub evictions: u64,
     /// Plans currently cached (aliased spellings count separately).
     pub entries: usize,
     /// Maximum number of cached plans before LRU eviction.
@@ -76,6 +93,27 @@ impl CacheStats {
     /// Fraction of queries served from the cache (`0.0` before any query).
     pub fn hit_rate(&self) -> f64 {
         ratio(self.hits, self.hits + self.misses)
+    }
+}
+
+impl Reportable for CacheStats {
+    /// Sets the plan-cache gauges from this snapshot (idempotent — the
+    /// cache's own atomics are the source of truth, so re-reporting
+    /// overwrites with the latest totals).
+    fn report(&self, registry: &MetricsRegistry) {
+        registry.gauge("fix_plan_cache_hits").set(self.hits as i64);
+        registry
+            .gauge("fix_plan_cache_misses")
+            .set(self.misses as i64);
+        registry
+            .gauge("fix_plan_cache_evictions")
+            .set(self.evictions as i64);
+        registry
+            .gauge("fix_plan_cache_entries")
+            .set(self.entries as i64);
+        registry
+            .gauge("fix_plan_cache_capacity")
+            .set(self.capacity as i64);
     }
 }
 
@@ -133,6 +171,7 @@ mod tests {
         let warm = CacheStats {
             hits: 3,
             misses: 1,
+            evictions: 0,
             entries: 1,
             capacity: 256,
         };

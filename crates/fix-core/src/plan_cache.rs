@@ -35,6 +35,7 @@ pub struct PlanCache {
     inner: Mutex<CacheMap>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 struct CacheMap {
@@ -60,6 +61,7 @@ impl PlanCache {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +95,7 @@ impl PlanCache {
                 .map(|(k, _)| k.clone())
             {
                 map.entries.remove(&stalest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         map.entries.insert(
@@ -119,6 +122,7 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
             entries: self.inner.lock().entries.len(),
             capacity: self.capacity,
         }
@@ -172,6 +176,7 @@ mod tests {
         assert!(cache.get("//a").is_some());
         assert!(cache.get("//b").is_none());
         assert!(cache.get("//c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //!    `//` rewritten to `/` (candidates are rooted exactly at the anchor).
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use fix_bisim::{query_pattern_with_values, UnitInfo};
 use fix_exec::Refiner;
+use fix_obs::{QueryTrace, Stage};
 use fix_spectral::Features;
 use fix_xml::NodeId;
 use fix_xpath::{decompose, parse_path, Axis, PathExpr, TwigError, TwigQuery, XPathError};
@@ -135,11 +137,64 @@ impl QueryPlan {
     }
 }
 
+/// Wall-clock timings of one plan compilation, split along the stage
+/// boundary the trace reports: `compile` (twig decomposition) versus
+/// `eigen` (pruning-feature computation).
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct PlanTiming {
+    pub(crate) compile: Duration,
+    pub(crate) eigen: Duration,
+    /// Twig blocks the query decomposed into.
+    pub(crate) blocks: u64,
+}
+
+/// Wall-clock timings of one refinement run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RefineTiming {
+    pub(crate) wall: Duration,
+    /// Per-worker wall times in chunk order; empty for the sequential
+    /// path.
+    pub(crate) workers: Vec<Duration>,
+}
+
 impl FixIndex {
     /// Parses and runs a query (see [`FixIndex::query_path`]).
     pub fn query(&self, coll: &Collection, query: &str) -> Result<QueryOutcome, QueryError> {
         let path = parse_path(query)?;
         self.query_path(coll, &path)
+    }
+
+    /// Runs a query with full stage tracing: every pipeline stage's wall
+    /// time and item counts are captured in a [`QueryTrace`] alongside the
+    /// ordinary [`QueryOutcome`]. The outcome is byte-identical to
+    /// [`FixIndex::query`]; refinement fans across `threads` workers
+    /// (`≤ 1` = sequential). There is no plan cache at this level, so the
+    /// trace never contains a [`Stage::CacheProbe`] record — the session
+    /// layer adds that.
+    pub fn query_traced(
+        &self,
+        coll: &Collection,
+        query: &str,
+        threads: usize,
+    ) -> Result<(QueryOutcome, QueryTrace), QueryError> {
+        let t0 = Instant::now();
+        let mut trace = QueryTrace::new(query);
+        let parse_start = Instant::now();
+        let path = parse_path(query)?;
+        let normalized = fix_xpath::normalize(&path);
+        trace.record(Stage::Parse, parse_start.elapsed());
+        let (plan, pt) = self.plan_normalized_timed(coll, normalized)?;
+        trace.record(Stage::Compile, pt.compile).items = Some(pt.blocks);
+        trace.record(Stage::Eigen, pt.eigen);
+        let scan_start = Instant::now();
+        let candidates = self.scan_plan(&plan);
+        trace.record(Stage::Scan, scan_start.elapsed()).items = Some(candidates.len() as u64);
+        let (outcome, rt) = self.refine_with_threads_timed(coll, &plan.path, candidates, threads);
+        let r = trace.record(Stage::Refine, rt.wall);
+        r.items = Some(outcome.results.len() as u64);
+        r.workers = rt.workers;
+        trace.total = t0.elapsed();
+        Ok((outcome, trace))
     }
 
     /// Runs a parsed path expression through prune + refine. The
@@ -177,7 +232,21 @@ impl FixIndex {
         coll: &Collection,
         path: PathExpr,
     ) -> Result<QueryPlan, QueryError> {
+        self.plan_normalized_timed(coll, path).map(|(p, _)| p)
+    }
+
+    /// [`FixIndex::plan_normalized`] with per-stage wall clocks: the twig
+    /// decomposition (the trace's `compile` stage) is timed separately
+    /// from the eigenvalue work (`eigen`).
+    pub(crate) fn plan_normalized_timed(
+        &self,
+        coll: &Collection,
+        path: PathExpr,
+    ) -> Result<(QueryPlan, PlanTiming), QueryError> {
+        let compile_start = Instant::now();
         let blocks = decompose(&path);
+        let compile = compile_start.elapsed();
+        let eigen_start = Instant::now();
         // Pruning features of the top block.
         let top = self.block_features(coll, &blocks[0])?;
         // In collection mode the remaining blocks prune too: the document
@@ -195,12 +264,20 @@ impl FixIndex {
         } else {
             Vec::new()
         };
-        Ok(QueryPlan {
-            path,
-            blocks,
-            top,
-            rest,
-        })
+        let timing = PlanTiming {
+            compile,
+            eigen: eigen_start.elapsed(),
+            blocks: blocks.len() as u64,
+        };
+        Ok((
+            QueryPlan {
+                path,
+                blocks,
+                top,
+                rest,
+            },
+            timing,
+        ))
     }
 
     /// Step 4 of Algorithm 2: range-scan the B-tree with a compiled plan's
@@ -405,6 +482,21 @@ impl FixIndex {
         candidates: Vec<(IndexKey, u64)>,
         threads: usize,
     ) -> QueryOutcome {
+        self.refine_with_threads_timed(coll, path, candidates, threads)
+            .0
+    }
+
+    /// [`FixIndex::refine_with_threads`] plus wall clocks: the stage's
+    /// total wall time and (for the parallel path) each worker's wall
+    /// time, collected in chunk order so the aggregation is deterministic.
+    pub(crate) fn refine_with_threads_timed(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+        candidates: Vec<(IndexKey, u64)>,
+        threads: usize,
+    ) -> (QueryOutcome, RefineTiming) {
+        let start = Instant::now();
         let cdt = candidates.len() as u64;
         let refiner = Refiner::new(
             &coll.labels,
@@ -413,16 +505,23 @@ impl FixIndex {
             self.opts.refine == RefineOp::Twig,
         );
         let threads = threads.max(1).min(candidates.len().max(1));
-        let (mut results, producing) = if threads <= 1 {
-            self.refine_chunk(coll, &refiner, &candidates)
+        // One worker's output: its matches, producing count, and wall time.
+        type ChunkPart = (Vec<(DocId, NodeId)>, u64, Duration);
+        let (mut results, producing, workers) = if threads <= 1 {
+            let (r, p) = self.refine_chunk(coll, &refiner, &candidates);
+            (r, p, Vec::new())
         } else {
             let chunk = candidates.len().div_ceil(threads);
-            let parts: Vec<(Vec<(DocId, NodeId)>, u64)> = std::thread::scope(|s| {
+            let parts: Vec<ChunkPart> = std::thread::scope(|s| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk)
                     .map(|part| {
                         let refiner = &refiner;
-                        s.spawn(move || self.refine_chunk(coll, refiner, part))
+                        s.spawn(move || {
+                            let w0 = Instant::now();
+                            let (r, p) = self.refine_chunk(coll, refiner, part);
+                            (r, p, w0.elapsed())
+                        })
                     })
                     .collect();
                 handles
@@ -432,22 +531,31 @@ impl FixIndex {
             });
             let mut results = Vec::new();
             let mut producing = 0u64;
-            for (r, p) in parts {
+            let mut workers = Vec::with_capacity(parts.len());
+            for (r, p, w) in parts {
                 results.extend(r);
                 producing += p;
+                workers.push(w);
             }
-            (results, producing)
+            (results, producing, workers)
         };
         results.sort_unstable();
         results.dedup();
-        QueryOutcome {
+        let outcome = QueryOutcome {
             results,
             metrics: Metrics {
                 entries: self.btree.len(),
                 candidates: cdt,
                 producing,
             },
-        }
+        };
+        (
+            outcome,
+            RefineTiming {
+                wall: start.elapsed(),
+                workers,
+            },
+        )
     }
 
     /// Refines one contiguous run of candidates. `&self`-only — safe to
@@ -811,6 +919,38 @@ mod tests {
             let eager = idx.query(&c, q).unwrap();
             let outcome = idx.query_iter(&c, q).unwrap().into_outcome();
             assert_eq!(eager, outcome, "outcome diverged on {q}");
+        }
+    }
+
+    #[test]
+    fn traced_query_matches_untraced_and_records_all_stages() {
+        let mut c = bib_collection();
+        let idx = FixIndex::build(&mut c, FixOptions::collection());
+        for q in ["//article[author]/ee", "//nonexistent/label"] {
+            let plain = idx.query(&c, q).unwrap();
+            let (traced, trace) = idx.query_traced(&c, q, 2).unwrap();
+            assert_eq!(plain, traced, "traced outcome diverged on {q}");
+            for s in [
+                Stage::Parse,
+                Stage::Compile,
+                Stage::Eigen,
+                Stage::Scan,
+                Stage::Refine,
+            ] {
+                assert!(trace.stage(s).is_some(), "missing stage {s} on {q}");
+            }
+            // No plan cache at the index level — no probe record.
+            assert!(trace.stage(Stage::CacheProbe).is_none());
+            assert_eq!(
+                trace.stage(Stage::Scan).unwrap().items,
+                Some(traced.metrics.candidates),
+                "scan items must equal the candidate count on {q}"
+            );
+            assert_eq!(
+                trace.stage(Stage::Refine).unwrap().items,
+                Some(traced.results.len() as u64)
+            );
+            assert!(trace.total >= trace.stage(Stage::Refine).unwrap().wall);
         }
     }
 

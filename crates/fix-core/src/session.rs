@@ -22,6 +22,9 @@
 //!   sequential path.
 
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fix_obs::{Counter, Histogram, MetricsRegistry, QueryTrace, Stage};
 
 use crate::builder::FixIndex;
 use crate::collection::Collection;
@@ -29,7 +32,7 @@ use crate::error::FixError;
 use crate::metrics::CacheStats;
 use crate::options::resolve_threads;
 use crate::plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
-use crate::query::{QueryHits, QueryOutcome, QueryPlan};
+use crate::query::{PlanTiming, QueryHits, QueryOutcome, QueryPlan};
 
 /// Fewest candidates per extra worker that make spawning it worthwhile.
 /// Below this, per-candidate refinement is cheaper than thread start-up
@@ -38,13 +41,62 @@ use crate::query::{QueryHits, QueryOutcome, QueryPlan};
 /// this is purely a latency guard for highly selective queries.)
 const MIN_CANDIDATES_PER_WORKER: usize = 128;
 
+/// Pre-resolved registry handles for the per-query hot path. Resolving by
+/// name takes the registry's read lock; doing it once at session creation
+/// keeps query serving down to a handful of relaxed atomic adds.
+struct SessionMetrics {
+    /// `fix_queries_total`.
+    queries: Arc<Counter>,
+    /// `fix_query_wall_ns`.
+    query_wall: Arc<Histogram>,
+    /// Per-stage wall-time histograms, indexed by [`Stage::index`].
+    stages: Vec<Arc<Histogram>>,
+    /// `fix_refine_candidates_total`.
+    candidates: Arc<Counter>,
+    /// `fix_refine_producing_total`.
+    producing: Arc<Counter>,
+}
+
+impl SessionMetrics {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            queries: registry.counter("fix_queries_total"),
+            query_wall: registry.histogram("fix_query_wall_ns"),
+            stages: Stage::ALL
+                .iter()
+                .map(|s| registry.histogram(s.metric_name()))
+                .collect(),
+            candidates: registry.counter("fix_refine_candidates_total"),
+            producing: registry.counter("fix_refine_producing_total"),
+        }
+    }
+
+    fn stage(&self, stage: Stage) -> &Histogram {
+        &self.stages[stage.index()]
+    }
+}
+
+/// What one plan lookup did and how long each part took. `parse` is
+/// `None` on a raw-spelling hit (the repeat skipped the parse); `plan` is
+/// `None` on any hit (compile/eigen only run on a full miss).
+struct CachedPlanTiming {
+    /// Both cache probes combined.
+    probe: Duration,
+    hit: bool,
+    parse: Option<Duration>,
+    plan: Option<PlanTiming>,
+}
+
 /// A shared-read query-serving handle over one database snapshot. Cheap to
-/// clone (`Arc` bumps); clones share the snapshot *and* the plan cache.
+/// clone (`Arc` bumps); clones share the snapshot, the plan cache, *and*
+/// the metrics registry.
 #[derive(Clone)]
 pub struct QuerySession {
     coll: Arc<Collection>,
     index: Arc<FixIndex>,
     cache: Arc<PlanCache>,
+    registry: Arc<MetricsRegistry>,
+    metrics: Arc<SessionMetrics>,
     /// Resolved refinement worker count (≥ 1).
     threads: usize,
 }
@@ -55,12 +107,25 @@ impl QuerySession {
     /// option; the plan cache starts empty at the default capacity.
     pub fn new(coll: Arc<Collection>, index: Arc<FixIndex>) -> Self {
         let threads = index.opts.effective_query_threads();
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = Arc::new(SessionMetrics::resolve(&registry));
         Self {
             coll,
             index,
             cache: Arc::new(PlanCache::new(DEFAULT_PLAN_CACHE_CAPACITY)),
+            registry,
+            metrics,
             threads,
         }
+    }
+
+    /// Attaches the session to an existing metrics registry (e.g. the
+    /// owning database's, so every session feeds one exposition surface).
+    /// Handles are re-resolved; prior counts stay in the old registry.
+    pub fn with_registry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Arc::new(SessionMetrics::resolve(&registry));
+        self.registry = registry;
+        self
     }
 
     /// Overrides the refinement worker count (`0` = all cores) for this
@@ -81,19 +146,75 @@ impl QuerySession {
     /// Runs a query: cached plan → B-tree scan → parallel refinement.
     /// The [`QueryOutcome`] is byte-identical to
     /// [`FixIndex::query`](crate::FixIndex::query) on the same snapshot,
-    /// for every thread count and cache state.
+    /// for every thread count and cache state. Stage timings and work
+    /// counts are recorded into the session's registry either way.
     pub fn query(&self, query: &str) -> Result<QueryOutcome, FixError> {
-        let plan = self.cached_plan(query)?;
+        self.query_inner(query, None)
+    }
+
+    /// [`QuerySession::query`] with a full [`QueryTrace`] of the stage
+    /// pipeline: the cache probe (with its hit/miss outcome) comes first;
+    /// a warm hit legitimately skips the parse/compile/eigen records.
+    pub fn query_traced(&self, query: &str) -> Result<(QueryOutcome, QueryTrace), FixError> {
+        let mut trace = QueryTrace::new(query);
+        let outcome = self.query_inner(query, Some(&mut trace))?;
+        Ok((outcome, trace))
+    }
+
+    fn query_inner(
+        &self,
+        query: &str,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> Result<QueryOutcome, FixError> {
+        let t0 = Instant::now();
+        let (plan, timing) = self.cached_plan_timed(query)?;
+        let m = &*self.metrics;
+        m.stage(Stage::CacheProbe).record_duration(timing.probe);
+        if let Some(parse) = timing.parse {
+            m.stage(Stage::Parse).record_duration(parse);
+        }
+        if let Some(pt) = timing.plan {
+            m.stage(Stage::Compile).record_duration(pt.compile);
+            m.stage(Stage::Eigen).record_duration(pt.eigen);
+        }
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(Stage::CacheProbe, timing.probe).cache_hit = Some(timing.hit);
+            if let Some(parse) = timing.parse {
+                t.record(Stage::Parse, parse);
+            }
+            if let Some(pt) = timing.plan {
+                t.record(Stage::Compile, pt.compile).items = Some(pt.blocks);
+                t.record(Stage::Eigen, pt.eigen);
+            }
+        }
+        let scan_start = Instant::now();
         let candidates = self.index.scan_plan(&plan);
+        let scan_wall = scan_start.elapsed();
+        m.stage(Stage::Scan).record_duration(scan_wall);
+        if let Some(t) = trace.as_deref_mut() {
+            t.record(Stage::Scan, scan_wall).items = Some(candidates.len() as u64);
+        }
         // Scale the worker count to the candidate load: a query that the
         // index prunes down to a handful of candidates finishes faster on
         // one thread than it takes to start a second.
         let threads = self
             .threads
             .min(candidates.len() / MIN_CANDIDATES_PER_WORKER + 1);
-        Ok(self
-            .index
-            .refine_with_threads(&self.coll, plan.path(), candidates, threads))
+        let (outcome, rt) =
+            self.index
+                .refine_with_threads_timed(&self.coll, plan.path(), candidates, threads);
+        m.stage(Stage::Refine).record_duration(rt.wall);
+        m.candidates.add(outcome.metrics.candidates);
+        m.producing.add(outcome.metrics.producing);
+        m.queries.inc();
+        m.query_wall.record_duration(t0.elapsed());
+        if let Some(t) = trace {
+            let r = t.record(Stage::Refine, rt.wall);
+            r.items = Some(outcome.results.len() as u64);
+            r.workers = rt.workers;
+            t.total = t0.elapsed();
+        }
+        Ok(outcome)
     }
 
     /// Runs a query as a lazy iterator over matches in document order
@@ -106,37 +227,95 @@ impl QuerySession {
     }
 
     /// Fetches or compiles the plan for `query`, tallying exactly one
+    /// cache hit or miss (see [`QuerySession::cached_plan_timed`]).
+    fn cached_plan(&self, query: &str) -> Result<Arc<QueryPlan>, FixError> {
+        self.cached_plan_timed(query).map(|(plan, _)| plan)
+    }
+
+    /// Fetches or compiles the plan for `query`, tallying exactly one
     /// cache hit or miss. Two probes: the raw spelling first (an exact
     /// repeat skips even the parse), then the normalized spelling; on a
-    /// miss the compiled plan is stored under both.
-    fn cached_plan(&self, query: &str) -> Result<Arc<QueryPlan>, FixError> {
+    /// miss the compiled plan is stored under both. The returned timing
+    /// aggregates both probes into one `probe` wall clock and carries
+    /// parse/compile/eigen clocks only for the work that actually ran.
+    fn cached_plan_timed(
+        &self,
+        query: &str,
+    ) -> Result<(Arc<QueryPlan>, CachedPlanTiming), FixError> {
+        let probe_start = Instant::now();
         if let Some(plan) = self.cache.get(query) {
             self.cache.note_hit();
-            return Ok(plan);
+            return Ok((
+                plan,
+                CachedPlanTiming {
+                    probe: probe_start.elapsed(),
+                    hit: true,
+                    parse: None,
+                    plan: None,
+                },
+            ));
         }
+        let probe1 = probe_start.elapsed();
+        let parse_start = Instant::now();
         let path = fix_xpath::parse_path(query)?;
         let normalized = fix_xpath::normalize(&path);
         let key = normalized.to_string();
-        if let Some(plan) = self.cache.get(&key) {
+        let parse = parse_start.elapsed();
+        let probe2_start = Instant::now();
+        let probed = self.cache.get(&key);
+        let probe = probe1 + probe2_start.elapsed();
+        if let Some(plan) = probed {
             self.cache.note_hit();
             if query != key {
                 // Alias this spelling so its next repeat skips the parse.
                 self.cache.insert(query.to_string(), plan.clone());
             }
-            return Ok(plan);
+            return Ok((
+                plan,
+                CachedPlanTiming {
+                    probe,
+                    hit: true,
+                    parse: Some(parse),
+                    plan: None,
+                },
+            ));
         }
         self.cache.note_miss();
-        let plan = Arc::new(self.index.plan_normalized(&self.coll, normalized)?);
+        let (plan, pt) = self.index.plan_normalized_timed(&self.coll, normalized)?;
+        let plan = Arc::new(plan);
         if query != key {
             self.cache.insert(query.to_string(), plan.clone());
         }
         self.cache.insert(key, plan.clone());
-        Ok(plan)
+        Ok((
+            plan,
+            CachedPlanTiming {
+                probe,
+                hit: false,
+                parse: Some(parse),
+                plan: Some(pt),
+            },
+        ))
     }
 
     /// Plan-cache effectiveness counters (shared across clones).
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The metrics registry this session records into (the owning
+    /// database's when created via
+    /// [`FixDatabase::session`](crate::FixDatabase::session)).
+    pub fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// Refreshes the registry's plan-cache gauges (`fix_plan_cache_*`)
+    /// from the live cache counters. Gauges only move on report, so call
+    /// this before rendering an exposition.
+    pub fn report_cache_stats(&self) {
+        use fix_obs::Reportable;
+        self.cache.stats().report(&self.registry);
     }
 
     /// The resolved refinement worker count.
@@ -232,6 +411,62 @@ mod tests {
             session.query("//a/b/c"),
             Err(FixError::NotCovered { .. })
         ));
+    }
+
+    #[test]
+    fn traced_queries_match_and_cover_the_pipeline() {
+        use fix_obs::Stage;
+        let db = serving_db();
+        let session = db.session().unwrap();
+        let q = "//article[author]/ee";
+        let plain = db.query(q).unwrap();
+        // Cold: the probe misses and every stage runs.
+        let (cold, trace) = session.query_traced(q).unwrap();
+        assert_eq!(cold, plain);
+        assert_eq!(trace.cache_hit(), Some(false));
+        assert_eq!(trace.stages[0].stage, Stage::CacheProbe, "probe is first");
+        for s in Stage::ALL {
+            assert!(trace.stage(s).is_some(), "cold trace missing {s}");
+        }
+        assert_eq!(
+            trace.stage(Stage::Scan).unwrap().items,
+            Some(cold.metrics.candidates)
+        );
+        // Warm: the hit skips parse/compile/eigen.
+        let (warm, trace) = session.query_traced(q).unwrap();
+        assert_eq!(warm, plain);
+        assert_eq!(trace.cache_hit(), Some(true));
+        assert!(trace.stage(Stage::Parse).is_none());
+        assert!(trace.stage(Stage::Compile).is_none());
+        assert!(trace.stage(Stage::Scan).is_some());
+        assert!(trace.stage(Stage::Refine).is_some());
+    }
+
+    #[test]
+    fn sessions_record_into_their_registry() {
+        let db = serving_db();
+        let session = db.session().unwrap();
+        session.query("//article/author").unwrap();
+        session.query("//article/author").unwrap();
+        let snap = session.registry().snapshot();
+        assert_eq!(snap.counter("fix_queries_total"), Some(2));
+        assert_eq!(
+            snap.histogram("fix_stage_scan_ns").map(|h| h.count),
+            Some(2)
+        );
+        // The warm repeat skipped compile — one sample, not two.
+        assert_eq!(
+            snap.histogram("fix_stage_compile_ns").map(|h| h.count),
+            Some(1)
+        );
+        assert!(snap.counter("fix_refine_candidates_total").unwrap() >= 1);
+        // The session shares the owning database's registry.
+        assert!(Arc::ptr_eq(session.registry(), db.metrics()));
+        session.report_cache_stats();
+        let snap = session.registry().snapshot();
+        assert_eq!(snap.gauge("fix_plan_cache_hits"), Some(1));
+        assert_eq!(snap.gauge("fix_plan_cache_misses"), Some(1));
+        assert_eq!(snap.gauge("fix_plan_cache_evictions"), Some(0));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! ancestor chain on the stacks, it is a result. Unlike TwigStack there is
 //! no merge phase — for linear paths the stacks alone certify matches.
 
+use fix_obs::{MetricsRegistry, Reportable};
 use fix_xml::{Document, NodeId, Region, RegionIndex};
 use fix_xpath::{Axis, PathExpr};
 
@@ -17,6 +18,19 @@ pub struct PathStackStats {
     pub scanned: usize,
     /// Elements pushed onto some stack.
     pub pushed: usize,
+}
+
+impl Reportable for PathStackStats {
+    /// Adds this evaluation's work to the cumulative counters (one report
+    /// per evaluation — these are per-run deltas, not levels).
+    fn report(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("fix_pathstack_scanned_total")
+            .add(self.scanned as u64);
+        registry
+            .counter("fix_pathstack_pushed_total")
+            .add(self.pushed as u64);
+    }
 }
 
 /// Evaluates a *linear* path (no branching predicates) under

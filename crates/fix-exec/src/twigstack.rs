@@ -11,6 +11,7 @@
 //! push/scan counters are exposed so benches can show the holistic
 //! pruning at work.
 
+use fix_obs::{MetricsRegistry, Reportable};
 use fix_xml::{Document, NodeId, Region, RegionIndex};
 use fix_xpath::TwigQuery;
 
@@ -24,6 +25,19 @@ pub struct TwigStackStats {
     pub scanned: usize,
     /// Elements pushed (each participates in ≥ 1 path solution).
     pub pushed: usize,
+}
+
+impl Reportable for TwigStackStats {
+    /// Adds this evaluation's work to the cumulative counters (one report
+    /// per evaluation — these are per-run deltas, not levels).
+    fn report(&self, registry: &MetricsRegistry) {
+        registry
+            .counter("fix_twigstack_scanned_total")
+            .add(self.scanned as u64);
+        registry
+            .counter("fix_twigstack_pushed_total")
+            .add(self.pushed as u64);
+    }
 }
 
 /// A sentinel "end of stream" region.

@@ -1,0 +1,211 @@
+//! Fixed-bucket latency histograms with log₂ bucket boundaries.
+//!
+//! Bucket `i` holds values `v` with `2^i ≤ v < 2^(i+1)` (bucket 0
+//! additionally holds 0 and 1, i.e. everything below 2). With 64 buckets
+//! the histogram covers the full `u64` range, so a nanosecond-scaled
+//! recording never saturates. Recording is three relaxed `fetch_add`s —
+//! bucket, count, sum — with no locking; snapshots are plain arrays that
+//! merge associatively (bucket-wise addition), so per-worker histograms
+//! can be combined in any grouping with a bit-identical result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log₂ buckets (covers all of `u64`).
+pub const BUCKETS: usize = 64;
+
+/// A lock-free log₂-bucketed histogram of `u64` samples (by convention,
+/// nanoseconds for `_ns`-suffixed metrics).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket a value lands in: `floor(log2(v))`, with 0 and 1 in bucket 0.
+#[inline]
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v < 2 {
+        0
+    } else {
+        63 - v.leading_zeros() as usize
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (lock-free, relaxed).
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds (saturating past ~584 years).
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy. Under concurrent writers the copy is only
+    /// approximately consistent (like the live histogram itself); after
+    /// writers quiesce it is exact.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-data histogram state: mergeable, quantile-queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`buckets[i]` = samples in `[2^i, 2^(i+1))`).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges `other` into `self` (bucket-wise addition — associative and
+    /// commutative, so any merge tree over per-worker snapshots yields the
+    /// same result).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// The `q`-quantile (`0.0 ≤ q ≤ 1.0`), resolved to the *upper bound*
+    /// of the bucket holding the rank — a conservative (never
+    /// underestimating) latency quantile. `None` on an empty histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the sample we are after, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean sample value (`None` on an empty histogram).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// Exclusive upper bound of bucket `i` (`2^(i+1)`, saturating at the top).
+pub(crate) fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // 0 and 1 collapse into bucket 0; from 2 on, bucket = floor(log2).
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 1);
+        assert_eq!(bucket_of(3), 1);
+        assert_eq!(bucket_of(4), 2);
+        assert_eq!(bucket_of(1023), 9);
+        assert_eq!(bucket_of(1024), 10);
+        assert_eq!(bucket_of(1025), 10);
+        assert_eq!(bucket_of(u64::MAX), 63);
+        assert_eq!(bucket_of((1 << 63) - 1), 62);
+        assert_eq!(bucket_of(1 << 63), 63);
+    }
+
+    #[test]
+    fn record_and_quantile() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        // p100 resolves to the upper bound of the 1000 bucket: 2^10.
+        assert_eq!(s.quantile(1.0), Some(1024));
+        // p20 is the first sample's bucket (values 0..2 → bound 2).
+        assert_eq!(s.quantile(0.2), Some(2));
+        assert!(s.quantile(0.5).unwrap() <= 4);
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(&[1, 5, 9]), mk(&[2, 1 << 40]), mk(&[7]));
+        // (a + b) + c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.count, 6);
+    }
+}

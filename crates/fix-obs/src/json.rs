@@ -1,0 +1,189 @@
+//! A minimal JSON writer — just enough for rendering metrics and traces
+//! without pulling a serialization dependency into the workspace.
+//!
+//! [`JsonWriter`] builds one UTF-8 JSON document into a `String`. Nesting
+//! is the caller's responsibility (`begin_object` / `end_object` must
+//! pair); commas are inserted automatically between values at the same
+//! level.
+
+/// Escapes `s` per RFC 8259 into `out`.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// An appending JSON builder with automatic comma placement.
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    /// Whether a value has already been written at the current level.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        Self {
+            buf: String::new(),
+            needs_comma: vec![false],
+        }
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(last) = self.needs_comma.last_mut() {
+            if *last {
+                self.buf.push(',');
+            }
+            *last = true;
+        }
+    }
+
+    /// Writes an object key (inside an object, before its value).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+        // The upcoming value must not add its own comma.
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = false;
+        }
+        self
+    }
+
+    /// Opens `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('{');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push('}');
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = true;
+        }
+        self
+    }
+
+    /// Opens `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push('[');
+        self.needs_comma.push(false);
+        self
+    }
+
+    /// Closes `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.needs_comma.pop();
+        self.buf.push(']');
+        if let Some(last) = self.needs_comma.last_mut() {
+            *last = true;
+        }
+        self
+    }
+
+    /// Writes a string value.
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.pre_value();
+        self.buf.push('"');
+        escape_into(s, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Writes an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a signed integer value.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Writes a float value (`null` for non-finite).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.pre_value();
+        if v.is_finite() {
+            self.buf.push_str(&format!("{v}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Writes a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Writes `null`.
+    pub fn null(&mut self) -> &mut Self {
+        self.pre_value();
+        self.buf.push_str("null");
+        self
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("q\"1\"");
+        w.key("n").u64(3);
+        w.key("ok").bool(true);
+        w.key("stages").begin_array();
+        w.begin_object();
+        w.key("s").string("parse");
+        w.key("x").null();
+        w.end_object();
+        w.begin_object();
+        w.key("s").string("scan");
+        w.key("f").f64(0.5);
+        w.end_object();
+        w.end_array();
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"q\"1\"","n":3,"ok":true,"stages":[{"s":"parse","x":null},{"s":"scan","f":0.5}]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let mut out = String::new();
+        escape_into("a\nb\u{1}\\", &mut out);
+        assert_eq!(out, "a\\nb\\u0001\\\\");
+    }
+}

@@ -1,0 +1,61 @@
+//! Observability for the FIX index — metrics and per-query traces.
+//!
+//! The paper evaluates FIX almost entirely through observability-style
+//! numbers: the Section 6.2 `sel`/`pp`/`fpr` effectiveness metrics and the
+//! Figure 5–7 timing breakdowns. This crate is the production-serving
+//! counterpart of those experiment harness counters — a dependency-free
+//! (std-only, hand-rolled atomics) layer the rest of the workspace feeds:
+//!
+//! * [`MetricsRegistry`] — a named registry of sharded atomic
+//!   [`Counter`]s, [`Gauge`]s, and log₂-bucketed latency [`Histogram`]s.
+//!   Recording is lock-free (relaxed atomics on pre-resolved handles);
+//!   reading takes a point-in-time [`MetricsSnapshot`] that renders as
+//!   Prometheus text or JSON and merges associatively with other
+//!   snapshots.
+//! * [`QueryTrace`] — the per-query stage pipeline (parse → plan-cache
+//!   probe → compile → eigenvalue computation → B-tree scan → candidate
+//!   refinement) with wall times, item counts, cache hit/miss, and
+//!   deterministic per-worker refinement timings. `EXPLAIN ANALYZE`
+//!   attaches one of these to a real execution.
+//! * [`Reportable`] — the common surface for the workspace's snapshot
+//!   structs (`BTreeStats`, `TwigStackStats`, `PathStackStats`,
+//!   `CacheStats`, `BuildStats`, …): `report(&self, registry)` lands their
+//!   fields in the registry instead of leaving them as dead fields.
+//!
+//! # Naming conventions
+//!
+//! Metric names follow `fix_<subsystem>_<quantity>[_<unit>]`:
+//! monotonically increasing totals end in `_total`, latency histograms in
+//! `_ns` (nanosecond buckets), and point-in-time levels carry no suffix
+//! (they are gauges). See DESIGN.md §11 for the full inventory.
+//!
+//! # Overhead budget
+//!
+//! Everything on a query's hot path is either free when unused (traces are
+//! built only for `*_traced` calls) or a handful of relaxed atomic
+//! operations per *query* — never per candidate. Counters are sharded to
+//! keep concurrent sessions from bouncing one cache line.
+
+pub mod histogram;
+pub mod json;
+pub mod metric;
+pub mod registry;
+pub mod trace;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use metric::{Counter, Gauge};
+pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use trace::{QueryTrace, Stage, StageRecord};
+
+/// The common reporting surface for the workspace's statistics structs.
+///
+/// Implementations either *set* gauges (point-in-time snapshot structs
+/// such as `BTreeStats` or `BuildStats` — calling `report` twice is
+/// idempotent) or *add* to counters (per-evaluation work-counter structs
+/// such as `TwigStackStats` — each call accumulates one evaluation's
+/// work). Each impl documents which.
+pub trait Reportable {
+    /// Lands this struct's fields in `registry` under the crate-wide
+    /// naming conventions.
+    fn report(&self, registry: &MetricsRegistry);
+}

@@ -1,0 +1,144 @@
+//! Sharded counters and gauges — the scalar metric kinds.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// Number of shards per counter. A power of two so the shard pick is a
+/// mask; 16 is enough that a realistic session fan-out rarely puts two
+/// hot threads on one line.
+const SHARDS: usize = 16;
+
+/// One cache line per shard so concurrent writers don't false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct Shard(AtomicU64);
+
+/// Monotonically increasing 64-bit counter, sharded across cache lines.
+///
+/// `add` is a single relaxed `fetch_add` on the calling thread's shard;
+/// `value` sums the shards. The sum is only *eventually* exact under
+/// concurrent writers (like any relaxed counter), but once writers quiesce
+/// — a joined thread fan-out, for instance — it is deterministic: the
+/// total equals exactly the number of recorded increments at any thread
+/// count.
+pub struct Counter {
+    shards: [Shard; SHARDS],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    pub fn new() -> Self {
+        Self {
+            shards: Default::default(),
+        }
+    }
+
+    /// Adds `n` to the counter (lock-free, relaxed).
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across shards.
+    pub fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A point-in-time signed level: last-set-wins `set`, plus relaxed `add`.
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub fn new() -> Self {
+        Self {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current level.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The calling thread's shard slot: threads draw a ticket from a global
+/// sequence on first use, so any number of concurrent writers spread
+/// round-robin over the shards with no per-call `ThreadId` hashing.
+fn shard_index() -> usize {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TICKET: usize = NEXT.fetch_add(1, Ordering::Relaxed) as usize;
+    }
+    TICKET.with(|t| t & (SHARDS - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        assert_eq!(c.value(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.value(), 42);
+    }
+
+    #[test]
+    fn gauge_sets_and_adjusts() {
+        let g = Gauge::new();
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.value(), 7);
+        g.set(-1);
+        assert_eq!(g.value(), -1);
+    }
+
+    #[test]
+    fn concurrent_adds_are_exact_after_join() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = &c;
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+}

@@ -1,0 +1,325 @@
+//! [`MetricsRegistry`] — named counters, gauges, and histograms with
+//! mergeable snapshots and Prometheus/JSON exposition.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{bucket_upper_bound, Histogram, HistogramSnapshot};
+use crate::json::JsonWriter;
+use crate::metric::{Counter, Gauge};
+
+/// One live metric, by kind.
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A registry of named metrics.
+///
+/// `counter`/`gauge`/`histogram` get-or-create by name and hand back an
+/// `Arc` handle; hot paths resolve their handles once (at session
+/// creation, say) and record through them lock-free. The registry itself
+/// is only locked for name resolution and snapshots. There is no global
+/// instance — owners (`FixDatabase`, a `QuerySession`) hold and share
+/// their registry explicitly.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<BTreeMap<String, Metric>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        if let Some(m) = self.metrics.read().expect("registry poisoned").get(name) {
+            return m.clone();
+        }
+        let mut map = self.metrics.write().expect("registry poisoned");
+        map.entry(name.to_string()).or_insert_with(make).clone()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            _ => panic!("metric `{name}` is not a counter"),
+        }
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            _ => panic!("metric `{name}` is not a gauge"),
+        }
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::new()))) {
+            Metric::Histogram(h) => h,
+            _ => panic!("metric `{name}` is not a histogram"),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered metric, in name order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let map = self.metrics.read().expect("registry poisoned");
+        MetricsSnapshot {
+            metrics: map
+                .iter()
+                .map(|(name, m)| {
+                    let v = match m {
+                        Metric::Counter(c) => MetricValue::Counter(c.value()),
+                        Metric::Gauge(g) => MetricValue::Gauge(g.value()),
+                        Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                    };
+                    (name.clone(), v)
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the current state in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().to_prometheus()
+    }
+
+    /// Renders the current state as one JSON object keyed by metric name.
+    pub fn render_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// A snapshot value, by metric kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Cumulative total.
+    Counter(u64),
+    /// Point-in-time level.
+    Gauge(i64),
+    /// Bucketed distribution (boxed: a snapshot is 64 buckets wide, far
+    /// larger than the scalar variants).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+/// A point-in-time copy of a registry, detached from the live atomics.
+///
+/// Snapshots merge associatively: counters and histogram buckets add,
+/// gauges keep the left (first) operand's level when both sides carry the
+/// same gauge. Merging per-shard or per-process snapshots in any grouping
+/// therefore yields one deterministic total.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Name → value, sorted by name (`BTreeMap` keeps rendering stable).
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Merges `other` into `self` (see the type docs for semantics).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.metrics {
+            match (self.metrics.get_mut(name), v) {
+                (None, v) => {
+                    self.metrics.insert(name.clone(), v.clone());
+                }
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => *a += b,
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                // Same-name gauge: keep the left operand (merge is an
+                // accumulation fold; the fold's first sighting wins).
+                (Some(MetricValue::Gauge(_)), MetricValue::Gauge(_)) => {}
+                (Some(_), _) => panic!("metric `{name}` merged across kinds"),
+            }
+        }
+    }
+
+    /// The counter value of `name`, if present and a counter.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value of `name`, if present and a gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram of `name`, if present and a histogram.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.metrics.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition: `# TYPE` lines plus samples; histograms
+    /// emit cumulative `_bucket{le="…"}` samples (non-empty buckets only)
+    /// with the standard `_sum`/`_count` pair.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.metrics {
+            match v {
+                MetricValue::Counter(c) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+                }
+                MetricValue::Gauge(g) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {g}\n"));
+                }
+                MetricValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        cum += n;
+                        out.push_str(&format!(
+                            "{name}_bucket{{le=\"{}\"}} {cum}\n",
+                            bucket_upper_bound(i)
+                        ));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// One JSON object keyed by metric name; histograms carry count, sum,
+    /// p50/p95/p99 (upper-bucket-bound quantiles), and the non-empty
+    /// buckets as `[upper_bound, count]` pairs.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        for (name, v) in &self.metrics {
+            w.key(name);
+            match v {
+                MetricValue::Counter(c) => {
+                    w.begin_object();
+                    w.key("type").string("counter");
+                    w.key("value").u64(*c);
+                    w.end_object();
+                }
+                MetricValue::Gauge(g) => {
+                    w.begin_object();
+                    w.key("type").string("gauge");
+                    w.key("value").i64(*g);
+                    w.end_object();
+                }
+                MetricValue::Histogram(h) => {
+                    w.begin_object();
+                    w.key("type").string("histogram");
+                    w.key("count").u64(h.count);
+                    w.key("sum").u64(h.sum);
+                    for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                        w.key(label);
+                        match h.quantile(q) {
+                            Some(v) => w.u64(v),
+                            None => w.null(),
+                        };
+                    }
+                    w.key("buckets").begin_array();
+                    for (i, &n) in h.buckets.iter().enumerate() {
+                        if n == 0 {
+                            continue;
+                        }
+                        w.begin_array();
+                        w.u64(bucket_upper_bound(i));
+                        w.u64(n);
+                        w.end_array();
+                    }
+                    w.end_array();
+                    w.end_object();
+                }
+            }
+        }
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_shares_handles() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("fix_test_total");
+        let b = reg.counter("fix_test_total");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.snapshot().counter("fix_test_total"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn kind_mismatch_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fix_test_total");
+        reg.gauge("fix_test_total");
+    }
+
+    #[test]
+    fn renders_prometheus_and_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fix_queries_total").add(7);
+        reg.gauge("fix_btree_height").set(3);
+        let h = reg.histogram("fix_query_wall_ns");
+        h.record(100);
+        h.record(5000);
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("# TYPE fix_queries_total counter"));
+        assert!(prom.contains("fix_queries_total 7"));
+        assert!(prom.contains("fix_btree_height 3"));
+        assert!(prom.contains("fix_query_wall_ns_count 2"));
+        assert!(prom.contains("fix_query_wall_ns_bucket{le=\"+Inf\"} 2"));
+        let json = reg.render_json();
+        assert!(json.contains("\"fix_queries_total\":{\"type\":\"counter\",\"value\":7}"));
+        assert!(json.contains("\"p95\""));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative() {
+        let mk = |n: u64| {
+            let reg = MetricsRegistry::new();
+            reg.counter("c").add(n);
+            let h = reg.histogram("h");
+            h.record(n);
+            reg.snapshot()
+        };
+        let (a, b, c) = (mk(1), mk(10), mk(100));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.counter("c"), Some(111));
+        assert_eq!(left.histogram("h").unwrap().count, 3);
+    }
+}

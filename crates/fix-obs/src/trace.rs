@@ -1,0 +1,269 @@
+//! [`QueryTrace`] — what one query actually did, stage by stage.
+//!
+//! Algorithm 2's pipeline, as the serving layer runs it:
+//!
+//! ```text
+//! parse → plan-cache probe → compile → eigenvalue computation
+//!       → B-tree scan → candidate refinement
+//! ```
+//!
+//! A trace is a flat list of [`StageRecord`]s in execution order. Cached
+//! plans legitimately skip stages (a warm hit jumps from the probe
+//! straight to the scan), so consumers look stages up by [`Stage`] rather
+//! than by position. Parallel refinement records one wall-clock entry for
+//! the stage plus per-worker durations in chunk order — the aggregation
+//! order is deterministic even though the times themselves are wall
+//! clock.
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::json::JsonWriter;
+
+/// The stages of Algorithm 2's serving pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// XPath parsing plus normalization.
+    Parse,
+    /// Plan-cache lookup (raw and normalized spelling probes combined).
+    CacheProbe,
+    /// Twig-block decomposition of the normalized path.
+    Compile,
+    /// Eigenvalue (pruning-feature) computation for the blocks.
+    Eigen,
+    /// B-tree range scan for candidates.
+    Scan,
+    /// Candidate refinement (validation against primary storage).
+    Refine,
+}
+
+impl Stage {
+    /// All stages, in pipeline order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::CacheProbe,
+        Stage::Compile,
+        Stage::Eigen,
+        Stage::Scan,
+        Stage::Refine,
+    ];
+
+    /// The stage's position in [`Stage::ALL`] (for handle arrays indexed
+    /// in pipeline order).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::CacheProbe => 1,
+            Stage::Compile => 2,
+            Stage::Eigen => 3,
+            Stage::Scan => 4,
+            Stage::Refine => 5,
+        }
+    }
+
+    /// The stage's stable snake_case name (JSON field, display label).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::CacheProbe => "cache_probe",
+            Stage::Compile => "compile",
+            Stage::Eigen => "eigen",
+            Stage::Scan => "scan",
+            Stage::Refine => "refine",
+        }
+    }
+
+    /// The registry histogram this stage's wall time is recorded under.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            Stage::Parse => "fix_stage_parse_ns",
+            Stage::CacheProbe => "fix_stage_cache_probe_ns",
+            Stage::Compile => "fix_stage_compile_ns",
+            Stage::Eigen => "fix_stage_eigen_ns",
+            Stage::Scan => "fix_stage_scan_ns",
+            Stage::Refine => "fix_stage_refine_ns",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One executed stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRecord {
+    /// Which stage ran.
+    pub stage: Stage,
+    /// Wall-clock time the stage took.
+    pub wall: Duration,
+    /// The stage's item count, where one applies: candidates out of the
+    /// scan, result rows out of refinement, twig blocks out of compile.
+    pub items: Option<u64>,
+    /// Cache-probe outcome ([`Stage::CacheProbe`] only).
+    pub cache_hit: Option<bool>,
+    /// Per-worker wall times in chunk order (parallel refinement only;
+    /// empty for sequential stages).
+    pub workers: Vec<Duration>,
+}
+
+/// The full trace of one query execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QueryTrace {
+    /// The query as submitted.
+    pub query: String,
+    /// Executed stages, in execution order.
+    pub stages: Vec<StageRecord>,
+    /// End-to-end wall time (set by the driver once the query finishes).
+    pub total: Duration,
+}
+
+impl QueryTrace {
+    /// An empty trace for `query`.
+    pub fn new(query: &str) -> Self {
+        Self {
+            query: query.to_string(),
+            stages: Vec::new(),
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Appends a stage record and returns it for field fill-in.
+    pub fn record(&mut self, stage: Stage, wall: Duration) -> &mut StageRecord {
+        self.stages.push(StageRecord {
+            stage,
+            wall,
+            items: None,
+            cache_hit: None,
+            workers: Vec::new(),
+        });
+        self.stages.last_mut().expect("just pushed")
+    }
+
+    /// The first record of `stage`, if it ran.
+    pub fn stage(&self, stage: Stage) -> Option<&StageRecord> {
+        self.stages.iter().find(|s| s.stage == stage)
+    }
+
+    /// Whether the plan-cache probe (if any) hit.
+    pub fn cache_hit(&self) -> Option<bool> {
+        self.stage(Stage::CacheProbe).and_then(|s| s.cache_hit)
+    }
+
+    /// The trace as one JSON object (`query`, `total_ns`, `stages` array
+    /// with per-stage `wall_ns`, optional `items`/`cache_hit`, and
+    /// `worker_ns` for parallel refinement).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+
+    /// Writes the trace object into an existing [`JsonWriter`] (so callers
+    /// can embed it in a larger document).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("query").string(&self.query);
+        w.key("total_ns").u64(as_ns(self.total));
+        w.key("stages").begin_array();
+        for s in &self.stages {
+            w.begin_object();
+            w.key("stage").string(s.stage.name());
+            w.key("wall_ns").u64(as_ns(s.wall));
+            if let Some(items) = s.items {
+                w.key("items").u64(items);
+            }
+            if let Some(hit) = s.cache_hit {
+                w.key("cache_hit").bool(hit);
+            }
+            if !s.workers.is_empty() {
+                w.key("worker_ns").begin_array();
+                for d in &s.workers {
+                    w.u64(as_ns(*d));
+                }
+                w.end_array();
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+}
+
+fn as_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+impl fmt::Display for QueryTrace {
+    /// Human-readable per-stage breakdown, one line per stage.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace: {}", self.query)?;
+        for s in &self.stages {
+            write!(f, "  {:<12} {:>12?}", s.stage.name(), s.wall)?;
+            if let Some(items) = s.items {
+                write!(f, "  items {items}")?;
+            }
+            if let Some(hit) = s.cache_hit {
+                write!(f, "  {}", if hit { "hit" } else { "miss" })?;
+            }
+            if !s.workers.is_empty() {
+                write!(f, "  workers {}", s.workers.len())?;
+            }
+            writeln!(f)?;
+        }
+        writeln!(f, "  {:<12} {:>12?}", "total", self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_looks_up_stages() {
+        let mut t = QueryTrace::new("//a/b");
+        t.record(Stage::CacheProbe, Duration::from_nanos(50))
+            .cache_hit = Some(false);
+        t.record(Stage::Parse, Duration::from_micros(2));
+        let r = t.record(Stage::Scan, Duration::from_micros(10));
+        r.items = Some(42);
+        t.total = Duration::from_micros(20);
+        assert_eq!(t.cache_hit(), Some(false));
+        assert_eq!(t.stage(Stage::Scan).unwrap().items, Some(42));
+        assert!(t.stage(Stage::Refine).is_none());
+    }
+
+    #[test]
+    fn renders_display_and_json() {
+        let mut t = QueryTrace::new("//a[b]/c");
+        t.record(Stage::Parse, Duration::from_nanos(1500));
+        let r = t.record(Stage::Refine, Duration::from_micros(7));
+        r.items = Some(3);
+        r.workers = vec![Duration::from_micros(3), Duration::from_micros(4)];
+        t.total = Duration::from_micros(9);
+        let text = t.to_string();
+        assert!(text.contains("parse"));
+        assert!(text.contains("workers 2"));
+        let json = t.to_json();
+        assert!(json.contains("\"stage\":\"refine\""));
+        assert!(json.contains("\"items\":3"));
+        assert!(json.contains("\"worker_ns\":[3000,4000]"));
+        assert!(json.contains("\"total_ns\":9000"));
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            ["parse", "cache_probe", "compile", "eigen", "scan", "refine"]
+        );
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert!(s.metric_name().starts_with("fix_stage_"));
+            assert!(s.metric_name().ends_with("_ns"));
+        }
+    }
+}

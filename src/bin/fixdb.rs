@@ -2,23 +2,27 @@
 //!
 //! ```text
 //! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...
-//! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain]
-//! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R]
+//! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
+//! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
 //! fixdb insert      <db> <file.xml>...
 //! fixdb remove      <db> <doc-id>...
 //! fixdb vacuum      <db>
-//! fixdb stats       <db>
+//! fixdb stats       <db> [--prometheus] [--json]
 //! fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
 //! ```
 //!
 //! `build` indexes XML files into a self-contained database file; `query`
-//! runs an XPath twig over it; `bench-query` serves a batch of queries
-//! through a [`QuerySession`](fix::core::QuerySession) — plan cache plus
-//! parallel refinement — and reports timings, cache hit-rate, and a
-//! verification against the sequential path; `insert` appends documents
-//! incrementally (unclustered databases); `gen` writes the paper-shaped
-//! synthetic corpora for experimentation. Everything routes through the
-//! [`FixDatabase`] facade.
+//! runs an XPath twig over it (`--trace` prints the per-stage pipeline
+//! breakdown, `--json` emits the machine-readable equivalent, `--analyze`
+//! is EXPLAIN ANALYZE — the static plan plus one real traced execution);
+//! `bench-query` serves a batch of queries through a
+//! [`QuerySession`](fix::core::QuerySession) — plan cache plus parallel
+//! refinement — and reports timings, cache hit-rate, and a verification
+//! against the sequential path (`--json` adds per-stage p50/p95/p99 from
+//! the registry histograms); `stats --prometheus|--json` renders the
+//! metrics registry; `insert` appends documents incrementally (unclustered
+//! databases); `gen` writes the paper-shaped synthetic corpora for
+//! experimentation. Everything routes through the [`FixDatabase`] facade.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,12 +48,12 @@ fn main() -> ExitCode {
                 "usage: fixdb <build|query|bench-query|insert|stats|gen> ...\n\
                  \n\
                  fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...\n\
-                 fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain]\n\
-                 fixdb bench-query <db> <xpath>... [--threads N] [--repeat R]\n\
+                 fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
+                 fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
                  fixdb insert      <db> <file.xml>...\n\
                  fixdb remove      <db> <doc-id>...\n\
                  fixdb vacuum      <db>\n\
-                 fixdb stats       <db>\n\
+                 fixdb stats       <db> [--prometheus] [--json]\n\
                  fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
             );
             return ExitCode::FAILURE;
@@ -162,6 +166,9 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut metrics = false;
     let mut plan = false;
     let mut explain = false;
+    let mut analyze = false;
+    let mut trace = false;
+    let mut json = false;
     let mut show = 10usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -169,6 +176,9 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--metrics" => metrics = true,
             "--plan" => plan = true,
             "--explain" => explain = true,
+            "--analyze" => analyze = true,
+            "--trace" => trace = true,
+            "--json" => json = true,
             "--show" => {
                 show = it
                     .next()
@@ -189,6 +199,76 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         let path = fix::xpath::parse_path(xpath).map_err(|e| err(e.to_string()))?;
         let e = idx.explain(coll, &path).map_err(|e| err(e.to_string()))?;
         print!("{e}");
+        return Ok(());
+    }
+    if analyze {
+        // EXPLAIN ANALYZE: the static plan plus one real traced execution
+        // with the Section 6.2 effectiveness numbers from actual counts.
+        let idx = db.index().ok_or(FixError::NoIndex)?;
+        let ea = idx
+            .explain_analyze(coll, xpath, 1)
+            .map_err(|e| err(e.to_string()))?;
+        print!("{ea}");
+        return Ok(());
+    }
+    if trace || json {
+        // Route through a session so the trace covers the full serving
+        // pipeline, plan-cache probe included.
+        let session = db.session()?;
+        let (out, qtrace) = match session.query_traced(xpath) {
+            Ok(v) => v,
+            Err(FixError::NotCovered {
+                query_depth,
+                depth_limit,
+            }) => {
+                return Err(err(format!(
+                    "query depth {query_depth} exceeds the index depth limit {depth_limit}; \
+                     rebuild with a larger --depth-limit"
+                )))
+            }
+            Err(e) => return Err(err(e.to_string())),
+        };
+        let m = out.metrics;
+        if json {
+            let mut w = fix::obs::json::JsonWriter::new();
+            w.begin_object();
+            w.key("query").string(xpath);
+            w.key("results").u64(out.results.len() as u64);
+            w.key("metrics").begin_object();
+            w.key("entries").u64(m.entries);
+            w.key("candidates").u64(m.candidates);
+            w.key("producing").u64(m.producing);
+            w.key("sel").f64(m.sel());
+            w.key("pp").f64(m.pp());
+            w.key("fpr").f64(m.fpr());
+            w.end_object();
+            w.key("trace");
+            qtrace.write_json(&mut w);
+            w.end_object();
+            println!("{}", w.finish());
+            return Ok(());
+        }
+        println!("{} results in {:?}", out.results.len(), qtrace.total);
+        for (doc, node) in out.results.iter().take(show) {
+            let d = coll.doc(*doc);
+            let label = coll.labels.resolve(d.label(*node).expect("element result"));
+            println!("  doc {} node {} <{}>", doc.0, node.0, label);
+        }
+        if out.results.len() > show {
+            println!("  … and {} more (use --show N)", out.results.len() - show);
+        }
+        print!("{qtrace}");
+        if metrics {
+            println!(
+                "metrics: entries {} candidates {} producing {} | sel {:.2}% pp {:.2}% fpr {:.2}%",
+                m.entries,
+                m.candidates,
+                m.producing,
+                100.0 * m.sel(),
+                100.0 * m.pp(),
+                100.0 * m.fpr()
+            );
+        }
         return Ok(());
     }
     if plan {
@@ -258,9 +338,11 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut queries: Vec<&str> = Vec::new();
     let mut threads: Option<usize> = None;
     let mut repeat = 5usize;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--json" => json = true,
             "--threads" => {
                 threads = Some(
                     it.next()
@@ -288,12 +370,14 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(n) = threads {
         session = session.with_threads(n);
     }
-    println!(
-        "serving {} queries × {} rounds, {} refinement thread(s)",
-        queries.len(),
-        repeat,
-        session.threads()
-    );
+    if !json {
+        println!(
+            "serving {} queries × {} rounds, {} refinement thread(s)",
+            queries.len(),
+            repeat,
+            session.threads()
+        );
+    }
     let mut total = Duration::ZERO;
     for q in &queries {
         let t = Instant::now();
@@ -317,6 +401,9 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             )));
         }
         total += cold_time + warm_time;
+        if json {
+            continue;
+        }
         if repeat > 1 {
             println!(
                 "  {q}: {} results, cold {cold_time:?}, warm avg {:?}",
@@ -328,6 +415,54 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let s = session.cache_stats();
+    if json {
+        // Per-stage latency distributions come from the registry the
+        // session recorded into (shared with the database).
+        session.report_cache_stats();
+        db.report_metrics();
+        let snap = db.metrics().snapshot();
+        let mut w = fix::obs::json::JsonWriter::new();
+        let quantiles = |w: &mut fix::obs::json::JsonWriter, h: &fix::obs::HistogramSnapshot| {
+            w.key("count").u64(h.count);
+            for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                w.key(label);
+                match h.quantile(q) {
+                    Some(v) => w.u64(v),
+                    None => w.null(),
+                };
+            }
+        };
+        w.begin_object();
+        w.key("queries").u64(queries.len() as u64);
+        w.key("rounds").u64(repeat as u64);
+        w.key("threads").u64(session.threads() as u64);
+        w.key("total_ns")
+            .u64(u64::try_from(total.as_nanos()).unwrap_or(u64::MAX));
+        if let Some(h) = snap.histogram("fix_query_wall_ns") {
+            w.key("query_wall_ns").begin_object();
+            quantiles(&mut w, h);
+            w.end_object();
+        }
+        w.key("stages").begin_object();
+        for stage in fix::core::Stage::ALL {
+            if let Some(h) = snap.histogram(stage.metric_name()) {
+                w.key(stage.name()).begin_object();
+                quantiles(&mut w, h);
+                w.end_object();
+            }
+        }
+        w.end_object();
+        w.key("plan_cache").begin_object();
+        w.key("hits").u64(s.hits);
+        w.key("misses").u64(s.misses);
+        w.key("evictions").u64(s.evictions);
+        w.key("entries").u64(s.entries as u64);
+        w.key("capacity").u64(s.capacity as u64);
+        w.end_object();
+        w.end_object();
+        println!("{}", w.finish());
+        return Ok(());
+    }
     println!(
         "total {total:?} | plan cache: {} hits / {} misses ({:.1}% hit rate, {} cached)",
         s.hits,
@@ -412,8 +547,31 @@ fn vacuum(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
+    let mut db_path: Option<&str> = None;
+    let mut prometheus = false;
+    let mut json = false;
+    for a in args {
+        match a.as_str() {
+            "--prometheus" => prometheus = true,
+            "--json" => json = true,
+            _ if db_path.is_none() => db_path = Some(a),
+            other => return Err(err(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
     let db = open_existing(db_path)?;
+    if prometheus || json {
+        // Refresh the level-style gauges and materialize the standard
+        // per-query instruments before rendering.
+        db.report_metrics();
+        if prometheus {
+            print!("{}", db.metrics().render_prometheus());
+        }
+        if json {
+            println!("{}", db.metrics().render_json());
+        }
+        return Ok(());
+    }
     let coll = db.collection();
     let idx = db.index().ok_or_else(|| err("database has no index"))?;
     let cs = coll.stats();

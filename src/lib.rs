@@ -27,6 +27,8 @@
 //!   matching, and F&B index evaluation.
 //! * [`datagen`] — deterministic synthetic corpora shaped like the
 //!   paper's four data sets, plus the random query generator.
+//! * [`obs`] — observability: the metrics registry, per-query stage
+//!   traces, and Prometheus/JSON exposition.
 //!
 //! ## Quick start
 //!
@@ -134,4 +136,9 @@ pub mod exec {
 /// Synthetic data sets and random queries (`fix-datagen`).
 pub mod datagen {
     pub use fix_datagen::*;
+}
+
+/// Observability: metrics registry, query traces, exposition (`fix-obs`).
+pub mod obs {
+    pub use fix_obs::*;
 }

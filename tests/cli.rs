@@ -173,6 +173,138 @@ fn bench_query_serves_and_verifies() {
 }
 
 #[test]
+fn observability_flags_round_trip() {
+    let dir = workdir("observability");
+    let xml = dir.join("dblp.xml");
+    let db = dir.join("db.fixdb");
+
+    let out = fixdb()
+        .args(["gen", "dblp", "--scale", "0.03", "--out"])
+        .arg(&xml)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = fixdb().args(["build"]).arg(&db).arg(&xml).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // --trace prints the per-stage pipeline breakdown; a cold session
+    // shows a cache miss and every stage.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .args(["//inproceedings[url]/title", "--trace"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for stage in ["cache_probe", "parse", "compile", "eigen", "scan", "refine"] {
+        assert!(stdout.contains(stage), "missing {stage} in: {stdout}");
+    }
+    assert!(stdout.contains("miss"), "{stdout}");
+    assert!(stdout.contains("total"), "{stdout}");
+
+    // --json emits one machine-readable document with the same stages.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .args(["//inproceedings[url]/title", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_end().starts_with('{') && stdout.trim_end().ends_with('}'));
+    for key in [
+        "\"trace\"",
+        "\"metrics\"",
+        "\"stage\":\"refine\"",
+        "\"cache_hit\":false",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in: {stdout}");
+    }
+
+    // --analyze is EXPLAIN ANALYZE: plan plus one real traced run.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .args(["//inproceedings[url]/title", "--analyze"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("normalized:"), "{stdout}");
+    assert!(stdout.contains("sel "), "{stdout}");
+    assert!(stdout.contains("refine"), "{stdout}");
+
+    // stats renders the registry in both exposition formats, counters
+    // present even before any query has run in this process.
+    let out = fixdb()
+        .args(["stats"])
+        .arg(&db)
+        .arg("--prometheus")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let prom = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "fix_plan_cache_hits",
+        "fix_plan_cache_misses",
+        "fix_plan_cache_evictions",
+        "fix_btree_scans",
+        "fix_refine_candidates_total",
+        "fix_queries_total",
+    ] {
+        assert!(prom.contains(name), "prometheus missing {name}");
+    }
+    assert!(prom.contains("# TYPE"), "{prom}");
+
+    let out = fixdb()
+        .args(["stats"])
+        .arg(&db)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"fix_plan_cache_evictions\""), "{json}");
+    assert!(json.contains("\"fix_btree_scans\""), "{json}");
+
+    // bench-query --json reports per-stage quantiles and cache counters.
+    let out = fixdb()
+        .args(["bench-query"])
+        .arg(&db)
+        .args(["//inproceedings[url]/title", "--repeat", "3", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in [
+        "\"stages\"",
+        "\"p50\"",
+        "\"p95\"",
+        "\"p99\"",
+        "\"plan_cache\"",
+        "\"hits\":2",
+        "\"misses\":1",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in: {stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = fixdb().output().unwrap();
     assert!(!out.status.success());

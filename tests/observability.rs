@@ -1,0 +1,225 @@
+//! End-to-end observability tests: the fix-obs primitives under real
+//! concurrency, and the full pipeline — session traces, the shared
+//! metrics registry, and EXPLAIN ANALYZE — agreeing with the plain query
+//! path on actual numbers.
+
+use fix::core::{Collection, FixIndex, Stage};
+use fix::obs::{Histogram, MetricsRegistry, Reportable};
+use fix::{FixDatabase, FixOptions};
+
+fn build_db() -> FixDatabase {
+    let mut db = FixDatabase::in_memory();
+    db.add_xml(&fix::datagen::dblp(fix::datagen::GenConfig::scaled(0.05)))
+        .unwrap();
+    db.build(FixOptions::builder().depth_limit(6).build())
+        .unwrap();
+    db
+}
+
+#[test]
+fn concurrent_counters_and_histograms_are_exact_after_join() {
+    let reg = MetricsRegistry::new();
+    // Handles resolved up front, recorded through from many threads —
+    // exactly the session hot-path pattern.
+    let c = reg.counter("fix_test_ops_total");
+    let h = reg.histogram("fix_test_wall_ns");
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let (c, h) = (c.clone(), h.clone());
+            s.spawn(move || {
+                for i in 0..5_000u64 {
+                    c.inc();
+                    h.record(t * 5_000 + i);
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("fix_test_ops_total"), Some(40_000));
+    let hist = snap.histogram("fix_test_wall_ns").unwrap();
+    assert_eq!(hist.count, 40_000);
+    // Sum of 0..40_000 — every sample landed exactly once.
+    assert_eq!(hist.sum, (0..40_000u64).sum());
+}
+
+#[test]
+fn histogram_bucket_boundaries_are_conservative() {
+    let h = Histogram::new();
+    // Powers of two sit on bucket lower bounds; the quantile must resolve
+    // to the bucket's *upper* bound (never underestimates).
+    for v in [0u64, 1, 2, 1023, 1024, u64::MAX] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, 6);
+    assert_eq!(s.quantile(0.0), Some(2)); // 0 and 1 share bucket [0,2)
+    assert_eq!(s.quantile(1.0), Some(u64::MAX));
+    // 1023 and 1024 land in adjacent buckets.
+    assert!(s.buckets[9] >= 1 && s.buckets[10] >= 1);
+}
+
+#[test]
+fn per_thread_snapshots_merge_associatively() {
+    // One registry per worker, merged in two different groupings — the
+    // multi-process aggregation story.
+    let make = |seed: u64| {
+        let reg = MetricsRegistry::new();
+        reg.counter("fix_queries_total").add(seed);
+        let h = reg.histogram("fix_query_wall_ns");
+        for i in 0..seed {
+            h.record(seed * 100 + i);
+        }
+        reg.gauge("fix_index_entries").set(seed as i64);
+        reg.snapshot()
+    };
+    let (a, b, c) = (make(3), make(11), make(40));
+    let mut left = a.clone();
+    left.merge(&b);
+    left.merge(&c);
+    let mut bc = b.clone();
+    bc.merge(&c);
+    let mut right = a.clone();
+    right.merge(&bc);
+    assert_eq!(left, right);
+    assert_eq!(left.counter("fix_queries_total"), Some(54));
+    assert_eq!(left.histogram("fix_query_wall_ns").unwrap().count, 54);
+    // Gauges keep the first operand's level.
+    assert_eq!(left.gauge("fix_index_entries"), Some(3));
+}
+
+#[test]
+fn session_trace_agrees_with_untraced_query() {
+    let db = build_db();
+    let session = db.session().unwrap();
+    let q = "//article[author]/title";
+    let plain = session.query(q).unwrap();
+    let (traced, trace) = session.query_traced(q).unwrap();
+    assert_eq!(plain, traced);
+    // Warm hit: the probe leads and compile/eigen are skipped.
+    assert_eq!(trace.stages[0].stage, Stage::CacheProbe);
+    assert_eq!(trace.cache_hit(), Some(true));
+    assert!(trace.stage(Stage::Compile).is_none());
+    assert_eq!(
+        trace.stage(Stage::Scan).unwrap().items,
+        Some(traced.metrics.candidates)
+    );
+    assert_eq!(
+        trace.stage(Stage::Refine).unwrap().items,
+        Some(traced.results.len() as u64)
+    );
+    assert!(trace.total >= trace.stage(Stage::Scan).unwrap().wall);
+}
+
+#[test]
+fn concurrent_sessions_record_exact_query_counts() {
+    let db = build_db();
+    let session = db.session().unwrap();
+    let queries = [
+        "//article[author]/title",
+        "//book/author",
+        "//inproceedings/url",
+    ];
+    // Warm the plan cache sequentially so the concurrent fan-out below has
+    // a deterministic compile count.
+    for q in queries {
+        session.query(q).unwrap();
+    }
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let session = session.clone();
+            s.spawn(move || {
+                for q in queries {
+                    session.query(q).unwrap();
+                }
+            });
+        }
+    });
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.counter("fix_queries_total"), Some(15));
+    assert_eq!(snap.histogram("fix_query_wall_ns").unwrap().count, 15);
+    assert_eq!(snap.histogram(Stage::Scan.metric_name()).unwrap().count, 15);
+    // Every distinct query compiled exactly once; the 12 concurrent
+    // repeats all hit the warmed plan cache.
+    let compiled = snap.histogram(Stage::Compile.metric_name()).unwrap().count;
+    assert_eq!(compiled, 3, "compiled {compiled} times");
+}
+
+#[test]
+fn explain_analyze_matches_real_query_metrics() {
+    let mut coll = Collection::new();
+    coll.add_xml(&fix::datagen::dblp(fix::datagen::GenConfig::scaled(0.05)))
+        .unwrap();
+    let idx = FixIndex::build(&mut coll, fix::core::FixOptions::large_document(6));
+    let q = "//article[author]/title";
+    let ea = idx.explain_analyze(&coll, q, 2).unwrap();
+    let out = idx.query(&coll, q).unwrap();
+    // EXPLAIN ANALYZE ran the query for real: identical §6.2 counters.
+    assert_eq!(ea.metrics, out.metrics);
+    assert_eq!(ea.results, out.results.len());
+    assert_eq!(
+        ea.trace.stage(Stage::Scan).unwrap().items,
+        Some(out.metrics.candidates)
+    );
+    for stage in [
+        Stage::Parse,
+        Stage::Compile,
+        Stage::Eigen,
+        Stage::Scan,
+        Stage::Refine,
+    ] {
+        assert!(ea.trace.stage(stage).is_some(), "missing {stage}");
+    }
+    let text = format!("{ea}");
+    assert!(text.contains("sel "), "{text}");
+}
+
+#[test]
+fn report_metrics_renders_the_full_inventory() {
+    let db = build_db();
+    let session = db.session().unwrap();
+    session.query("//article[author]/title").unwrap();
+    session.query("//article[author]/title").unwrap();
+    session.report_cache_stats();
+    db.report_metrics();
+    let prom = db.metrics().render_prometheus();
+    let json = db.metrics().render_json();
+    for name in [
+        "fix_queries_total",
+        "fix_query_wall_ns",
+        "fix_plan_cache_hits",
+        "fix_plan_cache_misses",
+        "fix_plan_cache_evictions",
+        "fix_btree_scans",
+        "fix_refine_candidates_total",
+        "fix_refine_producing_total",
+        "fix_index_entries",
+        "fix_stage_scan_ns",
+    ] {
+        assert!(prom.contains(name), "prometheus missing {name}");
+        assert!(json.contains(&format!("\"{name}\"")), "json missing {name}");
+    }
+    let snap = db.metrics().snapshot();
+    assert_eq!(snap.counter("fix_queries_total"), Some(2));
+    assert_eq!(snap.gauge("fix_plan_cache_hits"), Some(1));
+    assert_eq!(snap.gauge("fix_plan_cache_misses"), Some(1));
+    // Scans really happened and were gauged from the B-tree's counters.
+    assert!(snap.gauge("fix_btree_scans").unwrap() >= 1);
+}
+
+#[test]
+fn reportable_stats_structs_land_in_a_registry() {
+    let db = build_db();
+    let reg = MetricsRegistry::new();
+    let idx = db.index().unwrap();
+    idx.stats().report(&reg);
+    idx.btree_stats().report(&reg);
+    let snap = reg.snapshot();
+    assert!(snap.gauge("fix_build_entries").unwrap() >= 1);
+    assert!(snap.gauge("fix_btree_height").unwrap() >= 1);
+    // Level-style reports are idempotent: reporting twice changes nothing.
+    idx.btree_stats().report(&reg);
+    assert_eq!(
+        reg.snapshot().gauge("fix_btree_height"),
+        snap.gauge("fix_btree_height")
+    );
+}
