@@ -566,7 +566,7 @@ impl FixIndex {
         if self.incremental.is_none() {
             return Ok(None);
         }
-        let doc_id = coll.add_xml(xml)?;
+        let doc_id = coll.add_xml_limited(xml, self.opts.max_parse_depth)?;
         let state = self.incremental.as_mut().expect("checked above");
         let (labels, docs) = coll.split_mut();
         index_document(

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use fix_storage::{BufferPool, IoStats, PageId, PAGE_SIZE};
-use fix_xml::{parse_document, DocStats, Document, LabelTable, NodeId, ParseError};
+use fix_xml::{DocStats, Document, LabelTable, NodeId, ParseError};
 
 /// Index of a document within a [`Collection`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -46,9 +46,17 @@ impl Collection {
         Self::default()
     }
 
-    /// Parses and adds an XML document; returns its id.
+    /// Parses and adds an XML document; returns its id. Nesting deeper
+    /// than [`fix_xml::DEFAULT_MAX_DEPTH`] is rejected; use
+    /// [`Collection::add_xml_limited`] to choose the limit.
     pub fn add_xml(&mut self, xml: &str) -> Result<DocId, ParseError> {
-        let doc = parse_document(xml, &mut self.labels)?;
+        self.add_xml_limited(xml, fix_xml::DEFAULT_MAX_DEPTH)
+    }
+
+    /// [`Collection::add_xml`] with an explicit nesting-depth limit
+    /// (`usize::MAX` disables the check).
+    pub fn add_xml_limited(&mut self, xml: &str, max_depth: usize) -> Result<DocId, ParseError> {
+        let doc = fix_xml::parse_document_limited(xml, &mut self.labels, max_depth)?;
         Ok(self.add_document(doc))
     }
 

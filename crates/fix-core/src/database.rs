@@ -33,13 +33,15 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
-use fix_obs::{MetricsRegistry, Reportable, Stage};
+use fix_obs::{names, MetricsRegistry, Reportable, Stage};
 
 use crate::builder::{BuildStats, FixIndex};
 use crate::collection::{Collection, DocId};
 use crate::error::FixError;
 use crate::options::FixOptions;
+use crate::persist::VerifyReport;
 use crate::query::{QueryHits, QueryOutcome};
 use crate::session::QuerySession;
 
@@ -52,6 +54,10 @@ pub struct FixDatabase {
     /// The database's metrics registry; sessions created via
     /// [`FixDatabase::session`] record into it.
     metrics: Arc<MetricsRegistry>,
+    /// Max element nesting accepted by [`FixDatabase::add_xml`] before an
+    /// index exists (afterwards the index options govern). Set from
+    /// [`FixOptions::max_parse_depth`] on build/open.
+    parse_depth: usize,
 }
 
 impl FixDatabase {
@@ -62,6 +68,7 @@ impl FixDatabase {
             coll: Arc::new(Collection::new()),
             index: None,
             metrics: Arc::new(MetricsRegistry::new()),
+            parse_depth: fix_xml::DEFAULT_MAX_DEPTH,
         }
     }
 
@@ -70,28 +77,46 @@ impl FixDatabase {
     /// where to write) if it does not.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, FixError> {
         let path = path.as_ref();
+        let metrics = Arc::new(MetricsRegistry::new());
         let (coll, index) = if path.exists() {
+            let start = Instant::now();
             let (c, i) = crate::persist::load_impl(path)?;
+            metrics
+                .histogram(names::PERSIST_LOAD_NS)
+                .record_duration(start.elapsed());
+            if let Ok(m) = std::fs::metadata(path) {
+                metrics.counter(names::PERSIST_BYTES_READ).add(m.len());
+            }
             (c, Some(Arc::new(i)))
         } else {
             (Collection::new(), None)
         };
+        let parse_depth = index
+            .as_deref()
+            .map(|i| i.options().max_parse_depth)
+            .unwrap_or(fix_xml::DEFAULT_MAX_DEPTH);
         Ok(Self {
             path: Some(path.to_path_buf()),
             coll: Arc::new(coll),
             index,
-            metrics: Arc::new(MetricsRegistry::new()),
+            metrics,
+            parse_depth,
         })
     }
 
     /// Wraps an already-constructed collection/index pair (escape hatch
     /// for experiment code that built the parts by hand).
     pub fn from_parts(coll: Collection, index: Option<FixIndex>) -> Self {
+        let parse_depth = index
+            .as_ref()
+            .map(|i| i.options().max_parse_depth)
+            .unwrap_or(fix_xml::DEFAULT_MAX_DEPTH);
         Self {
             path: None,
             coll: Arc::new(coll),
             index: index.map(Arc::new),
             metrics: Arc::new(MetricsRegistry::new()),
+            parse_depth,
         }
     }
 
@@ -114,8 +139,9 @@ impl FixDatabase {
     pub fn add_xml(&mut self, xml: &str) -> Result<DocId, FixError> {
         match &mut self.index {
             None => {
+                let depth = self.parse_depth;
                 let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
-                Ok(coll.add_xml(xml)?)
+                Ok(coll.add_xml_limited(xml, depth)?)
             }
             Some(idx) => {
                 let idx = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
@@ -132,6 +158,7 @@ impl FixDatabase {
     /// in-memory page pool. Returns the construction statistics.
     pub fn build(&mut self, opts: FixOptions) -> Result<&BuildStats, FixError> {
         let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+        self.parse_depth = opts.max_parse_depth;
         let idx = FixIndex::build(coll, opts);
         self.index = Some(Arc::new(idx));
         self.report_metrics();
@@ -146,6 +173,7 @@ impl FixDatabase {
         pages: impl AsRef<Path>,
     ) -> Result<&BuildStats, FixError> {
         let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+        self.parse_depth = opts.max_parse_depth;
         let idx = crate::builder::build_on_disk_impl(coll, opts, pages.as_ref())?;
         self.index = Some(Arc::new(idx));
         self.report_metrics();
@@ -213,7 +241,39 @@ impl FixDatabase {
 
     fn save_to(&self, path: &Path) -> Result<(), FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
-        Ok(crate::persist::save_impl(path, &self.coll, idx)?)
+        let start = Instant::now();
+        crate::persist::save_impl(path, &self.coll, idx)?;
+        self.metrics
+            .histogram(names::PERSIST_SAVE_NS)
+            .record_duration(start.elapsed());
+        if let Ok(m) = std::fs::metadata(path) {
+            self.metrics
+                .counter(names::PERSIST_BYTES_WRITTEN)
+                .add(m.len());
+        }
+        Ok(())
+    }
+
+    /// Integrity-checks the bound database file without loading it: walks
+    /// every frame, validates every checksum and length, and returns the
+    /// per-section report (the engine behind `fixdb verify`). Corruption
+    /// is *data* here, not an error — inspect
+    /// [`VerifyReport::is_ok`]; `Err` means the file could not be read at
+    /// all (or the database has no bound path).
+    pub fn verify(&self) -> Result<VerifyReport, FixError> {
+        let path = self.path.as_deref().ok_or(FixError::NoPath)?;
+        let start = Instant::now();
+        let report = crate::persist::verify_file(path)?;
+        self.metrics
+            .histogram(names::PERSIST_VERIFY_NS)
+            .record_duration(start.elapsed());
+        self.metrics
+            .counter(names::PERSIST_BYTES_READ)
+            .add(report.file_len);
+        self.metrics
+            .counter(names::PERSIST_CORRUPTION_DETECTED)
+            .add(report.corrupt_count() as u64);
+        Ok(report)
     }
 
     /// The database's metrics registry. Sessions opened via
@@ -238,6 +298,20 @@ impl FixDatabase {
         }
         reg.counter("fix_refine_candidates_total");
         reg.counter("fix_refine_producing_total");
+        for h in [
+            names::PERSIST_SAVE_NS,
+            names::PERSIST_LOAD_NS,
+            names::PERSIST_VERIFY_NS,
+        ] {
+            reg.histogram(h);
+        }
+        for c in [
+            names::PERSIST_BYTES_WRITTEN,
+            names::PERSIST_BYTES_READ,
+            names::PERSIST_CORRUPTION_DETECTED,
+        ] {
+            reg.counter(c);
+        }
         for g in [
             "fix_plan_cache_hits",
             "fix_plan_cache_misses",
@@ -443,6 +517,75 @@ mod tests {
         // tombstone applied, as at session creation).
         assert!(session.query("//a/b").unwrap().results.is_empty());
         assert_eq!(session.query("//a/c").unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn verify_reports_health_and_records_metrics() {
+        let path = temp("verify-facade.fixdb");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            FixDatabase::in_memory().verify(),
+            Err(FixError::NoPath)
+        ));
+        let mut db = FixDatabase::open(&path).unwrap();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        db.save().unwrap();
+        let report = db.verify().unwrap();
+        assert!(report.is_ok(), "{report}");
+        let snap = db.metrics().snapshot();
+        assert_eq!(
+            snap.counter("fix_persist_corruption_detected_total"),
+            Some(0)
+        );
+        assert!(snap.counter("fix_persist_bytes_written_total").unwrap() > 0);
+        assert_eq!(snap.histogram("fix_persist_save_ns").unwrap().count, 1);
+        assert_eq!(snap.histogram("fix_persist_verify_ns").unwrap().count, 1);
+
+        // Flip a byte mid-file: verify flags it and counts the detection.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = db.verify().unwrap();
+        assert!(!report.is_ok());
+        let snap = db.metrics().snapshot();
+        assert!(
+            snap.counter("fix_persist_corruption_detected_total")
+                .unwrap()
+                > 0
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_metrics_recorded_on_open() {
+        let path = temp("load-metrics.fixdb");
+        std::fs::remove_file(&path).ok();
+        {
+            let mut db = FixDatabase::open(&path).unwrap();
+            db.add_xml("<a><b/></a>").unwrap();
+            db.build(FixOptions::collection()).unwrap();
+            db.save().unwrap();
+        }
+        let db = FixDatabase::open(&path).unwrap();
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.histogram("fix_persist_load_ns").unwrap().count, 1);
+        assert!(snap.counter("fix_persist_bytes_read_total").unwrap() > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_depth_limit_governs_adds() {
+        let deep = |n: usize| "<a>".repeat(n) + &"</a>".repeat(n);
+        // Pre-build adds enforce the default limit.
+        let mut db = FixDatabase::in_memory();
+        db.add_xml(&deep(40)).unwrap();
+        assert!(matches!(db.add_xml(&deep(2000)), Err(FixError::Parse(_))));
+        // Post-build, the built options govern (via incremental insert).
+        db.build(FixOptions::collection().with_max_parse_depth(8))
+            .unwrap();
+        assert!(matches!(db.add_xml(&deep(40)), Err(FixError::Parse(_))));
     }
 
     #[test]

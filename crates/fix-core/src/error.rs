@@ -28,6 +28,19 @@ pub enum FixError {
     },
     /// Underlying file I/O failed (open/save/load, on-disk pages).
     Io(std::io::Error),
+    /// An on-disk database failed validation: a frame checksum mismatch,
+    /// an implausible length, a truncated file, or undecodable section
+    /// content (see `DESIGN.md` §12). `section` names the file section at
+    /// fault; `detail` says what was wrong (with byte offsets where they
+    /// help). Run `fixdb verify` for a full per-section report and
+    /// `fixdb verify --salvage` to recover the intact sections.
+    Corrupt {
+        /// The on-disk section that failed validation (e.g. `"documents"`,
+        /// `"btree"`, `"footer"`).
+        section: String,
+        /// What was wrong, with byte offsets where available.
+        detail: String,
+    },
     /// The operation needs an index, but none has been built or loaded.
     NoIndex,
     /// [`FixDatabase::save`](crate::FixDatabase::save) was called on a
@@ -58,6 +71,9 @@ impl fmt::Display for FixError {
                 "query error: query depth {query_depth} exceeds the index depth limit {depth_limit}"
             ),
             FixError::Io(e) => write!(f, "I/O error: {e}"),
+            FixError::Corrupt { section, detail } => {
+                write!(f, "corrupt database ({section} section): {detail}")
+            }
             FixError::NoIndex => write!(f, "no index: call build() or open an existing database"),
             FixError::NoPath => {
                 write!(f, "database has no bound path: use save_as() or open()")
@@ -124,6 +140,13 @@ mod tests {
         let io = FixError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.to_string().contains("gone"));
         assert!(std::error::Error::source(&io).is_some());
+        let corrupt = FixError::Corrupt {
+            section: "btree".into(),
+            detail: "checksum mismatch at offset 0x40".into(),
+        };
+        assert!(corrupt.to_string().contains("btree"));
+        assert!(corrupt.to_string().contains("0x40"));
+        assert!(std::error::Error::source(&corrupt).is_none());
         assert!(FixError::NoIndex.to_string().contains("build()"));
         assert!(std::error::Error::source(&FixError::NoIndex).is_none());
         assert!(FixError::NoPath.to_string().contains("save_as"));

@@ -49,6 +49,10 @@ pub use fix_obs::{MetricsRegistry, MetricsSnapshot, QueryTrace, Reportable, Stag
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, CacheStats, Metrics};
 pub use options::{FixOptions, FixOptionsBuilder, RefineOp};
+pub use persist::{
+    salvage_file, save_with_faults, verify_bytes, verify_file, SalvageSummary, SectionReport,
+    SectionStatus, VerifyReport,
+};
 pub use plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
 pub use query::{QueryError, QueryHits, QueryOutcome, QueryPlan};
 pub use session::QuerySession;

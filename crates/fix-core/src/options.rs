@@ -65,6 +65,12 @@ pub struct FixOptions {
     /// document order, so the outcome is byte-identical at every thread
     /// count (see `DESIGN.md`, "Concurrent query serving").
     pub query_threads: usize,
+    /// Maximum element nesting depth accepted when parsing documents into
+    /// this database ([`fix_xml::DEFAULT_MAX_DEPTH`] by default;
+    /// `usize::MAX` disables the check). Pathological nesting is rejected
+    /// with a `ParseError` instead of growing every downstream stack
+    /// without bound.
+    pub max_parse_depth: usize,
 }
 
 impl FixOptions {
@@ -83,6 +89,7 @@ impl FixOptions {
             literal_gen_subpattern: false,
             threads: 1,
             query_threads: 1,
+            max_parse_depth: fix_xml::DEFAULT_MAX_DEPTH,
         }
     }
 
@@ -132,6 +139,14 @@ impl FixOptions {
     /// Sets the refinement worker-thread count (`0` = all cores).
     pub fn with_query_threads(mut self, threads: usize) -> Self {
         self.query_threads = threads;
+        self
+    }
+
+    /// Sets the maximum accepted element nesting depth for document
+    /// parsing (`usize::MAX` disables the check).
+    pub fn with_max_parse_depth(mut self, max_depth: usize) -> Self {
+        assert!(max_depth > 0, "the parse depth limit must be positive");
+        self.max_parse_depth = max_depth;
         self
     }
 
@@ -213,6 +228,14 @@ impl FixOptionsBuilder {
     /// Refinement worker-thread count for query serving (`0` = all cores).
     pub fn query_threads(mut self, threads: usize) -> Self {
         self.opts.query_threads = threads;
+        self
+    }
+
+    /// Maximum accepted element nesting depth for document parsing
+    /// (`usize::MAX` disables the check).
+    pub fn max_parse_depth(mut self, max_depth: usize) -> Self {
+        assert!(max_depth > 0, "the parse depth limit must be positive");
+        self.opts.max_parse_depth = max_depth;
         self
     }
 
@@ -305,6 +328,7 @@ mod tests {
             .extended_features(true)
             .literal_gen_subpattern(true)
             .max_edges(123)
+            .max_parse_depth(99)
             .refine(RefineOp::Twig)
             .build();
         assert_eq!(o.depth_limit, 4);
@@ -318,7 +342,22 @@ mod tests {
         assert!(o.extended_features);
         assert!(o.literal_gen_subpattern);
         assert_eq!(o.extractor.max_edges, 123);
+        assert_eq!(o.max_parse_depth, 99);
         assert_eq!(o.refine, RefineOp::Twig);
+    }
+
+    #[test]
+    fn parse_depth_defaults_and_override() {
+        assert_eq!(
+            FixOptions::collection().max_parse_depth,
+            fix_xml::DEFAULT_MAX_DEPTH
+        );
+        assert_eq!(
+            FixOptions::collection()
+                .with_max_parse_depth(7)
+                .max_parse_depth,
+            7
+        );
     }
 
     #[test]

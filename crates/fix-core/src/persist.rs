@@ -2,175 +2,325 @@
 //! (documents + shared label table) and the index (options, edge
 //! dictionary, B-tree entries, clustered copies).
 //!
-//! The format is a simple length-prefixed little-endian binary layout. The
-//! B-tree is persisted *logically* (sorted key/value pairs) and rebuilt by
-//! a bottom-up bulk load, which keeps the format independent of
-//! page-layout details. Clustered heap records are replayed in insertion
-//! order *before* the B-tree load — the same allocation order construction
-//! uses — which reproduces identical record ids (the heap's append is
-//! deterministic).
+//! # Format v3 (current)
+//!
+//! A v3 file is a magic header, seven *frames* in fixed order, and a
+//! footer (see `DESIGN.md` §12):
+//!
+//! ```text
+//! "FIXDB\0\x03\0"
+//! frame × 7:  id:u8  len:u64le  payload[len]  crc32(payload):u32le
+//! footer:     0xFF   offset:u64le  crc32(file[..offset]):u32le
+//! ```
+//!
+//! Every length is validated against the bytes actually remaining before
+//! anything is allocated, every payload carries its own CRC-32, and the
+//! footer checksums the whole file — a flipped bit or a truncation
+//! surfaces as a structured [`FixError::Corrupt`] naming the section at
+//! fault, never as a panic or an over-allocation. Files written by the
+//! previous format (v2 magic, unframed) still load; [`save_v2_unchecked`]
+//! keeps a writer for them so compatibility stays testable.
+//!
+//! # Atomicity
+//!
+//! Saves go through a sibling temp file: write + flush + `fsync`, then
+//! `rename` over the target, then `fsync` the directory. A crash (or an
+//! injected [`FaultPlan`] — see [`save_with_faults`]) at *any* write
+//! boundary leaves either the complete old database or the complete new
+//! one, never a torn mix.
+//!
+//! The B-tree is persisted *logically* (sorted key/value pairs) and
+//! rebuilt by a bottom-up bulk load, which keeps the format independent
+//! of page-layout details. Clustered heap records are replayed in
+//! insertion order *before* the B-tree load — the same allocation order
+//! construction uses — which reproduces identical record ids (the heap's
+//! append is deterministic).
 
-use std::io::{self, Read, Write};
-use std::path::Path;
+use std::fmt;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use fix_btree::BTree;
 use fix_spectral::{EdgeEncoder, FeatureMode};
-use fix_storage::{BufferPool, HeapFile};
+use fix_storage::{crc32, BufferPool, Crc32, FaultFile, FaultPlan, HeapFile};
 use fix_xml::LabelId;
 
 use crate::builder::{BuildStats, FixIndex};
-use crate::collection::Collection;
+use crate::collection::{Collection, DocId};
+use crate::error::FixError;
 use crate::key::KEY_LEN;
 use crate::options::{FixOptions, RefineOp};
 use crate::values::ValueHasher;
 
-const MAGIC: &[u8; 8] = b"FIXDB\x00\x02\x00";
+const MAGIC_V2: &[u8; 8] = b"FIXDB\x00\x02\x00";
+const MAGIC_V3: &[u8; 8] = b"FIXDB\x00\x03\x00";
+/// Section id of the footer pseudo-frame.
+const FOOTER_ID: u8 = 0xFF;
+/// Footer wire size: id byte + u64 offset + u32 file CRC.
+const FOOTER_LEN: usize = 13;
+/// Frame header wire size: id byte + u64 payload length.
+const FRAME_HEADER_LEN: usize = 9;
 
-fn put_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
+/// Plausibility caps applied to decoded options before they can size
+/// anything. A corrupted field that slips past the CRCs (or arrives via a
+/// legacy v2 file, which has none) is rejected here instead of driving an
+/// allocation.
+const MAX_DEPTH_LIMIT: usize = 1 << 16;
+const MAX_POOL_PAGES: usize = 1 << 28;
+const MAX_MAX_EDGES: usize = 1 << 28;
+
+/// The seven payload-bearing sections, in file order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Options = 0,
+    Labels = 1,
+    Documents = 2,
+    Edges = 3,
+    BTree = 4,
+    Heap = 5,
+    Tombstones = 6,
 }
 
-fn put_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
+impl Section {
+    const ALL: [Section; 7] = [
+        Section::Options,
+        Section::Labels,
+        Section::Documents,
+        Section::Edges,
+        Section::BTree,
+        Section::Heap,
+        Section::Tombstones,
+    ];
 
-fn put_f64(w: &mut impl Write, v: f64) -> io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-
-fn put_bytes(w: &mut impl Write, b: &[u8]) -> io::Result<()> {
-    put_u64(w, b.len() as u64)?;
-    w.write_all(b)
-}
-
-fn get_u32(r: &mut impl Read) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn get_u64(r: &mut impl Read) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-
-fn get_f64(r: &mut impl Read) -> io::Result<f64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(f64::from_le_bytes(b))
-}
-
-fn get_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
-    let n = get_u64(r)? as usize;
-    let mut b = vec![0u8; n];
-    r.read_exact(&mut b)?;
-    Ok(b)
-}
-
-fn corrupt(msg: &str) -> io::Error {
-    io::Error::new(
-        io::ErrorKind::InvalidData,
-        format!("corrupt FIX database: {msg}"),
-    )
-}
-
-pub(crate) fn save_impl(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
-    let file = std::fs::File::create(path)?;
-    let mut w = io::BufWriter::new(file);
-    w.write_all(MAGIC)?;
-
-    // Options.
-    let o = idx.options();
-    put_u32(&mut w, o.depth_limit as u32)?;
-    put_u32(&mut w, u32::from(o.clustered))?;
-    put_u32(&mut w, o.value_beta.unwrap_or(0))?;
-    put_u32(&mut w, o.pool_pages as u32)?;
-    put_u32(
-        &mut w,
-        match o.extractor.mode {
-            FeatureMode::SymmetricNorm => 0,
-            FeatureMode::SkewSpectral => 1,
-        },
-    )?;
-    put_u32(&mut w, o.extractor.max_edges as u32)?;
-    let flags = u32::from(o.extended_features) | (u32::from(o.edge_bloom) << 1);
-    put_u32(&mut w, flags)?;
-
-    // Label table (ids are the positions).
-    put_u32(&mut w, coll.labels.len() as u32)?;
-    for (_, name) in coll.labels.iter() {
-        put_bytes(&mut w, name.as_bytes())?;
+    fn id(self) -> u8 {
+        self as u8
     }
 
-    // Documents, serialized XML in id order.
-    put_u32(&mut w, coll.len() as u32)?;
-    for (_, d) in coll.iter() {
-        put_bytes(&mut w, fix_xml::to_xml_string(d, &coll.labels).as_bytes())?;
+    fn name(self) -> &'static str {
+        match self {
+            Section::Options => "options",
+            Section::Labels => "labels",
+            Section::Documents => "documents",
+            Section::Edges => "edges",
+            Section::BTree => "btree",
+            Section::Heap => "heap",
+            Section::Tombstones => "tombstones",
+        }
     }
+}
 
-    // Edge dictionary (sorted for determinism).
-    let mut edges: Vec<((LabelId, LabelId), f64)> = idx.encoder.iter().collect();
-    edges.sort_by_key(|((a, b), _)| (a.0, b.0));
-    put_u32(&mut w, edges.len() as u32)?;
-    for ((a, b), weight) in edges {
-        put_u32(&mut w, a.0)?;
-        put_u32(&mut w, b.0)?;
-        put_f64(&mut w, weight)?;
+fn corrupt(section: &str, detail: impl Into<String>) -> FixError {
+    FixError::Corrupt {
+        section: section.to_string(),
+        detail: detail.into(),
     }
+}
 
-    // B-tree entries in key order.
-    put_u64(&mut w, idx.btree.len())?;
-    for (k, v) in idx.btree.iter() {
-        w.write_all(&k)?;
-        put_u64(&mut w, v)?;
-    }
+// ---------------------------------------------------------------- encoding
 
-    // Clustered heap records in insertion order.
-    match &idx.clustered {
-        Some(heap) => {
-            put_u64(&mut w, heap.len())?;
-            for (_, record) in heap.scan() {
-                put_bytes(&mut w, &record)?;
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+/// Encodes one section's payload. `v3` selects the current options layout
+/// (which appends the parse depth limit); every other section is
+/// byte-identical across v2 and v3, only the framing differs.
+fn encode_section(s: Section, coll: &Collection, idx: &FixIndex, v3: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    match s {
+        Section::Options => {
+            let o = idx.options();
+            put_u32(&mut out, o.depth_limit as u32);
+            put_u32(&mut out, u32::from(o.clustered));
+            put_u32(&mut out, o.value_beta.unwrap_or(0));
+            put_u32(&mut out, o.pool_pages as u32);
+            put_u32(
+                &mut out,
+                match o.extractor.mode {
+                    FeatureMode::SymmetricNorm => 0,
+                    FeatureMode::SkewSpectral => 1,
+                },
+            );
+            put_u32(&mut out, o.extractor.max_edges as u32);
+            let flags = u32::from(o.extended_features) | (u32::from(o.edge_bloom) << 1);
+            put_u32(&mut out, flags);
+            if v3 {
+                // u32::MAX encodes "unlimited" (usize::MAX); saturate.
+                let d = u32::try_from(o.max_parse_depth).unwrap_or(u32::MAX);
+                put_u32(&mut out, d);
             }
         }
-        None => put_u64(&mut w, u64::MAX)?,
+        Section::Labels => {
+            // Ids are the positions.
+            put_u32(&mut out, coll.labels.len() as u32);
+            for (_, name) in coll.labels.iter() {
+                put_bytes(&mut out, name.as_bytes());
+            }
+        }
+        Section::Documents => {
+            // Serialized XML in id order.
+            put_u32(&mut out, coll.len() as u32);
+            for (_, d) in coll.iter() {
+                put_bytes(&mut out, fix_xml::to_xml_string(d, &coll.labels).as_bytes());
+            }
+        }
+        Section::Edges => {
+            // Edge dictionary (sorted for determinism).
+            let mut edges: Vec<((LabelId, LabelId), f64)> = idx.encoder.iter().collect();
+            edges.sort_by_key(|((a, b), _)| (a.0, b.0));
+            put_u32(&mut out, edges.len() as u32);
+            for ((a, b), weight) in edges {
+                put_u32(&mut out, a.0);
+                put_u32(&mut out, b.0);
+                put_f64(&mut out, weight);
+            }
+        }
+        Section::BTree => {
+            // Entries in key order.
+            put_u64(&mut out, idx.btree.len());
+            for (k, v) in idx.btree.iter() {
+                out.extend_from_slice(&k);
+                put_u64(&mut out, v);
+            }
+        }
+        Section::Heap => {
+            // Clustered heap records in insertion order; u64::MAX marks
+            // "no clustered heap".
+            match &idx.clustered {
+                Some(heap) => {
+                    put_u64(&mut out, heap.len());
+                    for (_, record) in heap.scan() {
+                        put_bytes(&mut out, &record);
+                    }
+                }
+                None => put_u64(&mut out, u64::MAX),
+            }
+        }
+        Section::Tombstones => {
+            let mut removed: Vec<u32> = idx.removed.iter().map(|d| d.0).collect();
+            removed.sort_unstable();
+            put_u32(&mut out, removed.len() as u32);
+            for d in removed {
+                put_u32(&mut out, d);
+            }
+        }
     }
-
-    // Tombstones.
-    let mut removed: Vec<u32> = idx.removed.iter().map(|d| d.0).collect();
-    removed.sort_unstable();
-    put_u32(&mut w, removed.len() as u32)?;
-    for d in removed {
-        put_u32(&mut w, d)?;
-    }
-    w.flush()
+    out
 }
 
-pub(crate) fn load_impl(path: &Path) -> io::Result<(Collection, FixIndex)> {
-    let file = std::fs::File::open(path)?;
-    let mut r = io::BufReader::new(file);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(corrupt("bad magic"));
+// ---------------------------------------------------------------- decoding
+
+/// A bounds-checked cursor over an in-memory byte slice. Every read —
+/// including the length-prefixed [`SliceReader::bytes`] — validates
+/// against the bytes actually remaining, so a corrupted length field
+/// yields an error string (wrapped into [`FixError::Corrupt`] by the
+/// caller), never an attempt to allocate the claimed size.
+struct SliceReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SliceReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
     }
 
-    let depth_limit = get_u32(&mut r)? as usize;
-    let clustered = get_u32(&mut r)? != 0;
-    let value_beta = match get_u32(&mut r)? {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if n > self.remaining() {
+            return Err(format!(
+                "need {n} bytes at offset {:#x}, only {} remain",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A u64-length-prefixed byte string, length validated first.
+    fn bytes(&mut self) -> Result<&'a [u8], String> {
+        let at = self.pos;
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(format!(
+                "length prefix {n} at offset {at:#x} exceeds the {} bytes remaining",
+                self.remaining()
+            ));
+        }
+        self.take(n as usize)
+    }
+
+    fn string(&mut self, what: &str) -> Result<String, String> {
+        let at = self.pos;
+        String::from_utf8(self.bytes()?.to_vec())
+            .map_err(|_| format!("{what} at offset {at:#x} is not valid UTF-8"))
+    }
+}
+
+fn decode_options(r: &mut SliceReader, v3: bool) -> Result<FixOptions, String> {
+    let depth_limit = r.u32()? as usize;
+    if depth_limit > MAX_DEPTH_LIMIT {
+        return Err(format!("implausible depth limit {depth_limit}"));
+    }
+    let clustered = r.u32()? != 0;
+    let value_beta = match r.u32()? {
         0 => None,
         b => Some(b),
     };
-    let pool_pages = get_u32(&mut r)? as usize;
-    let mode = match get_u32(&mut r)? {
+    let pool_pages = r.u32()? as usize;
+    if pool_pages > MAX_POOL_PAGES {
+        return Err(format!("implausible buffer-pool size {pool_pages}"));
+    }
+    let mode = match r.u32()? {
         0 => FeatureMode::SymmetricNorm,
         1 => FeatureMode::SkewSpectral,
-        _ => return Err(corrupt("unknown feature mode")),
+        m => return Err(format!("unknown feature mode {m}")),
     };
-    let max_edges = get_u32(&mut r)? as usize;
-    let flags = get_u32(&mut r)?;
+    let max_edges = r.u32()? as usize;
+    if max_edges > MAX_MAX_EDGES {
+        return Err(format!("implausible max-edges threshold {max_edges}"));
+    }
+    let flags = r.u32()?;
+    let max_parse_depth = if v3 {
+        match r.u32()? {
+            u32::MAX => usize::MAX,
+            0 => return Err("zero parse depth limit".to_string()),
+            d => d as usize,
+        }
+    } else {
+        fix_xml::DEFAULT_MAX_DEPTH
+    };
     let mut opts = if depth_limit == 0 {
         FixOptions::collection()
     } else {
@@ -184,62 +334,157 @@ pub(crate) fn load_impl(path: &Path) -> io::Result<(Collection, FixIndex)> {
     opts.extended_features = flags & 1 != 0;
     opts.edge_bloom = flags & 2 != 0;
     opts.refine = RefineOp::default();
+    opts.max_parse_depth = max_parse_depth;
+    Ok(opts)
+}
 
+fn decode_labels(r: &mut SliceReader) -> Result<Vec<String>, String> {
+    let n = r.u32()?;
+    let mut labels = Vec::new();
+    for _ in 0..n {
+        labels.push(r.string("label")?);
+    }
+    Ok(labels)
+}
+
+fn decode_documents(r: &mut SliceReader) -> Result<Vec<String>, String> {
+    let n = r.u32()?;
+    let mut docs = Vec::new();
+    for _ in 0..n {
+        docs.push(r.string("document")?);
+    }
+    Ok(docs)
+}
+
+fn decode_edges(r: &mut SliceReader) -> Result<Vec<(LabelId, LabelId, f64)>, String> {
+    let n = r.u32()?;
+    let mut edges = Vec::new();
+    for _ in 0..n {
+        let a = LabelId(r.u32()?);
+        let b = LabelId(r.u32()?);
+        let w = r.f64()?;
+        edges.push((a, b, w));
+    }
+    Ok(edges)
+}
+
+fn decode_btree(r: &mut SliceReader) -> Result<Vec<(Vec<u8>, u64)>, String> {
+    let n = r.u64()?;
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        let k = r.take(KEY_LEN)?.to_vec();
+        let v = r.u64()?;
+        entries.push((k, v));
+    }
+    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err("B-tree entries out of order".to_string());
+    }
+    Ok(entries)
+}
+
+fn decode_heap(r: &mut SliceReader) -> Result<Option<Vec<Vec<u8>>>, String> {
+    let n = r.u64()?;
+    if n == u64::MAX {
+        return Ok(None);
+    }
+    let mut records = Vec::new();
+    for _ in 0..n {
+        records.push(r.bytes()?.to_vec());
+    }
+    Ok(Some(records))
+}
+
+fn decode_tombstones(r: &mut SliceReader) -> Result<Vec<u32>, String> {
+    let n = r.u32()?;
+    let mut removed = Vec::new();
+    for _ in 0..n {
+        removed.push(r.u32()?);
+    }
+    Ok(removed)
+}
+
+/// Runs a decoder over a whole payload, requiring full consumption.
+fn decode_whole<'a, T>(
+    payload: &'a [u8],
+    f: impl FnOnce(&mut SliceReader<'a>) -> Result<T, String>,
+) -> Result<T, String> {
+    let mut r = SliceReader::new(payload);
+    let v = f(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(format!("{} trailing bytes in section", r.remaining()));
+    }
+    Ok(v)
+}
+
+fn decode_payload<'a, T>(
+    s: Section,
+    payload: &'a [u8],
+    f: impl FnOnce(&mut SliceReader<'a>) -> Result<T, String>,
+) -> Result<T, FixError> {
+    decode_whole(payload, f).map_err(|d| corrupt(s.name(), d))
+}
+
+/// Structure-checks one payload without building anything (the verify
+/// path's per-section decode pass).
+fn decode_check(s: Section, payload: &[u8], v3: bool) -> Result<(), String> {
+    match s {
+        Section::Options => decode_whole(payload, |r| decode_options(r, v3)).map(drop),
+        Section::Labels => decode_whole(payload, decode_labels).map(drop),
+        Section::Documents => decode_whole(payload, decode_documents).map(drop),
+        Section::Edges => decode_whole(payload, decode_edges).map(drop),
+        Section::BTree => decode_whole(payload, decode_btree).map(drop),
+        Section::Heap => decode_whole(payload, decode_heap).map(drop),
+        Section::Tombstones => decode_whole(payload, decode_tombstones).map(drop),
+    }
+}
+
+/// The fully decoded (but not yet materialized) content of a database
+/// file.
+struct Decoded {
+    opts: FixOptions,
+    labels: Vec<String>,
+    docs: Vec<String>,
+    edges: Vec<(LabelId, LabelId, f64)>,
+    entries: Vec<(Vec<u8>, u64)>,
+    heap: Option<Vec<Vec<u8>>>,
+    tombstones: Vec<u32>,
+}
+
+/// Materializes decoded content into a live collection + index.
+fn assemble(d: Decoded) -> Result<(Collection, FixIndex), FixError> {
     // Label table: intern in saved order so ids are reproduced exactly.
     let mut coll = Collection::new();
-    let n_labels = get_u32(&mut r)?;
-    for i in 0..n_labels {
-        let name = String::from_utf8(get_bytes(&mut r)?).map_err(|_| corrupt("label utf8"))?;
-        let id = coll.labels.intern(&name);
-        if id.0 != i {
-            return Err(corrupt("label table out of order"));
+    for (i, name) in d.labels.iter().enumerate() {
+        let id = coll.labels.intern(name);
+        if id.0 as usize != i {
+            return Err(corrupt("labels", "label table out of order"));
         }
     }
-    let n_docs = get_u32(&mut r)?;
-    for _ in 0..n_docs {
-        let xml = String::from_utf8(get_bytes(&mut r)?).map_err(|_| corrupt("document utf8"))?;
-        coll.add_xml(&xml)
-            .map_err(|e| corrupt(&format!("document reparse: {e}")))?;
+    // Documents were depth-checked when first added; never reject
+    // previously persisted data on reload.
+    for xml in &d.docs {
+        coll.add_xml_limited(xml, usize::MAX)
+            .map_err(|e| corrupt("documents", format!("document reparse: {e}")))?;
     }
 
     let mut encoder = EdgeEncoder::new();
-    let n_edges = get_u32(&mut r)?;
-    for _ in 0..n_edges {
-        let a = LabelId(get_u32(&mut r)?);
-        let b = LabelId(get_u32(&mut r)?);
-        let w = get_f64(&mut r)?;
+    for (a, b, w) in d.edges {
         encoder.restore(a, b, w);
-    }
-
-    let n_entries = get_u64(&mut r)?;
-    let mut entries: Vec<(Vec<u8>, u64)> = Vec::new();
-    for _ in 0..n_entries {
-        let mut k = [0u8; KEY_LEN];
-        r.read_exact(&mut k)?;
-        let v = get_u64(&mut r)?;
-        entries.push((k.to_vec(), v));
-    }
-    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
-        return Err(corrupt("B-tree entries out of order"));
     }
 
     // Replay heap appends *before* loading the B-tree: construction
     // allocates heap pages first and B-tree pages second, so replaying in
     // the same order reproduces the record ids the stored B-tree values
     // point at.
-    let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
-    let n_records = get_u64(&mut r)?;
-    let clustered_heap = if n_records == u64::MAX {
-        None
-    } else {
+    let pool = Arc::new(BufferPool::in_memory(d.opts.pool_pages));
+    let clustered_heap = d.heap.map(|records| {
         let mut heap = HeapFile::new(Arc::clone(&pool));
-        for _ in 0..n_records {
-            let record = get_bytes(&mut r)?;
-            heap.append(&record);
+        for record in &records {
+            heap.append(record);
         }
-        Some(heap)
-    };
-    let btree = BTree::bulk_load(Arc::clone(&pool), KEY_LEN, entries);
+        heap
+    });
+    let btree = BTree::bulk_load(Arc::clone(&pool), KEY_LEN, d.entries);
 
     let stats = BuildStats {
         entries: btree.len(),
@@ -250,17 +495,16 @@ pub(crate) fn load_impl(path: &Path) -> io::Result<(Collection, FixIndex)> {
             .unwrap_or(0),
         ..Default::default()
     };
-    let n_removed = get_u32(&mut r)?;
     let mut removed = std::collections::HashSet::new();
-    for _ in 0..n_removed {
-        removed.insert(crate::collection::DocId(get_u32(&mut r)?));
+    for t in d.tombstones {
+        removed.insert(DocId(t));
     }
 
-    let hasher = opts.value_beta.map(ValueHasher::new);
+    let hasher = d.opts.value_beta.map(ValueHasher::new);
     Ok((
         coll,
         FixIndex {
-            opts,
+            opts: d.opts,
             btree,
             encoder,
             hasher,
@@ -273,10 +517,700 @@ pub(crate) fn load_impl(path: &Path) -> io::Result<(Collection, FixIndex)> {
     ))
 }
 
+// ----------------------------------------------------------- frame walking
+
+/// One parsed v3 frame.
+struct Frame<'a> {
+    offset: usize,
+    payload: &'a [u8],
+    crc_ok: bool,
+    stored: u32,
+    computed: u32,
+}
+
+fn checksum_detail(fr: &Frame) -> String {
+    format!(
+        "checksum mismatch at offset {:#x} (stored {:#010x}, computed {:#010x})",
+        fr.offset, fr.stored, fr.computed
+    )
+}
+
+/// Cursor over the frame sequence of a v3 file. Structural errors
+/// (truncated header, wrong section id, length overrunning the file) are
+/// reported with byte offsets; CRC state is reported per frame so callers
+/// choose whether to stop (load) or record and continue (verify).
+struct FrameWalk<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> FrameWalk<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 8 }
+    }
+
+    fn next(&mut self, expect: Section) -> Result<Frame<'a>, String> {
+        let offset = self.pos;
+        let avail = self.data.len() - self.pos;
+        if avail < FRAME_HEADER_LEN {
+            return Err(format!(
+                "truncated frame header at offset {offset:#x} ({avail} bytes remain, need {FRAME_HEADER_LEN})"
+            ));
+        }
+        let id = self.data[self.pos];
+        if id != expect.id() {
+            return Err(format!(
+                "expected section id {} at offset {offset:#x}, found {id}",
+                expect.id()
+            ));
+        }
+        let len = u64::from_le_bytes(self.data[self.pos + 1..self.pos + 9].try_into().unwrap());
+        let body = avail - FRAME_HEADER_LEN;
+        if len > body.saturating_sub(4) as u64 {
+            return Err(format!(
+                "section length {len} at offset {offset:#x} overruns the file"
+            ));
+        }
+        let start = self.pos + FRAME_HEADER_LEN;
+        let n = len as usize;
+        let payload = &self.data[start..start + n];
+        let stored = u32::from_le_bytes(self.data[start + n..start + n + 4].try_into().unwrap());
+        let computed = crc32(payload);
+        self.pos = start + n + 4;
+        Ok(Frame {
+            offset,
+            payload,
+            crc_ok: stored == computed,
+            stored,
+            computed,
+        })
+    }
+}
+
+fn check_footer(data: &[u8], pos: usize) -> Result<(), String> {
+    let rest = &data[pos..];
+    if rest.len() != FOOTER_LEN {
+        return Err(format!(
+            "expected a {FOOTER_LEN}-byte footer at offset {pos:#x}, found {} bytes",
+            rest.len()
+        ));
+    }
+    if rest[0] != FOOTER_ID {
+        return Err(format!(
+            "bad footer marker {:#04x} at offset {pos:#x}",
+            rest[0]
+        ));
+    }
+    let off = u64::from_le_bytes(rest[1..9].try_into().unwrap());
+    if off != pos as u64 {
+        return Err(format!(
+            "footer offset field {off:#x} does not match footer position {pos:#x}"
+        ));
+    }
+    let stored = u32::from_le_bytes(rest[9..13].try_into().unwrap());
+    let computed = crc32(&data[..pos]);
+    if stored != computed {
+        return Err(format!(
+            "file checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        ));
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------------ loading
+
+pub(crate) fn load_impl(path: &Path) -> Result<(Collection, FixIndex), FixError> {
+    let data = std::fs::read(path)?;
+    load_bytes(&data)
+}
+
+pub(crate) fn load_bytes(data: &[u8]) -> Result<(Collection, FixIndex), FixError> {
+    if data.len() < 8 {
+        return Err(corrupt(
+            "header",
+            format!(
+                "file is {} bytes, shorter than the 8-byte magic",
+                data.len()
+            ),
+        ));
+    }
+    match &data[..8] {
+        m if m == MAGIC_V3 => load_v3(data),
+        m if m == MAGIC_V2 => load_v2(&data[8..]),
+        _ => Err(corrupt("header", "bad magic")),
+    }
+}
+
+fn load_v3(data: &[u8]) -> Result<(Collection, FixIndex), FixError> {
+    let mut walk = FrameWalk::new(data);
+    let mut payloads: Vec<&[u8]> = Vec::with_capacity(Section::ALL.len());
+    for s in Section::ALL {
+        let fr = walk.next(s).map_err(|d| corrupt(s.name(), d))?;
+        if !fr.crc_ok {
+            return Err(corrupt(s.name(), checksum_detail(&fr)));
+        }
+        payloads.push(fr.payload);
+    }
+    check_footer(data, walk.pos).map_err(|d| corrupt("footer", d))?;
+
+    let d = Decoded {
+        opts: decode_payload(Section::Options, payloads[0], |r| decode_options(r, true))?,
+        labels: decode_payload(Section::Labels, payloads[1], decode_labels)?,
+        docs: decode_payload(Section::Documents, payloads[2], decode_documents)?,
+        edges: decode_payload(Section::Edges, payloads[3], decode_edges)?,
+        entries: decode_payload(Section::BTree, payloads[4], decode_btree)?,
+        heap: decode_payload(Section::Heap, payloads[5], decode_heap)?,
+        tombstones: decode_payload(Section::Tombstones, payloads[6], decode_tombstones)?,
+    };
+    assemble(d)
+}
+
+/// Loads the legacy unframed v2 layout (`body` excludes the magic).
+/// Sections decode sequentially with the same bounded readers; trailing
+/// bytes are tolerated (v2 had no footer to delimit the content).
+fn load_v2(body: &[u8]) -> Result<(Collection, FixIndex), FixError> {
+    let mut r = SliceReader::new(body);
+    let d = Decoded {
+        opts: decode_options(&mut r, false).map_err(|d| corrupt("options", d))?,
+        labels: decode_labels(&mut r).map_err(|d| corrupt("labels", d))?,
+        docs: decode_documents(&mut r).map_err(|d| corrupt("documents", d))?,
+        edges: decode_edges(&mut r).map_err(|d| corrupt("edges", d))?,
+        entries: decode_btree(&mut r).map_err(|d| corrupt("btree", d))?,
+        heap: decode_heap(&mut r).map_err(|d| corrupt("heap", d))?,
+        tombstones: decode_tombstones(&mut r).map_err(|d| corrupt("tombstones", d))?,
+    };
+    assemble(d)
+}
+
+// ------------------------------------------------------------------- saving
+
+/// Byte counter + running CRC over everything written; the footer's
+/// offset and file checksum fall out of the state at footer time.
+struct CrcWriter<W: Write> {
+    inner: W,
+    crc: Crc32,
+    count: u64,
+}
+
+impl<W: Write> CrcWriter<W> {
+    fn new(inner: W) -> Self {
+        Self {
+            inner,
+            crc: Crc32::new(),
+            count: 0,
+        }
+    }
+
+    fn put(&mut self, b: &[u8]) -> io::Result<()> {
+        self.inner.write_all(b)?;
+        self.crc.update(b);
+        self.count += b.len() as u64;
+        Ok(())
+    }
+
+    fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+fn write_v3<W: Write>(w: &mut CrcWriter<W>, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    w.put(MAGIC_V3)?;
+    for s in Section::ALL {
+        let payload = encode_section(s, coll, idx, true);
+        w.put(&[s.id()])?;
+        w.put(&(payload.len() as u64).to_le_bytes())?;
+        w.put(&payload)?;
+        w.put(&crc32(&payload).to_le_bytes())?;
+    }
+    // Snapshot offset + file CRC *before* the footer's own bytes.
+    let offset = w.count;
+    let crc = w.crc.finalize();
+    w.put(&[FOOTER_ID])?;
+    w.put(&offset.to_le_bytes())?;
+    w.put(&crc.to_le_bytes())
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "fixdb".to_string());
+    path.with_file_name(format!("{name}.tmp{}", std::process::id()))
+}
+
+/// Fsyncs the directory holding `path` so the rename itself is durable.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let dir = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
+
+fn write_tmp(
+    tmp: &Path,
+    coll: &Collection,
+    idx: &FixIndex,
+    plan: Option<FaultPlan>,
+) -> io::Result<()> {
+    let file = std::fs::File::create(tmp)?;
+    let mut w = CrcWriter::new(FaultFile::new(io::BufWriter::new(&file), plan));
+    write_v3(&mut w, coll, idx)?;
+    let mut fault = w.into_inner();
+    fault.flush()?;
+    drop(fault);
+    file.sync_all()
+}
+
+pub(crate) fn save_impl(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    save_with_faults(path, coll, idx, None)
+}
+
+/// The atomic save, with an optional injected write fault (the
+/// crash-matrix test hook; `None` is the production path). Protocol:
+/// write a sibling temp file, flush, `fsync`, `rename` over `path`,
+/// `fsync` the directory. On any failure the temp file is removed and
+/// whatever previously lived at `path` is untouched.
+pub fn save_with_faults(
+    path: &Path,
+    coll: &Collection,
+    idx: &FixIndex,
+    plan: Option<FaultPlan>,
+) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    if let Err(e) = write_tmp(&tmp, coll, idx, plan) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_parent_dir(path)
+}
+
+/// Writes the legacy v2 layout: no frames, no checksums, no atomicity.
+/// Kept so the v2 compatibility path stays testable against genuinely
+/// old-format files; never used by the production save.
+pub fn save_v2_unchecked(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC_V2);
+    for s in Section::ALL {
+        out.extend_from_slice(&encode_section(s, coll, idx, false));
+    }
+    std::fs::write(path, out)
+}
+
+// ------------------------------------------------------------------- verify
+
+/// Health of one verified section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionStatus {
+    /// Frame intact: checksum matches and the payload decodes.
+    Ok,
+    /// The section failed validation; the string says how and where.
+    Corrupt(String),
+}
+
+/// One section's verification outcome (a row of `fixdb verify` output).
+#[derive(Debug, Clone)]
+pub struct SectionReport {
+    /// Section name (`"options"`, …, `"footer"`, or `"header"`/`"file"`
+    /// pseudo-sections).
+    pub section: String,
+    /// Byte offset of the section's frame in the file.
+    pub offset: u64,
+    /// Payload length in bytes (0 when the frame itself is unreadable).
+    pub len: u64,
+    /// Verification outcome.
+    pub status: SectionStatus,
+}
+
+/// The full fsck report for one database file (see [`verify_file`]).
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Format version: 3, 2 (legacy), or 0 (not a FIX database).
+    pub version: u8,
+    /// Total file size in bytes.
+    pub file_len: u64,
+    /// Per-section outcomes, in file order.
+    pub sections: Vec<SectionReport>,
+}
+
+impl VerifyReport {
+    /// True when every section verified clean.
+    pub fn is_ok(&self) -> bool {
+        self.corrupt_count() == 0
+    }
+
+    /// Number of sections that failed verification.
+    pub fn corrupt_count(&self) -> usize {
+        self.sections
+            .iter()
+            .filter(|s| matches!(s.status, SectionStatus::Corrupt(_)))
+            .count()
+    }
+}
+
+impl fmt::Display for VerifyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.version {
+            3 => writeln!(f, "format v3, {} bytes", self.file_len)?,
+            2 => writeln!(
+                f,
+                "format v2 (legacy, unchecksummed), {} bytes",
+                self.file_len
+            )?,
+            _ => writeln!(f, "not a FIX database ({} bytes)", self.file_len)?,
+        }
+        for s in &self.sections {
+            match &s.status {
+                SectionStatus::Ok => writeln!(
+                    f,
+                    "  {:<10} @{:#08x} {:>10} B  ok",
+                    s.section, s.offset, s.len
+                )?,
+                SectionStatus::Corrupt(d) => writeln!(
+                    f,
+                    "  {:<10} @{:#08x} {:>10} B  CORRUPT: {d}",
+                    s.section, s.offset, s.len
+                )?,
+            }
+        }
+        match self.corrupt_count() {
+            0 => write!(f, "ok"),
+            n => write!(f, "{n} corrupt section(s)"),
+        }
+    }
+}
+
+/// Verifies a database file without loading it into memory structures:
+/// walks every frame, checks every checksum and every decodable length,
+/// and reports per-section status with byte offsets. I/O errors reading
+/// the file surface as `Err`; corruption is *data*, not an error.
+pub fn verify_file(path: &Path) -> io::Result<VerifyReport> {
+    let data = std::fs::read(path)?;
+    Ok(verify_bytes(&data))
+}
+
+/// [`verify_file`] over an in-memory image.
+pub fn verify_bytes(data: &[u8]) -> VerifyReport {
+    let file_len = data.len() as u64;
+    if data.len() >= 8 && &data[..8] == MAGIC_V3 {
+        return verify_v3(data);
+    }
+    if data.len() >= 8 && &data[..8] == MAGIC_V2 {
+        let status = match load_v2(&data[8..]) {
+            Ok(_) => ("file".to_string(), SectionStatus::Ok),
+            Err(FixError::Corrupt { section, detail }) => (section, SectionStatus::Corrupt(detail)),
+            Err(e) => ("file".to_string(), SectionStatus::Corrupt(e.to_string())),
+        };
+        return VerifyReport {
+            version: 2,
+            file_len,
+            sections: vec![SectionReport {
+                section: status.0,
+                offset: 8,
+                len: file_len.saturating_sub(8),
+                status: status.1,
+            }],
+        };
+    }
+    let detail = if data.len() < 8 {
+        format!(
+            "file is {} bytes, shorter than the 8-byte magic",
+            data.len()
+        )
+    } else {
+        "bad magic".to_string()
+    };
+    VerifyReport {
+        version: 0,
+        file_len,
+        sections: vec![SectionReport {
+            section: "header".to_string(),
+            offset: 0,
+            len: file_len.min(8),
+            status: SectionStatus::Corrupt(detail),
+        }],
+    }
+}
+
+fn verify_v3(data: &[u8]) -> VerifyReport {
+    let mut sections = Vec::new();
+    let mut walk = FrameWalk::new(data);
+    let mut structural_failure = false;
+    for s in Section::ALL {
+        let offset = walk.pos as u64;
+        match walk.next(s) {
+            Err(d) => {
+                // The walk can't resync past a broken frame header; later
+                // sections are unreachable.
+                sections.push(SectionReport {
+                    section: s.name().to_string(),
+                    offset,
+                    len: 0,
+                    status: SectionStatus::Corrupt(d),
+                });
+                structural_failure = true;
+                break;
+            }
+            Ok(fr) => {
+                let status = if !fr.crc_ok {
+                    SectionStatus::Corrupt(checksum_detail(&fr))
+                } else if let Err(d) = decode_check(s, fr.payload, true) {
+                    SectionStatus::Corrupt(d)
+                } else {
+                    SectionStatus::Ok
+                };
+                sections.push(SectionReport {
+                    section: s.name().to_string(),
+                    offset,
+                    len: fr.payload.len() as u64,
+                    status,
+                });
+            }
+        }
+    }
+    if !structural_failure {
+        let pos = walk.pos;
+        let status = match check_footer(data, pos) {
+            Ok(()) => SectionStatus::Ok,
+            Err(d) => SectionStatus::Corrupt(d),
+        };
+        sections.push(SectionReport {
+            section: "footer".to_string(),
+            offset: pos as u64,
+            len: (data.len() - pos) as u64,
+            status,
+        });
+    }
+    VerifyReport {
+        version: 3,
+        file_len: data.len() as u64,
+        sections,
+    }
+}
+
+// ------------------------------------------------------------------ salvage
+
+/// What [`salvage_file`] recovered.
+#[derive(Debug, Clone, Default)]
+pub struct SalvageSummary {
+    /// Documents recovered and re-indexed.
+    pub documents: usize,
+    /// Recovered document payloads that no longer parse (skipped).
+    pub skipped_documents: usize,
+    /// Tombstones carried over.
+    pub tombstones: usize,
+    /// Whether the options section survived (defaults are used otherwise).
+    pub options_recovered: bool,
+    /// Sections dropped as corrupt or unreachable, with reasons.
+    pub dropped: Vec<String>,
+    /// Index entries in the rebuilt output database.
+    pub entries: u64,
+}
+
+impl fmt::Display for SalvageSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "salvaged {} document(s) ({} unparseable skipped), {} tombstone(s); options {}; index rebuilt with {} entries",
+            self.documents,
+            self.skipped_documents,
+            self.tombstones,
+            if self.options_recovered {
+                "recovered"
+            } else {
+                "defaulted"
+            },
+            self.entries
+        )?;
+        for d in &self.dropped {
+            writeln!(f, "  dropped {d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Recovers what it can from a damaged database at `src` into a fresh,
+/// fully consistent database at `dst`.
+///
+/// Source-of-truth sections (options, documents, tombstones) are kept
+/// where their frames verify; the derived sections (labels, edge
+/// dictionary, B-tree, clustered heap) are *always* rebuilt from the
+/// recovered documents — carrying over a derived section whose inputs may
+/// have changed would produce a subtly inconsistent index, so salvage
+/// trades a rebuild for a guarantee.
+pub fn salvage_file(src: &Path, dst: &Path) -> Result<SalvageSummary, FixError> {
+    let data = std::fs::read(src)?;
+    if data.len() < 8 {
+        return Err(corrupt(
+            "header",
+            format!(
+                "file is {} bytes, shorter than the 8-byte magic",
+                data.len()
+            ),
+        ));
+    }
+    let (opts, docs, tombstones, mut summary) = match &data[..8] {
+        m if m == MAGIC_V3 => salvage_scan_v3(&data),
+        m if m == MAGIC_V2 => salvage_scan_v2(&data[8..]),
+        _ => return Err(corrupt("header", "bad magic")),
+    };
+
+    let mut coll = Collection::new();
+    for xml in &docs {
+        match coll.add_xml_limited(xml, usize::MAX) {
+            Ok(_) => summary.documents += 1,
+            Err(_) => summary.skipped_documents += 1,
+        }
+    }
+    let mut idx = FixIndex::build(&mut coll, opts);
+    for t in &tombstones {
+        if (*t as usize) < coll.len() {
+            idx.removed.insert(DocId(*t));
+            summary.tombstones += 1;
+        }
+    }
+    summary.entries = idx.btree.len();
+    save_impl(dst, &coll, &idx)?;
+    Ok(summary)
+}
+
+type SalvageScan = (FixOptions, Vec<String>, Vec<u32>, SalvageSummary);
+
+fn salvage_scan_v3(data: &[u8]) -> SalvageScan {
+    let mut summary = SalvageSummary::default();
+    let mut opts = None;
+    let mut docs = Vec::new();
+    let mut tombstones = Vec::new();
+    let mut walk = FrameWalk::new(data);
+    for (i, s) in Section::ALL.into_iter().enumerate() {
+        match walk.next(s) {
+            Err(d) => {
+                summary.dropped.push(format!("{}: {d}", s.name()));
+                for rest in &Section::ALL[i + 1..] {
+                    summary.dropped.push(format!(
+                        "{}: unreachable after a structural failure",
+                        rest.name()
+                    ));
+                }
+                break;
+            }
+            Ok(fr) if !fr.crc_ok => {
+                summary
+                    .dropped
+                    .push(format!("{}: {}", s.name(), checksum_detail(&fr)));
+            }
+            Ok(fr) => match s {
+                Section::Options => match decode_whole(fr.payload, |r| decode_options(r, true)) {
+                    Ok(o) => opts = Some(o),
+                    Err(d) => summary.dropped.push(format!("options: {d}")),
+                },
+                Section::Documents => match decode_whole(fr.payload, decode_documents) {
+                    Ok(d) => docs = d,
+                    Err(d) => summary.dropped.push(format!("documents: {d}")),
+                },
+                Section::Tombstones => match decode_whole(fr.payload, decode_tombstones) {
+                    Ok(t) => tombstones = t,
+                    Err(d) => summary.dropped.push(format!("tombstones: {d}")),
+                },
+                // Derived sections are rebuilt regardless; nothing to keep.
+                _ => {}
+            },
+        }
+    }
+    summary.options_recovered = opts.is_some();
+    (
+        opts.unwrap_or_else(FixOptions::collection),
+        docs,
+        tombstones,
+        summary,
+    )
+}
+
+/// Tolerant scan of a legacy v2 body: sequential, keep-until-first-failure
+/// (without checksums there is no way to resync past damage).
+fn salvage_scan_v2(body: &[u8]) -> SalvageScan {
+    let mut summary = SalvageSummary::default();
+    let mut r = SliceReader::new(body);
+    let opts = match decode_options(&mut r, false) {
+        Ok(o) => Some(o),
+        Err(d) => {
+            summary.dropped.push(format!("options: {d}"));
+            None
+        }
+    };
+    let mut docs = Vec::new();
+    if opts.is_some() {
+        match decode_labels(&mut r) {
+            Ok(_) => {
+                // Keep every document that decodes before the first failure.
+                match r.u32() {
+                    Ok(n) => {
+                        for _ in 0..n {
+                            match r.string("document") {
+                                Ok(s) => docs.push(s),
+                                Err(d) => {
+                                    summary.dropped.push(format!("documents: {d}"));
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err(d) => summary.dropped.push(format!("documents: {d}")),
+                }
+            }
+            Err(d) => {
+                summary.dropped.push(format!("labels: {d}"));
+                summary
+                    .dropped
+                    .push("documents: unreachable after a labels failure".to_string());
+            }
+        }
+    } else {
+        summary
+            .dropped
+            .push("documents: unreachable after an options failure".to_string());
+    }
+    let mut tombstones = Vec::new();
+    if summary.dropped.is_empty() {
+        let rest: Result<Vec<u32>, String> = (|| {
+            decode_edges(&mut r)?;
+            decode_btree(&mut r)?;
+            decode_heap(&mut r)?;
+            decode_tombstones(&mut r)
+        })();
+        match rest {
+            Ok(t) => tombstones = t,
+            Err(d) => summary.dropped.push(format!("tombstones: {d}")),
+        }
+    } else {
+        summary
+            .dropped
+            .push("tombstones: unreachable in a damaged legacy file".to_string());
+    }
+    summary.options_recovered = opts.is_some();
+    (
+        opts.unwrap_or_else(FixOptions::collection),
+        docs,
+        tombstones,
+        summary,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::builder::FixIndex;
+    use fix_storage::FaultKind;
 
     fn temp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("fix-persist-{}", std::process::id()));
@@ -363,11 +1297,209 @@ mod tests {
     }
 
     #[test]
+    fn parse_depth_limit_round_trips() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(
+            &mut coll,
+            FixOptions::large_document(4).with_max_parse_depth(33),
+        );
+        let path = temp("depth.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
+        assert_eq!(loaded.1.options().max_parse_depth, 33);
+        // "Unlimited" survives the u32 saturation too.
+        let idx = FixIndex::build(
+            &mut coll,
+            FixOptions::large_document(4).with_max_parse_depth(usize::MAX),
+        );
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
+        assert_eq!(loaded.1.options().max_parse_depth, usize::MAX);
+    }
+
+    #[test]
     fn corrupt_files_are_rejected() {
         let path = temp("bad.fixdb");
         std::fs::write(&path, b"not a database").unwrap();
-        assert!(load_impl(&path).is_err());
+        assert!(matches!(
+            load_impl(&path),
+            Err(FixError::Corrupt { section, .. }) if section == "header"
+        ));
         std::fs::write(&path, b"FIXDB\x00\x01\x00trunc").unwrap();
         assert!(load_impl(&path).is_err());
+        std::fs::write(&path, b"FIX").unwrap();
+        assert!(matches!(load_impl(&path), Err(FixError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn v2_files_still_load() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(
+            &mut coll,
+            FixOptions::large_document(4).clustered().with_values(16),
+        );
+        let path = temp("legacy.fixdb");
+        save_v2_unchecked(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
+        assert_eq!(loaded.0.len(), 3);
+        // v2 predates the persisted parse-depth knob: the default applies.
+        assert_eq!(
+            loaded.1.options().max_parse_depth,
+            fix_xml::DEFAULT_MAX_DEPTH
+        );
+        same_outcomes(
+            &(coll, idx),
+            &loaded,
+            &["//article[author]/ee", r#"//article[title="joins"]/author"#],
+        );
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(4).clustered());
+        let path = temp("flip.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for i in (0..good.len()).step_by(7) {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            match load_bytes(&bad) {
+                Err(FixError::Corrupt { .. }) => {}
+                Err(e) => panic!("flip at {i} produced a non-Corrupt error: {e}"),
+                Ok(_) => panic!("flip at byte {i} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(4));
+        let path = temp("trunc.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for t in (0..good.len()).step_by(11).chain([good.len() - 1]) {
+            match load_bytes(&good[..t]) {
+                Err(FixError::Corrupt { .. }) => {}
+                Err(e) => panic!("truncation to {t} produced a non-Corrupt error: {e}"),
+                Ok(_) => panic!("truncation to {t} bytes went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn verify_names_the_corrupt_section() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(4));
+        let path = temp("verify.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let clean = verify_bytes(&good);
+        assert!(clean.is_ok(), "{clean}");
+        assert_eq!(clean.version, 3);
+        assert_eq!(clean.sections.len(), 8, "7 sections + footer");
+
+        // Flip one byte inside the documents payload.
+        let mut walk = FrameWalk::new(&good);
+        walk.next(Section::Options).unwrap();
+        walk.next(Section::Labels).unwrap();
+        let fr = walk.next(Section::Documents).unwrap();
+        let target = fr.offset + FRAME_HEADER_LEN + 3;
+        let mut bad = good.clone();
+        bad[target] ^= 0xFF;
+        let report = verify_bytes(&bad);
+        assert!(!report.is_ok());
+        // Both the section CRC and the footer's whole-file CRC notice.
+        assert_eq!(report.corrupt_count(), 2, "{report}");
+        let doc = report
+            .sections
+            .iter()
+            .find(|s| s.section == "documents")
+            .unwrap();
+        match &doc.status {
+            SectionStatus::Corrupt(d) => {
+                assert!(d.contains("checksum mismatch"), "{d}");
+                assert!(d.contains("0x"), "detail should carry an offset: {d}");
+            }
+            SectionStatus::Ok => panic!("documents should be corrupt: {report}"),
+        }
+        assert!(matches!(
+            report.sections.last().unwrap().status,
+            SectionStatus::Corrupt(_)
+        ));
+    }
+
+    #[test]
+    fn salvage_rebuilds_from_intact_sections() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(4).clustered());
+        let src = temp("salv-src.fixdb");
+        let dst = temp("salv-dst.fixdb");
+        save_impl(&src, &coll, &idx).unwrap();
+        let good = std::fs::read(&src).unwrap();
+
+        // Corrupt the B-tree frame: load must fail, salvage must recover.
+        let mut walk = FrameWalk::new(&good);
+        for s in [
+            Section::Options,
+            Section::Labels,
+            Section::Documents,
+            Section::Edges,
+        ] {
+            walk.next(s).unwrap();
+        }
+        let fr = walk.next(Section::BTree).unwrap();
+        let mut bad = good.clone();
+        bad[fr.offset + FRAME_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&src, &bad).unwrap();
+        assert!(matches!(
+            load_impl(&src),
+            Err(FixError::Corrupt { section, .. }) if section == "btree"
+        ));
+
+        let summary = salvage_file(&src, &dst).unwrap();
+        assert_eq!(summary.documents, 3);
+        assert_eq!(summary.skipped_documents, 0);
+        assert!(summary.options_recovered);
+        assert!(summary.dropped.iter().any(|d| d.starts_with("btree")));
+        let recovered = load_impl(&dst).unwrap();
+        assert!(verify_file(&dst).unwrap().is_ok());
+        same_outcomes(
+            &(coll, idx),
+            &recovered,
+            &["//article[author]/ee", "//author[phone][email]"],
+        );
+    }
+
+    #[test]
+    fn injected_faults_leave_the_old_database_intact() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, FixOptions::large_document(4));
+        let path = temp("atomic.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let before = std::fs::read(&path).unwrap();
+
+        let mut coll2 = Collection::new();
+        coll2.add_xml("<solo><a/></solo>").unwrap();
+        let idx2 = FixIndex::build(&mut coll2, FixOptions::collection());
+        for kind in [
+            FaultKind::Error,
+            FaultKind::Torn { keep: 2 },
+            FaultKind::Truncate,
+        ] {
+            let err = save_with_faults(&path, &coll2, &idx2, Some(FaultPlan::new(3, kind)));
+            assert!(err.is_err(), "{kind:?} should abort the save");
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                before,
+                "{kind:?} must leave the old file byte-identical"
+            );
+            assert!(load_impl(&path).is_ok());
+        }
+        // And without a fault the new content replaces the old atomically.
+        save_with_faults(&path, &coll2, &idx2, None).unwrap();
+        assert_eq!(load_impl(&path).unwrap().0.len(), 1);
     }
 }

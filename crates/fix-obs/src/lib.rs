@@ -47,6 +47,24 @@ pub use metric::{Counter, Gauge};
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use trace::{QueryTrace, Stage, StageRecord};
 
+/// Canonical metric names shared across crates, so producers (fix-core
+/// persistence) and consumers (`fixdb stats`, dashboards) can't drift
+/// apart on spelling.
+pub mod names {
+    /// Histogram: wall time of one database save, nanoseconds.
+    pub const PERSIST_SAVE_NS: &str = "fix_persist_save_ns";
+    /// Histogram: wall time of one database load, nanoseconds.
+    pub const PERSIST_LOAD_NS: &str = "fix_persist_load_ns";
+    /// Histogram: wall time of one `verify` pass, nanoseconds.
+    pub const PERSIST_VERIFY_NS: &str = "fix_persist_verify_ns";
+    /// Counter: bytes written by completed saves.
+    pub const PERSIST_BYTES_WRITTEN: &str = "fix_persist_bytes_written_total";
+    /// Counter: bytes read by completed loads.
+    pub const PERSIST_BYTES_READ: &str = "fix_persist_bytes_read_total";
+    /// Counter: corrupt sections detected by loads and verifies.
+    pub const PERSIST_CORRUPTION_DETECTED: &str = "fix_persist_corruption_detected_total";
+}
+
 /// The common reporting surface for the workspace's statistics structs.
 ///
 /// Implementations either *set* gauges (point-in-time snapshot structs

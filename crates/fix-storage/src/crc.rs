@@ -1,0 +1,110 @@
+//! CRC-32 (IEEE 802.3, the LevelDB/zlib polynomial) for on-disk frame
+//! checksums.
+//!
+//! Hand-rolled because the workspace is dependency-free: a 256-entry
+//! table built at compile time, processed a byte at a time. Throughput is
+//! irrelevant here — persistence checksums are computed once per save or
+//! load, never on a query path.
+
+/// Streaming CRC-32 state.
+///
+/// ```
+/// use fix_storage::Crc32;
+/// let mut c = Crc32::new();
+/// c.update(b"1234");
+/// c.update(b"56789");
+/// assert_eq!(c.finalize(), 0xCBF4_3926); // the standard check value
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+impl Crc32 {
+    /// Fresh state.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut s = self.state;
+        for &b in data {
+            s = TABLE[((s ^ b as u32) & 0xFF) as usize] ^ (s >> 8);
+        }
+        self.state = s;
+    }
+
+    /// The checksum of everything fed so far (does not consume the state;
+    /// further updates continue from the same position).
+    pub fn finalize(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_and_incremental() {
+        assert_eq!(crc32(b""), 0);
+        let mut c = Crc32::new();
+        c.update(b"hello ");
+        c.update(b"world");
+        assert_eq!(c.finalize(), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn detects_single_byte_flips() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let want = crc32(&base);
+        for i in 0..base.len() {
+            for flip in [0x01u8, 0x80, 0xFF] {
+                let mut m = base.clone();
+                m[i] ^= flip;
+                assert_ne!(crc32(&m), want, "flip {flip:#x} at {i} undetected");
+            }
+        }
+    }
+}

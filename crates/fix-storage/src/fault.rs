@@ -1,0 +1,187 @@
+//! Deterministic write-fault injection — the failpoint harness behind the
+//! persistence crash-matrix tests.
+//!
+//! [`FaultFile`] wraps any [`Write`] and counts *logical* write calls
+//! (each `write`/`write_all` issued by the caller is one boundary, no
+//! matter how the OS batches bytes underneath). A [`FaultPlan`] names one
+//! boundary and what goes wrong there:
+//!
+//! * [`FaultKind::Error`] — the N-th write fails outright, nothing of it
+//!   reaches the inner writer (a full I/O error, e.g. `ENOSPC`).
+//! * [`FaultKind::Torn`] — only a prefix of the N-th write lands before
+//!   the error (a torn sector, the classic partial-write crash).
+//! * [`FaultKind::Truncate`] — the N-th and every later write is silently
+//!   dropped and the failure only surfaces at [`Write::flush`] (lost
+//!   writes detected late, as when the kernel reports a deferred
+//!   write-back error at `fsync`).
+//!
+//! Every kind leaves the inner writer holding a strict prefix of the
+//! intended bytes and makes the save *fail*, so an atomic
+//! temp-file+rename protocol must leave the previous database untouched.
+//! Sweeping `nth` over every boundary is the crash matrix.
+
+use std::io::{self, Write};
+
+/// What goes wrong at the chosen write boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the write with an I/O error; no bytes land.
+    Error,
+    /// Write only the first `keep` bytes, then fail.
+    Torn {
+        /// Bytes of the faulted write that still reach the inner writer.
+        keep: usize,
+    },
+    /// Silently drop this and every subsequent write; fail at `flush`.
+    Truncate,
+}
+
+/// One injected fault: disrupt the `nth` (0-based) write call.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// 0-based index of the write call to disrupt.
+    pub nth: usize,
+    /// Failure mode at that boundary.
+    pub kind: FaultKind,
+}
+
+impl FaultPlan {
+    /// Plan a fault of `kind` at the `nth` write call.
+    pub fn new(nth: usize, kind: FaultKind) -> Self {
+        Self { nth, kind }
+    }
+}
+
+/// The error every injected fault surfaces as.
+fn injected() -> io::Error {
+    io::Error::other("injected write fault")
+}
+
+/// A [`Write`] adapter that injects one deterministic fault (see the
+/// module docs). With `plan = None` it is a transparent pass-through that
+/// still counts write boundaries, which is how callers discover how many
+/// boundaries a save has.
+pub struct FaultFile<W: Write> {
+    inner: W,
+    plan: Option<FaultPlan>,
+    writes: usize,
+    /// Set once a `Truncate` fault trips: swallow writes, fail `flush`.
+    dropping: bool,
+}
+
+impl<W: Write> FaultFile<W> {
+    /// Wraps `inner`; `plan` picks the fault (or `None` for none).
+    pub fn new(inner: W, plan: Option<FaultPlan>) -> Self {
+        Self {
+            inner,
+            plan,
+            writes: 0,
+            dropping: false,
+        }
+    }
+
+    /// Number of write calls observed so far.
+    pub fn writes(&self) -> usize {
+        self.writes
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultFile<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.writes;
+        self.writes += 1;
+        if self.dropping {
+            return Ok(buf.len());
+        }
+        if let Some(p) = self.plan {
+            if n == p.nth {
+                match p.kind {
+                    FaultKind::Error => return Err(injected()),
+                    FaultKind::Torn { keep } => {
+                        let k = keep.min(buf.len());
+                        self.inner.write_all(&buf[..k])?;
+                        return Err(injected());
+                    }
+                    FaultKind::Truncate => {
+                        self.dropping = true;
+                        return Ok(buf.len());
+                    }
+                }
+            }
+        }
+        // Forward whole buffers so one caller write stays one boundary.
+        self.inner.write_all(buf)?;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dropping {
+            return Err(injected());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(plan: Option<FaultPlan>) -> (Vec<u8>, io::Result<()>) {
+        let mut f = FaultFile::new(Vec::new(), plan);
+        let result = (|| {
+            for chunk in [&b"aaaa"[..], b"bb", b"cccc"] {
+                f.write_all(chunk)?;
+            }
+            f.flush()
+        })();
+        (f.into_inner(), result)
+    }
+
+    #[test]
+    fn no_plan_passes_through() {
+        let (bytes, result) = run(None);
+        assert!(result.is_ok());
+        assert_eq!(bytes, b"aaaabbcccc");
+    }
+
+    #[test]
+    fn error_drops_the_faulted_write() {
+        let (bytes, result) = run(Some(FaultPlan::new(1, FaultKind::Error)));
+        assert!(result.is_err());
+        assert_eq!(bytes, b"aaaa");
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix() {
+        let (bytes, result) = run(Some(FaultPlan::new(2, FaultKind::Torn { keep: 1 })));
+        assert!(result.is_err());
+        assert_eq!(bytes, b"aaaabbc");
+    }
+
+    #[test]
+    fn truncate_surfaces_at_flush() {
+        let (bytes, result) = run(Some(FaultPlan::new(1, FaultKind::Truncate)));
+        assert!(result.is_err());
+        assert_eq!(bytes, b"aaaa", "everything after the fault is dropped");
+    }
+
+    #[test]
+    fn fault_beyond_the_last_write_is_a_no_op() {
+        let (bytes, result) = run(Some(FaultPlan::new(99, FaultKind::Error)));
+        assert!(result.is_ok());
+        assert_eq!(bytes, b"aaaabbcccc");
+    }
+
+    #[test]
+    fn counts_logical_writes() {
+        let mut f = FaultFile::new(Vec::new(), None);
+        f.write_all(b"xy").unwrap();
+        f.write_all(b"z").unwrap();
+        assert_eq!(f.writes(), 2);
+    }
+}

@@ -10,11 +10,19 @@
 //!   sequential vs random page I/O, and the benches report these counts.
 //! * [`HeapFile`] — variable-length records on slotted pages; primary
 //!   storage for documents and the clustered index's reordered copies.
+//! * [`Crc32`] / [`crc32`] — the IEEE checksum used by the persistence
+//!   layer's framed on-disk format (DESIGN §12).
+//! * [`FaultFile`] — deterministic write-fault injection (failpoints) for
+//!   crash-safety testing of the save path.
 
+pub mod crc;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pool;
 
+pub use crc::{crc32, Crc32};
+pub use fault::{FaultFile, FaultKind, FaultPlan};
 pub use heap::{HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
 pub use pool::{BufferPool, FileBackend, IoStats, MemBackend, StorageBackend};

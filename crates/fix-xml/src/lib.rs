@@ -28,8 +28,12 @@ pub mod streaming;
 pub use document::{Document, DocumentBuilder, Node, NodeId, NodeKind};
 pub use events::{drain as drain_events, Event, EventSource, StoragePtr, TreeEventSource};
 pub use label::{LabelId, LabelTable};
-pub use parser::{parse_document, ParseError, Parser, RawEvent};
+pub use parser::{
+    parse_document, parse_document_limited, ParseError, Parser, RawEvent, DEFAULT_MAX_DEPTH,
+};
 pub use region::{Region, RegionIndex};
 pub use serialize::to_xml_string;
 pub use stats::DocStats;
-pub use streaming::{parse_document_from_reader, StreamingParser};
+pub use streaming::{
+    parse_document_from_reader, parse_document_from_reader_limited, StreamingParser,
+};

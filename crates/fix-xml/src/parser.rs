@@ -53,6 +53,16 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Default maximum element nesting depth accepted by both parsers.
+///
+/// Pathologically nested input (`<a><a><a>…`) otherwise grows the open-tag
+/// stack — and every downstream consumer of the document tree — without
+/// bound; 1024 is far beyond any real corpus (the paper's deepest data
+/// set, Treebank, tops out in the dozens). Raise per parse with
+/// [`Parser::with_max_depth`] or per index via
+/// `FixOptions::max_parse_depth`; `usize::MAX` disables the check.
+pub const DEFAULT_MAX_DEPTH: usize = 1024;
+
 /// Streaming pull parser over a UTF-8 input string.
 pub struct Parser<'a> {
     input: &'a [u8],
@@ -64,6 +74,8 @@ pub struct Parser<'a> {
     /// Set once the root element closes.
     root_closed: bool,
     seen_root: bool,
+    /// Maximum accepted element nesting depth.
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -76,7 +88,15 @@ impl<'a> Parser<'a> {
             pending_end: None,
             root_closed: false,
             seen_root: false,
+            max_depth: DEFAULT_MAX_DEPTH,
         }
+    }
+
+    /// Overrides the nesting-depth limit ([`DEFAULT_MAX_DEPTH`] by
+    /// default; `usize::MAX` disables the check).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
@@ -335,6 +355,12 @@ impl<'a> Parser<'a> {
                     return self.err(format!("expected `>` to finish `<{name}>`"));
                 }
                 self.pos += 1;
+                if self.open.len() >= self.max_depth {
+                    return self.err(format!(
+                        "element nesting exceeds the depth limit {}",
+                        self.max_depth
+                    ));
+                }
                 self.seen_root = true;
                 self.open.push(name.clone());
                 if empty {
@@ -363,9 +389,21 @@ impl<'a> Parser<'a> {
 /// Parses a complete document, interning labels into `labels`.
 ///
 /// Attributes become child elements labeled `@name` containing one text
-/// node, so the structural index sees them uniformly.
+/// node, so the structural index sees them uniformly. Documents nested
+/// deeper than [`DEFAULT_MAX_DEPTH`] are rejected; use
+/// [`parse_document_limited`] to choose the limit.
 pub fn parse_document(input: &str, labels: &mut LabelTable) -> Result<Document, ParseError> {
-    let mut p = Parser::new(input);
+    parse_document_limited(input, labels, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse_document`] with an explicit nesting-depth limit
+/// (`usize::MAX` disables the check).
+pub fn parse_document_limited(
+    input: &str,
+    labels: &mut LabelTable,
+    max_depth: usize,
+) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input).with_max_depth(max_depth);
     let mut b = DocumentBuilder::new();
     while let Some(ev) = p.next_raw()? {
         match ev {
@@ -480,5 +518,30 @@ mod tests {
         let d = parse_document(&s, &mut lt).unwrap();
         assert_eq!(d.len(), 200);
         assert_eq!(d.max_depth(), 200);
+    }
+
+    #[test]
+    fn nesting_beyond_the_depth_limit_is_rejected() {
+        fn nested(n: usize) -> String {
+            let mut s = String::new();
+            for _ in 0..n {
+                s.push_str("<n>");
+            }
+            for _ in 0..n {
+                s.push_str("</n>");
+            }
+            s
+        }
+        let mut lt = LabelTable::new();
+        // Exactly at the limit: fine. One deeper: a ParseError, not a
+        // runaway stack.
+        assert!(parse_document_limited(&nested(8), &mut lt, 8).is_ok());
+        let err = parse_document_limited(&nested(9), &mut lt, 8).unwrap_err();
+        assert!(err.message.contains("depth limit 8"), "{err}");
+        // The default limit guards plain parse_document too.
+        let deep = nested(DEFAULT_MAX_DEPTH + 1);
+        assert!(parse_document(&deep, &mut lt).is_err());
+        // usize::MAX disables the check.
+        assert!(parse_document_limited(&deep, &mut lt, usize::MAX).is_ok());
     }
 }

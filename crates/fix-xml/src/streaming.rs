@@ -12,7 +12,7 @@ use std::io::Read;
 
 use crate::document::{Document, DocumentBuilder};
 use crate::label::LabelTable;
-use crate::parser::{decode_entities, ParseError, RawEvent};
+use crate::parser::{decode_entities, ParseError, RawEvent, DEFAULT_MAX_DEPTH};
 
 /// Incremental pull parser over a reader.
 pub struct StreamingParser<R: Read> {
@@ -25,6 +25,8 @@ pub struct StreamingParser<R: Read> {
     pending_end: Option<String>,
     root_closed: bool,
     seen_root: bool,
+    /// Maximum accepted element nesting depth.
+    max_depth: usize,
 }
 
 impl<R: Read> StreamingParser<R> {
@@ -39,7 +41,15 @@ impl<R: Read> StreamingParser<R> {
             pending_end: None,
             root_closed: false,
             seen_root: false,
+            max_depth: DEFAULT_MAX_DEPTH,
         }
+    }
+
+    /// Overrides the nesting-depth limit ([`DEFAULT_MAX_DEPTH`] by
+    /// default; `usize::MAX` disables the check).
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
     }
 
     fn err<T>(&self, at: usize, message: impl Into<String>) -> Result<T, ParseError> {
@@ -300,6 +310,12 @@ impl<R: Read> StreamingParser<R> {
             attributes.push((aname, value));
             rest = after[1 + vend + 1..].trim_start();
         }
+        if self.open.len() >= self.max_depth {
+            return self.err(
+                at,
+                format!("element nesting exceeds the depth limit {}", self.max_depth),
+            );
+        }
         self.seen_root = true;
         self.open.push(name.clone());
         if empty {
@@ -323,12 +339,24 @@ fn valid_name(s: &str) -> bool {
 
 /// Parses a complete document from a reader (the streaming counterpart of
 /// [`parse_document`](crate::parser::parse_document); attributes are
-/// materialized as `@name` children the same way).
+/// materialized as `@name` children the same way). Nesting deeper than
+/// [`DEFAULT_MAX_DEPTH`] is rejected; use
+/// [`parse_document_from_reader_limited`] to choose the limit.
 pub fn parse_document_from_reader<R: Read>(
     reader: R,
     labels: &mut LabelTable,
 ) -> Result<Document, ParseError> {
-    let mut p = StreamingParser::new(reader);
+    parse_document_from_reader_limited(reader, labels, DEFAULT_MAX_DEPTH)
+}
+
+/// [`parse_document_from_reader`] with an explicit nesting-depth limit
+/// (`usize::MAX` disables the check).
+pub fn parse_document_from_reader_limited<R: Read>(
+    reader: R,
+    labels: &mut LabelTable,
+    max_depth: usize,
+) -> Result<Document, ParseError> {
+    let mut p = StreamingParser::new(reader).with_max_depth(max_depth);
     let mut b = DocumentBuilder::new();
     while let Some(ev) = p.next_raw()? {
         match ev {
@@ -462,6 +490,32 @@ mod tests {
                 crate::serialize::to_xml_string(&d2, &lt2),
                 "document mismatch on {case}"
             );
+        }
+    }
+
+    #[test]
+    fn nesting_beyond_the_depth_limit_is_rejected() {
+        let mut xml = String::new();
+        for _ in 0..40 {
+            xml.push_str("<n>");
+        }
+        for _ in 0..40 {
+            xml.push_str("</n>");
+        }
+        for chunk in [1usize, 7, 4096] {
+            let dribble = |s: &'static str| Dribble {
+                data: s.as_bytes(),
+                pos: 0,
+                chunk,
+            };
+            let leaked: &'static str = Box::leak(xml.clone().into_boxed_str());
+            let mut lt = LabelTable::new();
+            assert!(
+                parse_document_from_reader_limited(dribble(leaked), &mut lt, 40).is_ok(),
+                "chunk {chunk}: depth exactly at the limit must parse"
+            );
+            let err = parse_document_from_reader_limited(dribble(leaked), &mut lt, 39).unwrap_err();
+            assert!(err.message.contains("depth limit 39"), "{err}");
         }
     }
 

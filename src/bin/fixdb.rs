@@ -1,12 +1,13 @@
 //! `fixdb` — command-line front end for the FIX index.
 //!
 //! ```text
-//! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...
+//! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] [--max-depth D] <file.xml>...
 //! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
 //! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
 //! fixdb insert      <db> <file.xml>...
 //! fixdb remove      <db> <doc-id>...
 //! fixdb vacuum      <db>
+//! fixdb verify      <db> [--salvage OUT]
 //! fixdb stats       <db> [--prometheus] [--json]
 //! fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
 //! ```
@@ -19,10 +20,14 @@
 //! [`QuerySession`](fix::core::QuerySession) — plan cache plus parallel
 //! refinement — and reports timings, cache hit-rate, and a verification
 //! against the sequential path (`--json` adds per-stage p50/p95/p99 from
-//! the registry histograms); `stats --prometheus|--json` renders the
-//! metrics registry; `insert` appends documents incrementally (unclustered
-//! databases); `gen` writes the paper-shaped synthetic corpora for
-//! experimentation. Everything routes through the [`FixDatabase`] facade.
+//! the registry histograms); `verify` is the offline integrity check
+//! (fsck): it walks every checksummed frame of the file and reports
+//! per-section health with byte offsets, and `--salvage OUT` recovers the
+//! intact sections into a fresh, rebuilt database; `stats
+//! --prometheus|--json` renders the metrics registry; `insert` appends
+//! documents incrementally (unclustered databases); `gen` writes the
+//! paper-shaped synthetic corpora for experimentation. Everything routes
+//! through the [`FixDatabase`] facade.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,18 +46,20 @@ fn main() -> ExitCode {
         Some("insert") => insert(&args[1..]),
         Some("remove") => remove(&args[1..]),
         Some("vacuum") => vacuum(&args[1..]),
+        Some("verify") => verify(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("gen") => gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fixdb <build|query|bench-query|insert|stats|gen> ...\n\
+                "usage: fixdb <build|query|bench-query|insert|verify|stats|gen> ...\n\
                  \n\
-                 fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] <file.xml>...\n\
+                 fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] [--max-depth D] <file.xml>...\n\
                  fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
                  fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
                  fixdb insert      <db> <file.xml>...\n\
                  fixdb remove      <db> <doc-id>...\n\
                  fixdb vacuum      <db>\n\
+                 fixdb verify      <db> [--salvage OUT]\n\
                  fixdb stats       <db> [--prometheus] [--json]\n\
                  fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
             );
@@ -85,6 +92,7 @@ fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut db_path: Option<PathBuf> = None;
     let mut files: Vec<PathBuf> = Vec::new();
     let mut builder = FixOptions::builder();
+    let mut max_depth = fix::xml::DEFAULT_MAX_DEPTH;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -112,6 +120,15 @@ fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     .ok_or_else(|| err("--threads needs an integer (0 = all cores)"))?;
                 builder = builder.threads(n);
             }
+            "--max-depth" => {
+                let d: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&d| d > 0)
+                    .ok_or_else(|| err("--max-depth needs a positive integer"))?;
+                max_depth = d;
+                builder = builder.max_parse_depth(d);
+            }
             _ if db_path.is_none() => db_path = Some(PathBuf::from(a)),
             _ => files.push(PathBuf::from(a)),
         }
@@ -125,7 +142,7 @@ fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     for f in &files {
         // Stream from disk — documents never need to fit in memory twice.
         let file = std::io::BufReader::new(std::fs::File::open(f)?);
-        let doc = fix::xml::parse_document_from_reader(file, &mut coll.labels)
+        let doc = fix::xml::parse_document_from_reader_limited(file, &mut coll.labels, max_depth)
             .map_err(|e| err(format!("{}: {e}", f.display())))?;
         coll.add_document(doc);
     }
@@ -542,6 +559,59 @@ fn vacuum(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         before,
         db.len(),
         db.index().map(|i| i.entry_count()).unwrap_or(0)
+    );
+    Ok(())
+}
+
+/// Offline integrity check (fsck). Walks every checksummed frame of the
+/// file — deliberately *without* loading it through `FixDatabase`, which
+/// would refuse a corrupt file — and prints per-section health with byte
+/// offsets. Exits nonzero on corruption unless `--salvage OUT` recovers
+/// the intact sections into a fresh database (which is then verified).
+fn verify(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut db_path: Option<&str> = None;
+    let mut salvage: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--salvage" => {
+                salvage = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| err("--salvage needs an output path"))?,
+                ));
+            }
+            _ if db_path.is_none() => db_path = Some(a),
+            other => return Err(err(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
+    let db_path = std::path::Path::new(db_path);
+    if !db_path.exists() {
+        return Err(err(format!("no such database: {}", db_path.display())));
+    }
+    let report = fix::core::verify_file(db_path)?;
+    println!("{report}");
+    if report.is_ok() {
+        return Ok(());
+    }
+    let Some(out) = salvage else {
+        return Err(err(format!(
+            "{} corrupt section(s); run `fixdb verify {} --salvage <out>` to recover the intact sections",
+            report.corrupt_count(),
+            db_path.display()
+        )));
+    };
+    let summary = fix::core::salvage_file(db_path, &out)?;
+    print!("{summary}");
+    let check = fix::core::verify_file(&out)?;
+    if !check.is_ok() {
+        return Err(err(format!(
+            "salvaged output failed verification:\n{check}"
+        )));
+    }
+    println!(
+        "salvaged database written to {} (verified ok)",
+        out.display()
     );
     Ok(())
 }

@@ -305,6 +305,123 @@ fn observability_flags_round_trip() {
 }
 
 #[test]
+fn verify_corrupt_salvage_round_trip() {
+    let dir = workdir("verify");
+    let a = dir.join("a.xml");
+    let db = dir.join("db.fixdb");
+    let recovered = dir.join("recovered.fixdb");
+    std::fs::write(&a, "<bib><article><author/><ee/></article></bib>").unwrap();
+
+    let out = fixdb().args(["build"]).arg(&db).arg(&a).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A freshly built database verifies clean.
+    let out = fixdb().args(["verify"]).arg(&db).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_end().ends_with("ok"), "{stdout}");
+    for section in ["options", "documents", "btree", "footer"] {
+        assert!(stdout.contains(section), "missing {section} in: {stdout}");
+    }
+
+    // Flip one byte mid-file: verify must fail and name corrupt sections.
+    let mut bytes = std::fs::read(&db).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&db, &bytes).unwrap();
+
+    let out = fixdb().args(["verify"]).arg(&db).output().unwrap();
+    assert!(!out.status.success(), "corrupt file verified clean");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("CORRUPT"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--salvage"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A corrupt database refuses to open for queries.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .arg("//article/ee")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("corrupt"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Salvage recovers the intact sections into a fresh verified file.
+    let out = fixdb()
+        .args(["verify"])
+        .arg(&db)
+        .arg("--salvage")
+        .arg(&recovered)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified ok"), "{stdout}");
+
+    let out = fixdb().args(["verify"]).arg(&recovered).output().unwrap();
+    assert!(out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn build_max_depth_flag_limits_nesting() {
+    let dir = workdir("max-depth");
+    let xml = dir.join("deep.xml");
+    let db = dir.join("db.fixdb");
+    std::fs::write(&xml, "<a>".repeat(40) + &"</a>".repeat(40)).unwrap();
+
+    let out = fixdb()
+        .args(["build"])
+        .arg(&db)
+        .args(["--max-depth", "8"])
+        .arg(&xml)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "40-deep document beat --max-depth 8");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("depth"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = fixdb()
+        .args(["build"])
+        .arg(&db)
+        .args(["--max-depth", "64"])
+        .arg(&xml)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bad_usage_fails_cleanly() {
     let out = fixdb().output().unwrap();
     assert!(!out.status.success());

@@ -1,12 +1,17 @@
-//! Persistence property test: for arbitrary collections and index
+//! Persistence property tests: for arbitrary collections and index
 //! configurations, save → open must reproduce identical query outcomes
-//! (results *and* metrics), including tombstones. Exercises the
-//! `FixDatabase` facade end to end.
+//! (results *and* metrics), including tombstones; arbitrarily corrupted
+//! files (truncations, bit flips) must be *detected* — a structured
+//! `FixError::Corrupt`, never a panic or a silent wrong answer — and a
+//! save interrupted at every write boundary (the crash matrix) must leave
+//! the previous database byte-for-byte intact. Exercises the
+//! `FixDatabase` facade and the fault-injection harness end to end.
 
 use proptest::prelude::*;
 
-use fix::core::DocId;
-use fix::{FixDatabase, FixOptions};
+use fix::core::{Collection, DocId, FixIndex};
+use fix::storage::{FaultKind, FaultPlan};
+use fix::{FixDatabase, FixError, FixOptions};
 
 fn doc_strategy() -> impl Strategy<Value = String> {
     #[derive(Debug, Clone)]
@@ -108,6 +113,135 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Corruption fuzz: random truncations and bit flips over a valid
+    /// database file either leave it byte-identical (flips that cancel)
+    /// or make the load fail with `FixError::Corrupt` — never a panic,
+    /// never an unbounded allocation, never a silently different database.
+    #[test]
+    fn corrupted_files_are_always_detected(
+        docs in prop::collection::vec(doc_strategy(), 1..4),
+        opts in options_strategy(),
+        flips in prop::collection::vec((0.0f64..1.0, 0u8..8), 1..4),
+        truncate in prop::option::of(0.0f64..1.0),
+    ) {
+        let dir = std::env::temp_dir().join(format!("fix-prop-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("case-{:x}.fixdb", rand_suffix(&docs)));
+
+        let mut db = FixDatabase::in_memory();
+        for d in &docs {
+            db.add_xml(d).unwrap();
+        }
+        db.build(opts).unwrap();
+        db.save_as(&path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bad = good.clone();
+        if let Some(t) = truncate {
+            let keep = (bad.len() as f64 * t) as usize;
+            bad.truncate(keep);
+        } else {
+            for (fpos, bit) in &flips {
+                let i = ((good.len() - 1) as f64 * fpos) as usize;
+                bad[i] ^= 1 << bit;
+            }
+        }
+        std::fs::write(&path, &bad).unwrap();
+        let outcome = FixDatabase::open(&path);
+        std::fs::remove_file(&path).ok();
+        if bad == good {
+            prop_assert!(outcome.is_ok(), "pristine bytes must load");
+        } else {
+            match outcome {
+                Err(FixError::Corrupt { section, detail }) => {
+                    prop_assert!(!section.is_empty() && !detail.is_empty());
+                }
+                Err(e) => prop_assert!(false, "corruption surfaced as a non-Corrupt error: {e}"),
+                Ok(_) => prop_assert!(false, "corruption went undetected"),
+            }
+        }
+    }
+}
+
+/// The crash matrix: interrupt a save at *every* write boundary, in every
+/// failure mode the fault harness models (outright error, torn write,
+/// writes silently lost until fsync). After each interrupted save the
+/// previous database must still be on disk byte-for-byte, loadable, and
+/// free of stray temp files.
+#[test]
+fn crash_matrix_every_boundary_leaves_previous_version_loadable() {
+    let dir = std::env::temp_dir().join(format!("fix-crash-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("db.fixdb");
+
+    let mut coll1 = Collection::new();
+    coll1.add_xml("<r><a><b/></a></r>").unwrap();
+    let idx1 = FixIndex::build(&mut coll1, FixOptions::collection());
+    fix::core::save_with_faults(&path, &coll1, &idx1, None).unwrap();
+    let before = std::fs::read(&path).unwrap();
+
+    let mut coll2 = Collection::new();
+    coll2.add_xml("<r><c><d/></c></r>").unwrap();
+    coll2.add_xml("<r><e/></r>").unwrap();
+    let idx2 = FixIndex::build(
+        &mut coll2,
+        FixOptions::builder().depth_limit(2).clustered(true).build(),
+    );
+
+    for kind in [
+        FaultKind::Error,
+        FaultKind::Torn { keep: 3 },
+        FaultKind::Truncate,
+    ] {
+        let mut boundaries = None;
+        for nth in 0.. {
+            let result =
+                fix::core::save_with_faults(&path, &coll2, &idx2, Some(FaultPlan::new(nth, kind)));
+            if result.is_ok() {
+                // The fault landed beyond the last write: the sweep for
+                // this kind is complete. Restore the old version for the
+                // next kind.
+                boundaries = Some(nth);
+                std::fs::write(&path, &before).unwrap();
+                break;
+            }
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                before,
+                "{kind:?} at boundary {nth} must leave the previous file byte-identical"
+            );
+            let db = FixDatabase::open(&path).unwrap_or_else(|e| {
+                panic!("{kind:?} at boundary {nth}: previous version unloadable: {e}")
+            });
+            assert_eq!(db.len(), 1, "{kind:?} at boundary {nth}: wrong content");
+            let strays: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+                .collect();
+            assert!(
+                strays.is_empty(),
+                "{kind:?} at boundary {nth} left temp files: {strays:?}"
+            );
+        }
+        let boundaries = boundaries.unwrap();
+        assert!(
+            boundaries > 10,
+            "expected a real multi-write sweep, saw only {boundaries} boundaries"
+        );
+    }
+
+    // With no fault injected the new version replaces the old atomically.
+    fix::core::save_with_faults(&path, &coll2, &idx2, None).unwrap();
+    let db = FixDatabase::open(&path).unwrap();
+    assert_eq!(db.len(), 2);
+    assert!(db.index().unwrap().options().clustered);
+    std::fs::remove_file(&path).ok();
 }
 
 /// A cheap deterministic suffix so parallel proptest cases do not clobber
