@@ -1,0 +1,198 @@
+//! Incremental-maintenance scaling: merged-scan overhead as the delta run
+//! grows, and compaction throughput folding it back into the base tree.
+//!
+//! The workload is the XBench TCMD collection (the data set built for
+//! document-granular churn): an index is built over the base corpus, a
+//! second deterministic batch is inserted through the delta path in
+//! stages, and at each stage the Table 2 queries are timed against the
+//! merged base+delta scan. Every stage's answers are verified against a
+//! from-scratch rebuild of the same logical collection, and the final
+//! compaction is timed and re-verified — so the numbers and the
+//! equivalence invariant travel together.
+//!
+//! Plain `main` (harness = false) so the sweep controls its own timing.
+//!
+//!   cargo bench -p fix-bench --bench incremental_scaling             # full sweep
+//!   cargo bench -p fix-bench --bench incremental_scaling -- --test   # CI smoke
+//!   cargo bench -p fix-bench --bench incremental_scaling -- --json   # machine-readable
+//!   cargo bench -p fix-bench --bench incremental_scaling -- --scale 0.5
+
+use std::time::{Duration, Instant};
+
+use fix_core::{FixDatabase, FixOptions, QueryOutcome};
+use fix_datagen::{tcmd, GenConfig};
+
+/// The TCMD representative queries (Table 2), the serving workload.
+const QUERIES: &[&str] = &[
+    "/article/epilog[acknoledgements]/references/a_id",
+    "/article/prolog[keywords]/authors/author/contact[phone]",
+    "/article[epilog]/prolog/authors/author",
+    "//authors/author",
+];
+
+/// One timed pass over the whole workload, best of `reps`.
+fn timed(reps: usize, rounds: usize, db: &FixDatabase) -> Duration {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..rounds {
+                for q in QUERIES {
+                    drop(db.query(q).expect("workload query runs"));
+                }
+            }
+            t0.elapsed()
+        })
+        .min()
+        .expect("reps >= 1")
+}
+
+/// Ground truth at the current collection state: a from-scratch rebuild.
+fn rebuild_reference(db: &FixDatabase, opts: &FixOptions) -> Vec<QueryOutcome> {
+    let mut fresh = FixDatabase::in_memory();
+    for (_, d) in db.collection().iter() {
+        fresh
+            .add_xml(&fix_xml::to_xml_string(d, &db.collection().labels))
+            .expect("round-tripped document parses");
+    }
+    fresh.build(opts.clone()).expect("reference rebuild");
+    QUERIES
+        .iter()
+        .map(|q| fresh.query(q).expect("reference query runs"))
+        .collect()
+}
+
+fn verify(db: &FixDatabase, reference: &[QueryOutcome], label: &str) {
+    for (q, want) in QUERIES.iter().zip(reference) {
+        let got = db.query(q).expect("maintained query runs");
+        assert_eq!(
+            got.results, want.results,
+            "{label}: maintained index diverged from rebuild on {q}"
+        );
+    }
+}
+
+struct StageRow {
+    delta_entries: u64,
+    delta_bytes: u64,
+    query_ns: u128,
+    overhead: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let json = args.iter().any(|a| a == "--json");
+    let mut scale = if smoke { 0.1 } else { 1.0 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale);
+        }
+    }
+    let (reps, rounds) = if smoke { (1, 2) } else { (3, 10) };
+
+    // Base corpus and a disjoint deterministic batch to feed the delta.
+    let base_docs = tcmd(GenConfig::scaled(scale));
+    let extra_docs = tcmd(GenConfig {
+        seed: 0xDE17A,
+        scale,
+    });
+
+    let mut opts = FixOptions::collection();
+    opts.compact_ratio = 0.0; // explicit compaction only: the sweep owns the trigger
+    let mut db = FixDatabase::in_memory();
+    for d in &base_docs {
+        db.add_xml(d).expect("generated XML parses");
+    }
+    db.build(opts.clone()).expect("base index builds");
+    let base_entries = db.index().expect("built").entry_count();
+
+    if !json {
+        println!(
+            "incremental_scaling: scale {scale}, {} base docs ({base_entries} entries), \
+             {} insert candidates, best of {reps} x {rounds} rounds ({}):",
+            base_docs.len(),
+            extra_docs.len(),
+            if smoke { "smoke" } else { "full" },
+        );
+    }
+
+    // Stage 0: the pristine base index.
+    let base_time = timed(reps, rounds, &db);
+    let mut stages: Vec<StageRow> = vec![StageRow {
+        delta_entries: 0,
+        delta_bytes: 0,
+        query_ns: base_time.as_nanos(),
+        overhead: 1.0,
+    }];
+
+    // Grow the delta in quarters of the insert batch, timing each stage.
+    let mut inserted = 0usize;
+    for quarter in 1..=4usize {
+        let until = extra_docs.len() * quarter / 4;
+        for d in &extra_docs[inserted..until] {
+            db.add_xml(d).expect("delta insert");
+        }
+        inserted = until;
+        let stats = db.index().expect("built").delta_stats();
+        let time = timed(reps, rounds, &db);
+        stages.push(StageRow {
+            delta_entries: stats.entries,
+            delta_bytes: stats.bytes,
+            query_ns: time.as_nanos(),
+            overhead: time.as_secs_f64() / base_time.as_secs_f64().max(1e-12),
+        });
+    }
+    // The merged scan must agree with a rebuild before compaction…
+    let reference = rebuild_reference(&db, &opts);
+    verify(&db, &reference, "pre-compaction");
+
+    // …and compaction folds the delta at measurable throughput.
+    let delta_before = db.index().expect("built").delta_len();
+    let t0 = Instant::now();
+    db.compact().expect("compaction");
+    let compact_time = t0.elapsed();
+    let total_entries = db.index().expect("built").entry_count();
+    assert_eq!(db.index().expect("built").delta_len(), 0);
+    verify(&db, &reference, "post-compaction");
+    let post_time = timed(reps, rounds, &db);
+    let throughput = total_entries as f64 / compact_time.as_secs_f64().max(1e-12);
+
+    if json {
+        let rows: Vec<String> = stages
+            .iter()
+            .map(|s| {
+                format!(
+                    r#"{{"delta_entries":{},"delta_bytes":{},"query_ns":{},"overhead":{:.4}}}"#,
+                    s.delta_entries, s.delta_bytes, s.query_ns, s.overhead
+                )
+            })
+            .collect();
+        println!(
+            r#"{{"base_entries":{base_entries},"stages":[{}],"compaction":{{"folded_entries":{delta_before},"total_entries":{total_entries},"wall_ns":{},"entries_per_s":{:.0}}},"post_compaction_query_ns":{},"verified":true}}"#,
+            rows.join(","),
+            compact_time.as_nanos(),
+            throughput,
+            post_time.as_nanos(),
+        );
+    } else {
+        for s in &stages {
+            println!(
+                "  delta {:>6} entries {:>9} B  workload {:>9.3?}  overhead {:.2}x",
+                s.delta_entries,
+                s.delta_bytes,
+                Duration::from_nanos(s.query_ns as u64),
+                s.overhead
+            );
+        }
+        println!(
+            "  compaction: folded {delta_before} delta entries -> {total_entries} total \
+             in {compact_time:.3?} ({throughput:.0} entries/s)"
+        );
+        println!(
+            "  post-compaction workload {post_time:>9.3?} ({:.2}x of base)",
+            post_time.as_secs_f64() / base_time.as_secs_f64().max(1e-12)
+        );
+        println!("incremental_scaling: every stage verified against a from-scratch rebuild");
+    }
+}

@@ -91,7 +91,7 @@ pub fn subpattern(graph: &BisimGraph, v: VertexId, limit: usize) -> (BisimGraph,
 /// `O(|V| · d · fanout)` construction (a significant share of the paper's
 /// reported Treebank index-construction time appears to be exactly this
 /// unfolding; see EXPERIMENTS.md).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct SubpatternForest {
     graph: BisimGraph,
     memo: std::collections::HashMap<(VertexId, u32), VertexId>,

@@ -9,8 +9,10 @@
 
 pub mod keycodec;
 pub mod rtree;
+pub mod run;
 pub mod tree;
 
 pub use keycodec::{decode_f64, encode_f64, KeyWriter};
 pub use rtree::{Point, RTree, RTreeProbeStats};
+pub use run::SortedRun;
 pub use tree::{BTree, BTreeStats, RangeScan, ScanStats};

@@ -1,0 +1,132 @@
+//! A sorted in-memory key run — the delta side of an LSM-style pair with
+//! the on-disk [`BTree`](crate::BTree).
+//!
+//! Holds fixed-length byte-string keys with `u64` values in key order, so
+//! a scan over the run can be merged with a B+-tree range scan into one
+//! globally ordered candidate stream. Inserts keep the run sorted (binary
+//! search + shift); runs are expected to stay small relative to the base
+//! tree and to be folded into it by compaction before they grow large.
+//!
+//! Range semantics mirror [`BTree::range`](crate::BTree::range): the start
+//! bound is inclusive, the end bound (when present) exclusive, and keys
+//! compare as raw bytes.
+
+/// A sorted run of fixed-length keys and `u64` values.
+#[derive(Debug, Clone, Default)]
+pub struct SortedRun {
+    key_len: usize,
+    entries: Vec<(Vec<u8>, u64)>,
+}
+
+impl SortedRun {
+    /// An empty run over keys of `key_len` bytes.
+    pub fn new(key_len: usize) -> Self {
+        Self {
+            key_len,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The fixed key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Number of entries in the run.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the run is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(k, _)| k.len() + std::mem::size_of::<u64>())
+            .sum()
+    }
+
+    /// Inserts a key/value pair, keeping the run sorted. Duplicate keys are
+    /// allowed and kept adjacent in insertion order.
+    pub fn insert(&mut self, key: &[u8], value: u64) {
+        assert_eq!(key.len(), self.key_len, "key length mismatch");
+        // `partition_point` finds the end of the <=-run, so equal keys land
+        // after existing ones — stable with respect to insertion order.
+        let pos = self.entries.partition_point(|(k, _)| k.as_slice() <= key);
+        self.entries.insert(pos, (key.to_vec(), value));
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], u64)> + '_ {
+        self.entries.iter().map(|(k, v)| (k.as_slice(), *v))
+    }
+
+    /// Iterates entries with `start <= key < end` (no upper bound when
+    /// `end` is `None`), matching `BTree::range` semantics.
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], u64)> + 'a {
+        let lo = self.entries.partition_point(|(k, _)| k.as_slice() < start);
+        let hi = match end {
+            Some(end) => self.entries.partition_point(|(k, _)| k.as_slice() < end),
+            None => self.entries.len(),
+        };
+        self.entries[lo..hi.max(lo)]
+            .iter()
+            .map(|(k, v)| (k.as_slice(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keeps_key_order() {
+        let mut run = SortedRun::new(2);
+        for (k, v) in [([3u8, 0], 30), ([1, 0], 10), ([2, 0], 20), ([1, 1], 11)] {
+            run.insert(&k, v);
+        }
+        let keys: Vec<_> = run.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (vec![1, 0], 10),
+                (vec![1, 1], 11),
+                (vec![2, 0], 20),
+                (vec![3, 0], 30)
+            ]
+        );
+        assert_eq!(run.len(), 4);
+        assert_eq!(run.size_bytes(), 4 * (2 + 8));
+    }
+
+    #[test]
+    fn range_is_start_inclusive_end_exclusive() {
+        let mut run = SortedRun::new(1);
+        for k in [1u8, 3, 5, 7] {
+            run.insert(&[k], k as u64);
+        }
+        let got: Vec<u64> = run.range(&[3], Some(&[7])).map(|(_, v)| v).collect();
+        assert_eq!(got, vec![3, 5]);
+        let open: Vec<u64> = run.range(&[4], None).map(|(_, v)| v).collect();
+        assert_eq!(open, vec![5, 7]);
+        assert!(run.range(&[8], Some(&[9])).next().is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_are_stable() {
+        let mut run = SortedRun::new(1);
+        run.insert(&[5], 1);
+        run.insert(&[5], 2);
+        run.insert(&[5], 3);
+        let vals: Vec<u64> = run.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+}

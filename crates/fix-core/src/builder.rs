@@ -25,6 +25,7 @@ use fix_storage::{BufferPool, HeapFile, IoStats, RecordId};
 use fix_xml::{Document, LabelId, LabelTable, NodeId, NodeKind, TreeEventSource};
 
 use crate::collection::{Collection, DocId};
+use crate::delta::{DeltaIndex, DeltaStats};
 use crate::key::{EntryPtr, IndexKey, KEY_LEN};
 use crate::options::FixOptions;
 use crate::values::ValueHasher;
@@ -108,15 +109,32 @@ impl fix_obs::Reportable for BuildStats {
 
 /// The mutable construction state that incremental insertion keeps alive:
 /// the shared bisimulation graph, the truncation forest, and the feature
-/// memo. Dropped for clustered indexes (their copies live in key order and
-/// cannot absorb appends) and for indexes loaded from disk.
+/// memo. A freshly built index carries its construction state over, and
+/// compaction clones it into the compacted index. An index loaded from
+/// disk has no state; its first insert *warms* one by replaying the
+/// graph/forest construction over the existing collection
+/// (`FixIndex::insert_xml`) — the eigensolver's certified bounds depend
+/// on the forest's vertex enumeration order, so the forest must be
+/// rebuilt in exactly the order a batch build would use for incremental
+/// keys to stay byte-identical to a rebuild's.
+#[derive(Clone)]
 pub(crate) struct IncrementalState {
     graph: BisimGraph,
     forest: SubpatternForest,
     feat_memo: HashMap<VertexId, (Features, bool)>,
     value_labels: HashSet<LabelId>,
+    /// Patterns reconstructed by a warm-up replay: they are already
+    /// accounted for in the base stats (`base_distinct`, `fallbacks`), so
+    /// re-extracting one must not bump those counters again.
+    warm_patterns: HashSet<VertexId>,
     seq: u32,
     fallbacks: u64,
+    /// Stats baselines for resumed states: distinct patterns / bisim graph
+    /// sizes already accounted for by the base index, so reported levels
+    /// never shrink when the memo restarts empty.
+    base_distinct: u64,
+    base_vertices: usize,
+    base_edges: usize,
 }
 
 impl IncrementalState {
@@ -126,8 +144,27 @@ impl IncrementalState {
             forest: SubpatternForest::new(),
             feat_memo: HashMap::new(),
             value_labels: HashSet::new(),
+            warm_patterns: HashSet::new(),
             seq: 0,
             fallbacks: 0,
+            base_distinct: 0,
+            base_vertices: 0,
+            base_edges: 0,
+        }
+    }
+
+    /// A state resuming insertion on an index whose construction state is
+    /// gone (loaded from disk, or rebuilt by compaction). `next_seq` must
+    /// be past every sequence number in use; entry numbering is dense, so
+    /// the entry count is exactly that.
+    fn resume(next_seq: u64, stats: &BuildStats) -> Self {
+        Self {
+            seq: u32::try_from(next_seq).expect("entry space exhausted"),
+            fallbacks: stats.fallbacks,
+            base_distinct: stats.distinct_patterns,
+            base_vertices: stats.bisim_vertices,
+            base_edges: stats.bisim_edges,
+            ..Self::new()
         }
     }
 }
@@ -143,9 +180,16 @@ pub struct FixIndex {
     pub(crate) pool: Arc<BufferPool>,
     pub(crate) stats: BuildStats,
     pub(crate) incremental: Option<IncrementalState>,
+    /// Entries accepted since the last build or compaction; scans merge
+    /// this run with the base tree (see `FixIndex::scan_plan`).
+    pub(crate) delta: DeltaIndex,
     /// Tombstoned documents: their entries stay in the B-tree but are
     /// filtered out of candidate sets until [`FixIndex::vacuum`].
     pub(crate) removed: std::collections::HashSet<DocId>,
+    /// Compactions folded into this index's lineage, and their cumulative
+    /// wall time (telemetry only; not persisted).
+    pub(crate) compactions: u64,
+    pub(crate) compact_ns: u64,
 }
 
 /// Builds an index with its pages in a `FileBackend` at `path` (backing
@@ -184,22 +228,21 @@ fn stream_document(graph: &mut BisimGraph, doc: &Document, record_all: bool) -> 
     }
 }
 
-/// Incrementally indexes one document into an already-built unclustered
-/// index: streams it into the shared bisimulation graph and inserts one
-/// `(key, ptr)` entry per indexable unit straight into the B-tree. Bulk
-/// construction goes through the phased pipeline in `FixIndex::build_on`
-/// instead; both assign identical keys.
-#[allow(clippy::too_many_arguments)]
-fn index_document(
-    doc_id: DocId,
+/// Streams one document into the shared bisimulation graph and truncates
+/// each of its indexable units to its depth-limited pattern in the
+/// forest, returning `(pattern root, storage ptr)` per unit in document
+/// order. Shared between live insertion ([`index_document`]) and the
+/// cold-resume warm-up replay (`FixIndex::insert_xml`): the forest's
+/// vertex numbering — and with it the eigensolver's matrix enumeration
+/// order — depends on the order patterns are first truncated, so both
+/// paths must replay the batch build's exact sequence.
+fn stream_units(
     doc: &Document,
     labels: &mut LabelTable,
     opts: &FixOptions,
     state: &mut IncrementalState,
-    encoder: &mut EdgeEncoder,
     hasher: &Option<ValueHasher>,
-    btree: &mut BTree,
-) {
+) -> Vec<(VertexId, u64)> {
     let depth_limit = opts.depth_limit;
     let builder = BisimBuilder::new(&mut state.graph);
     let builder = if depth_limit > 0 {
@@ -228,28 +271,60 @@ fn index_document(
             .filter(|&(v, _)| !state.value_labels.contains(&state.graph.label(v)))
             .collect()
     };
-    for (vertex, ptr) in unit_entries {
-        let limit = if depth_limit == 0 {
-            usize::MAX
-        } else {
-            depth_limit
-        };
-        let pat_root = if opts.literal_gen_subpattern {
-            // Paper-literal path: unfold + re-minimize, then merge the
-            // standalone pattern into the forest graph so the feature memo
-            // still dedups identical patterns.
-            let (pat, pinfo) = fix_bisim::subpattern(&state.graph, vertex, limit);
-            state.forest.adopt(&pat, pinfo.root)
-        } else {
-            state.forest.truncate(&state.graph, vertex, limit)
-        };
+    let limit = if depth_limit == 0 {
+        usize::MAX
+    } else {
+        depth_limit
+    };
+    unit_entries
+        .into_iter()
+        .map(|(vertex, ptr)| {
+            let pat_root = if opts.literal_gen_subpattern {
+                // Paper-literal path: unfold + re-minimize, then merge the
+                // standalone pattern into the forest graph so the feature
+                // memo still dedups identical patterns.
+                let (pat, pinfo) = fix_bisim::subpattern(&state.graph, vertex, limit);
+                state.forest.adopt(&pat, pinfo.root)
+            } else {
+                state.forest.truncate(&state.graph, vertex, limit)
+            };
+            (pat_root, ptr)
+        })
+        .collect()
+}
+
+/// Incrementally indexes one document into an already-built index:
+/// streams it into the shared bisimulation graph and appends one
+/// `(key, ptr)` entry per indexable unit to the delta run (clustered
+/// indexes store the subtree copy alongside, in the base heap's record
+/// format). Bulk construction goes through the phased pipeline in
+/// `FixIndex::build_on` instead; both assign identical keys.
+#[allow(clippy::too_many_arguments)]
+fn index_document(
+    doc_id: DocId,
+    doc: &Document,
+    labels: &mut LabelTable,
+    opts: &FixOptions,
+    state: &mut IncrementalState,
+    encoder: &mut EdgeEncoder,
+    hasher: &Option<ValueHasher>,
+    delta: &mut DeltaIndex,
+) {
+    let depth_limit = opts.depth_limit;
+    let limit = if depth_limit == 0 {
+        usize::MAX
+    } else {
+        depth_limit
+    };
+    for (pat_root, ptr) in stream_units(doc, labels, opts, state, hasher) {
         // `fallbacks` counts *distinct* oversized patterns (the quantity
-        // the paper reports), so bump it only on a fresh memo insertion.
+        // the paper reports), so bump it only on a fresh memo insertion —
+        // and not for warm-replayed patterns the base stats already count.
         if !state.feat_memo.contains_key(&pat_root) {
             let extracted =
                 opts.extractor
                     .extract_interning(state.forest.graph(), pat_root, encoder);
-            if extracted.1 {
+            if extracted.1 && !state.warm_patterns.contains(&pat_root) {
                 state.fallbacks += 1;
             }
             state.feat_memo.insert(pat_root, extracted);
@@ -261,7 +336,15 @@ fn index_document(
             doc: doc_id,
             node: ptr as u32,
         };
-        btree.insert(&key, entry.to_u64());
+        if delta.is_clustered() {
+            let xml = serialize_truncated(doc, labels, NodeId(entry.node), limit);
+            let mut record = Vec::with_capacity(8 + xml.len());
+            record.extend_from_slice(&entry.to_u64().to_le_bytes());
+            record.extend_from_slice(xml.as_bytes());
+            delta.push_record(&key, record);
+        } else {
+            delta.push(&key, entry.to_u64());
+        }
     }
 }
 
@@ -503,7 +586,7 @@ impl FixIndex {
             extract_time,
             load_time,
         };
-        let incremental = if opts.clustered { None } else { Some(state) };
+        let delta = DeltaIndex::new(opts.clustered);
         FixIndex {
             opts,
             btree,
@@ -512,8 +595,11 @@ impl FixIndex {
             clustered,
             pool,
             stats,
-            incremental,
+            incremental: Some(state),
+            delta,
             removed: std::collections::HashSet::new(),
+            compactions: 0,
+            compact_ns: 0,
         }
     }
 
@@ -548,27 +634,47 @@ impl FixIndex {
         (fresh, idx)
     }
 
-    /// Incrementally indexes a new document (unclustered indexes only —
-    /// the clustered copy store is key-ordered and cannot absorb appends;
-    /// indexes loaded from disk have dropped their construction state).
-    /// Returns the new document's id, or `None` if this index cannot
-    /// accept inserts.
+    /// Incrementally indexes a new document: feature-extracts just this
+    /// document and appends its entries to the side delta run, which scans
+    /// merge with the base tree — answers are identical to a full rebuild
+    /// at all times. Returns the new document's id.
     ///
     /// This is the update story the clustering indexes lack (the paper's
     /// Section 1 criticism of F&B: "updating … could be expensive"): an
     /// insert streams only the new document, reusing the shared
-    /// bisimulation graph and feature memo.
+    /// bisimulation graph and feature memo when this index was built or
+    /// compacted in this process. An index loaded from disk has no such
+    /// state, so the first insert warms one by replaying the graph and
+    /// forest construction over the existing collection (no eigenwork) —
+    /// the eigensolver's certified bounds are sensitive to the forest's
+    /// vertex enumeration order, so a cold forest built from just the new
+    /// document would assign *different key bytes* than a rebuild.
+    /// Either way, incremental keys are byte-identical to a full
+    /// rebuild's.
     pub fn insert_xml(
         &mut self,
         coll: &mut Collection,
         xml: &str,
-    ) -> Result<Option<DocId>, fix_xml::ParseError> {
-        if self.incremental.is_none() {
-            return Ok(None);
-        }
+    ) -> Result<DocId, fix_xml::ParseError> {
         let doc_id = coll.add_xml_limited(xml, self.opts.max_parse_depth)?;
-        let state = self.incremental.as_mut().expect("checked above");
         let (labels, docs) = coll.split_mut();
+        if self.incremental.is_none() {
+            let next_seq = self.btree.len() + self.delta.len();
+            let mut state = IncrementalState::resume(next_seq, &self.stats);
+            for doc in &docs[..doc_id.0 as usize] {
+                for (pat_root, _) in stream_units(doc, labels, &self.opts, &mut state, &self.hasher)
+                {
+                    state.warm_patterns.insert(pat_root);
+                }
+            }
+            // The warmed graph holds the whole collection's structure, so
+            // the resumed baselines would double-count it.
+            state.base_vertices = 0;
+            state.base_edges = 0;
+            state.base_distinct = state.warm_patterns.len() as u64;
+            self.incremental = Some(state);
+        }
+        let state = self.incremental.as_mut().expect("resumed above");
         index_document(
             doc_id,
             &docs[doc_id.0 as usize],
@@ -577,15 +683,120 @@ impl FixIndex {
             state,
             &mut self.encoder,
             &self.hasher,
-            &mut self.btree,
+            &mut self.delta,
         );
-        self.stats.entries = self.btree.len();
-        self.stats.distinct_patterns = state.feat_memo.len() as u64;
+        self.stats.entries = self.btree.len() + self.delta.len();
+        self.stats.distinct_patterns = state.base_distinct
+            + state
+                .feat_memo
+                .keys()
+                .filter(|p| !state.warm_patterns.contains(p))
+                .count() as u64;
         self.stats.fallbacks = state.fallbacks;
-        self.stats.bisim_vertices = state.graph.len();
-        self.stats.bisim_edges = state.graph.edge_count();
+        self.stats.bisim_vertices = state.base_vertices + state.graph.len();
+        self.stats.bisim_edges = state.base_edges + state.graph.edge_count();
         self.stats.btree_bytes = self.btree.stats().size_bytes;
-        Ok(Some(doc_id))
+        Ok(doc_id)
+    }
+
+    /// Folds the delta run into the base B+-tree, returning a fresh index
+    /// whose key sequence and (for clustered indexes) copy-heap record
+    /// order are byte-identical to a full rebuild over the same logical
+    /// collection — insertion replays the batch build's graph/forest
+    /// construction order (so each entry's feature bytes match the
+    /// rebuild's), and both paths assign dense sequence numbers in
+    /// document order, so a two-way merge of the two sorted sources equals
+    /// the rebuild's single sorted load. Tombstones carry over; the result
+    /// has an empty delta. `&self`-only, so live snapshot readers are
+    /// never blocked — callers swap the result in under the same
+    /// discipline as [`FixIndex::vacuum`].
+    pub fn compact(&self) -> FixIndex {
+        let start = Instant::now();
+        let pool = Arc::new(BufferPool::in_memory(self.opts.pool_pages));
+        let merged = fix_exec::merge_sorted(
+            self.btree.iter().map(|(k, v)| (k, v, false)).collect(),
+            self.delta
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v, true))
+                .collect(),
+            |(k, _, _): &(Vec<u8>, u64, bool)| k.clone(),
+        );
+        let (btree, clustered) = if let Some(heap_src) = &self.clustered {
+            // Move copy records verbatim: documents are immutable, so the
+            // stored serializations are exactly what a rebuild would write,
+            // and appending in merged key order replays its heap layout.
+            let mut heap = HeapFile::new(Arc::clone(&pool));
+            let mut loaded = Vec::with_capacity(merged.len());
+            for (key, value, from_delta) in merged {
+                let record: Vec<u8> = if from_delta {
+                    self.delta.record(value).to_vec()
+                } else {
+                    heap_src.get(RecordId::from_u64(value))
+                };
+                loaded.push((key, heap.append(&record).to_u64()));
+            }
+            (
+                BTree::bulk_load(Arc::clone(&pool), KEY_LEN, loaded),
+                Some(heap),
+            )
+        } else {
+            (
+                BTree::bulk_load(
+                    Arc::clone(&pool),
+                    KEY_LEN,
+                    merged.into_iter().map(|(k, v, _)| (k, v)),
+                ),
+                None,
+            )
+        };
+        let mut stats = self.stats;
+        stats.entries = btree.len();
+        stats.btree_bytes = btree.stats().size_bytes;
+        stats.clustered_bytes = clustered.as_ref().map(HeapFile::size_bytes).unwrap_or(0);
+        let delta = DeltaIndex::new(self.opts.clustered);
+        delta.carry_scan_history(&self.delta.stats());
+        FixIndex {
+            opts: self.opts.clone(),
+            btree,
+            encoder: self.encoder.clone(),
+            hasher: self.hasher,
+            clustered,
+            pool,
+            stats,
+            // Carry the construction state: later inserts keep extending
+            // the same graph/forest, so their forest vertex numbering —
+            // and hence their key bytes — match a batch rebuild's. (A
+            // compacted index that was itself loaded from disk stays
+            // stateless; the first insert warms a state, see
+            // `FixIndex::insert_xml`.)
+            incremental: self.incremental.clone(),
+            delta,
+            removed: self.removed.clone(),
+            compactions: self.compactions + 1,
+            compact_ns: self.compact_ns
+                + u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        }
+    }
+
+    /// Entries currently in the delta run.
+    pub fn delta_len(&self) -> u64 {
+        self.delta.len()
+    }
+
+    /// Resident bytes of the delta run (plus clustered copies).
+    pub fn delta_bytes(&self) -> u64 {
+        self.delta.size_bytes()
+    }
+
+    /// Cumulative delta counters (size levels and scan work).
+    pub fn delta_stats(&self) -> DeltaStats {
+        self.delta.stats()
+    }
+
+    /// Compactions folded into this index's lineage and their cumulative
+    /// wall time in nanoseconds.
+    pub fn compaction_stats(&self) -> (u64, u64) {
+        (self.compactions, self.compact_ns)
     }
 
     /// Construction statistics.
@@ -609,17 +820,61 @@ impl FixIndex {
         &self.opts
     }
 
-    /// Number of index entries (`ent` in the Section 6.2 metrics).
+    /// Number of index entries (`ent` in the Section 6.2 metrics): base
+    /// tree plus delta run.
     pub fn entry_count(&self) -> u64 {
-        self.btree.len()
+        self.btree.len() + self.delta.len()
     }
 
-    /// Iterates all index entries as `(decoded key, value)` in key order
-    /// (statistics, persistence, and diagnostics).
+    /// Iterates all index entries — base tree and delta run merged — as
+    /// `(decoded key, value)` in global key order (statistics and
+    /// diagnostics; persistence writes the two sources separately).
     pub fn entries(&self) -> impl Iterator<Item = (crate::key::IndexKey, u64)> + '_ {
-        self.btree
-            .iter()
-            .map(|(k, v)| (crate::key::IndexKey::decode(&k), v))
+        fix_exec::merge_sorted(
+            self.btree.iter().collect(),
+            self.delta.iter().map(|(k, v)| (k.to_vec(), v)).collect(),
+            |(k, _): &(Vec<u8>, u64)| k.clone(),
+        )
+        .into_iter()
+        .map(|(k, v)| (crate::key::IndexKey::decode(&k), v))
+    }
+
+    /// Clustered copy records — base heap and delta copies merged — in
+    /// global key order, or `None` for unclustered indexes. Diagnostic:
+    /// two clustered indexes over the same logical collection are
+    /// byte-identical iff their `entries()` and `clustered_records()`
+    /// streams agree.
+    pub fn clustered_records(&self) -> Option<Vec<(crate::key::IndexKey, Vec<u8>)>> {
+        self.clustered.as_ref()?;
+        Some(
+            self.entries_with_origin()
+                .map(|(k, v, from_delta)| {
+                    let record = if from_delta {
+                        self.delta.record(v).to_vec()
+                    } else {
+                        self.clustered
+                            .as_ref()
+                            .expect("checked above")
+                            .get(RecordId::from_u64(v))
+                    };
+                    (k, record)
+                })
+                .collect(),
+        )
+    }
+
+    /// Merged entries tagged with their source (`true` = delta).
+    fn entries_with_origin(&self) -> impl Iterator<Item = (crate::key::IndexKey, u64, bool)> + '_ {
+        fix_exec::merge_sorted(
+            self.btree.iter().map(|(k, v)| (k, v, false)).collect(),
+            self.delta
+                .iter()
+                .map(|(k, v)| (k.to_vec(), v, true))
+                .collect(),
+            |(k, _, _): &(Vec<u8>, u64, bool)| k.clone(),
+        )
+        .into_iter()
+        .map(|(k, v, d)| (crate::key::IndexKey::decode(&k), v, d))
     }
 
     /// Snapshot of the index storage's I/O counters.
@@ -816,9 +1071,9 @@ mod incremental_tests {
         let mut coll = Collection::new();
         coll.add_xml(docs[0]).unwrap();
         let mut inc = FixIndex::build(&mut coll, FixOptions::large_document(4));
-        for d in &docs[1..] {
+        for (i, d) in docs[1..].iter().enumerate() {
             let id = inc.insert_xml(&mut coll, d).unwrap();
-            assert!(id.is_some());
+            assert_eq!(id, DocId(i as u32 + 1));
         }
         assert_eq!(inc.entry_count(), fresh.entry_count());
         for q in [
@@ -837,13 +1092,91 @@ mod incremental_tests {
     }
 
     #[test]
-    fn clustered_indexes_reject_inserts() {
+    fn clustered_indexes_absorb_inserts_via_delta_copies() {
         let mut coll = Collection::new();
         coll.add_xml("<a><b/></a>").unwrap();
         let mut idx = FixIndex::build(&mut coll, FixOptions::collection().clustered());
-        let r = idx.insert_xml(&mut coll, "<a><c/></a>").unwrap();
-        assert!(r.is_none(), "clustered index must refuse inserts");
-        assert_eq!(coll.len(), 1, "collection must stay untouched on refusal");
+        let id = idx.insert_xml(&mut coll, "<a><c/></a>").unwrap();
+        assert_eq!(id, DocId(1));
+        assert_eq!(idx.entry_count(), 2);
+        assert_eq!(idx.delta_len(), 1);
+        let out = idx.query(&coll, "//a/c").unwrap();
+        assert_eq!(out.results.len(), 1);
+        assert_eq!(out.results[0].0, DocId(1));
+        // The delta copy refines without touching primary storage, exactly
+        // like a base heap record.
+        let out2 = idx.query(&coll, "//a/b").unwrap();
+        assert_eq!(out2.results.len(), 1);
+        assert_eq!(out2.results[0].0, DocId(0));
+    }
+
+    #[test]
+    fn compaction_is_byte_identical_to_a_fresh_build() {
+        let docs = [
+            "<bib><article><author/><ee/></article></bib>",
+            "<bib><book><author><phone/></author></book></bib>",
+            "<bib><article><author><email/></author><title>t</title></article></bib>",
+        ];
+        for clustered in [false, true] {
+            let opts = if clustered {
+                FixOptions::large_document(4).clustered()
+            } else {
+                FixOptions::large_document(4)
+            };
+            let mut all = Collection::new();
+            for d in &docs {
+                all.add_xml(d).unwrap();
+            }
+            let fresh = FixIndex::build(&mut all, opts.clone());
+
+            let mut coll = Collection::new();
+            coll.add_xml(docs[0]).unwrap();
+            let mut inc = FixIndex::build(&mut coll, opts);
+            for d in &docs[1..] {
+                inc.insert_xml(&mut coll, d).unwrap();
+            }
+            let compacted = inc.compact();
+            assert_eq!(compacted.delta_len(), 0);
+            assert_eq!(compacted.compaction_stats().0, 1);
+            let a: Vec<_> = compacted.entries().collect();
+            let b: Vec<_> = fresh.entries().collect();
+            assert_eq!(a, b, "clustered={clustered}: keys/values must match");
+            assert_eq!(
+                compacted.clustered_records(),
+                fresh.clustered_records(),
+                "clustered={clustered}: heap records must match"
+            );
+            let q = "//article[author]/ee";
+            assert_eq!(
+                compacted.query(&coll, q).unwrap(),
+                fresh.query(&all, q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn inserts_resume_after_compaction() {
+        // Compaction drops the construction state; the next insert resumes
+        // with a cold memo and must still assign rebuild-identical keys.
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b/><c/></a>").unwrap();
+        let mut idx = FixIndex::build(&mut coll, FixOptions::collection());
+        idx.insert_xml(&mut coll, "<a><b/></a>").unwrap();
+        let mut idx = idx.compact();
+        idx.insert_xml(&mut coll, "<a><b/><c/></a>").unwrap();
+        assert_eq!(idx.entry_count(), 3);
+        assert_eq!(idx.delta_len(), 1);
+
+        let mut all = Collection::new();
+        for d in ["<a><b/><c/></a>", "<a><b/></a>", "<a><b/><c/></a>"] {
+            all.add_xml(d).unwrap();
+        }
+        let fresh = FixIndex::build(&mut all, FixOptions::collection());
+        let a: Vec<_> = idx.entries().collect();
+        let b: Vec<_> = fresh.entries().collect();
+        assert_eq!(a, b, "resumed insert diverged from a fresh build");
+        // Stats levels never shrink across the resume.
+        assert!(idx.stats().distinct_patterns >= fresh.stats().distinct_patterns);
     }
 
     #[test]

@@ -133,9 +133,12 @@ impl FixDatabase {
     }
 
     /// Adds one XML document. Before [`FixDatabase::build`] this only
-    /// grows the collection; afterwards the document is also indexed
-    /// incrementally (unclustered in-memory indexes only — clustered or
-    /// loaded indexes return [`FixError::ImmutableIndex`]).
+    /// grows the collection; afterwards the document is feature-extracted
+    /// into the index's delta run (every index kind — clustered, loaded,
+    /// compacted — accepts inserts), and when the delta has grown past
+    /// [`FixOptions::compact_ratio`] × the base tree it is folded into
+    /// the base automatically (the explicit trigger is
+    /// [`FixDatabase::compact`]).
     pub fn add_xml(&mut self, xml: &str) -> Result<DocId, FixError> {
         match &mut self.index {
             None => {
@@ -144,13 +147,55 @@ impl FixDatabase {
                 Ok(coll.add_xml_limited(xml, depth)?)
             }
             Some(idx) => {
-                let idx = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
+                let idx_mut = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
                 let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
-                match idx.insert_xml(coll, xml)? {
-                    Some(id) => Ok(id),
-                    None => Err(FixError::ImmutableIndex),
+                let id = idx_mut.insert_xml(coll, xml)?;
+                let ratio = idx_mut.options().compact_ratio;
+                let (base, delta) = (idx_mut.btree_stats().entries, idx_mut.delta_len());
+                if ratio > 0.0 && delta > 0 && delta as f64 >= ratio * base as f64 {
+                    let start = Instant::now();
+                    let compacted = idx_mut.compact();
+                    *idx = Arc::new(compacted);
+                    self.note_compaction(start.elapsed());
                 }
+                self.report_delta_gauges();
+                Ok(id)
             }
+        }
+    }
+
+    /// Folds the index's delta run into its base B+-tree. Like
+    /// [`FixDatabase::vacuum`], this *replaces* the snapshot rather than
+    /// mutating it, so it works with live sessions — they keep serving the
+    /// pre-compaction snapshot (which answers identically; compaction
+    /// changes layout, not results).
+    pub fn compact(&mut self) -> Result<(), FixError> {
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        let start = Instant::now();
+        let compacted = idx.compact();
+        self.index = Some(Arc::new(compacted));
+        self.note_compaction(start.elapsed());
+        self.report_delta_gauges();
+        Ok(())
+    }
+
+    /// Records one compaction in the registry.
+    fn note_compaction(&self, wall: std::time::Duration) {
+        self.metrics.counter(names::DELTA_COMPACTIONS).add(1);
+        self.metrics
+            .histogram(names::DELTA_COMPACT_NS)
+            .record_duration(wall);
+    }
+
+    /// Refreshes the delta size gauges after a delta transition (insert
+    /// or compaction).
+    fn report_delta_gauges(&self) {
+        if let Some(idx) = self.index.as_deref() {
+            let d = idx.delta_stats();
+            self.metrics
+                .gauge(names::DELTA_ENTRIES)
+                .set(d.entries as i64);
+            self.metrics.gauge(names::DELTA_BYTES).set(d.bytes as i64);
         }
     }
 
@@ -309,9 +354,15 @@ impl FixDatabase {
             names::PERSIST_BYTES_WRITTEN,
             names::PERSIST_BYTES_READ,
             names::PERSIST_CORRUPTION_DETECTED,
+            names::DELTA_SCANS,
+            names::DELTA_SCAN_ENTRIES,
+            names::DELTA_SCAN_NS,
+            names::DELTA_CANDIDATES_TOTAL,
+            names::DELTA_COMPACTIONS,
         ] {
             reg.counter(c);
         }
+        reg.histogram(names::DELTA_COMPACT_NS);
         for g in [
             "fix_plan_cache_hits",
             "fix_plan_cache_misses",
@@ -326,6 +377,23 @@ impl FixDatabase {
             idx.btree_stats().report(reg);
             idx.scan_stats().report(reg);
             reg.gauge("fix_index_entries").set(idx.entry_count() as i64);
+            let d = idx.delta_stats();
+            reg.gauge(names::DELTA_ENTRIES).set(d.entries as i64);
+            reg.gauge(names::DELTA_BYTES).set(d.bytes as i64);
+            // Scan totals are cumulative on the index (compaction carries
+            // them forward), so bump the counters up to the level rather
+            // than adding — re-reporting stays idempotent.
+            for (name, target) in [
+                (names::DELTA_SCANS, d.scans),
+                (names::DELTA_SCAN_ENTRIES, d.scanned_entries),
+                (names::DELTA_SCAN_NS, d.scan_ns),
+            ] {
+                let c = reg.counter(name);
+                c.add(target.saturating_sub(c.value()));
+            }
+        } else {
+            reg.gauge(names::DELTA_ENTRIES);
+            reg.gauge(names::DELTA_BYTES);
         }
     }
 
@@ -389,16 +457,60 @@ mod tests {
     }
 
     #[test]
-    fn clustered_refuses_post_build_adds() {
+    fn clustered_absorbs_post_build_adds() {
         let mut db = FixDatabase::in_memory();
         db.add_xml("<a><b/></a>").unwrap();
-        db.build(FixOptions::builder().clustered(true).build())
+        db.build(
+            FixOptions::builder()
+                .clustered(true)
+                .compact_ratio(0.0)
+                .build(),
+        )
+        .unwrap();
+        db.add_xml("<a><c/></a>").unwrap();
+        assert_eq!(db.len(), 2);
+        // The new document is served from the delta run (no compaction:
+        // ratio 0.0 disables the automatic trigger).
+        assert_eq!(db.index().unwrap().delta_len(), 1);
+        assert_eq!(db.query("//a/b").unwrap().results.len(), 1);
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_ratio() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection()).unwrap();
+        // Default ratio 0.5 with base=1: the first insert (delta 1 >=
+        // 0.5 * 1) folds immediately.
+        db.add_xml("<a><c/></a>").unwrap();
+        let idx = db.index().unwrap();
+        assert_eq!(idx.delta_len(), 0, "delta folded into the base");
+        assert_eq!(idx.compaction_stats().0, 1);
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.counter(names::DELTA_COMPACTIONS), Some(1));
+    }
+
+    #[test]
+    fn explicit_compact_through_facade() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection().with_compact_ratio(0.0))
             .unwrap();
         assert!(matches!(
-            db.add_xml("<a><c/></a>"),
-            Err(FixError::ImmutableIndex)
+            FixDatabase::in_memory().compact(),
+            Err(FixError::NoIndex)
         ));
-        assert_eq!(db.len(), 1, "collection untouched on refusal");
+        db.add_xml("<a><c/></a>").unwrap();
+        assert_eq!(db.index().unwrap().delta_len(), 1);
+        // A live session pins the old snapshot but does not block compact.
+        let session = db.session().unwrap();
+        db.compact().unwrap();
+        assert_eq!(db.index().unwrap().delta_len(), 0);
+        assert_eq!(db.index().unwrap().compaction_stats().0, 1);
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+        assert_eq!(session.query("//a/c").unwrap().results.len(), 1);
     }
 
     #[test]
@@ -418,9 +530,11 @@ mod tests {
         assert_eq!(db.len(), 1);
         assert_eq!(db.path(), Some(path.as_path()));
         assert_eq!(db.query("//article[author]/ee").unwrap().results.len(), 1);
-        // Loaded indexes are immutable; adds surface the typed error.
+        // Loaded indexes accept adds too (incremental resume, cold memo).
         let mut db = db;
-        assert!(matches!(db.add_xml("<x/>"), Err(FixError::ImmutableIndex)));
+        db.add_xml("<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        assert_eq!(db.query("//article[author]/ee").unwrap().results.len(), 2);
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,222 @@
+//! The delta index: entries accepted since the last build or compaction.
+//!
+//! `add_xml` after `build()` feature-extracts just the new document and
+//! appends its entries here instead of splitting B+-tree pages. Scans
+//! merge the base tree and the delta run into one key-ordered candidate
+//! stream (see `FixIndex::scan_plan`), so query answers are identical to
+//! a monolithic index at all times; compaction folds the delta back into
+//! the base tree when it grows past `FixOptions::compact_ratio`.
+//!
+//! Clustered indexes store each delta entry's truncated-subtree copy
+//! alongside the run (`copies`), in the same record format as the base
+//! copy heap (8-byte pointer prefix + serialized XML), so compaction can
+//! move records verbatim and refinement never touches primary storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fix_btree::SortedRun;
+
+use crate::key::{EntryPtr, KEY_LEN};
+
+/// Cumulative delta counters for observability: size levels plus the
+/// scan work charged to the delta side of merged scans.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Entries currently in the delta run.
+    pub entries: u64,
+    /// Resident bytes (run plus clustered copies).
+    pub bytes: u64,
+    /// Delta-side scans performed since build/load.
+    pub scans: u64,
+    /// Entries yielded by those scans.
+    pub scanned_entries: u64,
+    /// Wall time spent scanning the delta, in nanoseconds.
+    pub scan_ns: u64,
+}
+
+/// A key-sorted run of post-build index entries, with (for clustered
+/// indexes) their subtree copies.
+#[derive(Debug, Default)]
+pub(crate) struct DeltaIndex {
+    run: SortedRun,
+    /// Clustered copy records, indexed by the run's values. `None` for
+    /// unclustered indexes, whose values are encoded [`EntryPtr`]s.
+    copies: Option<Vec<Vec<u8>>>,
+    scans: AtomicU64,
+    scan_entries: AtomicU64,
+    scan_ns: AtomicU64,
+}
+
+impl DeltaIndex {
+    /// An empty delta; `clustered` selects whether copy records are kept.
+    pub(crate) fn new(clustered: bool) -> Self {
+        Self {
+            run: SortedRun::new(KEY_LEN),
+            copies: clustered.then(Vec::new),
+            ..Self::default()
+        }
+    }
+
+    /// Rebuilds a delta from persisted parts. `entries` must already be in
+    /// key order (they are written in key order).
+    pub(crate) fn from_sorted(
+        entries: impl IntoIterator<Item = (Vec<u8>, u64)>,
+        copies: Option<Vec<Vec<u8>>>,
+    ) -> Self {
+        let mut run = SortedRun::new(KEY_LEN);
+        for (k, v) in entries {
+            run.insert(&k, v);
+        }
+        Self {
+            run,
+            copies,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn is_clustered(&self) -> bool {
+        self.copies.is_some()
+    }
+
+    pub(crate) fn len(&self) -> u64 {
+        self.run.len() as u64
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.run.is_empty()
+    }
+
+    /// Resident size: the run plus any clustered copy records.
+    pub(crate) fn size_bytes(&self) -> u64 {
+        let copies: usize = self.copies.iter().flatten().map(|r| r.len()).sum::<usize>();
+        (self.run.size_bytes() + copies) as u64
+    }
+
+    /// Inserts an unclustered entry (value = encoded [`EntryPtr`]).
+    pub(crate) fn push(&mut self, key: &[u8], value: u64) {
+        debug_assert!(self.copies.is_none(), "clustered deltas take records");
+        self.run.insert(key, value);
+    }
+
+    /// Inserts a clustered entry with its copy record (8-byte pointer
+    /// prefix + serialized subtree, the base heap's record format).
+    pub(crate) fn push_record(&mut self, key: &[u8], record: Vec<u8>) {
+        let copies = self.copies.as_mut().expect("unclustered deltas take ptrs");
+        let value = copies.len() as u64;
+        copies.push(record);
+        self.run.insert(key, value);
+    }
+
+    /// All entries in key order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&[u8], u64)> + '_ {
+        self.run.iter()
+    }
+
+    /// Entries with `start <= key < end` (`BTree::range` semantics).
+    pub(crate) fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = (&'a [u8], u64)> + 'a {
+        self.run.range(start, end)
+    }
+
+    /// The copy record a clustered delta value resolves to.
+    pub(crate) fn record(&self, value: u64) -> &[u8] {
+        &self.copies.as_ref().expect("clustered delta")[value as usize]
+    }
+
+    /// Resolves a clustered delta value to its `(ptr, xml bytes)`, the
+    /// delta-side counterpart of `FixIndex::clustered_fetch`.
+    pub(crate) fn fetch(&self, value: u64) -> (EntryPtr, Vec<u8>) {
+        let record = self.record(value);
+        let ptr = EntryPtr::from_u64(u64::from_le_bytes(
+            record[0..8].try_into().expect("8-byte ptr prefix"),
+        ));
+        (ptr, record[8..].to_vec())
+    }
+
+    /// The copy records in key order (compaction and diagnostics).
+    pub(crate) fn copies(&self) -> Option<&[Vec<u8>]> {
+        self.copies.as_deref()
+    }
+
+    /// Charges one delta-side scan to the counters (`Relaxed`: the values
+    /// are monotone telemetry, never synchronization).
+    pub(crate) fn note_scan(&self, entries: u64, ns: u64) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.scan_entries.fetch_add(entries, Ordering::Relaxed);
+        self.scan_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Seeds the scan counters from a predecessor delta's snapshot, so
+    /// scan totals stay cumulative across compactions (size levels are
+    /// derived from the run and reset naturally).
+    pub(crate) fn carry_scan_history(&self, prior: &DeltaStats) {
+        self.scans.store(prior.scans, Ordering::Relaxed);
+        self.scan_entries
+            .store(prior.scanned_entries, Ordering::Relaxed);
+        self.scan_ns.store(prior.scan_ns, Ordering::Relaxed);
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub(crate) fn stats(&self) -> DeltaStats {
+        DeltaStats {
+            entries: self.len(),
+            bytes: self.size_bytes(),
+            scans: self.scans.load(Ordering::Relaxed),
+            scanned_entries: self.scan_entries.load(Ordering::Relaxed),
+            scan_ns: self.scan_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collection::DocId;
+
+    #[test]
+    fn unclustered_entries_round_trip() {
+        let mut d = DeltaIndex::new(false);
+        assert!(d.is_empty());
+        let ptr = EntryPtr {
+            doc: DocId(3),
+            node: 7,
+        };
+        d.push(&[1u8; KEY_LEN], ptr.to_u64());
+        d.push(&[0u8; KEY_LEN], 0);
+        assert_eq!(d.len(), 2);
+        let vals: Vec<u64> = d.iter().map(|(_, v)| v).collect();
+        assert_eq!(vals, vec![0, ptr.to_u64()]);
+        assert!(!d.is_clustered());
+        assert!(d.size_bytes() > 0);
+    }
+
+    #[test]
+    fn clustered_records_resolve() {
+        let mut d = DeltaIndex::new(true);
+        let ptr = EntryPtr {
+            doc: DocId(1),
+            node: 0,
+        };
+        let mut record = ptr.to_u64().to_le_bytes().to_vec();
+        record.extend_from_slice(b"<a/>");
+        d.push_record(&[2u8; KEY_LEN], record);
+        let (p, xml) = d.fetch(0);
+        assert_eq!(p, ptr);
+        assert_eq!(xml, b"<a/>");
+        assert_eq!(d.copies().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scan_counters_accumulate() {
+        let d = DeltaIndex::new(false);
+        d.note_scan(5, 100);
+        d.note_scan(2, 50);
+        let s = d.stats();
+        assert_eq!(s.scans, 2);
+        assert_eq!(s.scanned_entries, 7);
+        assert_eq!(s.scan_ns, 150);
+    }
+}

@@ -47,10 +47,6 @@ pub enum FixError {
     /// database never bound to a file (use
     /// [`FixDatabase::save_as`](crate::FixDatabase::save_as) first).
     NoPath,
-    /// The index cannot absorb updates (clustered indexes store their
-    /// copies in key order; indexes loaded from disk drop construction
-    /// state). Rebuild with [`FixDatabase::build`](crate::FixDatabase::build).
-    ImmutableIndex,
     /// A mutating operation was attempted while
     /// [`QuerySession`](crate::QuerySession) snapshots are still alive.
     /// Drop the sessions and retry. (`vacuum` is exempt: it swaps in a
@@ -77,9 +73,6 @@ impl fmt::Display for FixError {
             FixError::NoIndex => write!(f, "no index: call build() or open an existing database"),
             FixError::NoPath => {
                 write!(f, "database has no bound path: use save_as() or open()")
-            }
-            FixError::ImmutableIndex => {
-                write!(f, "this index cannot absorb updates; rebuild to modify")
             }
             FixError::SnapshotInUse => write!(
                 f,

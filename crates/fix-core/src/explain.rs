@@ -39,8 +39,11 @@ pub struct Explain {
     /// `Some(depth)` when the index's depth limit does not cover the top
     /// block.
     pub not_covered: Option<(usize, usize)>,
-    /// Total index entries (`ent`).
+    /// Total index entries (`ent`): base tree plus delta run.
     pub entries: u64,
+    /// Entries currently in the delta run (0 with no post-build inserts —
+    /// scans then touch only the base tree).
+    pub delta_entries: u64,
 }
 
 impl fmt::Display for Explain {
@@ -82,7 +85,17 @@ impl fmt::Display for Explain {
                 }
             }
         }
-        writeln!(f, "index entries: {}", self.entries)
+        if self.delta_entries > 0 {
+            writeln!(
+                f,
+                "index entries: {} (base {} + delta {}, merged scan)",
+                self.entries,
+                self.entries - self.delta_entries,
+                self.delta_entries
+            )
+        } else {
+            writeln!(f, "index entries: {}", self.entries)
+        }
     }
 }
 
@@ -104,11 +117,22 @@ pub struct ExplainAnalyze {
 impl fmt::Display for ExplainAnalyze {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}{}", self.explain, self.trace)?;
-        writeln!(
-            f,
-            "candidates {}  producing {}  results {}",
-            self.metrics.candidates, self.metrics.producing, self.results
-        )?;
+        if self.metrics.delta_candidates > 0 {
+            writeln!(
+                f,
+                "candidates {} ({} from delta)  producing {}  results {}",
+                self.metrics.candidates,
+                self.metrics.delta_candidates,
+                self.metrics.producing,
+                self.results
+            )?;
+        } else {
+            writeln!(
+                f,
+                "candidates {}  producing {}  results {}",
+                self.metrics.candidates, self.metrics.producing, self.results
+            )?;
+        }
         writeln!(
             f,
             "sel {:.4}  pp {:.4}  fpr {:.4}",
@@ -129,6 +153,7 @@ impl FixIndex {
             blocks: Vec::new(),
             not_covered: None,
             entries: self.entry_count(),
+            delta_entries: self.delta_len(),
         };
         for (i, block) in blocks.iter().enumerate() {
             let anchored =
@@ -263,6 +288,20 @@ mod tests {
             idx.explain_analyze(&coll, "//s/s/np/pp/s/np", 1),
             Err(QueryError::NotCovered { .. })
         ));
+    }
+
+    #[test]
+    fn delta_entries_and_candidates_are_surfaced() {
+        let mut coll = Collection::new();
+        coll.add_xml("<a><b/></a>").unwrap();
+        let mut idx = FixIndex::build(&mut coll, FixOptions::collection().with_compact_ratio(0.0));
+        idx.insert_xml(&mut coll, "<a><b/></a>").unwrap();
+        let e = idx.explain(&coll, &parse_path("//a/b").unwrap()).unwrap();
+        assert_eq!(e.delta_entries, 1);
+        assert!(format!("{e}").contains("delta 1"), "{e}");
+        let ea = idx.explain_analyze(&coll, "//a/b", 1).unwrap();
+        assert_eq!(ea.metrics.delta_candidates, 1);
+        assert!(format!("{ea}").contains("(1 from delta)"), "{ea}");
     }
 
     #[test]

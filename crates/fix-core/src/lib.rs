@@ -26,6 +26,7 @@
 pub mod builder;
 pub mod collection;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod estimate;
 pub mod explain;
@@ -42,6 +43,7 @@ pub mod values;
 pub use builder::{BuildStats, FixIndex};
 pub use collection::{Collection, DocId};
 pub use database::FixDatabase;
+pub use delta::DeltaStats;
 pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
 pub use explain::{BlockExplain, Explain, ExplainAnalyze};
@@ -54,7 +56,7 @@ pub use persist::{
     SectionStatus, VerifyReport,
 };
 pub use plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
-pub use query::{QueryError, QueryHits, QueryOutcome, QueryPlan};
+pub use query::{Candidate, QueryError, QueryHits, QueryOutcome, QueryPlan};
 pub use session::QuerySession;
 pub use spatial::SpatialIndex;
 pub use values::ValueHasher;

@@ -16,13 +16,16 @@ use fix_xpath::PathExpr;
 
 use crate::collection::Collection;
 
-/// The three counters behind the Section 6.2 metrics.
+/// The counters behind the Section 6.2 metrics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
-    /// `ent`: total entries in the index.
+    /// `ent`: total entries in the index (base tree plus delta run).
     pub entries: u64,
     /// `cdt`: entries returned as candidates.
     pub candidates: u64,
+    /// Candidates contributed by the delta run (`≤ candidates`; 0 on an
+    /// index with no post-build inserts).
+    pub delta_candidates: u64,
     /// `rst`: entries whose refinement produced at least one result.
     pub producing: u64,
 }
@@ -57,6 +60,9 @@ impl Reportable for Metrics {
         registry
             .counter("fix_refine_candidates_total")
             .add(self.candidates);
+        registry
+            .counter(fix_obs::names::DELTA_CANDIDATES_TOTAL)
+            .add(self.delta_candidates);
         registry
             .counter("fix_refine_producing_total")
             .add(self.producing);
@@ -143,6 +149,7 @@ mod tests {
         let m = Metrics {
             entries: 1000,
             candidates: 100,
+            delta_candidates: 0,
             producing: 80,
         };
         assert!((m.sel() - 0.92).abs() < 1e-12);
@@ -159,6 +166,7 @@ mod tests {
         let perfect = Metrics {
             entries: 10,
             candidates: 3,
+            delta_candidates: 1,
             producing: 3,
         };
         assert_eq!(perfect.fpr(), 0.0);

@@ -71,6 +71,14 @@ pub struct FixOptions {
     /// with a `ParseError` instead of growing every downstream stack
     /// without bound.
     pub max_parse_depth: usize,
+    /// Delta-to-base size ratio at which `FixDatabase::add_xml`
+    /// automatically compacts the delta run into the base B+-tree
+    /// (`delta_entries ≥ compact_ratio × base_entries`; an empty base
+    /// compacts at any nonzero delta). `0.0` disables auto-compaction —
+    /// the delta grows until an explicit `compact()`. Not persisted, like
+    /// the thread knobs: it governs this process's mutation policy, not
+    /// the on-disk index.
+    pub compact_ratio: f64,
 }
 
 impl FixOptions {
@@ -90,6 +98,7 @@ impl FixOptions {
             threads: 1,
             query_threads: 1,
             max_parse_depth: fix_xml::DEFAULT_MAX_DEPTH,
+            compact_ratio: 0.5,
         }
     }
 
@@ -147,6 +156,13 @@ impl FixOptions {
     pub fn with_max_parse_depth(mut self, max_depth: usize) -> Self {
         assert!(max_depth > 0, "the parse depth limit must be positive");
         self.max_parse_depth = max_depth;
+        self
+    }
+
+    /// Sets the auto-compaction trigger ratio (`0.0` disables).
+    pub fn with_compact_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 0.0, "the compaction ratio cannot be negative");
+        self.compact_ratio = ratio;
         self
     }
 
@@ -281,6 +297,13 @@ impl FixOptionsBuilder {
         self
     }
 
+    /// Auto-compaction trigger ratio (`0.0` disables).
+    pub fn compact_ratio(mut self, ratio: f64) -> Self {
+        assert!(ratio >= 0.0, "the compaction ratio cannot be negative");
+        self.opts.compact_ratio = ratio;
+        self
+    }
+
     /// Refinement operator.
     pub fn refine(mut self, op: RefineOp) -> Self {
         self.opts.refine = op;
@@ -329,6 +352,7 @@ mod tests {
             .literal_gen_subpattern(true)
             .max_edges(123)
             .max_parse_depth(99)
+            .compact_ratio(0.25)
             .refine(RefineOp::Twig)
             .build();
         assert_eq!(o.depth_limit, 4);
@@ -343,6 +367,7 @@ mod tests {
         assert!(o.literal_gen_subpattern);
         assert_eq!(o.extractor.max_edges, 123);
         assert_eq!(o.max_parse_depth, 99);
+        assert_eq!(o.compact_ratio, 0.25);
         assert_eq!(o.refine, RefineOp::Twig);
     }
 

@@ -4,12 +4,15 @@
 //!
 //! # Format v3 (current)
 //!
-//! A v3 file is a magic header, seven *frames* in fixed order, and a
-//! footer (see `DESIGN.md` §12):
+//! A v3 file is a magic header, seven mandatory *frames* in fixed order,
+//! an optional delta frame (id 7, present only when the index carries a
+//! non-empty delta run — see `delta.rs`), and a footer (see `DESIGN.md`
+//! §12):
 //!
 //! ```text
 //! "FIXDB\0\x03\0"
 //! frame × 7:  id:u8  len:u64le  payload[len]  crc32(payload):u32le
+//! [frame 7:   same framing, delta run + clustered copies]
 //! footer:     0xFF   offset:u64le  crc32(file[..offset]):u32le
 //! ```
 //!
@@ -48,6 +51,7 @@ use fix_xml::LabelId;
 
 use crate::builder::{BuildStats, FixIndex};
 use crate::collection::{Collection, DocId};
+use crate::delta::DeltaIndex;
 use crate::error::FixError;
 use crate::key::KEY_LEN;
 use crate::options::{FixOptions, RefineOp};
@@ -70,7 +74,11 @@ const MAX_DEPTH_LIMIT: usize = 1 << 16;
 const MAX_POOL_PAGES: usize = 1 << 28;
 const MAX_MAX_EDGES: usize = 1 << 28;
 
-/// The seven payload-bearing sections, in file order.
+/// The payload-bearing sections. The first seven are mandatory and appear
+/// in file order; [`Section::Delta`] is an *optional* trailing frame,
+/// written only when the index carries a non-empty delta run — so files
+/// saved without post-build inserts stay byte-identical to the original
+/// v3 layout, and old readers that stop after seven frames never see it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Section {
     Options = 0,
@@ -80,6 +88,7 @@ enum Section {
     BTree = 4,
     Heap = 5,
     Tombstones = 6,
+    Delta = 7,
 }
 
 impl Section {
@@ -106,6 +115,7 @@ impl Section {
             Section::BTree => "btree",
             Section::Heap => "heap",
             Section::Tombstones => "tombstones",
+            Section::Delta => "delta",
         }
     }
 }
@@ -216,6 +226,25 @@ fn encode_section(s: Section, coll: &Collection, idx: &FixIndex, v3: bool) -> Ve
             put_u32(&mut out, removed.len() as u32);
             for d in removed {
                 put_u32(&mut out, d);
+            }
+        }
+        Section::Delta => {
+            // Delta run entries in key order, then (for clustered
+            // indexes) the copy records the run's values index into;
+            // u64::MAX marks "no copy records" (unclustered).
+            put_u64(&mut out, idx.delta.len());
+            for (k, v) in idx.delta.iter() {
+                out.extend_from_slice(k);
+                put_u64(&mut out, v);
+            }
+            match idx.delta.copies() {
+                Some(copies) => {
+                    put_u64(&mut out, copies.len() as u64);
+                    for record in copies {
+                        put_bytes(&mut out, record);
+                    }
+                }
+                None => put_u64(&mut out, u64::MAX),
             }
         }
     }
@@ -403,6 +432,39 @@ fn decode_tombstones(r: &mut SliceReader) -> Result<Vec<u32>, String> {
     Ok(removed)
 }
 
+/// Decoded delta content: key-ordered run entries plus (for clustered
+/// indexes) the copy records the values index into.
+type DeltaParts = (Vec<(Vec<u8>, u64)>, Option<Vec<Vec<u8>>>);
+
+fn decode_delta(r: &mut SliceReader) -> Result<DeltaParts, String> {
+    let n = r.u64()?;
+    let mut entries = Vec::new();
+    for _ in 0..n {
+        let k = r.take(KEY_LEN)?.to_vec();
+        let v = r.u64()?;
+        entries.push((k, v));
+    }
+    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err("delta entries out of order".to_string());
+    }
+    let m = r.u64()?;
+    let copies = if m == u64::MAX {
+        None
+    } else {
+        let mut records = Vec::new();
+        for _ in 0..m {
+            records.push(r.bytes()?.to_vec());
+        }
+        Some(records)
+    };
+    if let Some(c) = &copies {
+        if entries.iter().any(|&(_, v)| v >= c.len() as u64) {
+            return Err("delta value points past the copy records".to_string());
+        }
+    }
+    Ok((entries, copies))
+}
+
 /// Runs a decoder over a whole payload, requiring full consumption.
 fn decode_whole<'a, T>(
     payload: &'a [u8],
@@ -435,6 +497,7 @@ fn decode_check(s: Section, payload: &[u8], v3: bool) -> Result<(), String> {
         Section::BTree => decode_whole(payload, decode_btree).map(drop),
         Section::Heap => decode_whole(payload, decode_heap).map(drop),
         Section::Tombstones => decode_whole(payload, decode_tombstones).map(drop),
+        Section::Delta => decode_whole(payload, decode_delta).map(drop),
     }
 }
 
@@ -448,6 +511,9 @@ struct Decoded {
     entries: Vec<(Vec<u8>, u64)>,
     heap: Option<Vec<Vec<u8>>>,
     tombstones: Vec<u32>,
+    /// The optional delta frame's content; `None` for files written
+    /// without one (v2, or v3 with an empty delta at save time).
+    delta: Option<DeltaParts>,
 }
 
 /// Materializes decoded content into a live collection + index.
@@ -486,8 +552,21 @@ fn assemble(d: Decoded) -> Result<(Collection, FixIndex), FixError> {
     });
     let btree = BTree::bulk_load(Arc::clone(&pool), KEY_LEN, d.entries);
 
+    let delta = match d.delta {
+        None => DeltaIndex::new(d.opts.clustered),
+        Some((entries, copies)) => {
+            if copies.is_some() != d.opts.clustered {
+                return Err(corrupt(
+                    "delta",
+                    "delta clustering disagrees with the options section",
+                ));
+            }
+            DeltaIndex::from_sorted(entries, copies)
+        }
+    };
+
     let stats = BuildStats {
-        entries: btree.len(),
+        entries: btree.len() + delta.len(),
         btree_bytes: btree.stats().size_bytes,
         clustered_bytes: clustered_heap
             .as_ref()
@@ -512,7 +591,10 @@ fn assemble(d: Decoded) -> Result<(Collection, FixIndex), FixError> {
             pool,
             stats,
             incremental: None,
+            delta,
             removed,
+            compactions: 0,
+            compact_ns: 0,
         },
     ))
 }
@@ -651,6 +733,17 @@ fn load_v3(data: &[u8]) -> Result<(Collection, FixIndex), FixError> {
         }
         payloads.push(fr.payload);
     }
+    // The delta frame is optional: peek for its id before the footer.
+    let delta = if data.get(walk.pos) == Some(&Section::Delta.id()) {
+        let s = Section::Delta;
+        let fr = walk.next(s).map_err(|d| corrupt(s.name(), d))?;
+        if !fr.crc_ok {
+            return Err(corrupt(s.name(), checksum_detail(&fr)));
+        }
+        Some(decode_payload(s, fr.payload, decode_delta)?)
+    } else {
+        None
+    };
     check_footer(data, walk.pos).map_err(|d| corrupt("footer", d))?;
 
     let d = Decoded {
@@ -661,6 +754,7 @@ fn load_v3(data: &[u8]) -> Result<(Collection, FixIndex), FixError> {
         entries: decode_payload(Section::BTree, payloads[4], decode_btree)?,
         heap: decode_payload(Section::Heap, payloads[5], decode_heap)?,
         tombstones: decode_payload(Section::Tombstones, payloads[6], decode_tombstones)?,
+        delta,
     };
     assemble(d)
 }
@@ -678,6 +772,7 @@ fn load_v2(body: &[u8]) -> Result<(Collection, FixIndex), FixError> {
         entries: decode_btree(&mut r).map_err(|d| corrupt("btree", d))?,
         heap: decode_heap(&mut r).map_err(|d| corrupt("heap", d))?,
         tombstones: decode_tombstones(&mut r).map_err(|d| corrupt("tombstones", d))?,
+        delta: None,
     };
     assemble(d)
 }
@@ -715,7 +810,13 @@ impl<W: Write> CrcWriter<W> {
 
 fn write_v3<W: Write>(w: &mut CrcWriter<W>, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
     w.put(MAGIC_V3)?;
-    for s in Section::ALL {
+    let mut sections: Vec<Section> = Section::ALL.to_vec();
+    // The delta frame is written only when there is delta content, so
+    // delta-free files stay byte-identical to the original v3 layout.
+    if !idx.delta.is_empty() {
+        sections.push(Section::Delta);
+    }
+    for s in sections {
         let payload = encode_section(s, coll, idx, true);
         w.put(&[s.id()])?;
         w.put(&(payload.len() as u64).to_le_bytes())?;
@@ -978,6 +1079,36 @@ fn verify_v3(data: &[u8]) -> VerifyReport {
             }
         }
     }
+    if !structural_failure && data.get(walk.pos) == Some(&Section::Delta.id()) {
+        let s = Section::Delta;
+        let offset = walk.pos as u64;
+        match walk.next(s) {
+            Err(d) => {
+                sections.push(SectionReport {
+                    section: s.name().to_string(),
+                    offset,
+                    len: 0,
+                    status: SectionStatus::Corrupt(d),
+                });
+                structural_failure = true;
+            }
+            Ok(fr) => {
+                let status = if !fr.crc_ok {
+                    SectionStatus::Corrupt(checksum_detail(&fr))
+                } else if let Err(d) = decode_check(s, fr.payload, true) {
+                    SectionStatus::Corrupt(d)
+                } else {
+                    SectionStatus::Ok
+                };
+                sections.push(SectionReport {
+                    section: s.name().to_string(),
+                    offset,
+                    len: fr.payload.len() as u64,
+                    status,
+                });
+            }
+        }
+    }
     if !structural_failure {
         let pos = walk.pos;
         let status = match check_footer(data, pos) {
@@ -1092,6 +1223,7 @@ fn salvage_scan_v3(data: &[u8]) -> SalvageScan {
     let mut docs = Vec::new();
     let mut tombstones = Vec::new();
     let mut walk = FrameWalk::new(data);
+    let mut structural_failure = false;
     for (i, s) in Section::ALL.into_iter().enumerate() {
         match walk.next(s) {
             Err(d) => {
@@ -1102,6 +1234,7 @@ fn salvage_scan_v3(data: &[u8]) -> SalvageScan {
                         rest.name()
                     ));
                 }
+                structural_failure = true;
                 break;
             }
             Ok(fr) if !fr.crc_ok => {
@@ -1126,6 +1259,14 @@ fn salvage_scan_v3(data: &[u8]) -> SalvageScan {
                 _ => {}
             },
         }
+    }
+    if !structural_failure && data.get(walk.pos) == Some(&Section::Delta.id()) {
+        // The delta frame is derived content — the documents it indexes
+        // are already in the documents section, and salvage rebuilds the
+        // whole index from those — so it is never carried over.
+        summary
+            .dropped
+            .push("delta: derived content, rebuilt from documents".to_string());
     }
     summary.options_recovered = opts.is_some();
     (
@@ -1471,6 +1612,132 @@ mod tests {
             &recovered,
             &["//article[author]/ee", "//author[phone][email]"],
         );
+    }
+
+    #[test]
+    fn delta_round_trips_and_stays_optional() {
+        for clustered in [false, true] {
+            let mut coll = sample_collection();
+            let mut opts = FixOptions::large_document(4).with_compact_ratio(0.0);
+            opts.clustered = clustered;
+            let mut idx = FixIndex::build(&mut coll, opts);
+            let path = temp(&format!("delta-{clustered}.fixdb"));
+
+            // Empty delta: the file carries no delta frame — byte-identical
+            // to the pre-delta v3 layout (8 verify rows: 7 sections+footer).
+            save_impl(&path, &coll, &idx).unwrap();
+            let report = verify_file(&path).unwrap();
+            assert!(report.is_ok(), "{report}");
+            assert_eq!(report.sections.len(), 8);
+            assert!(!report.sections.iter().any(|s| s.section == "delta"));
+
+            // Insert post-build: the save grows an optional delta frame.
+            idx.insert_xml(
+                &mut coll,
+                "<bib><book><author><phone/></author></book></bib>",
+            )
+            .unwrap();
+            idx.insert_xml(
+                &mut coll,
+                "<bib><article><author><email/></author><ee/></article></bib>",
+            )
+            .unwrap();
+            assert!(idx.delta_len() > 0);
+            save_impl(&path, &coll, &idx).unwrap();
+            let report = verify_file(&path).unwrap();
+            assert!(report.is_ok(), "{report}");
+            assert_eq!(report.sections.len(), 9, "7 sections + delta + footer");
+            assert!(report.sections.iter().any(|s| s.section == "delta"));
+
+            let loaded = load_impl(&path).unwrap();
+            assert_eq!(loaded.1.delta_len(), idx.delta_len());
+            assert_eq!(loaded.1.entry_count(), idx.entry_count());
+            let a: Vec<_> = idx.entries().collect();
+            let b: Vec<_> = loaded.1.entries().collect();
+            assert_eq!(a, b, "merged entry stream must survive the round trip");
+            if clustered {
+                assert_eq!(idx.clustered_records(), loaded.1.clustered_records());
+            }
+            same_outcomes(
+                &(coll, idx),
+                &loaded,
+                &["//article[author]/ee", "//author[email]"],
+            );
+        }
+    }
+
+    #[test]
+    fn delta_byte_flips_are_detected() {
+        let mut coll = sample_collection();
+        let mut idx = FixIndex::build(
+            &mut coll,
+            FixOptions::large_document(4).with_compact_ratio(0.0),
+        );
+        idx.insert_xml(
+            &mut coll,
+            "<bib><article><author><email/></author><ee/></article></bib>",
+        )
+        .unwrap();
+        let path = temp("delta-flip.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let good = std::fs::read(&path).unwrap();
+        for i in (0..good.len()).step_by(7) {
+            let mut bad = good.clone();
+            bad[i] ^= 0xFF;
+            match load_bytes(&bad) {
+                Err(FixError::Corrupt { .. }) => {}
+                Err(e) => panic!("flip at {i} produced a non-Corrupt error: {e}"),
+                Ok(_) => panic!("flip at byte {i} went undetected"),
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_treats_the_delta_as_derived() {
+        let mut coll = sample_collection();
+        let mut idx = FixIndex::build(
+            &mut coll,
+            FixOptions::large_document(4).with_compact_ratio(0.0),
+        );
+        idx.insert_xml(
+            &mut coll,
+            "<bib><article><author><email/></author><ee/></article></bib>",
+        )
+        .unwrap();
+        let src = temp("delta-salv-src.fixdb");
+        let dst = temp("delta-salv-dst.fixdb");
+        save_impl(&src, &coll, &idx).unwrap();
+        let good = std::fs::read(&src).unwrap();
+
+        // Corrupt the delta frame itself: load fails naming it; salvage
+        // recovers every document (the documents section holds them all)
+        // and rebuilds a compacted, delta-free index.
+        let mut walk = FrameWalk::new(&good);
+        for s in Section::ALL {
+            walk.next(s).unwrap();
+        }
+        let fr = walk.next(Section::Delta).unwrap();
+        let mut bad = good.clone();
+        bad[fr.offset + FRAME_HEADER_LEN + 2] ^= 0xFF;
+        std::fs::write(&src, &bad).unwrap();
+        assert!(matches!(
+            load_impl(&src),
+            Err(FixError::Corrupt { section, .. }) if section == "delta"
+        ));
+        let summary = salvage_file(&src, &dst).unwrap();
+        assert_eq!(summary.documents, 4, "post-build insert is recovered too");
+        let recovered = load_impl(&dst).unwrap();
+        assert_eq!(recovered.1.delta_len(), 0);
+        assert_eq!(recovered.1.entry_count(), idx.entry_count());
+        // Same answers; delta_candidates legitimately differs (the
+        // salvaged index folded everything into the base).
+        let q = "//article[author]/ee";
+        let ra = idx.query(&coll, q).unwrap();
+        let rb = recovered.1.query(&recovered.0, q).unwrap();
+        assert_eq!(ra.results, rb.results);
+        assert_eq!(ra.metrics.candidates, rb.metrics.candidates);
+        assert_eq!(ra.metrics.producing, rb.metrics.producing);
+        assert_eq!(rb.metrics.delta_candidates, 0);
     }
 
     #[test]

@@ -98,6 +98,21 @@ impl QueryOutcome {
     }
 }
 
+/// One scan candidate: a decoded entry key, the B-tree (or delta-run)
+/// value it maps to, and which of the two sorted sources produced it —
+/// refinement resolves delta values against the delta's copy store for
+/// clustered indexes, and the observability layer counts the delta's
+/// share of the scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The decoded index entry key.
+    pub key: IndexKey,
+    /// The value stored under the key.
+    pub value: u64,
+    /// `true` when the entry came from the delta run.
+    pub delta: bool,
+}
+
 /// A compiled query: the normalized path expression, its twig-block
 /// decomposition, and the precomputed pruning features — steps 1–3 of
 /// Algorithm 2, everything that depends only on the query string and the
@@ -280,10 +295,13 @@ impl FixIndex {
         ))
     }
 
-    /// Step 4 of Algorithm 2: range-scan the B-tree with a compiled plan's
-    /// features. Returns candidate `(entry key, B-tree value)` pairs in
-    /// key order.
-    pub fn scan_plan(&self, plan: &QueryPlan) -> Vec<(IndexKey, u64)> {
+    /// Step 4 of Algorithm 2: range-scan the B-tree — and, after inserts,
+    /// the delta run — with a compiled plan's features. The two sources
+    /// are each scanned in key order and merged on the raw key encoding
+    /// (entry sequence numbers make keys unique), so the returned
+    /// [`Candidate`] stream is byte-identical to the single scan a
+    /// just-compacted or freshly rebuilt index would produce.
+    pub fn scan_plan(&self, plan: &QueryPlan) -> Vec<Candidate> {
         let Some(top_feat) = &plan.top else {
             return Vec::new();
         };
@@ -291,29 +309,68 @@ impl FixIndex {
         // large-document mode always; collection mode when the query is
         // rooted at the document root.
         let anchored = self.opts.depth_limit > 0 || plan.blocks[0].steps[0].axis == Axis::Child;
-        let mut cands: Vec<(IndexKey, u64)> = if anchored {
+        let base: Vec<Candidate> = if anchored {
             self.btree
                 .range(
                     &IndexKey::scan_start(top_feat),
                     Some(&IndexKey::scan_end(top_feat)),
                 )
-                .map(|(k, v)| (IndexKey::decode(&k), v))
-                .filter(|(k, _)| self.entry_contains(k, top_feat, true))
+                .map(|(k, v)| Candidate {
+                    key: IndexKey::decode(&k),
+                    value: v,
+                    delta: false,
+                })
+                .filter(|c| self.entry_contains(&c.key, top_feat, true))
                 .collect()
         } else {
             // Un-anchored collection probe: the pattern can root anywhere
             // inside a document, so only the eigenvalue range prunes.
             self.btree
                 .iter()
-                .map(|(k, v)| (IndexKey::decode(&k), v))
-                .filter(|(k, _)| self.entry_contains(k, top_feat, false))
+                .map(|(k, v)| Candidate {
+                    key: IndexKey::decode(&k),
+                    value: v,
+                    delta: false,
+                })
+                .filter(|c| self.entry_contains(&c.key, top_feat, false))
                 .collect()
         };
+        let mut cands = if self.delta.is_empty() {
+            base
+        } else {
+            let t0 = Instant::now();
+            let map = |(k, v): (&[u8], u64)| Candidate {
+                key: IndexKey::decode(k),
+                value: v,
+                delta: true,
+            };
+            let side: Vec<Candidate> = if anchored {
+                self.delta
+                    .range(
+                        &IndexKey::scan_start(top_feat),
+                        Some(&IndexKey::scan_end(top_feat)),
+                    )
+                    .map(map)
+                    .filter(|c| self.entry_contains(&c.key, top_feat, true))
+                    .collect()
+            } else {
+                self.delta
+                    .iter()
+                    .map(map)
+                    .filter(|c| self.entry_contains(&c.key, top_feat, false))
+                    .collect()
+            };
+            self.delta.note_scan(
+                side.len() as u64,
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+            fix_exec::merge_sorted(base, side, |c: &Candidate| c.key.encode())
+        };
         // Tombstoned documents never appear as candidates. (Clustered
-        // values point into the copy heap; their document is resolved — and
-        // filtered — during refinement instead.)
+        // values point into the copy stores; their document is resolved —
+        // and filtered — during refinement instead.)
         if !self.removed.is_empty() && self.clustered.is_none() {
-            cands.retain(|&(_, v)| !self.removed.contains(&EntryPtr::from_u64(v).doc));
+            cands.retain(|c| !self.removed.contains(&EntryPtr::from_u64(c.value).doc));
         }
         for bf in &plan.rest {
             if cands.is_empty() {
@@ -323,20 +380,20 @@ impl FixIndex {
                 // A provably-empty rest block empties the whole conjunction.
                 return Vec::new();
             };
-            cands.retain(|(k, _)| self.entry_contains(k, bf, false));
+            cands.retain(|c| self.entry_contains(&c.key, bf, false));
         }
         cands
     }
 
-    /// The pruning phase alone: candidate `(entry key, B-tree value)`
-    /// pairs in key order. Exposed separately so the experiment harness can
-    /// measure pruning power without paying for refinement. Equivalent to
+    /// The pruning phase alone: [`Candidate`]s in key order. Exposed
+    /// separately so the experiment harness can measure pruning power
+    /// without paying for refinement. Equivalent to
     /// [`FixIndex::plan_path`] followed by [`FixIndex::scan_plan`].
     pub fn candidates(
         &self,
         coll: &Collection,
         path: &PathExpr,
-    ) -> Result<Vec<(IndexKey, u64)>, QueryError> {
+    ) -> Result<Vec<Candidate>, QueryError> {
         Ok(self.scan_plan(&self.plan_path(coll, path)?))
     }
 
@@ -464,7 +521,7 @@ impl FixIndex {
         &self,
         coll: &Collection,
         path: &PathExpr,
-        candidates: Vec<(IndexKey, u64)>,
+        candidates: Vec<Candidate>,
     ) -> QueryOutcome {
         self.refine_with_threads(coll, path, candidates, 1)
     }
@@ -479,7 +536,7 @@ impl FixIndex {
         &self,
         coll: &Collection,
         path: &PathExpr,
-        candidates: Vec<(IndexKey, u64)>,
+        candidates: Vec<Candidate>,
         threads: usize,
     ) -> QueryOutcome {
         self.refine_with_threads_timed(coll, path, candidates, threads)
@@ -493,11 +550,12 @@ impl FixIndex {
         &self,
         coll: &Collection,
         path: &PathExpr,
-        candidates: Vec<(IndexKey, u64)>,
+        candidates: Vec<Candidate>,
         threads: usize,
     ) -> (QueryOutcome, RefineTiming) {
         let start = Instant::now();
         let cdt = candidates.len() as u64;
+        let delta_cdt = candidates.iter().filter(|c| c.delta).count() as u64;
         let refiner = Refiner::new(
             &coll.labels,
             path,
@@ -544,8 +602,9 @@ impl FixIndex {
         let outcome = QueryOutcome {
             results,
             metrics: Metrics {
-                entries: self.btree.len(),
+                entries: self.entry_count(),
                 candidates: cdt,
+                delta_candidates: delta_cdt,
                 producing,
             },
         };
@@ -564,16 +623,21 @@ impl FixIndex {
         &self,
         coll: &Collection,
         refiner: &Refiner<'_>,
-        candidates: &[(IndexKey, u64)],
+        candidates: &[Candidate],
     ) -> (Vec<(DocId, NodeId)>, u64) {
         let mut producing = 0u64;
         let mut results: Vec<(DocId, NodeId)> = Vec::new();
-        for &(_, value) in candidates {
+        for &Candidate { value, delta, .. } in candidates {
             let ptr = if self.clustered.is_some() {
                 // Clustered: fetch the copy (sequential I/O — candidates
-                // arrive in key order) and recover the pointer.
-                let (ptr, _bytes) = self.clustered_fetch(value);
-                ptr
+                // arrive in key order) and recover the pointer. Delta
+                // values resolve against the delta's copy store instead of
+                // the base heap.
+                if delta {
+                    self.delta.fetch(value).0
+                } else {
+                    self.clustered_fetch(value).0
+                }
             } else {
                 EntryPtr::from_u64(value)
             };
@@ -619,12 +683,17 @@ impl FixIndex {
     pub fn hits<'a>(&'a self, coll: &'a Collection, plan: &QueryPlan) -> QueryHits<'a> {
         let candidates = self.scan_plan(plan);
         let cdt = candidates.len() as u64;
+        let delta_cdt = candidates.iter().filter(|c| c.delta).count() as u64;
         // Resolve pointers up front, in key order, so the clustered copy
         // heap still sees sequential I/O.
         let mut ptrs: Vec<EntryPtr> = Vec::with_capacity(candidates.len());
-        for (_, value) in candidates {
+        for Candidate { value, delta, .. } in candidates {
             let ptr = if self.clustered.is_some() {
-                self.clustered_fetch(value).0
+                if delta {
+                    self.delta.fetch(value).0
+                } else {
+                    self.clustered_fetch(value).0
+                }
             } else {
                 EntryPtr::from_u64(value)
             };
@@ -649,8 +718,9 @@ impl FixIndex {
             lookahead: None,
             buf: Vec::new().into_iter(),
             metrics: Metrics {
-                entries: self.btree.len(),
+                entries: self.entry_count(),
                 candidates: cdt,
+                delta_candidates: delta_cdt,
                 producing: 0,
             },
         }

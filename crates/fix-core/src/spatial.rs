@@ -150,7 +150,7 @@ mod tests {
             let path = parse_path(q).unwrap();
             let a = idx.candidates(&coll, &path).unwrap();
             let (b, _) = idx.candidates_spatial(&coll, &spatial, &path).unwrap();
-            let mut a_seq: Vec<u32> = a.iter().map(|(k, _)| k.seq).collect();
+            let mut a_seq: Vec<u32> = a.iter().map(|c| c.key.seq).collect();
             let mut b_seq: Vec<u32> = b.iter().map(|(k, _)| k.seq).collect();
             a_seq.sort_unstable();
             b_seq.sort_unstable();

@@ -13,6 +13,7 @@
 //! emitted by the corresponding generator, so those queries run verbatim.
 
 mod dblp;
+pub mod naive;
 pub mod queries;
 mod tcmd;
 mod treebank;

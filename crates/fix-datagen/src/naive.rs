@@ -1,0 +1,270 @@
+//! A deliberately naive path evaluator and document store — the ground
+//! truth for the differential test oracle (`tests/differential.rs`).
+//!
+//! This is an *independent* implementation of the query semantics: it
+//! shares only the XML arena ([`fix_xml`]) and the query AST
+//! ([`fix_xpath`]) with the indexed engine, and evaluates backwards —
+//! for every element it asks "does a chain of ancestors witness the
+//! spine?" via an explicit parent map — where the engine's refinement
+//! operator navigates forwards set-at-a-time. Agreement between the two
+//! is therefore evidence about the semantics, not about a shared code
+//! path. No index, no pruning, no candidate sets: every query walks
+//! every node of every live document.
+
+use fix_xml::{parse_document, Document, LabelTable, NodeId, ParseError};
+use fix_xpath::{parse_path, Axis, PathExpr, Predicate, Step};
+
+/// One stored document: its arena, a private label table, and a liveness
+/// flag (removal tombstones the slot; ids are never reused, mirroring
+/// the engine's `DocId` discipline).
+struct NaiveDoc {
+    doc: Document,
+    labels: LabelTable,
+    live: bool,
+}
+
+/// An unindexed document store answering the same queries as
+/// `FixDatabase`, by brute force.
+#[derive(Default)]
+pub struct NaiveStore {
+    docs: Vec<NaiveDoc>,
+}
+
+impl NaiveStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parses and stores a document; the returned id is the slot index
+    /// (dense, never reused).
+    pub fn add_xml(&mut self, xml: &str) -> Result<u32, ParseError> {
+        let mut labels = LabelTable::new();
+        let doc = parse_document(xml, &mut labels)?;
+        self.docs.push(NaiveDoc {
+            doc,
+            labels,
+            live: true,
+        });
+        Ok((self.docs.len() - 1) as u32)
+    }
+
+    /// Tombstones a document. Returns `false` if the id is unknown or
+    /// already removed.
+    pub fn remove(&mut self, doc: u32) -> bool {
+        match self.docs.get_mut(doc as usize) {
+            Some(d) if d.live => {
+                d.live = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live (non-removed) documents.
+    pub fn live_docs(&self) -> usize {
+        self.docs.iter().filter(|d| d.live).count()
+    }
+
+    /// Evaluates `path` over every live document, returning
+    /// `(doc, node)` pairs sorted by document id then preorder rank —
+    /// the same order the indexed engine reports.
+    pub fn query(&self, path: &PathExpr) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (id, d) in self.docs.iter().enumerate() {
+            if !d.live {
+                continue;
+            }
+            for n in eval_naive(&d.doc, &d.labels, path) {
+                out.push((id as u32, n.0));
+            }
+        }
+        out
+    }
+
+    /// [`NaiveStore::query`] from query text.
+    pub fn query_str(&self, query: &str) -> Result<Vec<(u32, u32)>, fix_xpath::XPathError> {
+        Ok(self.query(&parse_path(query)?))
+    }
+}
+
+/// Evaluates `path` over one document: the nodes matched by the last
+/// step of the main spine, in preorder, each reported once.
+pub fn eval_naive(doc: &Document, labels: &LabelTable, path: &PathExpr) -> Vec<NodeId> {
+    if path.steps.is_empty() {
+        return Vec::new();
+    }
+    let parents = parent_map(doc);
+    // Preorder scan keeps the result sorted and duplicate-free without a
+    // later sort/dedup pass.
+    (0..doc.len() as u32)
+        .map(NodeId)
+        .filter(|&n| doc.label(n).is_some())
+        .filter(|&n| spine_ends_at(doc, labels, &parents, &path.steps, path.steps.len() - 1, n))
+        .collect()
+}
+
+/// Parent of every node (`None` for the root), derived from the child
+/// iterator alone.
+fn parent_map(doc: &Document) -> Vec<Option<NodeId>> {
+    let mut parents = vec![None; doc.len()];
+    for n in doc.descendants_or_self(doc.root()) {
+        for c in doc.children(n) {
+            parents[c.index()] = Some(n);
+        }
+    }
+    parents
+}
+
+/// Does some chain `n₀, …, nᵢ = n` witness `steps[..=i]`? Checks the
+/// current step at `n`, then recurses up through the parent map: a `/`
+/// axis pins the predecessor to the parent, a `//` axis tries every
+/// proper ancestor. Step 0 grounds the chain: `/name` must sit at the
+/// root, `//name` anywhere.
+fn spine_ends_at(
+    doc: &Document,
+    labels: &LabelTable,
+    parents: &[Option<NodeId>],
+    steps: &[Step],
+    i: usize,
+    n: NodeId,
+) -> bool {
+    let step = &steps[i];
+    if labels.lookup(&step.name) != doc.label(n) || doc.label(n).is_none() {
+        return false;
+    }
+    if !step.predicates.iter().all(|p| holds(doc, labels, n, p)) {
+        return false;
+    }
+    if i == 0 {
+        return match step.axis {
+            Axis::Child => n == doc.root(),
+            Axis::Descendant => true,
+        };
+    }
+    match step.axis {
+        Axis::Child => match parents[n.index()] {
+            Some(p) => spine_ends_at(doc, labels, parents, steps, i - 1, p),
+            None => false,
+        },
+        Axis::Descendant => {
+            let mut a = parents[n.index()];
+            while let Some(p) = a {
+                if spine_ends_at(doc, labels, parents, steps, i - 1, p) {
+                    return true;
+                }
+                a = parents[p.index()];
+            }
+            false
+        }
+    }
+}
+
+/// Existence of a predicate path (with optional trailing value test)
+/// below `n`.
+fn holds(doc: &Document, labels: &LabelTable, n: NodeId, pred: &Predicate) -> bool {
+    descend(doc, labels, n, &pred.path.steps, pred.value.as_deref())
+}
+
+/// Walks one predicate step at a time below `from`; the value test (if
+/// any) applies to matches of the final step.
+fn descend(
+    doc: &Document,
+    labels: &LabelTable,
+    from: NodeId,
+    steps: &[Step],
+    value: Option<&str>,
+) -> bool {
+    let Some((step, rest)) = steps.split_first() else {
+        return true;
+    };
+    let within: Vec<NodeId> = match step.axis {
+        Axis::Child => doc.children(from).collect(),
+        Axis::Descendant => doc.descendants_or_self(from).skip(1).collect(),
+    };
+    within.into_iter().any(|c| {
+        doc.label(c) == labels.lookup(&step.name)
+            && doc.label(c).is_some()
+            && step.predicates.iter().all(|p| holds(doc, labels, c, p))
+            && if rest.is_empty() {
+                match value {
+                    Some(v) => doc
+                        .children(c)
+                        .any(|t| doc.text(t).map(|s| s == v).unwrap_or(false)),
+                    None => true,
+                }
+            } else {
+                descend(doc, labels, c, rest, value)
+            }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(xml: &str, q: &str) -> Vec<u32> {
+        let mut store = NaiveStore::new();
+        store.add_xml(xml).unwrap();
+        store
+            .query_str(q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect()
+    }
+
+    const BIB: &str = "<bib>\
+        <article><author><email/></author><title>X</title><ee/></article>\
+        <article><author><phone/><email/></author><title>Y</title></article>\
+        <book><author><phone/></author><title>Z</title></book>\
+    </bib>";
+
+    #[test]
+    fn axes_and_anchoring() {
+        assert_eq!(eval(BIB, "/bib/article").len(), 2);
+        assert_eq!(eval(BIB, "/article").len(), 0, "root is bib");
+        assert_eq!(eval(BIB, "//author").len(), 3);
+        assert_eq!(eval(BIB, "//article/author/email").len(), 2);
+        assert_eq!(eval(BIB, "//bib//email").len(), 2);
+    }
+
+    #[test]
+    fn predicates_and_values() {
+        assert_eq!(eval(BIB, "//article[ee]/title").len(), 1);
+        assert_eq!(eval(BIB, "//author[phone][email]").len(), 1);
+        assert_eq!(eval(BIB, "//article[author/phone]/title").len(), 1);
+        assert_eq!(eval(BIB, "//article[.//phone]/title").len(), 1);
+        let xml = "<d><i><y>1998</y><t>A</t></i><i><y>1999</y><t>B</t></i></d>";
+        assert_eq!(eval(xml, r#"//i[y="1998"]/t"#).len(), 1);
+        assert_eq!(eval(xml, r#"//i[y="2000"]/t"#).len(), 0);
+    }
+
+    #[test]
+    fn order_and_dedup_under_overlapping_contexts() {
+        let r = eval("<r><a><a><b/></a><b/></a></r>", "//a//b");
+        assert_eq!(r.len(), 2);
+        assert!(r.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn unknown_labels_are_empty() {
+        assert!(eval(BIB, "//nonexistent").is_empty());
+        assert!(eval(BIB, "//article[nonexistent]").is_empty());
+    }
+
+    #[test]
+    fn store_tombstones_and_orders_across_docs() {
+        let mut s = NaiveStore::new();
+        let a = s.add_xml("<a><b/></a>").unwrap();
+        let b = s.add_xml("<a><b/><b/></a>").unwrap();
+        assert_eq!(s.live_docs(), 2);
+        let r = s.query_str("//a/b").unwrap();
+        assert_eq!(r, vec![(a, 1), (b, 1), (b, 2)]);
+        assert!(s.remove(a));
+        assert!(!s.remove(a), "double remove is a no-op");
+        assert!(!s.remove(99));
+        assert_eq!(s.live_docs(), 1);
+        assert_eq!(s.query_str("//a/b").unwrap(), vec![(b, 1), (b, 2)]);
+    }
+}

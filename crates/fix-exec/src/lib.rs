@@ -20,6 +20,7 @@
 //! refinement can never disagree.
 
 pub mod fbq;
+pub mod merge;
 pub mod nok;
 pub mod pathstack;
 pub mod refine;
@@ -28,6 +29,7 @@ pub mod twig;
 pub mod twigstack;
 
 pub use fbq::eval_fb;
+pub use merge::merge_sorted;
 pub use nok::{anchors, eval_path, eval_path_from, path_matches, value_matches};
 pub use pathstack::{eval_pathstack, PathStackStats};
 pub use refine::Refiner;

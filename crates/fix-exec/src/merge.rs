@@ -1,0 +1,71 @@
+//! Ordered two-way merge of candidate streams.
+//!
+//! The incremental index scans two sorted sources — the base B+-tree and
+//! the in-memory delta run — and refinement must see one stream in the
+//! exact order a monolithic tree would have produced. [`merge_sorted`]
+//! performs that merge on a caller-supplied key projection; ties break
+//! toward the base stream, which cannot occur for index scans (entry
+//! sequence numbers make keys unique) but keeps the merge total.
+
+/// Merges two key-sorted vectors into one, ordering by `key(item)`.
+///
+/// Both inputs must already be sorted under the same projection; the
+/// output is then sorted and stable (equal keys keep base-before-delta,
+/// and within each input the original order).
+pub fn merge_sorted<T, K: Ord, F: Fn(&T) -> K>(base: Vec<T>, delta: Vec<T>, key: F) -> Vec<T> {
+    if delta.is_empty() {
+        return base;
+    }
+    if base.is_empty() {
+        return delta;
+    }
+    let mut out = Vec::with_capacity(base.len() + delta.len());
+    let mut b = base.into_iter().peekable();
+    let mut d = delta.into_iter().peekable();
+    loop {
+        match (b.peek(), d.peek()) {
+            (Some(x), Some(y)) => {
+                if key(x) <= key(y) {
+                    out.push(b.next().unwrap());
+                } else {
+                    out.push(d.next().unwrap());
+                }
+            }
+            (Some(_), None) => {
+                out.extend(b);
+                break;
+            }
+            (None, Some(_)) => {
+                out.extend(d);
+                break;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_into_global_order() {
+        let base = vec![(1u32, 'b'), (4, 'b'), (6, 'b')];
+        let delta = vec![(2u32, 'd'), (4, 'd'), (9, 'd')];
+        let merged = merge_sorted(base, delta, |&(k, _)| k);
+        assert_eq!(
+            merged,
+            vec![(1, 'b'), (2, 'd'), (4, 'b'), (4, 'd'), (6, 'b'), (9, 'd')]
+        );
+    }
+
+    #[test]
+    fn empty_sides_pass_through() {
+        let base = vec![1, 2, 3];
+        assert_eq!(merge_sorted(base.clone(), vec![], |&k| k), vec![1, 2, 3]);
+        assert_eq!(merge_sorted(vec![], base, |&k| k), vec![1, 2, 3]);
+        let none: Vec<i32> = merge_sorted(vec![], vec![], |&k| k);
+        assert!(none.is_empty());
+    }
+}

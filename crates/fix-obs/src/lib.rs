@@ -63,6 +63,22 @@ pub mod names {
     pub const PERSIST_BYTES_READ: &str = "fix_persist_bytes_read_total";
     /// Counter: corrupt sections detected by loads and verifies.
     pub const PERSIST_CORRUPTION_DETECTED: &str = "fix_persist_corruption_detected_total";
+    /// Gauge: entries currently in the delta run (0 after compaction).
+    pub const DELTA_ENTRIES: &str = "fix_delta_entries";
+    /// Gauge: resident bytes of the delta run (plus clustered copies).
+    pub const DELTA_BYTES: &str = "fix_delta_bytes";
+    /// Counter: delta-side scans performed by merged index scans.
+    pub const DELTA_SCANS: &str = "fix_delta_scans_total";
+    /// Counter: entries yielded by delta-side scans.
+    pub const DELTA_SCAN_ENTRIES: &str = "fix_delta_scan_entries_total";
+    /// Counter: wall time spent scanning the delta, nanoseconds.
+    pub const DELTA_SCAN_NS: &str = "fix_delta_scan_ns_total";
+    /// Counter: candidates contributed by the delta run.
+    pub const DELTA_CANDIDATES_TOTAL: &str = "fix_delta_candidates_total";
+    /// Counter: compactions folded into the live index.
+    pub const DELTA_COMPACTIONS: &str = "fix_delta_compactions_total";
+    /// Histogram: wall time of one compaction, nanoseconds.
+    pub const DELTA_COMPACT_NS: &str = "fix_delta_compact_ns";
 }
 
 /// The common reporting surface for the workspace's statistics structs.

@@ -4,9 +4,10 @@
 //! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] [--max-depth D] <file.xml>...
 //! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
 //! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
-//! fixdb insert      <db> <file.xml>...
+//! fixdb add         <db> <file.xml>...   (alias: insert)
 //! fixdb remove      <db> <doc-id>...
 //! fixdb vacuum      <db>
+//! fixdb compact     <db>
 //! fixdb verify      <db> [--salvage OUT]
 //! fixdb stats       <db> [--prometheus] [--json]
 //! fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
@@ -24,10 +25,11 @@
 //! (fsck): it walks every checksummed frame of the file and reports
 //! per-section health with byte offsets, and `--salvage OUT` recovers the
 //! intact sections into a fresh, rebuilt database; `stats
-//! --prometheus|--json` renders the metrics registry; `insert` appends
-//! documents incrementally (unclustered databases); `gen` writes the
-//! paper-shaped synthetic corpora for experimentation. Everything routes
-//! through the [`FixDatabase`] facade.
+//! --prometheus|--json` renders the metrics registry; `add` appends
+//! documents incrementally through the delta index (every index kind,
+//! clustered included) and `compact` folds the delta run into the base
+//! B+-tree; `gen` writes the paper-shaped synthetic corpora for
+//! experimentation. Everything routes through the [`FixDatabase`] facade.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,22 +45,24 @@ fn main() -> ExitCode {
         Some("build") => build(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("bench-query") => bench_query(&args[1..]),
-        Some("insert") => insert(&args[1..]),
+        Some("insert") | Some("add") => insert(&args[1..]),
         Some("remove") => remove(&args[1..]),
         Some("vacuum") => vacuum(&args[1..]),
+        Some("compact") => compact(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("gen") => gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fixdb <build|query|bench-query|insert|verify|stats|gen> ...\n\
+                "usage: fixdb <build|query|bench-query|add|remove|vacuum|compact|verify|stats|gen> ...\n\
                  \n\
                  fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] [--max-depth D] <file.xml>...\n\
                  fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
                  fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
-                 fixdb insert      <db> <file.xml>...\n\
+                 fixdb add         <db> <file.xml>...   (alias: insert)\n\
                  fixdb remove      <db> <doc-id>...\n\
                  fixdb vacuum      <db>\n\
+                 fixdb compact     <db>\n\
                  fixdb verify      <db> [--salvage OUT]\n\
                  fixdb stats       <db> [--prometheus] [--json]\n\
                  fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
@@ -491,37 +495,50 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// `fixdb add` / `fixdb insert`: incremental insertion through the delta
+/// index. Each document is feature-extracted on its own (no rebuild of
+/// the existing entries); when the delta outgrows
+/// `FixOptions::compact_ratio` × the base tree it is folded automatically.
 fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let db_path = args.first().ok_or_else(|| err("missing database path"))?;
     if args.len() < 2 {
         return Err(err("no input files"));
     }
-    let db = open_existing(db_path)?;
-    // Indexes loaded from disk have dropped their construction state;
-    // rebuild by re-indexing (still correct, and the database file is the
-    // source of truth). Honest limitation, reported to the user.
-    let opts = db
-        .index()
-        .ok_or_else(|| err("database has no index"))?
-        .options()
-        .clone();
-    if opts.clustered {
-        return Err(err(
-            "clustered databases cannot absorb inserts; rebuild instead",
-        ));
+    let mut db = open_existing(db_path)?;
+    if db.index().is_none() {
+        return Err(err("database has no index"));
     }
-    let (mut coll, _) = db.into_parts()?;
     for f in &args[1..] {
         let xml = std::fs::read_to_string(f)?;
-        coll.add_xml(&xml).map_err(|e| err(format!("{f}: {e}")))?;
+        db.add_xml(&xml).map_err(|e| err(format!("{f}: {e}")))?;
     }
-    let mut db = FixDatabase::from_parts(coll, None);
-    db.build(opts)?;
-    db.save_as(db_path)?;
+    db.save()?;
+    let idx = db.index().expect("checked above");
     println!(
-        "database now holds {} documents, {} entries",
+        "database now holds {} documents, {} entries ({} in the delta run)",
         db.len(),
-        db.stats().expect("freshly built").entries
+        idx.entry_count(),
+        idx.delta_len()
+    );
+    Ok(())
+}
+
+/// `fixdb compact`: explicitly folds the delta run into the base B+-tree
+/// (the automatic trigger is `FixOptions::compact_ratio`).
+fn compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
+    let mut db = open_existing(db_path)?;
+    let before = db.index().map(|i| i.delta_len()).unwrap_or(0);
+    let t = Instant::now();
+    db.compact()?;
+    let elapsed = t.elapsed();
+    db.save()?;
+    let idx = db.index().expect("compact requires an index");
+    println!(
+        "compacted {} delta entries into the base tree in {:?}; {} entries total",
+        before,
+        elapsed,
+        idx.entry_count()
     );
     Ok(())
 }
@@ -657,6 +674,8 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("edge bloom:        {}", o.edge_bloom);
     println!("index entries:     {}", is.entries);
     println!("index size:        {} KiB", is.index_bytes() / 1024);
+    println!("delta entries:     {}", idx.delta_len());
+    println!("delta size:        {} KiB", idx.delta_bytes() / 1024);
     println!("tombstoned docs:   {}", idx.removed_count());
     // Top element labels by frequency.
     let mut counts: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();

@@ -112,6 +112,124 @@ fn build_and_insert_small_collection() {
 }
 
 #[test]
+fn add_compact_flow_round_trips() {
+    // build → add (clustered!) → remove → query → compact → verify:
+    // the incremental maintenance surface end to end.
+    let dir = workdir("add-compact");
+    let a = dir.join("a.xml");
+    let b = dir.join("b.xml");
+    let c = dir.join("c.xml");
+    let db = dir.join("db.fixdb");
+    std::fs::write(&a, "<bib><article><author/><ee/></article></bib>").unwrap();
+    std::fs::write(&b, "<bib><book><author/></book></bib>").unwrap();
+    std::fs::write(&c, "<bib><article><author/><ee/></article></bib>").unwrap();
+
+    let out = fixdb()
+        .args(["build"])
+        .arg(&db)
+        .arg("--clustered")
+        .arg(&a)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // `add` (the `insert` alias) works on clustered databases too.
+    let out = fixdb()
+        .args(["add"])
+        .arg(&db)
+        .arg(&b)
+        .arg(&c)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("3 documents"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = fixdb().args(["remove"]).arg(&db).arg("1").output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Merged (base + delta, tombstone-filtered) answers.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .arg("//article[author]/ee")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("2 results"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .arg("//book/author")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("0 results"),
+        "tombstoned doc leaked: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = fixdb().args(["compact"]).arg(&db).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("compacted"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let out = fixdb().args(["stats"]).arg(&db).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("delta entries:     0"), "{stdout}");
+
+    // Same answers after compaction, and the file verifies clean.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .arg("//article[author]/ee")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("2 results"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let out = fixdb().args(["verify"]).arg(&db).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn bench_query_serves_and_verifies() {
     let dir = workdir("bench-query");
     let xml = dir.join("dblp.xml");

@@ -5,9 +5,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use fix::core::{Collection, FixIndex, FixOptions};
+use fix::core::{Collection, DocId, FixIndex, FixOptions};
 use fix::datagen::{tcmd, xmark, GenConfig};
-use fix::FixDatabase;
+use fix::{FixDatabase, FixError};
 
 #[test]
 fn parallel_queries_agree_with_serial() {
@@ -130,6 +130,107 @@ fn queries_run_concurrently_with_a_parallel_build() {
             });
         }
     });
+}
+
+#[test]
+fn compaction_and_vacuum_race_live_sessions() {
+    // Sessions pin an immutable snapshot. While the snapshot is shared
+    // with the database, in-place mutations fail cleanly with
+    // SnapshotInUse; compaction and vacuum instead *replace* the
+    // snapshot, after which the database accepts mutations again while
+    // the session keeps serving its pinned (pre-churn) answers. Readers
+    // hammer the session from many threads through the whole churn, and
+    // afterwards the maintained index must agree with a fresh rebuild of
+    // the final logical collection.
+    let opts = FixOptions::builder().compact_ratio(0.0).build();
+    let mut db = FixDatabase::in_memory();
+    for i in 0..6 {
+        db.add_xml(&format!("<r><a><b/></a><a><c{i}/></a></r>"))
+            .unwrap();
+    }
+    db.build(opts.clone()).unwrap();
+    // Leave entries in the delta run so compaction has real work to fold.
+    db.add_xml("<r><a><b/></a></r>").unwrap();
+    db.add_xml("<r><a><b/><b/></a></r>").unwrap();
+    db.remove_document(DocId(0)).unwrap();
+    assert!(db.index().unwrap().delta_len() > 0);
+
+    let session = db.session().unwrap();
+    let want: Vec<_> = session.query("//a/b").unwrap().results;
+    assert!(!want.is_empty());
+
+    // The session shares the database's current snapshot, so in-place
+    // mutations are refused — never corrupted, never blocked.
+    assert!(
+        matches!(db.add_xml("<r><a/></r>"), Err(FixError::SnapshotInUse)),
+        "mutation must be refused while the snapshot is shared"
+    );
+    assert!(matches!(
+        db.remove_document(DocId(1)),
+        Err(FixError::SnapshotInUse)
+    ));
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let mut readers = Vec::new();
+        for _ in 0..6 {
+            let session = session.clone();
+            let want = &want;
+            readers.push(s.spawn(move || {
+                let mut rounds = 0usize;
+                while !stop.load(Ordering::Relaxed) || rounds < 3 {
+                    assert_eq!(
+                        session.query("//a/b").unwrap().results,
+                        *want,
+                        "session answer drifted off its snapshot"
+                    );
+                    rounds += 1;
+                }
+            }));
+        }
+
+        // The writer churns the database underneath the pinned session.
+        // Vacuum replaces both collection and index, so mutations succeed
+        // again afterwards even though the session is still alive.
+        let churn = (|| -> Result<(), FixError> {
+            for round in 0..10 {
+                db.compact()?;
+                if round % 3 == 0 {
+                    db.vacuum()?;
+                    db.add_xml("<r><a><b/></a></r>")?;
+                }
+            }
+            Ok(())
+        })();
+        // Always release the readers before unwrapping the writer's
+        // outcome — a panic inside the scope would leave them spinning.
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+        churn.expect("maintenance churn under live sessions failed");
+    });
+    // The session outlived every snapshot swap and still answers from its
+    // original pin.
+    assert_eq!(session.query("//a/b").unwrap().results, want);
+    drop(session);
+
+    // The maintained index agrees with a fresh rebuild of the same
+    // logical collection after folding the remaining delta.
+    db.add_xml("<r><a><b/></a></r>").unwrap();
+    db.compact().unwrap();
+    let mut rebuilt = FixDatabase::in_memory();
+    for (_, d) in db.collection().iter() {
+        rebuilt
+            .add_xml(&fix::xml::to_xml_string(d, &db.collection().labels))
+            .unwrap();
+    }
+    rebuilt.build(opts).unwrap();
+    assert_eq!(
+        db.query("//a/b").unwrap().results,
+        rebuilt.query("//a/b").unwrap().results
+    );
 }
 
 #[test]

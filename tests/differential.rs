@@ -1,0 +1,325 @@
+//! The differential test oracle for incremental index maintenance: for
+//! arbitrary interleavings of `add_xml` / `remove_document` / `compact` /
+//! `vacuum` / `query`, the incrementally-maintained database must agree —
+//! query by query — with (a) a database freshly rebuilt from the same
+//! logical collection and (b) the naive brute-force evaluator in
+//! `fix_datagen::naive`, which shares no index, pruning, or refinement
+//! code with the engine. After compaction, the incremental index must be
+//! *byte-identical* to the rebuild: same key stream, same values, same
+//! clustered copy-heap order.
+
+use proptest::prelude::*;
+
+use fix::core::{Collection, DocId, FixIndex};
+use fix::datagen::naive::NaiveStore;
+use fix::{FixDatabase, FixOptions};
+
+/// Small random documents over labels `p0..p4` rooted at `p0`, with
+/// occasional `wN` text leaves so value predicates have something to hit.
+fn doc_strategy() -> impl Strategy<Value = String> {
+    #[derive(Debug, Clone)]
+    enum T {
+        Leaf(u8),
+        Text(u8, u8),
+        Node(u8, Vec<T>),
+    }
+    fn render(t: &T, out: &mut String) {
+        match t {
+            T::Leaf(l) => out.push_str(&format!("<p{l}/>")),
+            T::Text(l, v) => out.push_str(&format!("<p{l}>w{v}</p{l}>")),
+            T::Node(l, c) => {
+                out.push_str(&format!("<p{l}>"));
+                for x in c {
+                    render(x, out);
+                }
+                out.push_str(&format!("</p{l}>"));
+            }
+        }
+    }
+    let leaf = prop_oneof![
+        (0u8..5).prop_map(T::Leaf),
+        (0u8..5, 0u8..3).prop_map(|(l, v)| T::Text(l, v)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        ((0u8..5), prop::collection::vec(inner, 1..4)).prop_map(|(l, c)| T::Node(l, c))
+    })
+    .prop_map(|t| {
+        let mut s = String::from("<p0>");
+        render(&t, &mut s);
+        s.push_str("</p0>");
+        s
+    })
+}
+
+/// Queries over the same label space: single steps, chains, interior
+/// `//`, branching predicates, rooted anchors, value tests. Depth ≤ 3,
+/// so both option profiles below cover every query.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let l = || 0u8..5;
+    prop_oneof![
+        l().prop_map(|a| format!("//p{a}")),
+        (l(), l()).prop_map(|(a, b)| format!("//p{a}/p{b}")),
+        (l(), l()).prop_map(|(a, b)| format!("//p{a}//p{b}")),
+        (l(), l(), l()).prop_map(|(a, b, c)| format!("//p{a}[p{b}]/p{c}")),
+        (l(), l()).prop_map(|(a, b)| format!("/p0//p{a}[p{b}]")),
+        (l(), l(), 0u8..3).prop_map(|(a, b, v)| format!(r#"//p{a}[p{b}="w{v}"]"#)),
+    ]
+}
+
+/// Index configurations under test: clustered and unclustered, collection
+/// and large-document mode, with and without the value index and bloom
+/// pruning, explicit-only and eager auto-compaction, sequential and
+/// parallel refinement.
+fn options_strategy() -> impl Strategy<Value = FixOptions> {
+    (
+        prop_oneof![Just(0usize), Just(4usize)],
+        prop::bool::ANY,
+        prop::option::of(1u32..16),
+        prop::bool::ANY,
+        prop_oneof![Just(0.0f64), Just(0.5f64)],
+        1usize..3,
+    )
+        .prop_map(|(depth, clustered, beta, bloom, ratio, qthreads)| {
+            let mut b = FixOptions::builder()
+                .depth_limit(depth)
+                .clustered(clustered)
+                .edge_bloom(bloom)
+                .compact_ratio(ratio)
+                .query_threads(qthreads);
+            if let Some(beta) = beta {
+                b = b.values(beta);
+            }
+            b.build()
+        })
+}
+
+/// One step of a random maintenance interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    Add(String),
+    Remove(u8),
+    Compact,
+    Vacuum,
+    Query(String),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        doc_strategy().prop_map(Op::Add),
+        (0u8..8).prop_map(Op::Remove),
+        Just(Op::Compact),
+        Just(Op::Vacuum),
+        query_strategy().prop_map(Op::Query),
+    ]
+}
+
+/// A fresh database over the same logical collection: every document in
+/// the current id space (tombstoned ones included, so ids line up),
+/// indexed from scratch, then the same tombstones applied.
+fn rebuild(model: &[(String, bool)], opts: &FixOptions) -> FixDatabase {
+    let mut db = FixDatabase::in_memory();
+    for (xml, _) in model {
+        db.add_xml(xml).unwrap();
+    }
+    db.build(opts.clone()).unwrap();
+    for (i, (_, live)) in model.iter().enumerate() {
+        if !live {
+            db.remove_document(DocId(i as u32)).unwrap();
+        }
+    }
+    db
+}
+
+/// The oracle: incremental == rebuild (results *and* work counters,
+/// except the delta attribution, which only the incremental side has) and
+/// incremental == naive (results).
+fn check_query(
+    db: &FixDatabase,
+    naive: &NaiveStore,
+    model: &[(String, bool)],
+    opts: &FixOptions,
+    q: &str,
+) -> Result<(), TestCaseError> {
+    let inc = db.query(q);
+    let frs = rebuild(model, opts).query(q);
+    match (inc, frs) {
+        (Ok(a), Ok(b)) => {
+            prop_assert_eq!(&a.results, &b.results, "incremental vs rebuild on {}", q);
+            // Work counters are label-id-sensitive (bloom fingerprints,
+            // value buckets); the from-XML rebuild only shares label
+            // numbering when no synthetic value labels interleave.
+            if opts.value_beta.is_none() {
+                prop_assert_eq!(
+                    a.metrics.candidates,
+                    b.metrics.candidates,
+                    "candidate counts diverge on {}",
+                    q
+                );
+                prop_assert_eq!(
+                    a.metrics.producing,
+                    b.metrics.producing,
+                    "producing counts diverge on {}",
+                    q
+                );
+            }
+            let raw: Vec<(u32, u32)> = a.results.iter().map(|&(d, n)| (d.0, n.0)).collect();
+            let truth = naive
+                .query_str(q)
+                .expect("oracle parses what the engine parses");
+            prop_assert_eq!(raw, truth, "incremental vs naive oracle on {}", q);
+        }
+        (a, b) => prop_assert!(
+            false,
+            "outcome disagreement on {}: incremental {:?}, rebuild {:?}",
+            q,
+            a.map(|o| o.results.len()),
+            b.map(|o| o.results.len())
+        ),
+    }
+    Ok(())
+}
+
+/// Byte-identity of the (compacted) incremental index against a full
+/// rebuild over the same collection: same encoded key stream with the
+/// same values, and for clustered indexes the same copy records in the
+/// same order. The reference collection carries over the label table —
+/// label ids are interned in arrival order (synthetic value labels
+/// included), so they are history, not content; key bytes embed them.
+fn check_byte_identity(db: &FixDatabase, opts: &FixOptions) -> Result<(), TestCaseError> {
+    let coll = db.collection();
+    let mut reference = Collection::new();
+    reference.labels = coll.labels.clone();
+    for (_, d) in coll.iter() {
+        reference
+            .add_xml(&fix::xml::to_xml_string(d, &coll.labels))
+            .unwrap();
+    }
+    let rebuilt = FixIndex::build(&mut reference, opts.clone());
+    let (a, b) = (db.index().unwrap(), &rebuilt);
+    let ka: Vec<([u8; 40], u64)> = a.entries().map(|(k, v)| (k.encode(), v)).collect();
+    let kb: Vec<([u8; 40], u64)> = b.entries().map(|(k, v)| (k.encode(), v)).collect();
+    prop_assert_eq!(ka, kb, "compacted key stream differs from rebuild");
+    let ra = a.clustered_records().map(|r| {
+        r.into_iter()
+            .map(|(k, rec)| (k.encode(), rec))
+            .collect::<Vec<_>>()
+    });
+    let rb = b.clustered_records().map(|r| {
+        r.into_iter()
+            .map(|(k, rec)| (k.encode(), rec))
+            .collect::<Vec<_>>()
+    });
+    prop_assert_eq!(ra, rb, "compacted copy heap differs from rebuild");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn incremental_equals_rebuild_equals_naive(
+        seed_docs in prop::collection::vec(doc_strategy(), 1..4),
+        opts in options_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..9),
+        final_queries in prop::collection::vec(query_strategy(), 1..3),
+    ) {
+        let mut db = FixDatabase::in_memory();
+        let mut naive = NaiveStore::new();
+        // The logical collection: XML by current document id, plus a
+        // liveness flag. Vacuum renumbers, so it compacts this list too.
+        let mut model: Vec<(String, bool)> = Vec::new();
+        for xml in &seed_docs {
+            db.add_xml(xml).unwrap();
+            naive.add_xml(xml).unwrap();
+            model.push((xml.clone(), true));
+        }
+        db.build(opts.clone()).unwrap();
+
+        for op in &ops {
+            match op {
+                Op::Add(xml) => {
+                    db.add_xml(xml).unwrap();
+                    naive.add_xml(xml).unwrap();
+                    model.push((xml.clone(), true));
+                }
+                Op::Remove(i) => {
+                    if !model.is_empty() {
+                        let id = *i as usize % model.len();
+                        db.remove_document(DocId(id as u32)).unwrap();
+                        naive.remove(id as u32);
+                        model[id].1 = false;
+                    }
+                }
+                Op::Compact => db.compact().unwrap(),
+                Op::Vacuum => {
+                    db.vacuum().unwrap();
+                    model.retain(|(_, live)| *live);
+                    naive = NaiveStore::new();
+                    for (xml, _) in &model {
+                        naive.add_xml(xml).unwrap();
+                    }
+                }
+                Op::Query(q) => check_query(&db, &naive, &model, &opts, q)?,
+            }
+        }
+
+        for q in &final_queries {
+            check_query(&db, &naive, &model, &opts, q)?;
+        }
+        // Fold whatever delta is left and demand the rebuild's bytes.
+        db.compact().unwrap();
+        prop_assert_eq!(db.index().unwrap().delta_len(), 0);
+        check_byte_identity(&db, &opts)?;
+        for q in &final_queries {
+            check_query(&db, &naive, &model, &opts, q)?;
+        }
+    }
+}
+
+/// The stale-index footgun, pinned deterministically: a database mutated
+/// after `build()` must serve the *merged* truth — new documents appear
+/// in answers immediately, removed ones vanish immediately, with no
+/// rebuild and no error. Guards against the failure mode where
+/// post-build mutations silently don't reach queries until a compaction.
+#[test]
+fn mutated_database_never_serves_stale_answers() {
+    for clustered in [false, true] {
+        let opts = FixOptions::builder()
+            .clustered(clustered)
+            .compact_ratio(0.0)
+            .build();
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<p0><p1><p2/></p1></p0>").unwrap();
+        db.build(opts).unwrap();
+
+        // Insert: visible in the very next query, straight from the delta.
+        let added = db.add_xml("<p0><p1><p2/></p1><p1/></p0>").unwrap();
+        assert_eq!(
+            db.index().unwrap().delta_len(),
+            1,
+            "insert must land in the delta"
+        );
+        let out = db.query("//p1/p2").unwrap();
+        assert_eq!(
+            out.results.iter().filter(|(d, _)| *d == added).count(),
+            1,
+            "clustered={clustered}: freshly added document missing from results"
+        );
+        assert_eq!(out.results.len(), 2);
+
+        // Remove: gone from the very next query, no vacuum needed.
+        db.remove_document(added).unwrap();
+        let out = db.query("//p1/p2").unwrap();
+        assert!(
+            out.results.iter().all(|(d, _)| *d != added),
+            "clustered={clustered}: tombstoned document still answered"
+        );
+        assert_eq!(out.results.len(), 1);
+
+        // And the delta still holds the (masked) entry until compaction.
+        assert_eq!(db.index().unwrap().delta_len(), 1);
+        db.compact().unwrap();
+        assert_eq!(db.index().unwrap().delta_len(), 0);
+        assert_eq!(db.query("//p1/p2").unwrap().results.len(), 1);
+    }
+}

@@ -1,9 +1,10 @@
 //! Persistence property tests: for arbitrary collections and index
 //! configurations, save → open must reproduce identical query outcomes
-//! (results *and* metrics), including tombstones; arbitrarily corrupted
-//! files (truncations, bit flips) must be *detected* — a structured
-//! `FixError::Corrupt`, never a panic or a silent wrong answer — and a
-//! save interrupted at every write boundary (the crash matrix) must leave
+//! (results *and* metrics), including tombstones and the incremental
+//! delta run; arbitrarily corrupted files (truncations, bit flips) must
+//! be *detected* — a structured `FixError::Corrupt`, never a panic or a
+//! silent wrong answer — and a save interrupted at every write boundary
+//! (the crash matrix, swept through the optional delta frame) must leave
 //! the previous database byte-for-byte intact. Exercises the
 //! `FixDatabase` facade and the fault-injection harness end to end.
 
@@ -61,7 +62,10 @@ fn options_strategy() -> impl Strategy<Value = FixOptions> {
                 .depth_limit(depth)
                 .clustered(clustered)
                 .edge_bloom(bloom)
-                .threads(threads);
+                .threads(threads)
+                // Explicit compaction only, so post-build inserts stay in
+                // the delta run and the save path writes the delta frame.
+                .compact_ratio(0.0);
             if let Some(beta) = beta {
                 b = b.values(beta);
             }
@@ -75,6 +79,7 @@ proptest! {
     #[test]
     fn save_open_is_an_identity_on_outcomes(
         docs in prop::collection::vec(doc_strategy(), 1..5),
+        delta_docs in prop::collection::vec(doc_strategy(), 0..3),
         opts in options_strategy(),
         remove_first in prop::bool::ANY,
         queries in prop::collection::vec((0u8..5, 0u8..5), 1..4),
@@ -92,6 +97,11 @@ proptest! {
         if remove_first && !clustered {
             db.remove_document(DocId(0)).unwrap();
         }
+        // Post-build inserts land in the delta run (compact_ratio 0.0
+        // keeps them there), so the save carries a delta frame too.
+        for d in &delta_docs {
+            db.add_xml(d).unwrap();
+        }
         db.save_as(&path).unwrap();
         let loaded = FixDatabase::open(&path).unwrap();
         std::fs::remove_file(&path).ok();
@@ -99,6 +109,7 @@ proptest! {
         prop_assert_eq!(loaded.len(), db.len());
         let (idx, lidx) = (db.index().unwrap(), loaded.index().unwrap());
         prop_assert_eq!(lidx.entry_count(), idx.entry_count());
+        prop_assert_eq!(lidx.delta_len(), idx.delta_len(), "delta run must round-trip");
         for (a, b) in &queries {
             let q = format!("//p{a}/p{b}");
             // Depth-1 indexes legitimately reject two-step queries; the
@@ -125,6 +136,7 @@ proptest! {
     #[test]
     fn corrupted_files_are_always_detected(
         docs in prop::collection::vec(doc_strategy(), 1..4),
+        delta_docs in prop::collection::vec(doc_strategy(), 0..2),
         opts in options_strategy(),
         flips in prop::collection::vec((0.0f64..1.0, 0u8..8), 1..4),
         truncate in prop::option::of(0.0f64..1.0),
@@ -138,6 +150,11 @@ proptest! {
             db.add_xml(d).unwrap();
         }
         db.build(opts).unwrap();
+        // Delta-bearing saves put the optional delta frame (and its
+        // checksum) under the same corruption fuzz as the base sections.
+        for d in &delta_docs {
+            db.add_xml(d).unwrap();
+        }
         db.save_as(&path).unwrap();
         let good = std::fs::read(&path).unwrap();
 
@@ -188,9 +205,17 @@ fn crash_matrix_every_boundary_leaves_previous_version_loadable() {
     let mut coll2 = Collection::new();
     coll2.add_xml("<r><c><d/></c></r>").unwrap();
     coll2.add_xml("<r><e/></r>").unwrap();
-    let idx2 = FixIndex::build(
+    let mut idx2 = FixIndex::build(
         &mut coll2,
         FixOptions::builder().depth_limit(2).clustered(true).build(),
+    );
+    // Post-build maintenance state — a delta insert and a tombstone — so
+    // the boundary sweep also walks the optional delta frame's writes.
+    idx2.insert_xml(&mut coll2, "<r><c><f/></c></r>").unwrap();
+    idx2.remove_document(DocId(0));
+    assert!(
+        idx2.delta_len() > 0,
+        "crash matrix needs a delta frame to sweep"
     );
 
     for kind in [
@@ -236,11 +261,13 @@ fn crash_matrix_every_boundary_leaves_previous_version_loadable() {
         );
     }
 
-    // With no fault injected the new version replaces the old atomically.
+    // With no fault injected the new version replaces the old atomically,
+    // maintenance state included.
     fix::core::save_with_faults(&path, &coll2, &idx2, None).unwrap();
     let db = FixDatabase::open(&path).unwrap();
-    assert_eq!(db.len(), 2);
+    assert_eq!(db.len(), 3);
     assert!(db.index().unwrap().options().clustered);
+    assert_eq!(db.index().unwrap().delta_len(), idx2.delta_len());
     std::fs::remove_file(&path).ok();
 }
 
