@@ -2,12 +2,10 @@
 //! order — the unclustered index inserts in document order, the clustered
 //! one bulk-loads in key order) and range-scan throughput.
 
-use std::sync::Arc;
-
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use fix_btree::BTree;
-use fix_storage::BufferPool;
+use fix_storage::PageSpace;
 
 const N: u64 = 20_000;
 
@@ -36,7 +34,7 @@ fn bench_btree(c: &mut Criterion) {
 
     group.bench_function("insert_sequential", |b| {
         b.iter(|| {
-            let mut t = BTree::new(Arc::new(BufferPool::in_memory(512)), 40);
+            let mut t = BTree::new(PageSpace::in_memory(512), 40);
             for i in 0..N {
                 t.insert(&key(i), i);
             }
@@ -47,7 +45,7 @@ fn bench_btree(c: &mut Criterion) {
     let scram = scrambled();
     group.bench_function("insert_scrambled", |b| {
         b.iter(|| {
-            let mut t = BTree::new(Arc::new(BufferPool::in_memory(512)), 40);
+            let mut t = BTree::new(PageSpace::in_memory(512), 40);
             for &i in &scram {
                 t.insert(&key(i), i);
             }
@@ -55,7 +53,7 @@ fn bench_btree(c: &mut Criterion) {
         });
     });
 
-    let mut t = BTree::new(Arc::new(BufferPool::in_memory(512)), 40);
+    let mut t = BTree::new(PageSpace::in_memory(512), 40);
     for i in 0..N {
         t.insert(&key(i), i);
     }

@@ -7,10 +7,9 @@
 //! implementation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 use fix_obs::{MetricsRegistry, Reportable};
-use fix_storage::{BufferPool, PageId, PAGE_SIZE};
+use fix_storage::{PageGuard, PageId, PageSpace, PAGE_SIZE};
 
 /// Offset of the entry area in a node page.
 const HDR: usize = 12;
@@ -60,7 +59,7 @@ struct ScanCounters {
 
 /// A B+-tree with fixed-length byte keys and `u64` values.
 pub struct BTree {
-    pool: Arc<BufferPool>,
+    pool: PageSpace,
     key_len: usize,
     root: PageId,
     height: usize,
@@ -71,7 +70,7 @@ pub struct BTree {
 
 impl BTree {
     /// Creates an empty tree with `key_len`-byte keys on `pool`.
-    pub fn new(pool: Arc<BufferPool>, key_len: usize) -> Self {
+    pub fn new(pool: PageSpace, key_len: usize) -> Self {
         assert!((1..=256).contains(&key_len), "unsupported key length");
         let root = pool.allocate();
         let mut t = Self {
@@ -102,7 +101,7 @@ impl BTree {
     ///
     /// # Panics
     /// Panics if the input is not sorted or a key has the wrong length.
-    pub fn bulk_load<I>(pool: Arc<BufferPool>, key_len: usize, sorted: I) -> Self
+    pub fn bulk_load<I>(pool: PageSpace, key_len: usize, sorted: I) -> Self
     where
         I: IntoIterator<Item = (Vec<u8>, u64)>,
     {
@@ -359,28 +358,62 @@ impl BTree {
     }
 
     /// Iterates entries with `start ≤ key` (and `key < end` if an end bound
-    /// is given), in key order.
+    /// is given), in key order. The descent and the scan read node pages
+    /// through pinned page guards — no node is materialized into an owned
+    /// buffer, and the scan keeps exactly one leaf pinned at a time.
     pub fn range<'a>(&'a self, start: &[u8], end: Option<&[u8]>) -> RangeScan<'a> {
         assert_eq!(start.len(), self.key_len);
         self.scan_counters.scans.fetch_add(1, Ordering::Relaxed);
+        let key_len = self.key_len;
         // Descend to the leaf that may contain `start`.
         let mut page = self.root;
         loop {
-            match self.load(page) {
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|k| k.as_slice() <= start);
-                    page = PageId(children[idx]);
+            let guard = self.pool.pin(page);
+            let step = {
+                let b = guard.data();
+                let count = u16::from_le_bytes([b[2], b[3]]) as usize;
+                if b[0] == 1 {
+                    // Internal: first child whose separator exceeds `start`
+                    // (binary search over the in-page key array).
+                    let key_base = HDR + (count + 1) * 8;
+                    let (mut lo, mut hi) = (0, count);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let off = key_base + mid * key_len;
+                        if &b[off..off + key_len] <= start {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    let off = HDR + lo * 8;
+                    Err(u64::from_le_bytes(b[off..off + 8].try_into().expect("8")))
+                } else {
+                    // Leaf: first entry with `key ≥ start`.
+                    let stride = key_len + 8;
+                    let (mut lo, mut hi) = (0, count);
+                    while lo < hi {
+                        let mid = (lo + hi) / 2;
+                        let off = HDR + mid * stride;
+                        if &b[off..off + key_len] < start {
+                            lo = mid + 1;
+                        } else {
+                            hi = mid;
+                        }
+                    }
+                    Ok(lo)
                 }
-                Node::Leaf { entries, next } => {
-                    let pos = entries.partition_point(|(k, _)| k.as_slice() < start);
+            };
+            match step {
+                Err(child) => page = PageId(child),
+                Ok(pos) => {
                     return RangeScan {
                         tree: self,
-                        entries,
+                        leaf: Some(guard),
                         pos,
-                        next,
                         end: end.map(<[u8]>::to_vec),
                         yielded: 0,
-                    };
+                    }
                 }
             }
         }
@@ -420,9 +453,38 @@ impl BTree {
         self.entries == 0
     }
 
-    /// The tree's buffer pool (shared I/O statistics).
-    pub fn pool(&self) -> &Arc<BufferPool> {
+    /// The tree's page space (shared I/O statistics).
+    pub fn pool(&self) -> &PageSpace {
         &self.pool
+    }
+
+    /// The root page (persisted by the paged database format).
+    pub fn root_page(&self) -> PageId {
+        self.root
+    }
+
+    /// Reconstructs a tree over pages that already exist in `pool`'s
+    /// backend (the paged-open path): `root`/`height`/`entries`/`pages`
+    /// come from persisted metadata, and no node is read until a lookup
+    /// pins it.
+    pub fn attach(
+        pool: PageSpace,
+        key_len: usize,
+        root: PageId,
+        height: usize,
+        entries: u64,
+        pages: u64,
+    ) -> Self {
+        assert!((1..=256).contains(&key_len), "unsupported key length");
+        Self {
+            pool,
+            key_len,
+            root,
+            height,
+            entries,
+            pages,
+            scan_counters: ScanCounters::default(),
+        }
     }
 
     /// Verifies B+-tree invariants (test/diagnostic helper): key order
@@ -484,44 +546,67 @@ impl BTree {
     }
 }
 
-/// Iterator over a key range, following the leaf chain.
+/// Iterator over a key range, following the leaf chain. Holds one pinned
+/// leaf at a time and reads entries straight off the page — dropping the
+/// scan unpins the leaf.
 pub struct RangeScan<'a> {
     tree: &'a BTree,
-    entries: Vec<(Vec<u8>, u64)>,
+    leaf: Option<PageGuard>,
     pos: usize,
-    next: u64,
     end: Option<Vec<u8>>,
     /// Entries yielded so far; flushed into the tree's counters once on
     /// drop so the scan hot loop touches no shared cache lines.
     yielded: u64,
 }
 
+/// One step of a guard-held scan: yield an entry, hop to the next leaf,
+/// or finish.
+enum ScanStep {
+    Yield(Vec<u8>, u64),
+    Advance(u64),
+    Done,
+}
+
 impl Iterator for RangeScan<'_> {
     type Item = (Vec<u8>, u64);
 
     fn next(&mut self) -> Option<Self::Item> {
+        let key_len = self.tree.key_len;
         loop {
-            if self.pos < self.entries.len() {
-                let (k, v) = &self.entries[self.pos];
-                if let Some(end) = &self.end {
-                    if k >= end {
-                        return None;
+            let guard = self.leaf.take()?;
+            let step = {
+                let b = guard.data();
+                let count = u16::from_le_bytes([b[2], b[3]]) as usize;
+                debug_assert_eq!(b[0], 0, "leaf chain points to internal node");
+                if self.pos < count {
+                    let stride = key_len + 8;
+                    let off = HDR + self.pos * stride;
+                    let key = &b[off..off + key_len];
+                    match &self.end {
+                        Some(end) if key >= end.as_slice() => ScanStep::Done,
+                        _ => ScanStep::Yield(
+                            key.to_vec(),
+                            u64::from_le_bytes(
+                                b[off + key_len..off + stride].try_into().expect("8"),
+                            ),
+                        ),
                     }
+                } else {
+                    ScanStep::Advance(u64::from_le_bytes(b[4..12].try_into().expect("8")))
                 }
-                self.pos += 1;
-                self.yielded += 1;
-                return Some((k.clone(), *v));
-            }
-            if self.next == NO_PAGE {
-                return None;
-            }
-            match self.tree.load(PageId(self.next)) {
-                Node::Leaf { entries, next } => {
-                    self.entries = entries;
+            };
+            match step {
+                ScanStep::Yield(k, v) => {
+                    self.pos += 1;
+                    self.yielded += 1;
+                    self.leaf = Some(guard);
+                    return Some((k, v));
+                }
+                ScanStep::Done | ScanStep::Advance(NO_PAGE) => return None,
+                ScanStep::Advance(next) => {
                     self.pos = 0;
-                    self.next = next;
+                    self.leaf = Some(self.tree.pool.pin(PageId(next)));
                 }
-                Node::Internal { .. } => unreachable!("leaf chain points to internal node"),
             }
         }
     }
@@ -566,7 +651,7 @@ mod tests {
     use super::*;
 
     fn tree(key_len: usize) -> BTree {
-        BTree::new(Arc::new(BufferPool::in_memory(64)), key_len)
+        BTree::new(PageSpace::in_memory(64), key_len)
     }
 
     fn key8(v: u64) -> Vec<u8> {
@@ -702,7 +787,7 @@ mod tests {
     fn bulk_load_matches_insertion_order_scan() {
         for n in [0u64, 1, 2, 200, 5000] {
             let sorted: Vec<(Vec<u8>, u64)> = (0..n).map(|i| (key8(i), i * 3)).collect();
-            let t = BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, sorted.clone());
+            let t = BTree::bulk_load(PageSpace::in_memory(64), 8, sorted.clone());
             assert_eq!(t.len(), n);
             t.check_invariants();
             let scanned: Vec<_> = t.iter().collect();
@@ -718,7 +803,7 @@ mod tests {
     #[test]
     fn bulk_load_then_insert_keeps_invariants() {
         let sorted: Vec<(Vec<u8>, u64)> = (0..2000u64).map(|i| (key8(i * 2), i)).collect();
-        let mut t = BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, sorted);
+        let mut t = BTree::bulk_load(PageSpace::in_memory(64), 8, sorted);
         for i in 0..2000u64 {
             t.insert(&key8(i * 2 + 1), i + 10_000);
         }
@@ -734,7 +819,7 @@ mod tests {
     #[test]
     fn bulk_load_range_scans_agree_with_inserted_tree() {
         let sorted: Vec<(Vec<u8>, u64)> = (0..1500u64).map(|i| (key8(i * 7), i)).collect();
-        let bulk = BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, sorted.clone());
+        let bulk = BTree::bulk_load(PageSpace::in_memory(64), 8, sorted.clone());
         let mut inserted = tree(8);
         for (k, v) in &sorted {
             inserted.insert(k, *v);
@@ -750,7 +835,7 @@ mod tests {
     #[should_panic(expected = "not sorted")]
     fn bulk_load_rejects_unsorted_input() {
         let out_of_order = vec![(key8(5), 1), (key8(3), 2)];
-        BTree::bulk_load(Arc::new(BufferPool::in_memory(64)), 8, out_of_order);
+        BTree::bulk_load(PageSpace::in_memory(64), 8, out_of_order);
     }
 
     #[test]

@@ -15,13 +15,12 @@
 //! at the cost of a few extra entries.)
 
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use fix_bisim::{BisimBuilder, BisimGraph, SubpatternForest, VertexId};
 use fix_btree::BTree;
 use fix_spectral::{EdgeEncoder, Features};
-use fix_storage::{BufferPool, HeapFile, IoStats, RecordId};
+use fix_storage::{BufferPool, HeapFile, IoStats, PageSpace, RecordId};
 use fix_xml::{Document, LabelId, LabelTable, NodeId, NodeKind, TreeEventSource};
 
 use crate::collection::{Collection, DocId};
@@ -177,7 +176,7 @@ pub struct FixIndex {
     pub(crate) hasher: Option<ValueHasher>,
     /// Clustered copies (subtree serializations in key order).
     pub(crate) clustered: Option<HeapFile>,
-    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) pool: PageSpace,
     pub(crate) stats: BuildStats,
     pub(crate) incremental: Option<IncrementalState>,
     /// Entries accepted since the last build or compaction; scans merge
@@ -200,7 +199,7 @@ pub(crate) fn build_on_disk_impl(
     path: &std::path::Path,
 ) -> std::io::Result<FixIndex> {
     let backend = fix_storage::FileBackend::create(path)?;
-    let pool = Arc::new(BufferPool::new(Box::new(backend), opts.pool_pages));
+    let pool = BufferPool::shared(opts.pool_pages).attach(Box::new(backend));
     Ok(FixIndex::build_on(coll, opts, pool))
 }
 
@@ -352,7 +351,7 @@ impl FixIndex {
     /// Builds the index per Algorithm 1. The collection's label table is
     /// extended with value labels when the value extension is enabled.
     pub fn build(coll: &mut Collection, opts: FixOptions) -> FixIndex {
-        let pool = Arc::new(BufferPool::in_memory(opts.pool_pages));
+        let pool = PageSpace::in_memory(opts.pool_pages);
         Self::build_on(coll, opts, pool)
     }
 
@@ -360,7 +359,7 @@ impl FixIndex {
     /// `opts.threads` scoped workers; phases 2 and 4 are sequential, which
     /// is what pins down the label/edge encodings and entry sequence
     /// numbers — the built index is bit-identical at every thread count.
-    fn build_on(coll: &mut Collection, opts: FixOptions, pool: Arc<BufferPool>) -> FixIndex {
+    pub(crate) fn build_on(coll: &mut Collection, opts: FixOptions, pool: PageSpace) -> FixIndex {
         let start = Instant::now();
         let threads = opts.effective_threads();
         let mut encoder = EdgeEncoder::new();
@@ -545,7 +544,7 @@ impl FixIndex {
         }
         entries.sort_unstable_by_key(|e| e.0);
         let (btree, clustered) = if opts.clustered {
-            let mut heap = HeapFile::new(Arc::clone(&pool));
+            let mut heap = HeapFile::new(pool.clone());
             let mut loaded = Vec::with_capacity(entries.len());
             for (key, ptr) in &entries {
                 let doc = coll.doc(ptr.doc);
@@ -555,14 +554,11 @@ impl FixIndex {
                 record.extend_from_slice(xml.as_bytes());
                 loaded.push((key.to_vec(), heap.append(&record).to_u64()));
             }
-            (
-                BTree::bulk_load(Arc::clone(&pool), KEY_LEN, loaded),
-                Some(heap),
-            )
+            (BTree::bulk_load(pool.clone(), KEY_LEN, loaded), Some(heap))
         } else {
             (
                 BTree::bulk_load(
-                    Arc::clone(&pool),
+                    pool.clone(),
                     KEY_LEN,
                     entries.iter().map(|(k, p)| (k.to_vec(), p.to_u64())),
                 ),
@@ -712,7 +708,7 @@ impl FixIndex {
     /// discipline as [`FixIndex::vacuum`].
     pub fn compact(&self) -> FixIndex {
         let start = Instant::now();
-        let pool = Arc::new(BufferPool::in_memory(self.opts.pool_pages));
+        let pool = PageSpace::in_memory(self.opts.pool_pages);
         let merged = fix_exec::merge_sorted(
             self.btree.iter().map(|(k, v)| (k, v, false)).collect(),
             self.delta
@@ -725,7 +721,7 @@ impl FixIndex {
             // Move copy records verbatim: documents are immutable, so the
             // stored serializations are exactly what a rebuild would write,
             // and appending in merged key order replays its heap layout.
-            let mut heap = HeapFile::new(Arc::clone(&pool));
+            let mut heap = HeapFile::new(pool.clone());
             let mut loaded = Vec::with_capacity(merged.len());
             for (key, value, from_delta) in merged {
                 let record: Vec<u8> = if from_delta {
@@ -735,14 +731,11 @@ impl FixIndex {
                 };
                 loaded.push((key, heap.append(&record).to_u64()));
             }
-            (
-                BTree::bulk_load(Arc::clone(&pool), KEY_LEN, loaded),
-                Some(heap),
-            )
+            (BTree::bulk_load(pool.clone(), KEY_LEN, loaded), Some(heap))
         } else {
             (
                 BTree::bulk_load(
-                    Arc::clone(&pool),
+                    pool.clone(),
                     KEY_LEN,
                     merged.into_iter().map(|(k, v, _)| (k, v)),
                 ),
@@ -880,6 +873,12 @@ impl FixIndex {
     /// Snapshot of the index storage's I/O counters.
     pub fn io_stats(&self) -> IoStats {
         self.pool.stats()
+    }
+
+    /// Buffer-pool statistics (shared across every space attached to the
+    /// pool this index's pages live in).
+    pub fn pool_stats(&self) -> fix_storage::PoolStats {
+        self.pool.pool_stats()
     }
 
     /// Resets the index storage's I/O counters (between experiment runs).

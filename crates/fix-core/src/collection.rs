@@ -5,9 +5,9 @@
 //! primary storage is the NoK succinct physical layout; an arena in
 //! document order is its in-memory equivalent — see DESIGN.md §3.)
 
-use std::sync::Arc;
+use std::sync::{Mutex, OnceLock};
 
-use fix_storage::{BufferPool, IoStats, PageId, PAGE_SIZE};
+use fix_storage::{HeapFile, IoStats, PageId, PageSpace, RecordId, PAGE_SIZE};
 use fix_xml::{DocStats, Document, LabelTable, NodeId, ParseError};
 
 /// Index of a document within a [`Collection`].
@@ -26,9 +26,44 @@ const REC_BYTES: u64 = 16;
 /// navigational baseline, point reads for index refinement) — the quantity
 /// the paper's clustered/unclustered discussion is really about.
 struct PagedStorage {
-    pool: Arc<BufferPool>,
+    pool: PageSpace,
     /// First page of each document.
     base: Vec<u64>,
+}
+
+/// Documents demand-read from a paged database file. Ids `0..rids.len()`
+/// resolve here; eagerly added documents follow in `Collection::docs`.
+///
+/// Each slot parses at most once (`OnceLock`). Parsing re-interns element
+/// names into a frozen snapshot of the label table taken at attach time:
+/// every label of an on-disk document was interned when the file was
+/// built, so lookups hit existing entries and the snapshot never grows —
+/// which is what makes it safe to keep separate from `Collection::labels`
+/// (new labels interned by post-open inserts get ids past the snapshot).
+struct LazyDocs {
+    heap: HeapFile,
+    rids: Vec<RecordId>,
+    cells: Vec<OnceLock<Document>>,
+    labels: Mutex<LabelTable>,
+}
+
+impl LazyDocs {
+    fn force(&self, i: usize) -> &Document {
+        self.cells[i].get_or_init(|| {
+            let bytes = self.heap.get(self.rids[i]);
+            let xml = String::from_utf8(bytes).expect("paged document is not UTF-8");
+            let mut labels = self.labels.lock().expect("label snapshot poisoned");
+            let before = labels.len();
+            let doc = fix_xml::parse_document_limited(&xml, &mut labels, usize::MAX)
+                .expect("paged document failed to re-parse");
+            debug_assert_eq!(
+                labels.len(),
+                before,
+                "lazy parse interned a label missing from the saved table"
+            );
+            doc
+        })
+    }
 }
 
 /// A collection of documents with a shared label table.
@@ -37,6 +72,7 @@ pub struct Collection {
     /// Shared label interner (element names + hashed value labels).
     pub labels: LabelTable,
     docs: Vec<Document>,
+    lazy: Option<LazyDocs>,
     storage: Option<PagedStorage>,
 }
 
@@ -63,32 +99,60 @@ impl Collection {
     /// Adds an already-built document (its labels must come from
     /// [`Collection::labels`]).
     pub fn add_document(&mut self, doc: Document) -> DocId {
-        let id = DocId(u32::try_from(self.docs.len()).expect("collection overflow"));
+        let id =
+            DocId(u32::try_from(self.lazy_len() + self.docs.len()).expect("collection overflow"));
         self.docs.push(doc);
         id
     }
 
+    /// Attaches demand-read documents backed by `heap` (one record of XML
+    /// per entry of `rids`). Used when opening a paged database: document
+    /// ids `0..rids.len()` parse lazily on first access instead of at
+    /// open. The collection must not already hold documents.
+    pub fn attach_lazy_docs(&mut self, heap: HeapFile, rids: Vec<RecordId>) {
+        assert!(
+            self.docs.is_empty() && self.lazy.is_none(),
+            "lazy docs must be attached to an empty collection"
+        );
+        let cells = rids.iter().map(|_| OnceLock::new()).collect();
+        self.lazy = Some(LazyDocs {
+            heap,
+            rids,
+            cells,
+            labels: Mutex::new(self.labels.clone()),
+        });
+    }
+
+    /// Number of demand-read documents (paged open), 0 otherwise.
+    fn lazy_len(&self) -> usize {
+        self.lazy.as_ref().map_or(0, |l| l.rids.len())
+    }
+
     /// The document with id `id`.
     pub fn doc(&self, id: DocId) -> &Document {
-        &self.docs[id.0 as usize]
+        let i = id.0 as usize;
+        match &self.lazy {
+            Some(l) if i < l.rids.len() => l.force(i),
+            _ => &self.docs[i - self.lazy_len()],
+        }
     }
 
     /// Number of documents.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.lazy_len() + self.docs.len()
     }
 
     /// True if the collection has no documents.
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates `(id, document)` pairs.
+    /// Iterates `(id, document)` pairs (forcing lazy documents).
     pub fn iter(&self) -> impl Iterator<Item = (DocId, &Document)> {
-        self.docs
-            .iter()
-            .enumerate()
-            .map(|(i, d)| (DocId(i as u32), d))
+        (0..self.len()).map(|i| {
+            let id = DocId(i as u32);
+            (id, self.doc(id))
+        })
     }
 
     /// Enables the paged-storage simulation over the current documents
@@ -96,9 +160,9 @@ impl Collection {
     /// documents; evaluation paths then charge page reads for the data
     /// they touch.
     pub fn enable_paged_storage(&mut self, pool_pages: usize) {
-        let pool = Arc::new(BufferPool::in_memory(pool_pages));
-        let mut base = Vec::with_capacity(self.docs.len());
-        for d in &self.docs {
+        let pool = PageSpace::in_memory(pool_pages);
+        let mut base = Vec::with_capacity(self.len());
+        for (_, d) in self.iter() {
             let pages = ((d.len() as u64 * REC_BYTES).div_ceil(PAGE_SIZE as u64)).max(1);
             let first = pool.allocate();
             for _ in 1..pages {
@@ -121,7 +185,7 @@ impl Collection {
     /// storage.
     pub fn touch_subtree(&self, doc: DocId, node: NodeId) {
         let Some(s) = &self.storage else { return };
-        let d = &self.docs[doc.0 as usize];
+        let d = self.doc(doc);
         let start = node.0 as u64 * REC_BYTES / PAGE_SIZE as u64;
         let end = (d.subtree_end(node).0 as u64 * REC_BYTES).div_ceil(PAGE_SIZE as u64);
         let base = s.base[doc.0 as usize];
@@ -134,7 +198,7 @@ impl Collection {
     /// unindexed navigational baseline performs. No-op without paged
     /// storage.
     pub fn touch_document(&self, doc: DocId) {
-        self.touch_subtree(doc, self.docs[doc.0 as usize].root());
+        self.touch_subtree(doc, self.doc(doc).root());
     }
 
     /// I/O counters of the paged storage (zeroed if disabled).
@@ -154,15 +218,46 @@ impl Collection {
 
     /// Splits the collection into its label table and document slice —
     /// index construction needs to intern value labels while streaming
-    /// documents.
+    /// documents. Materializes any demand-read documents first (a rebuild
+    /// walks every document anyway).
     pub fn split_mut(&mut self) -> (&mut LabelTable, &[Document]) {
+        self.materialize();
         (&mut self.labels, &self.docs)
+    }
+
+    /// Forces every lazy document into the eager arena, detaching the
+    /// backing heap. Afterwards the collection is fully in-memory.
+    fn materialize(&mut self) {
+        let Some(lazy) = self.lazy.take() else { return };
+        let LazyDocs {
+            heap,
+            rids,
+            cells,
+            labels: _,
+        } = lazy;
+        let mut all: Vec<Document> = Vec::with_capacity(rids.len() + self.docs.len());
+        for (i, cell) in cells.into_iter().enumerate() {
+            let doc = match cell.into_inner() {
+                Some(d) => d,
+                None => {
+                    let bytes = heap.get(rids[i]);
+                    let xml = String::from_utf8(bytes).expect("paged document is not UTF-8");
+                    // Intern against the live table: it is a superset of
+                    // the attach-time snapshot, so existing ids match.
+                    fix_xml::parse_document_limited(&xml, &mut self.labels, usize::MAX)
+                        .expect("paged document failed to re-parse")
+                }
+            };
+            all.push(doc);
+        }
+        all.append(&mut self.docs);
+        self.docs = all;
     }
 
     /// Aggregate statistics over all documents (the Table 1 data columns).
     pub fn stats(&self) -> DocStats {
         let mut s = DocStats::default();
-        for d in &self.docs {
+        for (_, d) in self.iter() {
             s.merge(&DocStats::of(d, &self.labels));
         }
         s

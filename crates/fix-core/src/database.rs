@@ -76,17 +76,36 @@ impl FixDatabase {
     /// starting empty (bound to that path, so [`FixDatabase::save`] knows
     /// where to write) if it does not.
     pub fn open(path: impl AsRef<Path>) -> Result<Self, FixError> {
-        let path = path.as_ref();
+        Self::open_inner(path.as_ref(), None)
+    }
+
+    /// [`FixDatabase::open`] attaching a paged file's pages to an existing
+    /// shared [`BufferPool`](fix_storage::BufferPool) — several open
+    /// databases then compete for the
+    /// same bounded frame budget instead of each holding its own. Opening
+    /// an in-memory-format (v3/v2) file this way simply ignores the pool.
+    pub fn open_shared(
+        path: impl AsRef<Path>,
+        pool: &Arc<fix_storage::BufferPool>,
+    ) -> Result<Self, FixError> {
+        Self::open_inner(path.as_ref(), Some(pool))
+    }
+
+    fn open_inner(
+        path: &Path,
+        pool: Option<&Arc<fix_storage::BufferPool>>,
+    ) -> Result<Self, FixError> {
         let metrics = Arc::new(MetricsRegistry::new());
         let (coll, index) = if path.exists() {
             let start = Instant::now();
-            let (c, i) = crate::persist::load_impl(path)?;
+            // `bytes` is what open physically read: the whole file for
+            // v3/v2, just the superblock + metadata tail for paged (v4)
+            // files — the counter shows paged cold-start cost directly.
+            let (c, i, bytes) = crate::persist::load_any(path, pool)?;
             metrics
                 .histogram(names::PERSIST_LOAD_NS)
                 .record_duration(start.elapsed());
-            if let Ok(m) = std::fs::metadata(path) {
-                metrics.counter(names::PERSIST_BYTES_READ).add(m.len());
-            }
+            metrics.counter(names::PERSIST_BYTES_READ).add(bytes);
             (c, Some(Arc::new(i)))
         } else {
             (Collection::new(), None)
@@ -376,6 +395,7 @@ impl FixDatabase {
             idx.stats().report(reg);
             idx.btree_stats().report(reg);
             idx.scan_stats().report(reg);
+            idx.pool_stats().report(reg);
             reg.gauge("fix_index_entries").set(idx.entry_count() as i64);
             let d = idx.delta_stats();
             reg.gauge(names::DELTA_ENTRIES).set(d.entries as i64);
@@ -410,6 +430,14 @@ impl FixDatabase {
     /// Construction statistics, if an index exists.
     pub fn stats(&self) -> Option<&BuildStats> {
         self.index.as_deref().map(FixIndex::stats)
+    }
+
+    /// Buffer-pool statistics of the index's page storage (resident and
+    /// pinned frames, hit/miss/eviction/flush counters, CRC failures).
+    /// For a paged database this is the live view of the shared pool; for
+    /// an in-memory one it reflects the in-memory page space.
+    pub fn pool_stats(&self) -> Option<fix_storage::PoolStats> {
+        self.index.as_deref().map(FixIndex::pool_stats)
     }
 
     /// The bound file path, if any.

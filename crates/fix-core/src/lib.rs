@@ -48,9 +48,10 @@ pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
 pub use explain::{BlockExplain, Explain, ExplainAnalyze};
 pub use fix_obs::{MetricsRegistry, MetricsSnapshot, QueryTrace, Reportable, Stage, StageRecord};
+pub use fix_storage::{BufferPool, PoolStats};
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, CacheStats, Metrics};
-pub use options::{FixOptions, FixOptionsBuilder, RefineOp};
+pub use options::{FixOptions, FixOptionsBuilder, RefineOp, StorageMode};
 pub use persist::{
     salvage_file, save_with_faults, verify_bytes, verify_file, SalvageSummary, SectionReport,
     SectionStatus, VerifyReport,

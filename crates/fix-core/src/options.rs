@@ -14,6 +14,24 @@ pub enum RefineOp {
     Twig,
 }
 
+/// Where a database's pages live.
+///
+/// The mode governs what [`FixDatabase::save`](crate::FixDatabase::save)
+/// writes and how `open` behaves afterwards: an in-memory database saves
+/// the framed v3 format (everything materialized at load), a paged one
+/// saves the v4 page file — documents, clustered copies and B+-tree nodes
+/// in fixed-size pages read on demand through a bounded buffer pool, with
+/// only a small metadata tail parsed at open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageMode {
+    /// Pages live in memory; persistence materializes the whole file.
+    #[default]
+    InMemory,
+    /// Pages live in the database file and are demand-read through the
+    /// buffer pool ([`FixOptions::pool_pages`] bounds residency).
+    Paged,
+}
+
 /// Options controlling index construction and querying.
 #[derive(Debug, Clone)]
 pub struct FixOptions {
@@ -35,6 +53,11 @@ pub struct FixOptions {
     pub extractor: FeatureExtractor,
     /// Buffer-pool capacity in pages for the index storage.
     pub pool_pages: usize,
+    /// Where the database's pages live (see [`StorageMode`]). Not part of
+    /// the persisted options payload — it is derived from the file format
+    /// at open time (a v4 page file opens `Paged`, everything else
+    /// `InMemory`).
+    pub storage: StorageMode,
     /// Refinement operator.
     pub refine: RefineOp,
     /// Use the extended σ₂ feature for pruning (ablation; see
@@ -91,6 +114,7 @@ impl FixOptions {
             value_beta: None,
             extractor: FeatureExtractor::default(),
             pool_pages: 1024,
+            storage: StorageMode::InMemory,
             refine: RefineOp::default(),
             extended_features: false,
             edge_bloom: false,
@@ -262,6 +286,13 @@ impl FixOptionsBuilder {
         self
     }
 
+    /// Storage mode: in-memory pages (the default) or an on-disk page
+    /// file read on demand through the buffer pool.
+    pub fn storage(mut self, mode: StorageMode) -> Self {
+        self.opts.storage = mode;
+        self
+    }
+
     /// Switches to the paper-faithful skew-spectral feature key.
     pub fn paper_mode(mut self, on: bool) -> Self {
         self.opts.extractor.mode = if on {
@@ -346,6 +377,7 @@ mod tests {
             .threads(8)
             .query_threads(6)
             .pool_pages(64)
+            .storage(StorageMode::Paged)
             .paper_mode(true)
             .edge_bloom(true)
             .extended_features(true)
@@ -361,6 +393,7 @@ mod tests {
         assert_eq!(o.threads, 8);
         assert_eq!(o.query_threads, 6);
         assert_eq!(o.pool_pages, 64);
+        assert_eq!(o.storage, StorageMode::Paged);
         assert_eq!(o.extractor.mode, fix_spectral::FeatureMode::SkewSpectral);
         assert!(o.edge_bloom);
         assert!(o.extended_features);

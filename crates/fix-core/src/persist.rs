@@ -2,7 +2,12 @@
 //! (documents + shared label table) and the index (options, edge
 //! dictionary, B-tree entries, clustered copies).
 //!
-//! # Format v3 (current)
+//! Two formats are written, selected by [`StorageMode`]: the fully
+//! materialized v3 layout below (the default), and the paged v4 layout —
+//! a page file with a framed metadata tail, opened without reading the
+//! pages — described at the "paged format (v4)" section further down.
+//!
+//! # Format v3 (default)
 //!
 //! A v3 file is a magic header, seven mandatory *frames* in fixed order,
 //! an optional delta frame (id 7, present only when the index carries a
@@ -39,14 +44,19 @@
 //! construction uses — which reproduces identical record ids (the heap's
 //! append is deterministic).
 
+use std::collections::HashMap;
 use std::fmt;
-use std::io::{self, Write};
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use fix_btree::BTree;
 use fix_spectral::{EdgeEncoder, FeatureMode};
-use fix_storage::{crc32, BufferPool, Crc32, FaultFile, FaultPlan, HeapFile};
+use fix_storage::{
+    crc32, BufferPool, Crc32, FaultFile, FaultPlan, FileBackend, HeapDirectory, HeapFile, PageId,
+    PageSpace, RecordId, PAGE_SIZE,
+};
 use fix_xml::LabelId;
 
 use crate::builder::{BuildStats, FixIndex};
@@ -54,11 +64,13 @@ use crate::collection::{Collection, DocId};
 use crate::delta::DeltaIndex;
 use crate::error::FixError;
 use crate::key::KEY_LEN;
-use crate::options::{FixOptions, RefineOp};
+use crate::options::{FixOptions, RefineOp, StorageMode};
 use crate::values::ValueHasher;
 
 const MAGIC_V2: &[u8; 8] = b"FIXDB\x00\x02\x00";
 const MAGIC_V3: &[u8; 8] = b"FIXDB\x00\x03\x00";
+/// Magic of the paged (v4) format — see the "Format v4" section below.
+const MAGIC_V4: &[u8; 8] = b"FIXDB\x00\x04\x00";
 /// Section id of the footer pseudo-frame.
 const FOOTER_ID: u8 = 0xFF;
 /// Footer wire size: id byte + u64 offset + u32 file CRC.
@@ -542,15 +554,15 @@ fn assemble(d: Decoded) -> Result<(Collection, FixIndex), FixError> {
     // allocates heap pages first and B-tree pages second, so replaying in
     // the same order reproduces the record ids the stored B-tree values
     // point at.
-    let pool = Arc::new(BufferPool::in_memory(d.opts.pool_pages));
+    let pool = PageSpace::in_memory(d.opts.pool_pages);
     let clustered_heap = d.heap.map(|records| {
-        let mut heap = HeapFile::new(Arc::clone(&pool));
+        let mut heap = HeapFile::new(pool.clone());
         for record in &records {
             heap.append(record);
         }
         heap
     });
-    let btree = BTree::bulk_load(Arc::clone(&pool), KEY_LEN, d.entries);
+    let btree = BTree::bulk_load(pool.clone(), KEY_LEN, d.entries);
 
     let delta = match d.delta {
         None => DeltaIndex::new(d.opts.clustered),
@@ -628,10 +640,20 @@ struct FrameWalk<'a> {
 
 impl<'a> FrameWalk<'a> {
     fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 8 }
+        Self::at(data, 8)
+    }
+
+    /// A walk starting at an arbitrary offset (the v4 metadata tail has
+    /// no leading magic; its frames start at offset 0 of the region).
+    fn at(data: &'a [u8], pos: usize) -> Self {
+        Self { data, pos }
     }
 
     fn next(&mut self, expect: Section) -> Result<Frame<'a>, String> {
+        self.next_id(expect.id())
+    }
+
+    fn next_id(&mut self, expect: u8) -> Result<Frame<'a>, String> {
         let offset = self.pos;
         let avail = self.data.len() - self.pos;
         if avail < FRAME_HEADER_LEN {
@@ -640,10 +662,9 @@ impl<'a> FrameWalk<'a> {
             ));
         }
         let id = self.data[self.pos];
-        if id != expect.id() {
+        if id != expect {
             return Err(format!(
-                "expected section id {} at offset {offset:#x}, found {id}",
-                expect.id()
+                "expected section id {expect} at offset {offset:#x}, found {id}"
             ));
         }
         let len = u64::from_le_bytes(self.data[self.pos + 1..self.pos + 9].try_into().unwrap());
@@ -701,9 +722,33 @@ fn check_footer(data: &[u8], pos: usize) -> Result<(), String> {
 
 // ------------------------------------------------------------------ loading
 
+/// [`load_any`] without the pool/bytes-read plumbing (test convenience).
+#[cfg(test)]
 pub(crate) fn load_impl(path: &Path) -> Result<(Collection, FixIndex), FixError> {
+    load_any(path, None).map(|(coll, idx, _)| (coll, idx))
+}
+
+/// Loads a database of any format version, optionally attaching a paged
+/// file to an existing shared buffer pool. Returns the collection, the
+/// index, and the bytes physically read at open — for a v4 file that is
+/// the superblock plus the metadata tail only (pages are demand-read
+/// later), which is what makes paged cold-start independent of file size.
+pub(crate) fn load_any(
+    path: &Path,
+    pool: Option<&Arc<BufferPool>>,
+) -> Result<(Collection, FixIndex, u64), FixError> {
+    let mut magic = [0u8; 8];
+    let peeked = {
+        let mut f = std::fs::File::open(path)?;
+        f.read_exact(&mut magic).is_ok()
+    };
+    if peeked && &magic == MAGIC_V4 {
+        return load_paged(path, pool);
+    }
     let data = std::fs::read(path)?;
-    load_bytes(&data)
+    let bytes = data.len() as u64;
+    let (coll, idx) = load_bytes(&data)?;
+    Ok((coll, idx, bytes))
 }
 
 pub(crate) fn load_bytes(data: &[u8]) -> Result<(Collection, FixIndex), FixError> {
@@ -719,6 +764,10 @@ pub(crate) fn load_bytes(data: &[u8]) -> Result<(Collection, FixIndex), FixError
     match &data[..8] {
         m if m == MAGIC_V3 => load_v3(data),
         m if m == MAGIC_V2 => load_v2(&data[8..]),
+        m if m == MAGIC_V4 => Err(corrupt(
+            "header",
+            "paged (v4) databases attach to their file and must be opened from a path",
+        )),
         _ => Err(corrupt("header", "bad magic")),
     }
 }
@@ -870,6 +919,9 @@ fn write_tmp(
 }
 
 pub(crate) fn save_impl(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    if idx.options().storage == StorageMode::Paged {
+        return save_paged(path, coll, idx);
+    }
     save_with_faults(path, coll, idx, None)
 }
 
@@ -906,6 +958,547 @@ pub fn save_v2_unchecked(path: &Path, coll: &Collection, idx: &FixIndex) -> io::
         out.extend_from_slice(&encode_section(s, coll, idx, false));
     }
     std::fs::write(path, out)
+}
+
+// --------------------------------------------------------- paged format (v4)
+//
+// A v4 file is a page file with a small framed metadata tail:
+//
+// ```text
+// superblock (40 B in the first page):
+//   "FIXDB\0\x04\0"  page_size:u32le  page_count:u64le
+//   meta_off:u64le   meta_len:u64le   crc32(first 36 bytes):u32le
+// data pages: page_count × PAGE_SIZE starting at byte PAGE_SIZE
+//   (document heap, clustered heap, B+-tree nodes — physical layout)
+// metadata tail at meta_off = PAGE_SIZE × (1 + page_count):
+//   frames (v3 framing): options, labels, docdir, edges, btree-meta,
+//   heap-dirs, tombstones, page-crcs, [delta]
+//   footer: 0xFF  meta_body_len:u64le  crc32(metadata frames):u32le
+// ```
+//
+// Opening reads only the superblock and the metadata tail; every page is
+// demand-read through the buffer pool and checked against its entry in the
+// page-crcs table, so a torn page surfaces at the page that was damaged —
+// verify and salvage are page-granular for the same reason. The footer CRC
+// covers the metadata region only (not the pages), keeping open O(metadata).
+
+/// v4 superblock wire size.
+const SUPERBLOCK_LEN: usize = 40;
+/// v4-only metadata frame ids (options/labels/edges/tombstones/delta reuse
+/// the [`Section`] ids and payload encodings; these four replace the v3
+/// sections whose v3 payloads inline page data).
+const V4_DOC_DIR: u8 = 2;
+const V4_BTREE_META: u8 = 4;
+const V4_HEAP_DIRS: u8 = 5;
+const V4_PAGE_CRCS: u8 = 8;
+
+/// Decoded v4 superblock (`page_size` is validated during decode).
+struct Superblock {
+    page_count: u64,
+    meta_off: u64,
+    meta_len: u64,
+}
+
+fn encode_superblock(sb: &Superblock) -> [u8; SUPERBLOCK_LEN] {
+    let mut out = [0u8; SUPERBLOCK_LEN];
+    out[..8].copy_from_slice(MAGIC_V4);
+    out[8..12].copy_from_slice(&(PAGE_SIZE as u32).to_le_bytes());
+    out[12..20].copy_from_slice(&sb.page_count.to_le_bytes());
+    out[20..28].copy_from_slice(&sb.meta_off.to_le_bytes());
+    out[28..36].copy_from_slice(&sb.meta_len.to_le_bytes());
+    let crc = crc32(&out[..36]);
+    out[36..40].copy_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes and cross-checks a superblock against the file length. The
+/// caller has already matched the magic.
+fn decode_superblock(buf: &[u8], file_len: u64) -> Result<Superblock, String> {
+    if buf.len() < SUPERBLOCK_LEN {
+        return Err(format!(
+            "file is {} bytes, shorter than the {SUPERBLOCK_LEN}-byte superblock",
+            buf.len()
+        ));
+    }
+    let stored = u32::from_le_bytes(buf[36..40].try_into().unwrap());
+    let computed = crc32(&buf[..36]);
+    if stored != computed {
+        return Err(format!(
+            "superblock checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        ));
+    }
+    let page_size = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if page_size as usize != PAGE_SIZE {
+        return Err(format!(
+            "page size {page_size} does not match this build's {PAGE_SIZE}"
+        ));
+    }
+    let page_count = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let meta_off = u64::from_le_bytes(buf[20..28].try_into().unwrap());
+    let meta_len = u64::from_le_bytes(buf[28..36].try_into().unwrap());
+    let want_off = (PAGE_SIZE as u64).checked_mul(1 + page_count);
+    if want_off != Some(meta_off) {
+        return Err(format!(
+            "metadata offset {meta_off:#x} does not follow {page_count} pages"
+        ));
+    }
+    if meta_off.checked_add(meta_len) != Some(file_len) {
+        return Err(format!(
+            "metadata region ({meta_off:#x}+{meta_len}) does not end at the file end ({file_len} bytes)"
+        ));
+    }
+    if (meta_len as usize) < FOOTER_LEN {
+        return Err(format!(
+            "metadata region shorter than the {FOOTER_LEN}-byte footer"
+        ));
+    }
+    Ok(Superblock {
+        page_count,
+        meta_off,
+        meta_len,
+    })
+}
+
+/// Footer over the v4 metadata region: same wire shape as the v3 footer,
+/// but the offset field and the CRC cover the metadata bytes only —
+/// [`check_footer`] already checksums `data[..pos]`, so handing it the
+/// region instead of the file is exactly the v4 semantics.
+fn check_meta_footer(meta: &[u8]) -> Result<(), String> {
+    check_footer(meta, meta.len() - FOOTER_LEN)
+}
+
+/// Reads one CRC-checked v4 metadata frame, or a [`FixError::Corrupt`]
+/// naming the section.
+fn v4_frame<'a>(
+    walk: &mut FrameWalk<'a>,
+    id: u8,
+    name: &'static str,
+) -> Result<&'a [u8], FixError> {
+    let fr = walk.next_id(id).map_err(|d| corrupt(name, d))?;
+    if !fr.crc_ok {
+        return Err(corrupt(name, checksum_detail(&fr)));
+    }
+    Ok(fr.payload)
+}
+
+fn encode_doc_dir(rids: &[RecordId]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, rids.len() as u32);
+    for r in rids {
+        put_u64(&mut out, r.to_u64());
+    }
+    out
+}
+
+fn decode_doc_dir(r: &mut SliceReader) -> Result<Vec<RecordId>, String> {
+    let n = r.u32()?;
+    let mut rids = Vec::new();
+    for _ in 0..n {
+        rids.push(RecordId::from_u64(r.u64()?));
+    }
+    Ok(rids)
+}
+
+fn encode_btree_meta(t: &BTree) -> Vec<u8> {
+    let s = t.stats();
+    let mut out = Vec::new();
+    put_u64(&mut out, t.root_page().0);
+    put_u64(&mut out, s.height as u64);
+    put_u64(&mut out, s.entries);
+    put_u64(&mut out, s.pages);
+    out
+}
+
+/// `(root, height, entries, pages)` of the persisted tree.
+type BTreeMeta = (u64, usize, u64, u64);
+
+fn decode_btree_meta(r: &mut SliceReader) -> Result<BTreeMeta, String> {
+    let root = r.u64()?;
+    let height = r.u64()?;
+    if height > 64 {
+        return Err(format!("implausible B-tree height {height}"));
+    }
+    let entries = r.u64()?;
+    let pages = r.u64()?;
+    Ok((root, height as usize, entries, pages))
+}
+
+fn encode_heap_dir(out: &mut Vec<u8>, dir: &HeapDirectory) {
+    put_u64(out, dir.records);
+    put_u64(out, dir.overflow_pages);
+    put_u64(out, dir.data_pages.len() as u64);
+    for p in &dir.data_pages {
+        put_u64(out, p.0);
+    }
+}
+
+fn decode_heap_dir(r: &mut SliceReader) -> Result<HeapDirectory, String> {
+    let records = r.u64()?;
+    let overflow_pages = r.u64()?;
+    let n = r.u64()?;
+    let mut data_pages = Vec::new();
+    for _ in 0..n {
+        data_pages.push(PageId(r.u64()?));
+    }
+    Ok(HeapDirectory {
+        data_pages,
+        records,
+        overflow_pages,
+    })
+}
+
+fn encode_heap_dirs(docs: &HeapDirectory, clustered: Option<&HeapDirectory>) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_heap_dir(&mut out, docs);
+    match clustered {
+        Some(dir) => {
+            put_u32(&mut out, 1);
+            encode_heap_dir(&mut out, dir);
+        }
+        None => put_u32(&mut out, 0),
+    }
+    out
+}
+
+fn decode_heap_dirs(r: &mut SliceReader) -> Result<(HeapDirectory, Option<HeapDirectory>), String> {
+    let docs = decode_heap_dir(r)?;
+    let clustered = match r.u32()? {
+        0 => None,
+        1 => Some(decode_heap_dir(r)?),
+        f => return Err(format!("bad clustered-heap flag {f}")),
+    };
+    Ok((docs, clustered))
+}
+
+fn encode_page_crcs(crcs: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, crcs.len() as u64);
+    for c in crcs {
+        put_u32(&mut out, *c);
+    }
+    out
+}
+
+fn decode_page_crcs(r: &mut SliceReader) -> Result<Vec<u32>, String> {
+    let n = r.u64()?;
+    if n > r.remaining() as u64 / 4 {
+        return Err(format!("page-CRC count {n} exceeds the bytes remaining"));
+    }
+    let mut crcs = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        crcs.push(r.u32()?);
+    }
+    Ok(crcs)
+}
+
+fn storage_io(e: fix_storage::StorageError) -> io::Error {
+    io::Error::other(e)
+}
+
+fn put_frame<W: Write>(w: &mut CrcWriter<W>, id: u8, payload: &[u8]) -> io::Result<()> {
+    w.put(&[id])?;
+    w.put(&(payload.len() as u64).to_le_bytes())?;
+    w.put(payload)?;
+    w.put(&crc32(payload).to_le_bytes())
+}
+
+/// Saves the paged (v4) format with the same temp-file + rename + dir-fsync
+/// protocol as v3, so a crash at any boundary leaves the old file intact.
+pub(crate) fn save_paged(path: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    if let Err(e) = write_paged_tmp(&tmp, coll, idx) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    sync_parent_dir(path)
+}
+
+/// Builds the page file by deterministic replay into a fresh backend:
+/// document heap appends in id order, clustered copies in insertion order,
+/// then a B+-tree bulk load. Record ids in the fresh file differ from the
+/// live in-memory ones, so clustered B-tree values are remapped through
+/// the replay's old→new table — the written file is self-consistent by
+/// construction rather than by trusting the source layout.
+fn write_paged_tmp(tmp: &Path, coll: &Collection, idx: &FixIndex) -> io::Result<()> {
+    let opts = idx.options();
+    let backend = FileBackend::create_at(tmp, PAGE_SIZE as u64)?;
+    let pool = BufferPool::shared(opts.pool_pages.max(8)).attach(Box::new(backend));
+
+    // (1) Documents, in id order.
+    let mut docs_heap = HeapFile::new(pool.clone());
+    let mut doc_rids = Vec::with_capacity(coll.len());
+    for (_, d) in coll.iter() {
+        let xml = fix_xml::to_xml_string(d, &coll.labels);
+        doc_rids.push(docs_heap.append(xml.as_bytes()));
+    }
+
+    // (2) Clustered copies, replayed in insertion order.
+    let mut remap: HashMap<u64, u64> = HashMap::new();
+    let clustered_dir = match &idx.clustered {
+        Some(heap) => {
+            let mut out = HeapFile::new(pool.clone());
+            for (old, record) in heap.scan() {
+                let new = out.append(&record);
+                remap.insert(old.to_u64(), new.to_u64());
+            }
+            Some(out.directory())
+        }
+        None => None,
+    };
+
+    // (3) B-tree over remapped values (unclustered values are packed
+    // entry pointers, not record ids — those pass through untouched).
+    let entries: Vec<(Vec<u8>, u64)> = idx
+        .btree
+        .iter()
+        .map(|(k, v)| {
+            let v = if clustered_dir.is_some() {
+                *remap
+                    .get(&v)
+                    .expect("clustered B-tree value has no heap record")
+            } else {
+                v
+            };
+            (k, v)
+        })
+        .collect();
+    let btree = BTree::bulk_load(pool.clone(), KEY_LEN, entries);
+    pool.flush().map_err(storage_io)?;
+    let page_count = pool.num_pages();
+
+    // Per-page CRCs and the metadata tail go through a second handle
+    // (fsync is per-inode, so one sync_all at the end covers the pool's
+    // writes too).
+    let mut file = OpenOptions::new().read(true).write(true).open(tmp)?;
+    let mut crcs = Vec::with_capacity(page_count as usize);
+    file.seek(SeekFrom::Start(PAGE_SIZE as u64))?;
+    let mut buf = vec![0u8; PAGE_SIZE];
+    for _ in 0..page_count {
+        file.read_exact(&mut buf)?;
+        crcs.push(crc32(&buf));
+    }
+    let meta_off = PAGE_SIZE as u64 * (1 + page_count);
+    let meta_len = {
+        file.seek(SeekFrom::Start(meta_off))?;
+        let mut w = CrcWriter::new(io::BufWriter::new(&mut file));
+        put_frame(
+            &mut w,
+            Section::Options.id(),
+            &encode_section(Section::Options, coll, idx, true),
+        )?;
+        put_frame(
+            &mut w,
+            Section::Labels.id(),
+            &encode_section(Section::Labels, coll, idx, true),
+        )?;
+        put_frame(&mut w, V4_DOC_DIR, &encode_doc_dir(&doc_rids))?;
+        put_frame(
+            &mut w,
+            Section::Edges.id(),
+            &encode_section(Section::Edges, coll, idx, true),
+        )?;
+        put_frame(&mut w, V4_BTREE_META, &encode_btree_meta(&btree))?;
+        put_frame(
+            &mut w,
+            V4_HEAP_DIRS,
+            &encode_heap_dirs(&docs_heap.directory(), clustered_dir.as_ref()),
+        )?;
+        put_frame(
+            &mut w,
+            Section::Tombstones.id(),
+            &encode_section(Section::Tombstones, coll, idx, true),
+        )?;
+        put_frame(&mut w, V4_PAGE_CRCS, &encode_page_crcs(&crcs))?;
+        if !idx.delta.is_empty() {
+            put_frame(
+                &mut w,
+                Section::Delta.id(),
+                &encode_section(Section::Delta, coll, idx, true),
+            )?;
+        }
+        let body = w.count;
+        let crc = w.crc.finalize();
+        w.put(&[FOOTER_ID])?;
+        w.put(&body.to_le_bytes())?;
+        w.put(&crc.to_le_bytes())?;
+        let meta_len = w.count;
+        w.into_inner().flush()?;
+        meta_len
+    };
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&encode_superblock(&Superblock {
+        page_count,
+        meta_off,
+        meta_len,
+    }))?;
+    file.sync_all()
+}
+
+/// Opens a paged database: superblock + CRC-verified metadata tail only.
+/// Pages attach to `shared` (several databases then compete for the same
+/// bounded frame budget) or to a fresh pool sized by the saved
+/// `pool_pages`. Documents become lazy heap-backed slots; the B+-tree and
+/// clustered heap attach over the file's pages without reading them.
+fn load_paged(
+    path: &Path,
+    shared: Option<&Arc<BufferPool>>,
+) -> Result<(Collection, FixIndex, u64), FixError> {
+    let mut file = std::fs::File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut sb_buf = [0u8; SUPERBLOCK_LEN];
+    file.read_exact(&mut sb_buf)
+        .map_err(|_| corrupt("superblock", "file shorter than the superblock"))?;
+    let sb = decode_superblock(&sb_buf, file_len).map_err(|d| corrupt("superblock", d))?;
+    let mut meta = vec![0u8; sb.meta_len as usize];
+    file.seek(SeekFrom::Start(sb.meta_off))?;
+    file.read_exact(&mut meta)?;
+    check_meta_footer(&meta).map_err(|d| corrupt("footer", d))?;
+
+    let mut walk = FrameWalk::at(&meta, 0);
+    let mut opts = decode_whole(
+        v4_frame(&mut walk, Section::Options.id(), "options")?,
+        |r| decode_options(r, true),
+    )
+    .map_err(|d| corrupt("options", d))?;
+    let labels = decode_whole(
+        v4_frame(&mut walk, Section::Labels.id(), "labels")?,
+        decode_labels,
+    )
+    .map_err(|d| corrupt("labels", d))?;
+    let doc_rids = decode_whole(v4_frame(&mut walk, V4_DOC_DIR, "docdir")?, decode_doc_dir)
+        .map_err(|d| corrupt("docdir", d))?;
+    let edges = decode_whole(
+        v4_frame(&mut walk, Section::Edges.id(), "edges")?,
+        decode_edges,
+    )
+    .map_err(|d| corrupt("edges", d))?;
+    let (root, height, entries, pages) = decode_whole(
+        v4_frame(&mut walk, V4_BTREE_META, "btree-meta")?,
+        decode_btree_meta,
+    )
+    .map_err(|d| corrupt("btree-meta", d))?;
+    let (docs_dir, clustered_dir) = decode_whole(
+        v4_frame(&mut walk, V4_HEAP_DIRS, "heap-dirs")?,
+        decode_heap_dirs,
+    )
+    .map_err(|d| corrupt("heap-dirs", d))?;
+    let tombstones = decode_whole(
+        v4_frame(&mut walk, Section::Tombstones.id(), "tombstones")?,
+        decode_tombstones,
+    )
+    .map_err(|d| corrupt("tombstones", d))?;
+    let crcs = decode_whole(
+        v4_frame(&mut walk, V4_PAGE_CRCS, "page-crcs")?,
+        decode_page_crcs,
+    )
+    .map_err(|d| corrupt("page-crcs", d))?;
+    let delta = if meta.get(walk.pos) == Some(&Section::Delta.id()) {
+        let payload = v4_frame(&mut walk, Section::Delta.id(), "delta")?;
+        Some(decode_whole(payload, decode_delta).map_err(|d| corrupt("delta", d))?)
+    } else {
+        None
+    };
+    if walk.pos != meta.len() - FOOTER_LEN {
+        return Err(corrupt(
+            "footer",
+            format!(
+                "{} unexpected bytes between the last frame and the footer",
+                meta.len() - FOOTER_LEN - walk.pos
+            ),
+        ));
+    }
+
+    // Cross-checks: everything that names a page must stay inside the
+    // page region the superblock declared.
+    if crcs.len() as u64 != sb.page_count {
+        return Err(corrupt(
+            "page-crcs",
+            format!("{} checksums for {} pages", crcs.len(), sb.page_count),
+        ));
+    }
+    let page_ok = |p: u64| p < sb.page_count;
+    if !page_ok(root) {
+        return Err(corrupt("btree-meta", "root page out of range"));
+    }
+    for dir in std::iter::once(&docs_dir).chain(clustered_dir.iter()) {
+        if dir.data_pages.iter().any(|p| !page_ok(p.0)) {
+            return Err(corrupt("heap-dirs", "heap data page out of range"));
+        }
+    }
+    if doc_rids.iter().any(|r| !page_ok(r.page.0)) {
+        return Err(corrupt("docdir", "document record page out of range"));
+    }
+
+    opts.storage = StorageMode::Paged;
+    let backend = FileBackend::open_at(path, PAGE_SIZE as u64, sb.page_count)?;
+    let pool_arc = match shared {
+        Some(p) => Arc::clone(p),
+        None => BufferPool::shared(opts.pool_pages),
+    };
+    let pool = pool_arc.attach_verified(Box::new(backend), crcs);
+    let docs_heap = HeapFile::attach(pool.clone(), docs_dir);
+    let clustered = clustered_dir.map(|d| HeapFile::attach(pool.clone(), d));
+    let btree = BTree::attach(pool.clone(), KEY_LEN, PageId(root), height, entries, pages);
+
+    let mut coll = Collection::new();
+    for (i, name) in labels.iter().enumerate() {
+        let id = coll.labels.intern(name);
+        if id.0 as usize != i {
+            return Err(corrupt("labels", "label table out of order"));
+        }
+    }
+    coll.attach_lazy_docs(docs_heap, doc_rids);
+
+    let mut encoder = EdgeEncoder::new();
+    for (a, b, w) in edges {
+        encoder.restore(a, b, w);
+    }
+    let delta = match delta {
+        None => DeltaIndex::new(opts.clustered),
+        Some((entries, copies)) => {
+            if copies.is_some() != opts.clustered {
+                return Err(corrupt(
+                    "delta",
+                    "delta clustering disagrees with the options section",
+                ));
+            }
+            DeltaIndex::from_sorted(entries, copies)
+        }
+    };
+    let stats = BuildStats {
+        entries: btree.len() + delta.len(),
+        btree_bytes: btree.stats().size_bytes,
+        clustered_bytes: clustered.as_ref().map(HeapFile::size_bytes).unwrap_or(0),
+        ..Default::default()
+    };
+    let mut removed = std::collections::HashSet::new();
+    for t in tombstones {
+        removed.insert(DocId(t));
+    }
+    let hasher = opts.value_beta.map(ValueHasher::new);
+    let bytes_read = SUPERBLOCK_LEN as u64 + sb.meta_len;
+    Ok((
+        coll,
+        FixIndex {
+            opts,
+            btree,
+            encoder,
+            hasher,
+            clustered,
+            pool,
+            stats,
+            incremental: None,
+            delta,
+            removed,
+            compactions: 0,
+            compact_ns: 0,
+        },
+        bytes_read,
+    ))
 }
 
 // ------------------------------------------------------------------- verify
@@ -962,6 +1555,7 @@ impl VerifyReport {
 impl fmt::Display for VerifyReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.version {
+            4 => writeln!(f, "format v4 (paged), {} bytes", self.file_len)?,
             3 => writeln!(f, "format v3, {} bytes", self.file_len)?,
             2 => writeln!(
                 f,
@@ -1003,6 +1597,9 @@ pub fn verify_file(path: &Path) -> io::Result<VerifyReport> {
 /// [`verify_file`] over an in-memory image.
 pub fn verify_bytes(data: &[u8]) -> VerifyReport {
     let file_len = data.len() as u64;
+    if data.len() >= 8 && &data[..8] == MAGIC_V4 {
+        return verify_v4(data);
+    }
     if data.len() >= 8 && &data[..8] == MAGIC_V3 {
         return verify_v3(data);
     }
@@ -1129,6 +1726,210 @@ fn verify_v3(data: &[u8]) -> VerifyReport {
     }
 }
 
+/// The mandatory v4 metadata frames, in file order.
+const V4_FRAMES: [(u8, &str); 8] = [
+    (Section::Options as u8, "options"),
+    (Section::Labels as u8, "labels"),
+    (V4_DOC_DIR, "docdir"),
+    (Section::Edges as u8, "edges"),
+    (V4_BTREE_META, "btree-meta"),
+    (V4_HEAP_DIRS, "heap-dirs"),
+    (Section::Tombstones as u8, "tombstones"),
+    (V4_PAGE_CRCS, "page-crcs"),
+];
+
+/// Structure-checks one v4 metadata payload (the verify path).
+fn v4_decode_check(id: u8, payload: &[u8]) -> Result<(), String> {
+    match id {
+        0 => decode_whole(payload, |r| decode_options(r, true)).map(drop),
+        1 => decode_whole(payload, decode_labels).map(drop),
+        V4_DOC_DIR => decode_whole(payload, decode_doc_dir).map(drop),
+        3 => decode_whole(payload, decode_edges).map(drop),
+        V4_BTREE_META => decode_whole(payload, decode_btree_meta).map(drop),
+        V4_HEAP_DIRS => decode_whole(payload, decode_heap_dirs).map(drop),
+        6 => decode_whole(payload, decode_tombstones).map(drop),
+        7 => decode_whole(payload, decode_delta).map(drop),
+        V4_PAGE_CRCS => decode_whole(payload, decode_page_crcs).map(drop),
+        _ => Err(format!("unknown v4 frame id {id}")),
+    }
+}
+
+/// Page-granular fsck of a v4 file: the superblock, every metadata frame,
+/// the metadata footer, and then every data page against its stored
+/// CRC-32. A torn page shows up as its own `page N` row while every other
+/// section (and every other page) still verifies clean — corruption is
+/// isolated, not fatal.
+fn verify_v4(data: &[u8]) -> VerifyReport {
+    let file_len = data.len() as u64;
+    let mut sections = Vec::new();
+    let sb = match decode_superblock(data, file_len) {
+        Ok(sb) => {
+            sections.push(SectionReport {
+                section: "superblock".to_string(),
+                offset: 0,
+                len: SUPERBLOCK_LEN as u64,
+                status: SectionStatus::Ok,
+            });
+            sb
+        }
+        Err(d) => {
+            sections.push(SectionReport {
+                section: "superblock".to_string(),
+                offset: 0,
+                len: file_len.min(SUPERBLOCK_LEN as u64),
+                status: SectionStatus::Corrupt(d),
+            });
+            return VerifyReport {
+                version: 4,
+                file_len,
+                sections,
+            };
+        }
+    };
+    let meta = &data[sb.meta_off as usize..];
+    let mut walk = FrameWalk::at(meta, 0);
+    let mut structural_failure = false;
+    let mut crcs: Option<Vec<u32>> = None;
+    for (i, (id, name)) in V4_FRAMES.into_iter().enumerate() {
+        let offset = sb.meta_off + walk.pos as u64;
+        match walk.next_id(id) {
+            Err(d) => {
+                sections.push(SectionReport {
+                    section: name.to_string(),
+                    offset,
+                    len: 0,
+                    status: SectionStatus::Corrupt(d),
+                });
+                for (_, rest) in &V4_FRAMES[i + 1..] {
+                    sections.push(SectionReport {
+                        section: rest.to_string(),
+                        offset,
+                        len: 0,
+                        status: SectionStatus::Corrupt(
+                            "unreachable after a structural failure".to_string(),
+                        ),
+                    });
+                }
+                structural_failure = true;
+                break;
+            }
+            Ok(fr) => {
+                let status = if !fr.crc_ok {
+                    SectionStatus::Corrupt(checksum_detail(&fr))
+                } else if let Err(d) = v4_decode_check(id, fr.payload) {
+                    SectionStatus::Corrupt(d)
+                } else {
+                    if id == V4_PAGE_CRCS {
+                        crcs = decode_whole(fr.payload, decode_page_crcs).ok();
+                    }
+                    SectionStatus::Ok
+                };
+                sections.push(SectionReport {
+                    section: name.to_string(),
+                    offset,
+                    len: fr.payload.len() as u64,
+                    status,
+                });
+            }
+        }
+    }
+    if !structural_failure && meta.get(walk.pos) == Some(&Section::Delta.id()) {
+        let offset = sb.meta_off + walk.pos as u64;
+        match walk.next_id(Section::Delta.id()) {
+            Err(d) => {
+                sections.push(SectionReport {
+                    section: "delta".to_string(),
+                    offset,
+                    len: 0,
+                    status: SectionStatus::Corrupt(d),
+                });
+                structural_failure = true;
+            }
+            Ok(fr) => {
+                let status = if !fr.crc_ok {
+                    SectionStatus::Corrupt(checksum_detail(&fr))
+                } else if let Err(d) = v4_decode_check(Section::Delta.id(), fr.payload) {
+                    SectionStatus::Corrupt(d)
+                } else {
+                    SectionStatus::Ok
+                };
+                sections.push(SectionReport {
+                    section: "delta".to_string(),
+                    offset,
+                    len: fr.payload.len() as u64,
+                    status,
+                });
+            }
+        }
+    }
+    if !structural_failure {
+        let status = match check_footer(meta, walk.pos) {
+            Ok(()) => SectionStatus::Ok,
+            Err(d) => SectionStatus::Corrupt(d),
+        };
+        sections.push(SectionReport {
+            section: "footer".to_string(),
+            offset: sb.meta_off + walk.pos as u64,
+            len: (meta.len() - walk.pos) as u64,
+            status,
+        });
+    }
+    // Data pages, each against its stored checksum.
+    match crcs {
+        Some(crcs) if crcs.len() as u64 == sb.page_count => {
+            let mut bad = 0usize;
+            for i in 0..sb.page_count {
+                let start = PAGE_SIZE as u64 * (1 + i);
+                let page = &data[start as usize..start as usize + PAGE_SIZE];
+                let computed = crc32(page);
+                if computed != crcs[i as usize] {
+                    sections.push(SectionReport {
+                        section: format!("page {i}"),
+                        offset: start,
+                        len: PAGE_SIZE as u64,
+                        status: SectionStatus::Corrupt(format!(
+                            "checksum mismatch (stored {:#010x}, computed {computed:#010x})",
+                            crcs[i as usize]
+                        )),
+                    });
+                    bad += 1;
+                }
+            }
+            if bad == 0 {
+                sections.push(SectionReport {
+                    section: "pages".to_string(),
+                    offset: PAGE_SIZE as u64,
+                    len: sb.page_count * PAGE_SIZE as u64,
+                    status: SectionStatus::Ok,
+                });
+            }
+        }
+        Some(crcs) => sections.push(SectionReport {
+            section: "pages".to_string(),
+            offset: PAGE_SIZE as u64,
+            len: sb.page_count * PAGE_SIZE as u64,
+            status: SectionStatus::Corrupt(format!(
+                "{} checksums for {} pages",
+                crcs.len(),
+                sb.page_count
+            )),
+        }),
+        None => sections.push(SectionReport {
+            section: "pages".to_string(),
+            offset: PAGE_SIZE as u64,
+            len: sb.page_count * PAGE_SIZE as u64,
+            status: SectionStatus::Corrupt(
+                "unverifiable: the page-crcs frame is damaged".to_string(),
+            ),
+        }),
+    }
+    VerifyReport {
+        version: 4,
+        file_len,
+        sections,
+    }
+}
+
 // ------------------------------------------------------------------ salvage
 
 /// What [`salvage_file`] recovered.
@@ -1191,6 +1992,7 @@ pub fn salvage_file(src: &Path, dst: &Path) -> Result<SalvageSummary, FixError> 
         ));
     }
     let (opts, docs, tombstones, mut summary) = match &data[..8] {
+        m if m == MAGIC_V4 => salvage_scan_v4(src, &data),
         m if m == MAGIC_V3 => salvage_scan_v3(&data),
         m if m == MAGIC_V2 => salvage_scan_v2(&data[8..]),
         _ => return Err(corrupt("header", "bad magic")),
@@ -1216,6 +2018,123 @@ pub fn salvage_file(src: &Path, dst: &Path) -> Result<SalvageSummary, FixError> 
 }
 
 type SalvageScan = (FixOptions, Vec<String>, Vec<u32>, SalvageSummary);
+
+/// Page-granular salvage of a v4 file. Metadata frames are kept where
+/// they verify; documents are then fetched record-by-record through a
+/// CRC-verified buffer pool, so a torn data page loses exactly the
+/// records on it (reported per document) instead of the whole file. The
+/// rebuilt output is written fully materialized (v3) — maximally portable
+/// and independent of the damaged layout.
+fn salvage_scan_v4(src: &Path, data: &[u8]) -> SalvageScan {
+    let mut summary = SalvageSummary::default();
+    let mut opts = None;
+    let mut docs = Vec::new();
+    let mut tombstones = Vec::new();
+    let sb = match decode_superblock(data, data.len() as u64) {
+        Ok(sb) => Some(sb),
+        Err(d) => {
+            summary.dropped.push(format!("superblock: {d}"));
+            summary
+                .dropped
+                .push("documents: unreachable without a superblock".to_string());
+            None
+        }
+    };
+    if let Some(sb) = sb {
+        let meta = &data[sb.meta_off as usize..];
+        let mut walk = FrameWalk::at(meta, 0);
+        let mut doc_rids: Vec<RecordId> = Vec::new();
+        let mut crcs: Option<Vec<u32>> = None;
+        for (i, (id, name)) in V4_FRAMES.into_iter().enumerate() {
+            match walk.next_id(id) {
+                Err(d) => {
+                    summary.dropped.push(format!("{name}: {d}"));
+                    for (_, rest) in &V4_FRAMES[i + 1..] {
+                        summary
+                            .dropped
+                            .push(format!("{rest}: unreachable after a structural failure"));
+                    }
+                    break;
+                }
+                Ok(fr) if !fr.crc_ok => {
+                    summary
+                        .dropped
+                        .push(format!("{name}: {}", checksum_detail(&fr)));
+                }
+                Ok(fr) => match id {
+                    0 => match decode_whole(fr.payload, |r| decode_options(r, true)) {
+                        Ok(o) => opts = Some(o),
+                        Err(d) => summary.dropped.push(format!("options: {d}")),
+                    },
+                    V4_DOC_DIR => match decode_whole(fr.payload, decode_doc_dir) {
+                        Ok(r) => doc_rids = r,
+                        Err(d) => summary.dropped.push(format!("docdir: {d}")),
+                    },
+                    6 => match decode_whole(fr.payload, decode_tombstones) {
+                        Ok(t) => tombstones = t,
+                        Err(d) => summary.dropped.push(format!("tombstones: {d}")),
+                    },
+                    V4_PAGE_CRCS => crcs = decode_whole(fr.payload, decode_page_crcs).ok(),
+                    // Derived sections are rebuilt regardless.
+                    _ => {}
+                },
+            }
+        }
+        if !doc_rids.is_empty() {
+            match FileBackend::open_at(src, PAGE_SIZE as u64, sb.page_count) {
+                Ok(backend) => {
+                    let pool_arc = BufferPool::shared(64);
+                    let pool = match crcs {
+                        Some(c) if c.len() as u64 == sb.page_count => {
+                            pool_arc.attach_verified(Box::new(backend), c)
+                        }
+                        _ => {
+                            summary.dropped.push(
+                                "page-crcs: unavailable; documents read unverified".to_string(),
+                            );
+                            pool_arc.attach(Box::new(backend))
+                        }
+                    };
+                    // Point reads need only the pool; the directory is for
+                    // scans, so an empty one is fine here.
+                    let heap = HeapFile::attach(
+                        pool,
+                        HeapDirectory {
+                            data_pages: Vec::new(),
+                            records: 0,
+                            overflow_pages: 0,
+                        },
+                    );
+                    for (i, rid) in doc_rids.iter().enumerate() {
+                        match heap.try_get(*rid) {
+                            Ok(bytes) => match String::from_utf8(bytes) {
+                                Ok(xml) => docs.push(xml),
+                                Err(_) => {
+                                    summary
+                                        .dropped
+                                        .push(format!("document {i}: not valid UTF-8"));
+                                    summary.skipped_documents += 1;
+                                }
+                            },
+                            Err(e) => {
+                                summary.dropped.push(format!("document {i}: {e}"));
+                                summary.skipped_documents += 1;
+                            }
+                        }
+                    }
+                }
+                Err(e) => summary
+                    .dropped
+                    .push(format!("documents: cannot reopen the page file: {e}")),
+            }
+        }
+    }
+    summary.options_recovered = opts.is_some();
+    let mut opts = opts.unwrap_or_else(FixOptions::collection);
+    // The salvaged output is a fresh in-memory rebuild; persist it v3.
+    opts.storage = StorageMode::InMemory;
+    (opts, docs, tombstones, summary)
+}
 
 fn salvage_scan_v3(data: &[u8]) -> SalvageScan {
     let mut summary = SalvageSummary::default();
@@ -1768,5 +2687,169 @@ mod tests {
         // And without a fault the new content replaces the old atomically.
         save_with_faults(&path, &coll2, &idx2, None).unwrap();
         assert_eq!(load_impl(&path).unwrap().0.len(), 1);
+    }
+
+    // ---------------------------------------------------- paged format (v4)
+
+    fn paged_opts() -> FixOptions {
+        let mut o = FixOptions::large_document(4);
+        o.storage = StorageMode::Paged;
+        o
+    }
+
+    #[test]
+    fn paged_round_trip_unclustered() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, paged_opts());
+        let path = temp("paged-uncl.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        assert_eq!(&std::fs::read(&path).unwrap()[..8], MAGIC_V4);
+        let loaded = load_impl(&path).unwrap();
+        assert_eq!(loaded.1.options().storage, StorageMode::Paged);
+        assert_eq!(loaded.0.len(), 3);
+        same_outcomes(
+            &(coll, idx),
+            &loaded,
+            &[
+                "//article[author]/ee",
+                "//author[phone][email]",
+                "//book/title",
+            ],
+        );
+    }
+
+    #[test]
+    fn paged_round_trip_clustered_with_values_and_delta() {
+        let mut coll = sample_collection();
+        let mut opts = FixOptions::large_document(4).clustered().with_values(16);
+        opts.storage = StorageMode::Paged;
+        let mut idx = FixIndex::build(&mut coll, opts);
+        // A delta run rides along in the metadata tail.
+        idx.insert_xml(&mut coll, "<bib><article><author/><ee/></article></bib>")
+            .unwrap();
+        let path = temp("paged-clust.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
+        assert!(loaded.1.options().clustered);
+        assert_eq!(loaded.0.len(), 4);
+        same_outcomes(
+            &(coll, idx),
+            &loaded,
+            &["//article[author]/ee", r#"//article[title="joins"]/author"#],
+        );
+    }
+
+    #[test]
+    fn paged_open_reads_only_the_metadata_tail() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, paged_opts());
+        let path = temp("paged-cold.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let file_len = std::fs::metadata(&path).unwrap().len();
+        let (_, _, bytes) = load_any(&path, None).unwrap();
+        assert!(
+            bytes < file_len,
+            "open read {bytes} of {file_len} bytes — not metadata-only"
+        );
+    }
+
+    #[test]
+    fn paged_verify_reports_clean_pages() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, paged_opts());
+        let path = temp("paged-verify.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let report = verify_file(&path).unwrap();
+        assert_eq!(report.version, 4);
+        assert!(report.is_ok(), "{report}");
+        assert!(report.sections.iter().any(|s| s.section == "pages"));
+    }
+
+    #[test]
+    fn paged_torn_page_is_isolated() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, paged_opts());
+        let path = temp("paged-torn.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        // Flip a byte in the middle of the first data page (the document
+        // heap) — metadata stays intact, exactly one page goes bad.
+        let mut data = std::fs::read(&path).unwrap();
+        let page0 = PAGE_SIZE + PAGE_SIZE / 2;
+        data[page0] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let report = verify_bytes(&data);
+        assert_eq!(report.version, 4);
+        assert_eq!(report.corrupt_count(), 1, "{report}");
+        assert!(report
+            .sections
+            .iter()
+            .any(|s| s.section == "page 0" && matches!(s.status, SectionStatus::Corrupt(_))));
+
+        // Salvage recovers every document NOT on the torn page.
+        let dst = temp("paged-torn-out.fixdb");
+        let summary = salvage_file(&path, &dst).unwrap();
+        assert!(
+            summary.documents + summary.skipped_documents > 0,
+            "{summary}"
+        );
+        assert!(!summary.dropped.is_empty(), "{summary}");
+        let recovered = load_impl(&dst).unwrap();
+        assert_eq!(recovered.0.len(), summary.documents);
+    }
+
+    #[test]
+    fn paged_salvage_clean_file_recovers_everything() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, paged_opts());
+        let path = temp("paged-salv.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let dst = temp("paged-salv-out.fixdb");
+        let summary = salvage_file(&path, &dst).unwrap();
+        assert_eq!(summary.documents, 3, "{summary}");
+        assert_eq!(summary.skipped_documents, 0);
+        assert!(summary.options_recovered);
+        // The rebuilt output is a fully materialized v3 file.
+        assert_eq!(&std::fs::read(&dst).unwrap()[..8], MAGIC_V3);
+        assert!(load_impl(&dst).is_ok());
+    }
+
+    #[test]
+    fn paged_corrupt_metadata_is_rejected_at_open() {
+        let mut coll = sample_collection();
+        let idx = FixIndex::build(&mut coll, paged_opts());
+        let path = temp("paged-meta.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Superblock damage.
+        let mut data = clean.clone();
+        data[12] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            load_any(&path, None),
+            Err(FixError::Corrupt { ref section, .. }) if section == "superblock"
+        ));
+        // Metadata-tail damage (the label frame's bytes).
+        let mut data = clean.clone();
+        let meta_off = u64::from_le_bytes(clean[20..28].try_into().unwrap()) as usize;
+        data[meta_off + 40] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+        assert!(matches!(
+            load_any(&path, None),
+            Err(FixError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn paged_tombstones_round_trip() {
+        let mut coll = sample_collection();
+        let mut idx = FixIndex::build(&mut coll, paged_opts());
+        idx.removed.insert(DocId(1));
+        let path = temp("paged-tomb.fixdb");
+        save_impl(&path, &coll, &idx).unwrap();
+        let loaded = load_impl(&path).unwrap();
+        assert!(loaded.1.removed.contains(&DocId(1)));
+        let out = loaded.1.query(&loaded.0, "//book/title").unwrap();
+        assert!(out.results.is_empty(), "tombstoned doc still queried");
     }
 }

@@ -5,10 +5,8 @@
 //! (`(page, slot)`), which is exactly what the unclustered FIX index stores
 //! as its B-tree values.
 
-use std::sync::Arc;
-
 use crate::page::{get_u16, get_u32, get_u64, put_u16, put_u32, put_u64, PageId, PAGE_SIZE};
-use crate::pool::BufferPool;
+use crate::pool::{PageSpace, StorageError};
 
 /// Page header: `u16 slot_count`, `u16 data_start` (data grows downward).
 const HDR: usize = 4;
@@ -45,9 +43,22 @@ impl RecordId {
     }
 }
 
+/// The durable shape of a heap: everything [`HeapFile::attach`] needs to
+/// reconstruct one over an existing page region (the persistence layer
+/// serializes this next to the pages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HeapDirectory {
+    /// Slotted data pages, in allocation order (scan order).
+    pub data_pages: Vec<PageId>,
+    /// Total records appended.
+    pub records: u64,
+    /// Overflow pages allocated.
+    pub overflow_pages: u64,
+}
+
 /// An append-only heap of variable-length records.
 pub struct HeapFile {
-    pool: Arc<BufferPool>,
+    pool: PageSpace,
     /// Slotted data pages, in allocation order (scan order).
     data_pages: Vec<PageId>,
     /// Total records appended.
@@ -58,12 +69,32 @@ pub struct HeapFile {
 
 impl HeapFile {
     /// Creates an empty heap on `pool`.
-    pub fn new(pool: Arc<BufferPool>) -> Self {
+    pub fn new(pool: PageSpace) -> Self {
         Self {
             pool,
             data_pages: Vec::new(),
             records: 0,
             overflow_pages: 0,
+        }
+    }
+
+    /// Reconstructs a heap over pages that already exist in `pool`'s
+    /// backend (the paged-open path; no page is read until a record is).
+    pub fn attach(pool: PageSpace, dir: HeapDirectory) -> Self {
+        Self {
+            pool,
+            data_pages: dir.data_pages,
+            records: dir.records,
+            overflow_pages: dir.overflow_pages,
+        }
+    }
+
+    /// The heap's durable shape (see [`HeapDirectory`]).
+    pub fn directory(&self) -> HeapDirectory {
+        HeapDirectory {
+            data_pages: self.data_pages.clone(),
+            records: self.records,
+            overflow_pages: self.overflow_pages,
         }
     }
 
@@ -171,41 +202,70 @@ impl HeapFile {
         })
     }
 
-    /// Fetches a record.
+    /// Fetches a record. The slot page is pinned once: slot lookup and
+    /// inline data copy happen under a single page guard, and only
+    /// overflow records touch further pages (one pin per chain hop).
     ///
     /// # Panics
-    /// Panics on a dangling record id.
+    /// Panics on a dangling record id or an unreadable/corrupt page. Use
+    /// [`HeapFile::try_get`] where torn pages must be survivable.
     pub fn get(&self, id: RecordId) -> Vec<u8> {
-        let (off, len, ov) = self.pool.with_page(id.page, |b| {
-            let slot_count = get_u16(b, 0);
-            assert!(id.slot < slot_count, "dangling record id {id:?}");
+        self.try_get(id)
+            .unwrap_or_else(|e| panic!("heap get {id:?}: {e}"))
+    }
+
+    /// Fetches a record, surfacing page-level failures (out-of-range ids,
+    /// CRC mismatches from a verified attach, I/O errors) as
+    /// [`StorageError`] instead of panicking — the salvage path reads every
+    /// record this way so one torn page loses one record, not the file.
+    pub fn try_get(&self, id: RecordId) -> Result<Vec<u8>, StorageError> {
+        let corrupt = |detail: String| StorageError::Corrupt {
+            page: id.page,
+            detail,
+        };
+        let overflow = {
+            let guard = self.pool.try_pin(id.page)?;
+            let b = guard.data();
+            let slot_count = get_u16(&b, 0);
+            if id.slot >= slot_count {
+                return Err(corrupt(format!(
+                    "dangling record id (slot {} of {slot_count})",
+                    id.slot
+                )));
+            }
             let slot_off = HDR + id.slot as usize * SLOT;
-            let off = get_u16(b, slot_off) as usize;
-            let len = get_u16(b, slot_off + 2);
+            let off = get_u16(&b, slot_off) as usize;
+            let len = get_u16(&b, slot_off + 2);
             if len == OVERFLOW {
-                (off, 0usize, Some((get_u64(b, off), get_u32(b, off + 8))))
-            } else {
-                (off, len as usize, None)
-            }
-        });
-        match ov {
-            None => self.pool.with_page(id.page, |b| b[off..off + len].to_vec()),
-            Some((first, total)) => {
-                let mut out = Vec::with_capacity(total as usize);
-                let mut page = first;
-                while page != u64::MAX && out.len() < total as usize {
-                    let remaining = total as usize - out.len();
-                    let take = remaining.min(PAGE_SIZE - OV_HDR);
-                    let (next, data) = self.pool.with_page(PageId(page), |b| {
-                        (get_u64(b, 0), b[OV_HDR..OV_HDR + take].to_vec())
-                    });
-                    out.extend_from_slice(&data);
-                    page = next;
+                if off + OVERFLOW_PAYLOAD > PAGE_SIZE {
+                    return Err(corrupt("overflow stub out of bounds".into()));
                 }
-                assert_eq!(out.len(), total as usize, "truncated overflow chain");
-                out
+                (get_u64(&b, off), get_u32(&b, off + 8))
+            } else {
+                if off + len as usize > PAGE_SIZE {
+                    return Err(corrupt("record slot out of bounds".into()));
+                }
+                return Ok(b[off..off + len as usize].to_vec());
             }
+        };
+        let (first, total) = overflow;
+        let mut out = Vec::with_capacity(total as usize);
+        let mut page = first;
+        while page != u64::MAX && out.len() < total as usize {
+            let remaining = total as usize - out.len();
+            let take = remaining.min(PAGE_SIZE - OV_HDR);
+            let guard = self.pool.try_pin(PageId(page))?;
+            let b = guard.data();
+            out.extend_from_slice(&b[OV_HDR..OV_HDR + take]);
+            page = get_u64(&b, 0);
         }
+        if out.len() != total as usize {
+            return Err(corrupt(format!(
+                "truncated overflow chain ({} of {total} bytes)",
+                out.len()
+            )));
+        }
+        Ok(out)
     }
 
     /// Scans all records in insertion order.
@@ -225,7 +285,7 @@ mod tests {
     use super::*;
 
     fn heap() -> HeapFile {
-        HeapFile::new(Arc::new(BufferPool::in_memory(16)))
+        HeapFile::new(PageSpace::in_memory(16))
     }
 
     #[test]
@@ -309,12 +369,11 @@ mod tests {
 mod edge_tests {
     use super::*;
     use crate::page::PAGE_SIZE;
-    use crate::pool::BufferPool;
-    use std::sync::Arc;
+    use crate::pool::PageSpace;
 
     #[test]
     fn record_exactly_at_inline_maximum() {
-        let mut h = HeapFile::new(Arc::new(BufferPool::in_memory(8)));
+        let mut h = HeapFile::new(PageSpace::in_memory(8));
         let max_inline = PAGE_SIZE - 4 /*HDR*/ - 4 /*SLOT*/;
         let payload = vec![9u8; max_inline];
         let id = h.append(&payload);
@@ -328,7 +387,7 @@ mod edge_tests {
     #[test]
     fn tiny_pool_still_round_trips_overflow_chains() {
         // A single-frame pool forces every chain hop to evict.
-        let mut h = HeapFile::new(Arc::new(BufferPool::in_memory(1)));
+        let mut h = HeapFile::new(PageSpace::in_memory(1));
         let big: Vec<u8> = (0..100_000u32).map(|i| (i % 255) as u8).collect();
         let small = h.append(b"before");
         let id = h.append(&big);
@@ -340,7 +399,7 @@ mod edge_tests {
 
     #[test]
     fn interleaved_small_and_overflow_records() {
-        let mut h = HeapFile::new(Arc::new(BufferPool::in_memory(4)));
+        let mut h = HeapFile::new(PageSpace::in_memory(4));
         let mut ids = Vec::new();
         for i in 0..30usize {
             let len = if i % 5 == 4 { 20_000 } else { i * 17 % 900 };

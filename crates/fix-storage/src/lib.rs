@@ -3,11 +3,15 @@
 //! The paper implements FIX on Berkeley DB B-trees over a conventional
 //! paged store. This crate reproduces that substrate from scratch:
 //!
-//! * [`StorageBackend`] — fixed-size page I/O over memory or a file.
-//! * [`BufferPool`] — an LRU page cache with dirty tracking and I/O
-//!   counters. The counters are load-bearing: the experimental section's
-//!   clustered-vs-unclustered comparison is fundamentally an argument about
-//!   sequential vs random page I/O, and the benches report these counts.
+//! * [`StorageBackend`] — fixed-size page I/O over memory or a file, with
+//!   structured [`StorageError`]s instead of panics.
+//! * [`BufferPool`] / [`PageSpace`] — a shared LRU page cache with pin
+//!   counts ([`PageGuard`]), dirty write-back, optional per-page CRC32
+//!   verification, and per-tenant I/O counters. Several databases can
+//!   attach to one pool and compete for one frame budget. The counters are
+//!   load-bearing: the experimental section's clustered-vs-unclustered
+//!   comparison is fundamentally an argument about sequential vs random
+//!   page I/O, and the benches report these counts.
 //! * [`HeapFile`] — variable-length records on slotted pages; primary
 //!   storage for documents and the clustered index's reordered copies.
 //! * [`Crc32`] / [`crc32`] — the IEEE checksum used by the persistence
@@ -23,6 +27,9 @@ pub mod pool;
 
 pub use crc::{crc32, Crc32};
 pub use fault::{FaultFile, FaultKind, FaultPlan};
-pub use heap::{HeapFile, RecordId};
+pub use heap::{HeapDirectory, HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
-pub use pool::{BufferPool, FileBackend, IoStats, MemBackend, StorageBackend};
+pub use pool::{
+    BufferPool, FileBackend, IoStats, MemBackend, PageGuard, PageRef, PageRefMut, PageSpace,
+    PoolStats, StorageBackend, StorageError,
+};

@@ -1,22 +1,101 @@
-//! Storage backends and the LRU buffer pool.
+//! Storage backends, the shared buffer pool, and pinned page guards.
+//!
+//! The pool is the single point every page access goes through. It is
+//! *shared*: one [`BufferPool`] can cache pages for several independent
+//! page spaces at once (several open databases, or one database's index
+//! plus its document heap), each attached as a tenant with its own
+//! [`StorageBackend`] and its own [`IoStats`]. The global frame budget —
+//! [`BufferPool::shared`]'s `capacity` — bounds resident pages across all
+//! tenants, which is what makes a multi-tenant deployment's memory
+//! footprint a configuration knob instead of a function of data size.
+//!
+//! Access is guard-based: [`PageSpace::pin`] returns a [`PageGuard`] that
+//! holds a pin count on the frame for as long as the caller keeps it.
+//! Pinned frames are never evicted; everything else is fair game for the
+//! LRU sweep. The closure helpers [`PageSpace::with_page`] /
+//! [`PageSpace::with_page_mut`] are thin wrappers that pin for exactly
+//! the closure's duration.
+//!
+//! A tenant attached with [`BufferPool::attach_verified`] carries a
+//! per-page CRC32 table; every physical read is checked against it, so a
+//! torn or bit-flipped page surfaces as [`StorageError::Corrupt`] at the
+//! page that was actually damaged instead of as silently wrong bytes.
 
 use std::collections::HashMap;
+use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
+use std::ops::{Deref, DerefMut};
 use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use parking_lot::Mutex;
 
+use crate::crc::crc32;
 use crate::page::{PageId, PAGE_SIZE};
+
+/// A structured storage failure. The pool's panicking accessors
+/// (`with_page`, `pin`) treat any of these as fail-stop; the `try_`
+/// variants surface them to callers that can isolate the damage (the
+/// verifier, salvage, and the paged open path).
+#[derive(Debug)]
+pub enum StorageError {
+    /// A page id outside the backend's allocated range.
+    OutOfRange {
+        /// The requested page.
+        page: PageId,
+        /// Number of pages the backend actually holds.
+        pages: u64,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// Page contents failed checksum verification.
+    Corrupt {
+        /// The damaged page.
+        page: PageId,
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::OutOfRange { page, pages } => {
+                write!(f, "page {} out of range (backend has {pages})", page.0)
+            }
+            StorageError::Io(e) => write!(f, "page I/O error: {e}"),
+            StorageError::Corrupt { page, detail } => {
+                write!(f, "page {} corrupt: {detail}", page.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
 
 /// Fixed-size page I/O.
 pub trait StorageBackend: Send {
     /// Reads page `id` into `buf` (`buf.len() == PAGE_SIZE`).
-    fn read_page(&mut self, id: PageId, buf: &mut [u8]);
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError>;
     /// Writes `buf` to page `id`.
-    fn write_page(&mut self, id: PageId, buf: &[u8]);
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StorageError>;
     /// Allocates a fresh zeroed page and returns its id.
-    fn allocate(&mut self) -> PageId;
+    fn allocate(&mut self) -> Result<PageId, StorageError>;
     /// Number of allocated pages.
     fn num_pages(&self) -> u64;
 }
@@ -33,21 +112,38 @@ impl MemBackend {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Bounds-checks `id`, returning the structured error the
+    /// [`StorageBackend`] contract requires for unallocated pages.
+    fn check(&self, id: PageId) -> Result<usize, StorageError> {
+        let idx = id.0 as usize;
+        if idx >= self.pages.len() {
+            return Err(StorageError::OutOfRange {
+                page: id,
+                pages: self.pages.len() as u64,
+            });
+        }
+        Ok(idx)
+    }
 }
 
 impl StorageBackend for MemBackend {
-    fn read_page(&mut self, id: PageId, buf: &mut [u8]) {
-        buf.copy_from_slice(&self.pages[id.0 as usize]);
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        let idx = self.check(id)?;
+        buf.copy_from_slice(&self.pages[idx]);
+        Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8]) {
-        self.pages[id.0 as usize].copy_from_slice(buf);
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        let idx = self.check(id)?;
+        self.pages[idx].copy_from_slice(buf);
+        Ok(())
     }
 
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
         let id = PageId(self.pages.len() as u64);
         self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
-        id
+        Ok(id)
     }
 
     fn num_pages(&self) -> u64 {
@@ -55,59 +151,89 @@ impl StorageBackend for MemBackend {
     }
 }
 
-/// File-backed pages.
+/// File-backed pages. Page 0 lives at byte `base` in the file, which lets
+/// the v4 paged database format reserve a superblock (and lets the page
+/// region coexist with a metadata tail after it).
 #[derive(Debug)]
 pub struct FileBackend {
     file: File,
+    base: u64,
     pages: u64,
 }
 
 impl FileBackend {
     /// Creates (truncating) a page file at `path`.
     pub fn create(path: &Path) -> std::io::Result<Self> {
+        Self::create_at(path, 0)
+    }
+
+    /// Creates (truncating) a page file whose page 0 starts at byte
+    /// `base`.
+    pub fn create_at(path: &Path, base: u64) -> std::io::Result<Self> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self { file, pages: 0 })
+        Ok(Self {
+            file,
+            base,
+            pages: 0,
+        })
     }
 
-    /// Opens an existing page file.
+    /// Opens an existing page file (whole file = page region).
     pub fn open(path: &Path) -> std::io::Result<Self> {
         let file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
         Ok(Self {
             file,
+            base: 0,
             pages: len / PAGE_SIZE as u64,
         })
+    }
+
+    /// Opens an existing file whose page region is `pages` pages starting
+    /// at byte `base` (read-only page access; the file may hold other data
+    /// outside the region).
+    pub fn open_at(path: &Path, base: u64, pages: u64) -> std::io::Result<Self> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        Ok(Self { file, base, pages })
+    }
+
+    fn check(&self, id: PageId) -> Result<u64, StorageError> {
+        if id.0 >= self.pages {
+            return Err(StorageError::OutOfRange {
+                page: id,
+                pages: self.pages,
+            });
+        }
+        Ok(self.base + id.offset())
     }
 }
 
 impl StorageBackend for FileBackend {
-    fn read_page(&mut self, id: PageId, buf: &mut [u8]) {
-        self.file
-            .seek(SeekFrom::Start(id.offset()))
-            .expect("seek page");
-        self.file.read_exact(buf).expect("read page");
+    fn read_page(&mut self, id: PageId, buf: &mut [u8]) -> Result<(), StorageError> {
+        let off = self.check(id)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.read_exact(buf)?;
+        Ok(())
     }
 
-    fn write_page(&mut self, id: PageId, buf: &[u8]) {
-        self.file
-            .seek(SeekFrom::Start(id.offset()))
-            .expect("seek page");
-        self.file.write_all(buf).expect("write page");
+    fn write_page(&mut self, id: PageId, buf: &[u8]) -> Result<(), StorageError> {
+        let off = self.check(id)?;
+        self.file.seek(SeekFrom::Start(off))?;
+        self.file.write_all(buf)?;
+        Ok(())
     }
 
-    fn allocate(&mut self) -> PageId {
+    fn allocate(&mut self) -> Result<PageId, StorageError> {
         let id = PageId(self.pages);
         self.pages += 1;
-        self.file
-            .seek(SeekFrom::Start(id.offset()))
-            .expect("seek page");
-        self.file.write_all(&[0u8; PAGE_SIZE]).expect("extend file");
-        id
+        self.file.seek(SeekFrom::Start(self.base + id.offset()))?;
+        self.file.write_all(&[0u8; PAGE_SIZE])?;
+        Ok(id)
     }
 
     fn num_pages(&self) -> u64 {
@@ -115,10 +241,10 @@ impl StorageBackend for FileBackend {
     }
 }
 
-/// I/O and cache counters. `random_reads` counts cache-miss reads whose
-/// page id is not the successor of the previously missed id — the proxy for
-/// the random-vs-sequential distinction driving the clustered/unclustered
-/// tradeoff (Section 4.1).
+/// Per-tenant I/O and cache counters. `random_reads` counts cache-miss
+/// reads whose page id is not the successor of the previously missed id —
+/// the proxy for the random-vs-sequential distinction driving the
+/// clustered/unclustered tradeoff (Section 4.1).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Cache hits.
@@ -131,159 +257,451 @@ pub struct IoStats {
     pub random_reads: u64,
 }
 
-struct Frame {
+/// Pool-wide cache statistics, across all tenants.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Frame budget (maximum unpinned-resident pages).
+    pub capacity: usize,
+    /// Pages currently resident in the pool.
+    pub resident: usize,
+    /// Resident pages currently pinned by live guards.
+    pub pinned: usize,
+    /// Cache hits across all tenants.
+    pub hits: u64,
+    /// Cache misses (physical reads) across all tenants.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Dirty pages written back (evictions + explicit flushes).
+    pub flushes: u64,
+    /// Physical reads rejected by per-page CRC verification.
+    pub crc_failures: u64,
+}
+
+impl PoolStats {
+    /// Fraction of page accesses served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl fix_obs::Reportable for PoolStats {
+    /// Sets the `fix_pool_*` gauges (levels — re-reporting overwrites
+    /// with the latest snapshot).
+    fn report(&self, registry: &fix_obs::MetricsRegistry) {
+        registry
+            .gauge("fix_pool_capacity_pages")
+            .set(self.capacity as i64);
+        registry
+            .gauge("fix_pool_resident_pages")
+            .set(self.resident as i64);
+        registry
+            .gauge("fix_pool_pinned_pages")
+            .set(self.pinned as i64);
+        registry.gauge("fix_pool_hits").set(self.hits as i64);
+        registry.gauge("fix_pool_misses").set(self.misses as i64);
+        registry
+            .gauge("fix_pool_evictions")
+            .set(self.evictions as i64);
+        registry.gauge("fix_pool_flushes").set(self.flushes as i64);
+        registry
+            .gauge("fix_pool_crc_failures")
+            .set(self.crc_failures as i64);
+    }
+}
+
+/// One resident page. The cell is shared between the pool's frame table
+/// and any outstanding [`PageGuard`]s; the pin count is what keeps the
+/// eviction sweep away while guards are alive.
+struct FrameCell {
+    tenant: u32,
     page: PageId,
-    data: Box<[u8]>,
-    dirty: bool,
-    last_used: u64,
+    data: RwLock<Box<[u8]>>,
+    pins: AtomicU32,
+    dirty: AtomicBool,
+    tick: AtomicU64,
+}
+
+struct Tenant {
+    backend: Box<dyn StorageBackend>,
+    stats: IoStats,
+    last_miss: Option<PageId>,
+    /// Expected per-page CRC32s (verified attach); updated on write-back
+    /// so the table tracks what is actually on the backend.
+    crcs: Option<Vec<u32>>,
 }
 
 struct Inner {
-    frames: Vec<Frame>,
-    map: HashMap<PageId, usize>,
+    tenants: Vec<Tenant>,
+    frames: HashMap<(u32, PageId), Arc<FrameCell>>,
     tick: u64,
-    stats: IoStats,
-    last_miss: Option<PageId>,
+    evictions: u64,
+    flushes: u64,
+    crc_failures: u64,
 }
 
-/// An LRU buffer pool over a [`StorageBackend`].
+/// A shared LRU buffer pool over one or more [`StorageBackend`]s.
 ///
-/// The access API is closure-based: pages are pinned only for the duration
-/// of [`BufferPool::with_page`] / [`BufferPool::with_page_mut`], which keeps
-/// the pool free of guard-lifetime bookkeeping while still exercising a
-/// realistic hit/miss/eviction pattern.
+/// Create with [`BufferPool::shared`], then [`attach`](BufferPool::attach)
+/// each backend to get a [`PageSpace`] handle — the page-space is what the
+/// B+-tree and heap files hold. Multiple databases attached to one pool
+/// compete for the same frame budget.
 pub struct BufferPool {
-    state: Mutex<(Inner, Box<dyn StorageBackend>)>,
+    inner: Mutex<Inner>,
     capacity: usize,
 }
 
 impl BufferPool {
-    /// Creates a pool with room for `capacity` pages.
-    pub fn new(backend: Box<dyn StorageBackend>, capacity: usize) -> Self {
+    /// Creates a pool with room for `capacity` pages, ready for tenants.
+    pub fn shared(capacity: usize) -> Arc<Self> {
         assert!(capacity >= 1, "pool needs at least one frame");
-        Self {
-            state: Mutex::new((
-                Inner {
-                    frames: Vec::new(),
-                    map: HashMap::new(),
-                    tick: 0,
-                    stats: IoStats::default(),
-                    last_miss: None,
-                },
-                backend,
-            )),
+        Arc::new(Self {
+            inner: Mutex::new(Inner {
+                tenants: Vec::new(),
+                frames: HashMap::new(),
+                tick: 0,
+                evictions: 0,
+                flushes: 0,
+                crc_failures: 0,
+            }),
             capacity,
+        })
+    }
+
+    /// Attaches `backend` as a new tenant and returns its page space.
+    pub fn attach(self: &Arc<Self>, backend: Box<dyn StorageBackend>) -> PageSpace {
+        self.attach_inner(backend, None)
+    }
+
+    /// Attaches `backend` with a per-page CRC32 table; every physical read
+    /// of page `p` is verified against `page_crcs[p]` and surfaces
+    /// [`StorageError::Corrupt`] on mismatch.
+    pub fn attach_verified(
+        self: &Arc<Self>,
+        backend: Box<dyn StorageBackend>,
+        page_crcs: Vec<u32>,
+    ) -> PageSpace {
+        self.attach_inner(backend, Some(page_crcs))
+    }
+
+    fn attach_inner(
+        self: &Arc<Self>,
+        backend: Box<dyn StorageBackend>,
+        crcs: Option<Vec<u32>>,
+    ) -> PageSpace {
+        let mut inner = self.inner.lock();
+        let tenant = inner.tenants.len() as u32;
+        inner.tenants.push(Tenant {
+            backend,
+            stats: IoStats::default(),
+            last_miss: None,
+            crcs,
+        });
+        PageSpace {
+            pool: Arc::clone(self),
+            tenant,
         }
     }
 
-    /// Convenience: an in-memory pool.
+    /// Pool-wide statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        let inner = self.inner.lock();
+        let mut s = PoolStats {
+            capacity: self.capacity,
+            resident: inner.frames.len(),
+            pinned: inner
+                .frames
+                .values()
+                .filter(|f| f.pins.load(Ordering::Acquire) > 0)
+                .count(),
+            evictions: inner.evictions,
+            flushes: inner.flushes,
+            crc_failures: inner.crc_failures,
+            ..PoolStats::default()
+        };
+        for t in &inner.tenants {
+            s.hits += t.stats.hits;
+            s.misses += t.stats.misses;
+        }
+        s
+    }
+
+    /// Writes every tenant's dirty pages back to its backend.
+    pub fn flush_all(&self) -> Result<(), StorageError> {
+        let mut inner = self.inner.lock();
+        let cells: Vec<Arc<FrameCell>> = inner.frames.values().map(Arc::clone).collect();
+        for cell in cells {
+            Self::write_back(&mut inner, &cell)?;
+        }
+        Ok(())
+    }
+
+    /// Writes `cell` back to its tenant's backend if dirty. Called with
+    /// the inner lock held; safe because dirty data is only produced under
+    /// a pin, and write-back targets are either unpinned (eviction) or
+    /// quiesced by the caller (flush).
+    fn write_back(inner: &mut Inner, cell: &FrameCell) -> Result<(), StorageError> {
+        if !cell.dirty.swap(false, Ordering::AcqRel) {
+            return Ok(());
+        }
+        let data = cell.data.read().expect("page lock poisoned");
+        let tenant = &mut inner.tenants[cell.tenant as usize];
+        tenant.backend.write_page(cell.page, &data)?;
+        tenant.stats.writes += 1;
+        inner.flushes += 1;
+        if let Some(crcs) = &mut tenant.crcs {
+            if let Some(slot) = crcs.get_mut(cell.page.0 as usize) {
+                *slot = crc32(&data);
+            }
+        }
+        Ok(())
+    }
+
+    /// Evicts least-recently-used unpinned frames until the pool is below
+    /// capacity (or nothing more is evictable — with every frame pinned
+    /// the pool overcommits rather than deadlocking).
+    fn make_room(inner: &mut Inner, capacity: usize) -> Result<(), StorageError> {
+        while inner.frames.len() >= capacity {
+            let victim = inner
+                .frames
+                .values()
+                .filter(|f| f.pins.load(Ordering::Acquire) == 0)
+                .min_by_key(|f| f.tick.load(Ordering::Acquire))
+                .map(Arc::clone);
+            let Some(victim) = victim else {
+                return Ok(()); // everything pinned: overcommit
+            };
+            Self::write_back(inner, &victim)?;
+            inner.frames.remove(&(victim.tenant, victim.page));
+            inner.evictions += 1;
+        }
+        Ok(())
+    }
+
+    fn pin_impl(&self, tenant: u32, id: PageId) -> Result<Arc<FrameCell>, StorageError> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(cell) = inner.frames.get(&(tenant, id)) {
+            let cell = Arc::clone(cell);
+            cell.tick.store(tick, Ordering::Release);
+            cell.pins.fetch_add(1, Ordering::AcqRel);
+            inner.tenants[tenant as usize].stats.hits += 1;
+            return Ok(cell);
+        }
+        // Miss: account, make room, do the physical read.
+        {
+            let t = &mut inner.tenants[tenant as usize];
+            t.stats.misses += 1;
+            if t.last_miss.map(|p| PageId(p.0 + 1)) != Some(id) {
+                t.stats.random_reads += 1;
+            }
+            t.last_miss = Some(id);
+        }
+        Self::make_room(&mut inner, self.capacity)?;
+        let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
+        let crc_mismatch = {
+            let t = &mut inner.tenants[tenant as usize];
+            t.backend.read_page(id, &mut buf)?;
+            match t.crcs.as_ref().and_then(|c| c.get(id.0 as usize)) {
+                Some(&expect) if crc32(&buf) != expect => Some(expect),
+                _ => None,
+            }
+        };
+        if let Some(expect) = crc_mismatch {
+            inner.crc_failures += 1;
+            let got = crc32(&buf);
+            return Err(StorageError::Corrupt {
+                page: id,
+                detail: format!("CRC mismatch (stored {expect:#010x}, got {got:#010x})"),
+            });
+        }
+        let cell = Arc::new(FrameCell {
+            tenant,
+            page: id,
+            data: RwLock::new(buf),
+            pins: AtomicU32::new(1),
+            dirty: AtomicBool::new(false),
+            tick: AtomicU64::new(tick),
+        });
+        inner.frames.insert((tenant, id), Arc::clone(&cell));
+        Ok(cell)
+    }
+}
+
+/// One tenant's view of a shared [`BufferPool`]: a private page-id space
+/// over its own [`StorageBackend`], competing with the pool's other
+/// tenants for frames. Cloning the handle is cheap and shares the tenant.
+#[derive(Clone)]
+pub struct PageSpace {
+    pool: Arc<BufferPool>,
+    tenant: u32,
+}
+
+impl PageSpace {
+    /// Convenience: a fresh single-tenant in-memory pool (tests and
+    /// in-memory indexes).
     pub fn in_memory(capacity: usize) -> Self {
-        Self::new(Box::new(MemBackend::new()), capacity)
+        BufferPool::shared(capacity).attach(Box::new(MemBackend::new()))
+    }
+
+    /// The shared pool this space lives in.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Allocates a fresh zeroed page.
+    ///
+    /// # Panics
+    /// Fail-stop on backend errors (e.g. the disk filling up mid-build).
     pub fn allocate(&self) -> PageId {
-        let mut guard = self.state.lock();
-        let (_, backend) = &mut *guard;
-        backend.allocate()
+        let mut inner = self.pool.inner.lock();
+        inner.tenants[self.tenant as usize]
+            .backend
+            .allocate()
+            .expect("page allocation failed")
     }
 
     /// Number of pages in the underlying backend.
     pub fn num_pages(&self) -> u64 {
-        self.state.lock().1.num_pages()
+        self.pool.inner.lock().tenants[self.tenant as usize]
+            .backend
+            .num_pages()
     }
 
-    /// Runs `f` over an immutable view of page `id`.
+    /// Pins page `id` and returns its guard.
+    ///
+    /// # Panics
+    /// Fail-stop on I/O errors or CRC verification failure; use
+    /// [`PageSpace::try_pin`] to handle damage gracefully.
+    pub fn pin(&self, id: PageId) -> PageGuard {
+        self.try_pin(id).expect("page read failed")
+    }
+
+    /// Pins page `id`, surfacing backend and checksum failures.
+    pub fn try_pin(&self, id: PageId) -> Result<PageGuard, StorageError> {
+        let cell = self.pool.pin_impl(self.tenant, id)?;
+        Ok(PageGuard { cell })
+    }
+
+    /// Runs `f` over an immutable view of page `id` (pinning it for the
+    /// duration of the call).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
-        let mut guard = self.state.lock();
-        let (inner, backend) = &mut *guard;
-        let frame = Self::fetch(inner, backend.as_mut(), id, self.capacity);
-        f(&inner.frames[frame].data)
+        let guard = self.pin(id);
+        let data = guard.data();
+        f(&data)
     }
 
     /// Runs `f` over a mutable view of page `id`, marking it dirty.
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut [u8]) -> R) -> R {
-        let mut guard = self.state.lock();
-        let (inner, backend) = &mut *guard;
-        let frame = Self::fetch(inner, backend.as_mut(), id, self.capacity);
-        inner.frames[frame].dirty = true;
-        f(&mut inner.frames[frame].data)
+        let guard = self.pin(id);
+        let mut data = guard.data_mut();
+        f(&mut data)
     }
 
-    fn fetch(
-        inner: &mut Inner,
-        backend: &mut dyn StorageBackend,
-        id: PageId,
-        capacity: usize,
-    ) -> usize {
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(&fi) = inner.map.get(&id) {
-            inner.stats.hits += 1;
-            inner.frames[fi].last_used = tick;
-            return fi;
+    /// Writes this tenant's dirty pages back to its backend.
+    pub fn flush(&self) -> Result<(), StorageError> {
+        let mut inner = self.pool.inner.lock();
+        let cells: Vec<Arc<FrameCell>> = inner
+            .frames
+            .values()
+            .filter(|c| c.tenant == self.tenant)
+            .map(Arc::clone)
+            .collect();
+        for cell in cells {
+            BufferPool::write_back(&mut inner, &cell)?;
         }
-        inner.stats.misses += 1;
-        if inner.last_miss.map(|p| PageId(p.0 + 1)) != Some(id) {
-            inner.stats.random_reads += 1;
-        }
-        inner.last_miss = Some(id);
-        let fi = if inner.frames.len() < capacity {
-            inner.frames.push(Frame {
-                page: id,
-                data: vec![0u8; PAGE_SIZE].into_boxed_slice(),
-                dirty: false,
-                last_used: tick,
-            });
-            inner.frames.len() - 1
-        } else {
-            // Evict the least recently used frame (all frames are unpinned
-            // between calls by construction).
-            let (fi, _) = inner
-                .frames
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, f)| f.last_used)
-                .expect("pool has frames");
-            let victim = &mut inner.frames[fi];
-            if victim.dirty {
-                backend.write_page(victim.page, &victim.data);
-                inner.stats.writes += 1;
-            }
-            inner.map.remove(&victim.page);
-            victim.page = id;
-            victim.dirty = false;
-            victim.last_used = tick;
-            fi
-        };
-        backend.read_page(id, &mut inner.frames[fi].data);
-        inner.map.insert(id, fi);
-        fi
+        Ok(())
     }
 
-    /// Writes all dirty pages back to the backend.
-    pub fn flush(&self) {
-        let mut guard = self.state.lock();
-        let (inner, backend) = &mut *guard;
-        for f in &mut inner.frames {
-            if f.dirty {
-                backend.write_page(f.page, &f.data);
-                f.dirty = false;
-                inner.stats.writes += 1;
-            }
-        }
-    }
-
-    /// Snapshot of the I/O counters.
+    /// Snapshot of this tenant's I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.state.lock().0.stats
+        self.pool.inner.lock().tenants[self.tenant as usize].stats
     }
 
-    /// Resets the I/O counters (between experiment phases).
+    /// Resets this tenant's I/O counters (between experiment phases).
     pub fn reset_stats(&self) {
-        let mut guard = self.state.lock();
-        guard.0.stats = IoStats::default();
-        guard.0.last_miss = None;
+        let mut inner = self.pool.inner.lock();
+        let t = &mut inner.tenants[self.tenant as usize];
+        t.stats = IoStats::default();
+        t.last_miss = None;
+    }
+
+    /// Pool-wide statistics (all tenants).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+/// A pinned page. The underlying frame cannot be evicted while the guard
+/// lives; borrow the bytes with [`PageGuard::data`] /
+/// [`PageGuard::data_mut`].
+pub struct PageGuard {
+    cell: Arc<FrameCell>,
+}
+
+impl fmt::Debug for PageGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PageGuard")
+            .field("page", &self.cell.page)
+            .finish()
+    }
+}
+
+impl PageGuard {
+    /// The pinned page's id.
+    pub fn page(&self) -> PageId {
+        self.cell.page
+    }
+
+    /// Immutable view of the page bytes.
+    pub fn data(&self) -> PageRef<'_> {
+        PageRef(self.cell.data.read().expect("page lock poisoned"))
+    }
+
+    /// Mutable view of the page bytes; marks the page dirty.
+    pub fn data_mut(&self) -> PageRefMut<'_> {
+        let guard = self.cell.data.write().expect("page lock poisoned");
+        self.cell.dirty.store(true, Ordering::Release);
+        PageRefMut(guard)
+    }
+}
+
+impl Drop for PageGuard {
+    fn drop(&mut self) {
+        self.cell.pins.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Shared borrow of a pinned page's bytes.
+pub struct PageRef<'a>(RwLockReadGuard<'a, Box<[u8]>>);
+
+impl Deref for PageRef<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Mutable borrow of a pinned page's bytes.
+pub struct PageRefMut<'a>(RwLockWriteGuard<'a, Box<[u8]>>);
+
+impl Deref for PageRefMut<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for PageRefMut<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
     }
 }
 
@@ -293,7 +711,7 @@ mod tests {
 
     #[test]
     fn read_your_writes() {
-        let pool = BufferPool::in_memory(4);
+        let pool = PageSpace::in_memory(4);
         let p = pool.allocate();
         pool.with_page_mut(p, |b| b[0..4].copy_from_slice(&[1, 2, 3, 4]));
         let v = pool.with_page(p, |b| b[0..4].to_vec());
@@ -302,7 +720,7 @@ mod tests {
 
     #[test]
     fn eviction_persists_dirty_pages() {
-        let pool = BufferPool::in_memory(2);
+        let pool = PageSpace::in_memory(2);
         let ids: Vec<_> = (0..5).map(|_| pool.allocate()).collect();
         for (i, &id) in ids.iter().enumerate() {
             pool.with_page_mut(id, |b| b[0] = i as u8 + 10);
@@ -319,7 +737,7 @@ mod tests {
 
     #[test]
     fn hits_are_counted() {
-        let pool = BufferPool::in_memory(2);
+        let pool = PageSpace::in_memory(2);
         let p = pool.allocate();
         pool.with_page(p, |_| ());
         pool.with_page(p, |_| ());
@@ -331,7 +749,7 @@ mod tests {
 
     #[test]
     fn sequential_vs_random_reads() {
-        let pool = BufferPool::in_memory(1);
+        let pool = PageSpace::in_memory(1);
         let ids: Vec<_> = (0..4).map(|_| pool.allocate()).collect();
         // Sequential scan: 4 misses, only the first is "random".
         for &id in &ids {
@@ -358,15 +776,15 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("pages.db");
         {
-            let pool = BufferPool::new(Box::new(FileBackend::create(&path).unwrap()), 2);
+            let pool = BufferPool::shared(2).attach(Box::new(FileBackend::create(&path).unwrap()));
             let p0 = pool.allocate();
             let p1 = pool.allocate();
             pool.with_page_mut(p0, |b| b[100] = 42);
             pool.with_page_mut(p1, |b| b[200] = 43);
-            pool.flush();
+            pool.flush().unwrap();
         }
         {
-            let pool = BufferPool::new(Box::new(FileBackend::open(&path).unwrap()), 2);
+            let pool = BufferPool::shared(2).attach(Box::new(FileBackend::open(&path).unwrap()));
             assert_eq!(pool.num_pages(), 2);
             assert_eq!(pool.with_page(PageId(0), |b| b[100]), 42);
             assert_eq!(pool.with_page(PageId(1), |b| b[200]), 43);
@@ -376,7 +794,7 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_coldest_page() {
-        let pool = BufferPool::in_memory(2);
+        let pool = PageSpace::in_memory(2);
         let a = pool.allocate();
         let b = pool.allocate();
         let c = pool.allocate();
@@ -389,5 +807,189 @@ mod tests {
         assert_eq!(pool.stats().hits, 1, "a must still be cached");
         pool.with_page(b, |_| ());
         assert_eq!(pool.stats().misses, 1, "b must have been evicted");
+    }
+
+    #[test]
+    fn mem_backend_rejects_out_of_range_pages() {
+        let mut be = MemBackend::new();
+        be.allocate().unwrap();
+        let mut buf = vec![0u8; PAGE_SIZE];
+        match be.read_page(PageId(7), &mut buf) {
+            Err(StorageError::OutOfRange { page, pages }) => {
+                assert_eq!(page, PageId(7));
+                assert_eq!(pages, 1);
+            }
+            other => panic!("expected OutOfRange, got {other:?}"),
+        }
+        assert!(matches!(
+            be.write_page(PageId(1), &buf),
+            Err(StorageError::OutOfRange { .. })
+        ));
+        // In-range access still works.
+        be.write_page(PageId(0), &buf).unwrap();
+        be.read_page(PageId(0), &mut buf).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_surfaces_through_try_pin() {
+        let pool = PageSpace::in_memory(2);
+        pool.allocate();
+        let err = pool.try_pin(PageId(9)).unwrap_err();
+        assert!(matches!(err, StorageError::OutOfRange { .. }), "{err}");
+        // The failed fetch must not leave a frame behind.
+        assert_eq!(pool.pool_stats().resident, 0);
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        let pool = PageSpace::in_memory(2);
+        let ids: Vec<_> = (0..6).map(|_| pool.allocate()).collect();
+        pool.with_page_mut(ids[0], |b| b[7] = 99);
+        let guard = pool.pin(ids[0]);
+        // Sweep everything else through the 2-frame pool.
+        for &id in &ids[1..] {
+            pool.with_page(id, |_| ());
+        }
+        // The pinned page was never evicted: reading it is a hit, and its
+        // dirty byte is still in the frame.
+        pool.reset_stats();
+        assert_eq!(guard.data()[7], 99);
+        assert_eq!(pool.with_page(ids[0], |b| b[7]), 99);
+        assert_eq!(pool.stats().misses, 0, "pinned page must stay resident");
+        drop(guard);
+        // Unpinned now: pressure can evict it again.
+        for &id in &ids[1..] {
+            pool.with_page(id, |_| ());
+        }
+        pool.reset_stats();
+        pool.with_page(ids[0], |b| assert_eq!(b[7], 99));
+        assert_eq!(pool.stats().misses, 1, "unpinned page is evictable");
+    }
+
+    #[test]
+    fn eviction_order_is_lru_among_unpinned() {
+        let pool = PageSpace::in_memory(3);
+        let a = pool.allocate();
+        let b = pool.allocate();
+        let c = pool.allocate();
+        let d = pool.allocate();
+        pool.with_page(a, |_| ());
+        pool.with_page(b, |_| ());
+        pool.with_page(c, |_| ());
+        // LRU order is now a < b < c. Pin `a` so the sweep must pick `b`.
+        let guard = pool.pin(a);
+        pool.with_page(d, |_| ()); // evicts b, not pinned a
+        drop(guard);
+        pool.reset_stats();
+        pool.with_page(a, |_| ());
+        pool.with_page(c, |_| ());
+        assert_eq!(pool.stats().hits, 2, "a and c must still be resident");
+        pool.with_page(b, |_| ());
+        assert_eq!(pool.stats().misses, 1, "b was the eviction victim");
+    }
+
+    #[test]
+    fn pool_stats_track_residency_and_pins() {
+        let pool = PageSpace::in_memory(4);
+        let ids: Vec<_> = (0..3).map(|_| pool.allocate()).collect();
+        for &id in &ids {
+            pool.with_page(id, |_| ());
+        }
+        let s = pool.pool_stats();
+        assert_eq!(s.capacity, 4);
+        assert_eq!(s.resident, 3);
+        assert_eq!(s.pinned, 0);
+        let g0 = pool.pin(ids[0]);
+        let g1 = pool.pin(ids[1]);
+        assert_eq!(pool.pool_stats().pinned, 2);
+        drop((g0, g1));
+        assert_eq!(pool.pool_stats().pinned, 0);
+        assert_eq!(s.misses, 3);
+        assert!(s.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn two_tenants_share_one_pool() {
+        let pool = BufferPool::shared(4);
+        let a = pool.attach(Box::new(MemBackend::new()));
+        let b = pool.attach(Box::new(MemBackend::new()));
+        let pa = a.allocate();
+        let pb = b.allocate();
+        // Same page id, different tenants: the frames must not alias.
+        assert_eq!(pa, pb);
+        a.with_page_mut(pa, |buf| buf[0] = 1);
+        b.with_page_mut(pb, |buf| buf[0] = 2);
+        assert_eq!(a.with_page(pa, |buf| buf[0]), 1);
+        assert_eq!(b.with_page(pb, |buf| buf[0]), 2);
+        // Both tenants' pages count against one budget.
+        assert_eq!(pool.stats().resident, 2);
+        // Per-tenant counters stay separate.
+        assert_eq!(a.stats().misses, 1);
+        assert_eq!(b.stats().misses, 1);
+    }
+
+    #[test]
+    fn shared_pool_capacity_bounds_both_tenants() {
+        let pool = BufferPool::shared(2);
+        let a = pool.attach(Box::new(MemBackend::new()));
+        let b = pool.attach(Box::new(MemBackend::new()));
+        for _ in 0..4 {
+            a.allocate();
+            b.allocate();
+        }
+        for i in 0..4u64 {
+            a.with_page(PageId(i), |_| ());
+            b.with_page(PageId(i), |_| ());
+        }
+        let s = pool.stats();
+        assert!(s.resident <= 2, "{s:?}");
+        assert!(s.evictions >= 6, "{s:?}");
+    }
+
+    #[test]
+    fn verified_attach_rejects_corrupt_pages() {
+        let dir = std::env::temp_dir().join(format!("fix-crc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let mut crcs = Vec::new();
+        {
+            let pool = BufferPool::shared(4).attach(Box::new(FileBackend::create(&path).unwrap()));
+            for i in 0..3u8 {
+                let p = pool.allocate();
+                pool.with_page_mut(p, |b| b[0] = i + 1);
+            }
+            pool.flush().unwrap();
+            for i in 0..3u64 {
+                crcs.push(pool.with_page(PageId(i), crc32));
+            }
+        }
+        // Flip a byte in page 1 on disk.
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 17)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let pool = BufferPool::shared(4)
+            .attach_verified(Box::new(FileBackend::open(&path).unwrap()), crcs);
+        assert_eq!(pool.with_page(PageId(0), |b| b[0]), 1);
+        assert_eq!(pool.with_page(PageId(2), |b| b[0]), 3);
+        let err = pool.try_pin(PageId(1)).unwrap_err();
+        assert!(
+            matches!(err, StorageError::Corrupt { page, .. } if page == PageId(1)),
+            "{err}"
+        );
+        assert_eq!(pool.pool_stats().crc_failures, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn storage_errors_display() {
+        let e = StorageError::OutOfRange {
+            page: PageId(9),
+            pages: 3,
+        };
+        assert_eq!(e.to_string(), "page 9 out of range (backend has 3)");
+        let e = StorageError::from(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
     }
 }

@@ -1,7 +1,7 @@
 //! `fixdb` — command-line front end for the FIX index.
 //!
 //! ```text
-//! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] [--max-depth D] <file.xml>...
+//! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...
 //! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
 //! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
 //! fixdb add         <db> <file.xml>...   (alias: insert)
@@ -30,6 +30,12 @@
 //! clustered included) and `compact` folds the delta run into the base
 //! B+-tree; `gen` writes the paper-shaped synthetic corpora for
 //! experimentation. Everything routes through the [`FixDatabase`] facade.
+//!
+//! `build --paged` writes the v4 paged format instead of the in-memory
+//! (v3) one: pages are then demand-read through a buffer pool of
+//! `--pool-pages` frames when the database is opened, so cold start and
+//! resident memory stop scaling with file size. `stats --json` exposes
+//! the pool counters as `fix_pool_*` gauges.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -37,7 +43,7 @@ use std::time::{Duration, Instant};
 
 use fix::core::Collection;
 use fix::datagen::GenConfig;
-use fix::{FixDatabase, FixError, FixOptions};
+use fix::{FixDatabase, FixError, FixOptions, StorageMode};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,7 +62,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: fixdb <build|query|bench-query|add|remove|vacuum|compact|verify|stats|gen> ...\n\
                  \n\
-                 fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--threads N] [--max-depth D] <file.xml>...\n\
+                 fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...\n\
                  fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
                  fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
                  fixdb add         <db> <file.xml>...   (alias: insert)\n\
@@ -117,6 +123,15 @@ fn build(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                 builder = builder.values(beta);
             }
             "--bloom" => builder = builder.edge_bloom(true),
+            "--paged" => builder = builder.storage(StorageMode::Paged),
+            "--pool-pages" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| err("--pool-pages needs a positive integer"))?;
+                builder = builder.pool_pages(n);
+            }
             "--threads" => {
                 let n: usize = it
                     .next()
@@ -480,6 +495,18 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         w.key("entries").u64(s.entries as u64);
         w.key("capacity").u64(s.capacity as u64);
         w.end_object();
+        // Buffer-pool traffic this process generated — for a paged
+        // database, the live view of demand reads and evictions.
+        if let Some(p) = db.pool_stats() {
+            w.key("pool").begin_object();
+            w.key("resident").u64(p.resident as u64);
+            w.key("capacity").u64(p.capacity as u64);
+            w.key("hits").u64(p.hits);
+            w.key("misses").u64(p.misses);
+            w.key("evictions").u64(p.evictions);
+            w.key("crc_failures").u64(p.crc_failures);
+            w.end_object();
+        }
         w.end_object();
         println!("{}", w.finish());
         return Ok(());
@@ -672,6 +699,13 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("clustered:         {}", o.clustered);
     println!("value index β:     {:?}", o.value_beta);
     println!("edge bloom:        {}", o.edge_bloom);
+    println!("storage:           {:?}", o.storage);
+    if let Some(p) = db.pool_stats() {
+        println!(
+            "buffer pool:       {}/{} frames resident ({} pinned)",
+            p.resident, p.capacity, p.pinned
+        );
+    }
     println!("index entries:     {}", is.entries);
     println!("index size:        {} KiB", is.index_bytes() / 1024);
     println!("delta entries:     {}", idx.delta_len());

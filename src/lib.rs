@@ -97,7 +97,9 @@ pub use fix_core as core;
 
 // The facade types, re-exported at the root: most applications need
 // nothing beyond these.
-pub use fix_core::{FixDatabase, FixError, FixOptions, QuerySession};
+pub use fix_core::{
+    BufferPool, FixDatabase, FixError, FixOptions, PoolStats, QuerySession, StorageMode,
+};
 
 /// XML data model, parser, and event streams (`fix-xml`).
 pub mod xml {

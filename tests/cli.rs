@@ -554,3 +554,88 @@ fn bad_usage_fails_cleanly() {
     let out = fixdb().args(["gen", "bogus"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn paged_build_query_verify_stats_round_trip() {
+    let dir = workdir("paged");
+    let corpus = dir.join("tcmd");
+    let db = dir.join("db.fixdb");
+
+    let out = fixdb()
+        .args(["gen", "tcmd", "--scale", "0.03", "--out"])
+        .arg(&corpus)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&corpus)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    files.sort();
+    let out = fixdb()
+        .args(["build"])
+        .arg(&db)
+        .args(["--clustered", "--paged", "--pool-pages", "16"])
+        .args(&files)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The file on disk is the paged (v4) format and verifies clean.
+    let out = fixdb().args(["verify"]).arg(&db).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("v4"), "{stdout}");
+
+    // Queries read pages on demand through the pool.
+    let out = fixdb()
+        .args(["query"])
+        .arg(&db)
+        .args(["//article/prolog/authors/author", "--metrics"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("results in"),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // Human stats name the storage mode and the pool budget; the JSON
+    // exposition carries the fix_pool_* gauges the smoke job scrapes.
+    let out = fixdb().args(["stats"]).arg(&db).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("storage:           Paged"), "{stdout}");
+    assert!(stdout.contains("buffer pool:"), "{stdout}");
+
+    let out = fixdb()
+        .args(["stats"])
+        .arg(&db)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fix_pool_resident"), "{stdout}");
+    assert!(stdout.contains("fix_pool_capacity"), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

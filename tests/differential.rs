@@ -8,11 +8,13 @@
 //! *byte-identical* to the rebuild: same key stream, same values, same
 //! clustered copy-heap order.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use proptest::prelude::*;
 
 use fix::core::{Collection, DocId, FixIndex};
 use fix::datagen::naive::NaiveStore;
-use fix::{FixDatabase, FixOptions};
+use fix::{FixDatabase, FixOptions, StorageMode};
 
 /// Small random documents over labels `p0..p4` rooted at `p0`, with
 /// occasional `wN` text leaves so value predicates have something to hit.
@@ -213,6 +215,52 @@ fn check_byte_identity(db: &FixDatabase, opts: &FixOptions) -> Result<(), TestCa
     Ok(())
 }
 
+static PAGED_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The paged-engine leg of the oracle: rebuild the logical collection
+/// with `StorageMode::Paged` and a deliberately tiny pool, save it
+/// through the v4 paged format, reopen from disk, and demand the same
+/// answers the in-memory database serves. Query evaluation then runs
+/// against demand-read pages with constant eviction pressure.
+fn check_paged_reopen(
+    db: &FixDatabase,
+    model: &[(String, bool)],
+    opts: &FixOptions,
+    queries: &[String],
+) -> Result<(), TestCaseError> {
+    let mut popts = opts.clone();
+    popts.storage = StorageMode::Paged;
+    popts.pool_pages = 8;
+    let mut on_disk = rebuild(model, &popts);
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "fix-differential-{}-{}.fix",
+        std::process::id(),
+        PAGED_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    on_disk.save_as(&path).unwrap();
+    let reopened = FixDatabase::open(&path).unwrap();
+    for q in queries {
+        match (db.query(q), reopened.query(q)) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(&a.results, &b.results, "in-memory vs paged reopen on {}", q);
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(
+                false,
+                "outcome disagreement on {}: in-memory {:?}, paged {:?}",
+                q,
+                a.map(|o| o.results.len()),
+                b.map(|o| o.results.len())
+            ),
+        }
+    }
+    let stats = reopened.pool_stats().expect("paged database has a pool");
+    prop_assert!(stats.resident <= stats.capacity);
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -273,6 +321,7 @@ proptest! {
         for q in &final_queries {
             check_query(&db, &naive, &model, &opts, q)?;
         }
+        check_paged_reopen(&db, &model, &opts, &final_queries)?;
     }
 }
 

@@ -3,12 +3,11 @@
 //! workloads, and its structural invariants must hold throughout.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use fix::btree::BTree;
-use fix::storage::BufferPool;
+use fix::storage::PageSpace;
 
 fn key(v: u32) -> Vec<u8> {
     let mut k = vec![0u8; 12];
@@ -25,7 +24,7 @@ proptest! {
         probes in prop::collection::vec(0u32..5000, 1..40),
         ranges in prop::collection::vec((0u32..5000, 0u32..5000), 1..20),
     ) {
-        let mut tree = BTree::new(Arc::new(BufferPool::in_memory(256)), 12);
+        let mut tree = BTree::new(PageSpace::in_memory(256), 12);
         // The model maps a key to the list of values (duplicates allowed).
         let mut model: BTreeMap<Vec<u8>, Vec<u64>> = BTreeMap::new();
         for (k, v) in &inserts {
