@@ -1,0 +1,222 @@
+//! Write-path scaling: sustained mutation throughput through the
+//! WAL-backed `FixDatabase::write` across durability modes, with the
+//! delta tiers keeping read amplification bounded while the log grows.
+//!
+//! The workload is document-granular churn on the XBench TCMD analogue:
+//! a base index is built and checkpointed to disk, then a deterministic
+//! mutation stream (adds with periodic tombstones) is committed one
+//! batch at a time under each durability policy. A small WAL seal
+//! threshold forces frequent segment seals, so the delta freezes into
+//! tiered runs throughout the run — the bench asserts the k-way scan's
+//! source count stays within the size-tiering bound instead of growing
+//! linearly with the number of seals. Each leg ends with a
+//! kill-and-reopen: the database is dropped *without* a save and
+//! reopened, and the replayed state must answer the serving queries
+//! exactly like the live one did.
+//!
+//! Plain `main` (harness = false) so the sweep controls its own timing.
+//!
+//!   cargo bench -p fix-bench --bench write_scaling             # full sweep
+//!   cargo bench -p fix-bench --bench write_scaling -- --test   # CI smoke
+//!   cargo bench -p fix-bench --bench write_scaling -- --json   # machine-readable
+//!   cargo bench -p fix-bench --bench write_scaling -- --scale 0.5
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use fix_core::{Durability, FixDatabase, FixOptions, WriteBatch};
+use fix_datagen::{tcmd, GenConfig};
+
+/// Serving queries run against the final state of every leg.
+const QUERIES: &[&str] = &["/article[epilog]/prolog/authors/author", "//authors/author"];
+
+/// Tier fanout used by every leg (the default, spelled out because the
+/// read-amplification bound below depends on it).
+const FANOUT: usize = 4;
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fix-write-scaling-{}-{name}", std::process::id()))
+}
+
+struct ModeRow {
+    durability: &'static str,
+    mutations: usize,
+    wall: Duration,
+    fsyncs: u64,
+    sealed_segments: u64,
+    levels: usize,
+    frozen_runs: usize,
+    read_amp: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--test");
+    let json = args.iter().any(|a| a == "--json");
+    let mut scale = if smoke { 0.05 } else { 0.5 };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(scale);
+        }
+    }
+
+    let base_docs = tcmd(GenConfig::scaled(scale));
+    let extra_docs = tcmd(GenConfig {
+        seed: 0xDE17A,
+        scale,
+    });
+
+    let modes: &[(&'static str, Durability)] = &[
+        ("sync", Durability::Sync),
+        (
+            "group",
+            Durability::Group {
+                max_wait: Duration::from_millis(2),
+            },
+        ),
+        ("async", Durability::Async),
+    ];
+
+    if !json {
+        println!(
+            "write_scaling: scale {scale}, {} base docs, {} mutations per mode ({}):",
+            base_docs.len(),
+            extra_docs.len() + extra_docs.len() / 8,
+            if smoke { "smoke" } else { "full" },
+        );
+    }
+
+    let mut rows: Vec<ModeRow> = Vec::new();
+    for (name, durability) in modes {
+        let path = temp(&format!("{name}.fixdb"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+
+        let mut db = FixDatabase::open(&path).expect("fresh database opens");
+        for d in &base_docs {
+            db.add_xml(d).expect("generated XML parses");
+        }
+        db.build(
+            FixOptions::builder()
+                .compact_ratio(0.0) // tiering, not compaction, bounds read amp here
+                .wal_seal_bytes(if smoke { 512 } else { 4096 })
+                .tier_fanout(FANOUT)
+                .durability(*durability)
+                .build(),
+        )
+        .expect("base index builds");
+        db.save().expect("checkpoint");
+
+        // The sustained mutation stream: one-op add batches, with a
+        // tombstone batch committed after every 8th add.
+        let mut mutations = 0usize;
+        let t0 = Instant::now();
+        for (i, d) in extra_docs.iter().enumerate() {
+            let mut batch = WriteBatch::new();
+            batch.add_xml(d.as_str());
+            let ids = db.write(batch).expect("logged add commits");
+            mutations += 1;
+            if i % 8 == 7 {
+                let mut batch = WriteBatch::new();
+                batch.remove_document(ids[0]);
+                db.write(batch).expect("logged remove commits");
+                mutations += 1;
+            }
+        }
+        let wall = t0.elapsed();
+
+        let w = db.wal_stats().expect("the stream engaged the log");
+        let d = db.index().expect("built").delta_stats();
+        let levels = db.level_stats();
+        let frozen_runs: usize = levels.iter().map(|l| l.runs).sum();
+        // k-way scan sources: base tree + every frozen run + the
+        // unsealed active run.
+        let read_amp = 1 + frozen_runs + usize::from(d.tail_entries > 0);
+        // Size-tiering bound: a level cascades into the next at FANOUT
+        // runs, so each holds at most FANOUT-1 between merges and the
+        // stack is logarithmic in the number of seals — NOT linear.
+        let bound = (FANOUT - 1) * levels.len().max(1) + 2;
+        assert!(
+            read_amp <= bound,
+            "{name}: read amplification {read_amp} exceeds the tiering bound {bound} \
+             ({} seals produced {frozen_runs} live runs across {} levels)",
+            w.seals,
+            levels.len()
+        );
+        assert!(
+            w.seals >= 1,
+            "{name}: the seal threshold never tripped — the tier path went unexercised"
+        );
+
+        // Kill-and-reopen: no save since the checkpoint; the WAL alone
+        // must reproduce the live answers.
+        let live_len = db.len();
+        let live_answers: Vec<_> = QUERIES
+            .iter()
+            .map(|q| db.query(q).expect("live query").results)
+            .collect();
+        drop(db);
+        let db = FixDatabase::open(&path).expect("reopen replays the log");
+        assert_eq!(db.len(), live_len, "{name}: replay lost documents");
+        for (q, want) in QUERIES.iter().zip(&live_answers) {
+            let got = db.query(q).expect("replayed query").results;
+            assert_eq!(&got, want, "{name}: replay diverged on {q}");
+        }
+
+        rows.push(ModeRow {
+            durability: name,
+            mutations,
+            wall,
+            fsyncs: w.fsyncs,
+            sealed_segments: w.seals,
+            levels: levels.len(),
+            frozen_runs,
+            read_amp,
+        });
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    if json {
+        let mode_rows: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                format!(
+                    r#"{{"durability":"{}","mutations":{},"wall_ns":{},"mutations_per_s":{:.0},"fsyncs":{},"sealed_segments":{},"levels":{},"frozen_runs":{},"read_amp":{}}}"#,
+                    r.durability,
+                    r.mutations,
+                    r.wall.as_nanos(),
+                    r.mutations as f64 / r.wall.as_secs_f64().max(1e-12),
+                    r.fsyncs,
+                    r.sealed_segments,
+                    r.levels,
+                    r.frozen_runs,
+                    r.read_amp,
+                )
+            })
+            .collect();
+        println!(
+            r#"{{"base_docs":{},"fanout":{FANOUT},"modes":[{}],"verified":true}}"#,
+            base_docs.len(),
+            mode_rows.join(","),
+        );
+    } else {
+        for r in &rows {
+            println!(
+                "  {:<6} {:>6} mutations in {:>9.3?}  ({:>9.0}/s, {:>5} fsyncs)  \
+                 {} seals -> {} runs / {} levels (read amp {})",
+                r.durability,
+                r.mutations,
+                r.wall,
+                r.mutations as f64 / r.wall.as_secs_f64().max(1e-12),
+                r.fsyncs,
+                r.sealed_segments,
+                r.frozen_runs,
+                r.levels,
+                r.read_amp,
+            );
+        }
+        println!("write_scaling: every mode replayed from the WAL to the exact live answers");
+    }
+}

@@ -1,0 +1,274 @@
+//! Size-tiered levels of frozen [`SortedRun`]s — the middle of the
+//! LSM-style write path between the active in-memory run and the base
+//! B+-tree.
+//!
+//! The engine freezes the active run into level 0 whenever a WAL segment
+//! seals. When a level accumulates `fanout` runs they are folded by one
+//! k-way merge into a single run on the next level, cascading as levels
+//! fill. The base tree plays the role of the final level and is only
+//! rewritten by compaction, which collapses everything here back into it.
+//!
+//! Read amplification is therefore bounded by the policy: at most
+//! `fanout - 1` runs per level and `O(log_fanout(runs))` levels, so a
+//! merged scan touches the base tree, every frozen run, and the active
+//! run — a capped, slowly-growing constant rather than one run per batch.
+//!
+//! Keys across runs are globally unique (the key encodes each entry's
+//! sequence number), so any merge order yields the same byte stream and
+//! tiering stays invisible to the byte-identity invariants: merging all
+//! runs always equals the single sorted run a rebuild would produce.
+
+use crate::run::SortedRun;
+
+/// Per-level shape of the tier stack, for stats surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Level index (0 = freshest, fed by sealed WAL segments).
+    pub level: usize,
+    /// Frozen runs currently on this level.
+    pub runs: usize,
+    /// Total entries across the level's runs.
+    pub entries: u64,
+    /// Approximate resident bytes across the level's runs.
+    pub bytes: u64,
+}
+
+/// Frozen runs organized into size-tiered levels (see module docs).
+#[derive(Debug, Clone)]
+pub struct TieredRuns {
+    key_len: usize,
+    fanout: usize,
+    /// `levels[0]` is fed directly; higher levels hold bigger, older runs.
+    /// Within a level, runs are ordered oldest first.
+    levels: Vec<Vec<SortedRun>>,
+}
+
+impl TieredRuns {
+    /// An empty tier stack. `fanout` is the merge trigger: a level holding
+    /// this many runs folds into one run on the next level (min 2).
+    pub fn new(key_len: usize, fanout: usize) -> Self {
+        Self {
+            key_len,
+            fanout: fanout.max(2),
+            levels: Vec::new(),
+        }
+    }
+
+    /// The merge fanout.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Freezes `run` into level 0 and cascades merges while any level is
+    /// full. Returns how many merges ran (0 on the common path).
+    pub fn push_run(&mut self, run: SortedRun) -> usize {
+        assert_eq!(run.key_len(), self.key_len, "key length mismatch");
+        if run.is_empty() {
+            return 0;
+        }
+        if self.levels.is_empty() {
+            self.levels.push(Vec::new());
+        }
+        self.levels[0].push(run);
+        let mut merges = 0;
+        let mut level = 0;
+        while level < self.levels.len() && self.levels[level].len() >= self.fanout {
+            let runs = std::mem::take(&mut self.levels[level]);
+            let refs: Vec<&SortedRun> = runs.iter().collect();
+            let merged = merge_runs(self.key_len, &refs);
+            if self.levels.len() == level + 1 {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level + 1].push(merged);
+            merges += 1;
+            level += 1;
+        }
+        merges
+    }
+
+    /// All live runs, oldest data first: deepest level outward, and within
+    /// a level oldest run first. Merging the result (any order — keys are
+    /// unique) plus the active run reproduces the full delta stream.
+    pub fn runs(&self) -> Vec<&SortedRun> {
+        let mut out = Vec::new();
+        for level in self.levels.iter().rev() {
+            out.extend(level.iter());
+        }
+        out
+    }
+
+    /// Total entries across all frozen runs.
+    pub fn len(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|r| r.len())
+            .sum()
+    }
+
+    /// Whether no frozen runs exist.
+    pub fn is_empty(&self) -> bool {
+        self.levels.iter().all(|l| l.is_empty())
+    }
+
+    /// Number of live frozen runs.
+    pub fn run_count(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Approximate resident bytes across all frozen runs.
+    pub fn size_bytes(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| l.iter())
+            .map(|r| r.size_bytes())
+            .sum()
+    }
+
+    /// Per-level shapes, level 0 first. Empty levels are included so the
+    /// depth of the stack is visible.
+    pub fn level_stats(&self) -> Vec<LevelStats> {
+        self.levels
+            .iter()
+            .enumerate()
+            .map(|(i, runs)| LevelStats {
+                level: i,
+                runs: runs.len(),
+                entries: runs.iter().map(|r| r.len() as u64).sum(),
+                bytes: runs.iter().map(|r| r.size_bytes() as u64).sum(),
+            })
+            .collect()
+    }
+
+    /// Drops every frozen run (compaction folded them into the base).
+    pub fn clear(&mut self) {
+        self.levels.clear();
+    }
+}
+
+/// K-way merges `runs` into one sorted run. Ties (impossible for the
+/// engine's unique keys, but defined anyway) break toward the earlier
+/// source, matching the stable two-way merge this generalizes.
+pub fn merge_runs(key_len: usize, runs: &[&SortedRun]) -> SortedRun {
+    let total = runs.iter().map(|r| r.len()).sum();
+    let mut out: Vec<(Vec<u8>, u64)> = Vec::with_capacity(total);
+    for (k, v) in KMergeIter::new(runs.iter().map(|r| r.as_slice()).collect()) {
+        out.push((k.to_vec(), v));
+    }
+    SortedRun::from_sorted(key_len, out)
+}
+
+/// Lazy k-way merge over sorted entry slices: yields globally key-ordered
+/// `(key, value)` pairs, breaking ties toward the earlier source.
+pub struct KMergeIter<'a> {
+    sources: Vec<&'a [(Vec<u8>, u64)]>,
+    cursors: Vec<usize>,
+}
+
+impl<'a> KMergeIter<'a> {
+    /// Merges the given sorted slices.
+    pub fn new(sources: Vec<&'a [(Vec<u8>, u64)]>) -> Self {
+        let cursors = vec![0; sources.len()];
+        Self { sources, cursors }
+    }
+}
+
+impl<'a> Iterator for KMergeIter<'a> {
+    type Item = (&'a [u8], u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // Linear scan over the heads: the engine's k is small (bounded by
+        // the tiering policy), so this beats a heap on constant factors.
+        let mut best: Option<(usize, &'a [u8])> = None;
+        for (i, src) in self.sources.iter().enumerate() {
+            if let Some((k, _)) = src.get(self.cursors[i]) {
+                match best {
+                    Some((_, bk)) if bk <= k.as_slice() => {}
+                    _ => best = Some((i, k.as_slice())),
+                }
+            }
+        }
+        let (i, _) = best?;
+        let (k, v) = &self.sources[i][self.cursors[i]];
+        self.cursors[i] += 1;
+        Some((k.as_slice(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_of(pairs: &[(u8, u64)]) -> SortedRun {
+        let mut r = SortedRun::new(1);
+        for (k, v) in pairs {
+            r.insert(&[*k], *v);
+        }
+        r
+    }
+
+    #[test]
+    fn kmerge_is_globally_ordered_and_tie_breaks_toward_earlier_source() {
+        let a = run_of(&[(1, 10), (5, 50)]);
+        let b = run_of(&[(2, 20), (5, 51), (9, 90)]);
+        let merged = merge_runs(1, &[&a, &b]);
+        let got: Vec<(Vec<u8>, u64)> = merged.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+        assert_eq!(
+            got,
+            vec![
+                (vec![1], 10),
+                (vec![2], 20),
+                (vec![5], 50), // source 0 wins the tie
+                (vec![5], 51),
+                (vec![9], 90),
+            ]
+        );
+    }
+
+    #[test]
+    fn push_run_cascades_merges_at_fanout() {
+        let mut tiers = TieredRuns::new(1, 2);
+        assert_eq!(tiers.push_run(run_of(&[(1, 1)])), 0);
+        // Second run fills level 0 (fanout 2) → merge into level 1.
+        assert_eq!(tiers.push_run(run_of(&[(2, 2)])), 1);
+        assert_eq!(tiers.run_count(), 1);
+        assert_eq!(tiers.len(), 2);
+        // Two more runs: level 0 merge + level 1 now has 2 → cascades.
+        tiers.push_run(run_of(&[(3, 3)]));
+        let merges = tiers.push_run(run_of(&[(4, 4)]));
+        assert_eq!(merges, 2, "level-0 merge cascades into level 1");
+        assert_eq!(tiers.run_count(), 1);
+        let stats = tiers.level_stats();
+        assert_eq!(stats.last().unwrap().entries, 4);
+        // Every level respects the fanout cap → bounded read amplification.
+        assert!(stats.iter().all(|l| l.runs < tiers.fanout()));
+    }
+
+    #[test]
+    fn merged_stream_equals_one_big_sorted_run() {
+        let mut tiers = TieredRuns::new(1, 3);
+        let mut all: Vec<(Vec<u8>, u64)> = Vec::new();
+        for batch in 0..7u64 {
+            let pairs: Vec<(u8, u64)> = (0..5)
+                .map(|i| ((batch * 5 + i) as u8 ^ 0x35, batch * 5 + i))
+                .collect();
+            for (k, v) in &pairs {
+                all.push((vec![*k], *v));
+            }
+            tiers.push_run(run_of(&pairs));
+        }
+        all.sort();
+        let refs = tiers.runs();
+        let merged = merge_runs(1, &refs);
+        let got: Vec<(Vec<u8>, u64)> = merged.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+        assert_eq!(got, all, "tiering is invisible to the merged stream");
+    }
+
+    #[test]
+    fn empty_runs_are_ignored() {
+        let mut tiers = TieredRuns::new(1, 2);
+        assert_eq!(tiers.push_run(SortedRun::new(1)), 0);
+        assert!(tiers.is_empty());
+        assert_eq!(tiers.level_stats().len(), 0);
+    }
+}

@@ -8,11 +8,13 @@
 //! whose byte order equals the intended numeric order.
 
 pub mod keycodec;
+pub mod levels;
 pub mod rtree;
 pub mod run;
 pub mod tree;
 
 pub use keycodec::{decode_f64, encode_f64, KeyWriter};
+pub use levels::{merge_runs, KMergeIter, LevelStats, TieredRuns};
 pub use rtree::{Point, RTree, RTreeProbeStats};
 pub use run::SortedRun;
 pub use tree::{BTree, BTreeStats, RangeScan, ScanStats};

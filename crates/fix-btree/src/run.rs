@@ -50,6 +50,28 @@ impl SortedRun {
             .sum()
     }
 
+    /// Builds a run from entries that are already in key order. Merges and
+    /// the load path use this to avoid per-entry binary searches.
+    ///
+    /// # Panics
+    ///
+    /// When an entry is shorter/longer than `key_len` or out of order.
+    pub fn from_sorted(key_len: usize, entries: Vec<(Vec<u8>, u64)>) -> Self {
+        for w in entries.windows(2) {
+            assert!(w[0].0 <= w[1].0, "entries must be in key order");
+        }
+        for (k, _) in &entries {
+            assert_eq!(k.len(), key_len, "key length mismatch");
+        }
+        Self { key_len, entries }
+    }
+
+    /// The entries as a sorted slice — the raw material for k-way merges
+    /// across runs.
+    pub fn as_slice(&self) -> &[(Vec<u8>, u64)] {
+        &self.entries
+    }
+
     /// Inserts a key/value pair, keeping the run sorted. Duplicate keys are
     /// allowed and kept adjacent in insertion order.
     pub fn insert(&mut self, key: &[u8], value: u64) {

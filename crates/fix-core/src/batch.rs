@@ -1,0 +1,185 @@
+//! Atomic mutation batches — the unit of WAL commit.
+//!
+//! A [`WriteBatch`] groups any number of document adds and removes into
+//! one logical mutation. [`FixDatabase::write`](crate::FixDatabase::write)
+//! validates the whole batch up front, appends it as **one** WAL record
+//! (so crash recovery replays it all or drops it all — there is no
+//! partially applied batch), then applies it in memory. `add_xml` and
+//! `remove_document` are one-op batches under the hood.
+//!
+//! The WAL payload encoding is a private detail of this module:
+//!
+//! ```text
+//! batch:  magic "FB" u8 version=1  op-count:u32le  ops…
+//! op:     tag:u8 (0 = add, 1 = remove)
+//!         add:    xml-len:u64le  utf-8 xml bytes
+//!         remove: doc-id:u32le
+//! ```
+//!
+//! The record framing (length + CRC32) lives in `fix_storage::wal`; this
+//! encoding only needs to be self-describing enough for replay to reject
+//! nonsense payloads with a structured error rather than misapply them.
+
+use crate::collection::DocId;
+
+/// One operation in a [`WriteBatch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Parse and index an XML document; assigned the next document id.
+    AddXml(String),
+    /// Tombstone an existing document.
+    Remove(DocId),
+}
+
+/// An atomic group of mutations, committed through one WAL record.
+///
+/// ```
+/// use fix_core::WriteBatch;
+/// let mut batch = WriteBatch::new();
+/// batch.add_xml("<a><b/></a>").add_xml("<c/>");
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteBatch {
+    ops: Vec<WriteOp>,
+}
+
+impl WriteBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a document add. The id it will receive depends on the adds
+    /// queued before it; [`FixDatabase::write`](crate::FixDatabase::write)
+    /// returns the assigned ids in batch order.
+    pub fn add_xml(&mut self, xml: impl Into<String>) -> &mut Self {
+        self.ops.push(WriteOp::AddXml(xml.into()));
+        self
+    }
+
+    /// Queues a document remove. The id may refer to a document added
+    /// earlier in the same batch.
+    pub fn remove_document(&mut self, doc: DocId) -> &mut Self {
+        self.ops.push(WriteOp::Remove(doc));
+        self
+    }
+
+    /// Number of queued operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the batch holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The queued operations in order.
+    pub fn ops(&self) -> &[WriteOp] {
+        &self.ops
+    }
+
+    /// Serializes the batch into a WAL record payload.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + self.ops.len() * 16);
+        out.extend_from_slice(b"FB\x01");
+        out.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                WriteOp::AddXml(xml) => {
+                    out.push(0);
+                    out.extend_from_slice(&(xml.len() as u64).to_le_bytes());
+                    out.extend_from_slice(xml.as_bytes());
+                }
+                WriteOp::Remove(doc) => {
+                    out.push(1);
+                    out.extend_from_slice(&doc.0.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a WAL record payload back into a batch. The payload already
+    /// passed the record CRC, so errors here mean a format bug or version
+    /// skew, not disk corruption — callers surface them as `Corrupt`.
+    pub(crate) fn decode(payload: &[u8]) -> Result<Self, String> {
+        let err = |what: &str, at: usize| format!("{what} at payload offset {at}");
+        if payload.len() < 7 || &payload[..3] != b"FB\x01" {
+            return Err(err("bad batch magic/version", 0));
+        }
+        let count = u32::from_le_bytes(payload[3..7].try_into().expect("4 bytes")) as usize;
+        let mut ops = Vec::new();
+        let mut pos = 7;
+        for _ in 0..count {
+            let tag = *payload.get(pos).ok_or_else(|| err("truncated op", pos))?;
+            pos += 1;
+            match tag {
+                0 => {
+                    let lenb = payload
+                        .get(pos..pos + 8)
+                        .ok_or_else(|| err("truncated add length", pos))?;
+                    let len = u64::from_le_bytes(lenb.try_into().expect("8 bytes")) as usize;
+                    pos += 8;
+                    let xml = payload
+                        .get(pos..pos + len)
+                        .ok_or_else(|| err("truncated add payload", pos))?;
+                    let xml = std::str::from_utf8(xml)
+                        .map_err(|_| err("add payload is not UTF-8", pos))?;
+                    ops.push(WriteOp::AddXml(xml.to_string()));
+                    pos += len;
+                }
+                1 => {
+                    let idb = payload
+                        .get(pos..pos + 4)
+                        .ok_or_else(|| err("truncated remove id", pos))?;
+                    ops.push(WriteOp::Remove(DocId(u32::from_le_bytes(
+                        idb.try_into().expect("4 bytes"),
+                    ))));
+                    pos += 4;
+                }
+                t => return Err(err(&format!("unknown op tag {t}"), pos - 1)),
+            }
+        }
+        if pos != payload.len() {
+            return Err(err("trailing bytes after last op", pos));
+        }
+        Ok(Self { ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut b = WriteBatch::new();
+        b.add_xml("<a><b>text</b></a>")
+            .remove_document(DocId(7))
+            .add_xml("<c/>");
+        let payload = b.encode();
+        let back = WriteBatch::decode(&payload).unwrap();
+        assert_eq!(back, b);
+        assert_eq!(back.len(), 3);
+        assert!(WriteBatch::new().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert!(WriteBatch::decode(b"").is_err());
+        assert!(WriteBatch::decode(b"XX\x01\x00\x00\x00\x00").is_err());
+        let mut b = WriteBatch::new();
+        b.add_xml("<a/>");
+        let mut payload = b.encode();
+        payload.truncate(payload.len() - 1);
+        assert!(WriteBatch::decode(&payload).is_err(), "truncated add");
+        let mut trailing = b.encode();
+        trailing.push(0);
+        assert!(WriteBatch::decode(&trailing).is_err(), "trailing bytes");
+        let mut bad_tag = b.encode();
+        bad_tag[7] = 9;
+        assert!(WriteBatch::decode(&bad_tag).is_err(), "unknown tag");
+    }
+}

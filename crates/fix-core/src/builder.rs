@@ -582,7 +582,7 @@ impl FixIndex {
             extract_time,
             load_time,
         };
-        let delta = DeltaIndex::new(opts.clustered);
+        let delta = DeltaIndex::new(opts.clustered, opts.tier_fanout);
         FixIndex {
             opts,
             btree,
@@ -746,7 +746,7 @@ impl FixIndex {
         stats.entries = btree.len();
         stats.btree_bytes = btree.stats().size_bytes;
         stats.clustered_bytes = clustered.as_ref().map(HeapFile::size_bytes).unwrap_or(0);
-        let delta = DeltaIndex::new(self.opts.clustered);
+        let delta = DeltaIndex::new(self.opts.clustered, self.opts.tier_fanout);
         delta.carry_scan_history(&self.delta.stats());
         FixIndex {
             opts: self.opts.clone(),
@@ -784,6 +784,19 @@ impl FixIndex {
     /// Cumulative delta counters (size levels and scan work).
     pub fn delta_stats(&self) -> DeltaStats {
         self.delta.stats()
+    }
+
+    /// Freezes the active delta run into the frozen tier stack — called
+    /// when the WAL segment mirroring the active run seals, so the run
+    /// boundary on disk and in memory coincide. Returns `false` when the
+    /// active run was empty.
+    pub fn seal_delta(&mut self) -> bool {
+        self.delta.seal()
+    }
+
+    /// Per-level shapes of the frozen delta tier stack (level 0 first).
+    pub fn delta_level_stats(&self) -> Vec<fix_btree::LevelStats> {
+        self.delta.level_stats()
     }
 
     /// Compactions folded into this index's lineage and their cumulative

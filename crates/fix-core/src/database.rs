@@ -23,20 +23,42 @@
 //! [`FixDatabase::session`] can hand out [`QuerySession`] snapshots that
 //! serve queries from any number of threads while the database itself
 //! stays usable for read-side admin work (more queries, [`save`], stats).
-//! Mutations (`add_xml`, `remove_document`) need exclusive ownership and
-//! return [`FixError::SnapshotInUse`] while sessions are alive;
-//! [`vacuum`] instead swaps in a *new* snapshot pair, leaving live
+//! Mutations (`write`, `add_xml`, `remove_document`) need exclusive
+//! ownership and return [`FixError::SnapshotInUse`] while sessions are
+//! alive; [`vacuum`] instead swaps in a *new* snapshot pair, leaving live
 //! sessions on the old (still consistent) one.
 //!
+//! # The write path
+//!
+//! Mutations on a path-bound, indexed database are durable without
+//! rewriting the file: [`FixDatabase::write`] commits a [`WriteBatch`]
+//! as **one** record in a write-ahead log beside the database file
+//! (`<db>.wal/`), then applies it in memory — `add_xml` and
+//! `remove_document` are one-op batches. [`FixOptions::durability`]
+//! decides when the commit is fsynced (every commit, batched in the
+//! background, or left to the OS — see
+//! [`Durability`]). `open` replays whatever the
+//! log holds, so a crash or an exit without [`save`] loses nothing that
+//! the durability policy promised to keep. [`save`] doubles as the
+//! checkpoint: it writes the full image and truncates the log.
+//! Structural operations that are *not* logged ([`build`],
+//! [`FixDatabase::vacuum`]) leave the log unable to extend the old
+//! image, so the next `write` checkpoints first — nothing is lost, one
+//! save is paid at the next mutation instead of inside the structural op.
+//!
 //! [`save`]: FixDatabase::save
+//! [`build`]: FixDatabase::build
 //! [`vacuum`]: FixDatabase::vacuum
 
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use fix_obs::{names, MetricsRegistry, Reportable, Stage};
+use fix_storage::{wal_dir, Durability, FaultPlan, Wal, WalStats};
 
+use crate::batch::{WriteBatch, WriteOp};
 use crate::builder::{BuildStats, FixIndex};
 use crate::collection::{Collection, DocId};
 use crate::error::FixError;
@@ -58,18 +80,69 @@ pub struct FixDatabase {
     /// index exists (afterwards the index options govern). Set from
     /// [`FixOptions::max_parse_depth`] on build/open.
     parse_depth: usize,
+    /// The write-ahead log, once the first durable write engages it
+    /// (path-bound + indexed databases only).
+    wal: Option<Wal>,
+    /// True ⇔ the in-memory state equals the saved image plus the WAL's
+    /// records, i.e. the log is allowed to keep extending that image.
+    /// Cleared by un-logged structural changes (`build`, `vacuum`) and
+    /// by WAL append failures; the next `write` checkpoints first.
+    /// Atomic only so `save(&self)` can set it.
+    wal_extends_image: AtomicBool,
+    /// Current durability policy (seeded from [`FixOptions::durability`]
+    /// at build, adjustable at runtime via
+    /// [`FixDatabase::set_durability`]).
+    durability: Durability,
+    /// WAL segment seal threshold, from [`FixOptions::wal_seal_bytes`].
+    wal_seal_bytes: u64,
+    /// Deterministic WAL write fault for crash testing; applied to the
+    /// log when it is (re)created and forwarded when already live.
+    wal_fault: Option<FaultPlan>,
 }
 
 impl FixDatabase {
+    /// Assembles a database around already-wrapped parts, seeding the
+    /// write-path policy knobs from the index's options (or the
+    /// collection defaults when no index exists yet).
+    fn assemble(
+        path: Option<PathBuf>,
+        coll: Arc<Collection>,
+        index: Option<Arc<FixIndex>>,
+        metrics: Arc<MetricsRegistry>,
+        parse_depth: usize,
+        wal_extends_image: bool,
+    ) -> Self {
+        let (durability, wal_seal_bytes) = match index.as_deref() {
+            Some(i) => (i.options().durability, i.options().wal_seal_bytes),
+            None => {
+                let o = FixOptions::collection();
+                (o.durability, o.wal_seal_bytes)
+            }
+        };
+        Self {
+            path,
+            coll,
+            index,
+            metrics,
+            parse_depth,
+            wal: None,
+            wal_extends_image: AtomicBool::new(wal_extends_image),
+            durability,
+            wal_seal_bytes,
+            wal_fault: None,
+        }
+    }
+
     /// Creates an empty, unbound in-memory database.
     pub fn in_memory() -> Self {
-        Self {
-            path: None,
-            coll: Arc::new(Collection::new()),
-            index: None,
-            metrics: Arc::new(MetricsRegistry::new()),
-            parse_depth: fix_xml::DEFAULT_MAX_DEPTH,
-        }
+        Self::assemble(
+            None,
+            Arc::new(Collection::new()),
+            None,
+            Arc::new(MetricsRegistry::new()),
+            fix_xml::DEFAULT_MAX_DEPTH,
+            false,
+        )
     }
 
     /// Opens the database file at `path`, loading it if it exists or
@@ -96,7 +169,8 @@ impl FixDatabase {
         pool: Option<&Arc<fix_storage::BufferPool>>,
     ) -> Result<Self, FixError> {
         let metrics = Arc::new(MetricsRegistry::new());
-        let (coll, index) = if path.exists() {
+        let existed = path.exists();
+        let (coll, index) = if existed {
             let start = Instant::now();
             // `bytes` is what open physically read: the whole file for
             // v3/v2, just the superblock + metadata tail for paged (v4)
@@ -114,13 +188,55 @@ impl FixDatabase {
             .as_deref()
             .map(|i| i.options().max_parse_depth)
             .unwrap_or(fix_xml::DEFAULT_MAX_DEPTH);
-        Ok(Self {
-            path: Some(path.to_path_buf()),
-            coll: Arc::new(coll),
+        // A loaded image *is* what the log (if any) extends; a fresh path
+        // has no image, so the first write checkpoints one first.
+        let mut db = Self::assemble(
+            Some(path.to_path_buf()),
+            Arc::new(coll),
             index,
             metrics,
             parse_depth,
-        })
+            existed,
+        );
+        if existed && db.index.is_some() && wal_dir(path).is_dir() {
+            db.replay_wal(path)?;
+        }
+        Ok(db)
+    }
+
+    /// Crash recovery: replays the WAL beside `path` onto the
+    /// just-loaded image, re-creating the pre-crash logical state —
+    /// same documents, tombstones, and query answers. Delta seal points
+    /// are honored, so the tier layout is re-created too; it matches the
+    /// writer's exactly when the writer ran with the default compaction
+    /// policy (`compact_ratio`/`tier_fanout` are process policy, not
+    /// persisted, so replay applies the loaded defaults).
+    fn replay_wal(&mut self, path: &Path) -> Result<(), FixError> {
+        let token = fix_storage::db_token(path)?;
+        let (wal, segments) =
+            Wal::recover(&wal_dir(path), token, self.durability, self.wal_seal_bytes)?;
+        let mut replayed = 0u64;
+        for seg in &segments {
+            for rec in &seg.records {
+                let batch = WriteBatch::decode(rec).map_err(|detail| FixError::Corrupt {
+                    section: "wal".into(),
+                    detail,
+                })?;
+                self.apply_ops(batch.ops())?;
+                replayed += 1;
+            }
+            if seg.sealed {
+                if let Some(idx) = self.index.as_mut() {
+                    if let Some(idx_mut) = Arc::get_mut(idx) {
+                        idx_mut.seal_delta();
+                    }
+                }
+            }
+        }
+        self.metrics.counter(names::WAL_REPLAYED).add(replayed);
+        self.wal = Some(wal);
+        self.report_wal_metrics();
+        Ok(())
     }
 
     /// Wraps an already-constructed collection/index pair (escape hatch
@@ -130,13 +246,14 @@ impl FixDatabase {
             .as_ref()
             .map(|i| i.options().max_parse_depth)
             .unwrap_or(fix_xml::DEFAULT_MAX_DEPTH);
-        Self {
-            path: None,
-            coll: Arc::new(coll),
-            index: index.map(Arc::new),
-            metrics: Arc::new(MetricsRegistry::new()),
+        Self::assemble(
+            None,
+            Arc::new(coll),
+            index.map(Arc::new),
+            Arc::new(MetricsRegistry::new()),
             parse_depth,
-        }
+            false,
+        )
     }
 
     /// Tears the database back into its parts. Fails with
@@ -151,34 +268,200 @@ impl FixDatabase {
         Ok((coll, index))
     }
 
-    /// Adds one XML document. Before [`FixDatabase::build`] this only
+    /// Adds one XML document — a one-op [`WriteBatch`] through
+    /// [`FixDatabase::write`]. Before [`FixDatabase::build`] this only
     /// grows the collection; afterwards the document is feature-extracted
-    /// into the index's delta run (every index kind — clustered, loaded,
-    /// compacted — accepts inserts), and when the delta has grown past
+    /// into the index's delta (durably, via the WAL, when the database is
+    /// path-bound), and when the delta has grown past
     /// [`FixOptions::compact_ratio`] × the base tree it is folded into
     /// the base automatically (the explicit trigger is
     /// [`FixDatabase::compact`]).
     pub fn add_xml(&mut self, xml: &str) -> Result<DocId, FixError> {
-        match &mut self.index {
-            None => {
-                let depth = self.parse_depth;
-                let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
-                Ok(coll.add_xml_limited(xml, depth)?)
-            }
-            Some(idx) => {
-                let idx_mut = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
-                let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
-                let id = idx_mut.insert_xml(coll, xml)?;
-                let ratio = idx_mut.options().compact_ratio;
-                let (base, delta) = (idx_mut.btree_stats().entries, idx_mut.delta_len());
-                if ratio > 0.0 && delta > 0 && delta as f64 >= ratio * base as f64 {
-                    let start = Instant::now();
-                    let compacted = idx_mut.compact();
-                    *idx = Arc::new(compacted);
-                    self.note_compaction(start.elapsed());
+        let mut batch = WriteBatch::new();
+        batch.add_xml(xml);
+        let ids = self.write(batch)?;
+        Ok(ids[0])
+    }
+
+    /// Commits an atomic batch of mutations and returns the ids assigned
+    /// to its adds, in batch order.
+    ///
+    /// The batch is validated up front (XML parses within the depth
+    /// limit, removed ids exist) and rejected whole on the first problem
+    /// — nothing is logged or applied. On a path-bound, indexed database
+    /// the batch is then appended to the write-ahead log as one record
+    /// (made durable per [`FixDatabase::durability`]) before being
+    /// applied in memory, so it survives a crash without a full
+    /// [`FixDatabase::save`]; crash recovery replays it all or not at
+    /// all. Before [`FixDatabase::build`], only adds are accepted
+    /// (removes need an index) and they go straight into the collection.
+    pub fn write(&mut self, batch: WriteBatch) -> Result<Vec<DocId>, FixError> {
+        if batch.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.index.is_none() {
+            return self.write_unindexed(&batch);
+        }
+        // Exclusivity probe *before* touching the log: a snapshot in use
+        // must not leave a logged-but-unapplied record behind.
+        {
+            let idx = self.index.as_mut().expect("checked above");
+            Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
+            Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+        }
+        self.validate(&batch)?;
+        let sealed = if self.path.is_some() {
+            self.commit_to_wal(&batch)?
+        } else {
+            false
+        };
+        let ids = self.apply_ops(batch.ops())?;
+        if sealed {
+            // The record that filled the WAL segment is the last one in
+            // it; replay seals the delta right after applying it, so the
+            // live path must too for the tier layout to match.
+            if let Some(idx) = self.index.as_mut() {
+                if let Some(idx_mut) = Arc::get_mut(idx) {
+                    idx_mut.seal_delta();
                 }
-                self.report_delta_gauges();
-                Ok(id)
+            }
+        }
+        self.report_wal_metrics();
+        Ok(ids)
+    }
+
+    /// The pre-build arm of [`FixDatabase::write`]: adds go straight into
+    /// the collection (there is no index to log against yet; `build` +
+    /// `save` establish the first durable image), removes are rejected.
+    fn write_unindexed(&mut self, batch: &WriteBatch) -> Result<Vec<DocId>, FixError> {
+        if batch
+            .ops()
+            .iter()
+            .any(|op| matches!(op, WriteOp::Remove(_)))
+        {
+            return Err(FixError::NoIndex);
+        }
+        self.validate(batch)?;
+        let depth = self.parse_depth;
+        let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+        let mut ids = Vec::new();
+        for op in batch.ops() {
+            let WriteOp::AddXml(xml) = op else {
+                unreachable!("removes rejected above")
+            };
+            ids.push(coll.add_xml_limited(xml, depth)?);
+        }
+        Ok(ids)
+    }
+
+    /// Rejects a batch that could fail partway through application:
+    /// every add must parse within the depth limit, every remove must
+    /// name a document that exists (counting adds earlier in the batch).
+    fn validate(&self, batch: &WriteBatch) -> Result<(), FixError> {
+        let depth = self
+            .index
+            .as_deref()
+            .map(|i| i.options().max_parse_depth)
+            .unwrap_or(self.parse_depth);
+        let mut next_id = self.coll.len() as u32;
+        for op in batch.ops() {
+            match op {
+                WriteOp::AddXml(xml) => {
+                    let mut labels = fix_xml::LabelTable::new();
+                    fix_xml::parse_document_limited(xml, &mut labels, depth)?;
+                    next_id += 1;
+                }
+                WriteOp::Remove(doc) => {
+                    if doc.0 >= next_id {
+                        return Err(FixError::NoSuchDocument { doc: doc.0 });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a validated batch's operations in order — the one code
+    /// path shared by live writes and WAL replay, so both evolve the
+    /// index (including automatic compaction decisions) identically.
+    fn apply_ops(&mut self, ops: &[WriteOp]) -> Result<Vec<DocId>, FixError> {
+        let mut ids = Vec::new();
+        for op in ops {
+            {
+                let idx = self.index.as_mut().ok_or(FixError::NoIndex)?;
+                let idx_mut = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
+                match op {
+                    WriteOp::AddXml(xml) => {
+                        let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
+                        ids.push(idx_mut.insert_xml(coll, xml)?);
+                    }
+                    WriteOp::Remove(doc) => idx_mut.remove_document(*doc),
+                }
+            }
+            self.maybe_auto_compact();
+        }
+        self.report_delta_gauges();
+        Ok(ids)
+    }
+
+    /// Folds the delta into the base when it has outgrown
+    /// [`FixOptions::compact_ratio`]. Checked after every applied op —
+    /// live and replayed alike — so recovery reproduces the same
+    /// compaction points.
+    fn maybe_auto_compact(&mut self) {
+        let Some(idx) = self.index.as_mut() else {
+            return;
+        };
+        let Some(idx_mut) = Arc::get_mut(idx) else {
+            return;
+        };
+        let ratio = idx_mut.options().compact_ratio;
+        let (base, delta) = (idx_mut.btree_stats().entries, idx_mut.delta_len());
+        if ratio > 0.0 && delta > 0 && delta as f64 >= ratio * base as f64 {
+            let start = Instant::now();
+            let compacted = idx_mut.compact();
+            *idx = Arc::new(compacted);
+            self.note_compaction(start.elapsed());
+        }
+    }
+
+    /// Ensures the log can extend the on-disk image (checkpointing if it
+    /// cannot), lazily engages it, and appends the batch as one record.
+    /// Returns whether the append sealed the tail segment.
+    fn commit_to_wal(&mut self, batch: &WriteBatch) -> Result<bool, FixError> {
+        let path = self.path.clone().expect("caller checked path.is_some()");
+        if !self.wal_extends_image.load(Ordering::Acquire) {
+            // The image on disk (if any) does not reflect some un-logged
+            // change (build, vacuum, a failed append). Write a fresh
+            // image first; save_to also rebases/invalidates the log.
+            self.save_to(&path)?;
+        }
+        if self.wal.is_none() {
+            let token = fix_storage::db_token(&path)?;
+            let (wal, _stale) =
+                Wal::recover(&wal_dir(&path), token, self.durability, self.wal_seal_bytes)?;
+            // Anything recover salvaged is already part of the image (or
+            // predates it): this database's in-memory state was not built
+            // from those records, so force the log empty before use.
+            if !wal.is_empty() {
+                let token = token.expect("image exists: checkpointed above or loaded");
+                wal.rebase(token)?;
+            }
+            wal.set_fault(self.wal_fault.take());
+            self.wal = Some(wal);
+        }
+        let wal = self.wal.as_ref().expect("just engaged");
+        match wal.append(&batch.encode()) {
+            Ok(outcome) => Ok(outcome.sealed),
+            Err(e) => {
+                // The tail may hold a torn record now. Recovery truncates
+                // torn tails, so the on-disk state is still image + the
+                // previously committed records — consistent with memory,
+                // since this batch was not applied. Stop extending the
+                // log; the next write checkpoints and starts a fresh one.
+                self.wal = None;
+                self.wal_extends_image.store(false, Ordering::Release);
+                Err(FixError::Io(e))
             }
         }
     }
@@ -221,12 +504,35 @@ impl FixDatabase {
     /// Builds (or rebuilds) the index over the current collection with an
     /// in-memory page pool. Returns the construction statistics.
     pub fn build(&mut self, opts: FixOptions) -> Result<&BuildStats, FixError> {
-        let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
-        self.parse_depth = opts.max_parse_depth;
+        if Arc::get_mut(&mut self.coll).is_none() {
+            return Err(FixError::SnapshotInUse);
+        }
+        self.adopt_write_policy(&opts);
+        let coll = Arc::get_mut(&mut self.coll).expect("probed above");
         let idx = FixIndex::build(coll, opts);
         self.index = Some(Arc::new(idx));
+        self.invalidate_wal_base();
         self.report_metrics();
         Ok(self.stats().expect("index was just built"))
+    }
+
+    /// Adopts the write-path policy knobs of a (re)build's options.
+    fn adopt_write_policy(&mut self, opts: &FixOptions) {
+        self.parse_depth = opts.max_parse_depth;
+        self.durability = opts.durability;
+        self.wal_seal_bytes = opts.wal_seal_bytes;
+        if let Some(wal) = self.wal.as_ref() {
+            wal.set_durability(opts.durability);
+        }
+    }
+
+    /// Marks the on-disk image as no longer current after an un-logged
+    /// structural change ([`build`](Self::build), [`vacuum`](Self::vacuum)).
+    /// The log (if engaged) still extends the *old* image — both stay on
+    /// disk untouched, so a crash now recovers the pre-change state; the
+    /// next [`write`](Self::write) checkpoints the new one first.
+    fn invalidate_wal_base(&self) {
+        self.wal_extends_image.store(false, Ordering::Release);
     }
 
     /// Builds (or rebuilds) the index with its pages in a real file at
@@ -236,10 +542,14 @@ impl FixDatabase {
         opts: FixOptions,
         pages: impl AsRef<Path>,
     ) -> Result<&BuildStats, FixError> {
-        let coll = Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
-        self.parse_depth = opts.max_parse_depth;
+        if Arc::get_mut(&mut self.coll).is_none() {
+            return Err(FixError::SnapshotInUse);
+        }
+        self.adopt_write_policy(&opts);
+        let coll = Arc::get_mut(&mut self.coll).expect("probed above");
         let idx = crate::builder::build_on_disk_impl(coll, opts, pages.as_ref())?;
         self.index = Some(Arc::new(idx));
+        self.invalidate_wal_base();
         self.report_metrics();
         Ok(self.stats().expect("index was just built"))
     }
@@ -269,11 +579,43 @@ impl FixDatabase {
         Ok(QuerySession::new(self.coll.clone(), idx.clone()).with_registry(self.metrics.clone()))
     }
 
-    /// Tombstones a document (see [`FixIndex::remove_document`]).
+    /// Tombstones a document — a one-op [`WriteBatch`] through
+    /// [`FixDatabase::write`] (so the removal is WAL-durable on a
+    /// path-bound database). Fails with [`FixError::NoSuchDocument`] for
+    /// an id the collection never assigned.
     pub fn remove_document(&mut self, doc: DocId) -> Result<(), FixError> {
-        let idx = self.index.as_mut().ok_or(FixError::NoIndex)?;
-        let idx = Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
-        idx.remove_document(doc);
+        let mut batch = WriteBatch::new();
+        batch.remove_document(doc);
+        self.write(batch)?;
+        Ok(())
+    }
+
+    /// Pre-WAL compatibility shim: [`FixDatabase::add_xml`] followed by a
+    /// full [`FixDatabase::save`] when path-bound, reproducing the old
+    /// save-per-mutation durability at its old full-rewrite cost.
+    #[deprecated(
+        since = "0.7.0",
+        note = "mutations are WAL-durable now; use add_xml (or write), and save() to checkpoint"
+    )]
+    pub fn add_xml_synced(&mut self, xml: &str) -> Result<DocId, FixError> {
+        let id = self.add_xml(xml)?;
+        if self.path.is_some() && self.index.is_some() {
+            self.save()?;
+        }
+        Ok(id)
+    }
+
+    /// Pre-WAL compatibility shim: [`FixDatabase::remove_document`]
+    /// followed by a full [`FixDatabase::save`] when path-bound.
+    #[deprecated(
+        since = "0.7.0",
+        note = "mutations are WAL-durable now; use remove_document (or write), and save() to checkpoint"
+    )]
+    pub fn remove_document_synced(&mut self, doc: DocId) -> Result<(), FixError> {
+        self.remove_document(doc)?;
+        if self.path.is_some() {
+            self.save()?;
+        }
         Ok(())
     }
 
@@ -285,6 +627,16 @@ impl FixDatabase {
         let (coll, index) = idx.vacuum(&self.coll);
         self.coll = Arc::new(coll);
         self.index = Some(Arc::new(index));
+        // Vacuum renumbers documents, so WAL records (which name ids)
+        // cannot extend the new state.
+        self.invalidate_wal_base();
+        // Unlike a rebuild — which leaves logical content untouched —
+        // vacuum changes *visible* state (ids, document count). On a
+        // path-bound database that change must not evaporate in a
+        // crash, so checkpoint it now rather than on the next write.
+        if let Some(path) = self.path.clone() {
+            self.save_to(&path)?;
+        }
         Ok(())
     }
 
@@ -296,13 +648,25 @@ impl FixDatabase {
         self.save_to(&path)
     }
 
-    /// Saves to `path` and binds the database to it.
+    /// Saves to `path` and binds the database to it. The WAL (if any)
+    /// stays with the *old* path — it extends the old image there, which
+    /// remains consistent; the new binding starts with a clean slate.
     pub fn save_as(&mut self, path: impl AsRef<Path>) -> Result<(), FixError> {
         self.save_to(path.as_ref())?;
         self.path = Some(path.as_ref().to_path_buf());
+        self.wal = None;
+        // The image just written at the new path is exactly the current
+        // state, so the (empty, not-yet-engaged) log extends it.
+        self.wal_extends_image.store(true, Ordering::Release);
         Ok(())
     }
 
+    /// Writes the full image at `path`. When `path` is the bound path
+    /// this doubles as the WAL checkpoint: the engaged log is rebased
+    /// (emptied and re-pinned to the fresh image) and logged writes may
+    /// resume extending it. Saving elsewhere instead discards any stale
+    /// log lying beside the target, so a later `open` of that copy
+    /// cannot replay records that are already inside it.
     fn save_to(&self, path: &Path) -> Result<(), FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
         let start = Instant::now();
@@ -314,6 +678,22 @@ impl FixDatabase {
             self.metrics
                 .counter(names::PERSIST_BYTES_WRITTEN)
                 .add(m.len());
+        }
+        let bound_here = self.path.as_deref() == Some(path);
+        match self.wal.as_ref() {
+            Some(wal) if bound_here => {
+                let token = fix_storage::db_token(path)?.expect("save_impl just wrote the file");
+                wal.rebase(token)?;
+            }
+            _ => {
+                let stale = wal_dir(path);
+                if stale.is_dir() {
+                    std::fs::remove_dir_all(&stale)?;
+                }
+            }
+        }
+        if bound_here {
+            self.wal_extends_image.store(true, Ordering::Release);
         }
         Ok(())
     }
@@ -378,8 +758,26 @@ impl FixDatabase {
             names::DELTA_SCAN_NS,
             names::DELTA_CANDIDATES_TOTAL,
             names::DELTA_COMPACTIONS,
+            names::WAL_APPENDS,
+            names::WAL_APPENDED_BYTES,
+            names::WAL_FSYNCS,
+            names::WAL_SEALS,
+            names::WAL_REPLAYED,
+            names::LEVEL_SEALS,
+            names::LEVEL_MERGES,
         ] {
             reg.counter(c);
+        }
+        for g in [
+            names::WAL_SEGMENTS,
+            names::WAL_TAIL_RECORDS,
+            names::WAL_TAIL_BYTES,
+            names::LEVEL_RUNS,
+            names::LEVEL_DEPTH,
+            names::LEVEL_ENTRIES,
+            names::LEVEL_BYTES,
+        ] {
+            reg.gauge(g);
         }
         reg.histogram(names::DELTA_COMPACT_NS);
         for g in [
@@ -415,6 +813,48 @@ impl FixDatabase {
             reg.gauge(names::DELTA_ENTRIES);
             reg.gauge(names::DELTA_BYTES);
         }
+        self.report_wal_metrics();
+    }
+
+    /// Refreshes the WAL counters/gauges and the delta tier gauges. WAL
+    /// counters are cumulative on the log, so they are bumped up to the
+    /// level rather than added — re-reporting stays idempotent.
+    fn report_wal_metrics(&self) {
+        let reg = &*self.metrics;
+        if let Some(wal) = self.wal.as_ref() {
+            let s = wal.stats();
+            for (name, target) in [
+                (names::WAL_APPENDS, s.appends),
+                (names::WAL_APPENDED_BYTES, s.appended_bytes),
+                (names::WAL_FSYNCS, s.fsyncs),
+                (names::WAL_SEALS, s.seals),
+            ] {
+                let c = reg.counter(name);
+                c.add(target.saturating_sub(c.value()));
+            }
+            reg.gauge(names::WAL_SEGMENTS).set(s.segments as i64);
+            reg.gauge(names::WAL_TAIL_RECORDS)
+                .set(s.tail_records as i64);
+            reg.gauge(names::WAL_TAIL_BYTES).set(s.tail_bytes as i64);
+        }
+        if let Some(idx) = self.index.as_deref() {
+            let d = idx.delta_stats();
+            let levels = idx.delta_level_stats();
+            reg.gauge(names::LEVEL_RUNS)
+                .set(levels.iter().map(|l| l.runs).sum::<usize>() as i64);
+            reg.gauge(names::LEVEL_DEPTH).set(levels.len() as i64);
+            reg.gauge(names::LEVEL_ENTRIES)
+                .set(levels.iter().map(|l| l.entries).sum::<u64>() as i64);
+            reg.gauge(names::LEVEL_BYTES)
+                .set(levels.iter().map(|l| l.bytes).sum::<u64>() as i64);
+            for (name, target) in [
+                (names::LEVEL_SEALS, d.seals),
+                (names::LEVEL_MERGES, d.run_merges),
+            ] {
+                let c = reg.counter(name);
+                c.add(target.saturating_sub(c.value()));
+            }
+        }
     }
 
     /// The document collection.
@@ -443,6 +883,46 @@ impl FixDatabase {
     /// The bound file path, if any.
     pub fn path(&self) -> Option<&Path> {
         self.path.as_deref()
+    }
+
+    /// The durability policy applied to WAL commits.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Changes the durability policy for subsequent writes (takes effect
+    /// immediately on an engaged log — e.g. switching `Async` → `Sync`
+    /// makes the next commit flush everything outstanding).
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+        if let Some(wal) = self.wal.as_ref() {
+            wal.set_durability(durability);
+        }
+    }
+
+    /// Live write-ahead-log statistics, once a logged write has engaged
+    /// the WAL (or recovery reopened one).
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal.as_ref().map(Wal::stats)
+    }
+
+    /// Per-level statistics of the delta's tiered runs (deepest level
+    /// first; empty when no index exists or nothing has been sealed).
+    pub fn level_stats(&self) -> Vec<fix_btree::LevelStats> {
+        self.index
+            .as_deref()
+            .map(FixIndex::delta_level_stats)
+            .unwrap_or_default()
+    }
+
+    /// Test hook: arms a deterministic write fault on the WAL (applied
+    /// to the engaged log immediately, or to the next one engaged).
+    #[doc(hidden)]
+    pub fn set_wal_fault(&mut self, fault: Option<FaultPlan>) {
+        match self.wal.as_ref() {
+            Some(wal) => wal.set_fault(fault),
+            None => self.wal_fault = fault,
+        }
     }
 
     /// Number of documents.
@@ -728,6 +1208,196 @@ mod tests {
         db.build(FixOptions::collection().with_max_parse_depth(8))
             .unwrap();
         assert!(matches!(db.add_xml(&deep(40)), Err(FixError::Parse(_))));
+    }
+
+    #[test]
+    fn logged_writes_survive_reopen_without_save() {
+        let path = temp("wal-reopen.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        {
+            let mut db = FixDatabase::open(&path).unwrap();
+            db.add_xml("<a><b/></a>").unwrap();
+            db.build(FixOptions::collection().with_compact_ratio(0.0))
+                .unwrap();
+            db.save().unwrap();
+            // Post-save mutations go through the WAL, not the image.
+            let before = std::fs::metadata(&path).unwrap().len();
+            db.add_xml("<a><c/></a>").unwrap();
+            db.remove_document(DocId(0)).unwrap();
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), before);
+            let ws = db.wal_stats().expect("log engaged by the first write");
+            assert_eq!(ws.appends, 2);
+            // Dropped here without save(): the image is stale, the log is not.
+        }
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.len(), 2);
+        assert!(db.query("//a/b").unwrap().results.is_empty(), "tombstone");
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+        let snap = db.metrics().snapshot();
+        assert_eq!(snap.counter(names::WAL_REPLAYED), Some(2));
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_checkpoints_and_truncates_the_log() {
+        let path = temp("wal-checkpoint.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        let mut db = FixDatabase::open(&path).unwrap();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection().with_compact_ratio(0.0))
+            .unwrap();
+        db.save().unwrap();
+        db.add_xml("<a><c/></a>").unwrap();
+        assert_eq!(db.wal_stats().unwrap().records, 1);
+        db.save().unwrap();
+        let ws = db.wal_stats().unwrap();
+        assert_eq!((ws.records, ws.tail_records), (0, 0), "rebased");
+        // Reopen sees the checkpointed image with nothing to replay.
+        drop(db);
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(
+            db.metrics().snapshot().counter(names::WAL_REPLAYED),
+            Some(0)
+        );
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batches_are_validated_whole_before_anything_applies() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection().with_compact_ratio(0.0))
+            .unwrap();
+        // Second op names a document that will not exist: whole batch out.
+        let mut batch = WriteBatch::new();
+        batch.add_xml("<a><c/></a>").remove_document(DocId(9));
+        assert!(matches!(
+            db.write(batch),
+            Err(FixError::NoSuchDocument { doc: 9 })
+        ));
+        assert_eq!(db.len(), 1, "the valid add was not applied either");
+        // A remove may target an add earlier in the same batch.
+        let mut batch = WriteBatch::new();
+        batch.add_xml("<a><c/></a>").remove_document(DocId(1));
+        let ids = db.write(batch).unwrap();
+        assert_eq!(ids, vec![DocId(1)]);
+        assert!(db.query("//a/c").unwrap().results.is_empty());
+        // Unparsable XML rejects the batch up front too.
+        let mut batch = WriteBatch::new();
+        batch.add_xml("<a><unclosed>");
+        assert!(matches!(db.write(batch), Err(FixError::Parse(_))));
+        assert!(db.write(WriteBatch::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unindexed_writes_accept_adds_and_reject_removes() {
+        let mut db = FixDatabase::in_memory();
+        let mut batch = WriteBatch::new();
+        batch.add_xml("<a/>").add_xml("<b/>");
+        assert_eq!(db.write(batch).unwrap(), vec![DocId(0), DocId(1)]);
+        let mut batch = WriteBatch::new();
+        batch.remove_document(DocId(0));
+        assert!(matches!(db.write(batch), Err(FixError::NoIndex)));
+        assert!(matches!(
+            db.remove_document(DocId(9)),
+            Err(FixError::NoIndex)
+        ));
+    }
+
+    #[test]
+    fn structural_changes_checkpoint_before_the_next_logged_write() {
+        let path = temp("wal-structural.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        let mut db = FixDatabase::open(&path).unwrap();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.add_xml("<a><x/></a>").unwrap();
+        db.build(FixOptions::collection().with_compact_ratio(0.0))
+            .unwrap();
+        db.save().unwrap();
+        db.remove_document(DocId(0)).unwrap(); // logged
+        db.vacuum().unwrap(); // un-logged: renumbers, checkpoints itself
+        db.add_xml("<a><c/></a>").unwrap(); // logs against the fresh image
+        drop(db);
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.len(), 2, "vacuumed survivor plus the post-vacuum add");
+        assert!(db.query("//a/b").unwrap().results.is_empty());
+        assert_eq!(db.query("//a/x").unwrap().results.len(), 1);
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn failed_append_leaves_state_consistent() {
+        use fix_storage::{FaultKind, FaultPlan};
+        let path = temp("wal-fault.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        let mut db = FixDatabase::open(&path).unwrap();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection().with_compact_ratio(0.0))
+            .unwrap();
+        db.save().unwrap();
+        db.add_xml("<a><c/></a>").unwrap(); // engages the log
+        db.set_wal_fault(Some(FaultPlan::new(0, FaultKind::Torn { keep: 3 })));
+        let err = db.add_xml("<a><d/></a>").unwrap_err();
+        assert!(matches!(err, FixError::Io(_)), "got {err:?}");
+        assert_eq!(db.len(), 2, "failed batch was not applied");
+        // The next write checkpoints and starts a fresh log.
+        db.add_xml("<a><e/></a>").unwrap();
+        drop(db);
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+        assert!(db.query("//a/d").unwrap().results.is_empty());
+        assert_eq!(db.query("//a/e").unwrap().results.len(), 1);
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sealed_segments_freeze_delta_runs_on_both_paths() {
+        let path = temp("wal-seal.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        let mut db = FixDatabase::open(&path).unwrap();
+        // A roomy base keeps the default compact_ratio (0.5) quiet while
+        // the deltas pile up — and the default policy is exactly what a
+        // reopened database replays with (policy knobs are not
+        // persisted), so the tier layout must reproduce bit-for-bit.
+        for i in 0..12 {
+            db.add_xml(&format!("<a><base{i}/></a>")).unwrap();
+        }
+        db.build(
+            FixOptions::builder()
+                .wal_seal_bytes(1) // every record seals its segment
+                .build(),
+        )
+        .unwrap();
+        db.save().unwrap();
+        for i in 0..5 {
+            db.add_xml(&format!("<a><c{i}/></a>")).unwrap();
+        }
+        let live_levels = db.level_stats();
+        assert!(
+            live_levels.iter().map(|l| l.runs).sum::<usize>() > 0,
+            "seals froze runs: {live_levels:?}"
+        );
+        let live_answers = db.query("//a/c3").unwrap().results;
+        drop(db);
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.level_stats(), live_levels, "replay rebuilt the tiers");
+        assert_eq!(db.query("//a/c3").unwrap().results, live_answers);
+        let snap = db.metrics().snapshot();
+        assert!(snap.counter(names::LEVEL_SEALS).unwrap() >= 5);
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

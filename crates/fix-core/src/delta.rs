@@ -1,19 +1,30 @@
-//! The delta index: entries accepted since the last build or compaction.
+//! The delta index: entries accepted since the last build or compaction,
+//! held as an LSM-style stack of sorted runs.
 //!
 //! `add_xml` after `build()` feature-extracts just the new document and
-//! appends its entries here instead of splitting B+-tree pages. Scans
-//! merge the base tree and the delta run into one key-ordered candidate
-//! stream (see `FixIndex::scan_plan`), so query answers are identical to
-//! a monolithic index at all times; compaction folds the delta back into
-//! the base tree when it grows past `FixOptions::compact_ratio`.
+//! appends its entries to the *active* run — the in-memory image of the
+//! unsealed WAL tail segment. When that segment seals, `DeltaIndex::seal`
+//! freezes the active run into the size-tiered [`TieredRuns`] stack
+//! (level 0; merges cascade as levels fill, see `fix_btree::levels`).
+//! Scans merge the base tree and **every** live run into one key-ordered
+//! candidate stream (see `FixIndex::scan_plan`), so query answers are
+//! identical to a monolithic index at all times; compaction folds the
+//! whole stack back into the base tree when it grows past
+//! `FixOptions::compact_ratio`.
 //!
-//! Clustered indexes store each delta entry's truncated-subtree copy
-//! alongside the run (`copies`), in the same record format as the base
-//! copy heap (8-byte pointer prefix + serialized XML), so compaction can
-//! move records verbatim and refinement never touches primary storage.
+//! Entry keys embed per-entry sequence numbers and are globally unique,
+//! so the merged stream is independent of how entries are distributed
+//! across runs — tiering is invisible to the byte-identity invariants.
+//!
+//! Clustered indexes store each delta entry's truncated-subtree copy in a
+//! single shared `copies` store (8-byte pointer prefix + serialized XML,
+//! the base copy heap's record format). Run values index into that store,
+//! which run merges never touch, so values stay stable as runs fold
+//! together and compaction can still move records verbatim.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use fix_btree::levels::{KMergeIter, LevelStats, TieredRuns};
 use fix_btree::SortedRun;
 
 use crate::key::{EntryPtr, KEY_LEN};
@@ -22,9 +33,9 @@ use crate::key::{EntryPtr, KEY_LEN};
 /// scan work charged to the delta side of merged scans.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DeltaStats {
-    /// Entries currently in the delta run.
+    /// Entries across all delta runs (active + frozen).
     pub entries: u64,
-    /// Resident bytes (run plus clustered copies).
+    /// Resident bytes (runs plus clustered copies).
     pub bytes: u64,
     /// Delta-side scans performed since build/load.
     pub scans: u64,
@@ -32,45 +43,69 @@ pub struct DeltaStats {
     pub scanned_entries: u64,
     /// Wall time spent scanning the delta, in nanoseconds.
     pub scan_ns: u64,
+    /// Entries in the active (unsealed-tail) run.
+    pub tail_entries: u64,
+    /// Frozen runs in the tier stack.
+    pub frozen_runs: u64,
+    /// Depth of the tier stack (occupied or shallower levels).
+    pub levels: u64,
+    /// Seals performed since build/load (active run → level 0).
+    pub seals: u64,
+    /// Run merges performed by tier cascades since build/load.
+    pub run_merges: u64,
 }
 
-/// A key-sorted run of post-build index entries, with (for clustered
-/// indexes) their subtree copies.
-#[derive(Debug, Default)]
+/// Post-build index entries: an active run plus tiered frozen runs, with
+/// (for clustered indexes) their subtree copies in one shared store.
+#[derive(Debug)]
 pub(crate) struct DeltaIndex {
-    run: SortedRun,
-    /// Clustered copy records, indexed by the run's values. `None` for
+    /// The unsealed WAL tail's entries; all inserts land here.
+    active: SortedRun,
+    /// Frozen runs, one per sealed WAL segment, size-tier merged.
+    tiers: TieredRuns,
+    /// Clustered copy records, indexed by run values. `None` for
     /// unclustered indexes, whose values are encoded [`EntryPtr`]s.
     copies: Option<Vec<Vec<u8>>>,
+    seals: u64,
+    run_merges: u64,
     scans: AtomicU64,
     scan_entries: AtomicU64,
     scan_ns: AtomicU64,
 }
 
 impl DeltaIndex {
-    /// An empty delta; `clustered` selects whether copy records are kept.
-    pub(crate) fn new(clustered: bool) -> Self {
+    /// An empty delta; `clustered` selects whether copy records are kept,
+    /// `fanout` the tier merge trigger (`FixOptions::tier_fanout`).
+    pub(crate) fn new(clustered: bool, fanout: usize) -> Self {
         Self {
-            run: SortedRun::new(KEY_LEN),
+            active: SortedRun::new(KEY_LEN),
+            tiers: TieredRuns::new(KEY_LEN, fanout),
             copies: clustered.then(Vec::new),
-            ..Self::default()
+            seals: 0,
+            run_merges: 0,
+            scans: AtomicU64::new(0),
+            scan_entries: AtomicU64::new(0),
+            scan_ns: AtomicU64::new(0),
         }
     }
 
     /// Rebuilds a delta from persisted parts. `entries` must already be in
-    /// key order (they are written in key order).
+    /// key order (they are written in key order). The persisted stream is
+    /// level-blind — everything loads into the active run, and WAL replay
+    /// re-applies the seal points that rebuild the tier structure.
     pub(crate) fn from_sorted(
         entries: impl IntoIterator<Item = (Vec<u8>, u64)>,
         copies: Option<Vec<Vec<u8>>>,
+        fanout: usize,
     ) -> Self {
-        let mut run = SortedRun::new(KEY_LEN);
+        let mut active = SortedRun::new(KEY_LEN);
         for (k, v) in entries {
-            run.insert(&k, v);
+            active.insert(&k, v);
         }
         Self {
-            run,
+            active,
             copies,
-            ..Self::default()
+            ..Self::new(false, fanout)
         }
     }
 
@@ -79,23 +114,23 @@ impl DeltaIndex {
     }
 
     pub(crate) fn len(&self) -> u64 {
-        self.run.len() as u64
+        (self.active.len() + self.tiers.len()) as u64
     }
 
     pub(crate) fn is_empty(&self) -> bool {
-        self.run.is_empty()
+        self.active.is_empty() && self.tiers.is_empty()
     }
 
-    /// Resident size: the run plus any clustered copy records.
+    /// Resident size: all runs plus any clustered copy records.
     pub(crate) fn size_bytes(&self) -> u64 {
         let copies: usize = self.copies.iter().flatten().map(|r| r.len()).sum::<usize>();
-        (self.run.size_bytes() + copies) as u64
+        (self.active.size_bytes() + self.tiers.size_bytes() + copies) as u64
     }
 
     /// Inserts an unclustered entry (value = encoded [`EntryPtr`]).
     pub(crate) fn push(&mut self, key: &[u8], value: u64) {
         debug_assert!(self.copies.is_none(), "clustered deltas take records");
-        self.run.insert(key, value);
+        self.active.insert(key, value);
     }
 
     /// Inserts a clustered entry with its copy record (8-byte pointer
@@ -104,21 +139,36 @@ impl DeltaIndex {
         let copies = self.copies.as_mut().expect("unclustered deltas take ptrs");
         let value = copies.len() as u64;
         copies.push(record);
-        self.run.insert(key, value);
+        self.active.insert(key, value);
     }
 
-    /// All entries in key order.
+    /// Freezes the active run into the tier stack — called when the WAL
+    /// segment whose records it mirrors seals. Returns `false` when the
+    /// active run was empty (nothing to freeze).
+    pub(crate) fn seal(&mut self) -> bool {
+        if self.active.is_empty() {
+            return false;
+        }
+        let run = std::mem::replace(&mut self.active, SortedRun::new(KEY_LEN));
+        self.run_merges += self.tiers.push_run(run) as u64;
+        self.seals += 1;
+        true
+    }
+
+    /// Every live run, oldest data first (deepest frozen level outward,
+    /// active run last). Scans build one candidate source per run and
+    /// k-way merge them with the base stream.
+    pub(crate) fn runs(&self) -> Vec<&SortedRun> {
+        let mut out = self.tiers.runs();
+        if !self.active.is_empty() {
+            out.push(&self.active);
+        }
+        out
+    }
+
+    /// All entries across all runs, in key order.
     pub(crate) fn iter(&self) -> impl Iterator<Item = (&[u8], u64)> + '_ {
-        self.run.iter()
-    }
-
-    /// Entries with `start <= key < end` (`BTree::range` semantics).
-    pub(crate) fn range<'a>(
-        &'a self,
-        start: &[u8],
-        end: Option<&[u8]>,
-    ) -> impl Iterator<Item = (&'a [u8], u64)> + 'a {
-        self.run.range(start, end)
+        KMergeIter::new(self.runs().iter().map(|r| r.as_slice()).collect())
     }
 
     /// The copy record a clustered delta value resolves to.
@@ -136,9 +186,14 @@ impl DeltaIndex {
         (ptr, record[8..].to_vec())
     }
 
-    /// The copy records in key order (compaction and diagnostics).
+    /// The copy records in insertion order (compaction and diagnostics).
     pub(crate) fn copies(&self) -> Option<&[Vec<u8>]> {
         self.copies.as_deref()
+    }
+
+    /// Per-level shapes of the frozen tier stack (level 0 first).
+    pub(crate) fn level_stats(&self) -> Vec<LevelStats> {
+        self.tiers.level_stats()
     }
 
     /// Charges one delta-side scan to the counters (`Relaxed`: the values
@@ -151,7 +206,7 @@ impl DeltaIndex {
 
     /// Seeds the scan counters from a predecessor delta's snapshot, so
     /// scan totals stay cumulative across compactions (size levels are
-    /// derived from the run and reset naturally).
+    /// derived from the runs and reset naturally).
     pub(crate) fn carry_scan_history(&self, prior: &DeltaStats) {
         self.scans.store(prior.scans, Ordering::Relaxed);
         self.scan_entries
@@ -167,6 +222,11 @@ impl DeltaIndex {
             scans: self.scans.load(Ordering::Relaxed),
             scanned_entries: self.scan_entries.load(Ordering::Relaxed),
             scan_ns: self.scan_ns.load(Ordering::Relaxed),
+            tail_entries: self.active.len() as u64,
+            frozen_runs: self.tiers.run_count() as u64,
+            levels: self.tiers.level_stats().len() as u64,
+            seals: self.seals,
+            run_merges: self.run_merges,
         }
     }
 }
@@ -176,9 +236,11 @@ mod tests {
     use super::*;
     use crate::collection::DocId;
 
+    const FANOUT: usize = 4;
+
     #[test]
     fn unclustered_entries_round_trip() {
-        let mut d = DeltaIndex::new(false);
+        let mut d = DeltaIndex::new(false, FANOUT);
         assert!(d.is_empty());
         let ptr = EntryPtr {
             doc: DocId(3),
@@ -195,7 +257,7 @@ mod tests {
 
     #[test]
     fn clustered_records_resolve() {
-        let mut d = DeltaIndex::new(true);
+        let mut d = DeltaIndex::new(true, FANOUT);
         let ptr = EntryPtr {
             doc: DocId(1),
             node: 0,
@@ -211,12 +273,59 @@ mod tests {
 
     #[test]
     fn scan_counters_accumulate() {
-        let d = DeltaIndex::new(false);
+        let d = DeltaIndex::new(false, FANOUT);
         d.note_scan(5, 100);
         d.note_scan(2, 50);
         let s = d.stats();
         assert_eq!(s.scans, 2);
         assert_eq!(s.scanned_entries, 7);
         assert_eq!(s.scan_ns, 150);
+    }
+
+    #[test]
+    fn sealing_freezes_runs_but_keeps_the_merged_stream() {
+        let mut d = DeltaIndex::new(false, 2);
+        let mut expect: Vec<(Vec<u8>, u64)> = Vec::new();
+        for i in 0..10u64 {
+            let mut key = [0u8; KEY_LEN];
+            key[0] = (i as u8) ^ 0x2A; // scatter so runs interleave
+            key[KEY_LEN - 1] = i as u8; // unique keys
+            d.push(&key, i);
+            expect.push((key.to_vec(), i));
+            if i % 3 == 2 {
+                assert!(d.seal());
+            }
+        }
+        assert!(!d.seal() || d.stats().tail_entries == 0);
+        expect.sort();
+        let got: Vec<(Vec<u8>, u64)> = d.iter().map(|(k, v)| (k.to_vec(), v)).collect();
+        assert_eq!(got, expect, "tiering is invisible to iteration order");
+        let s = d.stats();
+        assert_eq!(s.entries, 10);
+        assert!(s.seals >= 3);
+        assert!(s.run_merges > 0, "fanout 2 must have cascaded merges");
+        assert!(s.frozen_runs as usize <= d.level_stats().len() * 2);
+    }
+
+    #[test]
+    fn clustered_values_survive_run_merges() {
+        // Values index the shared copy store; merges must not disturb them.
+        let mut d = DeltaIndex::new(true, 2);
+        for i in 0..6u64 {
+            let mut key = [0u8; KEY_LEN];
+            key[0] = 5 - i as u8;
+            let ptr = EntryPtr {
+                doc: DocId(i as u32),
+                node: 0,
+            };
+            let mut record = ptr.to_u64().to_le_bytes().to_vec();
+            record.extend_from_slice(format!("<d{i}/>").as_bytes());
+            d.push_record(&key, record);
+            d.seal();
+        }
+        for (_, v) in d.iter() {
+            let (ptr, xml) = d.fetch(v);
+            assert_eq!(xml, format!("<d{}/>", ptr.doc.0).as_bytes());
+        }
     }
 }

@@ -52,6 +52,13 @@ pub enum FixError {
     /// Drop the sessions and retry. (`vacuum` is exempt: it swaps in a
     /// fresh snapshot and leaves live sessions on the old one.)
     SnapshotInUse,
+    /// A [`WriteBatch`](crate::WriteBatch) named a document id the
+    /// collection does not hold (never assigned, or out of range). The
+    /// whole batch is rejected before anything is logged or applied.
+    NoSuchDocument {
+        /// The offending document id.
+        doc: u32,
+    },
 }
 
 impl fmt::Display for FixError {
@@ -78,6 +85,9 @@ impl fmt::Display for FixError {
                 f,
                 "query sessions still hold a snapshot; drop them before mutating"
             ),
+            FixError::NoSuchDocument { doc } => {
+                write!(f, "no such document: id {doc} is not in the collection")
+            }
         }
     }
 }
@@ -144,6 +154,9 @@ mod tests {
         assert!(std::error::Error::source(&FixError::NoIndex).is_none());
         assert!(FixError::NoPath.to_string().contains("save_as"));
         assert!(FixError::SnapshotInUse.to_string().contains("snapshot"));
+        let missing = FixError::NoSuchDocument { doc: 41 };
+        assert!(missing.to_string().contains("41"));
+        assert!(std::error::Error::source(&missing).is_none());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! assert!(out.metrics.candidates <= 2);
 //! ```
 
+pub mod batch;
 pub mod builder;
 pub mod collection;
 pub mod database;
@@ -40,6 +41,7 @@ pub mod session;
 pub mod spatial;
 pub mod values;
 
+pub use batch::{WriteBatch, WriteOp};
 pub use builder::{BuildStats, FixIndex};
 pub use collection::{Collection, DocId};
 pub use database::FixDatabase;
@@ -47,8 +49,9 @@ pub use delta::DeltaStats;
 pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
 pub use explain::{BlockExplain, Explain, ExplainAnalyze};
+pub use fix_btree::LevelStats;
 pub use fix_obs::{MetricsRegistry, MetricsSnapshot, QueryTrace, Reportable, Stage, StageRecord};
-pub use fix_storage::{BufferPool, PoolStats};
+pub use fix_storage::{BufferPool, Durability, PoolStats, WalStats};
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, CacheStats, Metrics};
 pub use options::{FixOptions, FixOptionsBuilder, RefineOp, StorageMode};

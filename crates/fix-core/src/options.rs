@@ -1,6 +1,7 @@
 //! Index configuration.
 
 use fix_spectral::FeatureExtractor;
+use fix_storage::Durability;
 
 /// Which operator validates candidates in the refinement phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -102,6 +103,20 @@ pub struct FixOptions {
     /// the thread knobs: it governs this process's mutation policy, not
     /// the on-disk index.
     pub compact_ratio: f64,
+    /// When an acknowledged mutation is actually on disk
+    /// ([`Durability::Sync`] by default: every WAL commit is fsynced,
+    /// concurrent committers share one group fsync). Like the thread
+    /// knobs, a process policy — not persisted.
+    pub durability: Durability,
+    /// WAL segment seal threshold in bytes: a tail segment reaching this
+    /// size is fsynced and closed, and the matching in-memory delta run
+    /// freezes into the tier stack. Process policy — not persisted.
+    pub wal_seal_bytes: u64,
+    /// Size-tier merge fanout: a delta level holding this many frozen
+    /// runs folds into one run on the next level, bounding merged-scan
+    /// read amplification at `fanout − 1` runs per level. Minimum 2.
+    /// Process policy — not persisted.
+    pub tier_fanout: usize,
 }
 
 impl FixOptions {
@@ -123,6 +138,9 @@ impl FixOptions {
             query_threads: 1,
             max_parse_depth: fix_xml::DEFAULT_MAX_DEPTH,
             compact_ratio: 0.5,
+            durability: Durability::Sync,
+            wal_seal_bytes: 1 << 20,
+            tier_fanout: 4,
         }
     }
 
@@ -341,6 +359,27 @@ impl FixOptionsBuilder {
         self
     }
 
+    /// Durability policy for acknowledged mutations (see [`Durability`]).
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.opts.durability = durability;
+        self
+    }
+
+    /// WAL segment seal threshold in bytes (also the delta run freeze
+    /// point).
+    pub fn wal_seal_bytes(mut self, bytes: u64) -> Self {
+        assert!(bytes > 0, "the seal threshold must be positive");
+        self.opts.wal_seal_bytes = bytes;
+        self
+    }
+
+    /// Size-tier merge fanout for frozen delta runs (minimum 2).
+    pub fn tier_fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 2, "the tier fanout must be at least 2");
+        self.opts.tier_fanout = fanout;
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> FixOptions {
         self.opts
@@ -386,6 +425,9 @@ mod tests {
             .max_parse_depth(99)
             .compact_ratio(0.25)
             .refine(RefineOp::Twig)
+            .durability(Durability::Async)
+            .wal_seal_bytes(4096)
+            .tier_fanout(3)
             .build();
         assert_eq!(o.depth_limit, 4);
         assert!(o.clustered);
@@ -402,6 +444,9 @@ mod tests {
         assert_eq!(o.max_parse_depth, 99);
         assert_eq!(o.compact_ratio, 0.25);
         assert_eq!(o.refine, RefineOp::Twig);
+        assert_eq!(o.durability, Durability::Async);
+        assert_eq!(o.wal_seal_bytes, 4096);
+        assert_eq!(o.tier_fanout, 3);
     }
 
     #[test]

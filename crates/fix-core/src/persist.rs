@@ -565,7 +565,7 @@ fn assemble(d: Decoded) -> Result<(Collection, FixIndex), FixError> {
     let btree = BTree::bulk_load(pool.clone(), KEY_LEN, d.entries);
 
     let delta = match d.delta {
-        None => DeltaIndex::new(d.opts.clustered),
+        None => DeltaIndex::new(d.opts.clustered, d.opts.tier_fanout),
         Some((entries, copies)) => {
             if copies.is_some() != d.opts.clustered {
                 return Err(corrupt(
@@ -573,7 +573,7 @@ fn assemble(d: Decoded) -> Result<(Collection, FixIndex), FixError> {
                     "delta clustering disagrees with the options section",
                 ));
             }
-            DeltaIndex::from_sorted(entries, copies)
+            DeltaIndex::from_sorted(entries, copies, d.opts.tier_fanout)
         }
     };
 
@@ -1458,7 +1458,7 @@ fn load_paged(
         encoder.restore(a, b, w);
     }
     let delta = match delta {
-        None => DeltaIndex::new(opts.clustered),
+        None => DeltaIndex::new(opts.clustered, opts.tier_fanout),
         Some((entries, copies)) => {
             if copies.is_some() != opts.clustered {
                 return Err(corrupt(
@@ -1466,7 +1466,7 @@ fn load_paged(
                     "delta clustering disagrees with the options section",
                 ));
             }
-            DeltaIndex::from_sorted(entries, copies)
+            DeltaIndex::from_sorted(entries, copies, opts.tier_fanout)
         }
     };
     let stats = BuildStats {

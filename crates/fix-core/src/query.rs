@@ -296,11 +296,12 @@ impl FixIndex {
     }
 
     /// Step 4 of Algorithm 2: range-scan the B-tree — and, after inserts,
-    /// the delta run — with a compiled plan's features. The two sources
-    /// are each scanned in key order and merged on the raw key encoding
-    /// (entry sequence numbers make keys unique), so the returned
-    /// [`Candidate`] stream is byte-identical to the single scan a
-    /// just-compacted or freshly rebuilt index would produce.
+    /// every live delta run (frozen tiers plus the active tail) — with a
+    /// compiled plan's features. Each source is scanned in key order and
+    /// the streams are k-way merged on the raw key encoding (entry
+    /// sequence numbers make keys unique), so the returned [`Candidate`]
+    /// stream is byte-identical to the single scan a just-compacted or
+    /// freshly rebuilt index would produce, however the delta is tiered.
     pub fn scan_plan(&self, plan: &QueryPlan) -> Vec<Candidate> {
         let Some(top_feat) = &plan.top else {
             return Vec::new();
@@ -344,27 +345,36 @@ impl FixIndex {
                 value: v,
                 delta: true,
             };
-            let side: Vec<Candidate> = if anchored {
-                self.delta
-                    .range(
+            // One candidate source per live run, base first: the k-way
+            // merge tie-breaks toward earlier sources, preserving the old
+            // base-before-delta order (ties cannot occur — keys are
+            // unique — but the guarantee is kept total).
+            let mut scanned = 0u64;
+            let mut sources: Vec<Vec<Candidate>> = Vec::with_capacity(1 + self.delta.runs().len());
+            sources.push(base);
+            for run in self.delta.runs() {
+                let side: Vec<Candidate> = if anchored {
+                    run.range(
                         &IndexKey::scan_start(top_feat),
                         Some(&IndexKey::scan_end(top_feat)),
                     )
                     .map(map)
                     .filter(|c| self.entry_contains(&c.key, top_feat, true))
                     .collect()
-            } else {
-                self.delta
-                    .iter()
-                    .map(map)
-                    .filter(|c| self.entry_contains(&c.key, top_feat, false))
-                    .collect()
-            };
+                } else {
+                    run.iter()
+                        .map(map)
+                        .filter(|c| self.entry_contains(&c.key, top_feat, false))
+                        .collect()
+                };
+                scanned += side.len() as u64;
+                sources.push(side);
+            }
             self.delta.note_scan(
-                side.len() as u64,
+                scanned,
                 u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
             );
-            fix_exec::merge_sorted(base, side, |c: &Candidate| c.key.encode())
+            fix_exec::merge_k_sorted(sources, |c: &Candidate| c.key.encode())
         };
         // Tombstoned documents never appear as candidates. (Clustered
         // values point into the copy stores; their document is resolved —

@@ -29,7 +29,7 @@ pub mod twig;
 pub mod twigstack;
 
 pub use fbq::eval_fb;
-pub use merge::merge_sorted;
+pub use merge::{merge_k_sorted, merge_sorted};
 pub use nok::{anchors, eval_path, eval_path_from, path_matches, value_matches};
 pub use pathstack::{eval_pathstack, PathStackStats};
 pub use refine::Refiner;

@@ -1,11 +1,49 @@
-//! Ordered two-way merge of candidate streams.
+//! Ordered k-way merge of candidate streams.
 //!
-//! The incremental index scans two sorted sources — the base B+-tree and
-//! the in-memory delta run — and refinement must see one stream in the
-//! exact order a monolithic tree would have produced. [`merge_sorted`]
-//! performs that merge on a caller-supplied key projection; ties break
-//! toward the base stream, which cannot occur for index scans (entry
-//! sequence numbers make keys unique) but keeps the merge total.
+//! The incremental index scans several sorted sources — the base B+-tree,
+//! each frozen delta run, and the active run — and refinement must see
+//! one stream in the exact order a monolithic tree would have produced.
+//! [`merge_k_sorted`] performs that merge on a caller-supplied key
+//! projection; ties break toward the earlier source (the base tree is
+//! source 0), which cannot occur for index scans (entry sequence numbers
+//! make keys unique) but keeps the merge total. [`merge_sorted`] is the
+//! original two-way special case, kept for the base + single-run shape.
+
+/// Merges `sources` — each key-sorted under the same projection — into
+/// one vector ordered by `key(item)`.
+///
+/// The output is sorted and stable: equal keys keep earlier-source-first
+/// order, and within each source the original order.
+pub fn merge_k_sorted<T, K: Ord, F: Fn(&T) -> K>(sources: Vec<Vec<T>>, key: F) -> Vec<T> {
+    let mut live: Vec<Vec<T>> = sources.into_iter().filter(|s| !s.is_empty()).collect();
+    match live.len() {
+        0 => return Vec::new(),
+        1 => return live.pop().expect("one source"),
+        _ => {}
+    }
+    let total = live.iter().map(|s| s.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut iters: Vec<std::iter::Peekable<std::vec::IntoIter<T>>> =
+        live.into_iter().map(|s| s.into_iter().peekable()).collect();
+    loop {
+        // Linear head scan: k is small (bounded by the tiering policy),
+        // so this beats a heap on constant factors. `<` keeps the tie on
+        // the earliest source.
+        let mut best: Option<(usize, K)> = None;
+        for (i, it) in iters.iter_mut().enumerate() {
+            if let Some(item) = it.peek() {
+                let k = key(item);
+                match &best {
+                    Some((_, bk)) if *bk <= k => {}
+                    _ => best = Some((i, k)),
+                }
+            }
+        }
+        let Some((i, _)) = best else { break };
+        out.push(iters[i].next().expect("peeked"));
+    }
+    out
+}
 
 /// Merges two key-sorted vectors into one, ordering by `key(item)`.
 ///
@@ -57,6 +95,40 @@ mod tests {
         assert_eq!(
             merged,
             vec![(1, 'b'), (2, 'd'), (4, 'b'), (4, 'd'), (6, 'b'), (9, 'd')]
+        );
+    }
+
+    #[test]
+    fn k_way_matches_iterated_two_way_and_breaks_ties_earlier_source_first() {
+        let a = vec![(1u32, 'a'), (4, 'a'), (6, 'a')];
+        let b = vec![(2u32, 'b'), (4, 'b')];
+        let c = vec![(0u32, 'c'), (4, 'c'), (9, 'c')];
+        let merged = merge_k_sorted(vec![a.clone(), b.clone(), c.clone()], |&(k, _)| k);
+        let two_way = merge_sorted(merge_sorted(a, b, |&(k, _)| k), c, |&(k, _)| k);
+        assert_eq!(merged, two_way);
+        assert_eq!(
+            merged,
+            vec![
+                (0, 'c'),
+                (1, 'a'),
+                (2, 'b'),
+                (4, 'a'),
+                (4, 'b'),
+                (4, 'c'),
+                (6, 'a'),
+                (9, 'c')
+            ]
+        );
+    }
+
+    #[test]
+    fn k_way_handles_degenerate_shapes() {
+        let none: Vec<i32> = merge_k_sorted(Vec::<Vec<i32>>::new(), |&k| k);
+        assert!(none.is_empty());
+        assert_eq!(merge_k_sorted(vec![vec![3, 5]], |&k| k), vec![3, 5]);
+        assert_eq!(
+            merge_k_sorted(vec![vec![], vec![2, 7], vec![]], |&k| k),
+            vec![2, 7]
         );
     }
 

@@ -79,6 +79,34 @@ pub mod names {
     pub const DELTA_COMPACTIONS: &str = "fix_delta_compactions_total";
     /// Histogram: wall time of one compaction, nanoseconds.
     pub const DELTA_COMPACT_NS: &str = "fix_delta_compact_ns";
+    /// Counter: WAL records appended (one per committed write batch).
+    pub const WAL_APPENDS: &str = "fix_wal_appends_total";
+    /// Counter: WAL record payload bytes appended.
+    pub const WAL_APPENDED_BYTES: &str = "fix_wal_appended_bytes_total";
+    /// Counter: fsyncs issued by the WAL (group commit batches these).
+    pub const WAL_FSYNCS: &str = "fix_wal_fsyncs_total";
+    /// Counter: WAL segments sealed (each freezes a delta run).
+    pub const WAL_SEALS: &str = "fix_wal_sealed_segments_total";
+    /// Counter: WAL records replayed by crash recovery at open.
+    pub const WAL_REPLAYED: &str = "fix_wal_replayed_records_total";
+    /// Gauge: live WAL segment files (sealed-but-live plus the tail).
+    pub const WAL_SEGMENTS: &str = "fix_wal_segments";
+    /// Gauge: records in the unsealed WAL tail segment.
+    pub const WAL_TAIL_RECORDS: &str = "fix_wal_tail_records";
+    /// Gauge: bytes in the unsealed WAL tail segment.
+    pub const WAL_TAIL_BYTES: &str = "fix_wal_tail_bytes";
+    /// Gauge: frozen delta runs across all tier levels.
+    pub const LEVEL_RUNS: &str = "fix_level_runs";
+    /// Gauge: depth of the delta tier stack (levels).
+    pub const LEVEL_DEPTH: &str = "fix_level_depth";
+    /// Gauge: entries across all frozen delta runs.
+    pub const LEVEL_ENTRIES: &str = "fix_level_entries";
+    /// Gauge: resident bytes across all frozen delta runs.
+    pub const LEVEL_BYTES: &str = "fix_level_bytes";
+    /// Counter: active-run freezes (delta seals) since open.
+    pub const LEVEL_SEALS: &str = "fix_level_seals_total";
+    /// Counter: tier-cascade run merges since open.
+    pub const LEVEL_MERGES: &str = "fix_level_run_merges_total";
 }
 
 /// The common reporting surface for the workspace's statistics structs.

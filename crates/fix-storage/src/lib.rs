@@ -18,12 +18,16 @@
 //!   layer's framed on-disk format (DESIGN §12).
 //! * [`FaultFile`] — deterministic write-fault injection (failpoints) for
 //!   crash-safety testing of the save path.
+//! * [`Wal`] — a segmented, CRC-framed write-ahead log with group-commit
+//!   fsync batching and torn-tail recovery, pairing each log to its base
+//!   image via [`db_token`] (DESIGN §15).
 
 pub mod crc;
 pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pool;
+pub mod wal;
 
 pub use crc::{crc32, Crc32};
 pub use fault::{FaultFile, FaultKind, FaultPlan};
@@ -32,4 +36,7 @@ pub use page::{PageId, PAGE_SIZE};
 pub use pool::{
     BufferPool, FileBackend, IoStats, MemBackend, PageGuard, PageRef, PageRefMut, PageSpace,
     PoolStats, StorageBackend, StorageError,
+};
+pub use wal::{
+    db_token, wal_dir, AppendOutcome, BaseToken, Durability, ReplayedSegment, Wal, WalStats,
 };

@@ -1,0 +1,984 @@
+//! Write-ahead log: segmented, checksummed, group-committed.
+//!
+//! The WAL makes mutations durable without rewriting the whole database
+//! file. It lives in a directory beside the `.fixdb` (`<db>.wal/`) as a
+//! sequence of *segment* files:
+//!
+//! ```text
+//! segment:  magic[8] = "FIXWAL\0\x01"   base-image token[12]   seg id:u64le
+//! record:   len:u32le  crc32(payload):u32le  payload[len]
+//! ```
+//!
+//! Records reuse the v3 framing discipline (length + CRC32 per payload);
+//! payloads are opaque here — the engine encodes its batch operations
+//! into them. A segment grows until it passes the seal threshold, is
+//! fsynced and closed (*sealed*), and a new tail segment starts; the
+//! engine freezes each sealed segment's in-memory entries into an L0
+//! sorted run, so the segment boundary is also the run boundary.
+//!
+//! # Base-image token
+//!
+//! A WAL is only meaningful relative to the exact database image it
+//! extends: replaying it onto any other image would double-apply or
+//! misapply operations. Every segment header therefore carries a 12-byte
+//! *token* of the base image — file length plus a CRC32 of the file's
+//! tail bytes — captured when the WAL was (re)based. [`Wal::recover`]
+//! compares the token against the current file and silently discards the
+//! whole log on mismatch (the classic case: a save completed but the
+//! process died before the post-save truncation, so the image already
+//! contains every logged operation).
+//!
+//! # Group commit
+//!
+//! [`Wal::append`] frames and writes the record, then applies the
+//! [`Durability`] policy:
+//!
+//! * [`Durability::Sync`] — the append joins a *group fsync*: the first
+//!   waiter becomes leader and fsyncs once for every record appended up
+//!   to that point; concurrent writers blocked behind it are acknowledged
+//!   by the same fsync. One disk flush, many commits.
+//! * [`Durability::Group`] — the append is acknowledged immediately; a
+//!   background flusher fsyncs at least once per `max_wait`, so a crash
+//!   loses at most the last window.
+//! * [`Durability::Async`] — no explicit fsync; the OS decides (sealing
+//!   still fsyncs the finished segment).
+//!
+//! # Crash recovery
+//!
+//! [`Wal::recover`] walks segments in id order and records in file order,
+//! stopping at the first frame whose length or checksum fails — the torn
+//! tail of the crashed append. The valid prefix is returned for replay;
+//! the torn suffix (and any later segment) is physically truncated so new
+//! appends continue from a clean tail. Fault injection for the crash
+//! matrix reuses [`FaultPlan`]: each record write is one logical
+//! boundary, with [`FaultKind::Error`] / [`FaultKind::Torn`] /
+//! [`FaultKind::Truncate`] semantics identical to [`FaultFile`]'s.
+//!
+//! [`FaultFile`]: crate::FaultFile
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use crate::crc::crc32;
+use crate::fault::{FaultKind, FaultPlan};
+
+/// Segment-file magic: "FIXWAL", NUL, format version 1.
+pub const WAL_MAGIC: &[u8; 8] = b"FIXWAL\0\x01";
+/// Segment header: magic + base-image token + segment id.
+const SEG_HEADER_LEN: usize = 8 + TOKEN_LEN + 8;
+/// Record frame header: payload length + payload CRC32.
+const REC_HEADER_LEN: usize = 4 + 4;
+/// Hard upper bound on a single record payload (corrupted length guard).
+const MAX_RECORD_LEN: u32 = 1 << 30;
+/// Base-image token length: file length (u64) + tail CRC32 (u32).
+pub const TOKEN_LEN: usize = 12;
+
+/// Identifies the database image a WAL extends (see module docs).
+pub type BaseToken = [u8; TOKEN_LEN];
+
+/// When an acknowledged commit is actually on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Every commit is fsynced before it is acknowledged; concurrent
+    /// committers share one group fsync.
+    #[default]
+    Sync,
+    /// Commits are acknowledged immediately; a background flusher fsyncs
+    /// at least once per `max_wait`, bounding loss to the last window.
+    Group {
+        /// Maximum time an acknowledged commit may wait for its fsync.
+        max_wait: Duration,
+    },
+    /// No explicit fsync; the OS write-back cache decides.
+    Async,
+}
+
+impl Durability {
+    /// Short lowercase name (`sync` / `group` / `async`), the CLI spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Durability::Sync => "sync",
+            Durability::Group { .. } => "group",
+            Durability::Async => "async",
+        }
+    }
+}
+
+/// Cumulative WAL counters plus the current segment levels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Live segment files (sealed ones not yet checkpointed + the tail).
+    pub segments: u64,
+    /// Records across all live segments.
+    pub records: u64,
+    /// Records in the unsealed tail segment.
+    pub tail_records: u64,
+    /// Bytes in the unsealed tail segment (header included).
+    pub tail_bytes: u64,
+    /// Appends acknowledged since this `Wal` was opened.
+    pub appends: u64,
+    /// Payload bytes appended since this `Wal` was opened.
+    pub appended_bytes: u64,
+    /// fsync calls issued since this `Wal` was opened.
+    pub fsyncs: u64,
+    /// Segments sealed since this `Wal` was opened.
+    pub seals: u64,
+    /// Records replayed by [`Wal::recover`] when this `Wal` was opened.
+    pub replayed: u64,
+}
+
+/// What [`Wal::append`] did.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendOutcome {
+    /// Commit sequence number (1-based, monotone within this `Wal`).
+    pub seq: u64,
+    /// True when this append pushed the segment past the seal threshold:
+    /// the segment holding this record (and everything before it) is now
+    /// sealed and a fresh tail segment is open.
+    pub sealed: bool,
+}
+
+/// One recovered segment, in id order: its records (valid prefix) and
+/// whether it was sealed (every segment but the last).
+#[derive(Debug)]
+pub struct ReplayedSegment {
+    /// True for every segment except the unsealed tail.
+    pub sealed: bool,
+    /// The segment's record payloads in append order.
+    pub records: Vec<Vec<u8>>,
+}
+
+/// Mutable state: the tail segment file and its counters.
+struct WalInner {
+    file: File,
+    seg_id: u64,
+    /// Bytes written to the tail segment (header included).
+    tail_bytes: u64,
+    tail_records: u64,
+    /// Records in sealed-but-live segments.
+    sealed_records: u64,
+    segments: u64,
+    /// Logical write boundaries seen (for [`FaultPlan::nth`]).
+    writes: usize,
+    fault: Option<FaultPlan>,
+    /// A `Truncate` fault tripped: swallow writes, fail at sync.
+    dropping: bool,
+    durability: Durability,
+}
+
+/// Group-commit state shared between committers and the flusher.
+#[derive(Default)]
+struct SyncState {
+    /// Highest sequence number appended.
+    appended: u64,
+    /// Highest sequence number known durable.
+    synced: u64,
+    /// A leader is currently fsyncing on behalf of the group.
+    syncing: bool,
+}
+
+struct WalShared {
+    dir: PathBuf,
+    token: Mutex<BaseToken>,
+    seal_bytes: u64,
+    inner: Mutex<WalInner>,
+    sync: Mutex<SyncState>,
+    cond: Condvar,
+    /// Flusher handshake: work is pending / shut down.
+    dirty: Mutex<bool>,
+    flush_cond: Condvar,
+    shutdown: AtomicBool,
+    appends: AtomicU64,
+    appended_bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    seals: AtomicU64,
+    replayed: AtomicU64,
+}
+
+/// The write-ahead log (see module docs).
+pub struct Wal {
+    shared: Arc<WalShared>,
+    flusher: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The base-image token of the database file at `path`: its length plus
+/// a CRC32 over its final (up to) 64 bytes — both formats end in
+/// checksum-bearing footers, so any save produces a fresh token. `None`
+/// when the file does not exist.
+pub fn db_token(path: &Path) -> io::Result<Option<BaseToken>> {
+    let mut f = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let len = f.metadata()?.len();
+    let tail = len.min(64);
+    f.seek(SeekFrom::End(-(tail as i64)))?;
+    let mut buf = vec![0u8; tail as usize];
+    f.read_exact(&mut buf)?;
+    let mut token = [0u8; TOKEN_LEN];
+    token[..8].copy_from_slice(&len.to_le_bytes());
+    token[8..].copy_from_slice(&crc32(&buf).to_le_bytes());
+    Ok(Some(token))
+}
+
+/// The conventional WAL directory for a database file: `<db>.wal/`.
+pub fn wal_dir(db_path: &Path) -> PathBuf {
+    let mut name = db_path.file_name().unwrap_or_default().to_os_string();
+    name.push(".wal");
+    db_path.with_file_name(name)
+}
+
+fn seg_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:06}.log"))
+}
+
+/// Lists segment files in `dir`, sorted by id.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut segs = Vec::new();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(segs),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(id) = name
+            .strip_prefix("seg-")
+            .and_then(|s| s.strip_suffix(".log"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            segs.push((id, entry.path()));
+        }
+    }
+    segs.sort();
+    Ok(segs)
+}
+
+/// Parses one segment file: header validation plus the valid record
+/// prefix. Returns the records and the byte offset where validity ends
+/// (== file length for a clean segment).
+fn read_segment(path: &Path, want_token: &BaseToken) -> io::Result<Option<(Vec<Vec<u8>>, u64)>> {
+    let data = fs::read(path)?;
+    if data.len() < SEG_HEADER_LEN
+        || &data[..8] != WAL_MAGIC
+        || &data[8..8 + TOKEN_LEN] != want_token
+    {
+        return Ok(None);
+    }
+    let mut records = Vec::new();
+    let mut pos = SEG_HEADER_LEN;
+    while let Some(header) = data.get(pos..pos + REC_HEADER_LEN) {
+        let len = u32::from_le_bytes(header[..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(header[4..].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let Some(payload) = data.get(pos + REC_HEADER_LEN..pos + REC_HEADER_LEN + len as usize)
+        else {
+            break;
+        };
+        if crc32(payload) != crc {
+            break;
+        }
+        records.push(payload.to_vec());
+        pos += REC_HEADER_LEN + len as usize;
+    }
+    Ok(Some((records, pos as u64)))
+}
+
+fn write_segment_header(file: &mut File, token: &BaseToken, id: u64) -> io::Result<u64> {
+    let mut header = Vec::with_capacity(SEG_HEADER_LEN);
+    header.extend_from_slice(WAL_MAGIC);
+    header.extend_from_slice(token);
+    header.extend_from_slice(&id.to_le_bytes());
+    file.write_all(&header)?;
+    Ok(SEG_HEADER_LEN as u64)
+}
+
+impl Wal {
+    /// Opens (or creates) the WAL at `dir` for a database image identified
+    /// by `token`, recovering whatever valid records it holds.
+    ///
+    /// * `token == None` means "no base image exists yet": any log found
+    ///   is stale by definition and is wiped (logging against a
+    ///   non-existent image is impossible — callers checkpoint first).
+    /// * A token mismatch in the first live segment wipes the log: the
+    ///   image moved underneath it (save completed, truncation did not).
+    /// * Otherwise segments are replayed in order up to the first invalid
+    ///   frame; the torn suffix is truncated and later segments deleted.
+    ///
+    /// Returns the ready-to-append `Wal` and the replayed segments.
+    pub fn recover(
+        dir: &Path,
+        token: Option<BaseToken>,
+        durability: Durability,
+        seal_bytes: u64,
+    ) -> io::Result<(Wal, Vec<ReplayedSegment>)> {
+        fs::create_dir_all(dir)?;
+        let mut segs = list_segments(dir)?;
+        let mut replayed = Vec::new();
+        let token = match token {
+            Some(t) => t,
+            None => {
+                for (_, p) in segs.drain(..) {
+                    fs::remove_file(p)?;
+                }
+                [0u8; TOKEN_LEN]
+            }
+        };
+        let mut torn = false;
+        let mut tail: Option<(u64, PathBuf, u64)> = None; // id, path, valid len
+        let mut wipe_from = segs.len();
+        for (i, (id, path)) in segs.iter().enumerate() {
+            if torn {
+                wipe_from = wipe_from.min(i);
+                break;
+            }
+            match read_segment(path, &token)? {
+                None => {
+                    // Foreign or stale segment: everything from here on is
+                    // unusable (first segment stale == whole log stale).
+                    wipe_from = i;
+                    break;
+                }
+                Some((records, valid_len)) => {
+                    let full = fs::metadata(path)?.len();
+                    if valid_len < full {
+                        // Torn tail: keep the valid prefix, drop the rest
+                        // of this segment and every later one.
+                        torn = true;
+                    }
+                    replayed.push(ReplayedSegment {
+                        sealed: false, // fixed up below
+                        records,
+                    });
+                    tail = Some((*id, path.clone(), valid_len));
+                    wipe_from = i + 1;
+                }
+            }
+        }
+        for (_, p) in &segs[wipe_from..] {
+            fs::remove_file(p)?;
+        }
+        if wipe_from == 0 {
+            replayed.clear();
+            tail = None;
+        }
+        // Every recovered segment but the last was sealed.
+        let n = replayed.len();
+        for (i, seg) in replayed.iter_mut().enumerate() {
+            seg.sealed = i + 1 < n;
+        }
+        let replayed_records: u64 = replayed.iter().map(|s| s.records.len() as u64).sum();
+        let sealed_records = replayed
+            .iter()
+            .filter(|s| s.sealed)
+            .map(|s| s.records.len() as u64)
+            .sum();
+
+        // Re-open the tail for appending (truncated to its valid prefix),
+        // or start segment 1 afresh.
+        let (file, seg_id, tail_bytes, tail_records, segments) = match tail {
+            Some((id, path, valid_len)) => {
+                let file = OpenOptions::new().read(true).write(true).open(&path)?;
+                file.set_len(valid_len)?;
+                let mut file = file;
+                file.seek(SeekFrom::End(0))?;
+                let tail_records = replayed.last().map(|s| s.records.len() as u64).unwrap_or(0);
+                (file, id, valid_len, tail_records, replayed.len() as u64)
+            }
+            None => {
+                let path = seg_path(dir, 1);
+                let mut file = OpenOptions::new()
+                    .create(true)
+                    .truncate(true)
+                    .read(true)
+                    .write(true)
+                    .open(&path)?;
+                let len = write_segment_header(&mut file, &token, 1)?;
+                (file, 1, len, 0, 1)
+            }
+        };
+        let shared = Arc::new(WalShared {
+            dir: dir.to_path_buf(),
+            token: Mutex::new(token),
+            seal_bytes,
+            inner: Mutex::new(WalInner {
+                file,
+                seg_id,
+                tail_bytes,
+                tail_records,
+                sealed_records,
+                segments,
+                writes: 0,
+                fault: None,
+                dropping: false,
+                durability,
+            }),
+            sync: Mutex::new(SyncState::default()),
+            cond: Condvar::new(),
+            dirty: Mutex::new(false),
+            flush_cond: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            appends: AtomicU64::new(0),
+            appended_bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            seals: AtomicU64::new(0),
+            replayed: AtomicU64::new(replayed_records),
+        });
+        let flusher = Some(spawn_flusher(shared.clone()));
+        Ok((Wal { shared, flusher }, replayed))
+    }
+
+    /// True when the log holds no records (nothing to replay).
+    pub fn is_empty(&self) -> bool {
+        let inner = self.shared.inner.lock().unwrap();
+        inner.tail_records == 0 && inner.sealed_records == 0
+    }
+
+    /// The WAL directory.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    /// The current durability policy.
+    pub fn durability(&self) -> Durability {
+        self.shared.inner.lock().unwrap().durability
+    }
+
+    /// Changes the durability policy for subsequent appends.
+    pub fn set_durability(&self, durability: Durability) {
+        self.shared.inner.lock().unwrap().durability = durability;
+    }
+
+    /// Installs (or clears) a deterministic write fault: the `nth`
+    /// logical WAL write from now on misbehaves per [`FaultKind`]. Resets
+    /// the boundary counter so sweeps are reproducible.
+    pub fn set_fault(&self, plan: Option<FaultPlan>) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.fault = plan;
+        inner.writes = 0;
+        inner.dropping = false;
+    }
+
+    /// Appends one record and applies the durability policy. On error the
+    /// tail may hold a torn frame; the caller should stop using the log
+    /// until the next checkpoint rebases it (recovery truncates the torn
+    /// frame either way).
+    pub fn append(&self, payload: &[u8]) -> io::Result<AppendOutcome> {
+        let shared = &self.shared;
+        let (seq, sealed, durability) = {
+            let mut inner = shared.inner.lock().unwrap();
+            let mut frame = Vec::with_capacity(REC_HEADER_LEN + payload.len());
+            frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            frame.extend_from_slice(&crc32(payload).to_le_bytes());
+            frame.extend_from_slice(payload);
+            write_faulted(&mut inner, &frame)?;
+            inner.tail_bytes += frame.len() as u64;
+            inner.tail_records += 1;
+            let seq = {
+                let mut sync = shared.sync.lock().unwrap();
+                sync.appended += 1;
+                sync.appended
+            };
+            shared.appends.fetch_add(1, Ordering::Relaxed);
+            shared
+                .appended_bytes
+                .fetch_add(payload.len() as u64, Ordering::Relaxed);
+            let sealed = if inner.tail_bytes >= shared.seal_bytes {
+                seal_locked(shared, &mut inner)?;
+                true
+            } else {
+                false
+            };
+            (seq, sealed, inner.durability)
+        };
+        match durability {
+            Durability::Sync => self.group_sync(seq)?,
+            Durability::Group { .. } => {
+                let mut dirty = shared.dirty.lock().unwrap();
+                *dirty = true;
+                shared.flush_cond.notify_one();
+            }
+            Durability::Async => {}
+        }
+        Ok(AppendOutcome { seq, sealed })
+    }
+
+    /// Blocks until every record appended so far is fsynced.
+    pub fn sync(&self) -> io::Result<()> {
+        let seq = self.shared.sync.lock().unwrap().appended;
+        if seq > 0 {
+            self.group_sync(seq)?;
+        }
+        Ok(())
+    }
+
+    /// The group-commit protocol: return once `seq` is durable, fsyncing
+    /// on behalf of every waiter when no leader is already doing so.
+    fn group_sync(&self, seq: u64) -> io::Result<()> {
+        let shared = &self.shared;
+        let mut sync = shared.sync.lock().unwrap();
+        loop {
+            if sync.synced >= seq {
+                return Ok(());
+            }
+            if sync.syncing {
+                sync = shared.cond.wait(sync).unwrap();
+                continue;
+            }
+            sync.syncing = true;
+            drop(sync);
+            let result = fsync_tail(shared);
+            sync = shared.sync.lock().unwrap();
+            sync.syncing = false;
+            match result {
+                Ok(covered) => {
+                    sync.synced = sync.synced.max(covered);
+                    shared.cond.notify_all();
+                }
+                Err(e) => {
+                    shared.cond.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Explicitly seals the tail segment (if it holds any records) and
+    /// opens a fresh one. Returns whether a seal happened.
+    pub fn seal(&self) -> io::Result<bool> {
+        let shared = &self.shared;
+        let mut inner = shared.inner.lock().unwrap();
+        if inner.tail_records == 0 {
+            return Ok(false);
+        }
+        seal_locked(shared, &mut inner)?;
+        Ok(true)
+    }
+
+    /// Checkpoint: every logged record is now part of the image identified
+    /// by `token`, so drop all segments and start a fresh tail bound to
+    /// that token.
+    pub fn rebase(&self, token: BaseToken) -> io::Result<()> {
+        let shared = &self.shared;
+        let mut inner = shared.inner.lock().unwrap();
+        for (_, p) in list_segments(&shared.dir)? {
+            fs::remove_file(p)?;
+        }
+        *shared.token.lock().unwrap() = token;
+        let path = seg_path(&shared.dir, 1);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        let len = write_segment_header(&mut file, &token, 1)?;
+        inner.file = file;
+        inner.seg_id = 1;
+        inner.tail_bytes = len;
+        inner.tail_records = 0;
+        inner.sealed_records = 0;
+        inner.segments = 1;
+        inner.dropping = false;
+        let mut sync = shared.sync.lock().unwrap();
+        sync.synced = sync.appended;
+        Ok(())
+    }
+
+    /// Snapshot of the WAL counters.
+    pub fn stats(&self) -> WalStats {
+        let shared = &self.shared;
+        let inner = shared.inner.lock().unwrap();
+        WalStats {
+            segments: inner.segments,
+            records: inner.sealed_records + inner.tail_records,
+            tail_records: inner.tail_records,
+            tail_bytes: inner.tail_bytes,
+            appends: shared.appends.load(Ordering::Relaxed),
+            appended_bytes: shared.appended_bytes.load(Ordering::Relaxed),
+            fsyncs: shared.fsyncs.load(Ordering::Relaxed),
+            seals: shared.seals.load(Ordering::Relaxed),
+            replayed: shared.replayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.flush_cond.notify_all();
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.shared.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// One logical WAL write, with the fault plan consulted (semantics match
+/// [`FaultFile`](crate::FaultFile): `Error` loses the whole write, `Torn`
+/// keeps a prefix, `Truncate` silently drops this and later writes and
+/// surfaces at the next fsync).
+fn write_faulted(inner: &mut WalInner, buf: &[u8]) -> io::Result<()> {
+    let n = inner.writes;
+    inner.writes += 1;
+    if inner.dropping {
+        return Ok(());
+    }
+    if let Some(p) = inner.fault {
+        if n == p.nth {
+            match p.kind {
+                FaultKind::Error => return Err(io::Error::other("injected WAL write fault")),
+                FaultKind::Torn { keep } => {
+                    let k = keep.min(buf.len());
+                    inner.file.write_all(&buf[..k])?;
+                    return Err(io::Error::other("injected WAL write fault"));
+                }
+                FaultKind::Truncate => {
+                    inner.dropping = true;
+                    return Ok(());
+                }
+            }
+        }
+    }
+    inner.file.write_all(buf)
+}
+
+/// fsyncs the tail segment, returning the highest sequence number the
+/// flush covers (everything appended before it started).
+fn fsync_tail(shared: &WalShared) -> io::Result<u64> {
+    let inner = shared.inner.lock().unwrap();
+    if inner.dropping {
+        return Err(io::Error::other("injected WAL write fault"));
+    }
+    let covered = shared.sync.lock().unwrap().appended;
+    inner.file.sync_data()?;
+    shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+    Ok(covered)
+}
+
+/// Seals the tail segment under the inner lock: fsync, then open the next
+/// segment. Everything in the sealed segment becomes durable.
+fn seal_locked(shared: &WalShared, inner: &mut WalInner) -> io::Result<()> {
+    if inner.dropping {
+        return Err(io::Error::other("injected WAL write fault"));
+    }
+    inner.file.sync_data()?;
+    shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+    shared.seals.fetch_add(1, Ordering::Relaxed);
+    let next = inner.seg_id + 1;
+    let path = seg_path(&shared.dir, next);
+    let token = *shared.token.lock().unwrap();
+    let mut file = OpenOptions::new()
+        .create(true)
+        .truncate(true)
+        .read(true)
+        .write(true)
+        .open(&path)?;
+    let len = write_segment_header(&mut file, &token, next)?;
+    inner.sealed_records += inner.tail_records;
+    inner.file = file;
+    inner.seg_id = next;
+    inner.tail_bytes = len;
+    inner.tail_records = 0;
+    inner.segments += 1;
+    // The seal fsync covered every append so far.
+    let mut sync = shared.sync.lock().unwrap();
+    sync.synced = sync.appended;
+    shared.cond.notify_all();
+    Ok(())
+}
+
+/// The `Durability::Group` flusher: wait for work, batch appends for the
+/// policy's window, fsync once for all of them.
+fn spawn_flusher(shared: Arc<WalShared>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        let mut dirty = shared.dirty.lock().unwrap();
+        while !*dirty && !shared.shutdown.load(Ordering::SeqCst) {
+            let (guard, _) = shared
+                .flush_cond
+                .wait_timeout(dirty, Duration::from_millis(100))
+                .unwrap();
+            dirty = guard;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Final best-effort flush so Group loses nothing on clean drop.
+            if *dirty {
+                let _ = flush_group(&shared);
+            }
+            return;
+        }
+        *dirty = false;
+        drop(dirty);
+        // Batching window: let concurrent appends pile up behind one fsync.
+        let wait = match shared.inner.lock().unwrap().durability {
+            Durability::Group { max_wait } => max_wait,
+            _ => Duration::ZERO,
+        };
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        let _ = flush_group(&shared);
+    })
+}
+
+fn flush_group(shared: &WalShared) -> io::Result<()> {
+    let covered = fsync_tail(shared)?;
+    let mut sync = shared.sync.lock().unwrap();
+    sync.synced = sync.synced.max(covered);
+    shared.cond.notify_all();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fix-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const TOKEN: BaseToken = [7u8; TOKEN_LEN];
+
+    #[test]
+    fn append_and_recover_round_trip() {
+        let dir = temp_dir("round-trip");
+        {
+            let (wal, replayed) =
+                Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+            assert!(replayed.is_empty());
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            assert!(!wal.is_empty());
+        }
+        let (wal, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert!(!replayed[0].sealed);
+        assert_eq!(replayed[0].records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(wal.stats().replayed, 2);
+        // Appends continue after the recovered tail.
+        wal.append(b"three").unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+        assert_eq!(replayed[0].records.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn token_mismatch_discards_the_log() {
+        let dir = temp_dir("token");
+        {
+            let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+            wal.append(b"stale").unwrap();
+        }
+        let other = [9u8; TOKEN_LEN];
+        let (wal, replayed) = Wal::recover(&dir, Some(other), Durability::Sync, 1 << 20).unwrap();
+        assert!(replayed.is_empty());
+        assert!(wal.is_empty());
+        drop(wal);
+        // No token at all (image gone) wipes too.
+        let (_, replayed) = Wal::recover(&dir, None, Durability::Sync, 1 << 20).unwrap();
+        assert!(replayed.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sealing_splits_segments_and_recovery_reports_them() {
+        let dir = temp_dir("seal");
+        {
+            // Tiny threshold: every record seals its segment.
+            let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1).unwrap();
+            assert!(wal.append(b"a").unwrap().sealed);
+            assert!(wal.append(b"b").unwrap().sealed);
+            let stats = wal.stats();
+            assert_eq!(stats.seals, 2);
+            assert_eq!(stats.segments, 3, "two sealed plus the fresh tail");
+        }
+        let (_, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1).unwrap();
+        let shapes: Vec<(bool, usize)> = replayed
+            .iter()
+            .map(|s| (s.sealed, s.records.len()))
+            .collect();
+        assert_eq!(shapes, vec![(true, 1), (true, 1), (false, 0)]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_the_valid_prefix() {
+        let dir = temp_dir("torn");
+        {
+            let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+            wal.append(b"keep-me").unwrap();
+        }
+        // Simulate a crash mid-append: garbage frame bytes at the tail.
+        let seg = seg_path(&dir, 1);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[0xAB; 7]).unwrap();
+        drop(f);
+        let before = fs::metadata(&seg).unwrap().len();
+        let (wal, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+        assert_eq!(replayed[0].records, vec![b"keep-me".to_vec()]);
+        assert!(fs::metadata(&seg).unwrap().len() < before);
+        // The truncated tail accepts new appends cleanly.
+        wal.append(b"after").unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+        assert_eq!(
+            replayed[0].records,
+            vec![b"keep-me".to_vec(), b"after".to_vec()]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_sealed_segment_drops_later_segments() {
+        let dir = temp_dir("torn-sealed");
+        {
+            let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1).unwrap();
+            wal.append(b"first").unwrap(); // seals segment 1
+            wal.append(b"second").unwrap(); // seals segment 2
+        }
+        // Corrupt the first sealed segment's record payload.
+        let seg = seg_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&seg, &bytes).unwrap();
+        let (_, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1).unwrap();
+        // Prefix semantics: nothing valid in segment 1 ⇒ nothing later
+        // survives either.
+        let total: usize = replayed.iter().map(|s| s.records.len()).sum();
+        assert_eq!(total, 0);
+        assert!(!seg_path(&dir, 2).exists(), "later segments wiped");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rebase_empties_the_log_under_a_new_token() {
+        let dir = temp_dir("rebase");
+        let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1).unwrap();
+        wal.append(b"a").unwrap();
+        wal.append(b"b").unwrap();
+        let fresh = [3u8; TOKEN_LEN];
+        wal.rebase(fresh).unwrap();
+        assert!(wal.is_empty());
+        wal.append(b"c").unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::recover(&dir, Some(fresh), Durability::Sync, 1 << 20).unwrap();
+        let all: Vec<Vec<u8>> = replayed.into_iter().flat_map(|s| s.records).collect();
+        assert_eq!(all, vec![b"c".to_vec()], "only the post-rebase record");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_shares_fsyncs_across_concurrent_writers() {
+        let dir = temp_dir("group");
+        let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+        let wal = Arc::new(wal);
+        let threads = 8;
+        let per_thread = 25;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let wal = wal.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        wal.append(format!("t{t}-r{i}").as_bytes()).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        assert_eq!(stats.appends, (threads * per_thread) as u64);
+        assert!(
+            stats.fsyncs <= stats.appends,
+            "group commit never fsyncs more than once per append"
+        );
+        drop(wal);
+        let (_, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+        let total: usize = replayed.iter().map(|s| s.records.len()).sum();
+        assert_eq!(total, threads * per_thread, "every synced record survives");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_durability_acknowledges_before_fsync_and_flushes_in_background() {
+        let dir = temp_dir("group-bg");
+        let (wal, _) = Wal::recover(
+            &dir,
+            Some(TOKEN),
+            Durability::Group {
+                max_wait: Duration::from_millis(5),
+            },
+            1 << 20,
+        )
+        .unwrap();
+        for i in 0..10 {
+            wal.append(format!("r{i}").as_bytes()).unwrap();
+        }
+        wal.sync().unwrap();
+        let stats = wal.stats();
+        assert!(stats.fsyncs >= 1);
+        assert!(
+            stats.fsyncs < stats.appends,
+            "batched: fewer fsyncs ({}) than appends ({})",
+            stats.fsyncs,
+            stats.appends
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fault_injection_mirrors_faultfile_semantics() {
+        for kind in [
+            FaultKind::Error,
+            FaultKind::Torn { keep: 3 },
+            FaultKind::Truncate,
+        ] {
+            let dir = temp_dir(&format!("fault-{kind:?}").replace([' ', '{', '}', ':'], ""));
+            let (wal, _) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+            wal.append(b"before").unwrap();
+            wal.set_fault(Some(FaultPlan::new(0, kind)));
+            assert!(wal.append(b"doomed").is_err(), "{kind:?} must surface");
+            drop(wal);
+            let (_, replayed) = Wal::recover(&dir, Some(TOKEN), Durability::Sync, 1 << 20).unwrap();
+            assert_eq!(
+                replayed[0].records,
+                vec![b"before".to_vec()],
+                "{kind:?}: only the pre-fault record survives"
+            );
+            fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn db_token_changes_with_the_file_and_handles_absence() {
+        let dir = temp_dir("token-fn");
+        fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("img");
+        assert!(db_token(&f).unwrap().is_none());
+        fs::write(&f, b"first image bytes").unwrap();
+        let a = db_token(&f).unwrap().unwrap();
+        fs::write(&f, b"second image bytes!").unwrap();
+        let b = db_token(&f).unwrap().unwrap();
+        assert_ne!(a, b);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

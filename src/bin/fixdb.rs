@@ -4,8 +4,9 @@
 //! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...
 //! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
 //! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
-//! fixdb add         <db> <file.xml>...   (alias: insert)
-//! fixdb remove      <db> <doc-id>...
+//! fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--full-save] <file.xml>...   (alias: insert)
+//! fixdb remove      <db> [--durability sync|group[:MS]|async] [--full-save] <doc-id>...
+//! fixdb wal         <db>
 //! fixdb vacuum      <db>
 //! fixdb compact     <db>
 //! fixdb verify      <db> [--salvage OUT]
@@ -36,6 +37,15 @@
 //! `--pool-pages` frames when the database is opened, so cold start and
 //! resident memory stop scaling with file size. `stats --json` exposes
 //! the pool counters as `fix_pool_*` gauges.
+//!
+//! Mutations (`add`, `remove`) commit through the write-ahead log beside
+//! the database file (`<db>.wal/`) instead of rewriting it — `add
+//! --batch DIR` commits every `.xml` under DIR as one atomic batch,
+//! `--durability` picks the fsync policy (`sync`, `group[:MS]`,
+//! `async`), and `--full-save` restores the old rewrite-on-every-run
+//! behavior (checkpointing the log away). `wal` shows the log and the
+//! delta tier levels; the same numbers appear in `stats` as `fix_wal_*`
+//! and `fix_level_*` metrics.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -43,7 +53,7 @@ use std::time::{Duration, Instant};
 
 use fix::core::Collection;
 use fix::datagen::GenConfig;
-use fix::{FixDatabase, FixError, FixOptions, StorageMode};
+use fix::{Durability, FixDatabase, FixError, FixOptions, StorageMode, WriteBatch};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +63,7 @@ fn main() -> ExitCode {
         Some("bench-query") => bench_query(&args[1..]),
         Some("insert") | Some("add") => insert(&args[1..]),
         Some("remove") => remove(&args[1..]),
+        Some("wal") => wal(&args[1..]),
         Some("vacuum") => vacuum(&args[1..]),
         Some("compact") => compact(&args[1..]),
         Some("verify") => verify(&args[1..]),
@@ -60,13 +71,14 @@ fn main() -> ExitCode {
         Some("gen") => gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fixdb <build|query|bench-query|add|remove|vacuum|compact|verify|stats|gen> ...\n\
+                "usage: fixdb <build|query|bench-query|add|remove|wal|vacuum|compact|verify|stats|gen> ...\n\
                  \n\
                  fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...\n\
                  fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
                  fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
-                 fixdb add         <db> <file.xml>...   (alias: insert)\n\
-                 fixdb remove      <db> <doc-id>...\n\
+                 fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--full-save] <file.xml>...   (alias: insert)\n\
+                 fixdb remove      <db> [--durability sync|group[:MS]|async] [--full-save] <doc-id>...\n\
+                 fixdb wal         <db>\n\
                  fixdb vacuum      <db>\n\
                  fixdb compact     <db>\n\
                  fixdb verify      <db> [--salvage OUT]\n\
@@ -522,31 +534,147 @@ fn bench_query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Parses a `--durability` operand: `sync`, `group` / `group:MS`, or
+/// `async`.
+fn parse_durability(s: &str) -> Result<Durability, Box<dyn std::error::Error>> {
+    match s {
+        "sync" => Ok(Durability::Sync),
+        "async" => Ok(Durability::Async),
+        "group" => Ok(Durability::Group {
+            max_wait: Duration::from_millis(5),
+        }),
+        _ => match s.strip_prefix("group:").and_then(|ms| ms.parse().ok()) {
+            Some(ms) => Ok(Durability::Group {
+                max_wait: Duration::from_millis(ms),
+            }),
+            None => Err(err(format!(
+                "bad durability `{s}` (expected sync, group, group:MS, or async)"
+            ))),
+        },
+    }
+}
+
+/// Deterministic WAL fault injection for crash testing, armed via
+/// `FIXDB_WAL_FAULT=nth:error|truncate|torn:KEEP` (e.g. `0:torn:5` tears
+/// the first record write after 5 bytes). Hidden behind an env var so it
+/// can never be tripped by a stray CLI flag.
+fn arm_wal_fault(db: &mut FixDatabase) -> Result<(), Box<dyn std::error::Error>> {
+    let Ok(spec) = std::env::var("FIXDB_WAL_FAULT") else {
+        return Ok(());
+    };
+    use fix::storage::{FaultKind, FaultPlan};
+    let bad = || {
+        err(format!(
+            "bad FIXDB_WAL_FAULT `{spec}` (nth:error|truncate|torn:KEEP)"
+        ))
+    };
+    let mut parts = spec.split(':');
+    let nth: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+    let kind = match (parts.next(), parts.next()) {
+        (Some("error"), None) => FaultKind::Error,
+        (Some("truncate"), None) => FaultKind::Truncate,
+        (Some("torn"), Some(keep)) => FaultKind::Torn {
+            keep: keep.parse().map_err(|_| bad())?,
+        },
+        _ => return Err(bad()),
+    };
+    db.set_wal_fault(Some(FaultPlan::new(nth, kind)));
+    Ok(())
+}
+
 /// `fixdb add` / `fixdb insert`: incremental insertion through the delta
 /// index. Each document is feature-extracted on its own (no rebuild of
 /// the existing entries); when the delta outgrows
 /// `FixOptions::compact_ratio` × the base tree it is folded automatically.
+/// Durability comes from the write-ahead log — the database file itself
+/// is only rewritten under `--full-save`. `--batch DIR` commits every
+/// `.xml` file under DIR as one atomic batch.
 fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
-    if args.len() < 2 {
-        return Err(err("no input files"));
+    let mut db_path: Option<&str> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut batch_dirs: Vec<PathBuf> = Vec::new();
+    let mut durability: Option<Durability> = None;
+    let mut full_save = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--batch" => {
+                batch_dirs.push(PathBuf::from(
+                    it.next().ok_or_else(|| err("--batch needs a directory"))?,
+                ));
+            }
+            "--durability" => {
+                durability = Some(parse_durability(
+                    it.next()
+                        .ok_or_else(|| err("--durability needs a policy"))?,
+                )?);
+            }
+            "--full-save" => full_save = true,
+            _ if db_path.is_none() => db_path = Some(a),
+            _ => files.push(PathBuf::from(a)),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
+    if files.is_empty() && batch_dirs.is_empty() {
+        return Err(err("no input files (positional <file.xml> or --batch DIR)"));
     }
     let mut db = open_existing(db_path)?;
     if db.index().is_none() {
         return Err(err("database has no index"));
     }
-    for f in &args[1..] {
-        let xml = std::fs::read_to_string(f)?;
-        db.add_xml(&xml).map_err(|e| err(format!("{f}: {e}")))?;
+    if let Some(d) = durability {
+        db.set_durability(d);
     }
-    db.save()?;
+    arm_wal_fault(&mut db)?;
+
+    let mut batch = WriteBatch::new();
+    for f in &files {
+        let xml = std::fs::read_to_string(f).map_err(|e| err(format!("{}: {e}", f.display())))?;
+        batch.add_xml(xml);
+    }
+    for dir in &batch_dirs {
+        let mut xmls: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| err(format!("{}: {e}", dir.display())))?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "xml"))
+            .collect();
+        xmls.sort(); // deterministic id assignment
+        if xmls.is_empty() {
+            return Err(err(format!("no .xml files under {}", dir.display())));
+        }
+        for f in xmls {
+            let xml =
+                std::fs::read_to_string(&f).map_err(|e| err(format!("{}: {e}", f.display())))?;
+            batch.add_xml(xml);
+        }
+    }
+    let n = batch.len();
+    let t = Instant::now();
+    let ids = db.write(batch)?;
+    let committed = t.elapsed();
+    if full_save {
+        db.save()?;
+    }
     let idx = db.index().expect("checked above");
     println!(
-        "database now holds {} documents, {} entries ({} in the delta run)",
+        "committed {n} documents in {committed:?} (ids {}..{}); database now holds {} documents, {} entries ({} in the delta)",
+        ids.first().map(|d| d.0).unwrap_or(0),
+        ids.last().map(|d| d.0).unwrap_or(0),
         db.len(),
         idx.entry_count(),
         idx.delta_len()
     );
+    if let Some(w) = db.wal_stats() {
+        println!(
+            "wal: {} records across {} segments ({} fsyncs, durability {})",
+            w.records,
+            w.segments,
+            w.fsyncs,
+            db.durability().name()
+        );
+    } else if full_save {
+        println!("checkpointed to {db_path} (no live log)");
+    }
     Ok(())
 }
 
@@ -571,24 +699,103 @@ fn compact(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn remove(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
-    if args.len() < 2 {
+    let mut db_path: Option<&str> = None;
+    let mut ids: Vec<u32> = Vec::new();
+    let mut durability: Option<Durability> = None;
+    let mut full_save = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--durability" => {
+                durability = Some(parse_durability(
+                    it.next()
+                        .ok_or_else(|| err("--durability needs a policy"))?,
+                )?);
+            }
+            "--full-save" => full_save = true,
+            _ if db_path.is_none() => db_path = Some(a),
+            _ => ids.push(a.parse().map_err(|_| err(format!("bad doc id `{a}`")))?),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
+    if ids.is_empty() {
         return Err(err("no document ids"));
     }
     let mut db = open_existing(db_path)?;
-    for a in &args[1..] {
-        let id: u32 = a.parse().map_err(|_| err(format!("bad doc id `{a}`")))?;
-        if id as usize >= db.len() {
-            return Err(err(format!("doc id {id} out of range (0..{})", db.len())));
-        }
-        db.remove_document(fix::core::DocId(id))?;
+    if let Some(d) = durability {
+        db.set_durability(d);
     }
-    db.save()?;
+    arm_wal_fault(&mut db)?;
+    // One atomic batch: either every tombstone commits or none does
+    // (a bad id rejects the lot before anything is logged).
+    let mut batch = WriteBatch::new();
+    for id in &ids {
+        batch.remove_document(fix::core::DocId(*id));
+    }
+    let n = batch.len();
+    db.write(batch)?;
+    if full_save {
+        db.save()?;
+    }
     println!(
         "{} documents tombstoned ({} total live); run `fixdb vacuum` to reclaim space",
-        args.len() - 1,
+        n,
         db.len() - db.index().map(|i| i.removed_count()).unwrap_or(0)
     );
+    Ok(())
+}
+
+/// `fixdb wal`: shows the write-ahead log beside the database (segments,
+/// records, sync counters) and the delta index's tier levels it feeds.
+fn wal(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
+    let db = open_existing(db_path)?;
+    let wal_dir = fix::storage::wal_dir(std::path::Path::new(db_path.as_str()));
+    println!("log directory:     {}", wal_dir.display());
+    match db.wal_stats() {
+        None => println!("log:               none (no logged writes since the last checkpoint)"),
+        Some(w) => {
+            println!("segments:          {}", w.segments);
+            println!(
+                "records:           {} (replayed on this open: {})",
+                w.records, w.replayed
+            );
+            println!(
+                "tail:              {} records / {} bytes unsealed",
+                w.tail_records, w.tail_bytes
+            );
+            println!("sealed segments:   {}", w.seals);
+            println!("durability:        {}", db.durability().name());
+        }
+    }
+    if let Some(idx) = db.index() {
+        let d = idx.delta_stats();
+        println!(
+            "delta:             {} entries ({} unsealed, {} in frozen runs)",
+            d.entries,
+            d.tail_entries,
+            d.entries - d.tail_entries
+        );
+        let levels = db.level_stats();
+        if levels.is_empty() {
+            println!("tiers:             empty (nothing sealed yet)");
+        } else {
+            println!("tiers:");
+            for l in &levels {
+                println!(
+                    "  L{}: {} run(s), {} entries, {} KiB",
+                    l.level,
+                    l.runs,
+                    l.entries,
+                    l.bytes / 1024
+                );
+            }
+        }
+        println!(
+            "read amplification: {} sorted source(s) per scan",
+            1 + levels.iter().map(|l| l.runs).sum::<usize>() + usize::from(d.tail_entries > 0)
+        );
+    }
     Ok(())
 }
 
@@ -710,6 +917,18 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     println!("index size:        {} KiB", is.index_bytes() / 1024);
     println!("delta entries:     {}", idx.delta_len());
     println!("delta size:        {} KiB", idx.delta_bytes() / 1024);
+    let levels = db.level_stats();
+    println!(
+        "delta tiers:       {} level(s), {} frozen run(s)",
+        levels.len(),
+        levels.iter().map(|l| l.runs).sum::<usize>()
+    );
+    if let Some(w) = db.wal_stats() {
+        println!(
+            "wal:               {} records / {} segments (replayed {})",
+            w.records, w.segments, w.replayed
+        );
+    }
     println!("tombstoned docs:   {}", idx.removed_count());
     // Top element labels by frequency.
     let mut counts: std::collections::HashMap<&str, u64> = std::collections::HashMap::new();

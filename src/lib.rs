@@ -98,7 +98,8 @@ pub use fix_core as core;
 // The facade types, re-exported at the root: most applications need
 // nothing beyond these.
 pub use fix_core::{
-    BufferPool, FixDatabase, FixError, FixOptions, PoolStats, QuerySession, StorageMode,
+    BufferPool, Durability, FixDatabase, FixError, FixOptions, LevelStats, PoolStats, QuerySession,
+    StorageMode, WalStats, WriteBatch, WriteOp,
 };
 
 /// XML data model, parser, and event streams (`fix-xml`).

@@ -325,6 +325,123 @@ proptest! {
     }
 }
 
+static WAL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The WAL leg of the oracle: run the same maintenance interleaving
+    /// on a path-bound database whose mutations commit through the
+    /// write-ahead log, kill it (drop, no save) at a proptest-chosen cut
+    /// point, reopen — crash recovery replays the log — and finish the
+    /// interleaving. The survivor must answer every final query exactly
+    /// like an uninterrupted in-memory database that saw the identical
+    /// sequence. A tiny seal threshold keeps the cut landing on sealed
+    /// *and* unsealed segments.
+    #[test]
+    fn wal_kill_and_reopen_agrees_with_uninterrupted(
+        seed_docs in prop::collection::vec(doc_strategy(), 1..4),
+        opts in options_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..9),
+        cut_sel in 0usize..16,
+        final_queries in prop::collection::vec(query_strategy(), 1..3),
+    ) {
+        let mut wopts = opts.clone();
+        wopts.wal_seal_bytes = 96;
+
+        let mut reference = FixDatabase::in_memory();
+        for xml in &seed_docs {
+            reference.add_xml(xml).unwrap();
+        }
+        reference.build(wopts.clone()).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "fix-differential-wal-{}-{}.fixdb",
+            std::process::id(),
+            WAL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(fix::storage::wal_dir(&path));
+        let mut db = FixDatabase::open(&path).unwrap();
+        for xml in &seed_docs {
+            db.add_xml(xml).unwrap();
+        }
+        db.build(wopts.clone()).unwrap();
+        db.save().unwrap();
+
+        // One mutation script, two consumers; `len` tracks the shared id
+        // space so Remove picks the same victim on both sides.
+        let mut len = seed_docs.len();
+        // `cut == ops.len()` kills *after* the whole script — the
+        // recovery-only case with nothing left to apply.
+        let cut = cut_sel % (ops.len() + 1);
+        let mut db = Some(db);
+        for (i, op) in ops.iter().enumerate() {
+            if i == cut {
+                drop(db.take()); // the kill: no save since the checkpoint
+                db = Some(FixDatabase::open(&path).unwrap());
+                prop_assert_eq!(
+                    db.as_ref().unwrap().len(),
+                    reference.len(),
+                    "crash recovery lost or invented documents at cut {}", cut
+                );
+            }
+            let w = db.as_mut().unwrap();
+            match op {
+                Op::Add(xml) => {
+                    reference.add_xml(xml).unwrap();
+                    w.add_xml(xml).unwrap();
+                    len += 1;
+                }
+                Op::Remove(i) => {
+                    if len > 0 {
+                        let id = *i as usize % len;
+                        reference.remove_document(DocId(id as u32)).unwrap();
+                        w.remove_document(DocId(id as u32)).unwrap();
+                    }
+                }
+                Op::Compact => {
+                    reference.compact().unwrap();
+                    w.compact().unwrap();
+                }
+                Op::Vacuum => {
+                    reference.vacuum().unwrap();
+                    w.vacuum().unwrap();
+                    len = reference.len();
+                }
+                // Queries are checked at the end; mid-stream they would
+                // only repeat the main oracle's work.
+                Op::Query(_) => {}
+            }
+        }
+        if cut >= ops.len() {
+            drop(db.take());
+            db = Some(FixDatabase::open(&path).unwrap());
+        }
+        let db = db.unwrap();
+
+        prop_assert_eq!(db.len(), reference.len(), "final document count diverged");
+        for q in &final_queries {
+            match (db.query(q), reference.query(q)) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.results, &b.results, "WAL survivor vs uninterrupted on {}", q);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "outcome disagreement on {}: survivor {:?}, uninterrupted {:?}",
+                    q,
+                    a.map(|o| o.results.len()),
+                    b.map(|o| o.results.len())
+                ),
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(fix::storage::wal_dir(&path));
+    }
+}
+
 /// The stale-index footgun, pinned deterministically: a database mutated
 /// after `build()` must serve the *merged* truth — new documents appear
 /// in answers immediately, removed ones vanish immediately, with no

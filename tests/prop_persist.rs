@@ -271,6 +271,130 @@ fn crash_matrix_every_boundary_leaves_previous_version_loadable() {
     std::fs::remove_file(&path).ok();
 }
 
+/// The WAL crash matrix: inject a fault at *every* log-file write
+/// boundary — record appends, segment headers, seals forced by a tiny
+/// seal threshold, and (for `Truncate`) the fsync that discovers lost
+/// writes — in every failure mode the harness models. Durability is
+/// `Sync`, so each fault fails exactly the batch it lands in; everything
+/// committed before it, and everything after (the write path checkpoints
+/// and re-engages a fresh log), must survive a kill-and-reopen.
+#[test]
+fn wal_crash_matrix_every_boundary_keeps_the_committed_prefix() {
+    use fix::storage::wal_dir;
+    use fix::{Durability, WriteBatch};
+
+    let dir = std::env::temp_dir().join(format!("fix-wal-matrix-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let opts = || {
+        FixOptions::builder()
+            .compact_ratio(0.0)
+            .durability(Durability::Sync)
+            .wal_seal_bytes(48) // tiny: the sweep crosses seal boundaries
+            .build()
+    };
+    let base = ["<p0><p1><p2/></p1></p0>", "<p0><p3/><p1/></p0>"];
+    // Five literal batches, each valid whichever single one of them the
+    // fault knocks out: at most one batch fails per sweep step (the
+    // fault plan is consumed with the log it poisoned), so by batch 5 at
+    // least one earlier add landed and `DocId(2)` names a real document.
+    let script: Vec<WriteBatch> = {
+        let mut s = Vec::new();
+        let mut b = WriteBatch::new();
+        b.add_xml("<p0><p1/></p0>");
+        s.push(b);
+        let mut b = WriteBatch::new();
+        b.add_xml("<p0><p2><p1/></p2></p0>");
+        s.push(b);
+        let mut b = WriteBatch::new();
+        b.remove_document(DocId(1));
+        s.push(b);
+        let mut b = WriteBatch::new();
+        b.add_xml("<p0><p3/></p0>");
+        b.add_xml("<p0><p2/><p2/></p0>");
+        s.push(b);
+        let mut b = WriteBatch::new();
+        b.remove_document(DocId(2));
+        s.push(b);
+        s
+    };
+    let queries = ["//p1", "//p2/p1", "//p0[p3]", "//p2"];
+
+    for (k, kind) in [
+        FaultKind::Error,
+        FaultKind::Torn { keep: 5 },
+        FaultKind::Truncate,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut boundaries = None;
+        for nth in 0.. {
+            let path = dir.join(format!("matrix-{k}-{nth}.fixdb"));
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_dir_all(wal_dir(&path)).ok();
+            let mut db = FixDatabase::open(&path).unwrap();
+            for d in base {
+                db.add_xml(d).unwrap();
+            }
+            db.build(opts()).unwrap();
+            db.save().unwrap();
+            db.set_wal_fault(Some(FaultPlan::new(nth, kind)));
+
+            // The in-memory reference sees exactly the batches that
+            // committed; ids line up because both sides apply the same
+            // literal ops in the same order.
+            let mut reference = FixDatabase::in_memory();
+            for d in base {
+                reference.add_xml(d).unwrap();
+            }
+            reference.build(opts()).unwrap();
+            let mut failures = 0;
+            for batch in &script {
+                match db.write(batch.clone()) {
+                    Ok(_) => {
+                        reference.write(batch.clone()).unwrap();
+                    }
+                    Err(FixError::Io(_)) => failures += 1,
+                    Err(e) => panic!("{kind:?} at boundary {nth}: unexpected error {e}"),
+                }
+            }
+            assert!(
+                failures <= 1,
+                "{kind:?} at boundary {nth}: one fault killed {failures} batches"
+            );
+
+            drop(db);
+            let db = FixDatabase::open(&path)
+                .unwrap_or_else(|e| panic!("{kind:?} at boundary {nth}: survivor unloadable: {e}"));
+            assert_eq!(
+                db.len(),
+                reference.len(),
+                "{kind:?} at boundary {nth}: document count diverged"
+            );
+            for q in queries {
+                assert_eq!(
+                    db.query(q).unwrap().results,
+                    reference.query(q).unwrap().results,
+                    "{kind:?} at boundary {nth}: answers diverged on {q}"
+                );
+            }
+            std::fs::remove_file(&path).ok();
+            std::fs::remove_dir_all(wal_dir(&path)).ok();
+
+            if failures == 0 {
+                // The fault landed beyond the last log write: sweep done.
+                boundaries = Some(nth);
+                break;
+            }
+        }
+        let boundaries = boundaries.unwrap();
+        assert!(
+            boundaries >= script.len(),
+            "{kind:?}: expected at least one boundary per batch, saw only {boundaries}"
+        );
+    }
+}
+
 /// A cheap deterministic suffix so parallel proptest cases do not clobber
 /// each other's files.
 fn rand_suffix(docs: &[String]) -> u64 {
