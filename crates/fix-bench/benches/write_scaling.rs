@@ -14,6 +14,12 @@
 //! reopened, and the replayed state must answer the serving queries
 //! exactly like the live one did.
 //!
+//! The sweep ends with a **recorder overhead leg**: the same
+//! async-durability mutation stream with the flight recorder at its
+//! default capacity vs disabled (capacity 0), asserting the recorder
+//! costs < 5% of sustained mutation throughput (best-of-N wall clock on
+//! both sides, so scheduler noise doesn't masquerade as overhead).
+//!
 //! Plain `main` (harness = false) so the sweep controls its own timing.
 //!
 //!   cargo bench -p fix-bench --bench write_scaling             # full sweep
@@ -178,6 +184,9 @@ fn main() {
         std::fs::remove_file(&path).ok();
     }
 
+    let (on_per_s, off_per_s) = recorder_overhead(&base_docs, &extra_docs, smoke);
+    let overhead_pct = 100.0 * (1.0 - on_per_s / off_per_s);
+
     if json {
         let mode_rows: Vec<String> = rows
             .iter()
@@ -197,7 +206,7 @@ fn main() {
             })
             .collect();
         println!(
-            r#"{{"base_docs":{},"fanout":{FANOUT},"modes":[{}],"verified":true}}"#,
+            r#"{{"base_docs":{},"fanout":{FANOUT},"modes":[{}],"recorder":{{"on_mutations_per_s":{on_per_s:.0},"off_mutations_per_s":{off_per_s:.0},"overhead_pct":{overhead_pct:.2}}},"verified":true}}"#,
             base_docs.len(),
             mode_rows.join(","),
         );
@@ -217,6 +226,78 @@ fn main() {
                 r.read_amp,
             );
         }
+        println!(
+            "  recorder on {on_per_s:>9.0}/s vs off {off_per_s:>9.0}/s ({overhead_pct:+.2}% overhead)"
+        );
         println!("write_scaling: every mode replayed from the WAL to the exact live answers");
+    }
+}
+
+/// The flight-recorder overhead leg: identical async-durability mutation
+/// streams with the recorder at its default capacity (1024, slow-op log
+/// armed at the default threshold) and fully disabled (capacity 0).
+/// Alternates runs and keeps each side's best wall clock; retries with
+/// more repetitions before declaring an overhead the bound rejects, so a
+/// one-off scheduler stall doesn't fail the sweep.
+fn recorder_overhead(base_docs: &[String], extra_docs: &[String], smoke: bool) -> (f64, f64) {
+    let run = |capacity: usize, tag: &str| -> Duration {
+        let path = temp(&format!("overhead-{tag}.fixdb"));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        let mut db = FixDatabase::open(&path).expect("fresh database opens");
+        for d in base_docs {
+            db.add_xml(d).expect("generated XML parses");
+        }
+        db.build(
+            FixOptions::builder()
+                .compact_ratio(0.0)
+                .wal_seal_bytes(if smoke { 512 } else { 4096 })
+                .tier_fanout(FANOUT)
+                .durability(Durability::Async)
+                .event_capacity(capacity)
+                .build(),
+        )
+        .expect("base index builds");
+        db.save().expect("checkpoint");
+        let t0 = Instant::now();
+        for d in extra_docs {
+            let mut batch = WriteBatch::new();
+            batch.add_xml(d.as_str());
+            db.write(batch).expect("logged add commits");
+        }
+        let wall = t0.elapsed();
+        if capacity > 0 {
+            assert!(
+                db.events().iter().any(|e| e.name == "commit"),
+                "the enabled recorder saw the stream"
+            );
+        } else {
+            assert!(db.events().is_empty(), "capacity 0 recorded nothing");
+        }
+        drop(db);
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+        wall
+    };
+
+    let mut best_on = Duration::MAX;
+    let mut best_off = Duration::MAX;
+    let mut round = 0usize;
+    loop {
+        for _ in 0..3 {
+            best_on = best_on.min(run(1024, &format!("on{round}")));
+            best_off = best_off.min(run(0, &format!("off{round}")));
+            round += 1;
+        }
+        let on = extra_docs.len() as f64 / best_on.as_secs_f64().max(1e-12);
+        let off = extra_docs.len() as f64 / best_off.as_secs_f64().max(1e-12);
+        if on >= 0.95 * off {
+            return (on, off);
+        }
+        assert!(
+            round < 9,
+            "flight recorder costs more than 5% of write throughput: \
+             {on:.0}/s enabled vs {off:.0}/s disabled after {round} runs each"
+        );
     }
 }

@@ -20,6 +20,20 @@
 
 use crate::run::SortedRun;
 
+/// Detail of one cascade merge [`TieredRuns::push_run_detailed`] ran, for
+/// flight-recorder narration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeDetail {
+    /// The level whose runs were folded (output lands on `level + 1`).
+    pub level: usize,
+    /// Runs consumed by the merge.
+    pub runs_in: usize,
+    /// Entries in the merged output run.
+    pub entries: u64,
+    /// Wall time of the merge, nanoseconds.
+    pub wall_ns: u64,
+}
+
 /// Per-level shape of the tier stack, for stats surfaces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelStats {
@@ -62,25 +76,38 @@ impl TieredRuns {
     /// Freezes `run` into level 0 and cascades merges while any level is
     /// full. Returns how many merges ran (0 on the common path).
     pub fn push_run(&mut self, run: SortedRun) -> usize {
+        self.push_run_detailed(run).len()
+    }
+
+    /// [`TieredRuns::push_run`] with per-merge detail — which level
+    /// folded, how many runs went in, the output size, and the merge's
+    /// wall time — so callers can narrate each cascade step.
+    pub fn push_run_detailed(&mut self, run: SortedRun) -> Vec<MergeDetail> {
         assert_eq!(run.key_len(), self.key_len, "key length mismatch");
+        let mut merges = Vec::new();
         if run.is_empty() {
-            return 0;
+            return merges;
         }
         if self.levels.is_empty() {
             self.levels.push(Vec::new());
         }
         self.levels[0].push(run);
-        let mut merges = 0;
         let mut level = 0;
         while level < self.levels.len() && self.levels[level].len() >= self.fanout {
+            let t0 = std::time::Instant::now();
             let runs = std::mem::take(&mut self.levels[level]);
             let refs: Vec<&SortedRun> = runs.iter().collect();
             let merged = merge_runs(self.key_len, &refs);
             if self.levels.len() == level + 1 {
                 self.levels.push(Vec::new());
             }
+            merges.push(MergeDetail {
+                level,
+                runs_in: runs.len(),
+                entries: merged.len() as u64,
+                wall_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            });
             self.levels[level + 1].push(merged);
-            merges += 1;
             level += 1;
         }
         merges

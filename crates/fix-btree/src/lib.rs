@@ -14,7 +14,7 @@ pub mod run;
 pub mod tree;
 
 pub use keycodec::{decode_f64, encode_f64, KeyWriter};
-pub use levels::{merge_runs, KMergeIter, LevelStats, TieredRuns};
+pub use levels::{merge_runs, KMergeIter, LevelStats, MergeDetail, TieredRuns};
 pub use rtree::{Point, RTree, RTreeProbeStats};
 pub use run::SortedRun;
 pub use tree::{BTree, BTreeStats, RangeScan, ScanStats};

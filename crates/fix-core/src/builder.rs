@@ -794,6 +794,13 @@ impl FixIndex {
         self.delta.seal()
     }
 
+    /// [`FixIndex::seal_delta`] with flight-recorder detail: the frozen
+    /// run's entry count and each cascade merge the freeze triggered.
+    /// `None` when the active run was empty (nothing froze).
+    pub(crate) fn seal_delta_detailed(&mut self) -> Option<crate::delta::SealDetail> {
+        self.delta.seal_detailed()
+    }
+
     /// Per-level shapes of the frozen delta tier stack (level 0 first).
     pub fn delta_level_stats(&self) -> Vec<fix_btree::LevelStats> {
         self.delta.level_stats()

@@ -51,11 +51,13 @@
 //! [`vacuum`]: FixDatabase::vacuum
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use fix_obs::{names, MetricsRegistry, Reportable, Stage};
+use fix_obs::{
+    names, Category, Event, EventRecorder, FieldValue, MetricsRegistry, Reportable, Severity, Stage,
+};
 use fix_storage::{wal_dir, Durability, FaultPlan, Wal, WalStats};
 
 use crate::batch::{WriteBatch, WriteOp};
@@ -66,6 +68,14 @@ use crate::options::FixOptions;
 use crate::persist::VerifyReport;
 use crate::query::{QueryHits, QueryOutcome};
 use crate::session::QuerySession;
+
+/// `wal_stale_reason` value: no image has been checkpointed yet.
+const STALE_NO_IMAGE: u8 = 0;
+/// `wal_stale_reason` value: an un-logged structural change
+/// (`build`, `vacuum`) outdated the image.
+const STALE_STRUCTURAL: u8 = 1;
+/// `wal_stale_reason` value: a WAL append failed and poisoned the log.
+const STALE_APPEND_FAILED: u8 = 2;
 
 /// A FIX database: a document collection plus (once built or loaded) its
 /// index, optionally bound to a file path for persistence.
@@ -89,6 +99,13 @@ pub struct FixDatabase {
     /// by WAL append failures; the next `write` checkpoints first.
     /// Atomic only so `save(&self)` can set it.
     wal_extends_image: AtomicBool,
+    /// Why `wal_extends_image` is false (one of the `STALE_*` values) —
+    /// flight-recorder narration for the checkpoint the next write runs.
+    /// Only meaningful while the flag is false.
+    wal_stale_reason: AtomicU8,
+    /// The flight recorder: a bounded ring of structured engine events
+    /// shared with the WAL and the buffer pool (see `DESIGN.md` §16).
+    events: Arc<EventRecorder>,
     /// Current durability policy (seeded from [`FixOptions::durability`]
     /// at build, adjustable at runtime via
     /// [`FixDatabase::set_durability`]).
@@ -112,13 +129,20 @@ impl FixDatabase {
         parse_depth: usize,
         wal_extends_image: bool,
     ) -> Self {
-        let (durability, wal_seal_bytes) = match index.as_deref() {
-            Some(i) => (i.options().durability, i.options().wal_seal_bytes),
+        let defaults;
+        let o = match index.as_deref() {
+            Some(i) => i.options(),
             None => {
-                let o = FixOptions::collection();
-                (o.durability, o.wal_seal_bytes)
+                defaults = FixOptions::collection();
+                &defaults
             }
         };
+        let (durability, wal_seal_bytes) = (o.durability, o.wal_seal_bytes);
+        let events = EventRecorder::shared(o.event_capacity);
+        events.set_slow_threshold_ns(o.slow_op_ns);
+        if let Some(i) = index.as_deref() {
+            i.pool.pool().attach_events(events.clone());
+        }
         Self {
             path,
             coll,
@@ -127,6 +151,8 @@ impl FixDatabase {
             parse_depth,
             wal: None,
             wal_extends_image: AtomicBool::new(wal_extends_image),
+            wal_stale_reason: AtomicU8::new(STALE_NO_IMAGE),
+            events,
             durability,
             wal_seal_bytes,
             wal_fault: None,
@@ -170,6 +196,8 @@ impl FixDatabase {
     ) -> Result<Self, FixError> {
         let metrics = Arc::new(MetricsRegistry::new());
         let existed = path.exists();
+        let mut load_ns = 0u64;
+        let mut load_bytes = 0u64;
         let (coll, index) = if existed {
             let start = Instant::now();
             // `bytes` is what open physically read: the whole file for
@@ -180,6 +208,8 @@ impl FixDatabase {
                 .histogram(names::PERSIST_LOAD_NS)
                 .record_duration(start.elapsed());
             metrics.counter(names::PERSIST_BYTES_READ).add(bytes);
+            load_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            load_bytes = bytes;
             (c, Some(Arc::new(i)))
         } else {
             (Collection::new(), None)
@@ -198,6 +228,27 @@ impl FixDatabase {
             parse_depth,
             existed,
         );
+        if db.events.enabled() {
+            if existed {
+                db.events.record_span(
+                    Category::Persist,
+                    Severity::Info,
+                    "open",
+                    load_ns,
+                    vec![
+                        ("bytes", FieldValue::U64(load_bytes)),
+                        ("documents", FieldValue::U64(db.len() as u64)),
+                    ],
+                );
+            } else {
+                db.events.record(
+                    Category::Persist,
+                    Severity::Info,
+                    "open",
+                    vec![("created", FieldValue::Bool(true))],
+                );
+            }
+        }
         if existed && db.index.is_some() && wal_dir(path).is_dir() {
             db.replay_wal(path)?;
         }
@@ -215,7 +266,29 @@ impl FixDatabase {
         let token = fix_storage::db_token(path)?;
         let (wal, segments) =
             Wal::recover(&wal_dir(path), token, self.durability, self.wal_seal_bytes)?;
+        wal.attach_obs(&self.metrics, self.events.clone());
+        if self.events.enabled() {
+            let r = wal.recovery();
+            if r.stale_discarded {
+                self.events.record(
+                    Category::Recovery,
+                    Severity::Warn,
+                    "recovery.token_mismatch",
+                    vec![("wiped_segments", FieldValue::U64(r.wiped_segments))],
+                );
+            }
+            if r.torn_tail {
+                self.events.record(
+                    Category::Recovery,
+                    Severity::Warn,
+                    "recovery.torn_tail",
+                    vec![("truncated_bytes", FieldValue::U64(r.torn_bytes))],
+                );
+            }
+        }
+        let t0 = Instant::now();
         let mut replayed = 0u64;
+        let mut sealed = 0u64;
         for seg in &segments {
             for rec in &seg.records {
                 let batch = WriteBatch::decode(rec).map_err(|detail| FixError::Corrupt {
@@ -226,12 +299,29 @@ impl FixDatabase {
                 replayed += 1;
             }
             if seg.sealed {
-                if let Some(idx) = self.index.as_mut() {
-                    if let Some(idx_mut) = Arc::get_mut(idx) {
-                        idx_mut.seal_delta();
-                    }
+                sealed += 1;
+                let detail = self
+                    .index
+                    .as_mut()
+                    .and_then(Arc::get_mut)
+                    .and_then(FixIndex::seal_delta_detailed);
+                if let Some(detail) = detail {
+                    self.note_seal(&detail);
                 }
             }
+        }
+        if self.events.enabled() {
+            self.events.record_span(
+                Category::Recovery,
+                Severity::Info,
+                "recovery.replay",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                vec![
+                    ("records", FieldValue::U64(replayed)),
+                    ("segments", FieldValue::U64(segments.len() as u64)),
+                    ("sealed_segments", FieldValue::U64(sealed)),
+                ],
+            );
         }
         self.metrics.counter(names::WAL_REPLAYED).add(replayed);
         self.wal = Some(wal);
@@ -309,21 +399,46 @@ impl FixDatabase {
             Arc::get_mut(idx).ok_or(FixError::SnapshotInUse)?;
             Arc::get_mut(&mut self.coll).ok_or(FixError::SnapshotInUse)?;
         }
+        let ops = batch.ops().len() as u64;
+        let t0 = Instant::now();
         self.validate(&batch)?;
+        let validate_ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t_wal = Instant::now();
         let sealed = if self.path.is_some() {
             self.commit_to_wal(&batch)?
         } else {
             false
         };
+        let wal_ns = u64::try_from(t_wal.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let ids = self.apply_ops(batch.ops())?;
+        if self.events.enabled() {
+            // One event per commit (not one per phase) keeps the recorder
+            // inside the write path's overhead budget; the phases ride
+            // along as payload fields.
+            self.events.record_span(
+                Category::Commit,
+                Severity::Info,
+                "commit",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                vec![
+                    ("ops", FieldValue::U64(ops)),
+                    ("validate_ns", FieldValue::U64(validate_ns)),
+                    ("wal_ns", FieldValue::U64(wal_ns)),
+                    ("sealed", FieldValue::Bool(sealed)),
+                ],
+            );
+        }
         if sealed {
             // The record that filled the WAL segment is the last one in
             // it; replay seals the delta right after applying it, so the
             // live path must too for the tier layout to match.
-            if let Some(idx) = self.index.as_mut() {
-                if let Some(idx_mut) = Arc::get_mut(idx) {
-                    idx_mut.seal_delta();
-                }
+            let detail = self
+                .index
+                .as_mut()
+                .and_then(Arc::get_mut)
+                .and_then(FixIndex::seal_delta_detailed);
+            if let Some(detail) = detail {
+                self.note_seal(&detail);
             }
         }
         self.report_wal_metrics();
@@ -421,7 +536,8 @@ impl FixDatabase {
             let start = Instant::now();
             let compacted = idx_mut.compact();
             *idx = Arc::new(compacted);
-            self.note_compaction(start.elapsed());
+            self.attach_index_events();
+            self.note_compaction(start.elapsed(), delta);
         }
     }
 
@@ -434,12 +550,24 @@ impl FixDatabase {
             // The image on disk (if any) does not reflect some un-logged
             // change (build, vacuum, a failed append). Write a fresh
             // image first; save_to also rebases/invalidates the log.
+            let reason = self.stale_reason_name();
+            let t0 = Instant::now();
             self.save_to(&path)?;
+            if self.events.enabled() {
+                self.events.record_span(
+                    Category::Persist,
+                    Severity::Info,
+                    "checkpoint",
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    vec![("reason", FieldValue::Str(reason.into()))],
+                );
+            }
         }
         if self.wal.is_none() {
             let token = fix_storage::db_token(&path)?;
             let (wal, _stale) =
                 Wal::recover(&wal_dir(&path), token, self.durability, self.wal_seal_bytes)?;
+            wal.attach_obs(&self.metrics, self.events.clone());
             // Anything recover salvaged is already part of the image (or
             // predates it): this database's in-memory state was not built
             // from those records, so force the log empty before use.
@@ -459,8 +587,18 @@ impl FixDatabase {
                 // previously committed records — consistent with memory,
                 // since this batch was not applied. Stop extending the
                 // log; the next write checkpoints and starts a fresh one.
+                if self.events.enabled() {
+                    self.events.record(
+                        Category::Wal,
+                        Severity::Warn,
+                        "wal.append_failed",
+                        vec![("error", FieldValue::Str(e.to_string()))],
+                    );
+                }
                 self.wal = None;
                 self.wal_extends_image.store(false, Ordering::Release);
+                self.wal_stale_reason
+                    .store(STALE_APPEND_FAILED, Ordering::Release);
                 Err(FixError::Io(e))
             }
         }
@@ -473,20 +611,67 @@ impl FixDatabase {
     /// changes layout, not results).
     pub fn compact(&mut self) -> Result<(), FixError> {
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        let entries = idx.delta_len();
         let start = Instant::now();
         let compacted = idx.compact();
         self.index = Some(Arc::new(compacted));
-        self.note_compaction(start.elapsed());
+        self.attach_index_events();
+        self.note_compaction(start.elapsed(), entries);
         self.report_delta_gauges();
         Ok(())
     }
 
-    /// Records one compaction in the registry.
-    fn note_compaction(&self, wall: std::time::Duration) {
+    /// Records one compaction in the registry and the flight recorder.
+    fn note_compaction(&self, wall: std::time::Duration, entries_folded: u64) {
         self.metrics.counter(names::DELTA_COMPACTIONS).add(1);
         self.metrics
             .histogram(names::DELTA_COMPACT_NS)
             .record_duration(wall);
+        if self.events.enabled() {
+            self.events.record_span(
+                Category::Compact,
+                Severity::Info,
+                "compact",
+                u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+                vec![("entries_folded", FieldValue::U64(entries_folded))],
+            );
+        }
+    }
+
+    /// Narrates one delta freeze in the flight recorder: the L0 freeze
+    /// itself plus each size-tier cascade merge it triggered.
+    fn note_seal(&self, detail: &crate::delta::SealDetail) {
+        if !self.events.enabled() {
+            return;
+        }
+        self.events.record(
+            Category::Tier,
+            Severity::Info,
+            "tier.freeze",
+            vec![("entries", FieldValue::U64(detail.entries))],
+        );
+        for m in &detail.merges {
+            self.events.record_span(
+                Category::Tier,
+                Severity::Info,
+                "tier.merge",
+                m.wall_ns,
+                vec![
+                    ("level", FieldValue::U64(m.level as u64)),
+                    ("runs_in", FieldValue::U64(m.runs_in as u64)),
+                    ("entries", FieldValue::U64(m.entries)),
+                ],
+            );
+        }
+    }
+
+    /// Re-points the (possibly re-created) index's buffer pool at this
+    /// database's flight recorder. Called wherever a fresh [`FixIndex`]
+    /// (and thus a fresh pool) replaces the current one.
+    fn attach_index_events(&self) {
+        if let Some(idx) = self.index.as_deref() {
+            idx.pool.pool().attach_events(self.events.clone());
+        }
     }
 
     /// Refreshes the delta size gauges after a delta transition (insert
@@ -511,6 +696,7 @@ impl FixDatabase {
         let coll = Arc::get_mut(&mut self.coll).expect("probed above");
         let idx = FixIndex::build(coll, opts);
         self.index = Some(Arc::new(idx));
+        self.attach_index_events();
         self.invalidate_wal_base();
         self.report_metrics();
         Ok(self.stats().expect("index was just built"))
@@ -524,6 +710,15 @@ impl FixDatabase {
         if let Some(wal) = self.wal.as_ref() {
             wal.set_durability(opts.durability);
         }
+        self.events.set_slow_threshold_ns(opts.slow_op_ns);
+        if opts.event_capacity != self.events.capacity() {
+            // Ring capacity is fixed at construction, so a capacity change
+            // means a fresh recorder. Components attach lazily (the WAL on
+            // its next engagement, the pool right after the rebuild that
+            // brought the new options), so new events land in the new ring.
+            self.events = EventRecorder::shared(opts.event_capacity);
+            self.events.set_slow_threshold_ns(opts.slow_op_ns);
+        }
     }
 
     /// Marks the on-disk image as no longer current after an un-logged
@@ -533,6 +728,17 @@ impl FixDatabase {
     /// next [`write`](Self::write) checkpoints the new one first.
     fn invalidate_wal_base(&self) {
         self.wal_extends_image.store(false, Ordering::Release);
+        self.wal_stale_reason
+            .store(STALE_STRUCTURAL, Ordering::Release);
+    }
+
+    /// The human name of the current `wal_stale_reason` value.
+    fn stale_reason_name(&self) -> &'static str {
+        match self.wal_stale_reason.load(Ordering::Acquire) {
+            STALE_STRUCTURAL => "structural_change",
+            STALE_APPEND_FAILED => "append_failed",
+            _ => "no_image",
+        }
     }
 
     /// Builds (or rebuilds) the index with its pages in a real file at
@@ -549,6 +755,7 @@ impl FixDatabase {
         let coll = Arc::get_mut(&mut self.coll).expect("probed above");
         let idx = crate::builder::build_on_disk_impl(coll, opts, pages.as_ref())?;
         self.index = Some(Arc::new(idx));
+        self.attach_index_events();
         self.invalidate_wal_base();
         self.report_metrics();
         Ok(self.stats().expect("index was just built"))
@@ -627,6 +834,7 @@ impl FixDatabase {
         let (coll, index) = idx.vacuum(&self.coll);
         self.coll = Arc::new(coll);
         self.index = Some(Arc::new(index));
+        self.attach_index_events();
         // Vacuum renumbers documents, so WAL records (which name ids)
         // cannot extend the new state.
         self.invalidate_wal_base();
@@ -674,10 +882,21 @@ impl FixDatabase {
         self.metrics
             .histogram(names::PERSIST_SAVE_NS)
             .record_duration(start.elapsed());
+        let mut saved_bytes = 0u64;
         if let Ok(m) = std::fs::metadata(path) {
+            saved_bytes = m.len();
             self.metrics
                 .counter(names::PERSIST_BYTES_WRITTEN)
                 .add(m.len());
+        }
+        if self.events.enabled() {
+            self.events.record_span(
+                Category::Persist,
+                Severity::Info,
+                "save",
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                vec![("bytes", FieldValue::U64(saved_bytes))],
+            );
         }
         let bound_here = self.path.as_deref() == Some(path);
         match self.wal.as_ref() {
@@ -728,6 +947,27 @@ impl FixDatabase {
         &self.metrics
     }
 
+    /// The flight-recorder window: every event still in the ring, merged
+    /// with the retained `Warn`+ list, in sequence order (see
+    /// [`EventRecorder::events`]). The engine lifecycle — commits, WAL
+    /// seals, tier freezes and merges, compactions, saves, recovery
+    /// replays, pool evictions — narrates itself here.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.events()
+    }
+
+    /// The slow-op log: recorded spans whose duration met
+    /// [`FixOptions::slow_op_ns`], oldest first, payloads intact.
+    pub fn slow_ops(&self) -> Vec<Event> {
+        self.events.slow_ops()
+    }
+
+    /// The shared flight recorder itself (threshold control and live
+    /// follow-by-sequence for tooling).
+    pub fn event_recorder(&self) -> &Arc<EventRecorder> {
+        &self.events
+    }
+
     /// Refreshes every level-style gauge in the registry from current
     /// state and materializes the standard per-query instruments (so an
     /// exposition shows them at zero before any query has run). Call
@@ -746,6 +986,8 @@ impl FixDatabase {
             names::PERSIST_SAVE_NS,
             names::PERSIST_LOAD_NS,
             names::PERSIST_VERIFY_NS,
+            names::WAL_APPEND_NS,
+            names::WAL_FSYNC_NS,
         ] {
             reg.histogram(h);
         }
@@ -763,6 +1005,7 @@ impl FixDatabase {
             names::WAL_FSYNCS,
             names::WAL_SEALS,
             names::WAL_REPLAYED,
+            names::WAL_GROUP_COMMITS,
             names::LEVEL_SEALS,
             names::LEVEL_MERGES,
         ] {
@@ -772,6 +1015,7 @@ impl FixDatabase {
             names::WAL_SEGMENTS,
             names::WAL_TAIL_RECORDS,
             names::WAL_TAIL_BYTES,
+            names::WAL_GROUP_QUEUE_DEPTH,
             names::LEVEL_RUNS,
             names::LEVEL_DEPTH,
             names::LEVEL_ENTRIES,
@@ -897,6 +1141,19 @@ impl FixDatabase {
         self.durability = durability;
         if let Some(wal) = self.wal.as_ref() {
             wal.set_durability(durability);
+        }
+    }
+
+    /// Changes the WAL segment seal threshold for subsequent commits
+    /// (takes effect immediately on an engaged log). Seal decisions
+    /// already taken are embodied in the on-disk segment boundaries, so
+    /// recovery replays them unchanged whatever threshold the replaying
+    /// process uses — lowering it here only makes *future* commits seal
+    /// (and freeze delta runs) sooner.
+    pub fn set_wal_seal_bytes(&mut self, bytes: u64) {
+        self.wal_seal_bytes = bytes;
+        if let Some(wal) = self.wal.as_ref() {
+            wal.set_seal_bytes(bytes);
         }
     }
 

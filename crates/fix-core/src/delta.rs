@@ -24,7 +24,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use fix_btree::levels::{KMergeIter, LevelStats, TieredRuns};
+use fix_btree::levels::{KMergeIter, LevelStats, MergeDetail, TieredRuns};
 use fix_btree::SortedRun;
 
 use crate::key::{EntryPtr, KEY_LEN};
@@ -53,6 +53,16 @@ pub struct DeltaStats {
     pub seals: u64,
     /// Run merges performed by tier cascades since build/load.
     pub run_merges: u64,
+}
+
+/// What one [`DeltaIndex::seal_detailed`] did: the frozen run's size and
+/// every tier merge the freeze cascaded into.
+#[derive(Debug, Clone)]
+pub(crate) struct SealDetail {
+    /// Entries frozen from the active run into level 0.
+    pub entries: u64,
+    /// Cascaded merges, in the order they ran (level 0 upward).
+    pub merges: Vec<MergeDetail>,
 }
 
 /// Post-build index entries: an active run plus tiered frozen runs, with
@@ -146,13 +156,22 @@ impl DeltaIndex {
     /// segment whose records it mirrors seals. Returns `false` when the
     /// active run was empty (nothing to freeze).
     pub(crate) fn seal(&mut self) -> bool {
+        self.seal_detailed().is_some()
+    }
+
+    /// [`DeltaIndex::seal`] with narration detail: how many entries froze
+    /// into the L0 run and what each cascaded tier merge did. `None` when
+    /// the active run was empty.
+    pub(crate) fn seal_detailed(&mut self) -> Option<SealDetail> {
         if self.active.is_empty() {
-            return false;
+            return None;
         }
         let run = std::mem::replace(&mut self.active, SortedRun::new(KEY_LEN));
-        self.run_merges += self.tiers.push_run(run) as u64;
+        let entries = run.len() as u64;
+        let merges = self.tiers.push_run_detailed(run);
+        self.run_merges += merges.len() as u64;
         self.seals += 1;
-        true
+        Some(SealDetail { entries, merges })
     }
 
     /// Every live run, oldest data first (deepest frozen level outward,

@@ -50,7 +50,10 @@ pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
 pub use explain::{BlockExplain, Explain, ExplainAnalyze};
 pub use fix_btree::LevelStats;
-pub use fix_obs::{MetricsRegistry, MetricsSnapshot, QueryTrace, Reportable, Stage, StageRecord};
+pub use fix_obs::{
+    Category, Event, EventRecorder, FieldValue, MetricsRegistry, MetricsSnapshot, QueryTrace,
+    Reportable, Severity, SnapshotDelta, Stage, StageRecord,
+};
 pub use fix_storage::{BufferPool, Durability, PoolStats, WalStats};
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, CacheStats, Metrics};

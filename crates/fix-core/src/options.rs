@@ -117,6 +117,20 @@ pub struct FixOptions {
     /// read amplification at `fanout − 1` runs per level. Minimum 2.
     /// Process policy — not persisted.
     pub tier_fanout: usize,
+    /// Flight-recorder event ring capacity (see
+    /// [`EventRecorder`](fix_obs::EventRecorder)): how many structured
+    /// engine events (`commit`, `wal.seal`, `tier.merge`, recovery
+    /// anomalies, …) the database retains in memory. `0` disables the
+    /// recorder entirely — hot paths then skip payload construction.
+    /// Process policy — not persisted.
+    pub event_capacity: usize,
+    /// Slow-op threshold in nanoseconds: recorded spans (commits, saves,
+    /// merges, compactions) at least this long are promoted to the
+    /// retained slow-op log ([`FixDatabase::slow_ops`]). `u64::MAX`
+    /// disables promotion. Process policy — not persisted.
+    ///
+    /// [`FixDatabase::slow_ops`]: crate::FixDatabase::slow_ops
+    pub slow_op_ns: u64,
 }
 
 impl FixOptions {
@@ -141,6 +155,8 @@ impl FixOptions {
             durability: Durability::Sync,
             wal_seal_bytes: 1 << 20,
             tier_fanout: 4,
+            event_capacity: 1024,
+            slow_op_ns: 100_000_000,
         }
     }
 
@@ -380,6 +396,18 @@ impl FixOptionsBuilder {
         self
     }
 
+    /// Flight-recorder event ring capacity (`0` disables recording).
+    pub fn event_capacity(mut self, events: usize) -> Self {
+        self.opts.event_capacity = events;
+        self
+    }
+
+    /// Slow-op promotion threshold in nanoseconds (`u64::MAX` disables).
+    pub fn slow_op_ns(mut self, ns: u64) -> Self {
+        self.opts.slow_op_ns = ns;
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> FixOptions {
         self.opts
@@ -428,6 +456,8 @@ mod tests {
             .durability(Durability::Async)
             .wal_seal_bytes(4096)
             .tier_fanout(3)
+            .event_capacity(2048)
+            .slow_op_ns(5_000_000)
             .build();
         assert_eq!(o.depth_limit, 4);
         assert!(o.clustered);
@@ -447,6 +477,8 @@ mod tests {
         assert_eq!(o.durability, Durability::Async);
         assert_eq!(o.wal_seal_bytes, 4096);
         assert_eq!(o.tier_fanout, 3);
+        assert_eq!(o.event_capacity, 2048);
+        assert_eq!(o.slow_op_ns, 5_000_000);
     }
 
     #[test]

@@ -1,0 +1,618 @@
+//! Flight recorder — a fixed-capacity ring of structured engine events.
+//!
+//! Counters say *how much*; the event ring says *what happened in what
+//! order*. Every interesting lifecycle step — a commit's
+//! validate→append→fsync phases, a WAL segment seal, an L0 freeze, a tier
+//! merge, a compaction, a recovery replay, a buffer-pool eviction — records
+//! one [`Event`]: a monotonic sequence number, a nanosecond timestamp
+//! relative to the recorder's epoch, a [`Category`], a [`Severity`], an
+//! optional duration, and a small key/value payload.
+//!
+//! The ring is sharded like the metric counters: writers append to a
+//! per-thread shard under a shard-local mutex (uncontended in the common
+//! case — the lock is held for one `VecDeque` push), and readers merge the
+//! shards ordered by sequence number. Capacity is fixed at construction;
+//! when a shard is full the oldest event in that shard is dropped and the
+//! drop is counted. Two side lists survive ring churn:
+//!
+//! * the **retained list** keeps every `Warn`/`Error` event (recovery
+//!   anomalies, corruption, append failures) up to its own bound, so a
+//!   busy ring cannot wash away the one event that explains an incident;
+//! * the **slow-op log** keeps spans whose duration met the configurable
+//!   threshold ([`EventRecorder::set_slow_threshold_ns`]), payload intact.
+//!
+//! A recorder with capacity 0 is *disabled*: recording is a no-op and
+//! [`EventRecorder::enabled`] lets hot paths skip building payloads
+//! entirely, which is what keeps the recorder inside the write path's
+//! overhead budget (see DESIGN.md §16).
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::JsonWriter;
+
+/// Ring shards. Power of two; matches the counter sharding rationale —
+/// enough that a realistic session fan-out rarely contends one lock.
+const SHARDS: usize = 8;
+
+/// Bound of the `Warn`+ retained list.
+const RETAINED_CAP: usize = 256;
+
+/// Bound of the slow-op log.
+const SLOW_CAP: usize = 128;
+
+/// How important an event is; retention keys off this ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// High-volume detail (pool evictions); first to churn out.
+    Debug,
+    /// Normal lifecycle steps (commits, seals, merges).
+    Info,
+    /// Anomalies the engine recovered from (torn tails, token mismatches).
+    Warn,
+    /// Detected corruption or lost durability.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Which subsystem an event belongs to; `fixdb events --category` filters
+/// on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// `WriteBatch` commits (validate → append → fsync/ack).
+    Commit,
+    /// WAL mechanics: seals, group-commit flushes, append failures.
+    Wal,
+    /// Delta tiering: L0 freezes and size-tiered run merges.
+    Tier,
+    /// Compaction folding the delta stack into the base tree.
+    Compact,
+    /// Save/open persistence and checkpoints.
+    Persist,
+    /// Crash-recovery replay and its anomalies.
+    Recovery,
+    /// Buffer-pool evictions and CRC failures.
+    Pool,
+}
+
+impl Category {
+    /// The lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Commit => "commit",
+            Category::Wal => "wal",
+            Category::Tier => "tier",
+            Category::Compact => "compact",
+            Category::Persist => "persist",
+            Category::Recovery => "recovery",
+            Category::Pool => "pool",
+        }
+    }
+
+    /// Parses a wire name back (for CLI filters).
+    pub fn parse(s: &str) -> Option<Category> {
+        Some(match s {
+            "commit" => Category::Commit,
+            "wal" => Category::Wal,
+            "tier" => Category::Tier,
+            "compact" => Category::Compact,
+            "persist" => Category::Persist,
+            "recovery" => Category::Recovery,
+            "pool" => Category::Pool,
+            _ => return None,
+        })
+    }
+}
+
+/// One payload value. Small by design: payloads are a handful of scalars
+/// or short strings, not documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned scalar (counts, bytes, nanoseconds).
+    U64(u64),
+    /// Signed scalar.
+    I64(i64),
+    /// Ratio or rate.
+    F64(f64),
+    /// Short text (a segment file name, a reason).
+    Str(String),
+    /// Flag.
+    Bool(bool),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.3}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One recorded engine event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Global monotonic sequence number (total order across shards).
+    pub seq: u64,
+    /// Nanoseconds since the recorder's epoch (its construction instant).
+    pub ts_ns: u64,
+    /// Subsystem.
+    pub category: Category,
+    /// Importance; `Warn`+ events are retained past ring churn.
+    pub severity: Severity,
+    /// Stable event name, dotted by convention (`wal.seal`, `tier.merge`).
+    pub name: &'static str,
+    /// Span duration, when the event closes a timed span.
+    pub duration_ns: Option<u64>,
+    /// Key/value payload, insertion-ordered.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Writes this event as one JSON object into `w`.
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object();
+        w.key("seq").u64(self.seq);
+        w.key("ts_ns").u64(self.ts_ns);
+        w.key("category").string(self.category.name());
+        w.key("severity").string(self.severity.name());
+        w.key("name").string(self.name);
+        match self.duration_ns {
+            Some(d) => w.key("duration_ns").u64(d),
+            None => w.key("duration_ns").null(),
+        };
+        w.key("fields").begin_object();
+        for (k, v) in &self.fields {
+            w.key(k);
+            match v {
+                FieldValue::U64(n) => w.u64(*n),
+                FieldValue::I64(n) => w.i64(*n),
+                FieldValue::F64(n) => w.f64(*n),
+                FieldValue::Str(s) => w.string(s),
+                FieldValue::Bool(b) => w.bool(*b),
+            };
+        }
+        w.end_object();
+        w.end_object();
+    }
+
+    /// This event as a standalone JSON document.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        self.write_json(&mut w);
+        w.finish()
+    }
+}
+
+impl fmt::Display for Event {
+    /// One human line: `[  12.345ms] info  wal    wal.seal (1.2ms) seg=3 …`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.3}ms] {:<5} {:<8} {}",
+            self.ts_ns as f64 / 1e6,
+            self.severity.name(),
+            self.category.name(),
+            self.name
+        )?;
+        if let Some(d) = self.duration_ns {
+            write!(f, " ({:.3}ms)", d as f64 / 1e6)?;
+        }
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The flight recorder: sharded bounded ring + retained list + slow-op log.
+pub struct EventRecorder {
+    epoch: Instant,
+    seq: AtomicU64,
+    /// The requested ring capacity (0 = recorder disabled).
+    capacity: usize,
+    /// Per-shard ring slice capacity (0 = recorder disabled).
+    shard_cap: usize,
+    shards: Vec<Mutex<VecDeque<Event>>>,
+    retained: Mutex<VecDeque<Event>>,
+    slow: Mutex<VecDeque<Event>>,
+    slow_ns: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl EventRecorder {
+    /// A recorder holding at most `capacity` ring events (side lists have
+    /// their own fixed bounds). Capacity 0 disables recording entirely.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            capacity,
+            shard_cap: capacity.div_ceil(SHARDS),
+            shards: (0..SHARDS).map(|_| Mutex::new(VecDeque::new())).collect(),
+            retained: Mutex::new(VecDeque::new()),
+            slow: Mutex::new(VecDeque::new()),
+            slow_ns: AtomicU64::new(u64::MAX),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// A shared recorder (the usual shape — the database and its WAL and
+    /// pool all hold the same one).
+    pub fn shared(capacity: usize) -> Arc<Self> {
+        Arc::new(Self::new(capacity))
+    }
+
+    /// Whether recording is on. Hot paths check this before building
+    /// payload vectors.
+    pub fn enabled(&self) -> bool {
+        self.shard_cap > 0
+    }
+
+    /// The ring capacity this recorder was built with (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets the slow-op promotion threshold; spans with a duration of at
+    /// least `ns` are copied to the slow-op log. `u64::MAX` disables.
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-op promotion threshold.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_ns.load(Ordering::Relaxed)
+    }
+
+    /// Ring events dropped to make room (side lists don't count).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds since this recorder's epoch.
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records one instantaneous event. No-op when disabled.
+    pub fn record(
+        &self,
+        category: Category,
+        severity: Severity,
+        name: &'static str,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        self.record_inner(category, severity, name, None, fields);
+    }
+
+    /// Records a completed span of `duration_ns`. Promotes to the slow-op
+    /// log when the duration meets the threshold. No-op when disabled.
+    pub fn record_span(
+        &self,
+        category: Category,
+        severity: Severity,
+        name: &'static str,
+        duration_ns: u64,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        self.record_inner(category, severity, name, Some(duration_ns), fields);
+    }
+
+    /// Starts a timed span builder; `finish` records it.
+    pub fn span(&self, category: Category, name: &'static str) -> Span<'_> {
+        Span {
+            rec: self,
+            category,
+            name,
+            start: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    fn record_inner(
+        &self,
+        category: Category,
+        severity: Severity,
+        name: &'static str,
+        duration_ns: Option<u64>,
+        fields: Vec<(&'static str, FieldValue)>,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let event = Event {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            ts_ns: self.now_ns(),
+            category,
+            severity,
+            name,
+            duration_ns,
+            fields,
+        };
+        if severity >= Severity::Warn {
+            let mut retained = self.retained.lock().expect("retained lock poisoned");
+            if retained.len() >= RETAINED_CAP {
+                retained.pop_front();
+            }
+            retained.push_back(event.clone());
+        }
+        if let Some(d) = duration_ns {
+            if d >= self.slow_ns.load(Ordering::Relaxed) {
+                let mut slow = self.slow.lock().expect("slow lock poisoned");
+                if slow.len() >= SLOW_CAP {
+                    slow.pop_front();
+                }
+                slow.push_back(event.clone());
+            }
+        }
+        let mut shard = self.shards[shard_index()].lock().expect("shard poisoned");
+        if shard.len() >= self.shard_cap {
+            shard.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push_back(event);
+    }
+
+    /// Every event still in the ring, merged with the retained `Warn`+
+    /// list (deduplicated by sequence number), in sequence order. The ring
+    /// is not consumed — repeated calls see overlapping windows, which is
+    /// what lets `--follow` diff by `seq`.
+    pub fn events(&self) -> Vec<Event> {
+        let mut out: Vec<Event> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().expect("shard poisoned").iter().cloned());
+        }
+        out.extend(
+            self.retained
+                .lock()
+                .expect("retained lock poisoned")
+                .iter()
+                .cloned(),
+        );
+        out.sort_by_key(|e| e.seq);
+        out.dedup_by_key(|e| e.seq);
+        out
+    }
+
+    /// The slow-op log, oldest first.
+    pub fn slow_ops(&self) -> Vec<Event> {
+        self.slow
+            .lock()
+            .expect("slow lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+/// An in-flight timed span; build fields, then [`Span::finish`] to record.
+/// Dropping without finishing records nothing.
+pub struct Span<'a> {
+    rec: &'a EventRecorder,
+    category: Category,
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Span<'_> {
+    /// Attaches one payload field (skipped when the recorder is disabled,
+    /// so callers can chain unconditionally).
+    pub fn field(mut self, key: &'static str, value: FieldValue) -> Self {
+        if self.rec.enabled() {
+            self.fields.push((key, value));
+        }
+        self
+    }
+
+    /// Attaches an unsigned scalar field.
+    pub fn u64(self, key: &'static str, value: u64) -> Self {
+        self.field(key, FieldValue::U64(value))
+    }
+
+    /// Elapsed time since the span began.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the span with its measured duration.
+    pub fn finish(self, severity: Severity) {
+        let d = self.elapsed_ns();
+        self.rec
+            .record_span(self.category, severity, self.name, d, self.fields);
+    }
+}
+
+/// The calling thread's ring shard (same ticket scheme as the counter
+/// shards: round-robin assignment on first use, no per-call hashing).
+fn shard_index() -> usize {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TICKET: usize = NEXT.fetch_add(1, Ordering::Relaxed) as usize;
+    }
+    TICKET.with(|t| t & (SHARDS - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec() -> EventRecorder {
+        // Capacity is split across shards; a single-threaded test writes
+        // one shard only, so leave plenty of per-shard headroom.
+        EventRecorder::new(128)
+    }
+
+    #[test]
+    fn records_in_sequence_order() {
+        let r = rec();
+        for i in 0..10u64 {
+            r.record(
+                Category::Commit,
+                Severity::Info,
+                "commit",
+                vec![("ops", FieldValue::U64(i))],
+            );
+        }
+        let events = r.events();
+        assert_eq!(events.len(), 10);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "sorted by seq");
+        assert_eq!(events[3].fields[0], ("ops", FieldValue::U64(3)));
+        assert!(events.iter().all(|e| e.duration_ns.is_none()));
+    }
+
+    #[test]
+    fn capacity_zero_disables_recording() {
+        let r = EventRecorder::new(0);
+        assert!(!r.enabled());
+        r.record(Category::Wal, Severity::Error, "wal.append_failed", vec![]);
+        r.span(Category::Commit, "commit").finish(Severity::Info);
+        assert!(r.events().is_empty());
+        assert!(r.slow_ops().is_empty());
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_retains_warnings() {
+        let r = EventRecorder::new(8);
+        r.record(
+            Category::Recovery,
+            Severity::Warn,
+            "recovery.torn_tail",
+            vec![("dropped_bytes", FieldValue::U64(17))],
+        );
+        // Flood the ring far past capacity from this one thread.
+        for _ in 0..100 {
+            r.record(Category::Pool, Severity::Debug, "pool.evict", vec![]);
+        }
+        assert!(r.dropped() > 0);
+        let events = r.events();
+        // The warning survived churn via the retained list…
+        assert!(events.iter().any(|e| e.name == "recovery.torn_tail"));
+        // …and still appears exactly once (dedup by seq).
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.name == "recovery.torn_tail")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn slow_ops_promote_at_threshold() {
+        let r = rec();
+        r.set_slow_threshold_ns(1_000_000);
+        r.record_span(Category::Commit, Severity::Info, "commit", 500, vec![]);
+        r.record_span(
+            Category::Compact,
+            Severity::Info,
+            "compact",
+            2_000_000,
+            vec![("entries", FieldValue::U64(9))],
+        );
+        let slow = r.slow_ops();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].name, "compact");
+        assert_eq!(slow[0].fields[0], ("entries", FieldValue::U64(9)));
+        // A 0 threshold promotes everything with a duration.
+        r.set_slow_threshold_ns(0);
+        r.record_span(Category::Commit, Severity::Info, "commit", 1, vec![]);
+        assert_eq!(r.slow_ops().len(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_keep_unique_ordered_seqs() {
+        let r = EventRecorder::new(4096);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let r = &r;
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        r.record(Category::Commit, Severity::Info, "commit", vec![]);
+                    }
+                });
+            }
+        });
+        let events = r.events();
+        assert_eq!(events.len(), 800);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "unique and sorted");
+    }
+
+    #[test]
+    fn span_builder_measures_and_records() {
+        let r = rec();
+        r.span(Category::Persist, "save")
+            .u64("bytes", 42)
+            .finish(Severity::Info);
+        let events = r.events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].name, "save");
+        assert!(events[0].duration_ns.is_some());
+        assert_eq!(events[0].fields, vec![("bytes", FieldValue::U64(42))]);
+    }
+
+    #[test]
+    fn json_and_display_render() {
+        let r = rec();
+        r.record_span(
+            Category::Wal,
+            Severity::Warn,
+            "wal.seal",
+            1500,
+            vec![
+                ("segment", FieldValue::Str("seg-000001.log".into())),
+                ("records", FieldValue::U64(3)),
+                ("ok", FieldValue::Bool(true)),
+            ],
+        );
+        let e = &r.events()[0];
+        let json = e.to_json();
+        assert!(json.contains("\"category\":\"wal\""));
+        assert!(json.contains("\"severity\":\"warn\""));
+        assert!(json.contains("\"name\":\"wal.seal\""));
+        assert!(json.contains("\"duration_ns\":1500"));
+        assert!(json.contains("\"segment\":\"seg-000001.log\""));
+        assert!(json.contains("\"records\":3"));
+        assert!(json.contains("\"ok\":true"));
+        let line = e.to_string();
+        assert!(line.contains("wal.seal"));
+        assert!(line.contains("records=3"));
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for c in [
+            Category::Commit,
+            Category::Wal,
+            Category::Tier,
+            Category::Compact,
+            Category::Persist,
+            Category::Recovery,
+            Category::Pool,
+        ] {
+            assert_eq!(Category::parse(c.name()), Some(c));
+        }
+        assert_eq!(Category::parse("nope"), None);
+    }
+}

@@ -36,14 +36,18 @@
 //! operations per *query* — never per candidate. Counters are sharded to
 //! keep concurrent sessions from bouncing one cache line.
 
+pub mod event;
 pub mod histogram;
 pub mod json;
 pub mod metric;
+pub mod rates;
 pub mod registry;
 pub mod trace;
 
+pub use event::{Category, Event, EventRecorder, FieldValue, Severity, Span};
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use metric::{Counter, Gauge};
+pub use rates::SnapshotDelta;
 pub use registry::{MetricValue, MetricsRegistry, MetricsSnapshot};
 pub use trace::{QueryTrace, Stage, StageRecord};
 
@@ -85,6 +89,15 @@ pub mod names {
     pub const WAL_APPENDED_BYTES: &str = "fix_wal_appended_bytes_total";
     /// Counter: fsyncs issued by the WAL (group commit batches these).
     pub const WAL_FSYNCS: &str = "fix_wal_fsyncs_total";
+    /// Histogram: wall time of one WAL record append (frame build +
+    /// write), nanoseconds.
+    pub const WAL_APPEND_NS: &str = "fix_wal_append_ns";
+    /// Histogram: wall time of one WAL fsync, nanoseconds.
+    pub const WAL_FSYNC_NS: &str = "fix_wal_fsync_ns";
+    /// Counter: group-commit flush cycles (each covers ≥1 append).
+    pub const WAL_GROUP_COMMITS: &str = "fix_wal_group_commits_total";
+    /// Gauge: appended-but-unsynced records a group flush found queued.
+    pub const WAL_GROUP_QUEUE_DEPTH: &str = "fix_wal_group_queue_depth";
     /// Counter: WAL segments sealed (each freezes a delta run).
     pub const WAL_SEALS: &str = "fix_wal_sealed_segments_total";
     /// Counter: WAL records replayed by crash recovery at open.
@@ -107,6 +120,49 @@ pub mod names {
     pub const LEVEL_SEALS: &str = "fix_level_seals_total";
     /// Counter: tier-cascade run merges since open.
     pub const LEVEL_MERGES: &str = "fix_level_run_merges_total";
+
+    /// One-line HELP text for a metric name — the canonical names get
+    /// their doc sentence; anything else gets a generic line so Prometheus
+    /// exposition always carries a `# HELP` per family.
+    pub fn help(name: &str) -> &'static str {
+        match name {
+            PERSIST_SAVE_NS => "Wall time of one database save, nanoseconds.",
+            PERSIST_LOAD_NS => "Wall time of one database load, nanoseconds.",
+            PERSIST_VERIFY_NS => "Wall time of one verify pass, nanoseconds.",
+            PERSIST_BYTES_WRITTEN => "Bytes written by completed saves.",
+            PERSIST_BYTES_READ => "Bytes read by completed loads.",
+            PERSIST_CORRUPTION_DETECTED => "Corrupt sections detected by loads and verifies.",
+            DELTA_ENTRIES => "Entries currently in the delta run.",
+            DELTA_BYTES => "Resident bytes of the delta run.",
+            DELTA_SCANS => "Delta-side scans performed by merged index scans.",
+            DELTA_SCAN_ENTRIES => "Entries yielded by delta-side scans.",
+            DELTA_SCAN_NS => "Wall time spent scanning the delta, nanoseconds.",
+            DELTA_CANDIDATES_TOTAL => "Candidates contributed by the delta run.",
+            DELTA_COMPACTIONS => "Compactions folded into the live index.",
+            DELTA_COMPACT_NS => "Wall time of one compaction, nanoseconds.",
+            WAL_APPENDS => "WAL records appended (one per committed write batch).",
+            WAL_APPENDED_BYTES => "WAL record payload bytes appended.",
+            WAL_FSYNCS => "Fsyncs issued by the WAL.",
+            WAL_APPEND_NS => "Wall time of one WAL record append, nanoseconds.",
+            WAL_FSYNC_NS => "Wall time of one WAL fsync, nanoseconds.",
+            WAL_GROUP_COMMITS => "Group-commit flush cycles.",
+            WAL_GROUP_QUEUE_DEPTH => {
+                "Appended-but-unsynced records found queued at the last group flush."
+            }
+            WAL_SEALS => "WAL segments sealed (each freezes a delta run).",
+            WAL_REPLAYED => "WAL records replayed by crash recovery at open.",
+            WAL_SEGMENTS => "Live WAL segment files.",
+            WAL_TAIL_RECORDS => "Records in the unsealed WAL tail segment.",
+            WAL_TAIL_BYTES => "Bytes in the unsealed WAL tail segment.",
+            LEVEL_RUNS => "Frozen delta runs across all tier levels.",
+            LEVEL_DEPTH => "Depth of the delta tier stack.",
+            LEVEL_ENTRIES => "Entries across all frozen delta runs.",
+            LEVEL_BYTES => "Resident bytes across all frozen delta runs.",
+            LEVEL_SEALS => "Active-run freezes (delta seals) since open.",
+            LEVEL_MERGES => "Tier-cascade run merges since open.",
+            _ => "FIX engine metric (see DESIGN.md \u{00a7}11).",
+        }
+    }
 }
 
 /// The common reporting surface for the workspace's statistics structs.

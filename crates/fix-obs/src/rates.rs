@@ -1,0 +1,141 @@
+//! Snapshot-delta rates — the arithmetic behind `fixdb top` and
+//! `fixdb stats --interval`.
+//!
+//! A [`MetricsSnapshot`] is cumulative; a dashboard wants *rates*.
+//! [`SnapshotDelta`] wraps two snapshots taken a known wall-clock interval
+//! apart and answers the derived questions: counter deltas and per-second
+//! rates, interval-local histogram distributions (bucket-wise
+//! subtraction, so quantiles describe only the window), and current gauge
+//! levels. Keeping this in `fix-obs` means every consumer computes the
+//! same numbers from the same snapshots.
+
+use std::time::Duration;
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::MetricsSnapshot;
+
+/// Two snapshots a known interval apart, with rate arithmetic.
+pub struct SnapshotDelta<'a> {
+    prev: &'a MetricsSnapshot,
+    cur: &'a MetricsSnapshot,
+    secs: f64,
+}
+
+impl<'a> SnapshotDelta<'a> {
+    /// Pairs `prev` (earlier) and `cur` (later) snapshots taken `wall`
+    /// apart. A zero interval is clamped to 1ns so rates stay finite.
+    pub fn new(prev: &'a MetricsSnapshot, cur: &'a MetricsSnapshot, wall: Duration) -> Self {
+        Self {
+            prev,
+            cur,
+            secs: wall.as_secs_f64().max(1e-9),
+        }
+    }
+
+    /// The interval length in (fractional) seconds.
+    pub fn secs(&self) -> f64 {
+        self.secs
+    }
+
+    /// How much counter `name` advanced over the interval (0 when absent
+    /// on either side — a metric that appeared mid-interval counts from 0).
+    pub fn counter_delta(&self, name: &str) -> u64 {
+        let cur = self.cur.counter(name).unwrap_or(0);
+        let prev = self.prev.counter(name).unwrap_or(0);
+        cur.saturating_sub(prev)
+    }
+
+    /// Counter `name`'s per-second rate over the interval.
+    pub fn counter_rate(&self, name: &str) -> f64 {
+        self.counter_delta(name) as f64 / self.secs
+    }
+
+    /// Gauge `name`'s current (later-snapshot) level.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.cur.gauge(name)
+    }
+
+    /// How much gauge `name` moved over the interval (later minus earlier;
+    /// absent sides read as 0). For cumulative levels reported as gauges —
+    /// the pool's hit/miss counts — this is the window-local activity.
+    pub fn gauge_delta(&self, name: &str) -> i64 {
+        self.cur.gauge(name).unwrap_or(0) - self.prev.gauge(name).unwrap_or(0)
+    }
+
+    /// The interval-local histogram of `name`: later buckets minus
+    /// earlier, so `quantile` answers "during this window" rather than
+    /// "since the process started". `None` if absent from the later
+    /// snapshot or if nothing was recorded during the window.
+    pub fn histogram_delta(&self, name: &str) -> Option<HistogramSnapshot> {
+        let cur = self.cur.histogram(name)?;
+        let mut delta = cur.clone();
+        if let Some(prev) = self.prev.histogram(name) {
+            for (d, p) in delta.buckets.iter_mut().zip(prev.buckets.iter()) {
+                *d = d.saturating_sub(*p);
+            }
+            delta.count = delta.count.saturating_sub(prev.count);
+            delta.sum = delta.sum.saturating_sub(prev.sum);
+        }
+        if delta.count == 0 {
+            None
+        } else {
+            Some(delta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    #[test]
+    fn counter_rates_and_deltas() {
+        let reg = MetricsRegistry::new();
+        reg.counter("fix_c_total").add(10);
+        let prev = reg.snapshot();
+        reg.counter("fix_c_total").add(40);
+        reg.counter("fix_new_total").add(8);
+        let cur = reg.snapshot();
+        let d = SnapshotDelta::new(&prev, &cur, Duration::from_secs(2));
+        assert_eq!(d.counter_delta("fix_c_total"), 40);
+        assert!((d.counter_rate("fix_c_total") - 20.0).abs() < 1e-9);
+        // Appeared mid-interval: counts from zero.
+        assert_eq!(d.counter_delta("fix_new_total"), 8);
+        assert_eq!(d.counter_delta("fix_absent_total"), 0);
+    }
+
+    #[test]
+    fn histogram_delta_is_window_local() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("fix_h_ns");
+        h.record(1); // before the window: tiny sample
+        let prev = reg.snapshot();
+        h.record(1 << 20); // inside the window: big sample
+        let cur = reg.snapshot();
+        let d = SnapshotDelta::new(&prev, &cur, Duration::from_secs(1));
+        let win = d.histogram_delta("fix_h_ns").unwrap();
+        assert_eq!(win.count, 1);
+        // The window's p50 reflects only the big sample, not the earlier
+        // tiny one the cumulative histogram would fold in.
+        assert_eq!(win.quantile(0.5), Some(1 << 21));
+        // An idle window yields None.
+        let cur2 = reg.snapshot();
+        let d2 = SnapshotDelta::new(&cur, &cur2, Duration::from_secs(1));
+        assert!(d2.histogram_delta("fix_h_ns").is_none());
+    }
+
+    #[test]
+    fn gauges_read_the_later_side() {
+        let reg = MetricsRegistry::new();
+        reg.gauge("fix_g").set(5);
+        let prev = reg.snapshot();
+        reg.gauge("fix_g").set(9);
+        let cur = reg.snapshot();
+        let d = SnapshotDelta::new(&prev, &cur, Duration::ZERO);
+        assert_eq!(d.gauge("fix_g"), Some(9));
+        assert_eq!(d.gauge_delta("fix_g"), 4);
+        assert_eq!(d.gauge_delta("fix_absent"), 0);
+        assert!(d.secs() > 0.0, "zero interval clamps, rates stay finite");
+    }
+}

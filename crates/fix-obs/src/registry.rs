@@ -171,12 +171,14 @@ impl MetricsSnapshot {
         }
     }
 
-    /// Prometheus text exposition: `# TYPE` lines plus samples; histograms
-    /// emit cumulative `_bucket{le="…"}` samples (non-empty buckets only)
-    /// with the standard `_sum`/`_count` pair.
+    /// Prometheus text exposition: one `# HELP` + `# TYPE` pair per
+    /// family, then samples; histograms emit cumulative `_bucket{le="…"}`
+    /// samples (non-empty buckets only) with the standard `_sum`/`_count`
+    /// pair.
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, v) in &self.metrics {
+            out.push_str(&format!("# HELP {name} {}\n", crate::names::help(name)));
             match v {
                 MetricValue::Counter(c) => {
                     out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));

@@ -28,8 +28,9 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::ops::{Deref, DerefMut};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use fix_obs::event::{Category, EventRecorder, FieldValue, Severity};
 use parking_lot::Mutex;
 
 use crate::crc::crc32;
@@ -353,6 +354,9 @@ struct Inner {
 pub struct BufferPool {
     inner: Mutex<Inner>,
     capacity: usize,
+    /// Flight recorder for evictions and CRC failures; empty until
+    /// [`BufferPool::attach_events`].
+    events: OnceLock<Arc<EventRecorder>>,
 }
 
 impl BufferPool {
@@ -369,7 +373,15 @@ impl BufferPool {
                 crc_failures: 0,
             }),
             capacity,
+            events: OnceLock::new(),
         })
+    }
+
+    /// Attaches a flight recorder: evictions are narrated at `Debug`, CRC
+    /// failures at `Error` (the retained list keeps the latter past ring
+    /// churn). Call once; later calls are ignored.
+    pub fn attach_events(&self, events: Arc<EventRecorder>) {
+        let _ = self.events.set(events);
     }
 
     /// Attaches `backend` as a new tenant and returns its page space.
@@ -464,8 +476,8 @@ impl BufferPool {
     /// Evicts least-recently-used unpinned frames until the pool is below
     /// capacity (or nothing more is evictable — with every frame pinned
     /// the pool overcommits rather than deadlocking).
-    fn make_room(inner: &mut Inner, capacity: usize) -> Result<(), StorageError> {
-        while inner.frames.len() >= capacity {
+    fn make_room(&self, inner: &mut Inner) -> Result<(), StorageError> {
+        while inner.frames.len() >= self.capacity {
             let victim = inner
                 .frames
                 .values()
@@ -475,9 +487,24 @@ impl BufferPool {
             let Some(victim) = victim else {
                 return Ok(()); // everything pinned: overcommit
             };
+            let dirty = victim.dirty.load(Ordering::Acquire);
             Self::write_back(inner, &victim)?;
             inner.frames.remove(&(victim.tenant, victim.page));
             inner.evictions += 1;
+            if let Some(events) = self.events.get() {
+                if events.enabled() {
+                    events.record(
+                        Category::Pool,
+                        Severity::Debug,
+                        "pool.evict",
+                        vec![
+                            ("tenant", FieldValue::U64(victim.tenant as u64)),
+                            ("page", FieldValue::U64(victim.page.0)),
+                            ("dirty", FieldValue::Bool(dirty)),
+                        ],
+                    );
+                }
+            }
         }
         Ok(())
     }
@@ -502,7 +529,7 @@ impl BufferPool {
             }
             t.last_miss = Some(id);
         }
-        Self::make_room(&mut inner, self.capacity)?;
+        self.make_room(&mut inner)?;
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
         let crc_mismatch = {
             let t = &mut inner.tenants[tenant as usize];
@@ -515,6 +542,19 @@ impl BufferPool {
         if let Some(expect) = crc_mismatch {
             inner.crc_failures += 1;
             let got = crc32(&buf);
+            if let Some(events) = self.events.get() {
+                events.record(
+                    Category::Pool,
+                    Severity::Error,
+                    "pool.crc_failure",
+                    vec![
+                        ("tenant", FieldValue::U64(tenant as u64)),
+                        ("page", FieldValue::U64(id.0)),
+                        ("stored_crc", FieldValue::U64(expect as u64)),
+                        ("read_crc", FieldValue::U64(got as u64)),
+                    ],
+                );
+            }
             return Err(StorageError::Corrupt {
                 page: id,
                 detail: format!("CRC mismatch (stored {expect:#010x}, got {got:#010x})"),

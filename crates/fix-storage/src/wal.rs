@@ -60,8 +60,11 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use fix_obs::event::{Category, EventRecorder, FieldValue, Severity};
+use fix_obs::{names, Counter, Gauge, Histogram, MetricsRegistry};
 
 use crate::crc::crc32;
 use crate::fault::{FaultKind, FaultPlan};
@@ -152,6 +155,51 @@ pub struct ReplayedSegment {
     pub records: Vec<Vec<u8>>,
 }
 
+/// What [`Wal::recover`] found and did, kept on the `Wal` (see
+/// [`Wal::recovery`]) so the engine can narrate recovery into the flight
+/// recorder without widening `recover`'s return shape.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryInfo {
+    /// Records handed back for replay.
+    pub replayed_records: u64,
+    /// A log existed but was discarded whole: its base-image token did
+    /// not match the current image (or the image is gone entirely).
+    pub stale_discarded: bool,
+    /// A torn frame was found at the tail and truncated away.
+    pub torn_tail: bool,
+    /// Bytes the torn-tail truncation dropped.
+    pub torn_bytes: u64,
+    /// Segment files deleted (stale, post-torn, or image-less).
+    pub wiped_segments: u64,
+}
+
+/// Observability handles the WAL records through once attached
+/// ([`Wal::attach_obs`]): write-path latency histograms, group-commit
+/// amortization counters, and the flight-recorder events for seals and
+/// flush cycles. Everything is pre-resolved so the hot path never touches
+/// the registry lock.
+pub struct WalObs {
+    append_ns: Arc<Histogram>,
+    fsync_ns: Arc<Histogram>,
+    group_commits: Arc<Counter>,
+    group_queue_depth: Arc<Gauge>,
+    events: Arc<EventRecorder>,
+}
+
+impl WalObs {
+    /// Resolves the WAL's metric handles in `registry` and pairs them with
+    /// the shared event recorder.
+    pub fn new(registry: &MetricsRegistry, events: Arc<EventRecorder>) -> Self {
+        Self {
+            append_ns: registry.histogram(names::WAL_APPEND_NS),
+            fsync_ns: registry.histogram(names::WAL_FSYNC_NS),
+            group_commits: registry.counter(names::WAL_GROUP_COMMITS),
+            group_queue_depth: registry.gauge(names::WAL_GROUP_QUEUE_DEPTH),
+            events,
+        }
+    }
+}
+
 /// Mutable state: the tail segment file and its counters.
 struct WalInner {
     file: File,
@@ -184,7 +232,7 @@ struct SyncState {
 struct WalShared {
     dir: PathBuf,
     token: Mutex<BaseToken>,
-    seal_bytes: u64,
+    seal_bytes: AtomicU64,
     inner: Mutex<WalInner>,
     sync: Mutex<SyncState>,
     cond: Condvar,
@@ -197,6 +245,10 @@ struct WalShared {
     fsyncs: AtomicU64,
     seals: AtomicU64,
     replayed: AtomicU64,
+    /// What recovery found at open (immutable after construction).
+    recovery: RecoveryInfo,
+    /// Observability handles; empty until [`Wal::attach_obs`].
+    obs: OnceLock<WalObs>,
 }
 
 /// The write-ahead log (see module docs).
@@ -324,9 +376,12 @@ impl Wal {
         fs::create_dir_all(dir)?;
         let mut segs = list_segments(dir)?;
         let mut replayed = Vec::new();
+        let mut info = RecoveryInfo::default();
         let token = match token {
             Some(t) => t,
             None => {
+                info.stale_discarded = !segs.is_empty();
+                info.wiped_segments = segs.len() as u64;
                 for (_, p) in segs.drain(..) {
                     fs::remove_file(p)?;
                 }
@@ -354,6 +409,8 @@ impl Wal {
                         // Torn tail: keep the valid prefix, drop the rest
                         // of this segment and every later one.
                         torn = true;
+                        info.torn_tail = true;
+                        info.torn_bytes = full - valid_len;
                     }
                     replayed.push(ReplayedSegment {
                         sealed: false, // fixed up below
@@ -364,10 +421,14 @@ impl Wal {
                 }
             }
         }
+        info.wiped_segments += segs[wipe_from..].len() as u64;
         for (_, p) in &segs[wipe_from..] {
             fs::remove_file(p)?;
         }
         if wipe_from == 0 {
+            // First live segment was foreign or stale: the whole log is
+            // discarded (classic checkpoint-then-crash token mismatch).
+            info.stale_discarded |= !segs.is_empty();
             replayed.clear();
             tail = None;
         }
@@ -377,6 +438,7 @@ impl Wal {
             seg.sealed = i + 1 < n;
         }
         let replayed_records: u64 = replayed.iter().map(|s| s.records.len() as u64).sum();
+        info.replayed_records = replayed_records;
         let sealed_records = replayed
             .iter()
             .filter(|s| s.sealed)
@@ -409,7 +471,7 @@ impl Wal {
         let shared = Arc::new(WalShared {
             dir: dir.to_path_buf(),
             token: Mutex::new(token),
-            seal_bytes,
+            seal_bytes: AtomicU64::new(seal_bytes),
             inner: Mutex::new(WalInner {
                 file,
                 seg_id,
@@ -432,9 +494,24 @@ impl Wal {
             fsyncs: AtomicU64::new(0),
             seals: AtomicU64::new(0),
             replayed: AtomicU64::new(replayed_records),
+            recovery: info,
+            obs: OnceLock::new(),
         });
         let flusher = Some(spawn_flusher(shared.clone()));
         Ok((Wal { shared, flusher }, replayed))
+    }
+
+    /// Attaches observability: write-path histograms land in `registry`
+    /// and seals/flush cycles are narrated to `events`. Call once, right
+    /// after [`Wal::recover`]; later calls are ignored. Without this the
+    /// WAL records nothing beyond its own counters.
+    pub fn attach_obs(&self, registry: &MetricsRegistry, events: Arc<EventRecorder>) {
+        let _ = self.shared.obs.set(WalObs::new(registry, events));
+    }
+
+    /// What recovery found when this `Wal` was opened.
+    pub fn recovery(&self) -> RecoveryInfo {
+        self.shared.recovery
     }
 
     /// True when the log holds no records (nothing to replay).
@@ -458,6 +535,14 @@ impl Wal {
         self.shared.inner.lock().unwrap().durability = durability;
     }
 
+    /// Changes the segment seal threshold for subsequent appends. Seal
+    /// decisions already taken are embodied in the on-disk segment
+    /// boundaries, so recovery replays them unchanged regardless of the
+    /// threshold the replaying process opens with.
+    pub fn set_seal_bytes(&self, bytes: u64) {
+        self.shared.seal_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Installs (or clears) a deterministic write fault: the `nth`
     /// logical WAL write from now on misbehaves per [`FaultKind`]. Resets
     /// the boundary counter so sweeps are reproducible.
@@ -476,11 +561,15 @@ impl Wal {
         let shared = &self.shared;
         let (seq, sealed, durability) = {
             let mut inner = shared.inner.lock().unwrap();
+            let t0 = Instant::now();
             let mut frame = Vec::with_capacity(REC_HEADER_LEN + payload.len());
             frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
             frame.extend_from_slice(&crc32(payload).to_le_bytes());
             frame.extend_from_slice(payload);
             write_faulted(&mut inner, &frame)?;
+            if let Some(obs) = shared.obs.get() {
+                obs.append_ns.record_duration(t0.elapsed());
+            }
             inner.tail_bytes += frame.len() as u64;
             inner.tail_records += 1;
             let seq = {
@@ -492,7 +581,7 @@ impl Wal {
             shared
                 .appended_bytes
                 .fetch_add(payload.len() as u64, Ordering::Relaxed);
-            let sealed = if inner.tail_bytes >= shared.seal_bytes {
+            let sealed = if inner.tail_bytes >= shared.seal_bytes.load(Ordering::Relaxed) {
                 seal_locked(shared, &mut inner)?;
                 true
             } else {
@@ -541,6 +630,14 @@ impl Wal {
             sync.syncing = false;
             match result {
                 Ok(covered) => {
+                    if let Some(obs) = shared.obs.get() {
+                        if covered > sync.synced {
+                            // One leader fsync acknowledged this many
+                            // queued commits — the Sync-mode group.
+                            obs.group_commits.inc();
+                            obs.group_queue_depth.set((covered - sync.synced) as i64);
+                        }
+                    }
                     sync.synced = sync.synced.max(covered);
                     shared.cond.notify_all();
                 }
@@ -668,8 +765,12 @@ fn fsync_tail(shared: &WalShared) -> io::Result<u64> {
         return Err(io::Error::other("injected WAL write fault"));
     }
     let covered = shared.sync.lock().unwrap().appended;
+    let t0 = Instant::now();
     inner.file.sync_data()?;
     shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+    if let Some(obs) = shared.obs.get() {
+        obs.fsync_ns.record_duration(t0.elapsed());
+    }
     Ok(covered)
 }
 
@@ -679,9 +780,16 @@ fn seal_locked(shared: &WalShared, inner: &mut WalInner) -> io::Result<()> {
     if inner.dropping {
         return Err(io::Error::other("injected WAL write fault"));
     }
+    let t0 = Instant::now();
     inner.file.sync_data()?;
     shared.fsyncs.fetch_add(1, Ordering::Relaxed);
     shared.seals.fetch_add(1, Ordering::Relaxed);
+    if let Some(obs) = shared.obs.get() {
+        obs.fsync_ns.record_duration(t0.elapsed());
+    }
+    let sealed_id = inner.seg_id;
+    let sealed_records = inner.tail_records;
+    let sealed_bytes = inner.tail_bytes;
     let next = inner.seg_id + 1;
     let path = seg_path(&shared.dir, next);
     let token = *shared.token.lock().unwrap();
@@ -702,6 +810,22 @@ fn seal_locked(shared: &WalShared, inner: &mut WalInner) -> io::Result<()> {
     let mut sync = shared.sync.lock().unwrap();
     sync.synced = sync.appended;
     shared.cond.notify_all();
+    drop(sync);
+    if let Some(obs) = shared.obs.get() {
+        if obs.events.enabled() {
+            obs.events.record_span(
+                Category::Wal,
+                Severity::Info,
+                "wal.seal",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                vec![
+                    ("segment", FieldValue::U64(sealed_id)),
+                    ("records", FieldValue::U64(sealed_records)),
+                    ("bytes", FieldValue::U64(sealed_bytes)),
+                ],
+            );
+        }
+    }
     Ok(())
 }
 
@@ -739,10 +863,30 @@ fn spawn_flusher(shared: Arc<WalShared>) -> std::thread::JoinHandle<()> {
 }
 
 fn flush_group(shared: &WalShared) -> io::Result<()> {
+    let t0 = Instant::now();
     let covered = fsync_tail(shared)?;
     let mut sync = shared.sync.lock().unwrap();
+    let batched = covered.saturating_sub(sync.synced);
     sync.synced = sync.synced.max(covered);
     shared.cond.notify_all();
+    drop(sync);
+    if batched > 0 {
+        if let Some(obs) = shared.obs.get() {
+            // One background fsync acknowledged `batched` queued commits:
+            // the Group-mode amortization the counters make observable.
+            obs.group_commits.inc();
+            obs.group_queue_depth.set(batched as i64);
+            if obs.events.enabled() {
+                obs.events.record_span(
+                    Category::Wal,
+                    Severity::Debug,
+                    "wal.group_flush",
+                    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                    vec![("batched", FieldValue::U64(batched))],
+                );
+            }
+        }
+    }
     Ok(())
 }
 

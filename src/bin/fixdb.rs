@@ -4,13 +4,15 @@
 //! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...
 //! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
 //! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
-//! fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--full-save] <file.xml>...   (alias: insert)
+//! fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--seal-bytes N] [--full-save] <file.xml>...   (alias: insert)
 //! fixdb remove      <db> [--durability sync|group[:MS]|async] [--full-save] <doc-id>...
 //! fixdb wal         <db>
 //! fixdb vacuum      <db>
 //! fixdb compact     <db>
 //! fixdb verify      <db> [--salvage OUT]
-//! fixdb stats       <db> [--prometheus] [--json]
+//! fixdb stats       <db> [--prometheus] [--json] [--interval SECS] [--count N]
+//! fixdb events      <db> [--json] [--follow] [--for-ms MS] [--category C[,C…]] [--slow] [--slow-ns NS] [--seal-bytes N] [--commit FILE]...
+//! fixdb top         <db> [--interval SECS] [--count N]
 //! fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]
 //! ```
 //!
@@ -46,6 +48,19 @@
 //! behavior (checkpointing the log away). `wal` shows the log and the
 //! delta tier levels; the same numbers appear in `stats` as `fix_wal_*`
 //! and `fix_level_*` metrics.
+//!
+//! `events` dumps the flight recorder: opening the database replays its
+//! WAL, so the dump narrates recovery (`recovery.replay`, torn tails,
+//! token mismatches) and the tier work replay triggered (`tier.freeze`,
+//! `tier.merge`); `--commit FILE` additionally commits documents
+//! in-process so the full live chain — `commit` → `wal.seal` →
+//! `tier.freeze` → `tier.merge` — lands in the same dump. `--slow` shows
+//! the slow-op log instead (`--slow-ns` adjusts the promotion threshold
+//! before any in-process work runs). `top` is a live terminal dashboard
+//! and `stats --interval` its plain-text sibling: both diff
+//! `MetricsSnapshot`s over the interval and print rates (queries/s,
+//! commits/s, window fsync latency, pool hit rate) plus current levels
+//! (WAL tail depth, tier shape) — the same arithmetic, one renderer each.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -68,21 +83,25 @@ fn main() -> ExitCode {
         Some("compact") => compact(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("stats") => stats(&args[1..]),
+        Some("events") => events_cmd(&args[1..]),
+        Some("top") => top(&args[1..]),
         Some("gen") => gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fixdb <build|query|bench-query|add|remove|wal|vacuum|compact|verify|stats|gen> ...\n\
+                "usage: fixdb <build|query|bench-query|add|remove|wal|vacuum|compact|verify|stats|events|top|gen> ...\n\
                  \n\
                  fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...\n\
                  fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
                  fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
-                 fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--full-save] <file.xml>...   (alias: insert)\n\
+                 fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--seal-bytes N] [--full-save] <file.xml>...   (alias: insert)\n\
                  fixdb remove      <db> [--durability sync|group[:MS]|async] [--full-save] <doc-id>...\n\
                  fixdb wal         <db>\n\
                  fixdb vacuum      <db>\n\
                  fixdb compact     <db>\n\
                  fixdb verify      <db> [--salvage OUT]\n\
-                 fixdb stats       <db> [--prometheus] [--json]\n\
+                 fixdb stats       <db> [--prometheus] [--json] [--interval SECS] [--count N]\n\
+                 fixdb events      <db> [--json] [--follow] [--for-ms MS] [--category C[,C…]] [--slow] [--slow-ns NS] [--seal-bytes N] [--commit FILE]...\n\
+                 fixdb top         <db> [--interval SECS] [--count N]\n\
                  fixdb gen         <tcmd|dblp|xmark|treebank> [--scale S] [--out PATH]"
             );
             return ExitCode::FAILURE;
@@ -594,6 +613,7 @@ fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut batch_dirs: Vec<PathBuf> = Vec::new();
     let mut durability: Option<Durability> = None;
+    let mut seal_bytes: Option<u64> = None;
     let mut full_save = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -608,6 +628,13 @@ fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     it.next()
                         .ok_or_else(|| err("--durability needs a policy"))?,
                 )?);
+            }
+            "--seal-bytes" => {
+                seal_bytes = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("--seal-bytes needs a number of bytes"))?,
+                );
             }
             "--full-save" => full_save = true,
             _ if db_path.is_none() => db_path = Some(a),
@@ -624,6 +651,9 @@ fn insert(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(d) = durability {
         db.set_durability(d);
+    }
+    if let Some(b) = seal_bytes {
+        db.set_wal_seal_bytes(b);
     }
     arm_wal_fault(&mut db)?;
 
@@ -871,16 +901,37 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut db_path: Option<&str> = None;
     let mut prometheus = false;
     let mut json = false;
-    for a in args {
+    let mut interval: Option<f64> = None;
+    let mut count = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--prometheus" => prometheus = true,
             "--json" => json = true,
+            "--interval" => {
+                interval = Some(parse_interval(it.next())?);
+            }
+            "--count" => {
+                count = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--count needs a number"))?;
+            }
             _ if db_path.is_none() => db_path = Some(a),
             other => return Err(err(format!("unexpected argument `{other}`"))),
         }
     }
     let db_path = db_path.ok_or_else(|| err("missing database path"))?;
     let db = open_existing(db_path)?;
+    if let Some(secs) = interval {
+        if prometheus || json {
+            return Err(err(
+                "--interval prints text rates; drop --prometheus/--json",
+            ));
+        }
+        rate_watch(&db, secs, count, false);
+        return Ok(());
+    }
     if prometheus || json {
         // Refresh the level-style gauges and materialize the standard
         // per-query instruments before rendering.
@@ -946,6 +997,291 @@ fn stats(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("  {name:<24} {n}");
     }
     Ok(())
+}
+
+/// Parses a `--interval` operand: positive fractional seconds.
+fn parse_interval(arg: Option<&String>) -> Result<f64, Box<dyn std::error::Error>> {
+    arg.and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| s.is_finite() && *s > 0.0)
+        .ok_or_else(|| err("--interval needs a positive number of seconds"))
+}
+
+/// Dumps the flight recorder. Opening the database replays its WAL, so
+/// the recorder already narrates recovery and any replay-triggered tier
+/// work by the time we read it; `--commit FILE` drives additional live
+/// commits through the open database first, and `--slow-ns` moves the
+/// slow-op promotion threshold before that work runs.
+fn events_cmd(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut db_path: Option<&str> = None;
+    let mut json = false;
+    let mut follow = false;
+    let mut for_ms: Option<u64> = None;
+    let mut categories: Vec<fix::Category> = Vec::new();
+    let mut slow = false;
+    let mut slow_ns: Option<u64> = None;
+    let mut seal_bytes: Option<u64> = None;
+    let mut commits: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--follow" => follow = true,
+            "--for-ms" => {
+                for_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("--for-ms needs a number of milliseconds"))?,
+                );
+            }
+            "--category" => {
+                let list = it.next().ok_or_else(|| err("--category needs a name"))?;
+                for part in list.split(',') {
+                    categories.push(fix::Category::parse(part).ok_or_else(|| {
+                        err(format!(
+                            "unknown category `{part}` (commit|wal|tier|compact|persist|recovery|pool)"
+                        ))
+                    })?);
+                }
+            }
+            "--slow" => slow = true,
+            "--slow-ns" => {
+                slow_ns = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("--slow-ns needs a number of nanoseconds"))?,
+                );
+            }
+            "--seal-bytes" => {
+                seal_bytes = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .ok_or_else(|| err("--seal-bytes needs a number of bytes"))?,
+                );
+            }
+            "--commit" => {
+                commits.push(PathBuf::from(
+                    it.next().ok_or_else(|| err("--commit needs an XML file"))?,
+                ));
+            }
+            _ if db_path.is_none() => db_path = Some(a),
+            other => return Err(err(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
+    let mut db = open_existing(db_path)?;
+    if let Some(ns) = slow_ns {
+        db.event_recorder().set_slow_threshold_ns(ns);
+    }
+    if let Some(b) = seal_bytes {
+        db.set_wal_seal_bytes(b);
+    }
+    for f in &commits {
+        let xml = std::fs::read_to_string(f).map_err(|e| err(format!("{}: {e}", f.display())))?;
+        let mut batch = WriteBatch::new();
+        batch.add_xml(xml);
+        db.write(batch)?;
+    }
+    let keep =
+        |e: &fix::Event| -> bool { categories.is_empty() || categories.contains(&e.category) };
+    let read = |db: &FixDatabase| -> Vec<fix::Event> {
+        let all = if slow { db.slow_ops() } else { db.events() };
+        all.into_iter().filter(keep).collect()
+    };
+    if follow {
+        // Poll the recorder, printing only events newer than the last seen
+        // sequence number (the ring is read non-destructively, so repeated
+        // reads overlap). JSON follow mode streams one object per line.
+        let deadline = for_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+        let mut next_seq = 0u64;
+        loop {
+            for e in read(&db) {
+                if e.seq < next_seq {
+                    continue;
+                }
+                next_seq = e.seq + 1;
+                if json {
+                    println!("{}", e.to_json());
+                } else {
+                    println!("{e}");
+                }
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return Ok(());
+                }
+            }
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+    let events = read(&db);
+    if json {
+        let mut w = fix::obs::json::JsonWriter::new();
+        w.begin_object();
+        w.key("slow_threshold_ns")
+            .u64(db.event_recorder().slow_threshold_ns());
+        w.key("dropped").u64(db.event_recorder().dropped());
+        w.key("events").begin_array();
+        for e in &events {
+            e.write_json(&mut w);
+        }
+        w.end_array();
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        for e in &events {
+            println!("{e}");
+        }
+        eprintln!(
+            "{} event(s){}, {} dropped from the ring",
+            events.len(),
+            if slow { " in the slow-op log" } else { "" },
+            db.event_recorder().dropped()
+        );
+    }
+    Ok(())
+}
+
+/// Live terminal dashboard: repaints one screen of snapshot-delta rates
+/// every `--interval` seconds. `--count N` stops after N frames (0 runs
+/// until interrupted); the rate arithmetic is shared with
+/// `stats --interval` via [`rate_watch`].
+fn top(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut db_path: Option<&str> = None;
+    let mut interval = 1.0f64;
+    let mut count = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval" => interval = parse_interval(it.next())?,
+            "--count" => {
+                count = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--count needs a number"))?;
+            }
+            _ if db_path.is_none() => db_path = Some(a),
+            other => return Err(err(format!("unexpected argument `{other}`"))),
+        }
+    }
+    let db_path = db_path.ok_or_else(|| err("missing database path"))?;
+    let db = open_existing(db_path)?;
+    rate_watch(&db, interval, count, true);
+    Ok(())
+}
+
+/// The shared loop behind `top` and `stats --interval`: snapshot, sleep,
+/// snapshot again, diff, render. `clear` repaints over an ANSI-cleared
+/// screen (`top`); otherwise each window prints as its own block.
+/// `count == 0` runs until interrupted.
+fn rate_watch(db: &FixDatabase, interval: f64, count: usize, clear: bool) {
+    db.report_metrics();
+    let mut prev = db.metrics().snapshot();
+    let mut frames = 0usize;
+    loop {
+        let t0 = Instant::now();
+        std::thread::sleep(Duration::from_secs_f64(interval));
+        db.report_metrics();
+        let cur = db.metrics().snapshot();
+        let d = fix::obs::SnapshotDelta::new(&prev, &cur, t0.elapsed());
+        if clear {
+            // Clear the screen and home the cursor, like top(1).
+            print!("\x1b[2J\x1b[H");
+            println!("fixdb top — {:.1}s window (Ctrl-C to quit)", d.secs());
+        } else {
+            println!("-- {:.1}s window --", d.secs());
+        }
+        for line in rate_lines(&d, db) {
+            println!("{line}");
+        }
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        prev = cur;
+        frames += 1;
+        if count != 0 && frames >= count {
+            return;
+        }
+    }
+}
+
+/// One window's rates and levels as text lines — the arithmetic `top`
+/// repaints and `stats --interval` prints as blocks. Rates and latency
+/// quantiles are window-local ([`SnapshotDelta`](fix::obs::SnapshotDelta)
+/// diffs the two snapshots); residency, tail depth, and tier shape are
+/// current levels.
+fn rate_lines(d: &fix::obs::SnapshotDelta, db: &FixDatabase) -> Vec<String> {
+    use fix::obs::names;
+    let latency = |name: &str| -> String {
+        match d.histogram_delta(name) {
+            Some(h) => {
+                let q = |q: f64| match h.quantile(q) {
+                    Some(ns) => format!("{:.3}ms", ns as f64 / 1e6),
+                    None => "-".into(),
+                };
+                format!(
+                    "p50 {} / p95 {} / p99 {} ({} sample(s))",
+                    q(0.5),
+                    q(0.95),
+                    q(0.99),
+                    h.count
+                )
+            }
+            None => "idle".into(),
+        }
+    };
+    let mut out = vec![
+        format!(
+            "queries/s:     {:10.1}    commits/s: {:10.1}",
+            d.counter_rate("fix_queries_total"),
+            d.counter_rate(names::WAL_APPENDS),
+        ),
+        format!(
+            "wal:           {:10.1} KiB/s appended, {:.1} fsyncs/s, {:.1} group flushes/s",
+            d.counter_rate(names::WAL_APPENDED_BYTES) / 1024.0,
+            d.counter_rate(names::WAL_FSYNCS),
+            d.counter_rate(names::WAL_GROUP_COMMITS),
+        ),
+        format!("append window: {}", latency(names::WAL_APPEND_NS)),
+        format!("fsync window:  {}", latency(names::WAL_FSYNC_NS)),
+    ];
+    // The pool reports cumulative hit/miss counts as gauges, so the
+    // window's hit rate comes from gauge movement, not counter deltas.
+    if let (Some(resident), Some(capacity)) = (
+        d.gauge("fix_pool_resident_pages"),
+        d.gauge("fix_pool_capacity_pages"),
+    ) {
+        let hits = d.gauge_delta("fix_pool_hits").max(0) as f64;
+        let misses = d.gauge_delta("fix_pool_misses").max(0) as f64;
+        let rate = if hits + misses > 0.0 {
+            format!("{:.1}% window hit rate", 100.0 * hits / (hits + misses))
+        } else {
+            "idle".into()
+        };
+        out.push(format!(
+            "pool:          {resident}/{capacity} pages resident, {rate}"
+        ));
+    }
+    out.push(format!(
+        "wal tail:      {} record(s) / {} bytes across {} segment(s), group queue depth {}",
+        d.gauge(names::WAL_TAIL_RECORDS).unwrap_or(0),
+        d.gauge(names::WAL_TAIL_BYTES).unwrap_or(0),
+        d.gauge(names::WAL_SEGMENTS).unwrap_or(0),
+        d.gauge(names::WAL_GROUP_QUEUE_DEPTH).unwrap_or(0),
+    ));
+    out.push(format!(
+        "delta entries: {}",
+        d.gauge(names::DELTA_ENTRIES).unwrap_or(0)
+    ));
+    let levels = db.level_stats();
+    if levels.is_empty() {
+        out.push("tiers:         empty".into());
+    } else {
+        let shape: Vec<String> = levels
+            .iter()
+            .map(|l| format!("L{}:{}r/{}e", l.level, l.runs, l.entries))
+            .collect();
+        out.push(format!("tiers:         {}", shape.join("  ")));
+    }
+    out
 }
 
 fn gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {

@@ -98,8 +98,9 @@ pub use fix_core as core;
 // The facade types, re-exported at the root: most applications need
 // nothing beyond these.
 pub use fix_core::{
-    BufferPool, Durability, FixDatabase, FixError, FixOptions, LevelStats, PoolStats, QuerySession,
-    StorageMode, WalStats, WriteBatch, WriteOp,
+    BufferPool, Category, Durability, Event, EventRecorder, FieldValue, FixDatabase, FixError,
+    FixOptions, LevelStats, PoolStats, QuerySession, Severity, StorageMode, WalStats, WriteBatch,
+    WriteOp,
 };
 
 /// XML data model, parser, and event streams (`fix-xml`).

@@ -639,3 +639,133 @@ fn paged_build_query_verify_stats_round_trip() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn events_top_and_interval_stats_round_trip() {
+    // The flight-recorder surface: `events` narrating recovery replay on
+    // reopen, the slow-op log with a 0ns threshold, category filters, and
+    // the two rate viewers (`top`, `stats --interval`) sharing one
+    // snapshot-delta arithmetic.
+    let dir = workdir("events");
+    let a = dir.join("a.xml");
+    let b = dir.join("b.xml");
+    let c = dir.join("c.xml");
+    let db = dir.join("db.fixdb");
+    std::fs::write(&a, "<bib><article><author/><ee/></article></bib>").unwrap();
+    std::fs::write(&b, "<bib><book><author/></book></bib>").unwrap();
+    std::fs::write(&c, "<bib><phdthesis><author/></phdthesis></bib>").unwrap();
+
+    let out = fixdb().args(["build"]).arg(&db).arg(&a).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // `add` commits through the WAL and leaves the record there (no full
+    // save), so the *next* open replays it — and the recorder sees it.
+    let out = fixdb().args(["add"]).arg(&db).arg(&b).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = fixdb()
+        .args(["events"])
+        .arg(&db)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"name\":\"open\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"recovery.replay\""), "{stdout}");
+    assert!(stdout.contains("\"records\":1"), "{stdout}");
+
+    // Slow-op log with a floor threshold: the in-process `--commit` span
+    // promotes, payload intact.
+    let out = fixdb()
+        .args(["events"])
+        .arg(&db)
+        .args(["--slow", "--slow-ns", "0", "--commit"])
+        .arg(&c)
+        .arg("--json")
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"slow_threshold_ns\":0"), "{stdout}");
+    assert!(stdout.contains("\"name\":\"commit\""), "{stdout}");
+    assert!(stdout.contains("\"duration_ns\":"), "{stdout}");
+
+    // Category filter: recovery lines only.
+    let out = fixdb()
+        .args(["events"])
+        .arg(&db)
+        .args(["--category", "recovery"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recovery.replay"), "{stdout}");
+    assert!(stdout.lines().all(|l| l.contains(" recovery ")), "{stdout}");
+
+    // An unknown category is a usage error, not a silent empty dump.
+    let out = fixdb()
+        .args(["events"])
+        .arg(&db)
+        .args(["--category", "nope"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // `top` paints at least one frame with the rate lines…
+    let out = fixdb()
+        .args(["top"])
+        .arg(&db)
+        .args(["--interval", "0.05", "--count", "1"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fixdb top"), "{stdout}");
+    assert!(stdout.contains("commits/s:"), "{stdout}");
+    assert!(stdout.contains("fsync window:"), "{stdout}");
+    assert!(stdout.contains("wal tail:"), "{stdout}");
+
+    // …and `stats --interval` prints the same lines as plain blocks,
+    // one per window.
+    let out = fixdb()
+        .args(["stats"])
+        .arg(&db)
+        .args(["--interval", "0.05", "--count", "2"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        stdout.matches("window --").count(),
+        2,
+        "two windows: {stdout}"
+    );
+    assert!(stdout.contains("queries/s:"), "{stdout}");
+    assert!(!stdout.contains('\x1b'), "no ANSI outside top: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

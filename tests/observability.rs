@@ -1,7 +1,11 @@
 //! End-to-end observability tests: the fix-obs primitives under real
-//! concurrency, and the full pipeline — session traces, the shared
-//! metrics registry, and EXPLAIN ANALYZE — agreeing with the plain query
-//! path on actual numbers.
+//! concurrency, the full pipeline — session traces, the shared metrics
+//! registry, and EXPLAIN ANALYZE — agreeing with the plain query path on
+//! actual numbers, the flight recorder narrating the engine lifecycle,
+//! and the Prometheus exposition conforming to the exposition-format
+//! rules against the full live registry.
+
+use std::path::PathBuf;
 
 use fix::core::{Collection, FixIndex, Stage};
 use fix::obs::{Histogram, MetricsRegistry, Reportable};
@@ -204,6 +208,233 @@ fn report_metrics_renders_the_full_inventory() {
     assert_eq!(snap.gauge("fix_plan_cache_misses"), Some(1));
     // Scans really happened and were gauged from the B-tree's counters.
     assert!(snap.gauge("fix_btree_scans").unwrap() >= 1);
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fix-obs-{}-{name}", std::process::id()))
+}
+
+fn cleanup(path: &PathBuf) {
+    std::fs::remove_dir_all(fix::storage::wal_dir(path)).ok();
+    std::fs::remove_file(path).ok();
+}
+
+/// Field lookup helper: the payload value of `key` as u64.
+fn field_u64(e: &fix::Event, key: &str) -> Option<u64> {
+    e.fields.iter().find_map(|(k, v)| {
+        (*k == key).then(|| match v {
+            fix::FieldValue::U64(n) => *n,
+            other => panic!("{key} is not u64: {other:?}"),
+        })
+    })
+}
+
+#[test]
+fn flight_recorder_traces_the_full_write_chain() {
+    let path = temp("chain.fixdb");
+    cleanup(&path);
+    let mut db = FixDatabase::open(&path).unwrap();
+    // A roomy base keeps auto-compaction quiet while the deltas pile up.
+    for i in 0..12 {
+        db.add_xml(&format!("<a><base{i}/></a>")).unwrap();
+    }
+    db.build(
+        FixOptions::builder()
+            .wal_seal_bytes(1) // every commit seals its WAL segment
+            .tier_fanout(2) // two frozen runs trigger a tier merge
+            .build(),
+    )
+    .unwrap();
+    db.save().unwrap();
+    for i in 0..6 {
+        db.add_xml(&format!("<a><c{i}/></a>")).unwrap();
+    }
+    let events = db.events();
+    // The commit span carries its phase breakdown and the seal marker.
+    let commit = events
+        .iter()
+        .find(|e| e.name == "commit" && e.fields.contains(&("sealed", fix::FieldValue::Bool(true))))
+        .expect("a sealing commit was recorded");
+    assert!(commit.duration_ns.is_some());
+    assert_eq!(field_u64(commit, "ops"), Some(1));
+    assert!(field_u64(commit, "validate_ns").is_some());
+    assert!(field_u64(commit, "wal_ns").is_some());
+    // The causal chain is visible in sequence order: the WAL segment
+    // seals, the L0 delta run freezes, and the full level merges.
+    let first_seq = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.name == name)
+            .unwrap_or_else(|| panic!("missing event {name}"))
+            .seq
+    };
+    let (seal, freeze, merge) = (
+        first_seq("wal.seal"),
+        first_seq("tier.freeze"),
+        first_seq("tier.merge"),
+    );
+    assert!(seal < freeze, "seal {seal} precedes freeze {freeze}");
+    assert!(freeze < merge, "freeze {freeze} precedes merge {merge}");
+    let merge_ev = events.iter().find(|e| e.name == "tier.merge").unwrap();
+    assert_eq!(field_u64(merge_ev, "runs_in"), Some(2));
+    assert!(merge_ev.duration_ns.is_some());
+    cleanup(&path);
+}
+
+#[test]
+fn reopen_narrates_recovery_replay() {
+    let path = temp("recovery.fixdb");
+    cleanup(&path);
+    let mut db = FixDatabase::open(&path).unwrap();
+    db.add_xml("<a><b/></a>").unwrap();
+    db.build(FixOptions::collection()).unwrap();
+    db.save().unwrap();
+    for i in 0..3 {
+        db.add_xml(&format!("<a><c{i}/></a>")).unwrap();
+    }
+    drop(db); // "crash": the three commits live only in the WAL
+    let db = FixDatabase::open(&path).unwrap();
+    let events = db.events();
+    let open = events.iter().find(|e| e.name == "open").expect("open");
+    assert!(field_u64(open, "bytes").unwrap() > 0);
+    assert_eq!(field_u64(open, "documents"), Some(1));
+    let replay = events
+        .iter()
+        .find(|e| e.name == "recovery.replay")
+        .expect("recovery.replay");
+    assert_eq!(field_u64(replay, "records"), Some(3));
+    assert!(replay.duration_ns.is_some());
+    assert!(open.seq < replay.seq, "open precedes replay");
+    assert_eq!(db.len(), 4, "the replay actually restored the commits");
+    cleanup(&path);
+}
+
+#[test]
+fn slow_op_log_promotes_at_threshold_and_capacity_zero_disables() {
+    let mut db = FixDatabase::in_memory();
+    db.add_xml("<a><b/></a>").unwrap();
+    // Threshold 0: every span is a "slow" op — the shape check.
+    db.build(FixOptions::builder().slow_op_ns(0).build())
+        .unwrap();
+    db.add_xml("<a><c/></a>").unwrap();
+    let slow = db.slow_ops();
+    assert!(
+        slow.iter().any(|e| e.name == "commit"),
+        "commit span promoted: {slow:?}"
+    );
+    assert!(
+        slow.iter().all(|e| e.duration_ns.is_some()),
+        "only spans promote"
+    );
+    // The slow-op log is a subset view; the ring still has everything.
+    assert!(db.events().len() >= slow.len());
+
+    let mut off = FixDatabase::in_memory();
+    off.add_xml("<a><b/></a>").unwrap();
+    off.build(FixOptions::builder().event_capacity(0).build())
+        .unwrap();
+    off.add_xml("<a><c/></a>").unwrap();
+    assert!(!off.event_recorder().enabled());
+    assert!(off.events().is_empty());
+    assert!(off.slow_ops().is_empty());
+}
+
+/// Prometheus exposition-format conformance, checked against the *full*
+/// live registry of a database that has built, committed through the WAL,
+/// and served queries — not a hand-picked metric list. Rules: metric
+/// names match the Prometheus charset, counters end `_total`, gauges and
+/// histograms do not, and every family carries `# HELP` and `# TYPE`
+/// exactly once.
+#[test]
+fn prometheus_exposition_conforms_against_the_live_registry() {
+    let path = temp("prom.fixdb");
+    cleanup(&path);
+    let mut db = FixDatabase::open(&path).unwrap();
+    db.add_xml(&fix::datagen::dblp(fix::datagen::GenConfig::scaled(0.05)))
+        .unwrap();
+    db.build(FixOptions::builder().depth_limit(6).build())
+        .unwrap();
+    db.save().unwrap();
+    db.add_xml("<bib><article><author/></article></bib>")
+        .unwrap();
+    let session = db.session().unwrap();
+    session.query("//article[author]/title").unwrap();
+    session.report_cache_stats();
+    db.report_metrics();
+    let prom = db.metrics().render_prometheus();
+    drop(session);
+    cleanup(&path);
+
+    let valid_name = |n: &str| {
+        !n.is_empty()
+            && !n.starts_with(|c: char| c.is_ascii_digit())
+            && n.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    };
+    let mut help: std::collections::HashMap<String, u32> = Default::default();
+    let mut kind: std::collections::HashMap<String, (&str, u32)> = Default::default();
+    let mut samples: Vec<String> = Vec::new();
+    for line in prom.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap().to_string();
+            assert!(rest.len() > name.len(), "HELP carries text: {line}");
+            *help.entry(name).or_insert(0) += 1;
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it.next().unwrap().to_string();
+            let k = match it.next().unwrap() {
+                "counter" => "counter",
+                "gauge" => "gauge",
+                "histogram" => "histogram",
+                other => panic!("unknown TYPE {other} in {line}"),
+            };
+            kind.entry(name).or_insert((k, 0)).1 += 1;
+        } else if !line.is_empty() {
+            let sample = line.split([' ', '{']).next().unwrap().to_string();
+            assert!(valid_name(&sample), "bad sample name in {line}");
+            samples.push(sample);
+        }
+    }
+    assert!(kind.len() > 20, "a real inventory: {} families", kind.len());
+    for (family, (k, n)) in &kind {
+        assert!(valid_name(family), "bad family name {family}");
+        assert_eq!(*n, 1, "{family}: TYPE exactly once");
+        assert_eq!(help.get(family), Some(&1), "{family}: HELP exactly once");
+        match *k {
+            "counter" => assert!(
+                family.ends_with("_total"),
+                "counter {family} must end _total"
+            ),
+            _ => assert!(
+                !family.ends_with("_total"),
+                "{k} {family} must not end _total"
+            ),
+        }
+    }
+    assert_eq!(help.len(), kind.len(), "every HELP has a TYPE");
+    // Every sample line belongs to a declared family (histograms expose
+    // `_bucket`/`_sum`/`_count` series under the family name).
+    for s in &samples {
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| {
+                let base = s.strip_suffix(suf)?;
+                kind.get(base)
+                    .filter(|(k, _)| *k == "histogram")
+                    .map(|_| base)
+            })
+            .unwrap_or(s.as_str());
+        assert!(kind.contains_key(family), "sample {s} has no TYPE");
+    }
+    // The write-path instruments from this PR are part of the inventory.
+    for name in [
+        "fix_wal_append_ns",
+        "fix_wal_fsync_ns",
+        "fix_wal_group_commits_total",
+        "fix_wal_group_queue_depth",
+    ] {
+        assert!(kind.contains_key(name), "missing write-path metric {name}");
+    }
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! Property tests for fix-obs aggregation: snapshot merge is associative
+//! and — for counter/histogram payloads — commutative, and histogram
+//! quantiles are monotone (p50 ≤ p95 ≤ p99) and never underestimate the
+//! true sample quantile (buckets resolve to their upper bound).
+//!
+//! Gauges are deliberately excluded from the commutativity property:
+//! same-name gauges keep the first operand's level when merged (the
+//! documented fold semantics), which is associative but not commutative.
+
+use proptest::prelude::*;
+
+use fix::obs::{Histogram, MetricsRegistry, MetricsSnapshot};
+
+/// Builds a snapshot from scripted operations over a fixed name universe:
+/// two counters and two histograms (no gauges — see the module docs).
+fn build_snapshot(ops: &[(u8, u64)]) -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    for &(which, v) in ops {
+        match which % 4 {
+            0 => reg.counter("fix_a_total").add(v),
+            1 => reg.counter("fix_b_total").add(v),
+            2 => reg.histogram("fix_h1_ns").record(v),
+            _ => reg.histogram("fix_h2_ns").record(v),
+        }
+    }
+    reg.snapshot()
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..4, 0u64..(1 << 40)), 0..40)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in ops_strategy(),
+        b in ops_strategy(),
+        c in ops_strategy(),
+    ) {
+        let (sa, sb, sc) = (build_snapshot(&a), build_snapshot(&b), build_snapshot(&c));
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        // Commutativity: a ⊕ b == b ⊕ a.
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+        // Identity: merging an empty snapshot changes nothing.
+        let mut with_empty = sa.clone();
+        with_empty.merge(&MetricsSnapshot::default());
+        prop_assert_eq!(with_empty, sa);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_conservative(
+        samples in proptest::collection::vec(0u64..(1 << 48), 1..200),
+    ) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        let q = |q: f64| snap.quantile(q).expect("non-empty histogram");
+        let (p50, p95, p99) = (q(0.5), q(0.95), q(0.99));
+        prop_assert!(p50 <= p95, "p50 {p50} > p95 {p95}");
+        prop_assert!(p95 <= p99, "p95 {p95} > p99 {p99}");
+        // Conservative: the bucketed quantile upper-bounds the true
+        // quantile (smallest sample whose 1-based rank is ≥ ⌈q·n⌉).
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for (frac, got) in [(0.5, p50), (0.95, p95), (0.99, p99)] {
+            let rank = ((frac * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            prop_assert!(got >= truth, "q={frac}: bucketed {got} < true {truth}");
+        }
+    }
+}
