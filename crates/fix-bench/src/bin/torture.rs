@@ -1,0 +1,379 @@
+//! `torture` — process-level crash-torture harness for the FIX engine.
+//!
+//! ```text
+//! torture [--iters N] [--seed S] [--ops N] [--dir PATH] [--keep]
+//! ```
+//!
+//! Each iteration spawns *this same binary* in a hidden `--child` mode
+//! running a deterministic write workload (adds, removes, compactions,
+//! checkpoints) against a path-bound database with `sync` durability,
+//! then kills it with SIGKILL at a random point mid-flight — no
+//! warning, no cleanup, exactly like a power cut. The parent then
+//! reopens the database (exercising WAL crash recovery on whatever
+//! half-written state the kill left behind) and checks it against a
+//! differential oracle:
+//!
+//! * every operation the child *acknowledged* (fsynced to an ack log
+//!   after the engine returned `Ok`) must be present — `sync`
+//!   durability promised it survived;
+//! * beyond the acknowledged prefix the database may contain any
+//!   *prefix* of the remaining operations (committed to the WAL but
+//!   killed before the ack landed) — but never a partial batch, a
+//!   wrong answer, or a panic.
+//!
+//! The oracle replays the same seeded operation sequence into an
+//! in-memory database and compares query results at every admissible
+//! prefix; the iteration passes if any admissible state matches
+//! exactly. Exit status is nonzero on the first mismatch, with the
+//! surviving directory kept for inspection.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fix_core::{DocId, Durability, FixDatabase, FixOptions, WriteBatch};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One step of the deterministic workload. Regenerated identically by
+/// the child (to run it) and the parent (to replay it into the oracle).
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    /// Add one small document (content derived from the op index).
+    Add(String),
+    /// Remove a live document picked deterministically from the live set.
+    Remove(DocId),
+    /// Fold the delta run into the base tree (logically a no-op).
+    Compact,
+    /// Full checkpoint (atomic rewrite; logically a no-op).
+    Save,
+}
+
+/// The fixed query set both sides are compared on. Together they cover
+/// every document the workload can produce.
+const PROBES: [&str; 3] = ["//rec/name", "//rec/v", "//rec[v]/name"];
+
+fn doc_xml(i: usize) -> String {
+    format!("<rec><name>n{i}</name><v>{}</v></rec>", i % 7)
+}
+
+/// Generates the full op sequence for one iteration. Removal targets
+/// depend only on the seeded RNG and the op history, so child and
+/// oracle stay in lockstep without sharing state.
+fn gen_ops(seed: u64, max_ops: usize) -> Vec<Op> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut live: Vec<u32> = vec![0]; // the init document
+    let mut next_id: u32 = 1;
+    let mut ops = Vec::with_capacity(max_ops);
+    for i in 0..max_ops {
+        let roll = rng.gen_range(0..10u32);
+        let op = match roll {
+            0..=6 => {
+                live.push(next_id);
+                next_id += 1;
+                Op::Add(doc_xml(i))
+            }
+            7 if live.len() > 1 => {
+                let slot = rng.gen_range(0..live.len());
+                Op::Remove(DocId(live.swap_remove(slot)))
+            }
+            7 => Op::Compact,
+            8 => Op::Compact,
+            _ => Op::Save,
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+fn workload_options() -> FixOptions {
+    // Sync durability is the contract under test (ack ⇒ durable); a
+    // small seal size and an eager compact ratio force WAL seals and
+    // delta folds to actually happen inside the kill window.
+    FixOptions::builder()
+        .durability(Durability::Sync)
+        .wal_seal_bytes(4 << 10)
+        .compact_ratio(0.5)
+        .build()
+}
+
+// ---------------------------------------------------------------- child
+
+/// The child workload: create the database, then run the op sequence,
+/// fsync-acknowledging each op index after the engine commits it. The
+/// parent SIGKILLs this process at a random point.
+fn child(dir: &Path, seed: u64, max_ops: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = dir.join("t.fix");
+    let ack_path = dir.join("acked.log");
+    let mut ack = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&ack_path)?;
+
+    let mut db = FixDatabase::open(&db_path)?;
+    db.add_xml(&doc_xml(usize::MAX & 0xFFFF))?; // init doc, id 0
+    db.build(workload_options())?;
+    db.save()?;
+    ack.write_all(b"init\n")?;
+    ack.sync_all()?;
+
+    for (i, op) in gen_ops(seed, max_ops).into_iter().enumerate() {
+        match op {
+            Op::Add(xml) => {
+                let mut b = WriteBatch::new();
+                b.add_xml(xml);
+                db.write(b)?;
+            }
+            Op::Remove(id) => {
+                let mut b = WriteBatch::new();
+                b.remove_document(id);
+                db.write(b)?;
+            }
+            Op::Compact => {
+                db.compact()?;
+            }
+            Op::Save => db.save()?,
+        }
+        ack.write_all(format!("{i}\n").as_bytes())?;
+        ack.sync_all()?;
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- oracle
+
+/// A sorted, comparable digest of the database's answers to the fixed
+/// probe queries plus its live-document census.
+fn digest(db: &FixDatabase) -> Result<Vec<Vec<(u32, u32)>>, fix_core::FixError> {
+    let mut out = Vec::with_capacity(PROBES.len());
+    for q in PROBES {
+        let outcome = db.query(q)?;
+        let mut hits: Vec<(u32, u32)> = outcome.results.iter().map(|(d, n)| (d.0, n.0)).collect();
+        hits.sort_unstable();
+        out.push(hits);
+    }
+    Ok(out)
+}
+
+/// Replays the acked prefix (and every admissible extension) into an
+/// in-memory oracle, comparing against the reopened database at each
+/// admissible state. Returns the matching prefix length, or an error
+/// describing the divergence.
+fn verify(reopened: &FixDatabase, ops: &[Op], last_acked: i64) -> Result<usize, String> {
+    let actual = digest(reopened).map_err(|e| format!("reopened database failed probes: {e}"))?;
+
+    let mut oracle = FixDatabase::in_memory();
+    oracle
+        .add_xml(&doc_xml(usize::MAX & 0xFFFF))
+        .map_err(|e| format!("oracle init: {e}"))?;
+    oracle
+        .build(workload_options())
+        .map_err(|e| format!("oracle build: {e}"))?;
+
+    let mut applied: i64 = -1;
+    loop {
+        // States with index < last_acked are inadmissible (an acked op
+        // would be missing); states in last_acked..=ops.len()-1 are all
+        // admissible (unacked tail ops may or may not have committed).
+        if applied >= last_acked {
+            let oracle_digest = digest(&oracle).map_err(|e| format!("oracle probes: {e}"))?;
+            if oracle_digest == actual {
+                return Ok((applied + 1) as usize);
+            }
+        }
+        let next = (applied + 1) as usize;
+        if next >= ops.len() {
+            return Err(format!(
+                "no admissible state matches (acked through op {last_acked}, {} ops total)",
+                ops.len()
+            ));
+        }
+        match &ops[next] {
+            Op::Add(xml) => {
+                let mut b = WriteBatch::new();
+                b.add_xml(xml.clone());
+                oracle.write(b).map_err(|e| format!("oracle add: {e}"))?;
+            }
+            Op::Remove(id) => {
+                let mut b = WriteBatch::new();
+                b.remove_document(*id);
+                oracle.write(b).map_err(|e| format!("oracle remove: {e}"))?;
+            }
+            // Logically no-ops: the digest compares answers, not layout.
+            Op::Compact => {
+                oracle
+                    .compact()
+                    .map_err(|e| format!("oracle compact: {e}"))?;
+            }
+            Op::Save => {}
+        }
+        applied += 1;
+    }
+}
+
+// --------------------------------------------------------------- parent
+
+fn run_iteration(
+    base: &Path,
+    iter: usize,
+    seed: u64,
+    max_ops: usize,
+    rng: &mut ChaCha8Rng,
+) -> Result<String, String> {
+    let dir = base.join(format!("iter-{iter}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+
+    let iter_seed = seed ^ (iter as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut cmd = std::process::Command::new(exe);
+    cmd.arg("--child")
+        .arg(&dir)
+        .arg(iter_seed.to_string())
+        .arg(max_ops.to_string())
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit());
+    let mut kid = cmd.spawn().map_err(|e| format!("spawn child: {e}"))?;
+
+    // Kill at a random point inside the workload. With sync fsyncs the
+    // child needs hundreds of milliseconds for the full sequence, so
+    // this window lands mid-write most of the time, and occasionally
+    // lets the child finish cleanly — both are valid crash points.
+    let delay_ms = rng.gen_range(5..600u64);
+    std::thread::sleep(Duration::from_millis(delay_ms));
+    let _ = kid.kill(); // SIGKILL on unix
+    let status = kid.wait().map_err(|e| format!("wait child: {e}"))?;
+
+    let db_path = dir.join("t.fix");
+    let ack_path = dir.join("acked.log");
+    let acked = std::fs::read_to_string(&ack_path).unwrap_or_default();
+    let mut saw_init = false;
+    let mut last_acked: i64 = -1;
+    for line in acked.lines() {
+        if line == "init" {
+            saw_init = true;
+        } else if let Ok(i) = line.parse::<i64>() {
+            last_acked = last_acked.max(i);
+        }
+    }
+    if !saw_init {
+        // Killed before the first checkpoint: nothing was promised yet.
+        // The only contract is that reopening whatever exists must not
+        // panic or report corruption.
+        if db_path.exists() {
+            FixDatabase::open(&db_path).map_err(|e| format!("pre-init reopen failed: {e}"))?;
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        return Ok(format!(
+            "killed at {delay_ms}ms before init checkpoint (status {status}); reopen ok"
+        ));
+    }
+
+    let reopened =
+        FixDatabase::open(&db_path).map_err(|e| format!("reopen after kill failed: {e}"))?;
+    let ops = gen_ops(iter_seed, max_ops);
+    match verify(&reopened, &ops, last_acked) {
+        Ok(matched) => {
+            let _ = std::fs::remove_dir_all(&dir);
+            Ok(format!(
+                "killed at {delay_ms}ms, acked {} ops, state matches prefix {matched}",
+                last_acked + 1
+            ))
+        }
+        Err(e) => Err(format!("{e} (evidence kept in {})", dir.display())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        let (dir, seed, ops) = match (args.get(1), args.get(2), args.get(3)) {
+            (Some(d), Some(s), Some(o)) => match (s.parse(), o.parse()) {
+                (Ok(s), Ok(o)) => (PathBuf::from(d), s, o),
+                _ => return ExitCode::FAILURE,
+            },
+            _ => return ExitCode::FAILURE,
+        };
+        return match child(&dir, seed, ops) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("torture child: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut iters = 50usize;
+    let mut seed = 0xF1Du64;
+    let mut max_ops = 2000usize;
+    let mut base: Option<PathBuf> = None;
+    let mut keep = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let next_num = |it: &mut std::slice::Iter<String>, what: &str| {
+            it.next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .ok_or_else(|| format!("{what} needs a number"))
+        };
+        match a.as_str() {
+            "--iters" => match next_num(&mut it, "--iters") {
+                Ok(n) => iters = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--seed" => match next_num(&mut it, "--seed") {
+                Ok(n) => seed = n,
+                Err(e) => return usage(&e),
+            },
+            "--ops" => match next_num(&mut it, "--ops") {
+                Ok(n) => max_ops = n as usize,
+                Err(e) => return usage(&e),
+            },
+            "--dir" => match it.next() {
+                Some(d) => base = Some(PathBuf::from(d)),
+                None => return usage("--dir needs a path"),
+            },
+            "--keep" => keep = true,
+            other => return usage(&format!("unexpected argument `{other}`")),
+        }
+    }
+    let base = base.unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("fix-torture-{}", std::process::id()))
+    });
+    if let Err(e) = std::fs::create_dir_all(&base) {
+        eprintln!("torture: mkdir {}: {e}", base.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "torture: {iters} iterations, {max_ops} ops/child, seed {seed:#x}, dir {}",
+        base.display()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut failures = 0usize;
+    for i in 0..iters {
+        match run_iteration(&base, i, seed, max_ops, &mut rng) {
+            Ok(msg) => println!("  iter {i:>3}: ok — {msg}"),
+            Err(msg) => {
+                failures += 1;
+                eprintln!("  iter {i:>3}: FAIL — {msg}");
+            }
+        }
+    }
+    if !keep && failures == 0 {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    if failures == 0 {
+        println!("torture: all {iters} iterations consistent after SIGKILL");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("torture: {failures}/{iters} iterations FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "torture: {msg}\nusage: torture [--iters N] [--seed S] [--ops N] [--dir PATH] [--keep]"
+    );
+    ExitCode::FAILURE
+}

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use fix_obs::{MetricsRegistry, Reportable};
-use fix_storage::{PageGuard, PageId, PageSpace, PAGE_SIZE};
+use fix_storage::{PageGuard, PageId, PageSpace, StorageError, PAGE_SIZE};
 
 /// Offset of the entry area in a node page.
 const HDR: usize = 12;
@@ -361,14 +361,31 @@ impl BTree {
     /// is given), in key order. The descent and the scan read node pages
     /// through pinned page guards — no node is materialized into an owned
     /// buffer, and the scan keeps exactly one leaf pinned at a time.
+    ///
+    /// # Panics
+    /// Fail-stop on I/O or checksum failure during the descent; use
+    /// [`BTree::try_range`] where the caller can degrade gracefully.
     pub fn range<'a>(&'a self, start: &[u8], end: Option<&[u8]>) -> RangeScan<'a> {
+        self.try_range(start, end)
+            .unwrap_or_else(|e| panic!("invariant: B-tree descent must be readable: {e}"))
+    }
+
+    /// [`BTree::range`] surfacing storage failures. The descent's page
+    /// reads fail here; a failure while the scan later advances along the
+    /// leaf chain ends iteration early and parks the error on the scan —
+    /// check [`RangeScan::take_error`] after exhaustion.
+    pub fn try_range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<RangeScan<'a>, StorageError> {
         assert_eq!(start.len(), self.key_len);
         self.scan_counters.scans.fetch_add(1, Ordering::Relaxed);
         let key_len = self.key_len;
         // Descend to the leaf that may contain `start`.
         let mut page = self.root;
         loop {
-            let guard = self.pool.pin(page);
+            let guard = self.pool.try_pin(page)?;
             let step = {
                 let b = guard.data();
                 let count = u16::from_le_bytes([b[2], b[3]]) as usize;
@@ -407,13 +424,14 @@ impl BTree {
             match step {
                 Err(child) => page = PageId(child),
                 Ok(pos) => {
-                    return RangeScan {
+                    return Ok(RangeScan {
                         tree: self,
                         leaf: Some(guard),
                         pos,
                         end: end.map(<[u8]>::to_vec),
                         yielded: 0,
-                    }
+                        error: None,
+                    })
                 }
             }
         }
@@ -423,6 +441,13 @@ impl BTree {
     pub fn iter(&self) -> RangeScan<'_> {
         let start = vec![0u8; self.key_len];
         self.range(&start, None)
+    }
+
+    /// [`BTree::iter`] surfacing storage failures (see
+    /// [`BTree::try_range`]).
+    pub fn try_iter(&self) -> Result<RangeScan<'_>, StorageError> {
+        let start = vec![0u8; self.key_len];
+        self.try_range(&start, None)
     }
 
     /// Cumulative scan-work counters since the tree was opened.
@@ -557,6 +582,18 @@ pub struct RangeScan<'a> {
     /// Entries yielded so far; flushed into the tree's counters once on
     /// drop so the scan hot loop touches no shared cache lines.
     yielded: u64,
+    /// A leaf-chain read failure mid-scan. Iteration ends early when this
+    /// is set; callers that must distinguish "range exhausted" from
+    /// "range truncated by damage" check [`RangeScan::take_error`].
+    error: Option<StorageError>,
+}
+
+impl RangeScan<'_> {
+    /// Takes the storage error that ended this scan early, if any.
+    /// `None` after exhaustion means every entry in range was yielded.
+    pub fn take_error(&mut self) -> Option<StorageError> {
+        self.error.take()
+    }
 }
 
 /// One step of a guard-held scan: yield an entry, hop to the next leaf,
@@ -605,7 +642,16 @@ impl Iterator for RangeScan<'_> {
                 ScanStep::Done | ScanStep::Advance(NO_PAGE) => return None,
                 ScanStep::Advance(next) => {
                     self.pos = 0;
-                    self.leaf = Some(self.tree.pool.pin(PageId(next)));
+                    match self.tree.pool.try_pin(PageId(next)) {
+                        Ok(guard) => self.leaf = Some(guard),
+                        Err(e) => {
+                            // Park the failure and end the scan: the
+                            // caller decides whether a truncated range is
+                            // fatal (query path) or tolerable (salvage).
+                            self.error = Some(e);
+                            return None;
+                        }
+                    }
                 }
             }
         }
@@ -878,6 +924,57 @@ mod tests {
         assert_eq!(snap.gauge("fix_btree_scans"), Some(1));
         assert_eq!(snap.gauge("fix_btree_scanned_entries"), Some(50));
         assert!(snap.gauge("fix_btree_height").unwrap() >= 1);
+    }
+
+    #[test]
+    fn try_range_surfaces_descent_failures() {
+        // Attach over a backend that does not hold the root page: the
+        // descent's first pin fails and try_range surfaces it.
+        let pool = PageSpace::in_memory(4);
+        let t = BTree::attach(pool, 8, PageId(42), 1, 0, 1);
+        assert!(t.try_range(&key8(0), None).is_err());
+        assert!(t.try_iter().is_err());
+    }
+
+    #[test]
+    fn leaf_chain_damage_parks_an_error_on_the_scan() {
+        use fix_storage::{BufferPool, FileBackend};
+        let dir = std::env::temp_dir().join(format!("fix-btree-fault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.pages");
+        // 600 eight-byte-key entries span two leaves (leaf_cap = 511).
+        let sorted: Vec<(Vec<u8>, u64)> = (0..600u64).map(|i| (key8(i), i)).collect();
+        let (root, height, entries, pages, crcs) = {
+            let pool = BufferPool::shared(16).attach(Box::new(FileBackend::create(&path).unwrap()));
+            let t = BTree::bulk_load(pool.clone(), 8, sorted.clone());
+            pool.flush().unwrap();
+            let crcs: Vec<u32> = (0..pool.num_pages())
+                .map(|i| pool.with_page(PageId(i), fix_storage::crc32))
+                .collect();
+            let s = t.stats();
+            (t.root_page(), s.height, s.entries, s.pages, crcs)
+        };
+        // Damage the second leaf (bulk_load allocates leaves first, in
+        // order, so it is page 1) on disk.
+        {
+            use std::io::{Seek, SeekFrom, Write};
+            let mut f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 100)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let pool = BufferPool::shared(16)
+            .attach_verified(Box::new(FileBackend::open(&path).unwrap()), crcs);
+        let t = BTree::attach(pool, 8, root, height, entries, pages);
+        let mut scan = t.try_range(&key8(0), None).unwrap();
+        let got: Vec<_> = scan.by_ref().collect();
+        assert_eq!(got.len(), 511, "first leaf yielded, second truncated");
+        let err = scan.take_error().expect("damage must be reported");
+        assert!(matches!(err, StorageError::Corrupt { .. }), "{err}");
+        // A bounded scan that never reaches the damage reports nothing.
+        let mut scan = t.try_range(&key8(0), Some(&key8(100))).unwrap();
+        assert_eq!(scan.by_ref().count(), 100);
+        assert!(scan.take_error().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -25,6 +25,7 @@ use fix_xml::{Document, LabelId, LabelTable, NodeId, NodeKind, TreeEventSource};
 
 use crate::collection::{Collection, DocId};
 use crate::delta::{DeltaIndex, DeltaStats};
+use crate::error::FixError;
 use crate::key::{EntryPtr, IndexKey, KEY_LEN};
 use crate::options::FixOptions;
 use crate::values::ValueHasher;
@@ -908,15 +909,35 @@ impl FixIndex {
 
     /// Resolves a clustered B-tree value to its stored `(ptr, xml bytes)`.
     pub(crate) fn clustered_fetch(&self, value: u64) -> (EntryPtr, Vec<u8>) {
+        self.try_clustered_fetch(value).unwrap_or_else(|e| {
+            panic!("invariant: clustered copy {value:#x} must be readable on this path: {e}")
+        })
+    }
+
+    /// [`FixIndex::clustered_fetch`] with structured failure: heap-page
+    /// I/O errors and CRC mismatches surface as [`FixError`] (section
+    /// `"clustered"`) instead of a panic.
+    pub(crate) fn try_clustered_fetch(&self, value: u64) -> Result<(EntryPtr, Vec<u8>), FixError> {
         let heap = self
             .clustered
             .as_ref()
-            .expect("clustered_fetch on an unclustered index");
-        let record = heap.get(RecordId::from_u64(value));
+            .expect("invariant: clustered fetch requires a clustered index");
+        let record = heap
+            .try_get(RecordId::from_u64(value))
+            .map_err(|e| FixError::from_storage("clustered", e))?;
+        if record.len() < 8 {
+            return Err(FixError::Corrupt {
+                section: "clustered".to_string(),
+                detail: format!(
+                    "copy record {value:#x} is {} bytes, shorter than its 8-byte pointer",
+                    record.len()
+                ),
+            });
+        }
         let ptr = EntryPtr::from_u64(u64::from_le_bytes(
-            record[0..8].try_into().expect("8-byte ptr prefix"),
+            record[0..8].try_into().expect("length checked above"),
         ));
-        (ptr, record[8..].to_vec())
+        Ok((ptr, record[8..].to_vec()))
     }
 }
 

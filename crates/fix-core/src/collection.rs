@@ -10,6 +10,8 @@ use std::sync::{Mutex, OnceLock};
 use fix_storage::{HeapFile, IoStats, PageId, PageSpace, RecordId, PAGE_SIZE};
 use fix_xml::{DocStats, Document, LabelTable, NodeId, ParseError};
 
+use crate::error::FixError;
+
 /// Index of a document within a [`Collection`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DocId(pub u32);
@@ -49,20 +51,43 @@ struct LazyDocs {
 
 impl LazyDocs {
     fn force(&self, i: usize) -> &Document {
-        self.cells[i].get_or_init(|| {
-            let bytes = self.heap.get(self.rids[i]);
-            let xml = String::from_utf8(bytes).expect("paged document is not UTF-8");
+        self.try_force(i).unwrap_or_else(|e| {
+            panic!("invariant: paged document {i} must be readable on this path: {e}")
+        })
+    }
+
+    /// [`LazyDocs::force`] with structured failure: heap-page I/O errors,
+    /// CRC mismatches and undecodable records surface as [`FixError`]
+    /// (section `"documents"`) instead of a panic. If two threads race
+    /// here, both parse and the first `get_or_init` wins — the content is
+    /// identical either way.
+    fn try_force(&self, i: usize) -> Result<&Document, FixError> {
+        if let Some(d) = self.cells[i].get() {
+            return Ok(d);
+        }
+        let corrupt = |detail: String| FixError::Corrupt {
+            section: "documents".to_string(),
+            detail,
+        };
+        let bytes = self
+            .heap
+            .try_get(self.rids[i])
+            .map_err(|e| FixError::from_storage("documents", e))?;
+        let xml = String::from_utf8(bytes)
+            .map_err(|_| corrupt(format!("record for document {i} is not UTF-8")))?;
+        let doc = {
             let mut labels = self.labels.lock().expect("label snapshot poisoned");
             let before = labels.len();
             let doc = fix_xml::parse_document_limited(&xml, &mut labels, usize::MAX)
-                .expect("paged document failed to re-parse");
+                .map_err(|e| corrupt(format!("document {i} failed to re-parse: {e}")))?;
             debug_assert_eq!(
                 labels.len(),
                 before,
                 "lazy parse interned a label missing from the saved table"
             );
             doc
-        })
+        };
+        Ok(self.cells[i].get_or_init(|| doc))
     }
 }
 
@@ -134,6 +159,18 @@ impl Collection {
         match &self.lazy {
             Some(l) if i < l.rids.len() => l.force(i),
             _ => &self.docs[i - self.lazy_len()],
+        }
+    }
+
+    /// [`Collection::doc`] with structured failure: a demand-read document
+    /// whose heap pages fail I/O or checksum verification surfaces as
+    /// [`FixError::Corrupt`] / [`FixError::Io`] instead of a panic. The
+    /// fallible query pipeline reads documents through this.
+    pub fn try_doc(&self, id: DocId) -> Result<&Document, FixError> {
+        let i = id.0 as usize;
+        match &self.lazy {
+            Some(l) if i < l.rids.len() => l.try_force(i),
+            _ => Ok(&self.docs[i - self.lazy_len()]),
         }
     }
 

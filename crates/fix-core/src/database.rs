@@ -52,7 +52,7 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use fix_obs::{
@@ -115,6 +115,49 @@ pub struct FixDatabase {
     /// Deterministic WAL write fault for crash testing; applied to the
     /// log when it is (re)created and forwarded when already live.
     wal_fault: Option<FaultPlan>,
+    /// Set when a write-side disk-full failure flipped the database into
+    /// read-only degradation: mutations fail fast with
+    /// [`FixError::ReadOnly`] carrying this cause while queries keep
+    /// serving; [`FixDatabase::try_resume`] clears it once space is
+    /// back. Behind a mutex only because `save(&self)` can set it.
+    read_only: Mutex<Option<String>>,
+}
+
+/// What [`FixDatabase::repair`] did: the quarantine it answered and the
+/// shape of the rebuilt snapshot.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// Pages the buffer pool had quarantined when repair started.
+    pub quarantined_before: u64,
+    /// Documents re-serialized through their primary pages.
+    pub documents: usize,
+    /// Tombstones carried over unchanged.
+    pub tombstones: usize,
+    /// Index entries in the rebuilt base tree.
+    pub entries: u64,
+    /// Whether the repaired image was checkpointed to the bound path
+    /// (false only for an unbound, in-memory database).
+    pub checkpointed: bool,
+    /// Wall time of the rebuild (excluding the checkpoint).
+    pub wall: std::time::Duration,
+}
+
+impl std::fmt::Display for RepairReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "repaired {} quarantined page(s): rebuilt {} entries from {} document(s) ({} tombstoned), image {}",
+            self.quarantined_before,
+            self.entries,
+            self.documents,
+            self.tombstones,
+            if self.checkpointed {
+                "checkpointed"
+            } else {
+                "not checkpointed (no bound path)"
+            }
+        )
+    }
 }
 
 impl FixDatabase {
@@ -156,6 +199,7 @@ impl FixDatabase {
             durability,
             wal_seal_bytes,
             wal_fault: None,
+            read_only: Mutex::new(None),
         }
     }
 
@@ -389,6 +433,7 @@ impl FixDatabase {
         if batch.is_empty() {
             return Ok(Vec::new());
         }
+        self.check_writable()?;
         if self.index.is_none() {
             return self.write_unindexed(&batch);
         }
@@ -599,7 +644,7 @@ impl FixDatabase {
                 self.wal_extends_image.store(false, Ordering::Release);
                 self.wal_stale_reason
                     .store(STALE_APPEND_FAILED, Ordering::Release);
-                Err(FixError::Io(e))
+                Err(self.note_write_failure("WAL append", e))
             }
         }
     }
@@ -761,10 +806,19 @@ impl FixDatabase {
         Ok(self.stats().expect("index was just built"))
     }
 
-    /// Runs an XPath query through the index — a thin collect over
-    /// [`FixDatabase::query_iter`].
+    /// Runs an XPath query through the index, end to end on the fallible
+    /// read path: a page that cannot be read (I/O failure, CRC mismatch,
+    /// quarantine) surfaces as a structured [`FixError::Io`] /
+    /// [`FixError::Corrupt`] naming the section at fault — never a panic,
+    /// never a wrong answer.
     pub fn query(&self, query: &str) -> Result<QueryOutcome, FixError> {
-        Ok(self.query_iter(query)?.into_outcome())
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
+        let plan = idx.compile(&self.coll, query).map_err(FixError::from)?;
+        let mut ctl = crate::query::QueryCtl::unbounded();
+        let candidates = idx.try_scan_plan(&plan, &mut ctl)?;
+        let (outcome, _) =
+            idx.try_refine_with_threads_timed(&self.coll, plan.path(), candidates, 1, &ctl)?;
+        Ok(outcome)
     }
 
     /// Parses a query and returns a lazy iterator over its
@@ -848,6 +902,81 @@ impl FixDatabase {
         Ok(())
     }
 
+    /// Online repair for quarantined *derived* pages: re-serializes every
+    /// document through its primary pages and rebuilds every derived
+    /// structure (B-tree, edge dictionary, clustered heap, tier runs)
+    /// from scratch — the same rebuild-from-source-of-truth guarantee
+    /// salvage gives, but id-preserving and in-process. Like
+    /// [`FixDatabase::vacuum`] this *replaces* the snapshot, so live
+    /// [`QuerySession`]s keep serving the old one throughout; on a
+    /// path-bound database the repaired image is checkpointed so the file
+    /// stops carrying the corrupt pages. The fresh snapshot reads through
+    /// a fresh pool, so the quarantine set starts empty.
+    ///
+    /// A *primary* (document) page that cannot be read is data loss that
+    /// repair must not paper over: it surfaces as the structured
+    /// [`FixError::Corrupt`]/[`FixError::Io`] of the failing read — reach
+    /// for `fixdb verify --salvage` then, which recovers everything else
+    /// and reports exactly what was dropped.
+    pub fn repair(&mut self) -> Result<RepairReport, FixError> {
+        self.check_writable()?;
+        let idx = self.index.as_ref().ok_or(FixError::NoIndex)?.clone();
+        let quarantined_before = idx.pool_stats().quarantined as u64;
+        let t0 = Instant::now();
+        let mut fresh = Collection::new();
+        for i in 0..self.coll.len() {
+            let d = self.coll.try_doc(DocId(i as u32))?;
+            let xml = fix_xml::to_xml_string(d, &self.coll.labels);
+            fresh
+                .add_xml_limited(&xml, usize::MAX)
+                .expect("invariant: a re-serialized parsed document parses");
+        }
+        let mut rebuilt = FixIndex::build(&mut fresh, idx.options().clone());
+        rebuilt.removed = idx.removed.clone();
+        let report = RepairReport {
+            quarantined_before,
+            documents: fresh.len(),
+            tombstones: rebuilt.removed.len(),
+            entries: rebuilt.btree.len(),
+            checkpointed: self.path.is_some(),
+            wall: t0.elapsed(),
+        };
+        self.coll = Arc::new(fresh);
+        self.index = Some(Arc::new(rebuilt));
+        self.attach_index_events();
+        // Un-logged structural change: WAL records name the old image.
+        // The checkpoint below (or the next write, when unbound) rebases.
+        self.invalidate_wal_base();
+        if let Some(path) = self.path.clone() {
+            self.save_to(&path)?;
+        }
+        if self.events.enabled() {
+            self.events.record_span(
+                Category::Recovery,
+                Severity::Warn,
+                "repair",
+                u64::try_from(report.wall.as_nanos()).unwrap_or(u64::MAX),
+                vec![
+                    ("quarantined", FieldValue::U64(report.quarantined_before)),
+                    ("documents", FieldValue::U64(report.documents as u64)),
+                    ("entries", FieldValue::U64(report.entries)),
+                ],
+            );
+        }
+        self.report_metrics();
+        Ok(report)
+    }
+
+    /// Pages the index's buffer pool has quarantined (a CRC or I/O
+    /// failure on their read; see [`FixDatabase::repair`]). Empty when
+    /// healthy or when no index exists.
+    pub fn quarantined_pages(&self) -> Vec<fix_storage::PageId> {
+        self.index
+            .as_deref()
+            .map(|i| i.pool.quarantined())
+            .unwrap_or_default()
+    }
+
     /// Saves to the bound path (set by [`FixDatabase::open`] or a prior
     /// [`FixDatabase::save_as`]). The index must exist — the file format
     /// stores collection and index together.
@@ -876,9 +1005,12 @@ impl FixDatabase {
     /// log lying beside the target, so a later `open` of that copy
     /// cannot replay records that are already inside it.
     fn save_to(&self, path: &Path) -> Result<(), FixError> {
+        self.check_writable()?;
         let idx = self.index.as_ref().ok_or(FixError::NoIndex)?;
         let start = Instant::now();
-        crate::persist::save_impl(path, &self.coll, idx)?;
+        if let Err(e) = crate::persist::save_impl(path, &self.coll, idx) {
+            return Err(self.note_write_failure("save", e));
+        }
         self.metrics
             .histogram(names::PERSIST_SAVE_NS)
             .record_duration(start.elapsed());
@@ -1008,9 +1140,11 @@ impl FixDatabase {
             names::WAL_GROUP_COMMITS,
             names::LEVEL_SEALS,
             names::LEVEL_MERGES,
+            names::QUERY_TIMEOUTS,
         ] {
             reg.counter(c);
         }
+        reg.gauge(names::POOL_QUARANTINED);
         for g in [
             names::WAL_SEGMENTS,
             names::WAL_TAIL_RECORDS,
@@ -1182,6 +1316,80 @@ impl FixDatabase {
         }
     }
 
+    /// Why the database is read-only, or `None` when writes are enabled.
+    /// A disk-full failure on a WAL append or a save/checkpoint flips the
+    /// database into read-only degradation: queries keep serving, every
+    /// mutation fails fast with [`FixError::ReadOnly`] instead of
+    /// retrying a write that cannot fit.
+    pub fn read_only_cause(&self) -> Option<String> {
+        self.read_only.lock().expect("read_only lock").clone()
+    }
+
+    /// Fails with [`FixError::ReadOnly`] while the database is degraded.
+    fn check_writable(&self) -> Result<(), FixError> {
+        match self.read_only_cause() {
+            Some(cause) => Err(FixError::ReadOnly { cause }),
+            None => Ok(()),
+        }
+    }
+
+    /// Classifies a write-side failure: disk-full latches the read-only
+    /// state (first cause wins) and is reported as
+    /// [`FixError::ReadOnly`]; anything else passes through unchanged.
+    fn note_write_failure(&self, op: &str, e: std::io::Error) -> FixError {
+        if !fix_storage::is_disk_full(&e) {
+            return FixError::Io(e);
+        }
+        let cause = format!("{op} failed: {e}");
+        {
+            let mut ro = self.read_only.lock().expect("read_only lock");
+            if ro.is_none() {
+                if self.events.enabled() {
+                    self.events.record(
+                        Category::Persist,
+                        Severity::Error,
+                        "db.read_only",
+                        vec![("cause", FieldValue::Str(cause.clone()))],
+                    );
+                }
+                *ro = Some(cause.clone());
+            }
+        }
+        FixError::ReadOnly { cause }
+    }
+
+    /// Re-probes the write path after a disk-full degradation: writes,
+    /// syncs, and removes a small sibling file next to the bound database
+    /// file. On success the read-only latch clears and mutations may
+    /// proceed (the failure that latched it already marked the log stale,
+    /// so the next logged write checkpoints a fresh image first). Returns
+    /// `true` when writes are enabled — immediately so if the database
+    /// never was read-only — and `false` when the probe still finds no
+    /// space.
+    pub fn try_resume(&mut self) -> Result<bool, FixError> {
+        let Some(cause) = self.read_only_cause() else {
+            return Ok(true);
+        };
+        if let Some(path) = self.path.clone() {
+            let probe = path.with_extension("space-probe");
+            match probe_space(&probe) {
+                Ok(()) => {}
+                Err(e) if fix_storage::is_disk_full(&e) => return Ok(false),
+                Err(e) => return Err(FixError::Io(e)),
+            }
+        }
+        *self.read_only.lock().expect("read_only lock") = None;
+        if self.events.enabled() {
+            self.events.record(
+                Category::Persist,
+                Severity::Info,
+                "db.resume",
+                vec![("was", FieldValue::Str(cause))],
+            );
+        }
+        Ok(true)
+    }
+
     /// Number of documents.
     pub fn len(&self) -> usize {
         self.coll.len()
@@ -1191,6 +1399,20 @@ impl FixDatabase {
     pub fn is_empty(&self) -> bool {
         self.coll.len() == 0
     }
+}
+
+/// The [`FixDatabase::try_resume`] space probe: create, fill, sync, and
+/// remove a 64 KiB sibling file — enough headroom that a cleared probe
+/// means real writes have room too, small enough to be instant.
+fn probe_space(probe: &Path) -> std::io::Result<()> {
+    let res = (|| {
+        use std::io::Write as _;
+        let mut f = std::fs::File::create(probe)?;
+        f.write_all(&vec![0u8; 64 << 10])?;
+        f.sync_all()
+    })();
+    let _ = std::fs::remove_file(probe);
+    res
 }
 
 #[cfg(test)]
@@ -1653,6 +1875,99 @@ mod tests {
         assert_eq!(db.query("//a/c3").unwrap().results, live_answers);
         let snap = db.metrics().snapshot();
         assert!(snap.counter(names::LEVEL_SEALS).unwrap() >= 5);
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_full_flips_read_only_and_resume_recovers() {
+        use fix_storage::{FaultKind, FaultPlan};
+        let path = temp("read-only.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        let mut db = FixDatabase::open(&path).unwrap();
+        db.add_xml("<a><b/></a>").unwrap();
+        db.build(FixOptions::collection().with_compact_ratio(0.0))
+            .unwrap();
+        db.save().unwrap();
+        db.add_xml("<a><c/></a>").unwrap(); // engages the log
+        db.set_wal_fault(Some(FaultPlan::new(0, FaultKind::DiskFull)));
+        let err = db.add_xml("<a><d/></a>").unwrap_err();
+        assert!(matches!(err, FixError::ReadOnly { .. }), "got {err:?}");
+        assert!(db.read_only_cause().unwrap().contains("WAL append"));
+        // Writes now fail fast without touching the log; queries serve.
+        assert!(matches!(
+            db.add_xml("<a><e/></a>"),
+            Err(FixError::ReadOnly { .. })
+        ));
+        assert!(matches!(db.save(), Err(FixError::ReadOnly { .. })));
+        assert_eq!(db.query("//a/c").unwrap().results.len(), 1);
+        assert!(db.events().iter().any(|e| e.name == "db.read_only"));
+        // Space is actually fine (the failure was injected), so the probe
+        // clears the latch and the next write checkpoints past the
+        // poisoned log.
+        assert!(db.try_resume().unwrap());
+        assert!(db.read_only_cause().is_none());
+        db.add_xml("<a><f/></a>").unwrap();
+        drop(db);
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.query("//a/f").unwrap().results.len(), 1);
+        assert!(db.query("//a/d").unwrap().results.is_empty());
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quarantined_derived_page_repairs_online() {
+        use crate::options::StorageMode;
+        let path = temp("repair.fixdb");
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
+        {
+            let mut db = FixDatabase::open(&path).unwrap();
+            for i in 0..8 {
+                db.add_xml(&format!("<a><b{i}/></a>")).unwrap();
+            }
+            let mut opts = FixOptions::collection().with_compact_ratio(0.0);
+            opts.storage = StorageMode::Paged;
+            db.build(opts).unwrap();
+            db.save().unwrap();
+        }
+        // Corrupt the *last* data page: the paged writer lays out the
+        // document heap first and bulk-loads the B-tree last, so the tail
+        // page is derived state — exactly what repair re-derives.
+        let mut data = std::fs::read(&path).unwrap();
+        let meta_off = u64::from_le_bytes(data[20..28].try_into().unwrap()) as usize;
+        let page_size = fix_storage::PAGE_SIZE;
+        data[meta_off - page_size / 2] ^= 0xFF;
+        std::fs::write(&path, &data).unwrap();
+
+        let mut db = FixDatabase::open(&path).unwrap();
+        let session = db.session().unwrap();
+        let err = db.query("//a/b0").unwrap_err();
+        assert!(
+            matches!(err, FixError::Corrupt { .. } | FixError::Io(_)),
+            "got {err:?}"
+        );
+        assert!(!db.quarantined_pages().is_empty(), "pool quarantined it");
+        let report = db.repair().unwrap();
+        assert!(report.quarantined_before >= 1, "{report}");
+        assert!(report.checkpointed);
+        assert_eq!(report.documents, 8);
+        // The repaired snapshot answers; quarantine starts empty.
+        assert_eq!(db.query("//a/b0").unwrap().results.len(), 1);
+        assert!(db.quarantined_pages().is_empty());
+        // The live session was never closed. It still holds the damaged
+        // snapshot, so its reads may fail — structurally, not by panic.
+        let _ = session.query("//a/b0");
+        drop(session);
+        // The checkpointed image verifies clean and round-trips.
+        assert!(db.verify().unwrap().is_ok());
+        assert!(db.events().iter().any(|e| e.name == "repair"));
+        drop(db);
+        let db = FixDatabase::open(&path).unwrap();
+        assert_eq!(db.query("//a/b3").unwrap().results.len(), 1);
         std::fs::remove_dir_all(fix_storage::wal_dir(&path)).ok();
         std::fs::remove_file(&path).ok();
     }

@@ -59,6 +59,48 @@ pub enum FixError {
         /// The offending document id.
         doc: u32,
     },
+    /// The database is serving reads only: a write-side failure (disk
+    /// full on a WAL append or checkpoint) flipped it into a degraded
+    /// state where mutations fail fast instead of retrying a write that
+    /// cannot fit. Queries are unaffected. Free space and call
+    /// [`FixDatabase::try_resume`](crate::FixDatabase::try_resume) to
+    /// re-enable writes.
+    ReadOnly {
+        /// What pushed the database read-only (e.g. the original
+        /// `ENOSPC` failure, with the operation that hit it).
+        cause: String,
+    },
+    /// A query ran past its deadline
+    /// ([`FixOptions::query_timeout`](crate::FixOptions) or the per-call
+    /// deadline of
+    /// [`QuerySession::query_with_deadline`](crate::QuerySession::query_with_deadline))
+    /// and was cooperatively cancelled at a scan or refinement chunk
+    /// boundary.
+    DeadlineExceeded {
+        /// How long the query ran before cancellation was observed.
+        elapsed: std::time::Duration,
+    },
+}
+
+impl FixError {
+    /// Maps a page-level storage failure into the facade vocabulary,
+    /// naming the index section whose read hit it. I/O failures stay
+    /// [`FixError::Io`]; checksum and range failures become
+    /// [`FixError::Corrupt`] carrying the page id in the detail.
+    pub(crate) fn from_storage(section: &str, e: fix_storage::StorageError) -> FixError {
+        use fix_storage::StorageError as SE;
+        match e {
+            SE::Io(e) => FixError::Io(e),
+            SE::Corrupt { page, detail } => FixError::Corrupt {
+                section: section.to_string(),
+                detail: format!("page {}: {detail}", page.0),
+            },
+            SE::OutOfRange { page, pages } => FixError::Corrupt {
+                section: section.to_string(),
+                detail: format!("page {} out of range (backend has {pages})", page.0),
+            },
+        }
+    }
 }
 
 impl fmt::Display for FixError {
@@ -87,6 +129,15 @@ impl fmt::Display for FixError {
             ),
             FixError::NoSuchDocument { doc } => {
                 write!(f, "no such document: id {doc} is not in the collection")
+            }
+            FixError::ReadOnly { cause } => {
+                write!(
+                    f,
+                    "database is read-only ({cause}); free space and call try_resume()"
+                )
+            }
+            FixError::DeadlineExceeded { elapsed } => {
+                write!(f, "query deadline exceeded after {elapsed:?}")
             }
         }
     }
@@ -157,6 +208,16 @@ mod tests {
         let missing = FixError::NoSuchDocument { doc: 41 };
         assert!(missing.to_string().contains("41"));
         assert!(std::error::Error::source(&missing).is_none());
+        let ro = FixError::ReadOnly {
+            cause: "WAL append hit ENOSPC".into(),
+        };
+        assert!(ro.to_string().contains("read-only"));
+        assert!(ro.to_string().contains("ENOSPC"));
+        assert!(ro.to_string().contains("try_resume"));
+        let dl = FixError::DeadlineExceeded {
+            elapsed: std::time::Duration::from_millis(250),
+        };
+        assert!(dl.to_string().contains("deadline exceeded"));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod values;
 pub use batch::{WriteBatch, WriteOp};
 pub use builder::{BuildStats, FixIndex};
 pub use collection::{Collection, DocId};
-pub use database::FixDatabase;
+pub use database::{FixDatabase, RepairReport};
 pub use delta::DeltaStats;
 pub use error::FixError;
 pub use estimate::{LambdaHistogram, Plan};
@@ -54,7 +54,7 @@ pub use fix_obs::{
     Category, Event, EventRecorder, FieldValue, MetricsRegistry, MetricsSnapshot, QueryTrace,
     Reportable, Severity, SnapshotDelta, Stage, StageRecord,
 };
-pub use fix_storage::{BufferPool, Durability, PoolStats, WalStats};
+pub use fix_storage::{BufferPool, Durability, PageId, PoolStats, WalStats};
 pub use key::{EntryPtr, IndexKey};
 pub use metrics::{ground_truth, CacheStats, Metrics};
 pub use options::{FixOptions, FixOptionsBuilder, RefineOp, StorageMode};

@@ -99,9 +99,10 @@ pub struct FixOptions {
     /// automatically compacts the delta run into the base B+-tree
     /// (`delta_entries ≥ compact_ratio × base_entries`; an empty base
     /// compacts at any nonzero delta). `0.0` disables auto-compaction —
-    /// the delta grows until an explicit `compact()`. Not persisted, like
-    /// the thread knobs: it governs this process's mutation policy, not
-    /// the on-disk index.
+    /// the delta grows until an explicit `compact()`. Persisted in the
+    /// options frame (see `DESIGN.md` §12): a reopened database resumes
+    /// the compaction policy it was saved with unless the caller
+    /// overrides it.
     pub compact_ratio: f64,
     /// When an acknowledged mutation is actually on disk
     /// ([`Durability::Sync`] by default: every WAL commit is fsynced,
@@ -110,12 +111,13 @@ pub struct FixOptions {
     pub durability: Durability,
     /// WAL segment seal threshold in bytes: a tail segment reaching this
     /// size is fsynced and closed, and the matching in-memory delta run
-    /// freezes into the tier stack. Process policy — not persisted.
+    /// freezes into the tier stack. Persisted in the options frame, so a
+    /// reopened database keeps the sealing policy it was saved with.
     pub wal_seal_bytes: u64,
     /// Size-tier merge fanout: a delta level holding this many frozen
     /// runs folds into one run on the next level, bounding merged-scan
     /// read amplification at `fanout − 1` runs per level. Minimum 2.
-    /// Process policy — not persisted.
+    /// Persisted in the options frame.
     pub tier_fanout: usize,
     /// Flight-recorder event ring capacity (see
     /// [`EventRecorder`](fix_obs::EventRecorder)): how many structured
@@ -131,6 +133,15 @@ pub struct FixOptions {
     ///
     /// [`FixDatabase::slow_ops`]: crate::FixDatabase::slow_ops
     pub slow_op_ns: u64,
+    /// Default deadline for every query issued through a
+    /// [`QuerySession`](crate::QuerySession). `None` (the default) lets
+    /// queries run to completion; `Some(d)` cancels a query cooperatively
+    /// at the next scan or refinement chunk boundary once `d` has elapsed,
+    /// surfacing [`FixError::DeadlineExceeded`](crate::FixError).
+    /// Per-call deadlines
+    /// ([`QuerySession::query_with_deadline`](crate::QuerySession::query_with_deadline))
+    /// override this knob. Process policy — not persisted.
+    pub query_timeout: Option<std::time::Duration>,
 }
 
 impl FixOptions {
@@ -157,6 +168,7 @@ impl FixOptions {
             tier_fanout: 4,
             event_capacity: 1024,
             slow_op_ns: 100_000_000,
+            query_timeout: None,
         }
     }
 
@@ -408,6 +420,12 @@ impl FixOptionsBuilder {
         self
     }
 
+    /// Default query deadline (`None` = unbounded, the default).
+    pub fn query_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.opts.query_timeout = timeout;
+        self
+    }
+
     /// Finalizes the options.
     pub fn build(self) -> FixOptions {
         self.opts
@@ -458,6 +476,7 @@ mod tests {
             .tier_fanout(3)
             .event_capacity(2048)
             .slow_op_ns(5_000_000)
+            .query_timeout(Some(std::time::Duration::from_millis(750)))
             .build();
         assert_eq!(o.depth_limit, 4);
         assert!(o.clustered);
@@ -479,6 +498,7 @@ mod tests {
         assert_eq!(o.tier_fanout, 3);
         assert_eq!(o.event_capacity, 2048);
         assert_eq!(o.slow_op_ns, 5_000_000);
+        assert_eq!(o.query_timeout, Some(std::time::Duration::from_millis(750)));
     }
 
     #[test]

@@ -184,6 +184,12 @@ fn encode_section(s: Section, coll: &Collection, idx: &FixIndex, v3: bool) -> Ve
                 // u32::MAX encodes "unlimited" (usize::MAX); saturate.
                 let d = u32::try_from(o.max_parse_depth).unwrap_or(u32::MAX);
                 put_u32(&mut out, d);
+                // Mutation-policy knobs, appended by current writers in
+                // both the v3 and v4 framings. Older files simply end at
+                // the parse depth and decode with the process defaults.
+                put_u64(&mut out, o.wal_seal_bytes);
+                put_u32(&mut out, o.tier_fanout as u32);
+                put_f64(&mut out, o.compact_ratio);
             }
         }
         Section::Labels => {
@@ -362,6 +368,27 @@ fn decode_options(r: &mut SliceReader, v3: bool) -> Result<FixOptions, String> {
     } else {
         fix_xml::DEFAULT_MAX_DEPTH
     };
+    // Mutation-policy knobs: present in files written by current code,
+    // absent in older ones (the section then ends at the parse depth,
+    // and `decode_whole`'s full-consumption check still holds either
+    // way).
+    let policy = if v3 && r.remaining() > 0 {
+        let wal_seal_bytes = r.u64()?;
+        if wal_seal_bytes == 0 {
+            return Err("zero WAL seal threshold".to_string());
+        }
+        let tier_fanout = r.u32()? as usize;
+        if tier_fanout < 2 {
+            return Err(format!("implausible tier fanout {tier_fanout}"));
+        }
+        let compact_ratio = r.f64()?;
+        if !compact_ratio.is_finite() || compact_ratio < 0.0 {
+            return Err(format!("implausible compaction ratio {compact_ratio}"));
+        }
+        Some((wal_seal_bytes, tier_fanout, compact_ratio))
+    } else {
+        None
+    };
     let mut opts = if depth_limit == 0 {
         FixOptions::collection()
     } else {
@@ -376,6 +403,11 @@ fn decode_options(r: &mut SliceReader, v3: bool) -> Result<FixOptions, String> {
     opts.edge_bloom = flags & 2 != 0;
     opts.refine = RefineOp::default();
     opts.max_parse_depth = max_parse_depth;
+    if let Some((wal_seal_bytes, tier_fanout, compact_ratio)) = policy {
+        opts.wal_seal_bytes = wal_seal_bytes;
+        opts.tier_fanout = tier_fanout;
+        opts.compact_ratio = compact_ratio;
+    }
     Ok(opts)
 }
 
@@ -745,7 +777,11 @@ pub(crate) fn load_any(
     if peeked && &magic == MAGIC_V4 {
         return load_paged(path, pool);
     }
-    let data = std::fs::read(path)?;
+    let mut data = std::fs::read(path)?;
+    // Injected-read-fault boundary (fault-domain testing): a torn fault
+    // here damages framed, CRC-checked territory and must surface as
+    // `Corrupt`, never as a wrong answer.
+    fix_storage::fault::read_boundary(&mut data)?;
     let bytes = data.len() as u64;
     let (coll, idx) = load_bytes(&data)?;
     Ok((coll, idx, bytes))
@@ -1352,10 +1388,14 @@ fn load_paged(
     let mut sb_buf = [0u8; SUPERBLOCK_LEN];
     file.read_exact(&mut sb_buf)
         .map_err(|_| corrupt("superblock", "file shorter than the superblock"))?;
+    fix_storage::fault::read_boundary(&mut sb_buf)?;
     let sb = decode_superblock(&sb_buf, file_len).map_err(|d| corrupt("superblock", d))?;
     let mut meta = vec![0u8; sb.meta_len as usize];
     file.seek(SeekFrom::Start(sb.meta_off))?;
     file.read_exact(&mut meta)?;
+    // Injected-read-fault boundary: a torn metadata tail must fail the
+    // footer/frame CRCs below, never decode into a wrong index.
+    fix_storage::fault::read_boundary(&mut meta)?;
     check_meta_footer(&meta).map_err(|d| corrupt("footer", d))?;
 
     let mut walk = FrameWalk::at(&meta, 0);
@@ -1590,7 +1630,11 @@ impl fmt::Display for VerifyReport {
 /// and reports per-section status with byte offsets. I/O errors reading
 /// the file surface as `Err`; corruption is *data*, not an error.
 pub fn verify_file(path: &Path) -> io::Result<VerifyReport> {
-    let data = std::fs::read(path)?;
+    let mut data = std::fs::read(path)?;
+    // Injected-read-fault boundary: an Error/Short fault surfaces as the
+    // `Err` I/O case; a Torn fault lands in checksummed territory and is
+    // reported as per-section corruption like any real bit rot.
+    fix_storage::fault::read_boundary(&mut data)?;
     Ok(verify_bytes(&data))
 }
 

@@ -15,7 +15,7 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use fix_bisim::{query_pattern_with_values, UnitInfo};
-use fix_exec::Refiner;
+use fix_exec::{CancelToken, Refiner};
 use fix_obs::{QueryTrace, Stage};
 use fix_spectral::Features;
 use fix_xml::NodeId;
@@ -23,9 +23,80 @@ use fix_xpath::{decompose, parse_path, Axis, PathExpr, TwigError, TwigQuery, XPa
 
 use crate::builder::FixIndex;
 use crate::collection::{Collection, DocId};
+use crate::error::FixError;
 use crate::key::{EntryPtr, IndexKey};
 use crate::metrics::Metrics;
 use crate::options::RefineOp;
+
+/// Cancellation context for the fallible query pipeline: the shared
+/// [`CancelToken`] plus the query's start instant, so a tripped token
+/// maps to [`FixError::DeadlineExceeded`] carrying the elapsed wall
+/// time. Explicit cancellation (a caller tripping the token by hand)
+/// reports through the same error.
+#[derive(Debug)]
+pub(crate) struct QueryCtl {
+    token: CancelToken,
+    started: Instant,
+}
+
+impl QueryCtl {
+    /// A control block that never trips on its own (no deadline); its
+    /// checkpoints cost one relaxed atomic load.
+    pub(crate) fn unbounded() -> Self {
+        Self::new(CancelToken::new())
+    }
+
+    /// Wraps an existing token; the elapsed clock starts now.
+    pub(crate) fn new(token: CancelToken) -> Self {
+        Self {
+            token,
+            started: Instant::now(),
+        }
+    }
+
+    /// A control block whose token trips `timeout` from now.
+    pub(crate) fn with_timeout(timeout: Duration) -> Self {
+        Self::new(CancelToken::with_deadline(
+            Instant::now().checked_add(timeout),
+        ))
+    }
+
+    /// A per-worker clone: same shared token, fresh poll counter, same
+    /// start instant (the deadline is a property of the query, not the
+    /// worker).
+    pub(crate) fn worker(&self) -> Self {
+        Self {
+            token: self.token.clone(),
+            started: self.started,
+        }
+    }
+
+    /// The loop-boundary poll: `Err(DeadlineExceeded)` once the token has
+    /// tripped.
+    pub(crate) fn checkpoint(&mut self) -> Result<(), FixError> {
+        if self.token.should_stop() {
+            Err(FixError::DeadlineExceeded {
+                elapsed: self.started.elapsed(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The query-start check: one unconditional clock read, so an
+    /// already-expired deadline trips before any work — the loop polls
+    /// above only consult the clock every `CHECK_INTERVAL` calls and
+    /// could outrun a short scan otherwise.
+    pub(crate) fn checkpoint_now(&self) -> Result<(), FixError> {
+        if self.token.is_cancelled() {
+            Err(FixError::DeadlineExceeded {
+                elapsed: self.started.elapsed(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// Why a query could not be processed through the index.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -303,39 +374,59 @@ impl FixIndex {
     /// stream is byte-identical to the single scan a just-compacted or
     /// freshly rebuilt index would produce, however the delta is tiered.
     pub fn scan_plan(&self, plan: &QueryPlan) -> Vec<Candidate> {
+        self.try_scan_plan(plan, &mut QueryCtl::unbounded())
+            .unwrap_or_else(|e| panic!("invariant: index scan must succeed on this path: {e}"))
+    }
+
+    /// [`FixIndex::scan_plan`] with structured failure and cooperative
+    /// cancellation: B-tree page failures (I/O errors, CRC mismatches,
+    /// quarantined pages) surface as [`FixError`] naming the `"btree"`
+    /// section, and the scan aborts with [`FixError::DeadlineExceeded`]
+    /// at the next item boundary once `ctl`'s token trips.
+    pub(crate) fn try_scan_plan(
+        &self,
+        plan: &QueryPlan,
+        ctl: &mut QueryCtl,
+    ) -> Result<Vec<Candidate>, FixError> {
         let Some(top_feat) = &plan.top else {
-            return Vec::new();
+            return Ok(Vec::new());
         };
         // Anchored probes (every entry is rooted at a potential anchor):
         // large-document mode always; collection mode when the query is
-        // rooted at the document root.
+        // rooted at the document root. Un-anchored probes scan the whole
+        // tree: the pattern can root anywhere inside a document, so only
+        // the eigenvalue range prunes (`check_root = anchored` below).
         let anchored = self.opts.depth_limit > 0 || plan.blocks[0].steps[0].axis == Axis::Child;
-        let base: Vec<Candidate> = if anchored {
+        let storage = |e| FixError::from_storage("btree", e);
+        let mut scan = if anchored {
             self.btree
-                .range(
+                .try_range(
                     &IndexKey::scan_start(top_feat),
                     Some(&IndexKey::scan_end(top_feat)),
                 )
-                .map(|(k, v)| Candidate {
-                    key: IndexKey::decode(&k),
-                    value: v,
-                    delta: false,
-                })
-                .filter(|c| self.entry_contains(&c.key, top_feat, true))
-                .collect()
+                .map_err(storage)?
         } else {
-            // Un-anchored collection probe: the pattern can root anywhere
-            // inside a document, so only the eigenvalue range prunes.
-            self.btree
-                .iter()
-                .map(|(k, v)| Candidate {
-                    key: IndexKey::decode(&k),
-                    value: v,
-                    delta: false,
-                })
-                .filter(|c| self.entry_contains(&c.key, top_feat, false))
-                .collect()
+            self.btree.try_iter().map_err(storage)?
         };
+        let mut base: Vec<Candidate> = Vec::new();
+        loop {
+            ctl.checkpoint()?;
+            let Some((k, v)) = scan.next() else { break };
+            let c = Candidate {
+                key: IndexKey::decode(&k),
+                value: v,
+                delta: false,
+            };
+            if self.entry_contains(&c.key, top_feat, anchored) {
+                base.push(c);
+            }
+        }
+        // A mid-scan leaf-chain failure parks on the iterator instead of
+        // panicking; surface it here.
+        if let Some(e) = scan.take_error() {
+            return Err(storage(e));
+        }
+        drop(scan);
         let mut cands = if self.delta.is_empty() {
             base
         } else {
@@ -353,6 +444,9 @@ impl FixIndex {
             let mut sources: Vec<Vec<Candidate>> = Vec::with_capacity(1 + self.delta.runs().len());
             sources.push(base);
             for run in self.delta.runs() {
+                // Delta runs are in-memory — they cannot fail, but a slow
+                // merged scan should still honor the deadline per run.
+                ctl.checkpoint()?;
                 let side: Vec<Candidate> = if anchored {
                     run.range(
                         &IndexKey::scan_start(top_feat),
@@ -388,11 +482,11 @@ impl FixIndex {
             }
             let Some(bf) = bf else {
                 // A provably-empty rest block empties the whole conjunction.
-                return Vec::new();
+                return Ok(Vec::new());
             };
             cands.retain(|c| self.entry_contains(&c.key, bf, false));
         }
-        cands
+        Ok(cands)
     }
 
     /// The pruning phase alone: [`Candidate`]s in key order. Exposed
@@ -563,6 +657,25 @@ impl FixIndex {
         candidates: Vec<Candidate>,
         threads: usize,
     ) -> (QueryOutcome, RefineTiming) {
+        self.try_refine_with_threads_timed(coll, path, candidates, threads, &QueryCtl::unbounded())
+            .unwrap_or_else(|e| panic!("invariant: refinement must succeed on this path: {e}"))
+    }
+
+    /// [`FixIndex::refine_with_threads_timed`] with structured failure and
+    /// cooperative cancellation. Storage failures resolving candidates
+    /// surface as [`FixError`] naming the section at fault (`"clustered"`
+    /// for copy-heap fetches, `"documents"` for primary reads); a tripped
+    /// deadline aborts at the next candidate boundary. On the parallel
+    /// path the first failing chunk *in chunk order* wins, so the reported
+    /// error is deterministic across thread scheduling.
+    pub(crate) fn try_refine_with_threads_timed(
+        &self,
+        coll: &Collection,
+        path: &PathExpr,
+        candidates: Vec<Candidate>,
+        threads: usize,
+        ctl: &QueryCtl,
+    ) -> Result<(QueryOutcome, RefineTiming), FixError> {
         let start = Instant::now();
         let cdt = candidates.len() as u64;
         let delta_cdt = candidates.iter().filter(|c| c.delta).count() as u64;
@@ -576,19 +689,21 @@ impl FixIndex {
         // One worker's output: its matches, producing count, and wall time.
         type ChunkPart = (Vec<(DocId, NodeId)>, u64, Duration);
         let (mut results, producing, workers) = if threads <= 1 {
-            let (r, p) = self.refine_chunk(coll, &refiner, &candidates);
+            let mut wctl = ctl.worker();
+            let (r, p) = self.try_refine_chunk(coll, &refiner, &candidates, &mut wctl)?;
             (r, p, Vec::new())
         } else {
             let chunk = candidates.len().div_ceil(threads);
-            let parts: Vec<ChunkPart> = std::thread::scope(|s| {
+            let parts: Vec<Result<ChunkPart, FixError>> = std::thread::scope(|s| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk)
                     .map(|part| {
                         let refiner = &refiner;
+                        let mut wctl = ctl.worker();
                         s.spawn(move || {
                             let w0 = Instant::now();
-                            let (r, p) = self.refine_chunk(coll, refiner, part);
-                            (r, p, w0.elapsed())
+                            self.try_refine_chunk(coll, refiner, part, &mut wctl)
+                                .map(|(r, p)| (r, p, w0.elapsed()))
                         })
                     })
                     .collect();
@@ -600,7 +715,8 @@ impl FixIndex {
             let mut results = Vec::new();
             let mut producing = 0u64;
             let mut workers = Vec::with_capacity(parts.len());
-            for (r, p, w) in parts {
+            for part in parts {
+                let (r, p, w) = part?;
                 results.extend(r);
                 producing += p;
                 workers.push(w);
@@ -618,35 +734,39 @@ impl FixIndex {
                 producing,
             },
         };
-        (
+        Ok((
             outcome,
             RefineTiming {
                 wall: start.elapsed(),
                 workers,
             },
-        )
+        ))
     }
 
     /// Refines one contiguous run of candidates. `&self`-only — safe to
-    /// call from any number of worker threads at once.
-    fn refine_chunk(
+    /// call from any number of worker threads at once. Checks `ctl` at
+    /// every candidate boundary.
+    fn try_refine_chunk(
         &self,
         coll: &Collection,
         refiner: &Refiner<'_>,
         candidates: &[Candidate],
-    ) -> (Vec<(DocId, NodeId)>, u64) {
+        ctl: &mut QueryCtl,
+    ) -> Result<(Vec<(DocId, NodeId)>, u64), FixError> {
         let mut producing = 0u64;
         let mut results: Vec<(DocId, NodeId)> = Vec::new();
         for &Candidate { value, delta, .. } in candidates {
+            ctl.checkpoint()?;
             let ptr = if self.clustered.is_some() {
                 // Clustered: fetch the copy (sequential I/O — candidates
                 // arrive in key order) and recover the pointer. Delta
-                // values resolve against the delta's copy store instead of
-                // the base heap.
+                // values resolve against the delta's in-memory copy store
+                // instead of the base heap, so only the base fetch can
+                // fail.
                 if delta {
                     self.delta.fetch(value).0
                 } else {
-                    self.clustered_fetch(value).0
+                    self.try_clustered_fetch(value)?.0
                 }
             } else {
                 EntryPtr::from_u64(value)
@@ -654,7 +774,7 @@ impl FixIndex {
             if self.removed.contains(&ptr.doc) {
                 continue;
             }
-            let doc = coll.doc(ptr.doc);
+            let doc = coll.try_doc(ptr.doc)?;
             // Charge the primary-storage read for this candidate: the
             // whole (small) document in collection mode, the pattern
             // instance's subtree in large-document mode. The clustered
@@ -672,7 +792,7 @@ impl FixIndex {
                 results.extend(rs.into_iter().map(|n| (ptr.doc, n)));
             }
         }
-        (results, producing)
+        Ok((results, producing))
     }
 
     /// Parses a query and returns a lazy iterator over its matches (see

@@ -32,7 +32,7 @@ use crate::error::FixError;
 use crate::metrics::CacheStats;
 use crate::options::resolve_threads;
 use crate::plan_cache::{PlanCache, DEFAULT_PLAN_CACHE_CAPACITY};
-use crate::query::{PlanTiming, QueryHits, QueryOutcome, QueryPlan};
+use crate::query::{PlanTiming, QueryCtl, QueryHits, QueryOutcome, QueryPlan};
 
 /// Fewest candidates per extra worker that make spawning it worthwhile.
 /// Below this, per-candidate refinement is cheaper than thread start-up
@@ -55,6 +55,8 @@ struct SessionMetrics {
     candidates: Arc<Counter>,
     /// `fix_refine_producing_total`.
     producing: Arc<Counter>,
+    /// `fix_query_timeouts_total` — queries cancelled at their deadline.
+    timeouts: Arc<Counter>,
 }
 
 impl SessionMetrics {
@@ -68,6 +70,7 @@ impl SessionMetrics {
                 .collect(),
             candidates: registry.counter("fix_refine_candidates_total"),
             producing: registry.counter("fix_refine_producing_total"),
+            timeouts: registry.counter(fix_obs::names::QUERY_TIMEOUTS),
         }
     }
 
@@ -149,7 +152,22 @@ impl QuerySession {
     /// for every thread count and cache state. Stage timings and work
     /// counts are recorded into the session's registry either way.
     pub fn query(&self, query: &str) -> Result<QueryOutcome, FixError> {
-        self.query_inner(query, None)
+        self.query_inner(query, None, None)
+    }
+
+    /// [`QuerySession::query`] with an explicit per-call deadline,
+    /// overriding the session default
+    /// ([`FixOptions::query_timeout`](crate::FixOptions)). The query is
+    /// cancelled cooperatively at the next scan or refinement chunk
+    /// boundary after `timeout` elapses and reports
+    /// [`FixError::DeadlineExceeded`] with the observed elapsed time;
+    /// `fix_query_timeouts_total` counts every such cancellation.
+    pub fn query_with_deadline(
+        &self,
+        query: &str,
+        timeout: Duration,
+    ) -> Result<QueryOutcome, FixError> {
+        self.query_inner(query, None, Some(timeout))
     }
 
     /// [`QuerySession::query`] with a full [`QueryTrace`] of the stage
@@ -157,16 +175,44 @@ impl QuerySession {
     /// a warm hit legitimately skips the parse/compile/eigen records.
     pub fn query_traced(&self, query: &str) -> Result<(QueryOutcome, QueryTrace), FixError> {
         let mut trace = QueryTrace::new(query);
-        let outcome = self.query_inner(query, Some(&mut trace))?;
+        let outcome = self.query_inner(query, Some(&mut trace), None)?;
         Ok((outcome, trace))
+    }
+
+    /// [`QuerySession::query_with_deadline`] that always hands back the
+    /// trace — on failure (including a deadline trip) it is *partial*,
+    /// covering the stages that completed plus the stage that was
+    /// interrupted, so callers can see where a timed-out query spent its
+    /// budget.
+    pub fn query_with_deadline_traced(
+        &self,
+        query: &str,
+        timeout: Duration,
+    ) -> (Result<QueryOutcome, FixError>, QueryTrace) {
+        let mut trace = QueryTrace::new(query);
+        let outcome = self.query_inner(query, Some(&mut trace), Some(timeout));
+        (outcome, trace)
     }
 
     fn query_inner(
         &self,
         query: &str,
         mut trace: Option<&mut QueryTrace>,
+        deadline: Option<Duration>,
     ) -> Result<QueryOutcome, FixError> {
         let t0 = Instant::now();
+        // Per-call deadline overrides the session default; neither means
+        // the control block never trips on its own.
+        let mut ctl = match deadline.or(self.index.opts.query_timeout) {
+            Some(timeout) => QueryCtl::with_timeout(timeout),
+            None => QueryCtl::unbounded(),
+        };
+        // An already-expired deadline trips here, before any work — the
+        // in-loop polls only read the clock periodically and could outrun
+        // a short scan.
+        if let Err(e) = ctl.checkpoint_now() {
+            return Err(self.query_failed(e, trace, Stage::Scan, Duration::ZERO));
+        }
         let (plan, timing) = self.cached_plan_timed(query)?;
         let m = &*self.metrics;
         m.stage(Stage::CacheProbe).record_duration(timing.probe);
@@ -188,9 +234,13 @@ impl QuerySession {
             }
         }
         let scan_start = Instant::now();
-        let candidates = self.index.scan_plan(&plan);
+        let scanned = self.index.try_scan_plan(&plan, &mut ctl);
         let scan_wall = scan_start.elapsed();
         m.stage(Stage::Scan).record_duration(scan_wall);
+        let candidates = match scanned {
+            Ok(c) => c,
+            Err(e) => return Err(self.query_failed(e, trace, Stage::Scan, scan_wall)),
+        };
         if let Some(t) = trace.as_deref_mut() {
             t.record(Stage::Scan, scan_wall).items = Some(candidates.len() as u64);
         }
@@ -200,9 +250,21 @@ impl QuerySession {
         let threads = self
             .threads
             .min(candidates.len() / MIN_CANDIDATES_PER_WORKER + 1);
-        let (outcome, rt) =
-            self.index
-                .refine_with_threads_timed(&self.coll, plan.path(), candidates, threads);
+        let refine_start = Instant::now();
+        let (outcome, rt) = match self.index.try_refine_with_threads_timed(
+            &self.coll,
+            plan.path(),
+            candidates,
+            threads,
+            &ctl,
+        ) {
+            Ok(v) => v,
+            Err(e) => {
+                let wall = refine_start.elapsed();
+                m.stage(Stage::Refine).record_duration(wall);
+                return Err(self.query_failed(e, trace, Stage::Refine, wall));
+            }
+        };
         m.stage(Stage::Refine).record_duration(rt.wall);
         m.candidates.add(outcome.metrics.candidates);
         m.producing.add(outcome.metrics.producing);
@@ -215,6 +277,26 @@ impl QuerySession {
             t.total = t0.elapsed();
         }
         Ok(outcome)
+    }
+
+    /// Error-path bookkeeping: the interrupted stage still lands in the
+    /// trace (callers of the `_traced` variants get a *partial* trace
+    /// showing where the query stopped), and a deadline trip bumps
+    /// `fix_query_timeouts_total`.
+    fn query_failed(
+        &self,
+        e: FixError,
+        trace: Option<&mut QueryTrace>,
+        stage: Stage,
+        wall: Duration,
+    ) -> FixError {
+        if let Some(t) = trace {
+            t.record(stage, wall);
+        }
+        if matches!(e, FixError::DeadlineExceeded { .. }) {
+            self.metrics.timeouts.inc();
+        }
+        e
     }
 
     /// Runs a query as a lazy iterator over matches in document order
@@ -478,5 +560,59 @@ mod tests {
         assert_eq!(a, b);
         let s = session.cache_stats();
         assert_eq!((s.hits, s.misses, s.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn deadline_trips_cooperatively_and_counts() {
+        let db = serving_db();
+        let session = db.session().unwrap();
+        // An already-expired deadline trips at the first checkpoint —
+        // deterministic, no matter how fast the query would be.
+        let err = session
+            .query_with_deadline("//article/author", std::time::Duration::ZERO)
+            .unwrap_err();
+        assert!(
+            matches!(err, FixError::DeadlineExceeded { .. }),
+            "got {err:?}"
+        );
+        let snap = session.registry().snapshot();
+        assert_eq!(snap.counter("fix_query_timeouts_total"), Some(1));
+        // A roomy deadline answers identically to the undeadlined query.
+        let plain = session.query("//article/author").unwrap();
+        let timed = session
+            .query_with_deadline("//article/author", std::time::Duration::from_secs(60))
+            .unwrap();
+        assert_eq!(plain, timed);
+        // The traced variant hands back the partial trace on a trip:
+        // the interrupted stage is recorded.
+        let (res, trace) =
+            session.query_with_deadline_traced("//article/author", std::time::Duration::ZERO);
+        assert!(matches!(res, Err(FixError::DeadlineExceeded { .. })));
+        assert!(
+            trace.stage(Stage::Scan).is_some() || trace.stage(Stage::Refine).is_some(),
+            "partial trace names the interrupted stage"
+        );
+    }
+
+    #[test]
+    fn session_default_timeout_comes_from_options() {
+        let mut db = FixDatabase::in_memory();
+        db.add_xml("<bib><article><author/></article></bib>")
+            .unwrap();
+        db.build(
+            FixOptions::builder()
+                .query_timeout(Some(std::time::Duration::ZERO))
+                .build(),
+        )
+        .unwrap();
+        let session = db.session().unwrap();
+        assert!(matches!(
+            session.query("//article/author"),
+            Err(FixError::DeadlineExceeded { .. })
+        ));
+        // A per-call deadline overrides the session default.
+        assert!(session
+            .query_with_deadline("//article/author", std::time::Duration::from_secs(60))
+            .is_ok());
     }
 }

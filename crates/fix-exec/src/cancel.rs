@@ -1,0 +1,148 @@
+//! Cooperative cancellation for long-running query work.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the
+//! caller that sets a deadline (or cancels explicitly) and the scan /
+//! refinement loops that poll it at chunk boundaries. Polling is a
+//! relaxed atomic load plus, at most once per [`CHECK_INTERVAL`] polls, a
+//! clock read — cheap enough for per-candidate loops.
+//!
+//! The token carries *why* work should stop only implicitly: a tripped
+//! token means "stop and report cancellation"; mapping that to a
+//! deadline-exceeded error (and attaching partial progress) is the
+//! caller's job, since only the caller knows the deadline it set.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many [`CancelToken::should_stop`] polls elapse between deadline
+/// clock reads. Explicit [`CancelToken::cancel`] is still observed on
+/// every poll (it is just an atomic load).
+pub const CHECK_INTERVAL: u32 = 64;
+
+#[derive(Debug)]
+struct Shared {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation flag with an optional deadline. Clones observe
+/// the same state; any clone's [`cancel`](CancelToken::cancel) stops all
+/// holders.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    shared: Arc<Shared>,
+    /// Per-clone poll counter gating the deadline clock read.
+    polls: u32,
+}
+
+impl CancelToken {
+    /// A token that only trips on explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::with_deadline(None)
+    }
+
+    /// A token that trips once `deadline` passes (or on explicit cancel).
+    pub fn with_deadline(deadline: Option<Instant>) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                cancelled: AtomicBool::new(false),
+                deadline,
+            }),
+            polls: 0,
+        }
+    }
+
+    /// Trips the token for every clone.
+    pub fn cancel(&self) {
+        self.shared.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True once the token has tripped (explicitly or by deadline). Does
+    /// not advance the poll counter; use in non-loop contexts.
+    pub fn is_cancelled(&self) -> bool {
+        if self.shared.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match self.shared.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.shared.cancelled.store(true, Ordering::Release);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The loop-boundary poll: cheap on most calls, checking the clock
+    /// against the deadline every [`CHECK_INTERVAL`]-th call. Returns
+    /// true once the work should stop.
+    pub fn should_stop(&mut self) -> bool {
+        if self.shared.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        if self.shared.deadline.is_none() {
+            return false;
+        }
+        self.polls += 1;
+        if self.polls < CHECK_INTERVAL {
+            return false;
+        }
+        self.polls = 0;
+        self.is_cancelled()
+    }
+
+    /// The deadline this token trips at, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.shared.deadline
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn explicit_cancel_trips_every_clone() {
+        let mut a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.should_stop());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.should_stop());
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn no_deadline_never_trips_on_its_own() {
+        let mut t = CancelToken::new();
+        for _ in 0..(CHECK_INTERVAL * 3) {
+            assert!(!t.should_stop());
+        }
+    }
+
+    #[test]
+    fn past_deadline_trips() {
+        let t = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert!(t.is_cancelled());
+        let mut t = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        // should_stop needs at most CHECK_INTERVAL polls to see it.
+        let tripped = (0..=CHECK_INTERVAL).any(|_| t.should_stop());
+        assert!(tripped);
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip_early() {
+        let mut t = CancelToken::with_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        for _ in 0..(CHECK_INTERVAL * 3) {
+            assert!(!t.should_stop());
+        }
+        assert!(!t.is_cancelled());
+    }
+}

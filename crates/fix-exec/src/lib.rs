@@ -19,6 +19,7 @@
 //! convention the value-hashing index uses, so index pruning and
 //! refinement can never disagree.
 
+pub mod cancel;
 pub mod fbq;
 pub mod merge;
 pub mod nok;
@@ -28,6 +29,7 @@ pub mod structjoin;
 pub mod twig;
 pub mod twigstack;
 
+pub use cancel::CancelToken;
 pub use fbq::eval_fb;
 pub use merge::{merge_k_sorted, merge_sorted};
 pub use nok::{anchors, eval_path, eval_path_from, path_matches, value_matches};

@@ -120,6 +120,11 @@ pub mod names {
     pub const LEVEL_SEALS: &str = "fix_level_seals_total";
     /// Counter: tier-cascade run merges since open.
     pub const LEVEL_MERGES: &str = "fix_level_run_merges_total";
+    /// Gauge: pages the buffer pool has quarantined after a failed
+    /// physical read (cleared by repair).
+    pub const POOL_QUARANTINED: &str = "fix_pool_quarantined";
+    /// Counter: queries cancelled at their deadline.
+    pub const QUERY_TIMEOUTS: &str = "fix_query_timeouts_total";
 
     /// One-line HELP text for a metric name — the canonical names get
     /// their doc sentence; anything else gets a generic line so Prometheus
@@ -160,6 +165,8 @@ pub mod names {
             LEVEL_BYTES => "Resident bytes across all frozen delta runs.",
             LEVEL_SEALS => "Active-run freezes (delta seals) since open.",
             LEVEL_MERGES => "Tier-cascade run merges since open.",
+            POOL_QUARANTINED => "Pages quarantined by the buffer pool after a failed read.",
+            QUERY_TIMEOUTS => "Queries cancelled at their deadline.",
             _ => "FIX engine metric (see DESIGN.md \u{00a7}11).",
         }
     }

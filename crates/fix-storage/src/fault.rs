@@ -19,7 +19,32 @@
 //! intended bytes and makes the save *fail*, so an atomic
 //! temp-file+rename protocol must leave the previous database untouched.
 //! Sweeping `nth` over every boundary is the crash matrix.
+//!
+//! # Read faults
+//!
+//! The read side mirrors this with a thread-local injector instead of a
+//! wrapper type, because reads happen deep inside the buffer pool and the
+//! WAL where no wrapping seam exists. Every *logical read boundary* — one
+//! page fetch in `FileBackend::read_page`, one WAL segment read, one
+//! metadata-tail read in the persistence layer — calls
+//! [`read_boundary`] after the real bytes arrive. An armed
+//! [`ReadFaultPlan`] names one boundary (counted per thread since the
+//! last [`set_read_fault`]) and what goes wrong there:
+//!
+//! * [`ReadFaultKind::Error`] — the read fails outright (`EIO`).
+//! * [`ReadFaultKind::Short`] — the read comes back short
+//!   (`UnexpectedEof`), as when the file was truncated underneath.
+//! * [`ReadFaultKind::Torn`] — the read *succeeds* but only the first
+//!   `keep` bytes are genuine; the rest are flipped. No error surfaces at
+//!   the I/O layer — the checksum layers above (per-page CRCs, framed
+//!   section CRCs, WAL record CRCs) must catch it, which is exactly what
+//!   the fault exists to prove.
+//!
+//! The plan is one-shot: it disarms after firing, so the boundaries after
+//! the faulted one behave normally. Thread-locality keeps parallel test
+//! runs from injecting into each other.
 
+use std::cell::Cell;
 use std::io::{self, Write};
 
 /// What goes wrong at the chosen write boundary.
@@ -34,6 +59,11 @@ pub enum FaultKind {
     },
     /// Silently drop this and every subsequent write; fail at `flush`.
     Truncate,
+    /// Fail the write with `ENOSPC` (disk full); no bytes land. Unlike
+    /// [`FaultKind::Error`] the error is distinguishable via
+    /// [`is_disk_full`], so callers can exercise the read-only
+    /// degradation path rather than the generic fault path.
+    DiskFull,
 }
 
 /// One injected fault: disrupt the `nth` (0-based) write call.
@@ -55,6 +85,18 @@ impl FaultPlan {
 /// The error every injected fault surfaces as.
 fn injected() -> io::Error {
     io::Error::other("injected write fault")
+}
+
+/// The `ENOSPC` error an injected [`FaultKind::DiskFull`] surfaces as —
+/// indistinguishable from the real thing by construction.
+pub fn disk_full_error() -> io::Error {
+    io::Error::from_raw_os_error(28) // ENOSPC
+}
+
+/// True if `e` means the device is out of space (`ENOSPC`), whether it
+/// came from the kernel or from [`FaultKind::DiskFull`].
+pub fn is_disk_full(e: &io::Error) -> bool {
+    e.raw_os_error() == Some(28) || e.kind() == io::ErrorKind::StorageFull
 }
 
 /// A [`Write`] adapter that injects one deterministic fault (see the
@@ -111,6 +153,7 @@ impl<W: Write> Write for FaultFile<W> {
                         self.dropping = true;
                         return Ok(buf.len());
                     }
+                    FaultKind::DiskFull => return Err(disk_full_error()),
                 }
             }
         }
@@ -124,6 +167,111 @@ impl<W: Write> Write for FaultFile<W> {
             return Err(injected());
         }
         self.inner.flush()
+    }
+}
+
+/// What goes wrong at the chosen read boundary (module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadFaultKind {
+    /// Fail the read with an I/O error; no bytes are delivered.
+    Error,
+    /// Deliver nothing and fail with `UnexpectedEof` — the file ended
+    /// early underneath the reader.
+    Short,
+    /// Deliver the buffer with every byte after the first `keep` flipped;
+    /// the read itself *succeeds*. Checksums above must catch it.
+    Torn {
+        /// Bytes of the faulted read that stay genuine.
+        keep: usize,
+    },
+}
+
+/// One injected read fault: disrupt the `nth` (0-based) read boundary
+/// observed on this thread since the last [`set_read_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFaultPlan {
+    /// 0-based index of the read boundary to disrupt.
+    pub nth: usize,
+    /// Failure mode at that boundary.
+    pub kind: ReadFaultKind,
+}
+
+impl ReadFaultPlan {
+    /// Plan a fault of `kind` at the `nth` read boundary.
+    pub fn new(nth: usize, kind: ReadFaultKind) -> Self {
+        Self { nth, kind }
+    }
+
+    /// Parses the `FIXDB_READ_FAULT` spec format:
+    /// `NTH:error`, `NTH:short`, or `NTH:torn:KEEP`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let bad = || format!("bad read-fault spec {spec:?} (want NTH:error|short|torn:KEEP)");
+        let mut parts = spec.split(':');
+        let nth: usize = parts.next().and_then(|s| s.parse().ok()).ok_or_else(bad)?;
+        let kind = match (parts.next(), parts.next(), parts.next()) {
+            (Some("error"), None, None) => ReadFaultKind::Error,
+            (Some("short"), None, None) => ReadFaultKind::Short,
+            (Some("torn"), Some(keep), None) => ReadFaultKind::Torn {
+                keep: keep.parse().map_err(|_| bad())?,
+            },
+            _ => return Err(bad()),
+        };
+        Ok(Self { nth, kind })
+    }
+}
+
+thread_local! {
+    /// The armed read fault for this thread, if any.
+    static READ_FAULT: Cell<Option<ReadFaultPlan>> = const { Cell::new(None) };
+    /// Read boundaries observed on this thread since the last
+    /// [`set_read_fault`].
+    static READ_BOUNDARIES: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Arms (or with `None`, disarms) a read fault on the current thread and
+/// resets the boundary counter. The plan is one-shot: it disarms itself
+/// after firing.
+pub fn set_read_fault(plan: Option<ReadFaultPlan>) {
+    READ_FAULT.with(|f| f.set(plan));
+    READ_BOUNDARIES.with(|c| c.set(0));
+}
+
+/// Read boundaries observed on this thread since the last
+/// [`set_read_fault`] — how callers discover how many boundaries an
+/// operation has before sweeping `nth` over them.
+pub fn read_boundaries() -> usize {
+    READ_BOUNDARIES.with(Cell::get)
+}
+
+/// Declares one logical read boundary: `buf` holds the bytes genuinely
+/// read. With no plan armed (the production case: one thread-local load
+/// and one branch) this only counts. An armed plan whose `nth` matches
+/// injects its fault — possibly mutating `buf` — and disarms.
+pub fn read_boundary(buf: &mut [u8]) -> io::Result<()> {
+    let n = READ_BOUNDARIES.with(|c| {
+        let n = c.get();
+        c.set(n + 1);
+        n
+    });
+    let Some(p) = READ_FAULT.with(Cell::get) else {
+        return Ok(());
+    };
+    if n != p.nth {
+        return Ok(());
+    }
+    READ_FAULT.with(|f| f.set(None));
+    match p.kind {
+        ReadFaultKind::Error => Err(io::Error::other("injected read fault")),
+        ReadFaultKind::Short => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "injected short read",
+        )),
+        ReadFaultKind::Torn { keep } => {
+            for b in buf.iter_mut().skip(keep) {
+                *b ^= 0xA5; // always changes the byte, whatever its value
+            }
+            Ok(())
+        }
     }
 }
 
@@ -183,5 +331,72 @@ mod tests {
         f.write_all(b"xy").unwrap();
         f.write_all(b"z").unwrap();
         assert_eq!(f.writes(), 2);
+    }
+
+    #[test]
+    fn disk_full_fault_is_recognizable_enospc() {
+        let mut f = FaultFile::new(Vec::new(), Some(FaultPlan::new(0, FaultKind::DiskFull)));
+        let err = f.write_all(b"abc").unwrap_err();
+        assert!(is_disk_full(&err), "got {err:?}");
+        assert!(!is_disk_full(&injected()));
+    }
+
+    #[test]
+    fn read_boundary_counts_and_passes_through_unarmed() {
+        set_read_fault(None);
+        let mut buf = *b"hello";
+        read_boundary(&mut buf).unwrap();
+        read_boundary(&mut buf).unwrap();
+        assert_eq!(read_boundaries(), 2);
+        assert_eq!(&buf, b"hello");
+    }
+
+    #[test]
+    fn read_fault_error_fires_once_at_nth() {
+        set_read_fault(Some(ReadFaultPlan::new(1, ReadFaultKind::Error)));
+        let mut buf = [0u8; 4];
+        read_boundary(&mut buf).unwrap();
+        assert!(read_boundary(&mut buf).is_err());
+        // One-shot: the plan disarmed itself.
+        read_boundary(&mut buf).unwrap();
+        set_read_fault(None);
+    }
+
+    #[test]
+    fn read_fault_short_is_unexpected_eof() {
+        set_read_fault(Some(ReadFaultPlan::new(0, ReadFaultKind::Short)));
+        let mut buf = [0u8; 4];
+        let err = read_boundary(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        set_read_fault(None);
+    }
+
+    #[test]
+    fn read_fault_torn_flips_past_keep_and_succeeds() {
+        set_read_fault(Some(ReadFaultPlan::new(0, ReadFaultKind::Torn { keep: 2 })));
+        let mut buf = *b"abcd";
+        read_boundary(&mut buf).unwrap();
+        assert_eq!(&buf[..2], b"ab");
+        assert_ne!(&buf[2..], b"cd");
+        set_read_fault(None);
+    }
+
+    #[test]
+    fn read_fault_spec_parses() {
+        assert_eq!(
+            ReadFaultPlan::parse("3:error").unwrap(),
+            ReadFaultPlan::new(3, ReadFaultKind::Error)
+        );
+        assert_eq!(
+            ReadFaultPlan::parse("0:short").unwrap(),
+            ReadFaultPlan::new(0, ReadFaultKind::Short)
+        );
+        assert_eq!(
+            ReadFaultPlan::parse("7:torn:12").unwrap(),
+            ReadFaultPlan::new(7, ReadFaultKind::Torn { keep: 12 })
+        );
+        for bad in ["", "x:error", "1:huh", "1:torn", "1:torn:x", "1:error:2"] {
+            assert!(ReadFaultPlan::parse(bad).is_err(), "{bad:?} parsed");
+        }
     }
 }

@@ -210,8 +210,9 @@ impl HeapFile {
     /// Panics on a dangling record id or an unreadable/corrupt page. Use
     /// [`HeapFile::try_get`] where torn pages must be survivable.
     pub fn get(&self, id: RecordId) -> Vec<u8> {
-        self.try_get(id)
-            .unwrap_or_else(|e| panic!("heap get {id:?}: {e}"))
+        self.try_get(id).unwrap_or_else(|e| {
+            panic!("invariant: heap record {id:?} must be readable on this path: {e}")
+        })
     }
 
     /// Fetches a record, surfacing page-level failures (out-of-range ids,

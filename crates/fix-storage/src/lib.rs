@@ -30,7 +30,10 @@ pub mod pool;
 pub mod wal;
 
 pub use crc::{crc32, Crc32};
-pub use fault::{FaultFile, FaultKind, FaultPlan};
+pub use fault::{
+    disk_full_error, is_disk_full, read_boundaries, set_read_fault, FaultFile, FaultKind,
+    FaultPlan, ReadFaultKind, ReadFaultPlan,
+};
 pub use heap::{HeapDirectory, HeapFile, RecordId};
 pub use page::{PageId, PAGE_SIZE};
 pub use pool::{

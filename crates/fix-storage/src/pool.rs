@@ -21,7 +21,7 @@
 //! torn or bit-flipped page surfaces as [`StorageError::Corrupt`] at the
 //! page that was actually damaged instead of as silently wrong bytes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -219,6 +219,9 @@ impl StorageBackend for FileBackend {
         let off = self.check(id)?;
         self.file.seek(SeekFrom::Start(off))?;
         self.file.read_exact(buf)?;
+        // One page fetch = one injectable read boundary (no-op unless a
+        // test armed a plan via `fault::set_read_fault`).
+        crate::fault::read_boundary(buf)?;
         Ok(())
     }
 
@@ -277,6 +280,8 @@ pub struct PoolStats {
     pub flushes: u64,
     /// Physical reads rejected by per-page CRC verification.
     pub crc_failures: u64,
+    /// Pages currently quarantined after a failed physical read.
+    pub quarantined: usize,
 }
 
 impl PoolStats {
@@ -312,6 +317,9 @@ impl fix_obs::Reportable for PoolStats {
         registry
             .gauge("fix_pool_crc_failures")
             .set(self.crc_failures as i64);
+        registry
+            .gauge(fix_obs::names::POOL_QUARANTINED)
+            .set(self.quarantined as i64);
     }
 }
 
@@ -343,6 +351,12 @@ struct Inner {
     evictions: u64,
     flushes: u64,
     crc_failures: u64,
+    /// Pages whose physical read failed (I/O error or CRC mismatch).
+    /// Later pins fail fast with [`StorageError::Corrupt`] instead of
+    /// re-reading, so one bad page degrades only the operations that
+    /// touch it. Cleared per page by [`PageSpace::clear_quarantine`]
+    /// after a repair rewrites the backing store.
+    quarantined: HashSet<(u32, PageId)>,
 }
 
 /// A shared LRU buffer pool over one or more [`StorageBackend`]s.
@@ -371,6 +385,7 @@ impl BufferPool {
                 evictions: 0,
                 flushes: 0,
                 crc_failures: 0,
+                quarantined: HashSet::new(),
             }),
             capacity,
             events: OnceLock::new(),
@@ -433,6 +448,7 @@ impl BufferPool {
             evictions: inner.evictions,
             flushes: inner.flushes,
             crc_failures: inner.crc_failures,
+            quarantined: inner.quarantined.len(),
             ..PoolStats::default()
         };
         for t in &inner.tenants {
@@ -509,6 +525,26 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Marks `(tenant, id)` quarantined after a failed physical read and
+    /// narrates it. Called with the inner lock held.
+    fn quarantine(&self, inner: &mut Inner, tenant: u32, id: PageId, reason: &str) {
+        if !inner.quarantined.insert((tenant, id)) {
+            return;
+        }
+        if let Some(events) = self.events.get() {
+            events.record(
+                Category::Pool,
+                Severity::Error,
+                "pool.quarantine",
+                vec![
+                    ("tenant", FieldValue::U64(tenant as u64)),
+                    ("page", FieldValue::U64(id.0)),
+                    ("reason", FieldValue::Str(reason.to_string())),
+                ],
+            );
+        }
+    }
+
     fn pin_impl(&self, tenant: u32, id: PageId) -> Result<Arc<FrameCell>, StorageError> {
         let mut inner = self.inner.lock();
         inner.tick += 1;
@@ -519,6 +555,16 @@ impl BufferPool {
             cell.pins.fetch_add(1, Ordering::AcqRel);
             inner.tenants[tenant as usize].stats.hits += 1;
             return Ok(cell);
+        }
+        // A quarantined page fails fast: its last physical read failed,
+        // and retrying would at best re-read the same damage. Only the
+        // operations that touch this page degrade; everything else keeps
+        // serving.
+        if inner.quarantined.contains(&(tenant, id)) {
+            return Err(StorageError::Corrupt {
+                page: id,
+                detail: "page is quarantined (failed a previous read)".into(),
+            });
         }
         // Miss: account, make room, do the physical read.
         {
@@ -533,7 +579,17 @@ impl BufferPool {
         let mut buf = vec![0u8; PAGE_SIZE].into_boxed_slice();
         let crc_mismatch = {
             let t = &mut inner.tenants[tenant as usize];
-            t.backend.read_page(id, &mut buf)?;
+            match t.backend.read_page(id, &mut buf) {
+                Ok(()) => {}
+                // An out-of-range id is a caller bug, not page damage —
+                // quarantining it would mask the bug. I/O failures mean
+                // the page itself could not be delivered: quarantine.
+                Err(e @ StorageError::OutOfRange { .. }) => return Err(e),
+                Err(e) => {
+                    self.quarantine(&mut inner, tenant, id, "io_error");
+                    return Err(e);
+                }
+            }
             match t.crcs.as_ref().and_then(|c| c.get(id.0 as usize)) {
                 Some(&expect) if crc32(&buf) != expect => Some(expect),
                 _ => None,
@@ -555,6 +611,7 @@ impl BufferPool {
                     ],
                 );
             }
+            self.quarantine(&mut inner, tenant, id, "crc_mismatch");
             return Err(StorageError::Corrupt {
                 page: id,
                 detail: format!("CRC mismatch (stored {expect:#010x}, got {got:#010x})"),
@@ -597,13 +654,18 @@ impl PageSpace {
     /// Allocates a fresh zeroed page.
     ///
     /// # Panics
-    /// Fail-stop on backend errors (e.g. the disk filling up mid-build).
+    /// Fail-stop on backend errors (e.g. the disk filling up mid-build);
+    /// use [`PageSpace::try_allocate`] where the caller can surface the
+    /// failure instead.
     pub fn allocate(&self) -> PageId {
+        self.try_allocate()
+            .expect("invariant: page allocation must succeed on this build path")
+    }
+
+    /// Allocates a fresh zeroed page, surfacing backend failures.
+    pub fn try_allocate(&self) -> Result<PageId, StorageError> {
         let mut inner = self.pool.inner.lock();
-        inner.tenants[self.tenant as usize]
-            .backend
-            .allocate()
-            .expect("page allocation failed")
+        inner.tenants[self.tenant as usize].backend.allocate()
     }
 
     /// Number of pages in the underlying backend.
@@ -619,7 +681,12 @@ impl PageSpace {
     /// Fail-stop on I/O errors or CRC verification failure; use
     /// [`PageSpace::try_pin`] to handle damage gracefully.
     pub fn pin(&self, id: PageId) -> PageGuard {
-        self.try_pin(id).expect("page read failed")
+        self.try_pin(id).unwrap_or_else(|e| {
+            panic!(
+                "invariant: page {} must be readable on this path: {e}",
+                id.0
+            )
+        })
     }
 
     /// Pins page `id`, surfacing backend and checksum failures.
@@ -674,6 +741,31 @@ impl PageSpace {
     /// Pool-wide statistics (all tenants).
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// This tenant's quarantined pages, ascending (pages whose physical
+    /// read failed; see [`PageSpace::clear_quarantine`]).
+    pub fn quarantined(&self) -> Vec<PageId> {
+        let inner = self.pool.inner.lock();
+        let mut pages: Vec<PageId> = inner
+            .quarantined
+            .iter()
+            .filter(|(t, _)| *t == self.tenant)
+            .map(|&(_, p)| p)
+            .collect();
+        pages.sort_by_key(|p| p.0);
+        pages
+    }
+
+    /// Lifts the quarantine on `id` after a repair has rewritten its
+    /// backing bytes — the next pin re-reads from the backend. Returns
+    /// whether the page was quarantined.
+    pub fn clear_quarantine(&self, id: PageId) -> bool {
+        self.pool
+            .inner
+            .lock()
+            .quarantined
+            .remove(&(self.tenant, id))
     }
 }
 
@@ -1019,6 +1111,82 @@ mod tests {
             "{err}"
         );
         assert_eq!(pool.pool_stats().crc_failures, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crc_failure_quarantines_until_cleared() {
+        let dir = std::env::temp_dir().join(format!("fix-quar-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let mut crcs = Vec::new();
+        {
+            let pool = BufferPool::shared(4).attach(Box::new(FileBackend::create(&path).unwrap()));
+            for i in 0..2u8 {
+                let p = pool.allocate();
+                pool.with_page_mut(p, |b| b[0] = i + 1);
+            }
+            pool.flush().unwrap();
+            for i in 0..2u64 {
+                crcs.push(pool.with_page(PageId(i), crc32));
+            }
+        }
+        // Damage page 1 on disk.
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 9)).unwrap();
+            f.write_all(&[0xFF]).unwrap();
+        }
+        let pool = BufferPool::shared(4)
+            .attach_verified(Box::new(FileBackend::open(&path).unwrap()), crcs.clone());
+        assert!(pool.try_pin(PageId(1)).is_err());
+        assert_eq!(pool.quarantined(), vec![PageId(1)]);
+        assert_eq!(pool.pool_stats().quarantined, 1);
+        // Fail-fast now: no second physical read, no second CRC failure.
+        let before = pool.pool_stats().crc_failures;
+        let err = pool.try_pin(PageId(1)).unwrap_err();
+        assert!(err.to_string().contains("quarantined"), "{err}");
+        assert_eq!(pool.pool_stats().crc_failures, before);
+        // The undamaged page is unaffected.
+        assert_eq!(pool.with_page(PageId(0), |b| b[0]), 1);
+        // Repair the bytes on disk, lift the quarantine: reads work again.
+        {
+            let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+            f.seek(SeekFrom::Start(PAGE_SIZE as u64 + 9)).unwrap();
+            f.write_all(&[0x00]).unwrap();
+            let mut page = vec![0u8; PAGE_SIZE];
+            page[0] = 2;
+            assert_eq!(crc32(&page), crcs[1], "test rebuilt the original page");
+        }
+        assert!(pool.clear_quarantine(PageId(1)));
+        assert_eq!(pool.with_page(PageId(1), |b| b[0]), 2);
+        assert_eq!(pool.pool_stats().quarantined, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_read_fault_surfaces_and_quarantines() {
+        let dir = std::env::temp_dir().join(format!("fix-rfault-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        {
+            let pool = BufferPool::shared(4).attach(Box::new(FileBackend::create(&path).unwrap()));
+            let p = pool.allocate();
+            pool.with_page_mut(p, |b| b[0] = 7);
+            pool.flush().unwrap();
+        }
+        let pool = BufferPool::shared(4).attach(Box::new(FileBackend::open(&path).unwrap()));
+        crate::fault::set_read_fault(Some(crate::fault::ReadFaultPlan::new(
+            0,
+            crate::fault::ReadFaultKind::Error,
+        )));
+        let err = pool.try_pin(PageId(0)).unwrap_err();
+        crate::fault::set_read_fault(None);
+        assert!(matches!(err, StorageError::Io(_)), "{err}");
+        assert_eq!(pool.quarantined(), vec![PageId(0)]);
+        // Out-of-range ids never quarantine (caller bug, not damage).
+        assert!(pool.try_pin(PageId(99)).is_err());
+        assert_eq!(pool.quarantined().len(), 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

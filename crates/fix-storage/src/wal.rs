@@ -317,7 +317,11 @@ fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 /// prefix. Returns the records and the byte offset where validity ends
 /// (== file length for a clean segment).
 fn read_segment(path: &Path, want_token: &BaseToken) -> io::Result<Option<(Vec<Vec<u8>>, u64)>> {
-    let data = fs::read(path)?;
+    let mut data = fs::read(path)?;
+    // One WAL recover read = one injectable read boundary. A torn fault
+    // lands in CRC-framed territory: the frame walk below stops at the
+    // first bad record, which recovery treats as a torn tail.
+    crate::fault::read_boundary(&mut data)?;
     if data.len() < SEG_HEADER_LEN
         || &data[..8] != WAL_MAGIC
         || &data[8..8 + TOKEN_LEN] != want_token
@@ -751,6 +755,7 @@ fn write_faulted(inner: &mut WalInner, buf: &[u8]) -> io::Result<()> {
                     inner.dropping = true;
                     return Ok(());
                 }
+                FaultKind::DiskFull => return Err(crate::fault::disk_full_error()),
             }
         }
     }

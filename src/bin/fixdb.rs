@@ -2,13 +2,14 @@
 //!
 //! ```text
 //! fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...
-//! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]
+//! fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json] [--timeout-ms MS]
 //! fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]
 //! fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--seal-bytes N] [--full-save] <file.xml>...   (alias: insert)
 //! fixdb remove      <db> [--durability sync|group[:MS]|async] [--full-save] <doc-id>...
 //! fixdb wal         <db>
 //! fixdb vacuum      <db>
 //! fixdb compact     <db>
+//! fixdb repair      <db>
 //! fixdb verify      <db> [--salvage OUT]
 //! fixdb stats       <db> [--prometheus] [--json] [--interval SECS] [--count N]
 //! fixdb events      <db> [--json] [--follow] [--for-ms MS] [--category C[,C…]] [--slow] [--slow-ns NS] [--seal-bytes N] [--commit FILE]...
@@ -49,6 +50,19 @@
 //! delta tier levels; the same numbers appear in `stats` as `fix_wal_*`
 //! and `fix_level_*` metrics.
 //!
+//! `repair` is the *online* half of recovery: where `verify --salvage`
+//! rebuilds a corrupt file offline into a new path, `repair` re-derives
+//! the index state (B+-tree, clustered copies, directories) in memory
+//! from the primary documents, clears any pages the buffer pool
+//! quarantined after failed reads, and checkpoints the clean image in
+//! place. `query --timeout-ms MS` runs with a cooperative deadline:
+//! the scan and refine loops poll a cancel token and the command exits
+//! nonzero with a `deadline exceeded` error instead of running away.
+//! Setting `FIXDB_READ_FAULT=nth:error|short|torn:KEEP` injects a
+//! deterministic fault into the nth physical read (page fetch, WAL
+//! recovery read, metadata tail) for fault-drill testing, mirroring
+//! `FIXDB_WAL_FAULT` on the write side.
+//!
 //! `events` dumps the flight recorder: opening the database replays its
 //! WAL, so the dump narrates recovery (`recovery.replay`, torn tails,
 //! token mismatches) and the tier work replay triggered (`tier.freeze`,
@@ -72,6 +86,10 @@ use fix::{Durability, FixDatabase, FixError, FixOptions, StorageMode, WriteBatch
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = arm_read_fault() {
+        eprintln!("fixdb: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match args.first().map(String::as_str) {
         Some("build") => build(&args[1..]),
         Some("query") => query(&args[1..]),
@@ -81,6 +99,7 @@ fn main() -> ExitCode {
         Some("wal") => wal(&args[1..]),
         Some("vacuum") => vacuum(&args[1..]),
         Some("compact") => compact(&args[1..]),
+        Some("repair") => repair(&args[1..]),
         Some("verify") => verify(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("events") => events_cmd(&args[1..]),
@@ -88,16 +107,17 @@ fn main() -> ExitCode {
         Some("gen") => gen(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fixdb <build|query|bench-query|add|remove|wal|vacuum|compact|verify|stats|events|top|gen> ...\n\
+                "usage: fixdb <build|query|bench-query|add|remove|wal|vacuum|compact|repair|verify|stats|events|top|gen> ...\n\
                  \n\
                  fixdb build       <db> [--depth-limit K] [--clustered] [--values BETA] [--bloom] [--paged] [--pool-pages N] [--threads N] [--max-depth D] <file.xml>...\n\
-                 fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json]\n\
+                 fixdb query       <db> <xpath> [--metrics] [--show N] [--plan] [--explain] [--analyze] [--trace] [--json] [--timeout-ms MS]\n\
                  fixdb bench-query <db> <xpath>... [--threads N] [--repeat R] [--json]\n\
                  fixdb add         <db> [--batch DIR] [--durability sync|group[:MS]|async] [--seal-bytes N] [--full-save] <file.xml>...   (alias: insert)\n\
                  fixdb remove      <db> [--durability sync|group[:MS]|async] [--full-save] <doc-id>...\n\
                  fixdb wal         <db>\n\
                  fixdb vacuum      <db>\n\
                  fixdb compact     <db>\n\
+                 fixdb repair      <db>\n\
                  fixdb verify      <db> [--salvage OUT]\n\
                  fixdb stats       <db> [--prometheus] [--json] [--interval SECS] [--count N]\n\
                  fixdb events      <db> [--json] [--follow] [--for-ms MS] [--category C[,C…]] [--slow] [--slow-ns NS] [--seal-bytes N] [--commit FILE]...\n\
@@ -237,6 +257,7 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut trace = false;
     let mut json = false;
     let mut show = 10usize;
+    let mut timeout: Option<Duration> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -252,6 +273,13 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| err("--show needs an integer"))?;
             }
+            "--timeout-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err("--timeout-ms needs a number of milliseconds"))?;
+                timeout = Some(Duration::from_millis(ms));
+            }
             _ if db_path.is_none() => db_path = Some(a),
             _ if xpath.is_none() => xpath = Some(a),
             other => return Err(err(format!("unexpected argument `{other}`"))),
@@ -259,6 +287,11 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let db_path = db_path.ok_or_else(|| err("missing database path"))?;
     let xpath = xpath.ok_or_else(|| err("missing query"))?;
+    if timeout.is_some() && (plan || explain || analyze) {
+        return Err(err(
+            "--timeout-ms applies to query execution; drop --plan/--explain/--analyze",
+        ));
+    }
     let db = open_existing(db_path)?;
     let coll = db.collection();
     if explain {
@@ -282,7 +315,23 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         // Route through a session so the trace covers the full serving
         // pipeline, plan-cache probe included.
         let session = db.session()?;
-        let (out, qtrace) = match session.query_traced(xpath) {
+        let traced = match timeout {
+            // The deadline variant hands back the partial trace alongside
+            // the error so an expired query still shows where the time
+            // went.
+            Some(tmo) => match session.query_with_deadline_traced(xpath, tmo) {
+                (Ok(v), qtrace) => Ok((v, qtrace)),
+                (Err(FixError::DeadlineExceeded { elapsed }), qtrace) => {
+                    eprint!("{qtrace}");
+                    return Err(err(format!(
+                        "deadline exceeded after {elapsed:?} (partial trace above; raise --timeout-ms)"
+                    )));
+                }
+                (Err(e), _) => Err(e),
+            },
+            None => session.query_traced(xpath),
+        };
+        let (out, qtrace) = match traced {
             Ok(v) => v,
             Err(FixError::NotCovered {
                 query_depth,
@@ -356,7 +405,11 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let t = std::time::Instant::now();
-    let out = match db.query(xpath) {
+    let res = match timeout {
+        Some(tmo) => db.session()?.query_with_deadline(xpath, tmo),
+        None => db.query(xpath),
+    };
+    let out = match res {
         Ok(o) => o,
         Err(FixError::NotCovered {
             query_depth,
@@ -365,6 +418,11 @@ fn query(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             return Err(err(format!(
                 "query depth {query_depth} exceeds the index depth limit {depth_limit}; \
                  rebuild with a larger --depth-limit"
+            )))
+        }
+        Err(FixError::DeadlineExceeded { elapsed }) => {
+            return Err(err(format!(
+                "deadline exceeded after {elapsed:?} (raise --timeout-ms)"
             )))
         }
         Err(e) => return Err(err(e.to_string())),
@@ -574,9 +632,10 @@ fn parse_durability(s: &str) -> Result<Durability, Box<dyn std::error::Error>> {
 }
 
 /// Deterministic WAL fault injection for crash testing, armed via
-/// `FIXDB_WAL_FAULT=nth:error|truncate|torn:KEEP` (e.g. `0:torn:5` tears
-/// the first record write after 5 bytes). Hidden behind an env var so it
-/// can never be tripped by a stray CLI flag.
+/// `FIXDB_WAL_FAULT=nth:error|truncate|torn:KEEP|disk-full` (e.g.
+/// `0:torn:5` tears the first record write after 5 bytes; `0:disk-full`
+/// makes it fail with ENOSPC, flipping the database read-only). Hidden
+/// behind an env var so it can never be tripped by a stray CLI flag.
 fn arm_wal_fault(db: &mut FixDatabase) -> Result<(), Box<dyn std::error::Error>> {
     let Ok(spec) = std::env::var("FIXDB_WAL_FAULT") else {
         return Ok(());
@@ -584,7 +643,7 @@ fn arm_wal_fault(db: &mut FixDatabase) -> Result<(), Box<dyn std::error::Error>>
     use fix::storage::{FaultKind, FaultPlan};
     let bad = || {
         err(format!(
-            "bad FIXDB_WAL_FAULT `{spec}` (nth:error|truncate|torn:KEEP)"
+            "bad FIXDB_WAL_FAULT `{spec}` (nth:error|truncate|torn:KEEP|disk-full)"
         ))
     };
     let mut parts = spec.split(':');
@@ -592,12 +651,30 @@ fn arm_wal_fault(db: &mut FixDatabase) -> Result<(), Box<dyn std::error::Error>>
     let kind = match (parts.next(), parts.next()) {
         (Some("error"), None) => FaultKind::Error,
         (Some("truncate"), None) => FaultKind::Truncate,
+        (Some("disk-full"), None) => FaultKind::DiskFull,
         (Some("torn"), Some(keep)) => FaultKind::Torn {
             keep: keep.parse().map_err(|_| bad())?,
         },
         _ => return Err(bad()),
     };
     db.set_wal_fault(Some(FaultPlan::new(nth, kind)));
+    Ok(())
+}
+
+/// Deterministic *read*-path fault injection, armed via
+/// `FIXDB_READ_FAULT=nth:error|short|torn:KEEP` before any database I/O
+/// happens — the nth physical read on this thread (buffer-pool page
+/// fetch, WAL recovery read, metadata tail) then fails, comes back
+/// short, or comes back bit-flipped. One-shot: the fault disarms after
+/// firing, so the command demonstrates detection + structured error
+/// rather than a hard loop.
+fn arm_read_fault() -> Result<(), Box<dyn std::error::Error>> {
+    let Ok(spec) = std::env::var("FIXDB_READ_FAULT") else {
+        return Ok(());
+    };
+    let plan = fix::storage::ReadFaultPlan::parse(&spec)
+        .map_err(|e| err(format!("bad FIXDB_READ_FAULT `{spec}`: {e}")))?;
+    fix::storage::set_read_fault(Some(plan));
     Ok(())
 }
 
@@ -841,6 +918,35 @@ fn vacuum(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         db.len(),
         db.index().map(|i| i.entry_count()).unwrap_or(0)
     );
+    Ok(())
+}
+
+/// Online repair: re-derives the index state (B+-tree, clustered
+/// copies, directories) from the primary documents, clearing any pages
+/// the buffer pool quarantined after failed reads, then checkpoints the
+/// clean image in place. The primary documents must still be readable —
+/// if they are not, the error points at `fixdb verify --salvage`, the
+/// offline recovery path.
+fn repair(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let db_path = args.first().ok_or_else(|| err("missing database path"))?;
+    let mut db = open_existing(db_path)?;
+    let quarantined = db.quarantined_pages();
+    if quarantined.is_empty() {
+        println!("no pages quarantined; repairing derived state anyway");
+    } else {
+        let pages: Vec<String> = quarantined.iter().map(|p| p.0.to_string()).collect();
+        println!(
+            "{} quarantined page(s): {}",
+            quarantined.len(),
+            pages.join(", ")
+        );
+    }
+    let report = db.repair().map_err(|e| {
+        err(format!(
+            "{e}\nprimary documents unreadable? try `fixdb verify {db_path} --salvage <out>`"
+        ))
+    })?;
+    println!("{report}");
     Ok(())
 }
 
